@@ -1,0 +1,110 @@
+// Ablation A1 (section 3.2): edge-based vs node-based circulation.
+//
+// The paper chooses to key the without-replacement memory on the incoming
+// EDGE u -> v rather than on the node v alone, arguing that edge-based path
+// blocks are longer and more exchangeable, and reports (without showing
+// numbers, "due to space limitations") that edge-based wins. This bench
+// supplies those numbers: asymptotic variance of an aggregate estimator
+// (batch means over long walks) and per-walk KL at a fixed budget, for
+// SRW / node-based CNRW / edge-based CNRW across topologies.
+
+#include <iostream>
+
+#include "access/graph_access.h"
+#include "core/walker_factory.h"
+#include "estimate/variance.h"
+#include "estimate/walk_runner.h"
+#include "experiment/datasets.h"
+#include "experiment/report.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "metrics/distribution.h"
+#include "metrics/divergence.h"
+#include "util/random.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace histwalk;
+
+double AsymptoticVariance(const graph::Graph& g, core::WalkerType type,
+                          uint64_t seed) {
+  access::GraphAccess access(&g, nullptr);
+  auto walker = core::MakeWalker({.type = type}, &access, seed);
+  if (!walker.ok() || !(*walker)->Reset(0).ok()) return -1.0;
+  estimate::TracedWalk trace =
+      estimate::TraceWalk(**walker, {.max_steps = 400'000});
+  // Arbitrary measure function uncorrelated with degree.
+  std::vector<double> f(trace.nodes.size());
+  for (size_t t = 0; t < f.size(); ++t) {
+    f[t] = static_cast<double>((trace.nodes[t] * 2654435761u) % 23u);
+  }
+  return estimate::BatchMeans(f, trace.degrees,
+                              core::StationaryBias::kDegreeProportional, 80)
+      .asymptotic_variance;
+}
+
+double PerWalkKl(const graph::Graph& g, core::WalkerType type,
+                 uint64_t budget, uint32_t instances) {
+  std::vector<double> target = metrics::StationaryDistribution(g);
+  double total = 0.0;
+  for (uint32_t i = 0; i < instances; ++i) {
+    access::GraphAccess access(&g, nullptr);
+    auto walker =
+        core::MakeWalker({.type = type}, &access, util::SubSeed(5, i));
+    if (!walker.ok() || !(*walker)->Reset(0).ok()) return -1.0;
+    estimate::TracedWalk trace =
+        estimate::TraceWalk(**walker, {.max_steps = budget});
+    metrics::VisitCounter counter(g.num_nodes());
+    counter.AddAll(trace.nodes);
+    total += metrics::SymmetrizedKlDivergence(counter.Probabilities(),
+                                              target, 1e-4);
+  }
+  return total / instances;
+}
+
+}  // namespace
+
+int main() {
+  using util::TextTable;
+
+  struct Case {
+    std::string name;
+    graph::Graph graph;
+  };
+  util::Random rng(12);
+  std::vector<Case> cases;
+  cases.push_back({"cliquechain", graph::MakeCliqueChain({10, 30, 50})});
+  cases.push_back({"barbell28", graph::MakeBarbell(28)});
+  cases.push_back(
+      {"erdos200", graph::LargestComponent(
+                       graph::MakeErdosRenyi(200, 0.05, rng))});
+  cases.push_back({"smallworld", graph::MakeWattsStrogatz(300, 8, 0.1, rng)});
+
+  TextTable table({"graph", "V_SRW", "V_CNRW_node", "V_CNRW_edge",
+                   "KL_SRW", "KL_CNRW_node", "KL_CNRW_edge"});
+  for (const Case& c : cases) {
+    table.AddRow(
+        {c.name,
+         TextTable::Cell(AsymptoticVariance(c.graph, core::WalkerType::kSrw,
+                                            31)),
+         TextTable::Cell(AsymptoticVariance(
+             c.graph, core::WalkerType::kCnrwNode, 32)),
+         TextTable::Cell(
+             AsymptoticVariance(c.graph, core::WalkerType::kCnrw, 33)),
+         TextTable::Cell(PerWalkKl(c.graph, core::WalkerType::kSrw, 1000,
+                                   400)),
+         TextTable::Cell(PerWalkKl(c.graph, core::WalkerType::kCnrwNode,
+                                   1000, 400)),
+         TextTable::Cell(PerWalkKl(c.graph, core::WalkerType::kCnrw, 1000,
+                                   400))});
+  }
+  experiment::EmitTable(table,
+                        "Ablation A1 — edge-based vs node-based circulation "
+                        "(asymptotic variance; per-walk KL at budget 1000)",
+                        "ablation_edge_vs_node", std::cout);
+  std::cout << "(Paper's section 3.2 choice: edge-based. Both variants "
+               "reduce SRW's variance; edge-based\n should match or beat "
+               "node-based on most topologies.)\n";
+  return 0;
+}

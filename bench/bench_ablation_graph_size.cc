@@ -1,0 +1,107 @@
+// Ablation A4 (section 5): the historic-visit probability is insensitive
+// to graph size. The paper argues a random walk mostly revisits nodes a few
+// steps after first touching them, so growing the graph beyond the local
+// neighborhood barely changes how often CNRW's history actually fires.
+//
+// Measured here: on social surrogates of growing size (same local
+// parameters), the fraction of transitions where the CNRW circulation
+// state was already warm (the incoming edge had been traversed before),
+// and the walkers' estimation error at a fixed budget.
+
+#include <iostream>
+#include <map>
+
+#include "access/graph_access.h"
+#include "core/walker_factory.h"
+#include "estimate/estimators.h"
+#include "estimate/walk_runner.h"
+#include "experiment/report.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "metrics/divergence.h"
+#include "util/random.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace histwalk;
+
+// Fraction of steps whose incoming directed edge was traversed before
+// (i.e., the circulation memory is consulted rather than freshly created).
+double WarmEdgeFraction(const graph::Graph& g, uint64_t budget,
+                        uint32_t instances) {
+  uint64_t warm = 0, total = 0;
+  for (uint32_t i = 0; i < instances; ++i) {
+    access::GraphAccess access(&g, nullptr);
+    auto walker = core::MakeWalker({.type = core::WalkerType::kCnrw},
+                                   &access, util::SubSeed(13, i));
+    if (!walker.ok() || !(*walker)->Reset(0).ok()) return -1.0;
+    estimate::TracedWalk trace =
+        estimate::TraceWalk(**walker, {.max_steps = budget});
+    std::map<std::pair<graph::NodeId, graph::NodeId>, int> seen;
+    graph::NodeId prev = graph::kInvalidNode, cur = 0;
+    for (graph::NodeId next : trace.nodes) {
+      if (prev != graph::kInvalidNode) {
+        if (++seen[{prev, cur}] > 1) ++warm;
+        ++total;
+      }
+      prev = cur;
+      cur = next;
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(warm) / static_cast<double>(total);
+}
+
+double MeanRelError(const graph::Graph& g, core::WalkerType type,
+                    uint64_t budget, uint32_t instances) {
+  double truth = g.AverageDegree();
+  double total = 0.0;
+  for (uint32_t i = 0; i < instances; ++i) {
+    access::GraphAccess access(&g, nullptr);
+    auto walker =
+        core::MakeWalker({.type = type}, &access, util::SubSeed(29, i));
+    if (!walker.ok() || !(*walker)->Reset(0).ok()) return -1.0;
+    estimate::TracedWalk trace =
+        estimate::TraceWalk(**walker, {.max_steps = budget});
+    total += metrics::RelativeError(
+        estimate::EstimateAverageDegree(trace.degrees, (*walker)->bias()),
+        truth);
+  }
+  return total / instances;
+}
+
+}  // namespace
+
+int main() {
+  using util::TextTable;
+
+  TextTable table({"nodes", "warm_edge_frac", "relerr_SRW", "relerr_CNRW",
+                   "cnrw_vs_srw"});
+  for (uint32_t n : {2000u, 4000u, 8000u, 16000u, 32000u}) {
+    util::Random rng(100 + n);
+    graph::SocialSurrogateParams params;
+    params.num_nodes = n;
+    params.community_size = 30.0;  // local structure held fixed
+    params.p_intra = 0.5;
+    params.background_degree = 4.0;
+    graph::Graph g =
+        graph::LargestComponent(graph::MakeSocialSurrogate(params, rng));
+    const uint64_t budget = 1000;
+    double warm = WarmEdgeFraction(g, budget, 300);
+    double srw = MeanRelError(g, core::WalkerType::kSrw, budget, 400);
+    double cnrw = MeanRelError(g, core::WalkerType::kCnrw, budget, 400);
+    table.AddRow({TextTable::Cell(static_cast<uint64_t>(g.num_nodes())),
+                  TextTable::Cell(warm), TextTable::Cell(srw),
+                  TextTable::Cell(cnrw), TextTable::Cell(cnrw / srw)});
+  }
+  histwalk::experiment::EmitTable(
+      table,
+      "Ablation A4 — graph-size insensitivity of the historic-visit rate "
+      "(budget 1000 steps)",
+      "ablation_graph_size", std::cout);
+  std::cout << "(Section 5's claim: warm_edge_frac is driven by local "
+               "structure, not by |V|, so CNRW's\n usefulness persists as "
+               "the graph grows.)\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Ablation A3 (section 4.1): GNRW grouping design — how the number of
+// strata and the alignment of the grouping with the estimand change the
+// estimation error. Sweeps the stratum count for aligned (by attribute
+// value), degree-based and random (MD5) groupings on a homophilous social
+// surrogate, estimating the attribute's mean; SRW and CNRW anchor the
+// comparison (1 stratum == CNRW behaviour).
+
+#include <iostream>
+#include <memory>
+
+#include "attr/grouping.h"
+#include "attr/synthesis.h"
+#include "experiment/datasets.h"
+#include "experiment/error_curve.h"
+#include "experiment/report.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "util/table.h"
+
+int main() {
+  using namespace histwalk;
+  using util::TextTable;
+
+  // Homophilous surrogate with a heavy-tailed attribute (mini-yelp).
+  util::Random rng(3);
+  graph::SocialSurrogateParams params;
+  params.num_nodes = 6000;
+  params.community_size = 30.0;
+  params.p_intra = 0.5;
+  params.background_degree = 3.0;
+  experiment::Dataset dataset;
+  dataset.name = "social6k";
+  dataset.graph =
+      graph::LargestComponent(graph::MakeSocialSurrogate(params, rng));
+  dataset.attributes = attr::AttributeTable(dataset.graph.num_nodes());
+  attr::HomophilyParams hp;
+  hp.rounds = 4;
+  hp.mix = 0.8;
+  auto added = dataset.attributes.AddColumn(
+      "value",
+      attr::MakeHeavyTailedAttribute(dataset.graph, hp, 20.0, rng));
+  if (!added.ok()) return 1;
+  const std::vector<double>& column = dataset.attributes.column(*added);
+
+  const std::vector<uint32_t> group_counts = {2, 4, 8, 16, 32};
+  std::vector<std::unique_ptr<attr::Grouping>> keep_alive;
+  experiment::ErrorCurveConfig config;
+  config.walkers.push_back({.type = core::WalkerType::kSrw});
+  config.walkers.push_back({.type = core::WalkerType::kCnrw});
+  for (uint32_t m : group_counts) {
+    keep_alive.push_back(attr::MakeQuantileGrouping(
+        dataset.graph, column, m, "aligned_m" + std::to_string(m)));
+    config.walkers.push_back({.type = core::WalkerType::kGnrw,
+                              .grouping = keep_alive.back().get()});
+    keep_alive.push_back(attr::MakeMd5Grouping(m));
+    config.walkers.push_back({.type = core::WalkerType::kGnrw,
+                              .grouping = keep_alive.back().get(),
+                              .label = "GNRW(md5_m" + std::to_string(m) +
+                                       ")"});
+  }
+  config.budgets = {200, 600};
+  config.instances = 500;
+  config.seed = 41;
+  config.estimand.attribute = "value";
+
+  experiment::ErrorCurveResult result =
+      experiment::RunErrorCurve(dataset, config);
+  TextTable table({"walker", "relerr@200", "relerr@600"});
+  for (size_t w = 0; w < result.walker_names.size(); ++w) {
+    table.AddRow({result.walker_names[w],
+                  TextTable::Cell(result.mean_relative_error[w][0]),
+                  TextTable::Cell(result.mean_relative_error[w][1])});
+  }
+  experiment::EmitTable(table,
+                        "Ablation A3 — GNRW stratum count and alignment "
+                        "(estimating the homophilous attribute's mean)",
+                        "ablation_group_count", std::cout);
+  std::cout << "(Aligned quantile strata should dominate random MD5 strata "
+               "for this estimand; moderate\n stratum counts suffice — "
+               "beyond that the strata thin out per neighborhood.)\n";
+  return 0;
+}

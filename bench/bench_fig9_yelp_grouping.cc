@@ -1,0 +1,72 @@
+// Reproduces Figure 9: Yelp — GNRW grouping strategies vs SRW for two
+// aggregates: (a) average degree and (b) average reviews count.
+//
+// The paper's reading: all GNRW variants beat SRW, and the best grouping
+// is the one aligned with the aggregate being estimated — GNRW-By-Degree
+// for avg degree, GNRW-By-ReviewsCount for avg reviews count; GNRW-By-MD5
+// (random strata) is the baseline in between.
+
+#include <iostream>
+
+#include "attr/grouping.h"
+#include "experiment/datasets.h"
+#include "experiment/error_curve.h"
+#include "experiment/report.h"
+
+int main() {
+  using namespace histwalk;
+
+  std::cout << "Building the Yelp surrogate (~120k nodes with homophilous "
+               "reviews_count)...\n";
+  experiment::Dataset dataset =
+      experiment::BuildDataset(experiment::DatasetId::kYelp);
+  std::cout << dataset.graph.DebugString() << "  [" << dataset.note << "]\n";
+
+  auto reviews = dataset.attributes.Find("reviews_count");
+  if (!reviews.ok()) {
+    std::cerr << "missing reviews_count: " << reviews.status() << "\n";
+    return 1;
+  }
+
+  constexpr uint32_t kGroups = 8;
+  auto by_degree = attr::MakeDegreeGrouping(dataset.graph, kGroups);
+  auto by_md5 = attr::MakeMd5Grouping(kGroups);
+  auto by_reviews = attr::MakeQuantileGrouping(
+      dataset.graph, dataset.attributes.column(*reviews), kGroups,
+      "by_reviews_count");
+
+  experiment::ErrorCurveConfig config;
+  config.walkers = {
+      {.type = core::WalkerType::kSrw},
+      {.type = core::WalkerType::kGnrw, .grouping = by_degree.get()},
+      {.type = core::WalkerType::kGnrw, .grouping = by_md5.get()},
+      {.type = core::WalkerType::kGnrw, .grouping = by_reviews.get()}};
+  config.budgets = {100, 200, 400, 600, 800, 1000};
+  config.instances = 250;
+
+  config.seed = 91;
+  config.estimand.attribute = "";  // average degree
+  experiment::ErrorCurveResult degree_result =
+      experiment::RunErrorCurve(dataset, config);
+  experiment::EmitTable(
+      experiment::ErrorCurveTable(degree_result),
+      "Figure 9(a) — yelp: estimate AVG degree (grouping strategies)",
+      "fig9a_yelp_avg_degree", std::cout);
+
+  config.seed = 92;
+  config.estimand.attribute = "reviews_count";
+  experiment::ErrorCurveResult reviews_result =
+      experiment::RunErrorCurve(dataset, config);
+  experiment::EmitTable(
+      experiment::ErrorCurveTable(reviews_result),
+      "Figure 9(b) — yelp: estimate AVG reviews count (grouping "
+      "strategies)",
+      "fig9b_yelp_avg_reviews", std::cout);
+
+  std::cout << "(truths: avg degree = " << degree_result.ground_truth
+            << ", avg reviews count = " << reviews_result.ground_truth
+            << "; " << config.instances << " walks per point)\n"
+            << "Expected shape: the grouping aligned with the aggregate "
+               "wins its own panel.\n";
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Validates Theorem 3: on a barbell graph, CNRW crosses from half G1 to
+// half G2 with higher probability per bridge-node visit than SRW.
+//
+// The theorem's ratio bound |G1|/(|G1|-1) * ln|G1| describes an idealized
+// limit: the walk has wandered G1 long enough (without crossing) that the
+// circulation fill levels of the bridge node's incoming edges are uniformly
+// distributed over 0..|N(u)|-1. Three columns track the claim:
+//
+//  * hazard_SRW / hazard_CNRW — measured pre-first-crossing escape
+//    probability per visit to the bridge node (cold start inside G1);
+//    CNRW's is strictly higher, increasingly so for small halves where
+//    circulation warms up before the crossing happens.
+//  * ideal_ratio — the closed-form value of the theorem's idealized
+//    CNRW/SRW ratio, (1/(|G1|-1)) * sum_{i=0}^{|G1|-1} 1/(|N(u)|-i) divided
+//    by 1/|N(u)|; the printed bound is the ln-based lower estimate the
+//    paper derives for it.
+//  * cold first-passage steps — the end-to-end speedup a crawler feels.
+
+#include <cmath>
+#include <iostream>
+
+#include "access/graph_access.h"
+#include "core/walker_factory.h"
+#include "experiment/report.h"
+#include "graph/generators.h"
+#include "util/random.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace histwalk;
+
+struct EscapeStats {
+  double hazard = 0.0;        // escapes per bridge-node visit (pre-cross)
+  double first_passage = 0.0;  // mean steps until G2 reached
+};
+
+EscapeStats MeasureEscape(const graph::Graph& g, uint32_t half,
+                          core::WalkerType type, uint32_t trials) {
+  const graph::NodeId bridge = half - 1;
+  uint64_t bridge_visits = 0;
+  uint64_t crossings = 0;
+  double total_steps = 0.0;
+  for (uint32_t trial = 0; trial < trials; ++trial) {
+    access::GraphAccess access(&g, nullptr);
+    auto walker =
+        core::MakeWalker({.type = type}, &access, util::SubSeed(17, trial));
+    if (!walker.ok() || !(*walker)->Reset(0).ok()) return {};
+    graph::NodeId cur = 0;
+    for (uint64_t step = 1; step <= 2'000'000; ++step) {
+      auto next = (*walker)->Step();
+      if (!next.ok()) return {};
+      if (cur == bridge) ++bridge_visits;  // a chance to escape
+      if (*next >= half) {
+        ++crossings;
+        total_steps += static_cast<double>(step);
+        break;
+      }
+      cur = *next;
+    }
+  }
+  EscapeStats stats;
+  stats.hazard = bridge_visits == 0
+                     ? 0.0
+                     : static_cast<double>(crossings) /
+                           static_cast<double>(bridge_visits);
+  stats.first_passage = total_steps / trials;
+  return stats;
+}
+
+// The theorem's idealized CNRW escape probability (equation 38).
+double IdealCnrwEscape(uint32_t half) {
+  double sum = 0.0;
+  for (uint32_t i = 0; i < half; ++i) {
+    sum += 1.0 / static_cast<double>(half - i);
+  }
+  return sum / static_cast<double>(half - 1);
+}
+
+}  // namespace
+
+int main() {
+  using util::TextTable;
+
+  TextTable table({"half", "hazard_SRW", "hazard_CNRW", "measured_ratio",
+                   "ideal_ratio", "ln_bound", "first_pass_SRW",
+                   "first_pass_CNRW"});
+  for (uint32_t half : {8u, 12u, 16u, 24u, 32u, 50u}) {
+    graph::Graph g = graph::MakeBarbell(half);
+    const uint32_t trials = 1000;
+    EscapeStats srw = MeasureEscape(g, half, core::WalkerType::kSrw, trials);
+    EscapeStats cnrw =
+        MeasureEscape(g, half, core::WalkerType::kCnrw, trials);
+    double ideal_ratio = IdealCnrwEscape(half) * half;  // vs SRW's 1/half
+    double ln_bound = static_cast<double>(half) / (half - 1) *
+                      std::log(static_cast<double>(half));
+    table.AddRow(
+        {TextTable::Cell(static_cast<uint64_t>(half)),
+         TextTable::Cell(srw.hazard), TextTable::Cell(cnrw.hazard),
+         TextTable::Cell(srw.hazard > 0 ? cnrw.hazard / srw.hazard : 0.0),
+         TextTable::Cell(ideal_ratio), TextTable::Cell(ln_bound),
+         TextTable::Cell(srw.first_passage),
+         TextTable::Cell(cnrw.first_passage)});
+  }
+  experiment::EmitTable(
+      table,
+      "Theorem 3 — barbell escape: pre-crossing hazard per bridge-node "
+      "visit, idealized ratio, first-passage steps",
+      "theorem3_escape", std::cout);
+  std::cout
+      << "(hazard_SRW ~ 1/half by construction; measured_ratio > 1 shows "
+         "the CNRW gain from partially\n warmed circulation, ideal_ratio "
+         "is the theorem's fully-warmed limit and ln_bound the paper's\n "
+         "closed-form lower estimate of it.)\n";
+  return 0;
+}

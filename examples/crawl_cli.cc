@@ -1,0 +1,124 @@
+// Command-line crawler: run any sampler over an edge-list graph and report
+// the unbiased average-degree estimate plus convergence diagnostics.
+//
+//   crawl_cli <edges-file> [walker] [budget] [seed]
+//
+//     edges-file  SNAP-style "u v" lines ('#' comments allowed)
+//     walker      srw | mhrw | nbsrw | cnrw | cnrw-node | nbcnrw | gnrw
+//                 (default cnrw; gnrw uses an 8-way degree grouping)
+//     budget      unique-query budget (default 1000)
+//     seed        RNG seed (default 1)
+//
+// With no arguments, prints usage and runs a small self-demo so the binary
+// is exercised by "run everything" loops.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "access/graph_access.h"
+#include "attr/grouping.h"
+#include "core/walker_factory.h"
+#include "estimate/diagnostics.h"
+#include "estimate/estimators.h"
+#include "estimate/walk_runner.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace histwalk;
+
+util::Result<core::WalkerType> ParseWalker(const std::string& name) {
+  if (name == "srw") return core::WalkerType::kSrw;
+  if (name == "mhrw") return core::WalkerType::kMhrw;
+  if (name == "nbsrw") return core::WalkerType::kNbSrw;
+  if (name == "cnrw") return core::WalkerType::kCnrw;
+  if (name == "cnrw-node") return core::WalkerType::kCnrwNode;
+  if (name == "nbcnrw") return core::WalkerType::kNbCnrw;
+  if (name == "gnrw") return core::WalkerType::kGnrw;
+  return util::Status::InvalidArgument("unknown walker: " + name);
+}
+
+int Crawl(const graph::Graph& graph, core::WalkerType type,
+          uint64_t budget, uint64_t seed) {
+  std::cout << "graph: " << graph.DebugString() << "\n";
+  std::unique_ptr<attr::Grouping> grouping;
+  if (type == core::WalkerType::kGnrw) {
+    grouping = attr::MakeDegreeGrouping(graph, 8);
+  }
+  access::GraphAccess access(&graph, nullptr, {.query_budget = budget});
+  auto walker = core::MakeWalker({.type = type, .grouping = grouping.get()},
+                                 &access, seed);
+  if (!walker.ok()) {
+    std::cerr << walker.status() << "\n";
+    return 1;
+  }
+  util::Random start_rng(seed ^ 0x5bd1e995u);
+  graph::NodeId start =
+      static_cast<graph::NodeId>(start_rng.UniformIndex(graph.num_nodes()));
+  if (auto status = (*walker)->Reset(start); !status.ok()) {
+    std::cerr << status << "\n";
+    return 1;
+  }
+
+  estimate::TracedWalk trace =
+      estimate::TraceWalk(**walker, {.max_steps = 200 * budget});
+  std::vector<double> degree_series(trace.degrees.begin(),
+                                    trace.degrees.end());
+  estimate::ChainDiagnostics diag = estimate::Diagnose(degree_series);
+
+  std::cout << "walker:            " << (*walker)->name() << "\n"
+            << "start node:        " << start << "\n"
+            << "steps taken:       " << trace.num_steps() << "\n"
+            << "unique queries:    " << access.unique_query_count() << "\n"
+            << "history bytes:     " << (*walker)->HistoryBytes() << "\n"
+            << "avg degree (est):  "
+            << estimate::EstimateAverageDegree(trace.degrees,
+                                               (*walker)->bias())
+            << "\n"
+            << "ESS of deg series: " << diag.ess << "  (IAT " << diag.iat
+            << ")\n"
+            << "Geweke |z|:        " << std::abs(diag.geweke_z)
+            << (std::abs(diag.geweke_z) < 2.0 ? "  (looks converged)"
+                                              : "  (still burning in)")
+            << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cout << "usage: crawl_cli <edges-file> "
+                 "[srw|mhrw|nbsrw|cnrw|cnrw-node|nbcnrw|gnrw] [budget] "
+                 "[seed]\n\nNo file given — running a self-demo on a "
+                 "generated small-world graph.\n\n";
+    util::Random rng(99);
+    graph::Graph demo = graph::MakeWattsStrogatz(2000, 8, 0.1, rng);
+    return Crawl(demo, core::WalkerType::kCnrw, 500, 1);
+  }
+
+  auto graph = graph::ReadEdgeList(argv[1]);
+  if (!graph.ok()) {
+    std::cerr << graph.status() << "\n";
+    return 1;
+  }
+  core::WalkerType type = core::WalkerType::kCnrw;
+  if (argc > 2) {
+    auto parsed = ParseWalker(argv[2]);
+    if (!parsed.ok()) {
+      std::cerr << parsed.status() << "\n";
+      return 1;
+    }
+    type = *parsed;
+  }
+  uint64_t budget = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1000;
+  uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+  if (budget == 0) {
+    std::cerr << "budget must be positive\n";
+    return 1;
+  }
+  return Crawl(*graph, type, budget, seed);
+}

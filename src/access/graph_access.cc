@@ -1,0 +1,67 @@
+#include "access/graph_access.h"
+
+namespace histwalk::access {
+
+GraphAccess::GraphAccess(const graph::Graph* graph,
+                         const attr::AttributeTable* attributes,
+                         GraphAccessOptions options)
+    : graph_(graph),
+      attributes_(attributes),
+      options_(options),
+      queried_(graph->num_nodes(), false) {
+  HW_CHECK(graph_ != nullptr);
+  if (attributes_ != nullptr) {
+    HW_CHECK(attributes_->num_nodes() == graph_->num_nodes());
+  }
+}
+
+util::Result<std::span<const graph::NodeId>> GraphAccess::Neighbors(
+    graph::NodeId v) {
+  if (v >= graph_->num_nodes()) {
+    return util::Status::OutOfRange("unknown node id");
+  }
+  ++stats_.total_queries;
+  if (queried_[v]) {
+    ++stats_.cache_hits;
+    return util::Result<std::span<const graph::NodeId>>(
+        graph_->Neighbors(v));
+  }
+  if (options_.query_budget != 0 &&
+      stats_.unique_queries >= options_.query_budget) {
+    --stats_.total_queries;  // the refused call is not issued at all
+    return util::Status::ResourceExhausted("query budget exhausted");
+  }
+  queried_[v] = true;
+  ++stats_.unique_queries;
+  return util::Result<std::span<const graph::NodeId>>(graph_->Neighbors(v));
+}
+
+util::Result<double> GraphAccess::Attribute(graph::NodeId v,
+                                            attr::AttrId attr) const {
+  if (v >= graph_->num_nodes()) {
+    return util::Status::OutOfRange("unknown node id");
+  }
+  if (attributes_ == nullptr || attr >= attributes_->num_attributes()) {
+    return util::Status::NotFound("no such attribute");
+  }
+  return attributes_->Value(v, attr);
+}
+
+util::Result<uint32_t> GraphAccess::SummaryDegree(graph::NodeId v) const {
+  if (v >= graph_->num_nodes()) {
+    return util::Status::OutOfRange("unknown node id");
+  }
+  return graph_->Degree(v);
+}
+
+uint64_t GraphAccess::remaining_budget() const {
+  if (options_.query_budget == 0) return UINT64_MAX;
+  return options_.query_budget - stats_.unique_queries;
+}
+
+void GraphAccess::ResetAccounting() {
+  stats_ = QueryStats{};
+  queried_.assign(graph_->num_nodes(), false);
+}
+
+}  // namespace histwalk::access

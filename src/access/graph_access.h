@@ -1,0 +1,50 @@
+#ifndef HISTWALK_ACCESS_GRAPH_ACCESS_H_
+#define HISTWALK_ACCESS_GRAPH_ACCESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "access/node_access.h"
+
+// NodeAccess implementation backed by an in-memory Graph — the simulated
+// web/API interface the paper runs its algorithms against ("we simulated a
+// restricted-access web interface precisely according to the definition in
+// Section 2.1", section 6.1).
+
+namespace histwalk::access {
+
+struct GraphAccessOptions {
+  // Maximum number of charged (unique) queries; 0 means unlimited.
+  uint64_t query_budget = 0;
+};
+
+class GraphAccess final : public NodeAccess {
+ public:
+  // `graph` and `attributes` must outlive this object. `attributes` may be
+  // null when the workload does not use attributes.
+  GraphAccess(const graph::Graph* graph,
+              const attr::AttributeTable* attributes,
+              GraphAccessOptions options = {});
+
+  util::Result<std::span<const graph::NodeId>> Neighbors(
+      graph::NodeId v) override;
+  util::Result<double> Attribute(graph::NodeId v,
+                                 attr::AttrId attr) const override;
+  util::Result<uint32_t> SummaryDegree(graph::NodeId v) const override;
+
+  uint64_t num_nodes() const override { return graph_->num_nodes(); }
+  const QueryStats& stats() const override { return stats_; }
+  uint64_t remaining_budget() const override;
+  void ResetAccounting() override;
+
+ private:
+  const graph::Graph* graph_;
+  const attr::AttributeTable* attributes_;
+  GraphAccessOptions options_;
+  QueryStats stats_;
+  std::vector<bool> queried_;  // cache membership per node
+};
+
+}  // namespace histwalk::access
+
+#endif  // HISTWALK_ACCESS_GRAPH_ACCESS_H_

@@ -1,0 +1,6 @@
+#include "access/node_access.h"
+
+// NodeAccess is an interface; its virtual destructor is anchored here so the
+// vtable has a home translation unit.
+
+namespace histwalk::access {}  // namespace histwalk::access

@@ -1,0 +1,72 @@
+#ifndef HISTWALK_ACCESS_NODE_ACCESS_H_
+#define HISTWALK_ACCESS_NODE_ACCESS_H_
+
+#include <cstdint>
+#include <span>
+
+#include "attr/attribute.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+// The paper's access model for online social networks (section 2.1).
+//
+// A third party cannot read the graph; the only operation is a local
+// neighborhood query: given a user id, the service returns that user's
+// neighbor list plus profile attributes. Real services additionally embed a
+// short per-neighbor summary in the response (e.g. Twitter follower lists
+// carry follower counts), which is what lets GNRW stratify neighbors and
+// MHRW read proposed-neighbor degrees without extra queries. The interface
+// mirrors that split:
+//
+//  * Neighbors(v)          - THE charged operation. Counted once per unique
+//                            v (the paper's query cost: duplicates come from
+//                            the local cache for free).
+//  * Attribute(v, a),
+//    SummaryDegree(v)      - free metadata from query responses (the "rich
+//                            response" model). Walkers that must not rely on
+//                            it simply never call it.
+//
+// Implementations also expose the query accounting used by every
+// experiment: unique_query_count() is the x-axis of all the paper's plots.
+
+namespace histwalk::access {
+
+struct QueryStats {
+  uint64_t total_queries = 0;   // all Neighbors() calls
+  uint64_t unique_queries = 0;  // charged calls (distinct nodes)
+  uint64_t cache_hits = 0;      // served locally
+};
+
+class NodeAccess {
+ public:
+  virtual ~NodeAccess() = default;
+
+  // Issues (or replays from cache) the neighborhood query for `v`.
+  // Fails with kResourceExhausted once the query budget is spent and the
+  // answer is not cached; with kOutOfRange for an unknown id.
+  virtual util::Result<std::span<const graph::NodeId>> Neighbors(
+      graph::NodeId v) = 0;
+
+  // Free response metadata (see header comment).
+  virtual util::Result<double> Attribute(graph::NodeId v,
+                                         attr::AttrId attr) const = 0;
+  virtual util::Result<uint32_t> SummaryDegree(graph::NodeId v) const = 0;
+
+  // Number of users in the network. Real services expose this only
+  // approximately; it is provided for estimators that need a population
+  // size (e.g. SUM aggregates) and for choosing random seeds in tests.
+  virtual uint64_t num_nodes() const = 0;
+
+  virtual const QueryStats& stats() const = 0;
+  uint64_t unique_query_count() const { return stats().unique_queries; }
+
+  // Remaining budget in unique queries; returns UINT64_MAX when unlimited.
+  virtual uint64_t remaining_budget() const = 0;
+
+  // Clears the cache and the accounting (budget is restored in full).
+  virtual void ResetAccounting() = 0;
+};
+
+}  // namespace histwalk::access
+
+#endif  // HISTWALK_ACCESS_NODE_ACCESS_H_

@@ -1,0 +1,31 @@
+#include "access/rate_limiter.h"
+
+#include "util/check.h"
+
+namespace histwalk::access {
+
+RateLimiter::RateLimiter(RateLimitPolicy policy) : policy_(policy) {
+  HW_CHECK(policy_.calls_per_window > 0);
+  HW_CHECK(policy_.window_seconds > 0);
+}
+
+uint64_t RateLimiter::RecordQuery() {
+  if (window_used_ >= policy_.calls_per_window) {
+    // Bucket empty: wait (virtually) for the next window.
+    window_start_ += policy_.window_seconds;
+    now_ = window_start_;
+    window_used_ = 0;
+  }
+  ++window_used_;
+  ++queries_issued_;
+  return now_;
+}
+
+uint64_t RateLimiter::EstimateSeconds(const RateLimitPolicy& policy,
+                                      uint64_t num_queries) {
+  if (num_queries == 0) return 0;
+  uint64_t full_windows = (num_queries - 1) / policy.calls_per_window;
+  return full_windows * policy.window_seconds;
+}
+
+}  // namespace histwalk::access

@@ -1,0 +1,37 @@
+#include "attr/attribute.h"
+
+namespace histwalk::attr {
+
+util::Result<AttrId> AttributeTable::AddColumn(std::string name,
+                                               std::vector<double> values) {
+  if (values.size() != num_nodes_) {
+    return util::Status::InvalidArgument(
+        "column size does not match node count: " + name);
+  }
+  for (const auto& existing : names_) {
+    if (existing == name) {
+      return util::Status::InvalidArgument("duplicate column: " + name);
+    }
+  }
+  names_.push_back(std::move(name));
+  columns_.push_back(std::move(values));
+  return static_cast<AttrId>(columns_.size() - 1);
+}
+
+util::Result<AttrId> AttributeTable::Find(const std::string& name) const {
+  for (AttrId i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return i;
+  }
+  return util::Status::NotFound("no such attribute: " + name);
+}
+
+double AttributeTable::Mean(AttrId attr) const {
+  HW_CHECK(attr < columns_.size());
+  const auto& column = columns_[attr];
+  if (column.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : column) sum += v;
+  return sum / static_cast<double>(column.size());
+}
+
+}  // namespace histwalk::attr

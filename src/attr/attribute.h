@@ -1,0 +1,66 @@
+#ifndef HISTWALK_ATTR_ATTRIBUTE_H_
+#define HISTWALK_ATTR_ATTRIBUTE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+// Per-node attribute storage.
+//
+// In the paper's model every user carries profile attributes (age, reviews
+// count, ...) that aggregate queries target and that GNRW stratifies on.
+// AttributeTable stores named columns of doubles aligned with node ids.
+
+namespace histwalk::attr {
+
+using AttrId = uint32_t;
+
+inline constexpr AttrId kInvalidAttr = static_cast<AttrId>(-1);
+
+class AttributeTable {
+ public:
+  AttributeTable() = default;
+  explicit AttributeTable(uint64_t num_nodes) : num_nodes_(num_nodes) {}
+
+  uint64_t num_nodes() const { return num_nodes_; }
+  uint32_t num_attributes() const {
+    return static_cast<uint32_t>(columns_.size());
+  }
+
+  // Adds a column; values.size() must equal num_nodes() and the name must be
+  // unique. Returns the new column's id.
+  util::Result<AttrId> AddColumn(std::string name,
+                                 std::vector<double> values);
+
+  // Column id by name, or kNotFound.
+  util::Result<AttrId> Find(const std::string& name) const;
+
+  const std::string& name(AttrId attr) const { return names_[attr]; }
+
+  double Value(graph::NodeId node, AttrId attr) const {
+    HW_DCHECK(attr < columns_.size());
+    HW_DCHECK(node < num_nodes_);
+    return columns_[attr][node];
+  }
+
+  const std::vector<double>& column(AttrId attr) const {
+    HW_DCHECK(attr < columns_.size());
+    return columns_[attr];
+  }
+
+  // Exact population mean of a column (the ground truth that estimators are
+  // judged against).
+  double Mean(AttrId attr) const;
+
+ private:
+  uint64_t num_nodes_ = 0;
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> columns_;
+};
+
+}  // namespace histwalk::attr
+
+#endif  // HISTWALK_ATTR_ATTRIBUTE_H_

@@ -1,0 +1,106 @@
+#include "attr/grouping.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/md5.h"
+
+namespace histwalk::attr {
+
+namespace {
+
+class FixedGrouping final : public Grouping {
+ public:
+  FixedGrouping(std::vector<GroupId> labels, uint32_t num_groups,
+                std::string name)
+      : labels_(std::move(labels)),
+        num_groups_(num_groups),
+        name_(std::move(name)) {
+    HW_CHECK(num_groups_ > 0);
+    for (GroupId g : labels_) HW_CHECK(g < num_groups_);
+  }
+
+  GroupId GroupOf(graph::NodeId node) const override {
+    HW_DCHECK(node < labels_.size());
+    return labels_[node];
+  }
+  uint32_t num_groups() const override { return num_groups_; }
+  std::string name() const override { return name_; }
+
+ private:
+  std::vector<GroupId> labels_;
+  uint32_t num_groups_;
+  std::string name_;
+};
+
+class Md5Grouping final : public Grouping {
+ public:
+  explicit Md5Grouping(uint32_t num_groups) : num_groups_(num_groups) {
+    HW_CHECK(num_groups_ > 0);
+  }
+
+  GroupId GroupOf(graph::NodeId node) const override {
+    // Hash the decimal string form of the id, as a crawler hashing user ids
+    // would; the digest is uniform, so this is the random baseline.
+    return static_cast<GroupId>(util::Md5Uint64(std::to_string(node)) %
+                                num_groups_);
+  }
+  uint32_t num_groups() const override { return num_groups_; }
+  std::string name() const override { return "by_md5"; }
+
+ private:
+  uint32_t num_groups_;
+};
+
+// Ranks nodes by `values` and cuts into equal-frequency buckets; ties are
+// broken by node id so labels are deterministic.
+std::vector<GroupId> QuantileLabels(const std::vector<double>& values,
+                                    uint32_t num_groups) {
+  const uint64_t n = values.size();
+  std::vector<graph::NodeId> order(n);
+  std::iota(order.begin(), order.end(), graph::NodeId{0});
+  std::sort(order.begin(), order.end(),
+            [&](graph::NodeId a, graph::NodeId b) {
+              return values[a] != values[b] ? values[a] < values[b] : a < b;
+            });
+  std::vector<GroupId> labels(n);
+  for (uint64_t rank = 0; rank < n; ++rank) {
+    labels[order[rank]] =
+        static_cast<GroupId>(rank * num_groups / std::max<uint64_t>(n, 1));
+  }
+  return labels;
+}
+
+}  // namespace
+
+std::unique_ptr<Grouping> MakeQuantileGrouping(
+    const graph::Graph& graph, const std::vector<double>& values,
+    uint32_t num_groups, std::string name) {
+  HW_CHECK(values.size() == graph.num_nodes());
+  HW_CHECK(num_groups > 0);
+  return std::make_unique<FixedGrouping>(QuantileLabels(values, num_groups),
+                                         num_groups, std::move(name));
+}
+
+std::unique_ptr<Grouping> MakeDegreeGrouping(const graph::Graph& graph,
+                                             uint32_t num_groups) {
+  std::vector<double> degrees(graph.num_nodes());
+  for (graph::NodeId v = 0; v < graph.num_nodes(); ++v) {
+    degrees[v] = graph.Degree(v);
+  }
+  return MakeQuantileGrouping(graph, degrees, num_groups, "by_degree");
+}
+
+std::unique_ptr<Grouping> MakeMd5Grouping(uint32_t num_groups) {
+  return std::make_unique<Md5Grouping>(num_groups);
+}
+
+std::unique_ptr<Grouping> MakeFixedGrouping(std::vector<GroupId> labels,
+                                            uint32_t num_groups,
+                                            std::string name) {
+  return std::make_unique<FixedGrouping>(std::move(labels), num_groups,
+                                         std::move(name));
+}
+
+}  // namespace histwalk::attr

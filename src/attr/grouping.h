@@ -1,0 +1,56 @@
+#ifndef HISTWALK_ATTR_GROUPING_H_
+#define HISTWALK_ATTR_GROUPING_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attr/attribute.h"
+#include "graph/graph.h"
+
+// GroupBy functions g(.) for GNRW (section 4.1).
+//
+// A Grouping deterministically maps every node to one of num_groups strata;
+// GNRW partitions the neighbors of the current node by these labels and
+// circulates across the strata. The paper evaluates three strategies
+// (Figure 9): grouping by the aggregated attribute's value, by degree, and
+// by MD5 of the node id (the random baseline that reduces GNRW to CNRW-like
+// behaviour).
+
+namespace histwalk::attr {
+
+using GroupId = uint32_t;
+
+class Grouping {
+ public:
+  virtual ~Grouping() = default;
+
+  // Stratum of `node`; must be < num_groups() and stable across calls.
+  virtual GroupId GroupOf(graph::NodeId node) const = 0;
+  virtual uint32_t num_groups() const = 0;
+  virtual std::string name() const = 0;
+};
+
+// Quantile buckets of an attribute column: nodes are ranked by value and
+// split into `num_groups` equal-frequency strata (GNRW-By-<attribute>).
+std::unique_ptr<Grouping> MakeQuantileGrouping(
+    const graph::Graph& graph, const std::vector<double>& values,
+    uint32_t num_groups, std::string name);
+
+// Quantile buckets of the degree sequence (GNRW-By-Degree).
+std::unique_ptr<Grouping> MakeDegreeGrouping(const graph::Graph& graph,
+                                             uint32_t num_groups);
+
+// MD5(node id) mod num_groups — the paper's random-grouping baseline
+// (GNRW-By-MD5).
+std::unique_ptr<Grouping> MakeMd5Grouping(uint32_t num_groups);
+
+// Fixed labels supplied by the caller (tests, planted ground truth).
+std::unique_ptr<Grouping> MakeFixedGrouping(std::vector<GroupId> labels,
+                                            uint32_t num_groups,
+                                            std::string name);
+
+}  // namespace histwalk::attr
+
+#endif  // HISTWALK_ATTR_GROUPING_H_

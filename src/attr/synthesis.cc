@@ -1,0 +1,112 @@
+#include "attr/synthesis.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace histwalk::attr {
+
+namespace {
+
+// Standardizes values in place to mean 0 / stddev 1 (no-op for constant
+// vectors).
+void Standardize(std::vector<double>& values) {
+  if (values.empty()) return;
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(values.size());
+  double stddev = std::sqrt(var);
+  if (stddev == 0.0) return;
+  for (double& v : values) v = (v - mean) / stddev;
+}
+
+}  // namespace
+
+std::vector<double> MakeHomophilousAttribute(const graph::Graph& graph,
+                                             const HomophilyParams& params,
+                                             util::Random& rng) {
+  const uint64_t n = graph.num_nodes();
+  std::vector<double> values(n);
+  for (uint64_t v = 0; v < n; ++v) values[v] = rng.Gaussian();
+
+  // Smoothing rounds build the correlated field. Neighborhood averaging
+  // shrinks the field's variance (a mean of many near-independent values),
+  // so each round re-standardizes before the next — otherwise the noise
+  // added at the end would dominate and destroy the planted homophily.
+  std::vector<double> next(n);
+  for (uint32_t round = 0; round < params.rounds; ++round) {
+    for (graph::NodeId v = 0; v < n; ++v) {
+      auto ns = graph.Neighbors(v);
+      double neighbor_mean = values[v];
+      if (!ns.empty()) {
+        double sum = 0.0;
+        for (graph::NodeId w : ns) sum += values[w];
+        neighbor_mean = sum / static_cast<double>(ns.size());
+      }
+      next[v] = (1.0 - params.mix) * values[v] + params.mix * neighbor_mean;
+    }
+    values.swap(next);
+    Standardize(values);
+  }
+
+  // Idiosyncratic noise on top of the unit-variance field.
+  if (params.noise_stddev > 0.0) {
+    for (double& v : values) {
+      v += rng.Gaussian(0.0, params.noise_stddev);
+    }
+    Standardize(values);
+  }
+  return values;
+}
+
+std::vector<double> MakeHeavyTailedAttribute(const graph::Graph& graph,
+                                             const HomophilyParams& params,
+                                             double scale,
+                                             util::Random& rng) {
+  HW_CHECK(scale > 0.0);
+  std::vector<double> values = MakeHomophilousAttribute(graph, params, rng);
+  for (double& v : values) v = scale * std::exp(v);
+  return values;
+}
+
+std::vector<double> MakeDegreeCorrelatedAttribute(const graph::Graph& graph,
+                                                  double noise_stddev,
+                                                  util::Random& rng) {
+  const uint64_t n = graph.num_nodes();
+  std::vector<double> values(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    double noise = rng.Gaussian(0.0, noise_stddev);
+    values[v] = static_cast<double>(graph.Degree(v)) *
+                std::max(0.1, 1.0 + noise);
+  }
+  return values;
+}
+
+double EdgeValueCorrelation(const graph::Graph& graph,
+                            const std::vector<double>& values) {
+  HW_CHECK(values.size() == graph.num_nodes());
+  // Accumulate Pearson correlation over ordered edge endpoint pairs; using
+  // both (u,v) and (v,u) makes the two marginals identical.
+  double sum_x = 0.0, sum_xx = 0.0, sum_xy = 0.0;
+  uint64_t count = 0;
+  for (graph::NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (graph::NodeId w : graph.Neighbors(v)) {
+      sum_x += values[v];
+      sum_xx += values[v] * values[v];
+      sum_xy += values[v] * values[w];
+      ++count;
+    }
+  }
+  if (count == 0) return 0.0;
+  double nd = static_cast<double>(count);
+  double mean = sum_x / nd;
+  double var = sum_xx / nd - mean * mean;
+  if (var <= 0.0) return 0.0;
+  double cov = sum_xy / nd - mean * mean;
+  return cov / var;
+}
+
+}  // namespace histwalk::attr

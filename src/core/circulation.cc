@@ -1,0 +1,31 @@
+#include "core/circulation.h"
+
+#include "util/check.h"
+
+namespace histwalk::core {
+
+void CirculationState::Init(std::span<const graph::NodeId> candidates) {
+  HW_DCHECK(!initialized());
+  HW_DCHECK(!candidates.empty());
+  order_.assign(candidates.begin(), candidates.end());
+  next_ = 0;
+}
+
+graph::NodeId CirculationState::Draw(util::Random& rng) {
+  HW_DCHECK(initialized());
+  if (next_ == order_.size()) next_ = 0;  // round complete: start over
+  uint32_t span = static_cast<uint32_t>(order_.size()) - next_;
+  uint32_t j = next_ + rng.UniformInt(span);
+  std::swap(order_[next_], order_[j]);
+  return order_[next_++];
+}
+
+uint64_t CirculationMapBytes(const CirculationMap& map) {
+  uint64_t bytes = map.bucket_count() * sizeof(void*);
+  for (const auto& [key, state] : map) {
+    bytes += sizeof(key) + state.MemoryBytes();
+  }
+  return bytes;
+}
+
+}  // namespace histwalk::core

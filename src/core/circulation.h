@@ -1,0 +1,75 @@
+#ifndef HISTWALK_CORE_CIRCULATION_H_
+#define HISTWALK_CORE_CIRCULATION_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/random.h"
+
+// Sampling-without-replacement state shared by the CNRW family.
+//
+// The paper's b(u, v) bookkeeping (Algorithm 1) excludes already-attempted
+// neighbors until every neighbor has been tried once, then starts over.
+// Drawing uniformly from N(v) - b(u, v) is realized here as an incremental
+// Fisher-Yates shuffle over a private copy of the candidate list: positions
+// [0, next) hold this round's already-drawn candidates, a uniform pick from
+// [next, end) is swapped into place and consumed. Each draw is O(1), each
+// round enumerates every candidate exactly once, and a full round resets the
+// state — the "circulated" behaviour of section 3.1.
+//
+// Note: the paper's Algorithm 1 pseudo-code resets b to the empty set
+// *without* recording the first pick of the new round; the prose summary in
+// section 3.1 (pick, record, reset when complete) does record it. The two
+// differ only in whether the first pick of a round can repeat as the second
+// pick. This implementation follows the prose summary, which is the
+// behaviour that actually circulates.
+
+namespace histwalk::core {
+
+class CirculationState {
+ public:
+  bool initialized() const { return !order_.empty(); }
+
+  // Stores the candidate list; must be called once before Draw.
+  void Init(std::span<const graph::NodeId> candidates);
+
+  // Uniform without-replacement draw; starts a fresh round automatically
+  // when all candidates have been consumed. Init must have been called with
+  // a non-empty list.
+  graph::NodeId Draw(util::Random& rng);
+
+  // Candidates not yet attempted in the current round (= |N(v) - b(u,v)|);
+  // a freshly initialized or just-reset state reports the full list size.
+  uint32_t remaining() const {
+    return static_cast<uint32_t>(order_.size()) - next_;
+  }
+
+  uint64_t MemoryBytes() const {
+    return order_.capacity() * sizeof(graph::NodeId) + sizeof(*this);
+  }
+
+ private:
+  std::vector<graph::NodeId> order_;
+  uint32_t next_ = 0;
+};
+
+// Key for per-directed-edge history: the incoming transition u -> v.
+// The first transition of a walk has no incoming edge; kNoPrevious marks it.
+inline constexpr graph::NodeId kNoPrevious = graph::kInvalidNode;
+
+inline uint64_t EdgeKey(graph::NodeId prev, graph::NodeId cur) {
+  return (static_cast<uint64_t>(prev) << 32) | cur;
+}
+
+// History map used by CNRW / NB-CNRW / the node-based variant; exposed so
+// walkers can report their memory footprint.
+using CirculationMap = std::unordered_map<uint64_t, CirculationState>;
+
+uint64_t CirculationMapBytes(const CirculationMap& map);
+
+}  // namespace histwalk::core
+
+#endif  // HISTWALK_CORE_CIRCULATION_H_

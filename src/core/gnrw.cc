@@ -1,0 +1,135 @@
+#include "core/gnrw.h"
+
+#include <algorithm>
+
+namespace histwalk::core {
+
+GroupbyNeighborsWalk::GroupbyNeighborsWalk(access::NodeAccess* access,
+                                           const attr::Grouping* grouping,
+                                           uint64_t seed)
+    : Walker(access, seed), grouping_(grouping) {
+  HW_CHECK(grouping_ != nullptr);
+}
+
+util::Status GroupbyNeighborsWalk::Reset(graph::NodeId start) {
+  HW_RETURN_IF_ERROR(Walker::Reset(start));
+  previous_ = kNoPrevious;
+  std::unordered_map<uint64_t, EdgeState>().swap(history_);
+  return util::Status::Ok();
+}
+
+void GroupbyNeighborsWalk::EdgeState::Init(
+    std::span<const graph::NodeId> neighbors,
+    const attr::Grouping& grouping) {
+  // Partition N(v) by stratum label, keeping only non-empty strata. Labels
+  // are dense (0..num_groups-1), so a direct-indexed scratch table works.
+  std::vector<std::vector<graph::NodeId>> buckets(grouping.num_groups());
+  for (graph::NodeId w : neighbors) {
+    buckets[grouping.GroupOf(w)].push_back(w);
+  }
+  for (auto& bucket : buckets) {
+    if (!bucket.empty()) members.push_back(std::move(bucket));
+  }
+  next.assign(members.size(), 0);
+  attempted.assign(members.size(), false);
+  initialized = true;
+}
+
+graph::NodeId GroupbyNeighborsWalk::EdgeState::Draw(util::Random& rng) {
+  const size_t m = members.size();
+
+  // Global round complete (every neighbor consumed once): start over.
+  bool any_remaining = false;
+  for (size_t g = 0; g < m; ++g) {
+    if (next[g] < members[g].size()) {
+      any_remaining = true;
+      break;
+    }
+  }
+  if (!any_remaining) {
+    std::fill(next.begin(), next.end(), 0u);
+    std::fill(attempted.begin(), attempted.end(), false);
+  }
+
+  // Stratum cycle: only strata with unconsumed members and not yet
+  // attempted this cycle are candidates; when none are left, open a new
+  // cycle over the strata that still have members.
+  uint64_t candidate_weight = 0;  // total remaining members over candidates
+  for (size_t g = 0; g < m; ++g) {
+    if (!attempted[g] && next[g] < members[g].size()) {
+      candidate_weight += members[g].size() - next[g];
+    }
+  }
+  if (candidate_weight == 0) {
+    std::fill(attempted.begin(), attempted.end(), false);
+    for (size_t g = 0; g < m; ++g) {
+      if (next[g] < members[g].size()) {
+        candidate_weight += members[g].size() - next[g];
+      }
+    }
+  }
+
+  // Size-proportional stratum choice (Algorithm 2's |Si| / |CS|), over
+  // remaining members so the global round stays uniform over N(v).
+  uint64_t target = rng.UniformIndex(candidate_weight);
+  size_t pick = m;
+  for (size_t g = 0; g < m; ++g) {
+    if (attempted[g] || next[g] >= members[g].size()) continue;
+    uint64_t weight = members[g].size() - next[g];
+    if (target < weight) {
+      pick = g;
+      break;
+    }
+    target -= weight;
+  }
+  HW_DCHECK(pick < m);
+  attempted[pick] = true;
+
+  // Within the stratum: uniform without replacement via incremental
+  // Fisher-Yates (the b_Si bookkeeping of Algorithm 2).
+  auto& bucket = members[pick];
+  uint32_t span = static_cast<uint32_t>(bucket.size()) - next[pick];
+  uint32_t j = next[pick] + rng.UniformInt(span);
+  std::swap(bucket[next[pick]], bucket[j]);
+  return bucket[next[pick]++];
+}
+
+uint64_t GroupbyNeighborsWalk::EdgeState::MemoryBytes() const {
+  uint64_t bytes = sizeof(*this);
+  for (const auto& m : members) bytes += m.capacity() * sizeof(graph::NodeId);
+  bytes += next.capacity() * sizeof(uint32_t);
+  bytes += attempted.capacity() / 8;
+  return bytes;
+}
+
+util::Result<graph::NodeId> GroupbyNeighborsWalk::Step() {
+  if (current_ == graph::kInvalidNode) {
+    return util::Status::FailedPrecondition("walker not reset");
+  }
+  HW_ASSIGN_OR_RETURN(auto neighbors, access_->Neighbors(current_));
+  if (neighbors.empty()) {
+    return util::Status::FailedPrecondition("walk reached isolated node");
+  }
+
+  graph::NodeId next;
+  if (previous_ == kNoPrevious) {
+    next = neighbors[rng_.UniformIndex(neighbors.size())];
+  } else {
+    EdgeState& state = history_[EdgeKey(previous_, current_)];
+    if (!state.initialized) state.Init(neighbors, *grouping_);
+    next = state.Draw(rng_);
+  }
+  previous_ = current_;
+  current_ = next;
+  return current_;
+}
+
+uint64_t GroupbyNeighborsWalk::HistoryBytes() const {
+  uint64_t bytes = history_.bucket_count() * sizeof(void*);
+  for (const auto& [key, state] : history_) {
+    bytes += sizeof(key) + state.MemoryBytes();
+  }
+  return bytes;
+}
+
+}  // namespace histwalk::core

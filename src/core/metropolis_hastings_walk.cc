@@ -1,0 +1,24 @@
+#include "core/metropolis_hastings_walk.h"
+
+namespace histwalk::core {
+
+util::Result<graph::NodeId> MetropolisHastingsWalk::Step() {
+  if (current_ == graph::kInvalidNode) {
+    return util::Status::FailedPrecondition("walker not reset");
+  }
+  HW_ASSIGN_OR_RETURN(auto neighbors, access_->Neighbors(current_));
+  if (neighbors.empty()) {
+    return util::Status::FailedPrecondition("walk reached isolated node");
+  }
+  graph::NodeId proposal = neighbors[rng_.UniformIndex(neighbors.size())];
+  HW_ASSIGN_OR_RETURN(uint32_t proposal_degree,
+                      access_->SummaryDegree(proposal));
+  double accept = static_cast<double>(neighbors.size()) /
+                  static_cast<double>(proposal_degree);
+  if (accept >= 1.0 || rng_.UniformDouble() < accept) {
+    current_ = proposal;
+  }
+  return current_;
+}
+
+}  // namespace histwalk::core

@@ -1,0 +1,29 @@
+#ifndef HISTWALK_CORE_METROPOLIS_HASTINGS_WALK_H_
+#define HISTWALK_CORE_METROPOLIS_HASTINGS_WALK_H_
+
+#include "core/walker.h"
+
+// Metropolis-Hastings Random Walk (Hastings 1970; used for OSN sampling by
+// Gjoka et al.). Proposes a uniform neighbor w of the current node v and
+// accepts with probability min(1, deg(v) / deg(w)); on rejection the walk
+// stays at v (a self-loop sample). Stationary distribution: uniform.
+//
+// The proposed neighbor's degree is read from the free response summary
+// (see access/node_access.h), the most favorable cost model for MHRW; it
+// still loses in the paper's experiments because it mixes slowly.
+
+namespace histwalk::core {
+
+class MetropolisHastingsWalk final : public Walker {
+ public:
+  MetropolisHastingsWalk(access::NodeAccess* access, uint64_t seed)
+      : Walker(access, seed) {}
+
+  util::Result<graph::NodeId> Step() override;
+  std::string name() const override { return "MHRW"; }
+  StationaryBias bias() const override { return StationaryBias::kUniform; }
+};
+
+}  // namespace histwalk::core
+
+#endif  // HISTWALK_CORE_METROPOLIS_HASTINGS_WALK_H_

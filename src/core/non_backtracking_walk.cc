@@ -1,0 +1,46 @@
+#include "core/non_backtracking_walk.h"
+
+namespace histwalk::core {
+
+util::Status NonBacktrackingWalk::Reset(graph::NodeId start) {
+  HW_RETURN_IF_ERROR(Walker::Reset(start));
+  previous_ = graph::kInvalidNode;
+  return util::Status::Ok();
+}
+
+util::Result<graph::NodeId> NonBacktrackingWalk::Step() {
+  if (current_ == graph::kInvalidNode) {
+    return util::Status::FailedPrecondition("walker not reset");
+  }
+  HW_ASSIGN_OR_RETURN(auto neighbors, access_->Neighbors(current_));
+  if (neighbors.empty()) {
+    return util::Status::FailedPrecondition("walk reached isolated node");
+  }
+
+  graph::NodeId next;
+  if (previous_ == graph::kInvalidNode || neighbors.size() == 1) {
+    // First step, or a degree-1 dead end where backtracking is forced.
+    next = neighbors[rng_.UniformIndex(neighbors.size())];
+  } else {
+    // Uniform over N(v) \ {previous}: draw an index skipping previous_'s
+    // slot. The neighbor list is sorted and duplicate-free, so previous_
+    // occurs at most once.
+    size_t skip = neighbors.size();
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      if (neighbors[i] == previous_) {
+        skip = i;
+        break;
+      }
+    }
+    size_t limit = skip < neighbors.size() ? neighbors.size() - 1
+                                           : neighbors.size();
+    size_t j = rng_.UniformIndex(limit);
+    if (skip < neighbors.size() && j >= skip) ++j;
+    next = neighbors[j];
+  }
+  previous_ = current_;
+  current_ = next;
+  return current_;
+}
+
+}  // namespace histwalk::core

@@ -1,0 +1,29 @@
+#ifndef HISTWALK_CORE_NON_BACKTRACKING_WALK_H_
+#define HISTWALK_CORE_NON_BACKTRACKING_WALK_H_
+
+#include "core/walker.h"
+
+// Non-Backtracking Simple Random Walk (NB-SRW; Lee, Xu & Eun 2012), the
+// order-2 state of the art the paper compares against: from transition
+// u -> v the next node is uniform over N(v) \ {u}, falling back to u only
+// when v has no other neighbor. Preserves pi(v) = deg(v) / 2|E| on
+// non-bipartite graphs.
+
+namespace histwalk::core {
+
+class NonBacktrackingWalk final : public Walker {
+ public:
+  NonBacktrackingWalk(access::NodeAccess* access, uint64_t seed)
+      : Walker(access, seed) {}
+
+  util::Status Reset(graph::NodeId start) override;
+  util::Result<graph::NodeId> Step() override;
+  std::string name() const override { return "NB-SRW"; }
+
+ private:
+  graph::NodeId previous_ = graph::kInvalidNode;
+};
+
+}  // namespace histwalk::core
+
+#endif  // HISTWALK_CORE_NON_BACKTRACKING_WALK_H_

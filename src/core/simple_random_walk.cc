@@ -1,0 +1,17 @@
+#include "core/simple_random_walk.h"
+
+namespace histwalk::core {
+
+util::Result<graph::NodeId> SimpleRandomWalk::Step() {
+  if (current_ == graph::kInvalidNode) {
+    return util::Status::FailedPrecondition("walker not reset");
+  }
+  HW_ASSIGN_OR_RETURN(auto neighbors, access_->Neighbors(current_));
+  if (neighbors.empty()) {
+    return util::Status::FailedPrecondition("walk reached isolated node");
+  }
+  current_ = neighbors[rng_.UniformIndex(neighbors.size())];
+  return current_;
+}
+
+}  // namespace histwalk::core

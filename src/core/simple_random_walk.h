@@ -1,0 +1,23 @@
+#ifndef HISTWALK_CORE_SIMPLE_RANDOM_WALK_H_
+#define HISTWALK_CORE_SIMPLE_RANDOM_WALK_H_
+
+#include "core/walker.h"
+
+// Simple Random Walk (Definition 2): the memoryless baseline. Each step
+// moves to a neighbor of the current node chosen uniformly at random;
+// stationary distribution pi(v) = deg(v) / 2|E|.
+
+namespace histwalk::core {
+
+class SimpleRandomWalk final : public Walker {
+ public:
+  SimpleRandomWalk(access::NodeAccess* access, uint64_t seed)
+      : Walker(access, seed) {}
+
+  util::Result<graph::NodeId> Step() override;
+  std::string name() const override { return "SRW"; }
+};
+
+}  // namespace histwalk::core
+
+#endif  // HISTWALK_CORE_SIMPLE_RANDOM_WALK_H_

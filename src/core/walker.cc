@@ -1,0 +1,18 @@
+#include "core/walker.h"
+
+namespace histwalk::core {
+
+Walker::Walker(access::NodeAccess* access, uint64_t seed)
+    : access_(access), rng_(seed) {
+  HW_CHECK(access_ != nullptr);
+}
+
+util::Status Walker::Reset(graph::NodeId start) {
+  if (start >= access_->num_nodes()) {
+    return util::Status::OutOfRange("start node does not exist");
+  }
+  current_ = start;
+  return util::Status::Ok();
+}
+
+}  // namespace histwalk::core

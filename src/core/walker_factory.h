@@ -1,0 +1,45 @@
+#ifndef HISTWALK_CORE_WALKER_FACTORY_H_
+#define HISTWALK_CORE_WALKER_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "attr/grouping.h"
+#include "core/walker.h"
+
+// Uniform construction of every sampler in the library; experiment configs
+// hold WalkerSpecs so a single harness can sweep all algorithms.
+
+namespace histwalk::core {
+
+enum class WalkerType {
+  kSrw,       // Simple Random Walk (baseline)
+  kMhrw,      // Metropolis-Hastings Random Walk
+  kNbSrw,     // Non-backtracking SRW (order-2 state of the art)
+  kCnrw,      // Circulated Neighbors RW (this paper)
+  kCnrwNode,  // node-based circulation (section 3.2 ablation)
+  kNbCnrw,    // CNRW on top of NB-SRW (section 5)
+  kGnrw,      // GroupBy Neighbors RW (this paper); requires a grouping
+};
+
+// Stable display name ("SRW", "CNRW", ...).
+std::string WalkerTypeName(WalkerType type);
+
+struct WalkerSpec {
+  WalkerType type = WalkerType::kSrw;
+  // Required for kGnrw, ignored otherwise; must outlive created walkers.
+  const attr::Grouping* grouping = nullptr;
+  // Optional display-name override for reports.
+  std::string label;
+
+  std::string DisplayName() const;
+};
+
+// Creates a walker bound to `access`; `seed` fully determines its draws.
+util::Result<std::unique_ptr<Walker>> MakeWalker(const WalkerSpec& spec,
+                                                 access::NodeAccess* access,
+                                                 uint64_t seed);
+
+}  // namespace histwalk::core
+
+#endif  // HISTWALK_CORE_WALKER_FACTORY_H_

@@ -1,0 +1,100 @@
+#include "estimate/diagnostics.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace histwalk::estimate {
+
+namespace {
+
+struct Moments {
+  double mean = 0.0;
+  double variance = 0.0;
+};
+
+Moments ComputeMoments(std::span<const double> values) {
+  Moments m;
+  if (values.empty()) return m;
+  for (double v : values) m.mean += v;
+  m.mean /= static_cast<double>(values.size());
+  for (double v : values) {
+    m.variance += (v - m.mean) * (v - m.mean);
+  }
+  m.variance /= static_cast<double>(values.size());
+  return m;
+}
+
+}  // namespace
+
+double Autocorrelation(std::span<const double> values, uint64_t lag) {
+  const uint64_t n = values.size();
+  if (lag >= n || n < 2) return 0.0;
+  Moments m = ComputeMoments(values);
+  if (m.variance <= 0.0) return 0.0;
+  double acc = 0.0;
+  for (uint64_t t = 0; t + lag < n; ++t) {
+    acc += (values[t] - m.mean) * (values[t + lag] - m.mean);
+  }
+  return acc / static_cast<double>(n) / m.variance;
+}
+
+double IntegratedAutocorrelationTime(std::span<const double> values) {
+  const uint64_t n = values.size();
+  if (n < 4) return 1.0;
+  // Geyer's initial positive sequence: Gamma_m = rho(2m) + rho(2m+1),
+  // summed while positive; IAT = 2 * sum(Gamma_m) - 1 (the -1 removes the
+  // double-counted rho(0)). Lags are capped at n/2.
+  double sum = 0.0;
+  for (uint64_t m = 0; 2 * m + 1 < n / 2; ++m) {
+    double gamma = (m == 0 ? 1.0 : Autocorrelation(values, 2 * m)) +
+                   Autocorrelation(values, 2 * m + 1);
+    if (gamma <= 0.0) break;
+    sum += gamma;
+  }
+  double iat = 2.0 * sum - 1.0;
+  return iat < 1.0 ? 1.0 : iat;
+}
+
+double EffectiveSampleSize(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  return static_cast<double>(values.size()) /
+         IntegratedAutocorrelationTime(values);
+}
+
+double GewekeZScore(std::span<const double> values, double early_fraction,
+                    double late_fraction) {
+  HW_CHECK(early_fraction > 0.0 && late_fraction > 0.0);
+  HW_CHECK(early_fraction + late_fraction <= 1.0);
+  const uint64_t n = values.size();
+  if (n < 20) return 0.0;
+  uint64_t n_early = static_cast<uint64_t>(early_fraction * n);
+  uint64_t n_late = static_cast<uint64_t>(late_fraction * n);
+  if (n_early < 2 || n_late < 2) return 0.0;
+
+  auto early = values.first(n_early);
+  auto late = values.last(n_late);
+  Moments me = ComputeMoments(early);
+  Moments ml = ComputeMoments(late);
+  // IAT-corrected variances of the two segment means.
+  double var_early =
+      me.variance * IntegratedAutocorrelationTime(early) / n_early;
+  double var_late =
+      ml.variance * IntegratedAutocorrelationTime(late) / n_late;
+  double denom = std::sqrt(var_early + var_late);
+  if (denom <= 0.0) return 0.0;
+  return (me.mean - ml.mean) / denom;
+}
+
+ChainDiagnostics Diagnose(std::span<const double> values) {
+  ChainDiagnostics d;
+  Moments m = ComputeMoments(values);
+  d.mean = m.mean;
+  d.variance = m.variance;
+  d.iat = IntegratedAutocorrelationTime(values);
+  d.ess = EffectiveSampleSize(values);
+  d.geweke_z = GewekeZScore(values);
+  return d;
+}
+
+}  // namespace histwalk::estimate

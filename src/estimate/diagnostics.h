@@ -1,0 +1,53 @@
+#ifndef HISTWALK_ESTIMATE_DIAGNOSTICS_H_
+#define HISTWALK_ESTIMATE_DIAGNOSTICS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+// Convergence diagnostics for random-walk sample streams.
+//
+// The paper's burn-in discussion (section 1.2) is about knowing when a
+// walk's samples become usable. These are the standard MCMC tools for
+// judging that from the samples themselves — useful for crawlers that
+// cannot afford the luxury of a known mixing time:
+//
+//  * autocorrelation & integrated autocorrelation time (IAT),
+//  * effective sample size (ESS = n / IAT),
+//  * the Geweke z-score comparing early vs late sample means.
+
+namespace histwalk::estimate {
+
+// Sample autocorrelation of `values` at the given lag (biased normalized
+// estimator). Returns 0 for degenerate inputs (constant series, lag >= n).
+double Autocorrelation(std::span<const double> values, uint64_t lag);
+
+// Integrated autocorrelation time via Geyer's initial positive sequence:
+// 1 + 2 * sum of successive autocorrelation pairs while their sum stays
+// positive. >= 1; equals ~1 for i.i.d. samples.
+double IntegratedAutocorrelationTime(std::span<const double> values);
+
+// Effective number of independent samples: n / IAT.
+double EffectiveSampleSize(std::span<const double> values);
+
+// Geweke convergence diagnostic: z-score of the difference between the
+// mean of the first `early_fraction` and the last `late_fraction` of the
+// chain, using IAT-corrected variances. |z| <~ 2 suggests the chain has
+// forgotten its start.
+double GewekeZScore(std::span<const double> values,
+                    double early_fraction = 0.1,
+                    double late_fraction = 0.5);
+
+// Convenience bundle for a trace's measure values.
+struct ChainDiagnostics {
+  double mean = 0.0;
+  double variance = 0.0;  // marginal sample variance
+  double iat = 1.0;
+  double ess = 0.0;
+  double geweke_z = 0.0;
+};
+ChainDiagnostics Diagnose(std::span<const double> values);
+
+}  // namespace histwalk::estimate
+
+#endif  // HISTWALK_ESTIMATE_DIAGNOSTICS_H_

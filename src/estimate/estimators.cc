@@ -1,0 +1,65 @@
+#include "estimate/estimators.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace histwalk::estimate {
+
+void MeanEstimator::Add(double f_value, uint32_t degree) {
+  ++count_;
+  if (bias_ == core::StationaryBias::kDegreeProportional) {
+    HW_DCHECK(degree > 0);
+    double w = 1.0 / static_cast<double>(degree);
+    weighted_sum_ += f_value * w;
+    weight_sum_ += w;
+  } else {
+    weighted_sum_ += f_value;
+    weight_sum_ += 1.0;
+  }
+}
+
+double MeanEstimator::Estimate() const {
+  if (weight_sum_ == 0.0) return std::numeric_limits<double>::quiet_NaN();
+  return weighted_sum_ / weight_sum_;
+}
+
+void MeanEstimator::Reset() {
+  count_ = 0;
+  weighted_sum_ = 0.0;
+  weight_sum_ = 0.0;
+}
+
+double EstimateMean(std::span<const double> f_values,
+                    std::span<const uint32_t> degrees,
+                    core::StationaryBias bias) {
+  HW_CHECK(f_values.size() == degrees.size());
+  MeanEstimator estimator(bias);
+  for (size_t i = 0; i < f_values.size(); ++i) {
+    estimator.Add(f_values[i], degrees[i]);
+  }
+  return estimator.Estimate();
+}
+
+double EstimateAverageDegree(std::span<const uint32_t> degrees,
+                             core::StationaryBias bias) {
+  MeanEstimator estimator(bias);
+  for (uint32_t d : degrees) estimator.Add(static_cast<double>(d), d);
+  return estimator.Estimate();
+}
+
+double EstimateProportion(std::span<const double> indicators,
+                          std::span<const uint32_t> degrees,
+                          core::StationaryBias bias) {
+  return EstimateMean(indicators, degrees, bias);
+}
+
+double EstimateSum(std::span<const double> f_values,
+                   std::span<const uint32_t> degrees,
+                   core::StationaryBias bias, uint64_t population_size) {
+  return EstimateMean(f_values, degrees, bias) *
+         static_cast<double>(population_size);
+}
+
+}  // namespace histwalk::estimate

@@ -1,0 +1,71 @@
+#ifndef HISTWALK_ESTIMATE_ESTIMATORS_H_
+#define HISTWALK_ESTIMATE_ESTIMATORS_H_
+
+#include <cstdint>
+#include <span>
+
+#include "core/walker.h"
+
+// Aggregate estimation from random-walk samples (section 2.3's "golden
+// measure" pipeline).
+//
+// Degree-proportional samplers (SRW / NB-SRW / CNRW / GNRW) oversample
+// high-degree users by construction, so the sample must be reweighted by
+// 1/deg before averaging — the standard Hansen-Hurwitz ratio estimator:
+//
+//     AVG(f) ~= sum_t f(X_t)/deg(X_t)  /  sum_t 1/deg(X_t).
+//
+// MHRW samples uniformly, so its estimator is the plain sample mean. The
+// estimators below dispatch on Walker::bias() so any sampler drops in.
+
+namespace histwalk::estimate {
+
+// Streaming mean estimator for one aggregate.
+class MeanEstimator {
+ public:
+  explicit MeanEstimator(core::StationaryBias bias) : bias_(bias) {}
+
+  // One sample: the value of the measure function at the visited node and
+  // that node's degree (ignored in the uniform case).
+  void Add(double f_value, uint32_t degree);
+
+  // Current estimate; NaN until at least one sample was added.
+  double Estimate() const;
+
+  uint64_t count() const { return count_; }
+  core::StationaryBias bias() const { return bias_; }
+
+  void Reset();
+
+ private:
+  core::StationaryBias bias_;
+  uint64_t count_ = 0;
+  double weighted_sum_ = 0.0;  // sum f/deg (degree bias) or sum f (uniform)
+  double weight_sum_ = 0.0;    // sum 1/deg (degree bias) or count (uniform)
+};
+
+// One-shot helpers over parallel arrays of per-step values and degrees.
+double EstimateMean(std::span<const double> f_values,
+                    std::span<const uint32_t> degrees,
+                    core::StationaryBias bias);
+
+// AVG degree has f = deg, which the ratio estimator turns into the harmonic
+// form n / sum(1/deg) for degree-biased samples.
+double EstimateAverageDegree(std::span<const uint32_t> degrees,
+                             core::StationaryBias bias);
+
+// Fraction of the population satisfying a predicate: f is the indicator
+// value (0/1) per sample.
+double EstimateProportion(std::span<const double> indicators,
+                          std::span<const uint32_t> degrees,
+                          core::StationaryBias bias);
+
+// SUM over the population = AVG * population size (the paper's COUNT/SUM
+// aggregates assume the service publishes its user count).
+double EstimateSum(std::span<const double> f_values,
+                   std::span<const uint32_t> degrees,
+                   core::StationaryBias bias, uint64_t population_size);
+
+}  // namespace histwalk::estimate
+
+#endif  // HISTWALK_ESTIMATE_ESTIMATORS_H_

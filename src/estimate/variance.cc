@@ -1,0 +1,73 @@
+#include "estimate/variance.h"
+
+#include <cmath>
+
+#include "estimate/estimators.h"
+#include "util/check.h"
+
+namespace histwalk::estimate {
+
+BatchMeansResult BatchMeans(std::span<const double> f_values,
+                            std::span<const uint32_t> degrees,
+                            core::StationaryBias bias, uint32_t num_batches) {
+  HW_CHECK(f_values.size() == degrees.size());
+  HW_CHECK(num_batches >= 2);
+  HW_CHECK(f_values.size() >= 2ull * num_batches);
+
+  BatchMeansResult result;
+  result.num_batches = num_batches;
+  result.batch_size = f_values.size() / num_batches;
+  const uint64_t m = result.batch_size;
+
+  result.estimate = EstimateMean(f_values.first(m * num_batches),
+                                 degrees.first(m * num_batches), bias);
+
+  double sum = 0.0, sum_sq = 0.0;
+  for (uint32_t b = 0; b < num_batches; ++b) {
+    double batch = EstimateMean(f_values.subspan(b * m, m),
+                                degrees.subspan(b * m, m), bias);
+    sum += batch;
+    sum_sq += batch * batch;
+  }
+  double mean = sum / num_batches;
+  double var = sum_sq / num_batches - mean * mean;
+  // Unbiased-ish sample variance of the batch means.
+  var *= static_cast<double>(num_batches) / (num_batches - 1);
+  result.asymptotic_variance = static_cast<double>(m) * var;
+  return result;
+}
+
+double VarianceInflation(std::span<const double> f_values,
+                         std::span<const uint32_t> degrees,
+                         core::StationaryBias bias, uint32_t num_batches) {
+  BatchMeansResult bm = BatchMeans(f_values, degrees, bias, num_batches);
+
+  // i.i.d. variance of the same ratio estimator, via the delta method:
+  // Var(R) ~ Var(f/d - R * 1/d) / E[1/d]^2 per sample (degree bias), or the
+  // plain sample variance (uniform).
+  double iid_var;
+  const size_t n = f_values.size();
+  if (bias == core::StationaryBias::kDegreeProportional) {
+    double mean_w = 0.0;
+    for (size_t i = 0; i < n; ++i) mean_w += 1.0 / degrees[i];
+    mean_w /= static_cast<double>(n);
+    double acc = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double w = 1.0 / degrees[i];
+      double resid = f_values[i] * w - bm.estimate * w;
+      acc += resid * resid;
+    }
+    iid_var = acc / static_cast<double>(n) / (mean_w * mean_w);
+  } else {
+    double acc = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double d = f_values[i] - bm.estimate;
+      acc += d * d;
+    }
+    iid_var = acc / static_cast<double>(n);
+  }
+  if (iid_var <= 0.0) return 1.0;
+  return bm.asymptotic_variance / iid_var;
+}
+
+}  // namespace histwalk::estimate

@@ -1,0 +1,43 @@
+#ifndef HISTWALK_ESTIMATE_VARIANCE_H_
+#define HISTWALK_ESTIMATE_VARIANCE_H_
+
+#include <cstdint>
+#include <span>
+
+#include "core/walker.h"
+
+// Asymptotic-variance estimation (Definition 3) via the batch-means method.
+//
+// Theorem 2 states V_inf(CNRW) <= V_inf(SRW) for every measure function and
+// topology. Batch means turns that into something measurable: a length-n
+// trace is split into B contiguous batches, the ratio estimate is computed
+// per batch, and m * Var(batch estimates) converges to the asymptotic
+// variance as m = n/B grows. The Theorem-2 property tests and the variance
+// ablation benches both consume this.
+
+namespace histwalk::estimate {
+
+struct BatchMeansResult {
+  double estimate = 0.0;             // full-trace ratio estimate
+  double asymptotic_variance = 0.0;  // batch-size * sample var of batches
+  uint32_t num_batches = 0;
+  uint64_t batch_size = 0;
+};
+
+// f_values/degrees are the per-step traces (parallel arrays). Requires at
+// least 2 * num_batches samples; extra samples at the tail are dropped so
+// batches are equal-sized.
+BatchMeansResult BatchMeans(std::span<const double> f_values,
+                            std::span<const uint32_t> degrees,
+                            core::StationaryBias bias, uint32_t num_batches);
+
+// Integrated autocorrelation time proxy: asymptotic variance divided by the
+// i.i.d. variance of the reweighted estimator. ~1 for nearly independent
+// samples, larger for sticky chains. Useful for mixing diagnostics.
+double VarianceInflation(std::span<const double> f_values,
+                         std::span<const uint32_t> degrees,
+                         core::StationaryBias bias, uint32_t num_batches);
+
+}  // namespace histwalk::estimate
+
+#endif  // HISTWALK_ESTIMATE_VARIANCE_H_

@@ -1,0 +1,48 @@
+#include "estimate/walk_runner.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace histwalk::estimate {
+
+uint64_t TracedWalk::StepsWithinBudget(uint64_t budget) const {
+  // unique_queries is non-decreasing; binary search the cut point.
+  auto it = std::upper_bound(unique_queries.begin(), unique_queries.end(),
+                             budget);
+  return static_cast<uint64_t>(it - unique_queries.begin());
+}
+
+TracedWalk TraceWalk(core::Walker& walker, const RunOptions& options) {
+  HW_CHECK_MSG(options.max_steps > 0 || options.query_budget > 0,
+               "TraceWalk needs a stop condition");
+  TracedWalk trace;
+  access::NodeAccess* access = walker.access();
+
+  while (true) {
+    if (options.max_steps > 0 && trace.nodes.size() >= options.max_steps) {
+      trace.final_status = util::Status::Ok();
+      break;
+    }
+    auto step = walker.Step();
+    if (!step.ok()) {
+      trace.final_status = step.status();
+      break;
+    }
+    uint64_t cost = access->unique_query_count();
+    if (options.query_budget > 0 && cost > options.query_budget) {
+      // This step overshot the budget; it is not part of the budget-b walk.
+      trace.final_status = util::Status::Ok();
+      break;
+    }
+    graph::NodeId node = *step;
+    trace.nodes.push_back(node);
+    auto degree = access->SummaryDegree(node);
+    HW_CHECK(degree.ok());
+    trace.degrees.push_back(*degree);
+    trace.unique_queries.push_back(cost);
+  }
+  return trace;
+}
+
+}  // namespace histwalk::estimate

@@ -1,0 +1,47 @@
+#ifndef HISTWALK_ESTIMATE_WALK_RUNNER_H_
+#define HISTWALK_ESTIMATE_WALK_RUNNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/walker.h"
+
+// Drives a walker and records the per-step trace every downstream consumer
+// needs: the visited node, its degree (free response metadata) and the
+// cumulative unique-query cost. Because query accounting is monotone, one
+// trace serves every budget checkpoint <= the run's budget — the
+// error-vs-query-cost curves take prefixes instead of re-running walks.
+
+namespace histwalk::estimate {
+
+struct TracedWalk {
+  std::vector<graph::NodeId> nodes;      // X_1 .. X_T (start excluded)
+  std::vector<uint32_t> degrees;         // deg(X_t)
+  std::vector<uint64_t> unique_queries;  // charged queries after step t
+  // OK when the run ended by max_steps; kResourceExhausted when the access
+  // budget stopped it; other codes indicate setup errors.
+  util::Status final_status;
+
+  uint64_t num_steps() const { return nodes.size(); }
+
+  // Number of steps whose cumulative query cost is <= budget.
+  uint64_t StepsWithinBudget(uint64_t budget) const;
+};
+
+struct RunOptions {
+  uint64_t max_steps = 0;     // 0 = no step limit (budget must stop the run)
+  uint64_t query_budget = 0;  // 0 = rely on the access's own budget/limit
+};
+
+// Steps `walker` (already Reset) until a stop condition fires. With
+// query_budget > 0 the run stops at the first step whose cumulative unique
+// query count EXCEEDS the budget; that step is excluded from the trace, so
+// a budget-b trace is byte-identical to the prefix of a larger-budget trace
+// cut at b (walks keep taking free steps among already-queried nodes until
+// a new query would overshoot — the natural "spend the whole budget"
+// semantics).
+TracedWalk TraceWalk(core::Walker& walker, const RunOptions& options);
+
+}  // namespace histwalk::estimate
+
+#endif  // HISTWALK_ESTIMATE_WALK_RUNNER_H_

@@ -1,0 +1,124 @@
+#include "experiment/bias_curve.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "access/graph_access.h"
+#include "estimate/estimators.h"
+#include "estimate/walk_runner.h"
+#include "metrics/distribution.h"
+#include "metrics/divergence.h"
+#include "util/parallel.h"
+
+namespace histwalk::experiment {
+
+BiasCurveResult RunBiasCurve(const Dataset& dataset,
+                             const BiasCurveConfig& config) {
+  HW_CHECK(!config.walkers.empty());
+  HW_CHECK(!config.budgets.empty());
+  HW_CHECK(std::is_sorted(config.budgets.begin(), config.budgets.end()));
+  if (!config.measure_values.empty()) {
+    HW_CHECK(config.measure_values.size() == dataset.graph.num_nodes());
+  }
+
+  BiasCurveResult result;
+  result.dataset_name = dataset.name;
+  result.budgets = config.budgets;
+
+  const uint64_t n = dataset.graph.num_nodes();
+  const bool degree_estimand = config.measure_values.empty();
+  const double truth = degree_estimand ? dataset.graph.AverageDegree()
+                                       : config.measure_truth;
+  const std::vector<double> target =
+      metrics::StationaryDistribution(dataset.graph);
+  const uint64_t max_budget = config.budgets.back();
+  const size_t num_budgets = config.budgets.size();
+
+  for (size_t w = 0; w < config.walkers.size(); ++w) {
+    const core::WalkerSpec& spec = config.walkers[w];
+    result.walker_names.push_back(spec.DisplayName());
+
+    std::vector<double> kl_sum(num_budgets, 0.0);
+    std::vector<double> l2_sum(num_budgets, 0.0);
+    std::vector<double> err_sum(num_budgets, 0.0);
+    std::vector<uint64_t> count(num_budgets, 0);
+    std::mutex mu;
+
+    util::ParallelFor(config.instances, [&](size_t instance) {
+      graph::NodeId start = config.fixed_start;
+      if (start == graph::kInvalidNode) {
+        util::Random start_rng(util::SubSeed(config.seed, instance));
+        start = static_cast<graph::NodeId>(start_rng.UniformIndex(n));
+      }
+
+      access::GraphAccess access(&dataset.graph, &dataset.attributes, {});
+      uint64_t walker_seed =
+          util::SubSeed(config.seed, (w + 1) * 1'000'003ull + instance);
+      auto walker = core::MakeWalker(spec, &access, walker_seed);
+      HW_CHECK(walker.ok());
+      HW_CHECK((*walker)->Reset(start).ok());
+
+      estimate::TracedWalk trace =
+          estimate::TraceWalk(**walker, {.max_steps = max_budget});
+
+      // Per-budget, per-walk measures (computed outside the lock).
+      std::vector<double> kl(num_budgets, 0.0), l2(num_budgets, 0.0),
+          err(num_budgets, 0.0);
+      metrics::VisitCounter counter(n);
+      uint64_t consumed = 0;
+      for (size_t b = 0; b < num_budgets; ++b) {
+        uint64_t steps =
+            std::min<uint64_t>(config.budgets[b], trace.num_steps());
+        // The counter accumulates; add only the new steps of this prefix.
+        for (uint64_t t = consumed; t < steps; ++t) {
+          counter.Add(trace.nodes[t]);
+        }
+        consumed = steps;
+        std::vector<double> empirical = counter.Probabilities();
+        kl[b] = metrics::SymmetrizedKlDivergence(empirical, target,
+                                                 config.kl_smoothing);
+        l2[b] = metrics::L2Distance(empirical, target);
+
+        double estimate;
+        if (degree_estimand) {
+          estimate = estimate::EstimateAverageDegree(
+              std::span<const uint32_t>(trace.degrees).first(steps),
+              (*walker)->bias());
+        } else {
+          std::vector<double> f(steps);
+          for (uint64_t t = 0; t < steps; ++t) {
+            f[t] = config.measure_values[trace.nodes[t]];
+          }
+          estimate = estimate::EstimateMean(
+              f, std::span<const uint32_t>(trace.degrees).first(steps),
+              (*walker)->bias());
+        }
+        err[b] = metrics::RelativeError(estimate, truth);
+      }
+
+      std::lock_guard<std::mutex> lock(mu);
+      for (size_t b = 0; b < num_budgets; ++b) {
+        kl_sum[b] += kl[b];
+        l2_sum[b] += l2[b];
+        err_sum[b] += err[b];
+        ++count[b];
+      }
+    });
+
+    std::vector<double> kl(num_budgets, 0.0), l2(num_budgets, 0.0),
+        err(num_budgets, 0.0);
+    for (size_t b = 0; b < num_budgets; ++b) {
+      if (count[b] == 0) continue;
+      double c = static_cast<double>(count[b]);
+      kl[b] = kl_sum[b] / c;
+      l2[b] = l2_sum[b] / c;
+      err[b] = err_sum[b] / c;
+    }
+    result.kl_divergence.push_back(std::move(kl));
+    result.l2_distance.push_back(std::move(l2));
+    result.relative_error.push_back(std::move(err));
+  }
+  return result;
+}
+
+}  // namespace histwalk::experiment

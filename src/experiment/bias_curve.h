@@ -1,0 +1,63 @@
+#ifndef HISTWALK_EXPERIMENT_BIAS_CURVE_H_
+#define HISTWALK_EXPERIMENT_BIAS_CURVE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/walker_factory.h"
+#include "experiment/datasets.h"
+
+// The small-graph bias experiment (Figures 7(a-c), 10, 11).
+//
+// For each sampler and query budget Q, `instances` independent walks of Q
+// steps are run (cost accounting: these figures plot query costs that
+// exceed what unique-query counting can absorb on 90-node graphs, so one
+// query is charged per transition). Each walk yields
+//
+//  * its own empirical visit distribution, compared against the
+//    deg(v)/2|E| target by symmetrized KL divergence and l2-distance, and
+//  * an aggregate estimate from its reweighted samples, compared against
+//    ground truth by relative error.
+//
+// The series reported per (sampler, budget) are the averages over walks.
+// Per-walk (rather than pooled) measurement is what exposes the paper's
+// claim: a sampler that gets stuck in a tight cluster produces a lopsided
+// sample no matter how many independent walks are pooled later, and the
+// history-aware walks escape such traps faster (sections 1.3 and 6.2).
+// KL smoothing is a fixed epsilon so values are comparable across budgets.
+
+namespace histwalk::experiment {
+
+struct BiasCurveConfig {
+  std::vector<core::WalkerSpec> walkers;
+  std::vector<uint64_t> budgets;  // ascending step-budget checkpoints
+  uint32_t instances = 500;       // independent walks averaged per point
+  uint64_t seed = 1;
+  // Start node for every walk; uniform random per instance when invalid
+  // (the barbell experiments pin the start inside G1, Theorem 3's setup).
+  graph::NodeId fixed_start = graph::kInvalidNode;
+  // Relative-error estimand: population mean of measure_values. Empty =
+  // average degree. measure_truth must be the exact population mean when
+  // measure_values is set.
+  std::vector<double> measure_values;
+  double measure_truth = 0.0;
+  // Additive smoothing for the per-walk KL (fixed so budgets compare).
+  double kl_smoothing = 1e-4;
+};
+
+struct BiasCurveResult {
+  std::string dataset_name;
+  std::vector<uint64_t> budgets;
+  std::vector<std::string> walker_names;
+  // Indexed [walker][budget]; averages over walks.
+  std::vector<std::vector<double>> kl_divergence;   // D(P||Q) + D(Q||P)
+  std::vector<std::vector<double>> l2_distance;     // ||P - Q||_2
+  std::vector<std::vector<double>> relative_error;  // aggregate estimate
+};
+
+BiasCurveResult RunBiasCurve(const Dataset& dataset,
+                             const BiasCurveConfig& config);
+
+}  // namespace histwalk::experiment
+
+#endif  // HISTWALK_EXPERIMENT_BIAS_CURVE_H_

@@ -1,0 +1,59 @@
+#ifndef HISTWALK_EXPERIMENT_DATASETS_H_
+#define HISTWALK_EXPERIMENT_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "attr/attribute.h"
+#include "graph/graph.h"
+
+// The paper's six evaluation datasets (Table 1), as reproducible synthetic
+// surrogates.
+//
+// The real crawls (Facebook ego net 1684, the authors' Google Plus crawl,
+// the Yelp dataset challenge dump, SNAP YouTube) are not available offline,
+// so each is replaced by a generator calibrated to the Table 1 statistics
+// that drive random-walk behaviour: node count (scaled for the two largest
+// graphs — noted per dataset), average degree, clustering regime and a
+// heavy-tailed degree distribution, reduced to the largest connected
+// component. The synthetic graphs (clustered cliques, barbell) are exact.
+//
+// Attributes: every surrogate carries a homophilous "age"-like attribute;
+// the Yelp surrogate additionally carries the heavy-tailed homophilous
+// "reviews_count" that Figure 9 aggregates.
+
+namespace histwalk::experiment {
+
+enum class DatasetId {
+  kFacebook,   // 775-node ego-net-like graph      (Table 1 row 1)
+  kFacebook2,  // second ego net, Figure 8(b)/(d)
+  kGPlus,      // Google Plus surrogate, scaled     (Table 1 row 2)
+  kYelp,       // Yelp surrogate                    (Table 1 row 3)
+  kYoutube,    // YouTube surrogate, scaled         (Table 1 row 4)
+  kClustered,  // cliques 10/30/50 in a chain       (Table 1 row 5)
+  kBarbell,    // two K_50 halves + bridge          (Table 1 row 6)
+};
+
+// All ids above, in Table 1 order.
+std::vector<DatasetId> AllDatasetIds();
+
+std::string DatasetName(DatasetId id);
+
+struct Dataset {
+  std::string name;
+  graph::Graph graph;
+  attr::AttributeTable attributes;
+  // Substitution/scaling note printed by benches ("surrogate, scaled from
+  // 240k nodes", "exact synthetic topology", ...).
+  std::string note;
+};
+
+inline constexpr uint64_t kDefaultDatasetSeed = 0x9e3779b97f4a7c15ULL;
+
+// Builds the surrogate deterministically from `seed`. Attribute columns:
+// "age" on every dataset; "reviews_count" on kYelp.
+Dataset BuildDataset(DatasetId id, uint64_t seed = kDefaultDatasetSeed);
+
+}  // namespace histwalk::experiment
+
+#endif  // HISTWALK_EXPERIMENT_DATASETS_H_

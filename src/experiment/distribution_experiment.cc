@@ -1,0 +1,66 @@
+#include "experiment/distribution_experiment.h"
+
+#include <mutex>
+
+#include "access/graph_access.h"
+#include "estimate/walk_runner.h"
+#include "metrics/distribution.h"
+#include "metrics/divergence.h"
+#include "util/parallel.h"
+
+namespace histwalk::experiment {
+
+DistributionResult RunDistributionExperiment(
+    const Dataset& dataset, const DistributionConfig& config) {
+  HW_CHECK(!config.walkers.empty());
+  HW_CHECK(config.instances > 0 && config.steps > 0);
+
+  DistributionResult result;
+  result.dataset_name = dataset.name;
+
+  const uint64_t n = dataset.graph.num_nodes();
+  const std::vector<double> target =
+      metrics::StationaryDistribution(dataset.graph);
+  const std::vector<graph::NodeId> order =
+      metrics::NodesByDegree(dataset.graph);
+  result.theoretical_binned =
+      metrics::BinnedByOrder(target, order, config.num_bins);
+
+  for (size_t w = 0; w < config.walkers.size(); ++w) {
+    const core::WalkerSpec& spec = config.walkers[w];
+    result.walker_names.push_back(spec.DisplayName());
+
+    metrics::VisitCounter counter(n);
+    std::mutex mu;
+    util::ParallelFor(config.instances, [&](size_t instance) {
+      util::Random start_rng(util::SubSeed(config.seed, instance));
+      graph::NodeId start =
+          static_cast<graph::NodeId>(start_rng.UniformIndex(n));
+
+      access::GraphAccess access(&dataset.graph, &dataset.attributes, {});
+      uint64_t walker_seed =
+          util::SubSeed(config.seed, (w + 1) * 1'000'003ull + instance);
+      auto walker = core::MakeWalker(spec, &access, walker_seed);
+      HW_CHECK(walker.ok());
+      HW_CHECK((*walker)->Reset(start).ok());
+      estimate::TracedWalk trace =
+          estimate::TraceWalk(**walker, {.max_steps = config.steps});
+
+      std::lock_guard<std::mutex> lock(mu);
+      counter.AddAll(trace.nodes);
+    });
+
+    std::vector<double> empirical = counter.Probabilities();
+    result.empirical_binned.push_back(
+        metrics::BinnedByOrder(empirical, order, config.num_bins));
+    result.total_variation.push_back(
+        metrics::TotalVariation(empirical, target));
+    double smoothing =
+        counter.total() > 0 ? 0.1 / counter.total() : 1e-9;
+    result.symmetric_kl.push_back(
+        metrics::SymmetrizedKlDivergence(empirical, target, smoothing));
+  }
+  return result;
+}
+
+}  // namespace histwalk::experiment

@@ -1,0 +1,44 @@
+#ifndef HISTWALK_EXPERIMENT_DISTRIBUTION_EXPERIMENT_H_
+#define HISTWALK_EXPERIMENT_DISTRIBUTION_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/walker_factory.h"
+#include "experiment/datasets.h"
+
+// The Figure 8 experiment: verify that SRW, CNRW and GNRW converge to the
+// same stationary distribution. The paper runs 100 instances of each walk
+// for 10000 steps, pools the samples, orders nodes by degree and plots the
+// empirical sampling distribution against the theoretical deg(v)/2|E|
+// curve. The text rendering bins the degree-ordered axis and also reports
+// whole-distribution agreement (total variation and symmetrized KL).
+
+namespace histwalk::experiment {
+
+struct DistributionConfig {
+  std::vector<core::WalkerSpec> walkers;
+  uint32_t instances = 100;   // paper: 100 walks
+  uint64_t steps = 10'000;    // paper: 10000 steps each
+  uint32_t num_bins = 16;     // degree-ordered bins for the printed series
+  uint64_t seed = 1;
+};
+
+struct DistributionResult {
+  std::string dataset_name;
+  std::vector<std::string> walker_names;
+  // Binned sampling probability along the degree-ordered axis: bin b
+  // averages pi(v) over the b-th slice of nodes sorted by degree.
+  std::vector<double> theoretical_binned;           // [bin]
+  std::vector<std::vector<double>> empirical_binned;  // [walker][bin]
+  // Whole-distribution agreement with deg(v)/2|E| per walker.
+  std::vector<double> total_variation;  // [walker]
+  std::vector<double> symmetric_kl;     // [walker]
+};
+
+DistributionResult RunDistributionExperiment(const Dataset& dataset,
+                                             const DistributionConfig& config);
+
+}  // namespace histwalk::experiment
+
+#endif  // HISTWALK_EXPERIMENT_DISTRIBUTION_EXPERIMENT_H_

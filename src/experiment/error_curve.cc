@@ -1,0 +1,114 @@
+#include "experiment/error_curve.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <mutex>
+
+#include "access/graph_access.h"
+#include "estimate/estimators.h"
+#include "estimate/walk_runner.h"
+#include "metrics/divergence.h"
+#include "util/parallel.h"
+
+namespace histwalk::experiment {
+
+ErrorCurveResult RunErrorCurve(const Dataset& dataset,
+                               const ErrorCurveConfig& config) {
+  HW_CHECK(!config.walkers.empty());
+  HW_CHECK(!config.budgets.empty());
+  HW_CHECK(std::is_sorted(config.budgets.begin(), config.budgets.end()));
+  HW_CHECK(config.instances > 0);
+
+  ErrorCurveResult result;
+  result.dataset_name = dataset.name;
+  result.estimand_name = config.estimand.DisplayName();
+  result.budgets = config.budgets;
+
+  // Ground truth and per-node measure values.
+  attr::AttrId attr = attr::kInvalidAttr;
+  if (!config.estimand.attribute.empty()) {
+    auto found = dataset.attributes.Find(config.estimand.attribute);
+    HW_CHECK_MSG(found.ok(), "estimand attribute missing from dataset");
+    attr = *found;
+    result.ground_truth = dataset.attributes.Mean(attr);
+  } else {
+    result.ground_truth = dataset.graph.AverageDegree();
+  }
+
+  const uint64_t max_budget = config.budgets.back();
+  const uint64_t max_steps = config.max_steps_factor * max_budget;
+  const size_t num_budgets = config.budgets.size();
+
+  for (size_t w = 0; w < config.walkers.size(); ++w) {
+    const core::WalkerSpec& spec = config.walkers[w];
+    result.walker_names.push_back(spec.DisplayName());
+
+    std::vector<double> err_sum(num_budgets, 0.0);
+    std::vector<double> err_sum_sq(num_budgets, 0.0);
+    std::vector<uint64_t> err_count(num_budgets, 0);
+    std::mutex mu;
+
+    util::ParallelFor(config.instances, [&](size_t instance) {
+      // The start node depends only on the instance index, so every sampler
+      // faces the same sequence of start nodes (variance reduction for the
+      // cross-sampler comparison).
+      util::Random start_rng(util::SubSeed(config.seed, instance));
+      graph::NodeId start = static_cast<graph::NodeId>(
+          start_rng.UniformIndex(dataset.graph.num_nodes()));
+
+      access::GraphAccess access(&dataset.graph, &dataset.attributes,
+                                 {.query_budget = max_budget});
+      uint64_t walker_seed =
+          util::SubSeed(config.seed, (w + 1) * 1'000'003ull + instance);
+      auto walker = core::MakeWalker(spec, &access, walker_seed);
+      HW_CHECK(walker.ok());
+      HW_CHECK((*walker)->Reset(start).ok());
+
+      estimate::TracedWalk trace = estimate::TraceWalk(
+          **walker, {.max_steps = max_steps, .query_budget = max_budget});
+
+      // Per-step measure values for the estimand.
+      std::vector<double> f(trace.num_steps());
+      for (size_t t = 0; t < trace.nodes.size(); ++t) {
+        f[t] = attr == attr::kInvalidAttr
+                   ? static_cast<double>(trace.degrees[t])
+                   : dataset.attributes.Value(trace.nodes[t], attr);
+      }
+
+      std::vector<double> rel_err(num_budgets,
+                                  std::numeric_limits<double>::quiet_NaN());
+      for (size_t b = 0; b < num_budgets; ++b) {
+        uint64_t steps = trace.StepsWithinBudget(config.budgets[b]);
+        if (steps == 0) continue;
+        double estimate = estimate::EstimateMean(
+            std::span<const double>(f).first(steps),
+            std::span<const uint32_t>(trace.degrees).first(steps),
+            (*walker)->bias());
+        rel_err[b] = metrics::RelativeError(estimate, result.ground_truth);
+      }
+
+      std::lock_guard<std::mutex> lock(mu);
+      for (size_t b = 0; b < num_budgets; ++b) {
+        if (std::isnan(rel_err[b])) continue;
+        err_sum[b] += rel_err[b];
+        err_sum_sq[b] += rel_err[b] * rel_err[b];
+        ++err_count[b];
+      }
+    });
+
+    std::vector<double> means(num_budgets, 0.0), stderrs(num_budgets, 0.0);
+    for (size_t b = 0; b < num_budgets; ++b) {
+      if (err_count[b] == 0) continue;
+      double n = static_cast<double>(err_count[b]);
+      means[b] = err_sum[b] / n;
+      double var = err_sum_sq[b] / n - means[b] * means[b];
+      stderrs[b] = err_count[b] > 1 ? std::sqrt(std::max(0.0, var) / n) : 0.0;
+    }
+    result.mean_relative_error.push_back(std::move(means));
+    result.stderr_relative_error.push_back(std::move(stderrs));
+  }
+  return result;
+}
+
+}  // namespace histwalk::experiment

@@ -1,0 +1,58 @@
+#ifndef HISTWALK_EXPERIMENT_ERROR_CURVE_H_
+#define HISTWALK_EXPERIMENT_ERROR_CURVE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/walker_factory.h"
+#include "experiment/datasets.h"
+
+// The large-graph bias experiment (Figures 6, 7(d), 9): repeated walks per
+// sampler, each stopped at a query budget; the reported series is the mean
+// relative error of the aggregate estimate against ground truth at every
+// budget checkpoint. One traced walk per instance serves all checkpoints
+// (prefixes of a walk are exactly the walk run with a smaller budget).
+
+namespace histwalk::experiment {
+
+// What is being estimated: the population average of an attribute column,
+// or the average degree when attribute is empty.
+struct EstimandSpec {
+  std::string attribute;  // "" = average degree
+
+  std::string DisplayName() const {
+    return attribute.empty() ? "avg_degree" : "avg_" + attribute;
+  }
+};
+
+struct ErrorCurveConfig {
+  std::vector<core::WalkerSpec> walkers;
+  std::vector<uint64_t> budgets;  // ascending query-cost checkpoints
+  uint32_t instances = 200;       // repeated walks per sampler
+  uint64_t seed = 1;
+  // Step-count guard: a run ends after max_steps_factor * max(budget)
+  // steps even if the budget is not yet spent (protects against walkers
+  // circling inside already-queried nodes on small graphs).
+  uint64_t max_steps_factor = 50;
+  EstimandSpec estimand;
+};
+
+struct ErrorCurveResult {
+  std::string dataset_name;
+  std::string estimand_name;
+  double ground_truth = 0.0;
+  std::vector<uint64_t> budgets;
+  std::vector<std::string> walker_names;
+  // mean_relative_error[w][b]: mean over instances of
+  // |estimate - truth| / truth for walker w at budget b.
+  std::vector<std::vector<double>> mean_relative_error;
+  // Standard error of that mean (for judging separation between curves).
+  std::vector<std::vector<double>> stderr_relative_error;
+};
+
+ErrorCurveResult RunErrorCurve(const Dataset& dataset,
+                               const ErrorCurveConfig& config);
+
+}  // namespace histwalk::experiment
+
+#endif  // HISTWALK_EXPERIMENT_ERROR_CURVE_H_

@@ -1,0 +1,103 @@
+#include "experiment/report.h"
+
+#include <cstdlib>
+
+namespace histwalk::experiment {
+
+namespace {
+
+util::TextTable CurveTable(const std::vector<uint64_t>& budgets,
+                           const std::vector<std::string>& walker_names,
+                           const std::vector<std::vector<double>>& series,
+                           const std::string& x_name) {
+  std::vector<std::string> columns{x_name};
+  for (const auto& name : walker_names) columns.push_back(name);
+  util::TextTable table(std::move(columns));
+  for (size_t b = 0; b < budgets.size(); ++b) {
+    std::vector<std::string> row{util::TextTable::Cell(budgets[b])};
+    for (size_t w = 0; w < series.size(); ++w) {
+      row.push_back(util::TextTable::Cell(series[w][b]));
+    }
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace
+
+util::TextTable ErrorCurveTable(const ErrorCurveResult& result) {
+  return CurveTable(result.budgets, result.walker_names,
+                    result.mean_relative_error, "query_cost");
+}
+
+std::string BiasMeasureName(BiasMeasure measure) {
+  switch (measure) {
+    case BiasMeasure::kKlDivergence:
+      return "kl_divergence";
+    case BiasMeasure::kL2Distance:
+      return "l2_distance";
+    case BiasMeasure::kRelativeError:
+      return "relative_error";
+  }
+  return "unknown";
+}
+
+util::TextTable BiasCurveTable(const BiasCurveResult& result,
+                               BiasMeasure measure) {
+  const std::vector<std::vector<double>>* series = nullptr;
+  switch (measure) {
+    case BiasMeasure::kKlDivergence:
+      series = &result.kl_divergence;
+      break;
+    case BiasMeasure::kL2Distance:
+      series = &result.l2_distance;
+      break;
+    case BiasMeasure::kRelativeError:
+      series = &result.relative_error;
+      break;
+  }
+  return CurveTable(result.budgets, result.walker_names, *series,
+                    "query_cost");
+}
+
+util::TextTable DistributionTable(const DistributionResult& result) {
+  std::vector<std::string> columns{"degree_bin", "theoretical"};
+  for (const auto& name : result.walker_names) columns.push_back(name);
+  util::TextTable table(std::move(columns));
+  for (size_t b = 0; b < result.theoretical_binned.size(); ++b) {
+    std::vector<std::string> row{
+        util::TextTable::Cell(static_cast<uint64_t>(b)),
+        util::TextTable::Cell(result.theoretical_binned[b])};
+    for (const auto& series : result.empirical_binned) {
+      row.push_back(util::TextTable::Cell(series[b]));
+    }
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+util::TextTable DistributionAgreementTable(const DistributionResult& result) {
+  util::TextTable table({"walker", "total_variation", "symmetric_kl"});
+  for (size_t w = 0; w < result.walker_names.size(); ++w) {
+    table.AddRow({result.walker_names[w],
+                  util::TextTable::Cell(result.total_variation[w]),
+                  util::TextTable::Cell(result.symmetric_kl[w])});
+  }
+  return table;
+}
+
+void EmitTable(const util::TextTable& table, const std::string& title,
+               const std::string& csv_name, std::ostream& os) {
+  os << "\n== " << title << " ==\n";
+  table.Print(os);
+  const char* dir = std::getenv("HISTWALK_CSV_DIR");
+  if (dir != nullptr && dir[0] != '\0') {
+    std::string path = std::string(dir) + "/" + csv_name + ".csv";
+    util::Status status = table.WriteCsv(path);
+    if (!status.ok()) {
+      os << "(csv dump failed: " << status.ToString() << ")\n";
+    }
+  }
+}
+
+}  // namespace histwalk::experiment

@@ -1,0 +1,38 @@
+#ifndef HISTWALK_EXPERIMENT_REPORT_H_
+#define HISTWALK_EXPERIMENT_REPORT_H_
+
+#include <ostream>
+#include <string>
+
+#include "experiment/bias_curve.h"
+#include "experiment/distribution_experiment.h"
+#include "experiment/error_curve.h"
+#include "util/table.h"
+
+// Turns experiment results into the row/series tables the benches print.
+// Every table can additionally be dumped as CSV next to the binary by
+// setting HISTWALK_CSV_DIR in the environment.
+
+namespace histwalk::experiment {
+
+// budget x walker matrix of mean relative error.
+util::TextTable ErrorCurveTable(const ErrorCurveResult& result);
+
+// Three tables (KL, L2, relative error); `measure` selects one.
+enum class BiasMeasure { kKlDivergence, kL2Distance, kRelativeError };
+std::string BiasMeasureName(BiasMeasure measure);
+util::TextTable BiasCurveTable(const BiasCurveResult& result,
+                               BiasMeasure measure);
+
+// Degree-ordered binned distribution series plus an agreement summary.
+util::TextTable DistributionTable(const DistributionResult& result);
+util::TextTable DistributionAgreementTable(const DistributionResult& result);
+
+// Prints `table` under a "== title ==" heading, and writes
+// $HISTWALK_CSV_DIR/<csv_name>.csv when that directory is configured.
+void EmitTable(const util::TextTable& table, const std::string& title,
+               const std::string& csv_name, std::ostream& os);
+
+}  // namespace histwalk::experiment
+
+#endif  // HISTWALK_EXPERIMENT_REPORT_H_

@@ -1,0 +1,153 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+
+namespace histwalk::graph {
+
+void GraphBuilder::Reserve(uint64_t expected_edges) {
+  edges_.reserve(expected_edges);
+}
+
+void GraphBuilder::AddEdge(NodeId u, NodeId v) {
+  if (u == v) return;  // the model has no self loops
+  edges_.emplace_back(u, v);
+  max_node_ = std::max(max_node_, std::max(u, v));
+  any_edge_ = true;
+}
+
+util::Result<Graph> GraphBuilder::Build(const BuildOptions& options) {
+  if (!any_edge_) {
+    return util::Status::InvalidArgument("graph has no edges");
+  }
+
+  std::vector<std::pair<NodeId, NodeId>> edges = std::move(edges_);
+  edges_.clear();
+  any_edge_ = false;
+  NodeId num_nodes = max_node_ + 1;
+  max_node_ = 0;
+
+  if (options.directed_keep_mutual_only) {
+    // Keep {u, v} iff both directions were recorded. Canonicalize each arc
+    // to (min, max, direction-bit) and look for pairs covering both bits.
+    std::vector<std::pair<uint64_t, uint8_t>> arcs;
+    arcs.reserve(edges.size());
+    for (auto [u, v] : edges) {
+      NodeId lo = std::min(u, v), hi = std::max(u, v);
+      uint8_t dir = (u < v) ? 1 : 2;
+      arcs.emplace_back((static_cast<uint64_t>(lo) << 32) | hi, dir);
+    }
+    std::sort(arcs.begin(), arcs.end());
+    edges.clear();
+    size_t i = 0;
+    while (i < arcs.size()) {
+      size_t j = i;
+      uint8_t seen = 0;
+      while (j < arcs.size() && arcs[j].first == arcs[i].first) {
+        seen |= arcs[j].second;
+        ++j;
+      }
+      if (seen == 3) {
+        edges.emplace_back(static_cast<NodeId>(arcs[i].first >> 32),
+                           static_cast<NodeId>(arcs[i].first & 0xffffffffu));
+      }
+      i = j;
+    }
+    if (edges.empty()) {
+      return util::Status::InvalidArgument(
+          "no mutual edges in directed input");
+    }
+  }
+
+  // Dedup undirected edges via canonical (min, max) keys.
+  std::vector<uint64_t> keys;
+  keys.reserve(edges.size());
+  for (auto [u, v] : edges) {
+    NodeId lo = std::min(u, v), hi = std::max(u, v);
+    keys.push_back((static_cast<uint64_t>(lo) << 32) | hi);
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+  // Counting pass then fill pass; each undirected edge lands in both rows.
+  std::vector<uint64_t> offsets(num_nodes + 1, 0);
+  for (uint64_t key : keys) {
+    ++offsets[(key >> 32) + 1];
+    ++offsets[(key & 0xffffffffu) + 1];
+  }
+  for (NodeId v = 0; v < num_nodes; ++v) offsets[v + 1] += offsets[v];
+  std::vector<NodeId> neighbors(offsets.back());
+  std::vector<uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (uint64_t key : keys) {
+    NodeId lo = static_cast<NodeId>(key >> 32);
+    NodeId hi = static_cast<NodeId>(key & 0xffffffffu);
+    neighbors[cursor[lo]++] = hi;
+    neighbors[cursor[hi]++] = lo;
+  }
+  // Keys were processed in sorted order, so each adjacency list is already
+  // sorted ascending.
+  Graph graph(std::move(offsets), std::move(neighbors));
+
+  if (options.largest_component_only) {
+    return LargestComponent(graph);
+  }
+  return graph;
+}
+
+ComponentLabels ConnectedComponents(const Graph& graph) {
+  ComponentLabels result;
+  const uint64_t n = graph.num_nodes();
+  result.label.assign(n, static_cast<uint32_t>(-1));
+  std::vector<NodeId> stack;
+  for (NodeId start = 0; start < n; ++start) {
+    if (result.label[start] != static_cast<uint32_t>(-1)) continue;
+    uint32_t comp = result.num_components++;
+    result.label[start] = comp;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      NodeId v = stack.back();
+      stack.pop_back();
+      for (NodeId w : graph.Neighbors(v)) {
+        if (result.label[w] == static_cast<uint32_t>(-1)) {
+          result.label[w] = comp;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+Graph LargestComponent(const Graph& graph, std::vector<NodeId>* old_to_new) {
+  ComponentLabels comps = ConnectedComponents(graph);
+  std::vector<uint64_t> sizes(comps.num_components, 0);
+  for (uint32_t label : comps.label) ++sizes[label];
+  uint32_t best =
+      static_cast<uint32_t>(std::max_element(sizes.begin(), sizes.end()) -
+                            sizes.begin());
+
+  std::vector<NodeId> mapping(graph.num_nodes(), kInvalidNode);
+  NodeId next_id = 0;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (comps.label[v] == best) mapping[v] = next_id++;
+  }
+
+  GraphBuilder builder;
+  builder.Reserve(graph.num_edges());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (mapping[v] == kInvalidNode) continue;
+    for (NodeId w : graph.Neighbors(v)) {
+      if (v < w && mapping[w] != kInvalidNode) {
+        builder.AddEdge(mapping[v], mapping[w]);
+      }
+    }
+  }
+  if (old_to_new != nullptr) *old_to_new = std::move(mapping);
+  auto result = builder.Build();
+  // The component is non-empty and connected by construction; a failure here
+  // is a programming error, not an input error. A single isolated node can
+  // only happen if the input graph had no edges at all, which Graph forbids.
+  HW_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+}  // namespace histwalk::graph

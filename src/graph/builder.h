@@ -1,0 +1,69 @@
+#ifndef HISTWALK_GRAPH_BUILDER_H_
+#define HISTWALK_GRAPH_BUILDER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+// Accumulates edges and produces a validated Graph.
+//
+// The builder normalizes arbitrary edge streams into the undirected,
+// deduplicated, loop-free form the library requires, mirroring the paper's
+// preprocessing: directed inputs can be reduced to mutual edges ("keep edges
+// that appear in both directions", section 6.1) and the largest connected
+// component can be extracted (as done for the Yelp dataset).
+
+namespace histwalk::graph {
+
+struct BuildOptions {
+  // Treat the input edge stream as directed and keep only mutual pairs
+  // (u->v and v->u both present). When false, every AddEdge(u, v) is an
+  // undirected edge.
+  bool directed_keep_mutual_only = false;
+  // Restrict the result to the largest connected component and compact node
+  // ids to 0..n-1 (ids are re-labeled; ordering follows original ids).
+  bool largest_component_only = false;
+};
+
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  // Node count grows automatically to max(node id) + 1; Reserve avoids
+  // reallocation when the final size is known.
+  void Reserve(uint64_t expected_edges);
+
+  // Records an edge; self loops are dropped silently, duplicates are merged
+  // at Build() time.
+  void AddEdge(NodeId u, NodeId v);
+
+  uint64_t num_recorded_edges() const { return edges_.size(); }
+
+  // Builds the graph and resets the builder. Fails on an empty edge set.
+  util::Result<Graph> Build(const BuildOptions& options = {});
+
+ private:
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+  NodeId max_node_ = 0;
+  bool any_edge_ = false;
+};
+
+// Returns, for each node, the id of its connected component (components are
+// numbered 0.. in order of discovery) plus the number of components.
+struct ComponentLabels {
+  std::vector<uint32_t> label;
+  uint32_t num_components = 0;
+};
+ComponentLabels ConnectedComponents(const Graph& graph);
+
+// Convenience: new graph containing only the largest connected component of
+// `graph`, with node ids compacted. `old_to_new` (optional) receives the id
+// mapping (kInvalidNode for dropped nodes).
+Graph LargestComponent(const Graph& graph,
+                       std::vector<NodeId>* old_to_new = nullptr);
+
+}  // namespace histwalk::graph
+
+#endif  // HISTWALK_GRAPH_BUILDER_H_

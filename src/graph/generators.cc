@@ -1,0 +1,296 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "graph/builder.h"
+
+namespace histwalk::graph {
+
+namespace {
+
+Graph BuildOrDie(GraphBuilder& builder) {
+  auto result = builder.Build();
+  HW_CHECK_MSG(result.ok(), "generator produced an invalid graph");
+  return std::move(result).value();
+}
+
+void AddClique(GraphBuilder& builder, NodeId first, uint32_t size) {
+  for (uint32_t i = 0; i < size; ++i) {
+    for (uint32_t j = i + 1; j < size; ++j) {
+      builder.AddEdge(first + i, first + j);
+    }
+  }
+}
+
+// Geometric skip: number of failures before the next success of a Bernoulli
+// stream with success probability p in (0, 1].
+uint64_t GeometricSkip(double p, util::Random& rng) {
+  if (p >= 1.0) return 0;
+  double u;
+  do {
+    u = rng.UniformDouble();
+  } while (u == 0.0);
+  return static_cast<uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+}  // namespace
+
+Graph MakeComplete(uint32_t n) {
+  HW_CHECK(n >= 2);
+  GraphBuilder builder;
+  builder.Reserve(static_cast<uint64_t>(n) * (n - 1) / 2);
+  AddClique(builder, 0, n);
+  return BuildOrDie(builder);
+}
+
+Graph MakeCycle(uint32_t n) {
+  HW_CHECK(n >= 3);
+  GraphBuilder builder;
+  builder.Reserve(n);
+  for (uint32_t i = 0; i < n; ++i) builder.AddEdge(i, (i + 1) % n);
+  return BuildOrDie(builder);
+}
+
+Graph MakePath(uint32_t n) {
+  HW_CHECK(n >= 2);
+  GraphBuilder builder;
+  builder.Reserve(n - 1);
+  for (uint32_t i = 0; i + 1 < n; ++i) builder.AddEdge(i, i + 1);
+  return BuildOrDie(builder);
+}
+
+Graph MakeStar(uint32_t n) {
+  HW_CHECK(n >= 2);
+  GraphBuilder builder;
+  builder.Reserve(n - 1);
+  for (uint32_t i = 1; i < n; ++i) builder.AddEdge(0, i);
+  return BuildOrDie(builder);
+}
+
+Graph MakeBarbell(uint32_t half) {
+  HW_CHECK(half >= 2);
+  GraphBuilder builder;
+  builder.Reserve(static_cast<uint64_t>(half) * (half - 1) + 1);
+  AddClique(builder, 0, half);
+  AddClique(builder, half, half);
+  // Bridge between the last node of G1 and the first node of G2.
+  builder.AddEdge(half - 1, half);
+  return BuildOrDie(builder);
+}
+
+Graph MakeCliqueChain(const std::vector<uint32_t>& sizes) {
+  HW_CHECK(!sizes.empty());
+  GraphBuilder builder;
+  NodeId first = 0;
+  NodeId prev_last = kInvalidNode;
+  for (uint32_t size : sizes) {
+    HW_CHECK(size >= 2);
+    AddClique(builder, first, size);
+    if (prev_last != kInvalidNode) builder.AddEdge(prev_last, first);
+    prev_last = first + size - 1;
+    first += size;
+  }
+  return BuildOrDie(builder);
+}
+
+Graph MakeErdosRenyi(uint32_t n, double p, util::Random& rng) {
+  HW_CHECK(n >= 2);
+  HW_CHECK(p > 0.0 && p <= 1.0);
+  GraphBuilder builder;
+  // Walk the linearized strict upper triangle with geometric skips; only
+  // realized edges cost time.
+  const uint64_t total_pairs = static_cast<uint64_t>(n) * (n - 1) / 2;
+  uint64_t index = GeometricSkip(p, rng);
+  while (index < total_pairs) {
+    // Invert index -> (u, v): row u holds (n - 1 - u) pairs.
+    uint64_t remaining = index;
+    uint32_t u = 0;
+    // Closed-form inversion of the triangular layout.
+    double nd = static_cast<double>(n);
+    double disc = (2.0 * nd - 1.0) * (2.0 * nd - 1.0) -
+                  8.0 * static_cast<double>(remaining);
+    u = static_cast<uint32_t>((2.0 * nd - 1.0 - std::sqrt(disc)) / 2.0);
+    // Fix up floating point boundary error.
+    auto row_start = [&](uint32_t r) {
+      return static_cast<uint64_t>(r) * n - static_cast<uint64_t>(r) * (r + 1) / 2;
+    };
+    while (u > 0 && row_start(u) > remaining) --u;
+    while (row_start(u + 1) <= remaining) ++u;
+    uint32_t v = static_cast<uint32_t>(u + 1 + (remaining - row_start(u)));
+    builder.AddEdge(u, v);
+    index += 1 + GeometricSkip(p, rng);
+  }
+  if (builder.num_recorded_edges() == 0) {
+    // Degenerate tiny-p draw; retry deterministically from the forked
+    // stream until at least one edge exists so Build() succeeds.
+    return MakeErdosRenyi(n, p, rng);
+  }
+  return BuildOrDie(builder);
+}
+
+Graph MakeBarabasiAlbert(uint32_t n, uint32_t m, util::Random& rng) {
+  HW_CHECK(m >= 1);
+  HW_CHECK(n > m + 1);
+  GraphBuilder builder;
+  builder.Reserve(static_cast<uint64_t>(n) * m);
+  // Repeated-endpoint list: sampling a uniform entry is sampling a node
+  // proportional to its degree.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2ull * n * m);
+  AddClique(builder, 0, m + 1);
+  for (uint32_t i = 0; i <= m; ++i) {
+    for (uint32_t j = 0; j < m; ++j) endpoints.push_back(i);
+  }
+  std::vector<NodeId> chosen;
+  for (NodeId v = m + 1; v < n; ++v) {
+    chosen.clear();
+    while (chosen.size() < m) {
+      NodeId target = endpoints[rng.UniformIndex(endpoints.size())];
+      if (std::find(chosen.begin(), chosen.end(), target) == chosen.end()) {
+        chosen.push_back(target);
+      }
+    }
+    for (NodeId target : chosen) {
+      builder.AddEdge(v, target);
+      endpoints.push_back(v);
+      endpoints.push_back(target);
+    }
+  }
+  return BuildOrDie(builder);
+}
+
+Graph MakeWattsStrogatz(uint32_t n, uint32_t k, double beta,
+                        util::Random& rng) {
+  HW_CHECK(n >= 4);
+  HW_CHECK(k >= 2 && k % 2 == 0 && k < n);
+  HW_CHECK(beta >= 0.0 && beta <= 1.0);
+  GraphBuilder builder;
+  builder.Reserve(static_cast<uint64_t>(n) * k / 2);
+  for (uint32_t v = 0; v < n; ++v) {
+    for (uint32_t d = 1; d <= k / 2; ++d) {
+      uint32_t w = (v + d) % n;
+      if (rng.Bernoulli(beta)) {
+        // Rewire the far endpoint to a uniform non-self target; collisions
+        // with existing edges are merged by the builder.
+        uint32_t target;
+        do {
+          target = rng.UniformInt(n);
+        } while (target == v);
+        builder.AddEdge(v, target);
+      } else {
+        builder.AddEdge(v, w);
+      }
+    }
+  }
+  return BuildOrDie(builder);
+}
+
+std::vector<double> PowerLawWeights(uint32_t n, double alpha, double w_min,
+                                    double w_max, util::Random& rng) {
+  HW_CHECK(alpha > 1.0);
+  HW_CHECK(w_min > 0.0 && w_max >= w_min);
+  std::vector<double> weights(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    weights[i] = std::min(rng.Pareto(w_min, alpha), w_max);
+  }
+  return weights;
+}
+
+Graph MakeChungLu(const std::vector<double>& weights, util::Random& rng) {
+  const uint32_t n = static_cast<uint32_t>(weights.size());
+  HW_CHECK(n >= 2);
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  HW_CHECK(total > 0.0);
+
+  // Miller-Hagberg: process nodes in descending weight order so the pair
+  // probability is non-increasing along each row, enabling skip sampling
+  // with thinning.
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return weights[a] > weights[b];
+  });
+  std::vector<double> w(n);
+  for (uint32_t i = 0; i < n; ++i) w[i] = weights[order[i]];
+
+  GraphBuilder builder;
+  builder.Reserve(static_cast<uint64_t>(total / 2.0) + n);
+  for (uint32_t u = 0; u + 1 < n; ++u) {
+    uint64_t v = u + 1;
+    double p = std::min(1.0, w[u] * w[v] / total);
+    while (v < n && p > 0.0) {
+      if (p < 1.0) v += GeometricSkip(p, rng);
+      if (v >= n) break;
+      double q = std::min(1.0, w[u] * w[v] / total);
+      if (rng.UniformDouble() < q / p) {
+        builder.AddEdge(order[u], order[static_cast<uint32_t>(v)]);
+      }
+      p = q;
+      ++v;
+    }
+  }
+  if (builder.num_recorded_edges() == 0) {
+    // Extremely sparse parameterizations can produce an empty draw; retry.
+    return MakeChungLu(weights, rng);
+  }
+  return BuildOrDie(builder);
+}
+
+Graph MakeSocialSurrogate(const SocialSurrogateParams& params,
+                          util::Random& rng) {
+  const uint32_t n = params.num_nodes;
+  HW_CHECK(n >= 10);
+  HW_CHECK(params.community_size >= 2.0);
+  HW_CHECK(params.p_intra > 0.0 && params.p_intra <= 1.0);
+
+  GraphBuilder builder;
+
+  // 1) Planted communities: geometric sizes with the requested mean, dense
+  //    internal Erdos-Renyi wiring. This is where the clustering comes from.
+  uint32_t start = 0;
+  while (start < n) {
+    // Geometric with mean community_size, clamped to at least 3 nodes.
+    double u;
+    do {
+      u = rng.UniformDouble();
+    } while (u == 0.0);
+    uint32_t size = static_cast<uint32_t>(
+        3.0 + (-std::log(u)) * (params.community_size - 3.0));
+    size = std::min(size, n - start);
+    if (size >= 2) {
+      for (uint32_t i = 0; i < size; ++i) {
+        for (uint32_t j = i + 1; j < size; ++j) {
+          if (rng.Bernoulli(params.p_intra)) {
+            builder.AddEdge(start + i, start + j);
+          }
+        }
+      }
+    }
+    start += std::max(size, 1u);
+  }
+
+  // 2) Heavy-tailed Chung-Lu background for long-range edges and hubs.
+  if (params.background_degree > 0.0) {
+    double w_max =
+        std::max(params.max_weight_fraction * n, params.background_degree);
+    std::vector<double> weights =
+        PowerLawWeights(n, params.power_law_alpha, 1.0, w_max, rng);
+    // Rescale to the requested mean background degree.
+    double mean = std::accumulate(weights.begin(), weights.end(), 0.0) / n;
+    for (double& weight : weights) {
+      weight *= params.background_degree / mean;
+    }
+    Graph background = MakeChungLu(weights, rng);
+    for (NodeId v = 0; v < background.num_nodes(); ++v) {
+      for (NodeId w : background.Neighbors(v)) {
+        if (v < w) builder.AddEdge(v, w);
+      }
+    }
+  }
+
+  return BuildOrDie(builder);
+}
+
+}  // namespace histwalk::graph

@@ -1,0 +1,88 @@
+#ifndef HISTWALK_GRAPH_GENERATORS_H_
+#define HISTWALK_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/random.h"
+
+// Synthetic graph generators.
+//
+// Two roles, matching the paper's experiment section:
+//  * exact "ill-formed" topologies used in Figures 10/11 and Theorem 3
+//    (barbell graphs, chains of complete cliques), and
+//  * surrogates for the unavailable real OSN crawls (community-structured
+//    Chung-Lu graphs with power-law degrees and tunable clustering); see
+//    experiment/datasets.h for the calibrated dataset builders.
+
+namespace histwalk::graph {
+
+// Complete graph K_n (n >= 2).
+Graph MakeComplete(uint32_t n);
+
+// Cycle C_n (n >= 3).
+Graph MakeCycle(uint32_t n);
+
+// Path P_n (n >= 2).
+Graph MakePath(uint32_t n);
+
+// Star with one hub and n-1 leaves (n >= 2).
+Graph MakeStar(uint32_t n);
+
+// Barbell graph used in Theorem 3 / Figure 11: two complete subgraphs of
+// `half` nodes each, joined by a single bridge edge. half >= 2.
+// |V| = 2*half, |E| = 2*C(half,2) + 1 (paper's 100-node barbell has 2451
+// edges).
+Graph MakeBarbell(uint32_t half);
+
+// The paper's "clustered graph" (Figure 10): complete cliques of the given
+// sizes joined in a chain by one bridge edge between consecutive cliques.
+// sizes = {10, 30, 50} reproduces the 90-node / 1707-edge graph of Table 1.
+Graph MakeCliqueChain(const std::vector<uint32_t>& sizes);
+
+// Erdos-Renyi G(n, p) via geometric skip sampling; expected |E| = C(n,2)*p.
+Graph MakeErdosRenyi(uint32_t n, double p, util::Random& rng);
+
+// Barabasi-Albert preferential attachment: starts from a complete seed of
+// m+1 nodes, then each new node attaches m edges to existing nodes chosen
+// proportional to degree. Produces a power-law degree tail.
+Graph MakeBarabasiAlbert(uint32_t n, uint32_t m, util::Random& rng);
+
+// Watts-Strogatz small world: ring lattice with k neighbors per node
+// (k even), each edge rewired to a random endpoint with probability beta.
+Graph MakeWattsStrogatz(uint32_t n, uint32_t k, double beta,
+                        util::Random& rng);
+
+// Power-law expected-degree weights for Chung-Lu: P(w > x) ~ x^{1-alpha}
+// truncated to [w_min, w_max]. alpha > 1.
+std::vector<double> PowerLawWeights(uint32_t n, double alpha, double w_min,
+                                    double w_max, util::Random& rng);
+
+// Chung-Lu random graph with the given expected degrees, using the
+// Miller-Hagberg O(n + m) skip-sampling algorithm. Realized degrees
+// concentrate around the weights (weights above sqrt(sum_w) saturate).
+Graph MakeChungLu(const std::vector<double>& weights, util::Random& rng);
+
+// Community-structured social-graph surrogate: nodes are partitioned into
+// communities of geometrically distributed sizes (mean community_size);
+// each community is an internal G(size, p_intra); a global Chung-Lu
+// background with power-law weights adds heavy-tailed long-range edges.
+// High p_intra yields the high clustering coefficients of real OSNs, the
+// background yields the degree tail. The result is NOT reduced to its
+// largest component; callers that need connectivity use
+// BuildOptions/LargestComponent.
+struct SocialSurrogateParams {
+  uint32_t num_nodes = 1000;
+  double community_size = 20.0;       // mean community size (geometric)
+  double p_intra = 0.3;               // intra-community edge probability
+  double background_degree = 4.0;     // mean expected background degree
+  double power_law_alpha = 2.5;       // degree-tail exponent
+  double max_weight_fraction = 0.01;  // w_max = fraction * num_nodes
+};
+Graph MakeSocialSurrogate(const SocialSurrogateParams& params,
+                          util::Random& rng);
+
+}  // namespace histwalk::graph
+
+#endif  // HISTWALK_GRAPH_GENERATORS_H_

@@ -1,0 +1,51 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace histwalk::graph {
+
+Graph::Graph(std::vector<uint64_t> offsets, std::vector<NodeId> neighbors)
+    : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {
+  HW_CHECK(!offsets_.empty());
+  HW_CHECK(offsets_.front() == 0);
+  HW_CHECK(offsets_.back() == neighbors_.size());
+  HW_CHECK(neighbors_.size() % 2 == 0);
+}
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  HW_DCHECK(u < num_nodes() && v < num_nodes());
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  auto ns = Neighbors(u);
+  return std::binary_search(ns.begin(), ns.end(), v);
+}
+
+uint32_t Graph::MaxDegree() const {
+  uint32_t max_deg = 0;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    max_deg = std::max(max_deg, Degree(v));
+  }
+  return max_deg;
+}
+
+double Graph::AverageDegree() const {
+  if (num_nodes() == 0) return 0.0;
+  return static_cast<double>(neighbors_.size()) /
+         static_cast<double>(num_nodes());
+}
+
+uint64_t Graph::MemoryBytes() const {
+  return offsets_.capacity() * sizeof(uint64_t) +
+         neighbors_.capacity() * sizeof(NodeId);
+}
+
+std::string Graph::DebugString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "Graph(n=%llu, m=%llu, avg_deg=%.1f)",
+                static_cast<unsigned long long>(num_nodes()),
+                static_cast<unsigned long long>(num_edges()),
+                AverageDegree());
+  return buf;
+}
+
+}  // namespace histwalk::graph

@@ -1,0 +1,81 @@
+#ifndef HISTWALK_GRAPH_GRAPH_H_
+#define HISTWALK_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+// Immutable undirected graph in compressed sparse row (CSR) form.
+//
+// This is the in-memory topology that the access layer (access/) exposes
+// through the paper's restricted neighbor-query interface. Walkers never
+// touch Graph directly; they only see NodeAccess.
+//
+// Invariants (established by GraphBuilder):
+//  * neighbor lists are sorted ascending and contain no duplicates,
+//  * no self loops,
+//  * every edge {u, v} appears in both adjacency lists (undirected).
+
+namespace histwalk::graph {
+
+using NodeId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+class Graph {
+ public:
+  Graph() = default;
+
+  // Takes ownership of validated CSR arrays; use GraphBuilder instead of
+  // calling this directly. offsets.size() == num_nodes + 1 and
+  // neighbors.size() == offsets.back() == 2 * num_edges.
+  Graph(std::vector<uint64_t> offsets, std::vector<NodeId> neighbors);
+
+  Graph(const Graph&) = default;
+  Graph& operator=(const Graph&) = default;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  uint64_t num_nodes() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  uint64_t num_edges() const { return neighbors_.size() / 2; }
+
+  uint32_t Degree(NodeId v) const {
+    HW_DCHECK(v < num_nodes());
+    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  // Sorted, duplicate-free neighbor list of `v`.
+  std::span<const NodeId> Neighbors(NodeId v) const {
+    HW_DCHECK(v < num_nodes());
+    return {neighbors_.data() + offsets_[v],
+            neighbors_.data() + offsets_[v + 1]};
+  }
+
+  // Binary search over the sorted adjacency of the lower-degree endpoint.
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  // Degree of the highest-degree node (0 for the empty graph).
+  uint32_t MaxDegree() const;
+
+  // Mean degree 2|E|/|V| (0 for the empty graph).
+  double AverageDegree() const;
+
+  // Approximate heap footprint of the CSR arrays, in bytes.
+  uint64_t MemoryBytes() const;
+
+  // One-line summary, e.g. "Graph(n=775, m=14006, avg_deg=36.1)".
+  std::string DebugString() const;
+
+ private:
+  std::vector<uint64_t> offsets_;   // size num_nodes + 1
+  std::vector<NodeId> neighbors_;  // size 2 * num_edges
+};
+
+}  // namespace histwalk::graph
+
+#endif  // HISTWALK_GRAPH_GRAPH_H_

@@ -1,0 +1,93 @@
+#include "graph/io.h"
+
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+
+namespace histwalk::graph {
+
+namespace {
+
+// Parses one "u v" line into `builder`. Returns false with `error` set on
+// malformed content; blank lines and '#' comments are skipped.
+bool ParseLine(std::string_view line, uint64_t line_number,
+               GraphBuilder& builder, std::string& error) {
+  size_t pos = line.find_first_not_of(" \t\r");
+  if (pos == std::string_view::npos || line[pos] == '#') return true;
+
+  auto parse_field = [&](uint64_t& out) -> bool {
+    size_t end = pos;
+    while (end < line.size() && !std::isspace(static_cast<unsigned char>(
+                                    line[end]))) {
+      ++end;
+    }
+    auto [ptr, ec] =
+        std::from_chars(line.data() + pos, line.data() + end, out);
+    if (ec != std::errc() || ptr != line.data() + end) return false;
+    pos = line.find_first_not_of(" \t\r", end);
+    return true;
+  };
+
+  uint64_t u = 0, v = 0;
+  if (!parse_field(u) || pos == std::string_view::npos || !parse_field(v) ||
+      u > kInvalidNode - 1 || v > kInvalidNode - 1) {
+    error = "malformed edge at line " + std::to_string(line_number);
+    return false;
+  }
+  if (pos != std::string_view::npos && line[pos] != '#') {
+    error = "trailing tokens at line " + std::to_string(line_number);
+    return false;
+  }
+  builder.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  return true;
+}
+
+util::Result<Graph> ReadFromStream(std::istream& in,
+                                   const BuildOptions& options) {
+  GraphBuilder builder;
+  std::string line;
+  std::string error;
+  uint64_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!ParseLine(line, line_number, builder, error)) {
+      return util::Status::InvalidArgument(error);
+    }
+  }
+  return builder.Build(options);
+}
+
+}  // namespace
+
+util::Result<Graph> ReadEdgeList(const std::string& path,
+                                 const BuildOptions& options) {
+  std::ifstream file(path);
+  if (!file) {
+    return util::Status::NotFound("cannot open edge list: " + path);
+  }
+  return ReadFromStream(file, options);
+}
+
+util::Result<Graph> ParseEdgeList(const std::string& text,
+                                  const BuildOptions& options) {
+  std::istringstream stream(text);
+  return ReadFromStream(stream, options);
+}
+
+util::Status WriteEdgeList(const Graph& graph, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    return util::Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (NodeId w : graph.Neighbors(v)) {
+      if (v < w) file << v << ' ' << w << '\n';
+    }
+  }
+  if (!file) return util::Status::Internal("write failed: " + path);
+  return util::Status::Ok();
+}
+
+}  // namespace histwalk::graph

@@ -1,0 +1,29 @@
+#ifndef HISTWALK_GRAPH_IO_H_
+#define HISTWALK_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/builder.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+// Edge-list file I/O in the SNAP format the paper's public benchmarks use:
+// one "u v" pair per line, '#' comments allowed, whitespace separated.
+
+namespace histwalk::graph {
+
+// Parses an edge list file and builds a graph with the given options.
+util::Result<Graph> ReadEdgeList(const std::string& path,
+                                 const BuildOptions& options = {});
+
+// Parses edge pairs from an in-memory string (same format as the file
+// reader); useful for tests and embedded fixtures.
+util::Result<Graph> ParseEdgeList(const std::string& text,
+                                  const BuildOptions& options = {});
+
+// Writes "u v" lines, one per undirected edge (u < v).
+util::Status WriteEdgeList(const Graph& graph, const std::string& path);
+
+}  // namespace histwalk::graph
+
+#endif  // HISTWALK_GRAPH_IO_H_

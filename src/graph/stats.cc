@@ -1,0 +1,136 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace histwalk::graph {
+
+DegreeStats ComputeDegreeStats(const Graph& graph) {
+  DegreeStats stats;
+  const uint64_t n = graph.num_nodes();
+  if (n == 0) return stats;
+  stats.min = graph.Degree(0);
+  double sum = 0.0, sum_sq = 0.0;
+  for (NodeId v = 0; v < n; ++v) {
+    uint32_t d = graph.Degree(v);
+    stats.min = std::min(stats.min, d);
+    stats.max = std::max(stats.max, d);
+    sum += d;
+    sum_sq += static_cast<double>(d) * d;
+  }
+  stats.mean = sum / static_cast<double>(n);
+  stats.variance = sum_sq / static_cast<double>(n) - stats.mean * stats.mean;
+  return stats;
+}
+
+ClusteringStats ExactClustering(const Graph& graph,
+                                std::vector<uint64_t>* per_node) {
+  const uint64_t n = graph.num_nodes();
+  std::vector<uint64_t> tri(n, 0);
+
+  // For every edge (u, v) with u < v, merge-intersect the sorted adjacency
+  // lists and record each common neighbor w with w > v. Every triangle
+  // (u < v < w) is then found exactly once, at its lexicographically
+  // smallest edge. Work is sum over edges of (deg_u + deg_v) = sum deg^2,
+  // which is the budget Summarize() checks before choosing this path.
+  for (NodeId u = 0; u < n; ++u) {
+    auto nu = graph.Neighbors(u);
+    for (NodeId v : nu) {
+      if (v <= u) continue;
+      auto nv = graph.Neighbors(v);
+      size_t i = 0, j = 0;
+      while (i < nu.size() && j < nv.size()) {
+        NodeId a = nu[i], b = nv[j];
+        if (a == b) {
+          if (a > v) {
+            ++tri[u];
+            ++tri[v];
+            ++tri[a];
+          }
+          ++i;
+          ++j;
+        } else if (a < b) {
+          ++i;
+        } else {
+          ++j;
+        }
+      }
+    }
+  }
+
+  ClusteringStats stats;
+  stats.exact = true;
+  uint64_t total_tri = 0;
+  double cc_sum = 0.0;
+  for (NodeId v = 0; v < n; ++v) {
+    total_tri += tri[v];
+    uint32_t d = graph.Degree(v);
+    if (d >= 2) {
+      cc_sum += 2.0 * static_cast<double>(tri[v]) /
+                (static_cast<double>(d) * (d - 1));
+    }
+  }
+  stats.triangles = total_tri / 3;
+  stats.average_clustering = n == 0 ? 0.0 : cc_sum / static_cast<double>(n);
+  if (per_node != nullptr) *per_node = std::move(tri);
+  return stats;
+}
+
+ClusteringStats EstimateClustering(const Graph& graph, util::Random& rng,
+                                   uint32_t node_samples,
+                                   uint32_t pairs_per_node) {
+  ClusteringStats stats;
+  stats.exact = false;
+  const uint64_t n = graph.num_nodes();
+  if (n == 0) return stats;
+
+  double cc_sum = 0.0;
+  double closed_wedge_sum = 0.0;  // estimates E[cc(v) * C(d_v, 2)]
+  for (uint32_t s = 0; s < node_samples; ++s) {
+    NodeId v = static_cast<NodeId>(rng.UniformIndex(n));
+    uint32_t d = graph.Degree(v);
+    if (d < 2) continue;
+    auto ns = graph.Neighbors(v);
+    uint64_t wedges = static_cast<uint64_t>(d) * (d - 1) / 2;
+    uint32_t trials = pairs_per_node;
+    uint32_t closed = 0;
+    for (uint32_t t = 0; t < trials; ++t) {
+      uint32_t i = rng.UniformInt(d);
+      uint32_t j = rng.UniformInt(d - 1);
+      if (j >= i) ++j;
+      if (graph.HasEdge(ns[i], ns[j])) ++closed;
+    }
+    double cc = static_cast<double>(closed) / trials;
+    cc_sum += cc;
+    closed_wedge_sum += cc * static_cast<double>(wedges);
+  }
+  stats.average_clustering = cc_sum / node_samples;
+  stats.triangles = static_cast<uint64_t>(
+      closed_wedge_sum / node_samples * static_cast<double>(n) / 3.0);
+  return stats;
+}
+
+GraphSummary Summarize(const Graph& graph, util::Random& rng,
+                       uint64_t exact_work_limit) {
+  GraphSummary summary;
+  summary.nodes = graph.num_nodes();
+  summary.edges = graph.num_edges();
+  summary.average_degree = graph.AverageDegree();
+
+  uint64_t work = 0;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    uint32_t d = graph.Degree(v);
+    summary.max_degree = std::max(summary.max_degree, d);
+    work += static_cast<uint64_t>(d) * d;
+  }
+
+  ClusteringStats clustering = work <= exact_work_limit
+                                   ? ExactClustering(graph)
+                                   : EstimateClustering(graph, rng);
+  summary.average_clustering = clustering.average_clustering;
+  summary.triangles = clustering.triangles;
+  summary.clustering_exact = clustering.exact;
+  return summary;
+}
+
+}  // namespace histwalk::graph

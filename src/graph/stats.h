@@ -1,0 +1,67 @@
+#ifndef HISTWALK_GRAPH_STATS_H_
+#define HISTWALK_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/random.h"
+
+// Exact and sampled graph statistics; used to validate that the synthetic
+// dataset surrogates hit the Table 1 summary numbers (node/edge counts,
+// average degree, average clustering coefficient, triangle count).
+
+namespace histwalk::graph {
+
+struct DegreeStats {
+  uint32_t min = 0;
+  uint32_t max = 0;
+  double mean = 0.0;
+  double variance = 0.0;  // population variance of the degree sequence
+};
+DegreeStats ComputeDegreeStats(const Graph& graph);
+
+struct ClusteringStats {
+  // Mean of per-node local clustering coefficients over all nodes (nodes
+  // with degree < 2 contribute 0, matching the common convention).
+  double average_clustering = 0.0;
+  // Total number of triangles in the graph.
+  uint64_t triangles = 0;
+  // True for ExactClustering, false for the sampling estimator.
+  bool exact = true;
+};
+
+// Exact per-node triangle counts via the forward algorithm
+// (O(m^{3/2}) worst case; fast on sparse real-world-like graphs).
+// `per_node` (optional) receives the triangle count of each node.
+ClusteringStats ExactClustering(const Graph& graph,
+                                std::vector<uint64_t>* per_node = nullptr);
+
+// Sampling estimator for large graphs: samples `node_samples` nodes
+// uniformly; for each, samples up to `pairs_per_node` neighbor pairs and
+// checks closure. Unbiased for the average clustering coefficient; the
+// triangle count estimate is (n/3) * E[cc(v) * C(d_v, 2)].
+ClusteringStats EstimateClustering(const Graph& graph, util::Random& rng,
+                                   uint32_t node_samples = 20000,
+                                   uint32_t pairs_per_node = 64);
+
+// The Table 1 row for one dataset.
+struct GraphSummary {
+  uint64_t nodes = 0;
+  uint64_t edges = 0;
+  double average_degree = 0.0;
+  uint32_t max_degree = 0;
+  double average_clustering = 0.0;
+  uint64_t triangles = 0;
+  bool clustering_exact = true;
+};
+
+// Computes the summary, switching to the sampling clustering estimator when
+// the exact pass would be too expensive (sum of squared degrees above
+// `exact_work_limit`).
+GraphSummary Summarize(const Graph& graph, util::Random& rng,
+                       uint64_t exact_work_limit = 400'000'000ull);
+
+}  // namespace histwalk::graph
+
+#endif  // HISTWALK_GRAPH_STATS_H_

@@ -1,0 +1,69 @@
+#include "metrics/distribution.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace histwalk::metrics {
+
+std::vector<double> StationaryDistribution(const graph::Graph& graph) {
+  std::vector<double> pi(graph.num_nodes());
+  double denom = 2.0 * static_cast<double>(graph.num_edges());
+  HW_CHECK(denom > 0.0);
+  for (graph::NodeId v = 0; v < graph.num_nodes(); ++v) {
+    pi[v] = static_cast<double>(graph.Degree(v)) / denom;
+  }
+  return pi;
+}
+
+std::vector<double> UniformDistribution(uint64_t num_nodes) {
+  HW_CHECK(num_nodes > 0);
+  return std::vector<double>(num_nodes, 1.0 / static_cast<double>(num_nodes));
+}
+
+void VisitCounter::Merge(const VisitCounter& other) {
+  HW_CHECK(counts_.size() == other.counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
+std::vector<double> VisitCounter::Probabilities() const {
+  std::vector<double> p(counts_.size(), 0.0);
+  if (total_ == 0) return p;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    p[i] = static_cast<double>(counts_[i]) / static_cast<double>(total_);
+  }
+  return p;
+}
+
+std::vector<graph::NodeId> NodesByDegree(const graph::Graph& graph) {
+  std::vector<graph::NodeId> order(graph.num_nodes());
+  std::iota(order.begin(), order.end(), graph::NodeId{0});
+  std::sort(order.begin(), order.end(),
+            [&](graph::NodeId a, graph::NodeId b) {
+              uint32_t da = graph.Degree(a), db = graph.Degree(b);
+              return da != db ? da < db : a < b;
+            });
+  return order;
+}
+
+std::vector<double> BinnedByOrder(std::span<const double> values,
+                                  std::span<const graph::NodeId> order,
+                                  uint32_t num_bins) {
+  HW_CHECK(num_bins > 0);
+  HW_CHECK(!order.empty());
+  std::vector<double> bins(num_bins, 0.0);
+  std::vector<uint64_t> counts(num_bins, 0);
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    uint32_t bin = static_cast<uint32_t>(rank * num_bins / order.size());
+    bins[bin] += values[order[rank]];
+    ++counts[bin];
+  }
+  for (uint32_t b = 0; b < num_bins; ++b) {
+    if (counts[b] > 0) bins[b] /= static_cast<double>(counts[b]);
+  }
+  return bins;
+}
+
+}  // namespace histwalk::metrics

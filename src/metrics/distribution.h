@@ -1,0 +1,61 @@
+#ifndef HISTWALK_METRICS_DISTRIBUTION_H_
+#define HISTWALK_METRICS_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+// Sampling-distribution bookkeeping for the bias measurements of
+// section 2.3: the theoretical stationary vector deg(v)/2|E|, empirical
+// visit-frequency vectors pooled across walks, and the degree-ordered view
+// used by Figure 8.
+
+namespace histwalk::metrics {
+
+// Theoretical SRW/CNRW/GNRW stationary distribution pi(v) = deg(v)/2|E|.
+std::vector<double> StationaryDistribution(const graph::Graph& graph);
+
+// Uniform distribution over the nodes (MHRW's target).
+std::vector<double> UniformDistribution(uint64_t num_nodes);
+
+// Accumulates visit counts across any number of walks and normalizes.
+class VisitCounter {
+ public:
+  explicit VisitCounter(uint64_t num_nodes) : counts_(num_nodes, 0) {}
+
+  void Add(graph::NodeId node) {
+    ++counts_[node];
+    ++total_;
+  }
+  void AddAll(std::span<const graph::NodeId> nodes) {
+    for (graph::NodeId v : nodes) Add(v);
+  }
+  // Merges another counter over the same node set.
+  void Merge(const VisitCounter& other);
+
+  uint64_t total() const { return total_; }
+  const std::vector<uint64_t>& counts() const { return counts_; }
+
+  // Empirical probabilities; all-zero vector when nothing was added.
+  std::vector<double> Probabilities() const;
+
+ private:
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+// Node order used by Figure 8's x-axis: ascending degree, ties by id.
+std::vector<graph::NodeId> NodesByDegree(const graph::Graph& graph);
+
+// Average of `values` over nodes falling in each of `num_bins` equal-size
+// slices of `order` — the binned distribution series printed by the
+// Figure 8 bench (a text-friendly rendering of the paper's scatter plot).
+std::vector<double> BinnedByOrder(std::span<const double> values,
+                                  std::span<const graph::NodeId> order,
+                                  uint32_t num_bins);
+
+}  // namespace histwalk::metrics
+
+#endif  // HISTWALK_METRICS_DISTRIBUTION_H_

@@ -1,0 +1,67 @@
+#include "metrics/divergence.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace histwalk::metrics {
+
+namespace {
+
+// Smoothed cell values: (x + s) / (1 + n*s), which keeps the vector a
+// probability distribution if it was one.
+struct Smoother {
+  double s;
+  double denom;
+  Smoother(double smoothing, size_t n)
+      : s(smoothing), denom(1.0 + smoothing * static_cast<double>(n)) {}
+  double operator()(double x) const { return (x + s) / denom; }
+};
+
+}  // namespace
+
+double KlDivergence(std::span<const double> p, std::span<const double> q,
+                    double smoothing) {
+  HW_CHECK(p.size() == q.size());
+  HW_CHECK(!p.empty());
+  Smoother sp(smoothing, p.size());
+  double kl = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    double pi = sp(p[i]);
+    double qi = sp(q[i]);
+    if (pi > 0.0) {
+      HW_CHECK_MSG(qi > 0.0, "q must be positive where p is (or smooth)");
+      kl += pi * std::log(pi / qi);
+    }
+  }
+  return kl;
+}
+
+double SymmetrizedKlDivergence(std::span<const double> p,
+                               std::span<const double> q, double smoothing) {
+  return KlDivergence(p, q, smoothing) + KlDivergence(q, p, smoothing);
+}
+
+double L2Distance(std::span<const double> p, std::span<const double> q) {
+  HW_CHECK(p.size() == q.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    double d = p[i] - q[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+double TotalVariation(std::span<const double> p, std::span<const double> q) {
+  HW_CHECK(p.size() == q.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) acc += std::fabs(p[i] - q[i]);
+  return acc / 2.0;
+}
+
+double RelativeError(double estimate, double truth) {
+  HW_CHECK(truth != 0.0);
+  return std::fabs(estimate - truth) / std::fabs(truth);
+}
+
+}  // namespace histwalk::metrics

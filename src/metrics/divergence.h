@@ -1,0 +1,37 @@
+#ifndef HISTWALK_METRICS_DIVERGENCE_H_
+#define HISTWALK_METRICS_DIVERGENCE_H_
+
+#include <span>
+
+// Distance measures between the target stationary distribution and the
+// empirically achieved sampling distribution (section 2.3): the paper
+// reports the symmetrized KL divergence D(P||Q) + D(Q||P) and the
+// l2-distance ||P - Q||_2; total variation and relative error round out
+// the toolbox.
+
+namespace histwalk::metrics {
+
+// D_KL(p || q) = sum_i p_i * ln(p_i / q_i). Zero-probability cells are
+// handled with add-epsilon smoothing (both vectors are re-normalized after
+// adding `smoothing` to every cell), since finite walks leave nodes
+// unvisited; smoothing = 0 requires q_i > 0 wherever p_i > 0.
+double KlDivergence(std::span<const double> p, std::span<const double> q,
+                    double smoothing = 1e-12);
+
+// The paper's bias measure: D(P||Q) + D(Q||P), same smoothing rule.
+double SymmetrizedKlDivergence(std::span<const double> p,
+                               std::span<const double> q,
+                               double smoothing = 1e-12);
+
+// ||p - q||_2.
+double L2Distance(std::span<const double> p, std::span<const double> q);
+
+// (1/2) * ||p - q||_1, in [0, 1] for probability vectors.
+double TotalVariation(std::span<const double> p, std::span<const double> q);
+
+// |estimate - truth| / |truth|; truth must be nonzero.
+double RelativeError(double estimate, double truth);
+
+}  // namespace histwalk::metrics
+
+#endif  // HISTWALK_METRICS_DIVERGENCE_H_

@@ -1,0 +1,37 @@
+#ifndef HISTWALK_UTIL_CHECK_H_
+#define HISTWALK_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// HW_CHECK aborts on broken invariants (programmer errors). It is always on;
+// HW_DCHECK compiles away in NDEBUG builds. Recoverable conditions must use
+// Status instead (util/status.h).
+
+#define HW_CHECK(cond)                                                   \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "HW_CHECK failed: %s at %s:%d\n", #cond,      \
+                   __FILE__, __LINE__);                                  \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (false)
+
+#define HW_CHECK_MSG(cond, msg)                                          \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "HW_CHECK failed: %s (%s) at %s:%d\n", #cond, \
+                   msg, __FILE__, __LINE__);                             \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (false)
+
+#ifdef NDEBUG
+#define HW_DCHECK(cond) \
+  do {                  \
+  } while (false)
+#else
+#define HW_DCHECK(cond) HW_CHECK(cond)
+#endif
+
+#endif  // HISTWALK_UTIL_CHECK_H_

@@ -1,0 +1,133 @@
+#include "util/md5.h"
+
+#include <cstring>
+
+namespace histwalk::util {
+
+namespace {
+
+// Per-round left-rotation amounts (RFC 1321, section 3.4).
+constexpr uint32_t kShift[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+// K[i] = floor(2^32 * abs(sin(i + 1))).
+constexpr uint32_t kSine[64] = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a,
+    0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340,
+    0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+    0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92,
+    0xffeff47d, 0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391};
+
+uint32_t RotateLeft(uint32_t x, uint32_t c) {
+  return (x << c) | (x >> (32 - c));
+}
+
+struct Md5State {
+  uint32_t a = 0x67452301;
+  uint32_t b = 0xefcdab89;
+  uint32_t c = 0x98badcfe;
+  uint32_t d = 0x10325476;
+
+  void ProcessBlock(const uint8_t block[64]) {
+    uint32_t m[16];
+    for (int i = 0; i < 16; ++i) {
+      m[i] = static_cast<uint32_t>(block[4 * i]) |
+             (static_cast<uint32_t>(block[4 * i + 1]) << 8) |
+             (static_cast<uint32_t>(block[4 * i + 2]) << 16) |
+             (static_cast<uint32_t>(block[4 * i + 3]) << 24);
+    }
+    uint32_t va = a, vb = b, vc = c, vd = d;
+    for (int i = 0; i < 64; ++i) {
+      uint32_t f;
+      int g;
+      if (i < 16) {
+        f = (vb & vc) | (~vb & vd);
+        g = i;
+      } else if (i < 32) {
+        f = (vd & vb) | (~vd & vc);
+        g = (5 * i + 1) % 16;
+      } else if (i < 48) {
+        f = vb ^ vc ^ vd;
+        g = (3 * i + 5) % 16;
+      } else {
+        f = vc ^ (vb | ~vd);
+        g = (7 * i) % 16;
+      }
+      uint32_t temp = vd;
+      vd = vc;
+      vc = vb;
+      vb = vb + RotateLeft(va + f + kSine[i] + m[g], kShift[i]);
+      va = temp;
+    }
+    a += va;
+    b += vb;
+    c += vc;
+    d += vd;
+  }
+};
+
+}  // namespace
+
+Md5Digest Md5(std::string_view data) {
+  Md5State state;
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(data.data());
+  size_t len = data.size();
+
+  size_t full_blocks = len / 64;
+  for (size_t i = 0; i < full_blocks; ++i) {
+    state.ProcessBlock(bytes + 64 * i);
+  }
+
+  // Final block(s): remaining bytes + 0x80 pad + zeros + 64-bit bit length.
+  uint8_t tail[128] = {0};
+  size_t rem = len - full_blocks * 64;
+  std::memcpy(tail, bytes + full_blocks * 64, rem);
+  tail[rem] = 0x80;
+  size_t tail_len = (rem + 1 + 8 <= 64) ? 64 : 128;
+  uint64_t bit_len = static_cast<uint64_t>(len) * 8;
+  for (int i = 0; i < 8; ++i) {
+    tail[tail_len - 8 + i] = static_cast<uint8_t>(bit_len >> (8 * i));
+  }
+  state.ProcessBlock(tail);
+  if (tail_len == 128) state.ProcessBlock(tail + 64);
+
+  Md5Digest digest;
+  const uint32_t words[4] = {state.a, state.b, state.c, state.d};
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      digest[4 * i + j] = static_cast<uint8_t>(words[i] >> (8 * j));
+    }
+  }
+  return digest;
+}
+
+std::string Md5Hex(std::string_view data) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  Md5Digest digest = Md5(data);
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[2 * i] = kHex[digest[i] >> 4];
+    out[2 * i + 1] = kHex[digest[i] & 0xf];
+  }
+  return out;
+}
+
+uint64_t Md5Uint64(std::string_view data) {
+  Md5Digest digest = Md5(data);
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value = (value << 8) | digest[i];
+  }
+  return value;
+}
+
+}  // namespace histwalk::util

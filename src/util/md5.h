@@ -1,0 +1,32 @@
+#ifndef HISTWALK_UTIL_MD5_H_
+#define HISTWALK_UTIL_MD5_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+// MD5 (RFC 1321), implemented from scratch.
+//
+// The paper's GNRW-By-MD5 grouping strategy assigns neighbors to strata by
+// the MD5 hash of their user id; hashing the id destroys any correlation
+// with attributes, making it the paper's "random grouping" baseline. MD5 is
+// used here only as a deterministic mixing function, never for security.
+
+namespace histwalk::util {
+
+using Md5Digest = std::array<uint8_t, 16>;
+
+// Digest of an arbitrary byte string.
+Md5Digest Md5(std::string_view data);
+
+// Lower-case hex rendering of a digest ("d41d8cd98f00b204e9800998ecf8427e").
+std::string Md5Hex(std::string_view data);
+
+// First 8 digest bytes as a big-endian integer; convenient for bucketing
+// (e.g. Md5Uint64("12345") % num_groups).
+uint64_t Md5Uint64(std::string_view data);
+
+}  // namespace histwalk::util
+
+#endif  // HISTWALK_UTIL_MD5_H_

@@ -1,0 +1,36 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace histwalk::util {
+
+void ParallelFor(size_t count, const std::function<void(size_t)>& fn,
+                 unsigned num_threads) {
+  if (count == 0) return;
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  unsigned threads = num_threads == 0 ? hw : num_threads;
+  if (threads > count) threads = static_cast<unsigned>(count);
+  if (threads <= 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    while (true) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (unsigned t = 0; t + 1 < threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (auto& th : pool) th.join();
+}
+
+}  // namespace histwalk::util

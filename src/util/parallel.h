@@ -1,0 +1,22 @@
+#ifndef HISTWALK_UTIL_PARALLEL_H_
+#define HISTWALK_UTIL_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+// Minimal fork-join helper for embarrassingly parallel experiment loops
+// (independent walk instances). Determinism is preserved by deriving each
+// task's RNG from SubSeed(seed, task_index) inside the callback, so results
+// do not depend on thread scheduling.
+
+namespace histwalk::util {
+
+// Runs fn(i) for i in [0, count) across up to `num_threads` threads
+// (0 = hardware concurrency). Blocks until all tasks finish. fn must be
+// safe to call concurrently for distinct i.
+void ParallelFor(size_t count, const std::function<void(size_t)>& fn,
+                 unsigned num_threads = 0);
+
+}  // namespace histwalk::util
+
+#endif  // HISTWALK_UTIL_PARALLEL_H_

@@ -1,0 +1,183 @@
+#include "util/random.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace histwalk::util {
+
+namespace {
+
+// SplitMix64 step; used for seeding and sub-seed derivation.
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr uint64_t kPcgMultiplier = 6364136223846793005ULL;
+
+}  // namespace
+
+void Random::Seed(uint64_t seed) {
+  // Derive state and stream from the seed through SplitMix64 so that nearby
+  // seeds (0, 1, 2, ...) still yield unrelated streams.
+  uint64_t sm = seed;
+  state_ = SplitMix64(sm);
+  inc_ = SplitMix64(sm) | 1u;  // stream selector must be odd
+  NextUint32();
+}
+
+uint32_t Random::NextUint32() {
+  uint64_t old = state_;
+  state_ = old * kPcgMultiplier + inc_;
+  uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+uint64_t Random::NextUint64() {
+  return (static_cast<uint64_t>(NextUint32()) << 32) | NextUint32();
+}
+
+uint32_t Random::UniformInt(uint32_t bound) {
+  HW_DCHECK(bound > 0);
+  // Lemire's method: multiply-shift with rejection only in the biased zone.
+  uint64_t m = static_cast<uint64_t>(NextUint32()) * bound;
+  uint32_t low = static_cast<uint32_t>(m);
+  if (low < bound) {
+    uint32_t threshold = -bound % bound;
+    while (low < threshold) {
+      m = static_cast<uint64_t>(NextUint32()) * bound;
+      low = static_cast<uint32_t>(m);
+    }
+  }
+  return static_cast<uint32_t>(m >> 32);
+}
+
+size_t Random::UniformIndex(size_t size) {
+  HW_DCHECK(size > 0);
+  if (size <= UINT32_MAX) return UniformInt(static_cast<uint32_t>(size));
+  // Fallback for containers larger than 2^32 (not expected in practice).
+  uint64_t bound = size;
+  uint64_t r;
+  do {
+    r = NextUint64();
+  } while (r >= bound * (UINT64_MAX / bound));
+  return r % bound;
+}
+
+double Random::UniformDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Random::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+bool Random::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+double Random::Gaussian() {
+  // Box-Muller; draws until the uniform is nonzero so log() is finite.
+  double u1;
+  do {
+    u1 = UniformDouble();
+  } while (u1 == 0.0);
+  double u2 = UniformDouble();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Random::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+double Random::Exponential(double lambda) {
+  HW_DCHECK(lambda > 0.0);
+  double u;
+  do {
+    u = UniformDouble();
+  } while (u == 0.0);
+  return -std::log(u) / lambda;
+}
+
+double Random::Pareto(double x_min, double alpha) {
+  HW_DCHECK(x_min > 0.0);
+  HW_DCHECK(alpha > 1.0);
+  double u;
+  do {
+    u = UniformDouble();
+  } while (u == 0.0);
+  return x_min * std::pow(u, -1.0 / (alpha - 1.0));
+}
+
+size_t Random::WeightedIndex(std::span<const double> weights) {
+  HW_DCHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) total += w;
+  HW_DCHECK(total > 0.0);
+  double target = UniformDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return i;
+  }
+  return weights.size() - 1;  // guards against rounding at the boundary
+}
+
+Random Random::Fork() { return Random(NextUint64()); }
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  HW_CHECK(!weights.empty());
+  const size_t n = weights.size();
+  double total = 0.0;
+  for (double w : weights) {
+    HW_CHECK(w >= 0.0);
+    total += w;
+  }
+  HW_CHECK(total > 0.0);
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  // Vose's algorithm: split normalized weights into "small" and "large"
+  // buckets and pair them so every column has total mass 1/n.
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) scaled[i] = weights[i] * n / total;
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (uint32_t l : large) prob_[l] = 1.0;
+  for (uint32_t s : small) prob_[s] = 1.0;  // numeric leftovers
+}
+
+size_t AliasTable::Sample(Random& rng) const {
+  size_t column = rng.UniformIndex(prob_.size());
+  return rng.UniformDouble() < prob_[column] ? column : alias_[column];
+}
+
+uint64_t SubSeed(uint64_t seed, uint64_t index) {
+  uint64_t state = seed ^ (0xa0761d6478bd642fULL * (index + 1));
+  SplitMix64(state);
+  return SplitMix64(state);
+}
+
+}  // namespace histwalk::util

@@ -1,0 +1,102 @@
+#ifndef HISTWALK_UTIL_RANDOM_H_
+#define HISTWALK_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+
+// Seedable, deterministic random number generation for the library.
+//
+// All stochastic components in histwalk (graph generators, walkers,
+// experiment runners) take an explicit 64-bit seed and draw exclusively from
+// Random, so every experiment is reproducible bit-for-bit across runs and
+// platforms. The engine is PCG32 (O'Neill, 2014): 64-bit state, 32-bit
+// output, period 2^64, passes BigCrush, and is cheap enough for the inner
+// loop of a random walk.
+
+namespace histwalk::util {
+
+class Random {
+ public:
+  // Streams derived from different seeds are statistically independent.
+  explicit Random(uint64_t seed) { Seed(seed); }
+  Random() : Random(0x853c49e6748fea9bULL) {}
+
+  void Seed(uint64_t seed);
+
+  // Uniform bits.
+  uint32_t NextUint32();
+  uint64_t NextUint64();
+
+  // Uniform integer in [0, bound). `bound` must be positive. Uses Lemire's
+  // nearly-divisionless unbiased method.
+  uint32_t UniformInt(uint32_t bound);
+  // Uniform index into a container of `size` elements; size must be > 0.
+  size_t UniformIndex(size_t size);
+
+  // Uniform double in [0, 1) with 53 random bits.
+  double UniformDouble();
+  // Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  // Bernoulli trial with success probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  // Standard normal via Box-Muller (no state carried between calls).
+  double Gaussian();
+  double Gaussian(double mean, double stddev);
+
+  // Exponential with rate lambda > 0.
+  double Exponential(double lambda);
+
+  // Pareto-tailed positive value: x_min * U^{-1/(alpha-1)}, alpha > 1.
+  // Used for power-law degree sequences and heavy-tailed attributes.
+  double Pareto(double x_min, double alpha);
+
+  // In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::span<T> items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = UniformIndex(i);
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  // Index drawn with probability proportional to weights[i]. Linear scan;
+  // use AliasTable for repeated draws from the same distribution.
+  size_t WeightedIndex(std::span<const double> weights);
+
+  // Forks an independent child generator; used to give each parallel
+  // experiment instance its own stream.
+  Random Fork();
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+// Alias-method sampler: O(n) setup, O(1) per draw from a fixed discrete
+// distribution. Used by the Chung-Lu generator and degree-weighted sampling.
+class AliasTable {
+ public:
+  // Weights must be non-negative with a positive sum.
+  explicit AliasTable(std::span<const double> weights);
+
+  size_t Sample(Random& rng) const;
+  size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+// Splits a 64-bit seed into a well-mixed stream of sub-seeds (SplitMix64).
+// Deterministic: seed + index fully determine the result.
+uint64_t SubSeed(uint64_t seed, uint64_t index);
+
+}  // namespace histwalk::util
+
+#endif  // HISTWALK_UTIL_RANDOM_H_

@@ -1,0 +1,135 @@
+#ifndef HISTWALK_UTIL_STATUS_H_
+#define HISTWALK_UTIL_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+// Status / Result<T> error handling for the histwalk library.
+//
+// The library does not use exceptions (per the project style). Fallible
+// operations return a Status, or a Result<T> when they also produce a value.
+// Programmer errors (broken invariants) abort through the HW_CHECK macros in
+// util/check.h instead.
+
+namespace histwalk::util {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,  // e.g. a query budget has been spent
+  kInternal,
+};
+
+// Returns a stable lower-case name for `code` ("ok", "invalid_argument", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+// A cheap value type carrying an error code and a human-readable message.
+// The OK status carries no message and allocates nothing.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Result<T> is either a value or a non-OK Status (never both).
+//
+//   Result<Graph> g = builder.Build();
+//   if (!g.ok()) return g.status();
+//   Use(*g);
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    // A Result constructed from a status must carry an error; an OK status
+    // with no value would be unusable.
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  T&& operator*() && { return *std::move(value_); }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value
+};
+
+}  // namespace histwalk::util
+
+// Propagates a non-OK status from an expression producing a Status.
+#define HW_RETURN_IF_ERROR(expr)                  \
+  do {                                            \
+    ::histwalk::util::Status hw_status_ = (expr); \
+    if (!hw_status_.ok()) return hw_status_;      \
+  } while (false)
+
+// Evaluates a Result<T> expression, propagating the error or binding the
+// value: HW_ASSIGN_OR_RETURN(auto g, builder.Build());
+#define HW_ASSIGN_OR_RETURN(lhs, expr)             \
+  HW_ASSIGN_OR_RETURN_IMPL_(                       \
+      HW_STATUS_CONCAT_(hw_result_, __LINE__), lhs, expr)
+#define HW_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+#define HW_STATUS_CONCAT_(a, b) HW_STATUS_CONCAT_IMPL_(a, b)
+#define HW_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // HISTWALK_UTIL_STATUS_H_

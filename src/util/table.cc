@@ -1,0 +1,103 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+#include "util/check.h"
+
+namespace histwalk::util {
+
+TextTable::TextTable(std::vector<std::string> column_names)
+    : columns_(std::move(column_names)) {
+  HW_CHECK(!columns_.empty());
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  HW_CHECK_MSG(cells.size() == columns_.size(),
+               "row width must match column count");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::Cell(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+  return buf;
+}
+
+std::string TextTable::Cell(uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  return buf;
+}
+
+std::string TextTable::Cell(int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  return buf;
+}
+
+void TextTable::Print(std::ostream& os) const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << row[c];
+      os << std::string(widths[c] - row[c].size(), ' ');
+    }
+    os << '\n';
+  };
+  print_row(columns_);
+  size_t total = 0;
+  for (size_t w : widths) total += w;
+  os << std::string(total + 2 * (widths.size() - 1), '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+namespace {
+
+std::string CsvEscape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string TextTable::ToCsv() const {
+  std::string out;
+  auto append_row = [&out](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ',';
+      out += CsvEscape(row[c]);
+    }
+    out += '\n';
+  };
+  append_row(columns_);
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+Status TextTable::WriteCsv(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  file << ToCsv();
+  if (!file) return Status::Internal("write failed: " + path);
+  return Status::Ok();
+}
+
+}  // namespace histwalk::util

@@ -1,0 +1,47 @@
+#ifndef HISTWALK_UTIL_TABLE_H_
+#define HISTWALK_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+// Plain-text and CSV rendering of result tables. Every bench binary prints
+// its figure/table through TextTable so the output matches the rows/series
+// the paper reports and can be diffed or re-plotted from the CSV dump.
+
+namespace histwalk::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> column_names);
+
+  // Appends a row; the number of cells must equal the number of columns.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with `precision` significant decimals.
+  static std::string Cell(double value, int precision = 4);
+  static std::string Cell(uint64_t value);
+  static std::string Cell(int64_t value);
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return columns_.size(); }
+  const std::vector<std::string>& row(size_t i) const { return rows_[i]; }
+  const std::vector<std::string>& columns() const { return columns_; }
+
+  // Aligned, human-readable rendering with a header rule.
+  void Print(std::ostream& os) const;
+
+  // RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines).
+  std::string ToCsv() const;
+  Status WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace histwalk::util
+
+#endif  // HISTWALK_UTIL_TABLE_H_

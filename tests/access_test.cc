@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "access/graph_access.h"
+#include "access/rate_limiter.h"
+#include "graph/generators.h"
+
+namespace histwalk::access {
+namespace {
+
+class GraphAccessTest : public testing::Test {
+ protected:
+  GraphAccessTest() : graph_(graph::MakeCycle(6)), attrs_(6) {
+    auto id = attrs_.AddColumn("age", {10, 20, 30, 40, 50, 60});
+    EXPECT_TRUE(id.ok());
+    age_ = *id;
+  }
+  graph::Graph graph_;
+  attr::AttributeTable attrs_;
+  attr::AttrId age_ = 0;
+};
+
+TEST_F(GraphAccessTest, NeighborsMatchGraph) {
+  GraphAccess access(&graph_, &attrs_);
+  auto ns = access.Neighbors(0);
+  ASSERT_TRUE(ns.ok());
+  ASSERT_EQ(ns->size(), 2u);
+  EXPECT_EQ((*ns)[0], 1u);
+  EXPECT_EQ((*ns)[1], 5u);
+}
+
+TEST_F(GraphAccessTest, UniqueQueryAccounting) {
+  GraphAccess access(&graph_, &attrs_);
+  EXPECT_TRUE(access.Neighbors(0).ok());
+  EXPECT_TRUE(access.Neighbors(1).ok());
+  EXPECT_TRUE(access.Neighbors(0).ok());  // cache hit
+  const QueryStats& stats = access.stats();
+  EXPECT_EQ(stats.total_queries, 3u);
+  EXPECT_EQ(stats.unique_queries, 2u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(access.unique_query_count(), 2u);
+}
+
+TEST_F(GraphAccessTest, BudgetRefusesNewQueriesButServesCache) {
+  GraphAccess access(&graph_, &attrs_, {.query_budget = 2});
+  EXPECT_TRUE(access.Neighbors(0).ok());
+  EXPECT_TRUE(access.Neighbors(1).ok());
+  auto refused = access.Neighbors(2);
+  EXPECT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), util::StatusCode::kResourceExhausted);
+  // Cached nodes still answer after exhaustion.
+  EXPECT_TRUE(access.Neighbors(0).ok());
+  EXPECT_EQ(access.unique_query_count(), 2u);
+  EXPECT_EQ(access.remaining_budget(), 0u);
+}
+
+TEST_F(GraphAccessTest, UnlimitedBudgetReportsMax) {
+  GraphAccess access(&graph_, &attrs_);
+  EXPECT_EQ(access.remaining_budget(), UINT64_MAX);
+}
+
+TEST_F(GraphAccessTest, UnknownNodeIsOutOfRange) {
+  GraphAccess access(&graph_, &attrs_);
+  EXPECT_EQ(access.Neighbors(99).status().code(),
+            util::StatusCode::kOutOfRange);
+  EXPECT_EQ(access.Attribute(99, age_).status().code(),
+            util::StatusCode::kOutOfRange);
+  EXPECT_EQ(access.SummaryDegree(99).status().code(),
+            util::StatusCode::kOutOfRange);
+  // A refused query is not charged.
+  EXPECT_EQ(access.stats().total_queries, 0u);
+}
+
+TEST_F(GraphAccessTest, AttributesAndSummaryDegreeAreFree) {
+  GraphAccess access(&graph_, &attrs_);
+  auto age = access.Attribute(3, age_);
+  ASSERT_TRUE(age.ok());
+  EXPECT_DOUBLE_EQ(*age, 40.0);
+  auto degree = access.SummaryDegree(3);
+  ASSERT_TRUE(degree.ok());
+  EXPECT_EQ(*degree, 2u);
+  EXPECT_EQ(access.stats().total_queries, 0u);
+  EXPECT_EQ(access.unique_query_count(), 0u);
+}
+
+TEST_F(GraphAccessTest, MissingAttributeTable) {
+  GraphAccess access(&graph_, nullptr);
+  EXPECT_EQ(access.Attribute(0, 0).status().code(),
+            util::StatusCode::kNotFound);
+}
+
+TEST_F(GraphAccessTest, ResetAccountingRestoresBudgetAndCache) {
+  GraphAccess access(&graph_, &attrs_, {.query_budget = 1});
+  EXPECT_TRUE(access.Neighbors(0).ok());
+  EXPECT_FALSE(access.Neighbors(1).ok());
+  access.ResetAccounting();
+  EXPECT_EQ(access.unique_query_count(), 0u);
+  EXPECT_EQ(access.remaining_budget(), 1u);
+  EXPECT_TRUE(access.Neighbors(1).ok());
+}
+
+TEST(RateLimiterTest, WithinWindowIsInstant) {
+  RateLimiter limiter(RateLimitPolicy{.calls_per_window = 3,
+                                      .window_seconds = 100});
+  EXPECT_EQ(limiter.RecordQuery(), 0u);
+  EXPECT_EQ(limiter.RecordQuery(), 0u);
+  EXPECT_EQ(limiter.RecordQuery(), 0u);
+  EXPECT_EQ(limiter.queries_issued(), 3u);
+  EXPECT_EQ(limiter.elapsed_seconds(), 0u);
+}
+
+TEST(RateLimiterTest, ExhaustedWindowAdvancesClock) {
+  RateLimiter limiter(RateLimitPolicy{.calls_per_window = 2,
+                                      .window_seconds = 60});
+  limiter.RecordQuery();
+  limiter.RecordQuery();
+  EXPECT_EQ(limiter.RecordQuery(), 60u);  // third call waits one window
+  EXPECT_EQ(limiter.RecordQuery(), 60u);
+  EXPECT_EQ(limiter.RecordQuery(), 120u);
+  EXPECT_EQ(limiter.elapsed_seconds(), 120u);
+}
+
+TEST(RateLimiterTest, EstimateSecondsMatchesSimulation) {
+  RateLimitPolicy policy{.calls_per_window = 15, .window_seconds = 900};
+  // Twitter: 1000 queries => 66 full windows of waiting.
+  EXPECT_EQ(RateLimiter::EstimateSeconds(policy, 1000), 66u * 900u);
+  EXPECT_EQ(RateLimiter::EstimateSeconds(policy, 15), 0u);
+  EXPECT_EQ(RateLimiter::EstimateSeconds(policy, 16), 900u);
+  EXPECT_EQ(RateLimiter::EstimateSeconds(policy, 0), 0u);
+
+  RateLimiter limiter(policy);
+  uint64_t last = 0;
+  for (int i = 0; i < 1000; ++i) last = limiter.RecordQuery();
+  EXPECT_EQ(last, RateLimiter::EstimateSeconds(policy, 1000));
+}
+
+TEST(RateLimiterTest, PresetPolicies) {
+  EXPECT_EQ(RateLimitPolicy::Twitter().calls_per_window, 15u);
+  EXPECT_EQ(RateLimitPolicy::Yelp().calls_per_window, 25'000u);
+}
+
+}  // namespace
+}  // namespace histwalk::access

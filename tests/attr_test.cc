@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "attr/attribute.h"
+#include "attr/grouping.h"
+#include "attr/synthesis.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+
+namespace histwalk::attr {
+namespace {
+
+TEST(AttributeTableTest, AddAndLookup) {
+  AttributeTable table(4);
+  auto id = table.AddColumn("age", {10.0, 20.0, 30.0, 40.0});
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(table.num_attributes(), 1u);
+  EXPECT_EQ(table.name(*id), "age");
+  EXPECT_DOUBLE_EQ(table.Value(2, *id), 30.0);
+  EXPECT_DOUBLE_EQ(table.Mean(*id), 25.0);
+  auto found = table.Find("age");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, *id);
+}
+
+TEST(AttributeTableTest, WrongSizeColumnRejected) {
+  AttributeTable table(3);
+  auto id = table.AddColumn("bad", {1.0, 2.0});
+  EXPECT_FALSE(id.ok());
+  EXPECT_EQ(id.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(AttributeTableTest, DuplicateNameRejected) {
+  AttributeTable table(2);
+  ASSERT_TRUE(table.AddColumn("x", {1.0, 2.0}).ok());
+  EXPECT_FALSE(table.AddColumn("x", {3.0, 4.0}).ok());
+}
+
+TEST(AttributeTableTest, FindMissingFails) {
+  AttributeTable table(2);
+  EXPECT_EQ(table.Find("nope").status().code(),
+            util::StatusCode::kNotFound);
+}
+
+TEST(HomophilyTest, SmoothingInducesEdgeCorrelation) {
+  util::Random rng(1);
+  graph::SocialSurrogateParams params;
+  params.num_nodes = 2000;
+  graph::Graph g =
+      graph::LargestComponent(graph::MakeSocialSurrogate(params, rng));
+
+  // Uncorrelated baseline.
+  std::vector<double> random_values(g.num_nodes());
+  for (double& v : random_values) v = rng.Gaussian();
+  double r0 = EdgeValueCorrelation(g, random_values);
+  EXPECT_NEAR(r0, 0.0, 0.05);
+
+  HomophilyParams hp;
+  std::vector<double> homophilous = MakeHomophilousAttribute(g, hp, rng);
+  double r1 = EdgeValueCorrelation(g, homophilous);
+  EXPECT_GT(r1, 0.3);
+}
+
+TEST(HomophilyTest, OutputIsStandardized) {
+  util::Random rng(2);
+  graph::Graph g = graph::MakeComplete(50);
+  HomophilyParams hp;
+  std::vector<double> values = MakeHomophilousAttribute(g, hp, rng);
+  double mean = 0.0, var = 0.0;
+  for (double v : values) mean += v;
+  mean /= values.size();
+  for (double v : values) var += (v - mean) * (v - mean);
+  var /= values.size();
+  EXPECT_NEAR(mean, 0.0, 1e-9);
+  EXPECT_NEAR(var, 1.0, 1e-9);
+}
+
+TEST(HeavyTailedTest, PositiveAndSkewed) {
+  util::Random rng(3);
+  graph::SocialSurrogateParams params;
+  params.num_nodes = 1500;
+  graph::Graph g =
+      graph::LargestComponent(graph::MakeSocialSurrogate(params, rng));
+  HomophilyParams hp;
+  std::vector<double> values = MakeHeavyTailedAttribute(g, hp, 20.0, rng);
+  double mean = 0.0, max_v = 0.0;
+  for (double v : values) {
+    ASSERT_GT(v, 0.0);
+    mean += v;
+    max_v = std::max(max_v, v);
+  }
+  mean /= values.size();
+  // Log-normal-ish: the max dwarfs the mean.
+  EXPECT_GT(max_v, 4.0 * mean);
+  // Still homophilous after the exp transform.
+  EXPECT_GT(EdgeValueCorrelation(g, values), 0.15);
+}
+
+TEST(DegreeCorrelatedTest, TracksDegree) {
+  util::Random rng(4);
+  graph::Graph g = graph::MakeBarbell(20);
+  std::vector<double> values =
+      MakeDegreeCorrelatedAttribute(g, 0.05, rng);
+  // Bridge endpoints have degree 20, others 19 — values follow suit.
+  EXPECT_GT(values[19], 0.8 * 20);
+  for (double v : values) EXPECT_GT(v, 0.0);
+}
+
+TEST(GroupingTest, QuantileGroupsAreBalanced) {
+  util::Random rng(5);
+  graph::Graph g = graph::MakeComplete(100);
+  std::vector<double> values(100);
+  for (int i = 0; i < 100; ++i) values[i] = rng.UniformDouble();
+  auto grouping = MakeQuantileGrouping(g, values, 4, "by_value");
+  EXPECT_EQ(grouping->num_groups(), 4u);
+  EXPECT_EQ(grouping->name(), "by_value");
+  std::vector<int> counts(4, 0);
+  for (graph::NodeId v = 0; v < 100; ++v) {
+    ++counts[grouping->GroupOf(v)];
+  }
+  for (int c : counts) EXPECT_EQ(c, 25);
+}
+
+TEST(GroupingTest, QuantileGroupsOrderByValue) {
+  graph::Graph g = graph::MakeComplete(8);
+  std::vector<double> values{7, 6, 5, 4, 3, 2, 1, 0};
+  auto grouping = MakeQuantileGrouping(g, values, 2, "by_value");
+  // Low values land in group 0.
+  EXPECT_EQ(grouping->GroupOf(7), 0u);
+  EXPECT_EQ(grouping->GroupOf(0), 1u);
+}
+
+TEST(GroupingTest, DegreeGroupingSeparatesHubs) {
+  graph::Graph g = graph::MakeStar(40);
+  auto grouping = MakeDegreeGrouping(g, 2);
+  // The hub (highest degree) is in the top group; leaves in the bottom.
+  EXPECT_EQ(grouping->GroupOf(0), 1u);
+  EXPECT_EQ(grouping->GroupOf(1), 0u);
+}
+
+TEST(GroupingTest, Md5GroupingIsDeterministicAndBalanced) {
+  auto grouping = MakeMd5Grouping(5);
+  EXPECT_EQ(grouping->num_groups(), 5u);
+  EXPECT_EQ(grouping->name(), "by_md5");
+  std::vector<int> counts(5, 0);
+  for (graph::NodeId v = 0; v < 5000; ++v) {
+    GroupId g1 = grouping->GroupOf(v);
+    EXPECT_EQ(g1, grouping->GroupOf(v));  // stable
+    ++counts[g1];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 1000, 150);
+}
+
+TEST(GroupingTest, FixedGroupingReturnsLabels) {
+  auto grouping = MakeFixedGrouping({0, 1, 2, 1}, 3, "planted");
+  EXPECT_EQ(grouping->GroupOf(0), 0u);
+  EXPECT_EQ(grouping->GroupOf(3), 1u);
+  EXPECT_EQ(grouping->num_groups(), 3u);
+}
+
+}  // namespace
+}  // namespace histwalk::attr

@@ -1,0 +1,142 @@
+#include "core/circulation.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace histwalk::core {
+namespace {
+
+TEST(CirculationStateTest, InitializationFlag) {
+  CirculationState state;
+  EXPECT_FALSE(state.initialized());
+  std::vector<graph::NodeId> candidates{1, 2, 3};
+  state.Init(candidates);
+  EXPECT_TRUE(state.initialized());
+  EXPECT_EQ(state.remaining(), 3u);
+}
+
+TEST(CirculationStateTest, OneRoundCoversEveryCandidateOnce) {
+  util::Random rng(1);
+  CirculationState state;
+  std::vector<graph::NodeId> candidates{10, 20, 30, 40, 50};
+  state.Init(candidates);
+  std::multiset<graph::NodeId> drawn;
+  for (int i = 0; i < 5; ++i) drawn.insert(state.Draw(rng));
+  EXPECT_EQ(drawn.size(), 5u);
+  for (graph::NodeId c : candidates) EXPECT_EQ(drawn.count(c), 1u);
+}
+
+TEST(CirculationStateTest, EveryRoundIsAPermutation) {
+  util::Random rng(2);
+  CirculationState state;
+  std::vector<graph::NodeId> candidates{1, 2, 3, 4};
+  state.Init(candidates);
+  for (int round = 0; round < 10; ++round) {
+    std::set<graph::NodeId> seen;
+    for (int i = 0; i < 4; ++i) seen.insert(state.Draw(rng));
+    EXPECT_EQ(seen.size(), 4u) << "round " << round;
+  }
+}
+
+TEST(CirculationStateTest, WithinRoundCountsDifferByAtMostOne) {
+  // The paper's equation (31): after M draws the per-candidate counts
+  // differ by at most 1.
+  util::Random rng(3);
+  CirculationState state;
+  std::vector<graph::NodeId> candidates{7, 8, 9};
+  state.Init(candidates);
+  std::map<graph::NodeId, int> counts;
+  for (int m = 1; m <= 50; ++m) {
+    ++counts[state.Draw(rng)];
+    int lo = INT32_MAX, hi = 0;
+    for (graph::NodeId c : candidates) {
+      lo = std::min(lo, counts[c]);
+      hi = std::max(hi, counts[c]);
+    }
+    EXPECT_LE(hi - lo, 1) << "after " << m << " draws";
+  }
+}
+
+TEST(CirculationStateTest, FirstDrawIsUniform) {
+  std::map<graph::NodeId, int> counts;
+  constexpr int kTrials = 30000;
+  for (int t = 0; t < kTrials; ++t) {
+    util::Random rng(1000 + t);
+    CirculationState state;
+    std::vector<graph::NodeId> candidates{1, 2, 3};
+    state.Init(candidates);
+    ++counts[state.Draw(rng)];
+  }
+  for (graph::NodeId c : {1u, 2u, 3u}) {
+    EXPECT_NEAR(counts[c] / static_cast<double>(kTrials), 1.0 / 3.0, 0.02);
+  }
+}
+
+TEST(CirculationStateTest, SecondDrawUniformOverRemaining) {
+  // Given the first draw, the second is uniform over the other two.
+  std::map<graph::NodeId, int> second_given_first_is_1;
+  int first_is_1 = 0;
+  for (int t = 0; t < 30000; ++t) {
+    util::Random rng(5000 + t);
+    CirculationState state;
+    std::vector<graph::NodeId> candidates{1, 2, 3};
+    state.Init(candidates);
+    graph::NodeId first = state.Draw(rng);
+    graph::NodeId second = state.Draw(rng);
+    EXPECT_NE(first, second);
+    if (first == 1) {
+      ++first_is_1;
+      ++second_given_first_is_1[second];
+    }
+  }
+  ASSERT_GT(first_is_1, 1000);
+  EXPECT_NEAR(second_given_first_is_1[2] / static_cast<double>(first_is_1),
+              0.5, 0.03);
+}
+
+TEST(CirculationStateTest, SingleCandidateAlwaysReturned) {
+  util::Random rng(4);
+  CirculationState state;
+  std::vector<graph::NodeId> candidates{42};
+  state.Init(candidates);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(state.Draw(rng), 42u);
+}
+
+TEST(CirculationStateTest, RemainingDecrementsAndResets) {
+  util::Random rng(5);
+  CirculationState state;
+  std::vector<graph::NodeId> candidates{1, 2, 3};
+  state.Init(candidates);
+  EXPECT_EQ(state.remaining(), 3u);
+  state.Draw(rng);
+  EXPECT_EQ(state.remaining(), 2u);
+  state.Draw(rng);
+  state.Draw(rng);
+  EXPECT_EQ(state.remaining(), 0u);
+  state.Draw(rng);  // new round
+  EXPECT_EQ(state.remaining(), 2u);
+}
+
+TEST(EdgeKeyTest, UniquePerDirectedEdge) {
+  EXPECT_NE(EdgeKey(1, 2), EdgeKey(2, 1));
+  EXPECT_EQ(EdgeKey(1, 2), EdgeKey(1, 2));
+  EXPECT_NE(EdgeKey(0, 7), EdgeKey(7, 0));
+}
+
+TEST(CirculationMapTest, MemoryGrowsWithEntries) {
+  CirculationMap map;
+  uint64_t empty = CirculationMapBytes(map);
+  util::Random rng(6);
+  std::vector<graph::NodeId> candidates{1, 2, 3, 4, 5, 6, 7, 8};
+  for (uint64_t k = 0; k < 100; ++k) {
+    map[k].Init(candidates);
+  }
+  EXPECT_GT(CirculationMapBytes(map), empty + 100 * 8);
+}
+
+}  // namespace
+}  // namespace histwalk::core

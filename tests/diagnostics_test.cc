@@ -1,0 +1,168 @@
+#include "estimate/diagnostics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "access/graph_access.h"
+#include "core/walker_factory.h"
+#include "estimate/walk_runner.h"
+#include "graph/generators.h"
+#include "util/random.h"
+
+namespace histwalk::estimate {
+namespace {
+
+std::vector<double> IidGaussians(size_t n, uint64_t seed) {
+  util::Random rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.Gaussian();
+  return v;
+}
+
+std::vector<double> Ar1(size_t n, double rho, uint64_t seed) {
+  util::Random rng(seed);
+  std::vector<double> v(n);
+  double x = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    x = rho * x + rng.Gaussian();
+    v[i] = x;
+  }
+  return v;
+}
+
+TEST(AutocorrelationTest, IidIsNearZeroAtPositiveLags) {
+  auto v = IidGaussians(50000, 1);
+  EXPECT_NEAR(Autocorrelation(v, 1), 0.0, 0.02);
+  EXPECT_NEAR(Autocorrelation(v, 5), 0.0, 0.02);
+}
+
+TEST(AutocorrelationTest, LagZeroIsOne) {
+  auto v = IidGaussians(1000, 2);
+  EXPECT_NEAR(Autocorrelation(v, 0), 1.0, 1e-9);
+}
+
+TEST(AutocorrelationTest, Ar1MatchesRhoPowers) {
+  const double rho = 0.8;
+  auto v = Ar1(200000, rho, 3);
+  EXPECT_NEAR(Autocorrelation(v, 1), rho, 0.02);
+  EXPECT_NEAR(Autocorrelation(v, 2), rho * rho, 0.03);
+  EXPECT_NEAR(Autocorrelation(v, 3), rho * rho * rho, 0.03);
+}
+
+TEST(AutocorrelationTest, DegenerateInputs) {
+  std::vector<double> constant(100, 3.0);
+  EXPECT_DOUBLE_EQ(Autocorrelation(constant, 1), 0.0);
+  std::vector<double> tiny{1.0};
+  EXPECT_DOUBLE_EQ(Autocorrelation(tiny, 1), 0.0);
+  auto v = IidGaussians(50, 4);
+  EXPECT_DOUBLE_EQ(Autocorrelation(v, 100), 0.0);  // lag beyond n
+}
+
+TEST(IatTest, IidIsAboutOne) {
+  auto v = IidGaussians(100000, 5);
+  EXPECT_NEAR(IntegratedAutocorrelationTime(v), 1.0, 0.15);
+}
+
+TEST(IatTest, Ar1MatchesTheory) {
+  // IAT of AR(1) = (1 + rho) / (1 - rho).
+  const double rho = 0.7;
+  auto v = Ar1(300000, rho, 6);
+  double expected = (1 + rho) / (1 - rho);  // ~5.67
+  EXPECT_NEAR(IntegratedAutocorrelationTime(v), expected, 0.8);
+}
+
+TEST(IatTest, NeverBelowOne) {
+  // Antithetic series has negative rho(1); IAT clamps at 1.
+  std::vector<double> v(1000);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = (i % 2 == 0) ? 1.0 : -1.0;
+  EXPECT_GE(IntegratedAutocorrelationTime(v), 1.0);
+}
+
+TEST(EssTest, IidEssIsAboutN) {
+  auto v = IidGaussians(50000, 7);
+  EXPECT_NEAR(EffectiveSampleSize(v), 50000.0, 7000.0);
+}
+
+TEST(EssTest, StickyChainShrinksEss) {
+  auto v = Ar1(100000, 0.9, 8);
+  double ess = EffectiveSampleSize(v);
+  EXPECT_LT(ess, 12000.0);  // IAT ~ 19 => ESS ~ 5300
+  EXPECT_GT(ess, 1000.0);
+}
+
+TEST(GewekeTest, StationaryChainHasSmallZ) {
+  auto v = Ar1(100000, 0.5, 9);
+  EXPECT_LT(std::fabs(GewekeZScore(v)), 3.0);
+}
+
+TEST(GewekeTest, DriftingChainHasLargeZ) {
+  // Linear drift: early and late means differ by far more than noise.
+  util::Random rng(10);
+  std::vector<double> v(20000);
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = 0.001 * static_cast<double>(i) + rng.Gaussian();
+  }
+  EXPECT_GT(std::fabs(GewekeZScore(v)), 5.0);
+}
+
+TEST(GewekeTest, ShortChainsReturnZero) {
+  std::vector<double> v(10, 1.0);
+  EXPECT_DOUBLE_EQ(GewekeZScore(v), 0.0);
+}
+
+TEST(DiagnoseTest, BundlesAllFields) {
+  auto v = Ar1(50000, 0.6, 11);
+  ChainDiagnostics d = Diagnose(v);
+  EXPECT_NEAR(d.mean, 0.0, 0.1);
+  EXPECT_GT(d.variance, 1.0);  // stationary var = 1/(1-0.36) ~ 1.56
+  EXPECT_GT(d.iat, 2.0);
+  EXPECT_NEAR(d.ess, v.size() / d.iat, 1.0);
+  EXPECT_LT(std::fabs(d.geweke_z), 4.0);
+}
+
+// Walk-level behaviour: CNRW's circulation reduces the degree series'
+// autocorrelation relative to SRW on a trap-heavy graph.
+TEST(DiagnoseTest, CnrwImprovesEssOnCliqueChain) {
+  graph::Graph g = graph::MakeCliqueChain({6, 8, 10});
+  auto measure = [&](core::WalkerType type, uint64_t seed) {
+    access::GraphAccess access(&g, nullptr);
+    auto walker = core::MakeWalker({.type = type}, &access, seed);
+    EXPECT_TRUE(walker.ok());
+    EXPECT_TRUE((*walker)->Reset(0).ok());
+    TracedWalk trace = TraceWalk(**walker, {.max_steps = 150000});
+    std::vector<double> f(trace.nodes.size());
+    for (size_t t = 0; t < f.size(); ++t) {
+      // Clique-id measure: the slow direction of this chain.
+      f[t] = trace.nodes[t] < 6 ? 0.0 : (trace.nodes[t] < 14 ? 1.0 : 2.0);
+    }
+    return EffectiveSampleSize(f);
+  };
+  double ess_srw = measure(core::WalkerType::kSrw, 21);
+  double ess_cnrw = measure(core::WalkerType::kCnrw, 22);
+  EXPECT_GT(ess_cnrw, ess_srw) << "CNRW should mix the slow coordinate "
+                                  "faster";
+}
+
+TEST(DiagnoseTest, MhrwSelfLoopsInflateIat) {
+  // MHRW's rejected proposals repeat the current value, inflating IAT
+  // relative to SRW on a degree-skewed graph.
+  graph::Graph g = graph::MakeStar(20);
+  auto iat = [&](core::WalkerType type, uint64_t seed) {
+    access::GraphAccess access(&g, nullptr);
+    auto walker = core::MakeWalker({.type = type}, &access, seed);
+    EXPECT_TRUE(walker.ok());
+    EXPECT_TRUE((*walker)->Reset(0).ok());
+    TracedWalk trace = TraceWalk(**walker, {.max_steps = 60000});
+    std::vector<double> f(trace.nodes.size());
+    for (size_t t = 0; t < f.size(); ++t) {
+      f[t] = static_cast<double>(trace.nodes[t]);
+    }
+    return IntegratedAutocorrelationTime(f);
+  };
+  EXPECT_GT(iat(core::WalkerType::kMhrw, 31), iat(core::WalkerType::kSrw, 32));
+}
+
+}  // namespace
+}  // namespace histwalk::estimate

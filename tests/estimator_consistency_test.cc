@@ -1,0 +1,148 @@
+// Parameterized consistency suite: for every sampler and several
+// topologies, the reweighted aggregate estimate must converge to the truth
+// as the walk grows (the statistical contract behind every figure), and
+// estimates must be invariant to the quantities the theory says they
+// should not depend on (start node, seed — in distribution).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "access/graph_access.h"
+#include "attr/grouping.h"
+#include "core/walker_factory.h"
+#include "estimate/estimators.h"
+#include "estimate/walk_runner.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "metrics/divergence.h"
+#include "util/random.h"
+
+namespace histwalk::estimate {
+namespace {
+
+struct Combo {
+  std::string name;
+  core::WalkerType type;
+  std::string graph;
+  bool needs_grouping = false;
+};
+
+std::vector<Combo> Combos() {
+  return {
+      {"SRW_ba", core::WalkerType::kSrw, "ba"},
+      {"SRW_ws", core::WalkerType::kSrw, "ws"},
+      {"NB_SRW_ba", core::WalkerType::kNbSrw, "ba"},
+      {"CNRW_ba", core::WalkerType::kCnrw, "ba"},
+      {"CNRW_ws", core::WalkerType::kCnrw, "ws"},
+      {"NB_CNRW_ba", core::WalkerType::kNbCnrw, "ba"},
+      {"CNRW_node_ws", core::WalkerType::kCnrwNode, "ws"},
+      {"GNRW_ba", core::WalkerType::kGnrw, "ba", true},
+      {"GNRW_ws", core::WalkerType::kGnrw, "ws", true},
+      {"MHRW_ba", core::WalkerType::kMhrw, "ba"},
+  };
+}
+
+graph::Graph MakeGraph(const std::string& which) {
+  util::Random rng(777);
+  if (which == "ba") {
+    return graph::LargestComponent(graph::MakeBarabasiAlbert(400, 3, rng));
+  }
+  return graph::MakeWattsStrogatz(400, 8, 0.15, rng);
+}
+
+class ConsistencyTest : public testing::TestWithParam<size_t> {};
+
+TEST_P(ConsistencyTest, AverageDegreeEstimateConverges) {
+  Combo combo = Combos()[GetParam()];
+  graph::Graph g = MakeGraph(combo.graph);
+  double truth = g.AverageDegree();
+  std::unique_ptr<attr::Grouping> grouping;
+  if (combo.needs_grouping) grouping = attr::MakeMd5Grouping(4);
+
+  access::GraphAccess access(&g, nullptr);
+  auto walker = core::MakeWalker(
+      {.type = combo.type, .grouping = grouping.get()}, &access, 42);
+  ASSERT_TRUE(walker.ok());
+  ASSERT_TRUE((*walker)->Reset(0).ok());
+  TracedWalk trace = TraceWalk(**walker, {.max_steps = 120000});
+
+  // Error must shrink (up to noise) as the prefix grows 100 -> full.
+  auto error_at = [&](uint64_t steps) {
+    double estimate = EstimateAverageDegree(
+        std::span<const uint32_t>(trace.degrees).first(steps),
+        (*walker)->bias());
+    return metrics::RelativeError(estimate, truth);
+  };
+  double early = error_at(100);
+  double late = error_at(trace.num_steps());
+  EXPECT_LT(late, 0.03) << combo.name << ": final error too large";
+  EXPECT_LT(late, early + 0.01) << combo.name << ": error did not shrink";
+}
+
+TEST_P(ConsistencyTest, EstimateIsStartNodeInvariantInDistribution) {
+  Combo combo = Combos()[GetParam()];
+  graph::Graph g = MakeGraph(combo.graph);
+  std::unique_ptr<attr::Grouping> grouping;
+  if (combo.needs_grouping) grouping = attr::MakeMd5Grouping(4);
+
+  // Long walks from two very different starts agree on the estimand.
+  auto estimate_from = [&](graph::NodeId start, uint64_t seed) {
+    access::GraphAccess access(&g, nullptr);
+    auto walker = core::MakeWalker(
+        {.type = combo.type, .grouping = grouping.get()}, &access, seed);
+    EXPECT_TRUE(walker.ok());
+    EXPECT_TRUE((*walker)->Reset(start).ok());
+    TracedWalk trace = TraceWalk(**walker, {.max_steps = 100000});
+    return EstimateAverageDegree(trace.degrees, (*walker)->bias());
+  };
+  double a = estimate_from(0, 1);
+  double b = estimate_from(static_cast<graph::NodeId>(g.num_nodes() - 1), 2);
+  EXPECT_NEAR(a, b, 0.05 * g.AverageDegree()) << combo.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombos, ConsistencyTest,
+                         testing::Range<size_t>(0, Combos().size()),
+                         [](const testing::TestParamInfo<size_t>& info) {
+                           return Combos()[info.param].name;
+                         });
+
+// Proportion and SUM aggregates converge too (spot check, SRW + CNRW).
+TEST(AggregateConsistencyTest, ProportionAndSumConverge) {
+  util::Random rng(9);
+  graph::Graph g =
+      graph::LargestComponent(graph::MakeBarabasiAlbert(500, 3, rng));
+  // Predicate: node id divisible by 3 (no degree correlation).
+  double truth_share = 0.0;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    truth_share += (v % 3 == 0) ? 1.0 : 0.0;
+  }
+  truth_share /= static_cast<double>(g.num_nodes());
+
+  for (core::WalkerType type :
+       {core::WalkerType::kSrw, core::WalkerType::kCnrw}) {
+    access::GraphAccess access(&g, nullptr);
+    auto walker = core::MakeWalker({.type = type}, &access, 31);
+    ASSERT_TRUE(walker.ok());
+    ASSERT_TRUE((*walker)->Reset(0).ok());
+    TracedWalk trace = TraceWalk(**walker, {.max_steps = 150000});
+    std::vector<double> indicator(trace.nodes.size());
+    for (size_t t = 0; t < indicator.size(); ++t) {
+      indicator[t] = (trace.nodes[t] % 3 == 0) ? 1.0 : 0.0;
+    }
+    double share = EstimateProportion(indicator, trace.degrees,
+                                      (*walker)->bias());
+    EXPECT_NEAR(share, truth_share, 0.03)
+        << core::WalkerTypeName(type);
+    double sum =
+        EstimateSum(indicator, trace.degrees, (*walker)->bias(),
+                    g.num_nodes());
+    EXPECT_NEAR(sum, truth_share * g.num_nodes(),
+                0.03 * g.num_nodes())
+        << core::WalkerTypeName(type);
+  }
+}
+
+}  // namespace
+}  // namespace histwalk::estimate

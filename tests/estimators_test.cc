@@ -1,0 +1,134 @@
+#include "estimate/estimators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "access/graph_access.h"
+#include "core/simple_random_walk.h"
+#include "estimate/walk_runner.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "util/random.h"
+
+namespace histwalk::estimate {
+namespace {
+
+TEST(MeanEstimatorTest, EmptyIsNaN) {
+  MeanEstimator estimator(core::StationaryBias::kUniform);
+  EXPECT_TRUE(std::isnan(estimator.Estimate()));
+  EXPECT_EQ(estimator.count(), 0u);
+}
+
+TEST(MeanEstimatorTest, UniformBiasIsPlainMean) {
+  MeanEstimator estimator(core::StationaryBias::kUniform);
+  estimator.Add(2.0, 5);
+  estimator.Add(4.0, 50);  // degree ignored for uniform samples
+  estimator.Add(6.0, 500);
+  EXPECT_DOUBLE_EQ(estimator.Estimate(), 4.0);
+  EXPECT_EQ(estimator.count(), 3u);
+}
+
+TEST(MeanEstimatorTest, DegreeBiasReweights) {
+  // Two samples of a degree-2 node and one of degree-4: the reweighted mean
+  // is (2*f1/2 + f2/4) / (2/2 + 1/4).
+  MeanEstimator estimator(core::StationaryBias::kDegreeProportional);
+  estimator.Add(10.0, 2);
+  estimator.Add(10.0, 2);
+  estimator.Add(20.0, 4);
+  double expected = (10.0 / 2 + 10.0 / 2 + 20.0 / 4) / (0.5 + 0.5 + 0.25);
+  EXPECT_DOUBLE_EQ(estimator.Estimate(), expected);
+}
+
+TEST(MeanEstimatorTest, ResetClears) {
+  MeanEstimator estimator(core::StationaryBias::kUniform);
+  estimator.Add(1.0, 1);
+  estimator.Reset();
+  EXPECT_EQ(estimator.count(), 0u);
+  EXPECT_TRUE(std::isnan(estimator.Estimate()));
+}
+
+TEST(EstimateMeanTest, MatchesStreamingEstimator) {
+  std::vector<double> f{1.0, 2.0, 3.0};
+  std::vector<uint32_t> d{1, 2, 3};
+  MeanEstimator streaming(core::StationaryBias::kDegreeProportional);
+  for (size_t i = 0; i < f.size(); ++i) streaming.Add(f[i], d[i]);
+  EXPECT_DOUBLE_EQ(
+      EstimateMean(f, d, core::StationaryBias::kDegreeProportional),
+      streaming.Estimate());
+}
+
+TEST(EstimateAverageDegreeTest, HarmonicFormForDegreeBias) {
+  // Samples with degrees {2, 4}: estimate = 2 / (1/2 + 1/4) = 8/3.
+  std::vector<uint32_t> d{2, 4};
+  EXPECT_DOUBLE_EQ(
+      EstimateAverageDegree(d, core::StationaryBias::kDegreeProportional),
+      8.0 / 3.0);
+  // Uniform samples: plain mean = 3.
+  EXPECT_DOUBLE_EQ(
+      EstimateAverageDegree(d, core::StationaryBias::kUniform), 3.0);
+}
+
+TEST(EstimateProportionAndSumTest, ScaleCorrectly) {
+  std::vector<double> indicator{1.0, 0.0, 1.0, 1.0};
+  std::vector<uint32_t> d{1, 1, 1, 1};
+  double p = EstimateProportion(indicator, d,
+                                core::StationaryBias::kDegreeProportional);
+  EXPECT_DOUBLE_EQ(p, 0.75);
+  std::vector<double> f{2.0, 4.0};
+  std::vector<uint32_t> d2{1, 1};
+  EXPECT_DOUBLE_EQ(EstimateSum(f, d2, core::StationaryBias::kUniform, 100),
+                   300.0);
+}
+
+// End-to-end unbiasedness: the reweighted estimator applied to real SRW
+// samples recovers the true average degree of a degree-heterogeneous graph.
+TEST(EstimatorIntegrationTest, ReweightedSrwRecoversAverageDegree) {
+  util::Random rng(5);
+  graph::Graph g =
+      graph::LargestComponent(graph::MakeBarabasiAlbert(300, 3, rng));
+  double truth = g.AverageDegree();
+
+  access::GraphAccess access(&g, nullptr);
+  core::SimpleRandomWalk walker(&access, 17);
+  ASSERT_TRUE(walker.Reset(0).ok());
+  TracedWalk trace = TraceWalk(walker, {.max_steps = 200000});
+  double estimate =
+      EstimateAverageDegree(trace.degrees, walker.bias());
+  EXPECT_NEAR(estimate, truth, 0.05 * truth);
+
+  // The unweighted mean of SRW samples is badly biased upward (degree-
+  // proportional sampling) — the reweighting is load-bearing.
+  double naive =
+      EstimateAverageDegree(trace.degrees, core::StationaryBias::kUniform);
+  EXPECT_GT(naive, 1.3 * truth);
+}
+
+TEST(EstimatorIntegrationTest, AttributeMeanFromSrwSamples) {
+  util::Random rng(6);
+  graph::Graph g =
+      graph::LargestComponent(graph::MakeErdosRenyi(200, 0.05, rng));
+  // Attribute correlated with node id; truth is its plain mean.
+  std::vector<double> values(g.num_nodes());
+  double truth = 0.0;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    values[v] = 3.0 + (v % 11);
+    truth += values[v];
+  }
+  truth /= static_cast<double>(g.num_nodes());
+
+  access::GraphAccess access(&g, nullptr);
+  core::SimpleRandomWalk walker(&access, 23);
+  ASSERT_TRUE(walker.Reset(0).ok());
+  TracedWalk trace = TraceWalk(walker, {.max_steps = 150000});
+  std::vector<double> f(trace.nodes.size());
+  for (size_t t = 0; t < trace.nodes.size(); ++t) {
+    f[t] = values[trace.nodes[t]];
+  }
+  double estimate = EstimateMean(f, trace.degrees, walker.bias());
+  EXPECT_NEAR(estimate, truth, 0.05 * truth);
+}
+
+}  // namespace
+}  // namespace histwalk::estimate

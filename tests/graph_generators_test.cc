@@ -1,0 +1,198 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "graph/builder.h"
+#include "graph/stats.h"
+
+namespace histwalk::graph {
+namespace {
+
+TEST(CompleteTest, AllPairsConnected) {
+  Graph g = MakeComplete(6);
+  EXPECT_EQ(g.num_nodes(), 6u);
+  EXPECT_EQ(g.num_edges(), 15u);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(g.Degree(v), 5u);
+}
+
+TEST(CycleTest, EveryNodeHasDegreeTwo) {
+  Graph g = MakeCycle(9);
+  EXPECT_EQ(g.num_edges(), 9u);
+  for (NodeId v = 0; v < 9; ++v) EXPECT_EQ(g.Degree(v), 2u);
+  EXPECT_TRUE(g.HasEdge(8, 0));
+}
+
+TEST(PathTest, EndpointsHaveDegreeOne) {
+  Graph g = MakePath(5);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.Degree(0), 1u);
+  EXPECT_EQ(g.Degree(4), 1u);
+  EXPECT_EQ(g.Degree(2), 2u);
+}
+
+TEST(StarTest, HubConnectsAllLeaves) {
+  Graph g = MakeStar(7);
+  EXPECT_EQ(g.Degree(0), 6u);
+  for (NodeId v = 1; v < 7; ++v) EXPECT_EQ(g.Degree(v), 1u);
+}
+
+TEST(BarbellTest, MatchesTable1Row) {
+  // Paper's barbell: 100 nodes, 2451 edges.
+  Graph g = MakeBarbell(50);
+  EXPECT_EQ(g.num_nodes(), 100u);
+  EXPECT_EQ(g.num_edges(), 2451u);
+  // The two bridge endpoints have one extra edge.
+  EXPECT_EQ(g.Degree(49), 50u);
+  EXPECT_EQ(g.Degree(50), 50u);
+  EXPECT_EQ(g.Degree(0), 49u);
+  EXPECT_TRUE(g.HasEdge(49, 50));
+  // No other cross edges.
+  EXPECT_FALSE(g.HasEdge(0, 51));
+  ComponentLabels comps = ConnectedComponents(g);
+  EXPECT_EQ(comps.num_components, 1u);
+}
+
+TEST(CliqueChainTest, MatchesTable1Row) {
+  // Paper's clustered graph: cliques 10/30/50 -> 90 nodes, 1707 edges.
+  Graph g = MakeCliqueChain({10, 30, 50});
+  EXPECT_EQ(g.num_nodes(), 90u);
+  EXPECT_EQ(g.num_edges(), 1707u);
+  ComponentLabels comps = ConnectedComponents(g);
+  EXPECT_EQ(comps.num_components, 1u);
+  // Bridge endpoints: last of clique 1 <-> first of clique 2, etc.
+  EXPECT_TRUE(g.HasEdge(9, 10));
+  EXPECT_TRUE(g.HasEdge(39, 40));
+  EXPECT_FALSE(g.HasEdge(0, 10));
+}
+
+TEST(ErdosRenyiTest, EdgeCountNearExpectation) {
+  util::Random rng(1);
+  const uint32_t n = 400;
+  const double p = 0.05;
+  Graph g = MakeErdosRenyi(n, p, rng);
+  double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected,
+              4.0 * std::sqrt(expected));
+}
+
+TEST(ErdosRenyiTest, FullProbabilityGivesCompleteGraph) {
+  util::Random rng(2);
+  Graph g = MakeErdosRenyi(20, 1.0, rng);
+  EXPECT_EQ(g.num_edges(), 190u);
+}
+
+TEST(ErdosRenyiTest, Deterministic) {
+  util::Random rng1(3), rng2(3);
+  Graph a = MakeErdosRenyi(100, 0.1, rng1);
+  Graph b = MakeErdosRenyi(100, 0.1, rng2);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  for (NodeId v = 0; v < 100; ++v) EXPECT_EQ(a.Degree(v), b.Degree(v));
+}
+
+TEST(BarabasiAlbertTest, SizeAndMinimumDegree) {
+  util::Random rng(4);
+  Graph g = MakeBarabasiAlbert(500, 3, rng);
+  EXPECT_EQ(g.num_nodes(), 500u);
+  // Seed clique contributes C(4,2)=6, every later node adds 3.
+  EXPECT_EQ(g.num_edges(), 6u + 3u * (500 - 4));
+  for (NodeId v = 0; v < 500; ++v) EXPECT_GE(g.Degree(v), 3u);
+  ComponentLabels comps = ConnectedComponents(g);
+  EXPECT_EQ(comps.num_components, 1u);
+}
+
+TEST(BarabasiAlbertTest, ProducesHubs) {
+  util::Random rng(5);
+  Graph g = MakeBarabasiAlbert(2000, 2, rng);
+  // Preferential attachment must produce a hub far above the mean degree.
+  EXPECT_GT(g.MaxDegree(), 10 * static_cast<uint32_t>(g.AverageDegree()));
+}
+
+TEST(WattsStrogatzTest, ZeroBetaIsRingLattice) {
+  util::Random rng(6);
+  Graph g = MakeWattsStrogatz(50, 4, 0.0, rng);
+  EXPECT_EQ(g.num_edges(), 100u);
+  for (NodeId v = 0; v < 50; ++v) EXPECT_EQ(g.Degree(v), 4u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(0, 2));
+}
+
+TEST(WattsStrogatzTest, RewiringLowersClustering) {
+  util::Random rng(7);
+  Graph lattice = MakeWattsStrogatz(300, 8, 0.0, rng);
+  Graph rewired = MakeWattsStrogatz(300, 8, 1.0, rng);
+  double cc_lattice = ExactClustering(lattice).average_clustering;
+  double cc_rewired = ExactClustering(rewired).average_clustering;
+  EXPECT_GT(cc_lattice, 0.5);
+  EXPECT_LT(cc_rewired, 0.2);
+}
+
+TEST(PowerLawWeightsTest, RespectsBounds) {
+  util::Random rng(8);
+  auto weights = PowerLawWeights(10000, 2.5, 2.0, 100.0, rng);
+  double max_w = 0.0;
+  for (double w : weights) {
+    ASSERT_GE(w, 2.0);
+    ASSERT_LE(w, 100.0);
+    max_w = std::max(max_w, w);
+  }
+  // The tail should actually reach high values.
+  EXPECT_GT(max_w, 50.0);
+}
+
+TEST(ChungLuTest, RealizedDegreesTrackWeights) {
+  util::Random rng(9);
+  const uint32_t n = 3000;
+  std::vector<double> weights(n, 10.0);
+  for (uint32_t i = 0; i < 30; ++i) weights[i] = 100.0;  // planted hubs
+  Graph g = MakeChungLu(weights, rng);
+
+  double mean_regular = 0.0, mean_hub = 0.0;
+  for (uint32_t i = 0; i < 30; ++i) mean_hub += g.Degree(i);
+  for (uint32_t i = 30; i < n; ++i) mean_regular += g.Degree(i);
+  mean_hub /= 30.0;
+  mean_regular /= static_cast<double>(n - 30);
+  EXPECT_NEAR(mean_hub, 100.0, 15.0);
+  EXPECT_NEAR(mean_regular, 10.0, 1.0);
+}
+
+TEST(ChungLuTest, TotalEdgesNearHalfTotalWeight) {
+  util::Random rng(10);
+  std::vector<double> weights(5000, 8.0);
+  Graph g = MakeChungLu(weights, rng);
+  double expected_edges = 8.0 * 5000 / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected_edges,
+              0.05 * expected_edges);
+}
+
+TEST(SocialSurrogateTest, HitsDegreeAndClusteringRegime) {
+  util::Random rng(11);
+  SocialSurrogateParams params;
+  params.num_nodes = 2000;
+  params.community_size = 25.0;
+  params.p_intra = 0.5;
+  params.background_degree = 4.0;
+  Graph g = LargestComponent(MakeSocialSurrogate(params, rng));
+  // Dense communities + sparse background: clustering well above an
+  // equivalent ER graph, average degree in a sane band.
+  double cc = ExactClustering(g).average_clustering;
+  EXPECT_GT(cc, 0.25);
+  EXPECT_GT(g.AverageDegree(), 6.0);
+  EXPECT_LT(g.AverageDegree(), 30.0);
+  EXPECT_GT(g.num_nodes(), 1500u);
+}
+
+TEST(SocialSurrogateTest, DeterministicGivenSeed) {
+  SocialSurrogateParams params;
+  params.num_nodes = 500;
+  util::Random rng1(12), rng2(12);
+  Graph a = MakeSocialSurrogate(params, rng1);
+  Graph b = MakeSocialSurrogate(params, rng2);
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+}
+
+}  // namespace
+}  // namespace histwalk::graph

@@ -1,0 +1,94 @@
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace histwalk::graph {
+namespace {
+
+TEST(ParseEdgeListTest, BasicParsing) {
+  auto g = ParseEdgeList("0 1\n1 2\n2 0\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 3u);
+  EXPECT_EQ(g->num_edges(), 3u);
+}
+
+TEST(ParseEdgeListTest, SkipsCommentsAndBlankLines) {
+  auto g = ParseEdgeList(
+      "# SNAP-style header\n"
+      "\n"
+      "0 1\n"
+      "   \n"
+      "# another comment\n"
+      "1 2\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2u);
+}
+
+TEST(ParseEdgeListTest, HandlesTabsAndExtraSpaces) {
+  auto g = ParseEdgeList("0\t1\n  1   2  \n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2u);
+}
+
+TEST(ParseEdgeListTest, TrailingCommentOnEdgeLine) {
+  auto g = ParseEdgeList("0 1 # friends\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1u);
+}
+
+TEST(ParseEdgeListTest, MalformedLineFails) {
+  auto g = ParseEdgeList("0 x\n");
+  EXPECT_FALSE(g.ok());
+  EXPECT_NE(g.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(ParseEdgeListTest, MissingSecondFieldFails) {
+  auto g = ParseEdgeList("0 1\n7\n");
+  EXPECT_FALSE(g.ok());
+  EXPECT_NE(g.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(ParseEdgeListTest, TrailingTokensFail) {
+  auto g = ParseEdgeList("0 1 2\n");
+  EXPECT_FALSE(g.ok());
+}
+
+TEST(ParseEdgeListTest, BuildOptionsApply) {
+  auto g = ParseEdgeList("0 1\n1 0\n2 0\n",
+                         {.directed_keep_mutual_only = true});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1u);
+}
+
+TEST(ReadEdgeListTest, MissingFileFails) {
+  auto g = ReadEdgeList("/nonexistent/edges.txt");
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(EdgeListRoundTripTest, WriteThenRead) {
+  auto original = ParseEdgeList("0 1\n1 2\n2 3\n3 0\n0 2\n");
+  ASSERT_TRUE(original.ok());
+  std::string path = testing::TempDir() + "/histwalk_io_test.edges";
+  ASSERT_TRUE(WriteEdgeList(*original, path).ok());
+  auto loaded = ReadEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_nodes(), original->num_nodes());
+  EXPECT_EQ(loaded->num_edges(), original->num_edges());
+  for (NodeId v = 0; v < original->num_nodes(); ++v) {
+    EXPECT_EQ(loaded->Degree(v), original->Degree(v));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WriteEdgeListTest, BadPathFails) {
+  auto g = ParseEdgeList("0 1\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(WriteEdgeList(*g, "/nonexistent_dir_xyz/out.edges").ok());
+}
+
+}  // namespace
+}  // namespace histwalk::graph

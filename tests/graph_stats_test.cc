@@ -1,0 +1,121 @@
+#include "graph/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+
+namespace histwalk::graph {
+namespace {
+
+TEST(DegreeStatsTest, CompleteGraph) {
+  Graph g = MakeComplete(10);
+  DegreeStats stats = ComputeDegreeStats(g);
+  EXPECT_EQ(stats.min, 9u);
+  EXPECT_EQ(stats.max, 9u);
+  EXPECT_DOUBLE_EQ(stats.mean, 9.0);
+  EXPECT_DOUBLE_EQ(stats.variance, 0.0);
+}
+
+TEST(DegreeStatsTest, Star) {
+  Graph g = MakeStar(5);
+  DegreeStats stats = ComputeDegreeStats(g);
+  EXPECT_EQ(stats.min, 1u);
+  EXPECT_EQ(stats.max, 4u);
+  EXPECT_DOUBLE_EQ(stats.mean, 8.0 / 5.0);
+  EXPECT_GT(stats.variance, 0.0);
+}
+
+TEST(ExactClusteringTest, CompleteGraphHasAllTriangles) {
+  Graph g = MakeComplete(6);
+  ClusteringStats stats = ExactClustering(g);
+  EXPECT_EQ(stats.triangles, 20u);  // C(6,3)
+  EXPECT_DOUBLE_EQ(stats.average_clustering, 1.0);
+  EXPECT_TRUE(stats.exact);
+}
+
+TEST(ExactClusteringTest, TreeHasNone) {
+  Graph g = MakePath(10);
+  ClusteringStats stats = ExactClustering(g);
+  EXPECT_EQ(stats.triangles, 0u);
+  EXPECT_DOUBLE_EQ(stats.average_clustering, 0.0);
+}
+
+TEST(ExactClusteringTest, SingleTriangleWithPendant) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(2, 3);  // pendant
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  std::vector<uint64_t> per_node;
+  ClusteringStats stats = ExactClustering(*g, &per_node);
+  EXPECT_EQ(stats.triangles, 1u);
+  EXPECT_EQ(per_node[0], 1u);
+  EXPECT_EQ(per_node[1], 1u);
+  EXPECT_EQ(per_node[2], 1u);
+  EXPECT_EQ(per_node[3], 0u);
+  // cc: node0 = 1, node1 = 1, node2 = 2*1/(3*2) = 1/3, node3 = 0 (deg 1).
+  EXPECT_NEAR(stats.average_clustering, (1.0 + 1.0 + 1.0 / 3.0 + 0.0) / 4.0,
+              1e-12);
+}
+
+TEST(ExactClusteringTest, BarbellTriangleCount) {
+  // Two K_50 halves: 2 * C(50,3) triangles; the bridge adds none.
+  Graph g = MakeBarbell(50);
+  ClusteringStats stats = ExactClustering(g);
+  EXPECT_EQ(stats.triangles, 2u * 19600u);
+}
+
+TEST(ExactClusteringTest, CliqueChainMatchesPaperTable1) {
+  // Paper reports 23780 triangles for the clustered graph.
+  Graph g = MakeCliqueChain({10, 30, 50});
+  ClusteringStats stats = ExactClustering(g);
+  uint64_t expected = 120u + 4060u + 19600u;  // C(10,3)+C(30,3)+C(50,3)
+  EXPECT_EQ(stats.triangles, expected);
+  EXPECT_EQ(expected, 23780u);
+  EXPECT_GT(stats.average_clustering, 0.95);
+}
+
+TEST(EstimateClusteringTest, AgreesWithExactOnDenseGraph) {
+  util::Random rng(1);
+  Graph g = MakeErdosRenyi(300, 0.2, rng);
+  ClusteringStats exact = ExactClustering(g);
+  ClusteringStats est = EstimateClustering(g, rng, 5000, 64);
+  EXPECT_FALSE(est.exact);
+  EXPECT_NEAR(est.average_clustering, exact.average_clustering, 0.02);
+  double rel = std::abs(static_cast<double>(est.triangles) -
+                        static_cast<double>(exact.triangles)) /
+               static_cast<double>(exact.triangles);
+  EXPECT_LT(rel, 0.15);
+}
+
+TEST(EstimateClusteringTest, CompleteGraphIsExactlyOne) {
+  util::Random rng(2);
+  Graph g = MakeComplete(30);
+  ClusteringStats est = EstimateClustering(g, rng, 1000, 16);
+  EXPECT_DOUBLE_EQ(est.average_clustering, 1.0);
+}
+
+TEST(SummarizeTest, SmallGraphUsesExactPath) {
+  util::Random rng(3);
+  Graph g = MakeCliqueChain({10, 30, 50});
+  GraphSummary summary = Summarize(g, rng);
+  EXPECT_EQ(summary.nodes, 90u);
+  EXPECT_EQ(summary.edges, 1707u);
+  EXPECT_TRUE(summary.clustering_exact);
+  EXPECT_EQ(summary.triangles, 23780u);
+  EXPECT_NEAR(summary.average_degree, 2.0 * 1707 / 90, 1e-9);
+}
+
+TEST(SummarizeTest, WorkLimitSwitchesToEstimate) {
+  util::Random rng(4);
+  Graph g = MakeComplete(60);
+  GraphSummary summary = Summarize(g, rng, /*exact_work_limit=*/10);
+  EXPECT_FALSE(summary.clustering_exact);
+  EXPECT_NEAR(summary.average_clustering, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace histwalk::graph

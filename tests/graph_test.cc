@@ -1,0 +1,193 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/builder.h"
+
+namespace histwalk::graph {
+namespace {
+
+Graph Triangle() {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(0, 2);
+  auto result = builder.Build();
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+TEST(GraphTest, TriangleBasics) {
+  Graph g = Triangle();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.Degree(0), 2u);
+  EXPECT_EQ(g.Degree(1), 2u);
+  EXPECT_EQ(g.Degree(2), 2u);
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 2.0);
+  EXPECT_EQ(g.MaxDegree(), 2u);
+}
+
+TEST(GraphTest, NeighborsAreSortedAndSymmetric) {
+  GraphBuilder builder;
+  builder.AddEdge(3, 1);
+  builder.AddEdge(0, 3);
+  builder.AddEdge(2, 3);
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  auto ns = g->Neighbors(3);
+  ASSERT_EQ(ns.size(), 3u);
+  EXPECT_EQ(ns[0], 0u);
+  EXPECT_EQ(ns[1], 1u);
+  EXPECT_EQ(ns[2], 2u);
+  for (NodeId w : ns) {
+    auto back = g->Neighbors(w);
+    EXPECT_TRUE(std::find(back.begin(), back.end(), 3u) != back.end());
+  }
+}
+
+TEST(GraphTest, HasEdge) {
+  Graph g = Triangle();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(2, 0));
+  // No self edges in the model.
+  EXPECT_FALSE(g.HasEdge(1, 1));
+}
+
+TEST(GraphTest, DebugStringMentionsSize) {
+  Graph g = Triangle();
+  std::string s = g.DebugString();
+  EXPECT_NE(s.find("n=3"), std::string::npos);
+  EXPECT_NE(s.find("m=3"), std::string::npos);
+}
+
+TEST(GraphTest, MemoryBytesIsPositive) {
+  EXPECT_GT(Triangle().MemoryBytes(), 0u);
+}
+
+TEST(GraphBuilderTest, DeduplicatesParallelEdges) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);
+  builder.AddEdge(0, 1);
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1u);
+  EXPECT_EQ(g->Degree(0), 1u);
+}
+
+TEST(GraphBuilderTest, DropsSelfLoops) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 0);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 1);
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1u);
+}
+
+TEST(GraphBuilderTest, EmptyBuildFails) {
+  GraphBuilder builder;
+  auto g = builder.Build();
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(GraphBuilderTest, OnlySelfLoopsFails) {
+  GraphBuilder builder;
+  builder.AddEdge(2, 2);
+  auto g = builder.Build();
+  EXPECT_FALSE(g.ok());
+}
+
+TEST(GraphBuilderTest, IsolatedIdsGetEmptyAdjacency) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 5);  // ids 1..4 exist but are isolated
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 6u);
+  EXPECT_EQ(g->Degree(2), 0u);
+  EXPECT_TRUE(g->Neighbors(2).empty());
+}
+
+TEST(GraphBuilderTest, DirectedKeepMutualOnly) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);  // only one direction: dropped
+  builder.AddEdge(2, 1);
+  builder.AddEdge(1, 2);  // mutual: kept
+  builder.AddEdge(3, 0);
+  builder.AddEdge(0, 3);  // mutual: kept
+  auto g = builder.Build({.directed_keep_mutual_only = true});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2u);
+  EXPECT_TRUE(g->HasEdge(1, 2));
+  EXPECT_TRUE(g->HasEdge(0, 3));
+  EXPECT_FALSE(g->HasEdge(0, 1));
+}
+
+TEST(GraphBuilderTest, DirectedWithNoMutualEdgesFails) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  auto g = builder.Build({.directed_keep_mutual_only = true});
+  EXPECT_FALSE(g.ok());
+}
+
+TEST(GraphBuilderTest, BuilderIsReusableAfterBuild) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  ASSERT_TRUE(builder.Build().ok());
+  // After Build the builder is empty again.
+  EXPECT_FALSE(builder.Build().ok());
+  builder.AddEdge(2, 3);
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1u);
+}
+
+TEST(ConnectedComponentsTest, CountsComponents) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(3, 4);
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  ComponentLabels labels = ConnectedComponents(*g);
+  EXPECT_EQ(labels.num_components, 2u);
+  EXPECT_EQ(labels.label[0], labels.label[1]);
+  EXPECT_EQ(labels.label[1], labels.label[2]);
+  EXPECT_EQ(labels.label[3], labels.label[4]);
+  EXPECT_NE(labels.label[0], labels.label[3]);
+}
+
+TEST(LargestComponentTest, ExtractsAndRelabels) {
+  GraphBuilder builder;
+  // Component A: 0-1-2 (3 nodes); component B: 10-11 (2 nodes).
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(10, 11);
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+  std::vector<NodeId> mapping;
+  Graph lcc = LargestComponent(*g, &mapping);
+  EXPECT_EQ(lcc.num_nodes(), 3u);
+  EXPECT_EQ(lcc.num_edges(), 2u);
+  EXPECT_EQ(mapping[0], 0u);
+  EXPECT_EQ(mapping[10], kInvalidNode);
+}
+
+TEST(LargestComponentTest, BuildOptionIntegration) {
+  GraphBuilder builder;
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(10, 11);
+  auto g = builder.Build({.largest_component_only = true});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 3u);
+}
+
+}  // namespace
+}  // namespace histwalk::graph

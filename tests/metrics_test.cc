@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "graph/generators.h"
+#include "metrics/distribution.h"
+#include "metrics/divergence.h"
+
+namespace histwalk::metrics {
+namespace {
+
+TEST(StationaryDistributionTest, DegreeProportionalAndNormalized) {
+  graph::Graph g = graph::MakeStar(5);  // hub deg 4, leaves deg 1
+  std::vector<double> pi = StationaryDistribution(g);
+  EXPECT_DOUBLE_EQ(pi[0], 4.0 / 8.0);
+  for (int leaf = 1; leaf < 5; ++leaf) EXPECT_DOUBLE_EQ(pi[leaf], 1.0 / 8.0);
+  double sum = 0.0;
+  for (double p : pi) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(UniformDistributionTest, Normalized) {
+  std::vector<double> u = UniformDistribution(8);
+  for (double p : u) EXPECT_DOUBLE_EQ(p, 0.125);
+}
+
+TEST(VisitCounterTest, CountsAndProbabilities) {
+  VisitCounter counter(3);
+  counter.Add(0);
+  counter.Add(0);
+  counter.Add(2);
+  EXPECT_EQ(counter.total(), 3u);
+  std::vector<double> p = counter.Probabilities();
+  EXPECT_DOUBLE_EQ(p[0], 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(p[1], 0.0);
+  EXPECT_DOUBLE_EQ(p[2], 1.0 / 3.0);
+}
+
+TEST(VisitCounterTest, EmptyProbabilitiesAreZero) {
+  VisitCounter counter(2);
+  std::vector<double> p = counter.Probabilities();
+  EXPECT_DOUBLE_EQ(p[0], 0.0);
+  EXPECT_DOUBLE_EQ(p[1], 0.0);
+}
+
+TEST(VisitCounterTest, MergeAccumulates) {
+  VisitCounter a(2), b(2);
+  a.Add(0);
+  b.Add(1);
+  b.Add(1);
+  a.Merge(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_DOUBLE_EQ(a.Probabilities()[1], 2.0 / 3.0);
+}
+
+TEST(VisitCounterTest, AddAllFromSpan) {
+  VisitCounter counter(4);
+  std::vector<graph::NodeId> nodes{1, 2, 2, 3};
+  counter.AddAll(nodes);
+  EXPECT_EQ(counter.total(), 4u);
+  EXPECT_EQ(counter.counts()[2], 2u);
+}
+
+TEST(KlDivergenceTest, ZeroForIdenticalDistributions) {
+  std::vector<double> p{0.25, 0.25, 0.5};
+  EXPECT_NEAR(KlDivergence(p, p, 0.0), 0.0, 1e-12);
+  EXPECT_NEAR(SymmetrizedKlDivergence(p, p), 0.0, 1e-9);
+}
+
+TEST(KlDivergenceTest, KnownValue) {
+  std::vector<double> p{0.5, 0.5};
+  std::vector<double> q{0.25, 0.75};
+  double expected = 0.5 * std::log(2.0) + 0.5 * std::log(0.5 / 0.75);
+  EXPECT_NEAR(KlDivergence(p, q, 0.0), expected, 1e-12);
+}
+
+TEST(KlDivergenceTest, AsymmetricWithoutSymmetrization) {
+  std::vector<double> p{0.9, 0.1};
+  std::vector<double> q{0.5, 0.5};
+  EXPECT_NE(KlDivergence(p, q, 0.0), KlDivergence(q, p, 0.0));
+  double sym = SymmetrizedKlDivergence(p, q, 0.0);
+  EXPECT_NEAR(sym, KlDivergence(p, q, 0.0) + KlDivergence(q, p, 0.0),
+              1e-12);
+}
+
+TEST(KlDivergenceTest, SmoothingHandlesEmpiricalZeros) {
+  std::vector<double> empirical{0.0, 1.0};
+  std::vector<double> target{0.5, 0.5};
+  // Without smoothing D(target || empirical) is infinite; smoothing yields
+  // a large but finite value.
+  double sym = SymmetrizedKlDivergence(empirical, target, 1e-6);
+  EXPECT_TRUE(std::isfinite(sym));
+  EXPECT_GT(sym, 1.0);
+}
+
+TEST(KlDivergenceTest, DecreasesAsDistributionsApproach) {
+  std::vector<double> target{0.5, 0.3, 0.2};
+  std::vector<double> far{0.9, 0.05, 0.05};
+  std::vector<double> near{0.55, 0.28, 0.17};
+  EXPECT_LT(SymmetrizedKlDivergence(near, target),
+            SymmetrizedKlDivergence(far, target));
+}
+
+TEST(L2DistanceTest, KnownValues) {
+  std::vector<double> p{1.0, 0.0};
+  std::vector<double> q{0.0, 1.0};
+  EXPECT_NEAR(L2Distance(p, q), std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(L2Distance(p, p), 0.0);
+}
+
+TEST(TotalVariationTest, KnownValuesAndBounds) {
+  std::vector<double> p{1.0, 0.0};
+  std::vector<double> q{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(TotalVariation(p, q), 1.0);
+  EXPECT_DOUBLE_EQ(TotalVariation(p, p), 0.0);
+  std::vector<double> r{0.5, 0.5};
+  EXPECT_DOUBLE_EQ(TotalVariation(p, r), 0.5);
+}
+
+TEST(RelativeErrorTest, Basics) {
+  EXPECT_DOUBLE_EQ(RelativeError(11.0, 10.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(9.0, 10.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(-5.0, -10.0), 0.5);
+  EXPECT_DOUBLE_EQ(RelativeError(10.0, 10.0), 0.0);
+}
+
+TEST(NodesByDegreeTest, AscendingWithIdTiebreak) {
+  graph::Graph g = graph::MakeStar(4);  // hub 0 (deg 3), leaves deg 1
+  std::vector<graph::NodeId> order = NodesByDegree(g);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 2u);
+  EXPECT_EQ(order[2], 3u);
+  EXPECT_EQ(order[3], 0u);  // highest degree last
+}
+
+TEST(BinnedByOrderTest, AveragesPerSlice) {
+  std::vector<double> values{10.0, 20.0, 30.0, 40.0};
+  std::vector<graph::NodeId> order{0, 1, 2, 3};
+  std::vector<double> bins = BinnedByOrder(values, order, 2);
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_DOUBLE_EQ(bins[0], 15.0);
+  EXPECT_DOUBLE_EQ(bins[1], 35.0);
+}
+
+TEST(BinnedByOrderTest, OrderControlsBinning) {
+  std::vector<double> values{10.0, 20.0, 30.0, 40.0};
+  std::vector<graph::NodeId> reversed{3, 2, 1, 0};
+  std::vector<double> bins = BinnedByOrder(values, reversed, 2);
+  EXPECT_DOUBLE_EQ(bins[0], 35.0);
+  EXPECT_DOUBLE_EQ(bins[1], 15.0);
+}
+
+}  // namespace
+}  // namespace histwalk::metrics

@@ -1,0 +1,75 @@
+#include "util/md5.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace histwalk::util {
+namespace {
+
+// RFC 1321 appendix A.5 test suite.
+TEST(Md5Test, Rfc1321TestVectors) {
+  EXPECT_EQ(Md5Hex(""), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(Md5Hex("a"), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(Md5Hex("abc"), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(Md5Hex("message digest"), "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(Md5Hex("abcdefghijklmnopqrstuvwxyz"),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+  EXPECT_EQ(
+      Md5Hex("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz01234567"
+             "89"),
+      "d174ab98d277d9f5a5611c2c9f419d9f");
+  EXPECT_EQ(
+      Md5Hex("1234567890123456789012345678901234567890123456789012345678901"
+             "2345678901234567890"),
+      "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5Test, PaddingBoundaries) {
+  // Lengths around the 55/56/64 byte padding edges exercise the one- and
+  // two-block finalization paths.
+  std::string s55(55, 'x');
+  std::string s56(56, 'x');
+  std::string s63(63, 'x');
+  std::string s64(64, 'x');
+  std::string s65(65, 'x');
+  EXPECT_NE(Md5Hex(s55), Md5Hex(s56));
+  EXPECT_NE(Md5Hex(s63), Md5Hex(s64));
+  EXPECT_NE(Md5Hex(s64), Md5Hex(s65));
+  // Deterministic.
+  EXPECT_EQ(Md5Hex(s64), Md5Hex(std::string(64, 'x')));
+}
+
+TEST(Md5Test, LongInput) {
+  std::string million(1000000, 'a');
+  EXPECT_EQ(Md5Hex(million), "7707d6ae4e027c70eea2a935c2296f21");
+}
+
+TEST(Md5Test, DigestBytesMatchHex) {
+  Md5Digest digest = Md5("abc");
+  EXPECT_EQ(digest[0], 0x90);
+  EXPECT_EQ(digest[1], 0x01);
+  EXPECT_EQ(digest[15], 0x72);
+}
+
+TEST(Md5Test, Uint64UsesLeadingBytes) {
+  // First 8 hex bytes of MD5("abc") = 900150983cd24fb0.
+  EXPECT_EQ(Md5Uint64("abc"), 0x900150983cd24fb0ull);
+}
+
+TEST(Md5Test, Uint64BucketsAreBalanced) {
+  // Hashing node ids into m buckets should be close to uniform; this is what
+  // GNRW-By-MD5 relies on for its "random grouping" semantics.
+  constexpr int kBuckets = 8;
+  constexpr int kIds = 8000;
+  int counts[kBuckets] = {0};
+  for (int id = 0; id < kIds; ++id) {
+    ++counts[Md5Uint64(std::to_string(id)) % kBuckets];
+  }
+  for (int b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], kIds / kBuckets, kIds / kBuckets * 0.15);
+  }
+}
+
+}  // namespace
+}  // namespace histwalk::util

@@ -1,0 +1,58 @@
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace histwalk::util {
+namespace {
+
+TEST(ParallelForTest, RunsEveryIndexExactlyOnce) {
+  constexpr size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  ParallelFor(kCount, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, ZeroCountIsNoop) {
+  bool called = false;
+  ParallelFor(0, [&](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, SingleThreadFallback) {
+  std::vector<size_t> order;
+  ParallelFor(
+      10, [&](size_t i) { order.push_back(i); }, /*num_threads=*/1);
+  // Single-threaded execution is sequential in index order.
+  std::vector<size_t> expected(10);
+  std::iota(expected.begin(), expected.end(), size_t{0});
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelForTest, MoreThreadsThanTasks) {
+  std::vector<std::atomic<int>> hits(3);
+  ParallelFor(
+      3, [&](size_t i) { hits[i].fetch_add(1); }, /*num_threads=*/16);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, AggregationMatchesSerial) {
+  constexpr size_t kCount = 500;
+  std::atomic<long long> sum{0};
+  ParallelFor(kCount, [&](size_t i) {
+    sum.fetch_add(static_cast<long long>(i) * i);
+  });
+  long long expected = 0;
+  for (size_t i = 0; i < kCount; ++i) {
+    expected += static_cast<long long>(i) * i;
+  }
+  EXPECT_EQ(sum.load(), expected);
+}
+
+}  // namespace
+}  // namespace histwalk::util

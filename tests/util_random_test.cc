@@ -1,0 +1,229 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <vector>
+
+namespace histwalk::util {
+namespace {
+
+TEST(RandomTest, DeterministicForFixedSeed) {
+  Random a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint32(), b.NextUint32());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsGiveDifferentStreams) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint32() == b.NextUint32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RandomTest, NearbySeedsAreDecorrelated) {
+  // SplitMix seeding should separate seeds 0 and 1.
+  Random a(0), b(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint32() == b.NextUint32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RandomTest, UniformIntStaysInRange) {
+  Random rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    uint32_t value = rng.UniformInt(13);
+    EXPECT_LT(value, 13u);
+  }
+}
+
+TEST(RandomTest, UniformIntChiSquareOnSmallSupport) {
+  Random rng(42);
+  constexpr uint32_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.UniformInt(kBuckets)];
+  double expected = static_cast<double>(kDraws) / kBuckets;
+  double chi2 = 0.0;
+  for (int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  // 9 dof; 99.9th percentile ~ 27.9.
+  EXPECT_LT(chi2, 27.9);
+}
+
+TEST(RandomTest, UniformDoubleInHalfOpenUnitInterval) {
+  Random rng(3);
+  double min = 1.0, max = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    double u = rng.UniformDouble();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    min = std::min(min, u);
+    max = std::max(max, u);
+  }
+  EXPECT_LT(min, 0.001);
+  EXPECT_GT(max, 0.999);
+}
+
+TEST(RandomTest, UniformDoubleRange) {
+  Random rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.UniformDouble(-2.0, 5.0);
+    ASSERT_GE(u, -2.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(RandomTest, BernoulliMatchesProbability) {
+  Random rng(5);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  double p = static_cast<double>(hits) / kDraws;
+  EXPECT_NEAR(p, 0.3, 0.01);
+}
+
+TEST(RandomTest, BernoulliEdgeCases) {
+  Random rng(6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RandomTest, GaussianMomentsAreStandard) {
+  Random rng(8);
+  constexpr int kDraws = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    double g = rng.Gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  double mean = sum / kDraws;
+  double var = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(var, 1.0, 0.02);
+}
+
+TEST(RandomTest, ExponentialMeanMatchesRate) {
+  Random rng(9);
+  constexpr int kDraws = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) sum += rng.Exponential(4.0);
+  EXPECT_NEAR(sum / kDraws, 0.25, 0.005);
+}
+
+TEST(RandomTest, ParetoRespectsMinimumAndTail) {
+  Random rng(10);
+  double min_seen = 1e18;
+  int above_10 = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    double x = rng.Pareto(2.0, 3.0);
+    min_seen = std::min(min_seen, x);
+    if (x > 20.0) ++above_10;
+  }
+  EXPECT_GE(min_seen, 2.0);
+  // P(X > 20) = (2/20)^{alpha-1} = 0.01^1... = (0.1)^2 = 0.01.
+  EXPECT_NEAR(static_cast<double>(above_10) / kDraws, 0.01, 0.005);
+}
+
+TEST(RandomTest, ShufflePreservesElements) {
+  Random rng(11);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.Shuffle(std::span<int>(shuffled));
+  EXPECT_FALSE(std::equal(v.begin(), v.end(), shuffled.begin()));
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(v, shuffled);
+}
+
+TEST(RandomTest, ShuffleIsUniformOnThreeElements) {
+  Random rng(12);
+  std::map<std::vector<int>, int> counts;
+  constexpr int kDraws = 60000;
+  for (int i = 0; i < kDraws; ++i) {
+    std::vector<int> v{0, 1, 2};
+    rng.Shuffle(std::span<int>(v));
+    ++counts[v];
+  }
+  ASSERT_EQ(counts.size(), 6u);
+  for (const auto& [perm, count] : counts) {
+    EXPECT_NEAR(static_cast<double>(count) / kDraws, 1.0 / 6.0, 0.01);
+  }
+}
+
+TEST(RandomTest, WeightedIndexFollowsWeights) {
+  Random rng(13);
+  std::vector<double> weights{1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.WeightedIndex(weights)];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(kDraws), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kDraws), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kDraws), 0.6, 0.01);
+}
+
+TEST(RandomTest, ForkProducesIndependentStream) {
+  Random parent(14);
+  Random child = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.NextUint32() == child.NextUint32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(AliasTableTest, MatchesWeights) {
+  Random rng(15);
+  std::vector<double> weights{5.0, 0.0, 1.0, 4.0};
+  AliasTable table(weights);
+  std::vector<int> counts(4, 0);
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++counts[table.Sample(rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(kDraws), 0.5, 0.01);
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kDraws), 0.1, 0.01);
+  EXPECT_NEAR(counts[3] / static_cast<double>(kDraws), 0.4, 0.01);
+}
+
+TEST(AliasTableTest, SingleElement) {
+  Random rng(16);
+  std::vector<double> weights{2.5};
+  AliasTable table(weights);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(table.Sample(rng), 0u);
+}
+
+TEST(SubSeedTest, DeterministicAndSpreading) {
+  EXPECT_EQ(SubSeed(1, 0), SubSeed(1, 0));
+  EXPECT_NE(SubSeed(1, 0), SubSeed(1, 1));
+  EXPECT_NE(SubSeed(1, 0), SubSeed(2, 0));
+  // Consecutive indices should differ in many bits.
+  uint64_t x = SubSeed(99, 5) ^ SubSeed(99, 6);
+  int bits = 0;
+  while (x != 0) {
+    bits += static_cast<int>(x & 1);
+    x >>= 1;
+  }
+  EXPECT_GT(bits, 10);
+}
+
+}  // namespace
+}  // namespace histwalk::util

@@ -1,0 +1,129 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace histwalk::util {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "ok");
+}
+
+TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::NotFound("missing thing").message(), "missing thing");
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  Status status = Status::InvalidArgument("bad graph");
+  EXPECT_EQ(status.ToString(), "invalid_argument: bad graph");
+}
+
+TEST(StatusTest, StreamOperatorMatchesToString) {
+  std::ostringstream os;
+  os << Status::NotFound("nope");
+  EXPECT_EQ(os.str(), "not_found: nope");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusCodeTest, EveryCodeHasAName) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "ok");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInvalidArgument),
+            "invalid_argument");
+  EXPECT_EQ(StatusCodeName(StatusCode::kNotFound), "not_found");
+  EXPECT_EQ(StatusCodeName(StatusCode::kOutOfRange), "out_of_range");
+  EXPECT_EQ(StatusCodeName(StatusCode::kFailedPrecondition),
+            "failed_precondition");
+  EXPECT_EQ(StatusCodeName(StatusCode::kResourceExhausted),
+            "resource_exhausted");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInternal), "internal");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::NotFound("gone"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, OkStatusIsRejected) {
+  // Constructing a Result from an OK status is a bug; it degrades to an
+  // internal error rather than a value-less OK.
+  Result<int> result(Status::Ok());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result(std::string("payload"));
+  std::string taken = std::move(result).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> result(std::string("abc"));
+  EXPECT_EQ(result->size(), 3u);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::Ok();
+}
+
+Status Caller(int x) {
+  HW_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::Ok();
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Caller(1).ok());
+  EXPECT_EQ(Caller(-1).code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  HW_ASSIGN_OR_RETURN(int half, Half(x));
+  HW_ASSIGN_OR_RETURN(int quarter, Half(half));
+  return quarter;
+}
+
+TEST(StatusMacroTest, AssignOrReturnBindsAndPropagates) {
+  auto ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  auto bad = Quarter(6);  // 6/2 = 3, second Half fails
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace histwalk::util

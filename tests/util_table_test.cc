@@ -1,0 +1,74 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace histwalk::util {
+namespace {
+
+TEST(TextTableTest, PrintAlignsColumns) {
+  TextTable table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22222"});
+  std::ostringstream os;
+  table.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22222"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTableTest, CellFormatting) {
+  EXPECT_EQ(TextTable::Cell(uint64_t{12345}), "12345");
+  EXPECT_EQ(TextTable::Cell(int64_t{-7}), "-7");
+  EXPECT_EQ(TextTable::Cell(0.125, 4), "0.125");
+  EXPECT_EQ(TextTable::Cell(1234567.0, 3), "1.23e+06");
+}
+
+TEST(TextTableTest, RowAccessors) {
+  TextTable table({"a", "b", "c"});
+  EXPECT_EQ(table.num_columns(), 3u);
+  EXPECT_EQ(table.num_rows(), 0u);
+  table.AddRow({"1", "2", "3"});
+  ASSERT_EQ(table.num_rows(), 1u);
+  EXPECT_EQ(table.row(0)[2], "3");
+}
+
+TEST(TextTableTest, CsvEscapesSpecialCharacters) {
+  TextTable table({"x", "y"});
+  table.AddRow({"a,b", "quote\"inside"});
+  table.AddRow({"plain", "multi\nline"});
+  std::string csv = table.ToCsv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+  EXPECT_NE(csv.find("\"multi\nline\""), std::string::npos);
+  EXPECT_NE(csv.find("plain"), std::string::npos);
+}
+
+TEST(TextTableTest, CsvRoundTripThroughFile) {
+  TextTable table({"k", "v"});
+  table.AddRow({"one", "1"});
+  std::string path = testing::TempDir() + "/histwalk_table_test.csv";
+  ASSERT_TRUE(table.WriteCsv(path).ok());
+  std::ifstream file(path);
+  std::string header, row;
+  std::getline(file, header);
+  std::getline(file, row);
+  EXPECT_EQ(header, "k,v");
+  EXPECT_EQ(row, "one,1");
+  std::remove(path.c_str());
+}
+
+TEST(TextTableTest, WriteCsvToBadPathFails) {
+  TextTable table({"a"});
+  Status status = table.WriteCsv("/nonexistent_dir_xyz/file.csv");
+  EXPECT_FALSE(status.ok());
+}
+
+}  // namespace
+}  // namespace histwalk::util

@@ -1,0 +1,105 @@
+#include "estimate/variance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/random.h"
+
+namespace histwalk::estimate {
+namespace {
+
+// Builds an i.i.d. uniform-sample trace with known mean/variance.
+struct IidTrace {
+  std::vector<double> f;
+  std::vector<uint32_t> degrees;
+};
+
+IidTrace MakeIidTrace(size_t n, uint64_t seed) {
+  util::Random rng(seed);
+  IidTrace trace;
+  trace.f.resize(n);
+  trace.degrees.assign(n, 1);
+  for (size_t i = 0; i < n; ++i) trace.f[i] = rng.Gaussian(5.0, 2.0);
+  return trace;
+}
+
+TEST(BatchMeansTest, IidSamplesRecoverMeanAndVariance) {
+  IidTrace trace = MakeIidTrace(100000, 1);
+  BatchMeansResult result = BatchMeans(
+      trace.f, trace.degrees, core::StationaryBias::kUniform, 50);
+  EXPECT_NEAR(result.estimate, 5.0, 0.05);
+  // For i.i.d. samples the asymptotic variance equals the sample variance.
+  EXPECT_NEAR(result.asymptotic_variance, 4.0, 0.8);
+  EXPECT_EQ(result.num_batches, 50u);
+  EXPECT_EQ(result.batch_size, 2000u);
+}
+
+TEST(BatchMeansTest, PositivelyCorrelatedChainInflatesVariance) {
+  // AR(1) with strong positive correlation: asymptotic variance is
+  // var * (1+rho)/(1-rho) >> var.
+  util::Random rng(2);
+  const double rho = 0.9;
+  std::vector<double> f(200000);
+  std::vector<uint32_t> degrees(f.size(), 1);
+  double x = 0.0;
+  for (size_t i = 0; i < f.size(); ++i) {
+    x = rho * x + rng.Gaussian(0.0, 1.0);
+    f[i] = x;
+  }
+  BatchMeansResult result =
+      BatchMeans(f, degrees, core::StationaryBias::kUniform, 40);
+  // Stationary variance of the AR(1) is 1/(1-rho^2) ~ 5.26; asymptotic
+  // variance ~ 5.26 * (1.9/0.1) = 100.
+  EXPECT_GT(result.asymptotic_variance, 40.0);
+  double inflation =
+      VarianceInflation(f, degrees, core::StationaryBias::kUniform, 40);
+  EXPECT_GT(inflation, 8.0);
+}
+
+TEST(BatchMeansTest, AntitheticChainDeflatesVariance) {
+  // Alternating +/- values: batch means are ~0, asymptotic variance << iid.
+  std::vector<double> f(10000);
+  std::vector<uint32_t> degrees(f.size(), 1);
+  for (size_t i = 0; i < f.size(); ++i) f[i] = (i % 2 == 0) ? 1.0 : -1.0;
+  BatchMeansResult result =
+      BatchMeans(f, degrees, core::StationaryBias::kUniform, 20);
+  EXPECT_NEAR(result.estimate, 0.0, 1e-9);
+  EXPECT_LT(result.asymptotic_variance, 0.05);
+  double inflation =
+      VarianceInflation(f, degrees, core::StationaryBias::kUniform, 20);
+  EXPECT_LT(inflation, 0.1);
+}
+
+TEST(BatchMeansTest, DegreeBiasUsesRatioEstimatorPerBatch) {
+  // Constant f with varying degrees: every batch estimate is exactly f, so
+  // the asymptotic variance is 0.
+  std::vector<double> f(1000, 7.0);
+  std::vector<uint32_t> degrees(1000);
+  for (size_t i = 0; i < degrees.size(); ++i) {
+    degrees[i] = 1 + static_cast<uint32_t>(i % 5);
+  }
+  BatchMeansResult result = BatchMeans(
+      f, degrees, core::StationaryBias::kDegreeProportional, 10);
+  EXPECT_NEAR(result.estimate, 7.0, 1e-9);
+  EXPECT_NEAR(result.asymptotic_variance, 0.0, 1e-9);
+}
+
+TEST(BatchMeansTest, TailSamplesBeyondEqualBatchesAreDropped) {
+  std::vector<double> f(105, 1.0);
+  std::vector<uint32_t> degrees(105, 1);
+  BatchMeansResult result =
+      BatchMeans(f, degrees, core::StationaryBias::kUniform, 10);
+  EXPECT_EQ(result.batch_size, 10u);  // 105/10, 5 dropped
+}
+
+TEST(VarianceInflationTest, NearOneForIid) {
+  IidTrace trace = MakeIidTrace(100000, 3);
+  double inflation = VarianceInflation(
+      trace.f, trace.degrees, core::StationaryBias::kUniform, 50);
+  EXPECT_NEAR(inflation, 1.0, 0.3);
+}
+
+}  // namespace
+}  // namespace histwalk::estimate

@@ -1,0 +1,101 @@
+#include "estimate/walk_runner.h"
+
+#include <gtest/gtest.h>
+
+#include "access/graph_access.h"
+#include "core/simple_random_walk.h"
+#include "graph/generators.h"
+
+namespace histwalk::estimate {
+namespace {
+
+TEST(TraceWalkTest, MaxStepsStopsTheRun) {
+  graph::Graph g = graph::MakeComplete(10);
+  access::GraphAccess access(&g, nullptr);
+  core::SimpleRandomWalk walker(&access, 1);
+  ASSERT_TRUE(walker.Reset(0).ok());
+  TracedWalk trace = TraceWalk(walker, {.max_steps = 100});
+  EXPECT_EQ(trace.num_steps(), 100u);
+  EXPECT_TRUE(trace.final_status.ok());
+  EXPECT_EQ(trace.nodes.size(), trace.degrees.size());
+  EXPECT_EQ(trace.nodes.size(), trace.unique_queries.size());
+}
+
+TEST(TraceWalkTest, DegreesMatchNodes) {
+  graph::Graph g = graph::MakeBarbell(5);
+  access::GraphAccess access(&g, nullptr);
+  core::SimpleRandomWalk walker(&access, 2);
+  ASSERT_TRUE(walker.Reset(0).ok());
+  TracedWalk trace = TraceWalk(walker, {.max_steps = 50});
+  for (size_t t = 0; t < trace.num_steps(); ++t) {
+    EXPECT_EQ(trace.degrees[t], g.Degree(trace.nodes[t]));
+  }
+}
+
+TEST(TraceWalkTest, QueryCountsAreMonotone) {
+  graph::Graph g = graph::MakeCycle(30);
+  access::GraphAccess access(&g, nullptr);
+  core::SimpleRandomWalk walker(&access, 3);
+  ASSERT_TRUE(walker.Reset(0).ok());
+  TracedWalk trace = TraceWalk(walker, {.max_steps = 200});
+  for (size_t t = 1; t < trace.num_steps(); ++t) {
+    EXPECT_LE(trace.unique_queries[t - 1], trace.unique_queries[t]);
+  }
+}
+
+TEST(TraceWalkTest, RunnerBudgetStopsTheRun) {
+  graph::Graph g = graph::MakeCycle(100);
+  access::GraphAccess access(&g, nullptr);
+  core::SimpleRandomWalk walker(&access, 4);
+  ASSERT_TRUE(walker.Reset(0).ok());
+  TracedWalk trace =
+      TraceWalk(walker, {.max_steps = 100000, .query_budget = 10});
+  EXPECT_TRUE(trace.final_status.ok());
+  EXPECT_GE(access.unique_query_count(), 10u);
+  EXPECT_LE(access.unique_query_count(), 11u);
+}
+
+TEST(TraceWalkTest, AccessBudgetSurfacesResourceExhausted) {
+  graph::Graph g = graph::MakePath(50);
+  access::GraphAccess access(&g, nullptr, {.query_budget = 5});
+  core::SimpleRandomWalk walker(&access, 5);
+  ASSERT_TRUE(walker.Reset(25).ok());
+  TracedWalk trace = TraceWalk(walker, {.max_steps = 100000});
+  EXPECT_EQ(trace.final_status.code(),
+            util::StatusCode::kResourceExhausted);
+  EXPECT_GT(trace.num_steps(), 0u);
+}
+
+TEST(TracedWalkTest, StepsWithinBudgetBinarySearch) {
+  TracedWalk trace;
+  trace.unique_queries = {1, 2, 2, 3, 5, 5, 5, 8};
+  EXPECT_EQ(trace.StepsWithinBudget(0), 0u);
+  EXPECT_EQ(trace.StepsWithinBudget(2), 3u);
+  EXPECT_EQ(trace.StepsWithinBudget(4), 4u);
+  EXPECT_EQ(trace.StepsWithinBudget(5), 7u);
+  EXPECT_EQ(trace.StepsWithinBudget(100), 8u);
+}
+
+TEST(TraceWalkTest, PrefixEqualsSmallerBudgetRun) {
+  // The prefix of a budget-B run cut at budget b must equal a fresh run at
+  // budget b with the same seed — the property the experiment harness
+  // relies on to reuse one trace for all checkpoints.
+  graph::Graph g = graph::MakeBarbell(8);
+  auto run = [&](uint64_t budget) {
+    access::GraphAccess access(&g, nullptr);
+    core::SimpleRandomWalk walker(&access, 77);
+    EXPECT_TRUE(walker.Reset(0).ok());
+    return TraceWalk(walker, {.max_steps = 10000, .query_budget = budget});
+  };
+  TracedWalk big = run(12);
+  TracedWalk small = run(6);
+  uint64_t prefix = big.StepsWithinBudget(6);
+  ASSERT_LE(prefix, big.num_steps());
+  ASSERT_EQ(small.StepsWithinBudget(6), prefix);
+  for (uint64_t t = 0; t < prefix; ++t) {
+    EXPECT_EQ(big.nodes[t], small.nodes[t]);
+  }
+}
+
+}  // namespace
+}  // namespace histwalk::estimate

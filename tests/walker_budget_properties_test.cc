@@ -1,0 +1,181 @@
+// Parameterized failure-injection and budget-semantics suite: every
+// sampler must behave identically at the access-model boundary — respect
+// budgets, keep its position on refusal, resume after budget resets, and
+// stay deterministic under prefix replay.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "access/graph_access.h"
+#include "attr/grouping.h"
+#include "core/walker_factory.h"
+#include "estimate/walk_runner.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "util/random.h"
+
+namespace histwalk::core {
+namespace {
+
+struct WalkerCase {
+  std::string name;
+  WalkerType type;
+  bool needs_grouping = false;
+};
+
+std::vector<WalkerCase> AllWalkers() {
+  return {{"SRW", WalkerType::kSrw},
+          {"MHRW", WalkerType::kMhrw},
+          {"NB_SRW", WalkerType::kNbSrw},
+          {"CNRW", WalkerType::kCnrw},
+          {"CNRW_node", WalkerType::kCnrwNode},
+          {"NB_CNRW", WalkerType::kNbCnrw},
+          {"GNRW", WalkerType::kGnrw, true}};
+}
+
+class BudgetPropertyTest : public testing::TestWithParam<size_t> {
+ protected:
+  BudgetPropertyTest()
+      : graph_(MakeTestGraph()), grouping_(attr::MakeMd5Grouping(3)) {}
+
+  static graph::Graph MakeTestGraph() {
+    util::Random rng(404);
+    return graph::LargestComponent(graph::MakeErdosRenyi(80, 0.08, rng));
+  }
+
+  WalkerSpec Spec() const {
+    WalkerCase wc = AllWalkers()[GetParam()];
+    return {.type = wc.type,
+            .grouping = wc.needs_grouping ? grouping_.get() : nullptr};
+  }
+
+  graph::Graph graph_;
+  std::unique_ptr<attr::Grouping> grouping_;
+};
+
+TEST_P(BudgetPropertyTest, NeverExceedsAccessBudget) {
+  for (uint64_t budget : {1ull, 3ull, 10ull, 40ull}) {
+    access::GraphAccess access(&graph_, nullptr, {.query_budget = budget});
+    auto walker = MakeWalker(Spec(), &access, 99);
+    ASSERT_TRUE(walker.ok());
+    ASSERT_TRUE((*walker)->Reset(0).ok());
+    for (int i = 0; i < 5000; ++i) {
+      auto step = (*walker)->Step();
+      if (!step.ok()) {
+        EXPECT_EQ(step.status().code(),
+                  util::StatusCode::kResourceExhausted);
+        break;
+      }
+    }
+    EXPECT_LE(access.unique_query_count(), budget);
+  }
+}
+
+TEST_P(BudgetPropertyTest, PositionHoldsAcrossRefusals) {
+  access::GraphAccess access(&graph_, nullptr, {.query_budget = 5});
+  auto walker = MakeWalker(Spec(), &access, 7);
+  ASSERT_TRUE(walker.ok());
+  ASSERT_TRUE((*walker)->Reset(0).ok());
+  // Drive to exhaustion.
+  util::Status last_error = util::Status::Ok();
+  for (int i = 0; i < 10000 && last_error.ok(); ++i) {
+    auto step = (*walker)->Step();
+    if (!step.ok()) last_error = step.status();
+  }
+  if (!last_error.ok()) {
+    graph::NodeId held = (*walker)->current();
+    // Repeated refusals must not move the walker.
+    for (int i = 0; i < 10; ++i) {
+      auto step = (*walker)->Step();
+      if (step.ok()) break;  // a cached region may still allow movement
+      EXPECT_EQ((*walker)->current(), held);
+    }
+  }
+}
+
+TEST_P(BudgetPropertyTest, ResumesAfterAccountingReset) {
+  access::GraphAccess access(&graph_, nullptr, {.query_budget = 4});
+  auto walker = MakeWalker(Spec(), &access, 17);
+  ASSERT_TRUE(walker.ok());
+  ASSERT_TRUE((*walker)->Reset(0).ok());
+  bool exhausted = false;
+  for (int i = 0; i < 10000 && !exhausted; ++i) {
+    exhausted = !(*walker)->Step().ok();
+  }
+  if (exhausted) {
+    access.ResetAccounting();
+    EXPECT_TRUE((*walker)->Step().ok())
+        << "walker must recover once the budget is restored";
+  }
+}
+
+TEST_P(BudgetPropertyTest, SameSeedSameTrajectory) {
+  auto run = [&](uint64_t seed) {
+    access::GraphAccess access(&graph_, nullptr, {});
+    auto walker = MakeWalker(Spec(), &access, seed);
+    EXPECT_TRUE(walker.ok());
+    EXPECT_TRUE((*walker)->Reset(3).ok());
+    estimate::TracedWalk trace =
+        estimate::TraceWalk(**walker, {.max_steps = 500});
+    return trace.nodes;
+  };
+  EXPECT_EQ(run(123), run(123));
+  EXPECT_NE(run(123), run(124));
+}
+
+TEST_P(BudgetPropertyTest, ResetRestartsTheProcess) {
+  access::GraphAccess access(&graph_, nullptr, {});
+  auto walker = MakeWalker(Spec(), &access, 55);
+  ASSERT_TRUE(walker.ok());
+  ASSERT_TRUE((*walker)->Reset(2).ok());
+  for (int i = 0; i < 200; ++i) ASSERT_TRUE((*walker)->Step().ok());
+  ASSERT_TRUE((*walker)->Reset(2).ok());
+  EXPECT_EQ((*walker)->current(), 2u);
+  // The walk keeps working after a reset.
+  for (int i = 0; i < 200; ++i) ASSERT_TRUE((*walker)->Step().ok());
+}
+
+TEST_P(BudgetPropertyTest, EveryStepLandsOnANeighbor) {
+  access::GraphAccess access(&graph_, nullptr, {});
+  auto walker = MakeWalker(Spec(), &access, 77);
+  ASSERT_TRUE(walker.ok());
+  ASSERT_TRUE((*walker)->Reset(1).ok());
+  graph::NodeId prev = 1;
+  for (int i = 0; i < 2000; ++i) {
+    auto step = (*walker)->Step();
+    ASSERT_TRUE(step.ok());
+    // MHRW may self-loop; everyone else must move along an edge.
+    if (*step != prev) {
+      EXPECT_TRUE(graph_.HasEdge(prev, *step))
+          << prev << " -> " << *step << " at step " << i;
+    } else {
+      EXPECT_EQ(Spec().type, WalkerType::kMhrw)
+          << "only MHRW may stay in place";
+    }
+    prev = *step;
+  }
+}
+
+TEST_P(BudgetPropertyTest, TraceCostsAreWithinStepCount) {
+  // Each step charges at most one unique query.
+  access::GraphAccess access(&graph_, nullptr, {});
+  auto walker = MakeWalker(Spec(), &access, 88);
+  ASSERT_TRUE(walker.ok());
+  ASSERT_TRUE((*walker)->Reset(0).ok());
+  estimate::TracedWalk trace =
+      estimate::TraceWalk(**walker, {.max_steps = 400});
+  for (size_t t = 0; t < trace.num_steps(); ++t) {
+    EXPECT_LE(trace.unique_queries[t], t + 2)
+        << "step " << t << " charged more than one query per step";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWalkers, BudgetPropertyTest, testing::Range<size_t>(0, 7),
+    [](const testing::TestParamInfo<size_t>& info) {
+      return AllWalkers()[info.param].name;
+    });
+
+}  // namespace
+}  // namespace histwalk::core

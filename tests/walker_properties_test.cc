@@ -1,0 +1,224 @@
+// Parameterized property suite: the paper's two core guarantees, checked
+// across a grid of topologies and samplers.
+//
+//  * Theorems 1 and 4: CNRW / GNRW (and NB variants) share SRW's stationary
+//    distribution pi(v) = deg(v)/2|E| on every topology.
+//  * Theorem 2: CNRW's asymptotic variance never exceeds SRW's.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <memory>
+
+#include "access/graph_access.h"
+#include "attr/grouping.h"
+#include "core/walker_factory.h"
+#include "estimate/variance.h"
+#include "estimate/walk_runner.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "metrics/distribution.h"
+#include "metrics/divergence.h"
+#include "util/random.h"
+
+namespace histwalk::core {
+namespace {
+
+struct GraphCase {
+  std::string name;
+  graph::Graph graph;
+};
+
+GraphCase MakeGraphCase(const std::string& name) {
+  util::Random rng(0xfeedULL);
+  if (name == "complete8") return {name, graph::MakeComplete(8)};
+  if (name == "cycle9") return {name, graph::MakeCycle(9)};
+  if (name == "barbell6") return {name, graph::MakeBarbell(6)};
+  if (name == "cliquechain") return {name, graph::MakeCliqueChain({4, 5, 6})};
+  if (name == "erdos") {
+    return {name,
+            graph::LargestComponent(graph::MakeErdosRenyi(60, 0.12, rng))};
+  }
+  if (name == "smallworld") {
+    return {name, graph::MakeWattsStrogatz(64, 6, 0.2, rng)};
+  }
+  ADD_FAILURE() << "unknown graph case " << name;
+  return {name, graph::MakeComplete(3)};
+}
+
+std::vector<std::string> GraphNames() {
+  return {"complete8", "cycle9", "barbell6", "cliquechain", "erdos",
+          "smallworld"};
+}
+
+struct WalkerCase {
+  std::string name;
+  WalkerType type;
+  uint32_t gnrw_groups = 0;  // >0: GNRW with an MD5 grouping of that size
+};
+
+std::vector<WalkerCase> DegreeBiasedWalkers() {
+  return {{"SRW", WalkerType::kSrw},
+          {"NB-SRW", WalkerType::kNbSrw},
+          {"CNRW", WalkerType::kCnrw},
+          {"CNRW-node", WalkerType::kCnrwNode},
+          {"NB-CNRW", WalkerType::kNbCnrw},
+          {"GNRW-md5x3", WalkerType::kGnrw, 3},
+          {"GNRW-md5x2", WalkerType::kGnrw, 2}};
+}
+
+class StationarityTest
+    : public testing::TestWithParam<std::tuple<std::string, size_t>> {};
+
+TEST_P(StationarityTest, LongRunDistributionIsDegreeProportional) {
+  GraphCase graph_case = MakeGraphCase(std::get<0>(GetParam()));
+  WalkerCase walker_case = DegreeBiasedWalkers()[std::get<1>(GetParam())];
+  const graph::Graph& g = graph_case.graph;
+
+  std::unique_ptr<attr::Grouping> grouping;
+  if (walker_case.gnrw_groups > 0) {
+    grouping = attr::MakeMd5Grouping(walker_case.gnrw_groups);
+  }
+  WalkerSpec spec{.type = walker_case.type, .grouping = grouping.get()};
+
+  metrics::VisitCounter counter(g.num_nodes());
+  constexpr int kInstances = 60;
+  constexpr uint64_t kSteps = 4000;
+  for (int i = 0; i < kInstances; ++i) {
+    access::GraphAccess access(&g, nullptr);
+    util::Random start_rng(util::SubSeed(42, i));
+    graph::NodeId start =
+        static_cast<graph::NodeId>(start_rng.UniformIndex(g.num_nodes()));
+    auto walker = MakeWalker(spec, &access, util::SubSeed(7, i));
+    ASSERT_TRUE(walker.ok());
+    ASSERT_TRUE((*walker)->Reset(start).ok());
+    estimate::TracedWalk trace =
+        estimate::TraceWalk(**walker, {.max_steps = kSteps});
+    ASSERT_TRUE(trace.final_status.ok());
+    counter.AddAll(trace.nodes);
+  }
+
+  std::vector<double> target = metrics::StationaryDistribution(g);
+  double tv = metrics::TotalVariation(counter.Probabilities(), target);
+  EXPECT_LT(tv, 0.05) << graph_case.name << " / " << walker_case.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGraphsAllWalkers, StationarityTest,
+    testing::Combine(testing::ValuesIn(GraphNames()),
+                     testing::Range<size_t>(0, 7)),
+    [](const testing::TestParamInfo<StationarityTest::ParamType>& info) {
+      std::string walker = DegreeBiasedWalkers()[std::get<1>(info.param)].name;
+      for (char& ch : walker) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      }
+      return std::get<0>(info.param) + "_" + walker;
+    });
+
+// Theorem 2: asymptotic variance of CNRW <= SRW (with finite-sample slack)
+// for an arbitrary measure function, on every topology.
+class VarianceOrderingTest : public testing::TestWithParam<std::string> {};
+
+double MeasureAsymptoticVariance(const graph::Graph& g, WalkerType type,
+                                 uint64_t seed) {
+  // Arbitrary non-degree measure function f(v) = (v * 2654435761) % 17.
+  access::GraphAccess access(&g, nullptr);
+  WalkerSpec spec{.type = type};
+  auto walker = MakeWalker(spec, &access, seed);
+  EXPECT_TRUE(walker.ok());
+  EXPECT_TRUE((*walker)->Reset(0).ok());
+  estimate::TracedWalk trace =
+      estimate::TraceWalk(**walker, {.max_steps = 300000});
+  std::vector<double> f(trace.nodes.size());
+  for (size_t t = 0; t < trace.nodes.size(); ++t) {
+    f[t] = static_cast<double>((trace.nodes[t] * 2654435761u) % 17u);
+  }
+  return estimate::BatchMeans(f, trace.degrees,
+                              StationaryBias::kDegreeProportional, 60)
+      .asymptotic_variance;
+}
+
+TEST_P(VarianceOrderingTest, CnrwNoWorseThanSrw) {
+  GraphCase graph_case = MakeGraphCase(GetParam());
+  double v_srw =
+      MeasureAsymptoticVariance(graph_case.graph, WalkerType::kSrw, 101);
+  double v_cnrw =
+      MeasureAsymptoticVariance(graph_case.graph, WalkerType::kCnrw, 202);
+  // Theorem 2 is <=; batch-means estimates carry sampling noise, hence the
+  // 25% slack. Seeds are fixed, so this is deterministic.
+  EXPECT_LE(v_cnrw, v_srw * 1.25)
+      << GetParam() << ": V(CNRW)=" << v_cnrw << " V(SRW)=" << v_srw;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGraphs, VarianceOrderingTest,
+                         testing::ValuesIn(GraphNames()),
+                         [](const testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+// MHRW converges to the uniform distribution on every topology.
+class MhrwStationarityTest : public testing::TestWithParam<std::string> {};
+
+TEST_P(MhrwStationarityTest, LongRunDistributionIsUniform) {
+  GraphCase graph_case = MakeGraphCase(GetParam());
+  const graph::Graph& g = graph_case.graph;
+  metrics::VisitCounter counter(g.num_nodes());
+  for (int i = 0; i < 60; ++i) {
+    access::GraphAccess access(&g, nullptr);
+    util::Random start_rng(util::SubSeed(242, i));
+    graph::NodeId start =
+        static_cast<graph::NodeId>(start_rng.UniformIndex(g.num_nodes()));
+    auto walker =
+        MakeWalker({.type = WalkerType::kMhrw}, &access, util::SubSeed(9, i));
+    ASSERT_TRUE(walker.ok());
+    ASSERT_TRUE((*walker)->Reset(start).ok());
+    estimate::TracedWalk trace =
+        estimate::TraceWalk(**walker, {.max_steps = 6000});
+    counter.AddAll(trace.nodes);
+  }
+  std::vector<double> target = metrics::UniformDistribution(g.num_nodes());
+  double tv = metrics::TotalVariation(counter.Probabilities(), target);
+  EXPECT_LT(tv, 0.06) << graph_case.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGraphs, MhrwStationarityTest,
+                         testing::ValuesIn(GraphNames()),
+                         [](const testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+// The distributions achieved by CNRW and SRW agree with each other (not
+// just with the analytic target) — the drop-in-replacement property.
+class DropInTest : public testing::TestWithParam<std::string> {};
+
+TEST_P(DropInTest, CnrwAndSrwEmpiricalDistributionsAgree) {
+  GraphCase graph_case = MakeGraphCase(GetParam());
+  const graph::Graph& g = graph_case.graph;
+  auto pooled = [&](WalkerType type, uint64_t seed) {
+    metrics::VisitCounter counter(g.num_nodes());
+    for (int i = 0; i < 40; ++i) {
+      access::GraphAccess access(&g, nullptr);
+      auto walker = MakeWalker({.type = type}, &access,
+                               util::SubSeed(seed, i));
+      EXPECT_TRUE(walker.ok());
+      EXPECT_TRUE((*walker)->Reset(0).ok());
+      estimate::TracedWalk trace =
+          estimate::TraceWalk(**walker, {.max_steps = 4000});
+      counter.AddAll(trace.nodes);
+    }
+    return counter.Probabilities();
+  };
+  double tv = metrics::TotalVariation(pooled(WalkerType::kSrw, 11),
+                                      pooled(WalkerType::kCnrw, 22));
+  EXPECT_LT(tv, 0.05) << graph_case.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGraphs, DropInTest,
+                         testing::ValuesIn(GraphNames()),
+                         [](const testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+}  // namespace
+}  // namespace histwalk::core
