@@ -1,0 +1,107 @@
+// Microbenchmarks (M2): the history-cache subsystem. Raw shard-local
+// Get/Put cost, then full 8-walker ensembles at several cache capacities —
+// making the section 3.3 space/queries trade measurable: a smaller cache
+// evicts more, re-fetches more (higher charged cost), but caps
+// history_bytes. Counters report hit rate, evictions, charged vs standalone
+// queries and resident bytes per capacity setting.
+
+#include <benchmark/benchmark.h>
+
+#include "access/graph_access.h"
+#include "access/history_cache.h"
+#include "access/shared_access.h"
+#include "core/walker_factory.h"
+#include "estimate/ensemble_runner.h"
+#include "experiment/datasets.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace histwalk;
+
+const experiment::Dataset& FixtureDataset() {
+  static const experiment::Dataset* dataset = new experiment::Dataset(
+      experiment::BuildDataset(experiment::DatasetId::kFacebook));
+  return *dataset;
+}
+
+// Raw cache ops: hit path (Get of a resident key, LRU splice under the
+// shard lock).
+void BM_CacheGetHit(benchmark::State& state) {
+  const experiment::Dataset& dataset = FixtureDataset();
+  access::HistoryCache cache({.capacity = 0, .num_shards = 8});
+  uint64_t n = dataset.graph.num_nodes();
+  for (graph::NodeId v = 0; v < n; ++v) {
+    cache.Put(v, dataset.graph.Neighbors(v));
+  }
+  util::Random rng(7);
+  for (auto _ : state) {
+    auto entry = cache.Get(static_cast<graph::NodeId>(rng.UniformIndex(n)));
+    benchmark::DoNotOptimize(entry);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["hit_rate"] = cache.stats().HitRate();
+}
+
+// Churn path: Put into a full cache, paying one eviction per insert.
+void BM_CachePutEvict(benchmark::State& state) {
+  const experiment::Dataset& dataset = FixtureDataset();
+  uint64_t capacity = static_cast<uint64_t>(state.range(0));
+  access::HistoryCache cache({.capacity = capacity, .num_shards = 8});
+  uint64_t n = dataset.graph.num_nodes();
+  util::Random rng(7);
+  for (auto _ : state) {
+    graph::NodeId v = static_cast<graph::NodeId>(rng.UniformIndex(n));
+    auto entry = cache.Put(v, dataset.graph.Neighbors(v));
+    benchmark::DoNotOptimize(entry);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["evictions"] =
+      static_cast<double>(cache.stats().evictions);
+  state.counters["resident_bytes"] =
+      static_cast<double>(cache.MemoryBytes());
+}
+
+BENCHMARK(BM_CachePutEvict)->Arg(64)->Arg(256);
+BENCHMARK(BM_CacheGetHit);
+
+// End-to-end: 8 concurrent CNRW walkers over one shared cache. Arg 0 is
+// the unbounded seed behaviour; 64 and 256 bound the history. charged vs
+// standalone queries quantifies what the bound costs in re-fetches.
+void BM_EnsembleCacheBounded(benchmark::State& state) {
+  const experiment::Dataset& dataset = FixtureDataset();
+  uint64_t capacity = static_cast<uint64_t>(state.range(0));
+  double hit_rate = 0.0, evictions = 0.0, charged = 0.0, standalone = 0.0;
+  double bytes = 0.0;
+  for (auto _ : state) {
+    access::GraphAccess backend(&dataset.graph, &dataset.attributes);
+    access::SharedAccessGroup group(
+        &backend, {.cache = {.capacity = capacity, .num_shards = 8}});
+    auto result = estimate::RunEnsemble(
+        group, {.type = core::WalkerType::kCnrw},
+        {.num_walkers = 8, .seed = 42, .max_steps = 2000});
+    if (!result.ok()) {
+      state.SkipWithError("ensemble failed");
+      return;
+    }
+    benchmark::DoNotOptimize(result->num_steps());
+    hit_rate = result->cache_stats.HitRate();
+    evictions = static_cast<double>(result->cache_stats.evictions);
+    charged = static_cast<double>(result->charged_queries);
+    standalone = static_cast<double>(result->summed_stats.unique_queries);
+    bytes = static_cast<double>(result->history_bytes);
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * 2000);
+  state.counters["hit_rate"] = hit_rate;
+  state.counters["evictions"] = evictions;
+  state.counters["charged_queries"] = charged;
+  state.counters["standalone_queries"] = standalone;
+  state.counters["history_bytes"] = bytes;
+}
+
+BENCHMARK(BM_EnsembleCacheBounded)->Arg(0)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

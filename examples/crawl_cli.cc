@@ -73,7 +73,8 @@ int Crawl(const graph::Graph& graph, core::WalkerType type,
             << "start node:        " << start << "\n"
             << "steps taken:       " << trace.num_steps() << "\n"
             << "unique queries:    " << access.unique_query_count() << "\n"
-            << "history bytes:     " << (*walker)->HistoryBytes() << "\n"
+            << "history bytes:     " << (*walker)->HistoryBytes()
+            << " (walker) + " << access.HistoryBytes() << " (access)\n"
             << "avg degree (est):  "
             << estimate::EstimateAverageDegree(trace.degrees,
                                                (*walker)->bias())

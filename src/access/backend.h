@@ -1,0 +1,51 @@
+#ifndef HISTWALK_ACCESS_BACKEND_H_
+#define HISTWALK_ACCESS_BACKEND_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "attr/attribute.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+// The raw service interface underneath the access layer.
+//
+// NodeAccess (node_access.h) bundles three concerns: issuing neighborhood
+// queries, remembering which answers were already fetched (the paper's
+// "history"), and charging a query budget. AccessBackend isolates the first
+// concern: it is the uncharged, uncached wire protocol — "ask the service
+// for N(v)" — with no memory and no accounting. GraphAccess implements it
+// against an in-memory Graph (the simulated API of section 6.1); a real
+// HTTP crawler would be another implementation. History and budgeting live
+// above the backend, in SharedAccess + HistoryCache, so every backend gets
+// them for free.
+
+namespace histwalk::access {
+
+class AccessBackend {
+ public:
+  virtual ~AccessBackend() = default;
+
+  // Fetches the neighbor list of `v` from the service. Every call is a real
+  // (charged-by-the-caller) query; backends do no caching. The returned span
+  // must stay valid for the lifetime of the backend (GraphAccess points into
+  // the immutable CSR arrays); callers that cache responses copy them.
+  // Must be safe to call concurrently.
+  virtual util::Result<std::span<const graph::NodeId>> FetchNeighbors(
+      graph::NodeId v) const = 0;
+
+  // Free response metadata (the "rich response" model of section 2.1).
+  virtual util::Result<double> FetchAttribute(graph::NodeId v,
+                                              attr::AttrId attr) const = 0;
+  virtual util::Result<uint32_t> FetchSummaryDegree(graph::NodeId v) const = 0;
+
+  virtual uint64_t num_nodes() const = 0;
+
+  // Short label for reports ("graph", "http", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace histwalk::access
+
+#endif  // HISTWALK_ACCESS_BACKEND_H_

@@ -23,8 +23,7 @@ util::Result<std::span<const graph::NodeId>> GraphAccess::Neighbors(
   ++stats_.total_queries;
   if (queried_[v]) {
     ++stats_.cache_hits;
-    return util::Result<std::span<const graph::NodeId>>(
-        graph_->Neighbors(v));
+    return FetchNeighbors(v);
   }
   if (options_.query_budget != 0 &&
       stats_.unique_queries >= options_.query_budget) {
@@ -33,11 +32,48 @@ util::Result<std::span<const graph::NodeId>> GraphAccess::Neighbors(
   }
   queried_[v] = true;
   ++stats_.unique_queries;
-  return util::Result<std::span<const graph::NodeId>>(graph_->Neighbors(v));
+  return FetchNeighbors(v);
 }
 
 util::Result<double> GraphAccess::Attribute(graph::NodeId v,
                                             attr::AttrId attr) const {
+  return FetchAttribute(v, attr);
+}
+
+util::Result<uint32_t> GraphAccess::SummaryDegree(graph::NodeId v) const {
+  return FetchSummaryDegree(v);
+}
+
+uint64_t GraphAccess::remaining_budget() const {
+  if (options_.query_budget == 0) return UINT64_MAX;
+  // set_query_budget() may tighten the budget below what is already spent;
+  // clamp instead of wrapping around to "practically unlimited".
+  if (stats_.unique_queries >= options_.query_budget) return 0;
+  return options_.query_budget - stats_.unique_queries;
+}
+
+void GraphAccess::ResetAccounting() {
+  stats_ = QueryStats{};
+  queried_.assign(graph_->num_nodes(), false);
+}
+
+uint64_t GraphAccess::HistoryBytes() const {
+  // One membership bit per node (the vector<bool> cache index). The
+  // neighbor lists themselves live in the Graph, which plays the service
+  // here, not the history.
+  return (queried_.size() + 7) / 8;
+}
+
+util::Result<std::span<const graph::NodeId>> GraphAccess::FetchNeighbors(
+    graph::NodeId v) const {
+  if (v >= graph_->num_nodes()) {
+    return util::Status::OutOfRange("unknown node id");
+  }
+  return util::Result<std::span<const graph::NodeId>>(graph_->Neighbors(v));
+}
+
+util::Result<double> GraphAccess::FetchAttribute(graph::NodeId v,
+                                                 attr::AttrId attr) const {
   if (v >= graph_->num_nodes()) {
     return util::Status::OutOfRange("unknown node id");
   }
@@ -47,21 +83,11 @@ util::Result<double> GraphAccess::Attribute(graph::NodeId v,
   return attributes_->Value(v, attr);
 }
 
-util::Result<uint32_t> GraphAccess::SummaryDegree(graph::NodeId v) const {
+util::Result<uint32_t> GraphAccess::FetchSummaryDegree(graph::NodeId v) const {
   if (v >= graph_->num_nodes()) {
     return util::Status::OutOfRange("unknown node id");
   }
   return graph_->Degree(v);
-}
-
-uint64_t GraphAccess::remaining_budget() const {
-  if (options_.query_budget == 0) return UINT64_MAX;
-  return options_.query_budget - stats_.unique_queries;
-}
-
-void GraphAccess::ResetAccounting() {
-  stats_ = QueryStats{};
-  queried_.assign(graph_->num_nodes(), false);
 }
 
 }  // namespace histwalk::access

@@ -4,12 +4,18 @@
 #include <cstdint>
 #include <vector>
 
+#include "access/backend.h"
 #include "access/node_access.h"
 
 // NodeAccess implementation backed by an in-memory Graph — the simulated
 // web/API interface the paper runs its algorithms against ("we simulated a
 // restricted-access web interface precisely according to the definition in
 // Section 2.1", section 6.1).
+//
+// GraphAccess is also the in-memory AccessBackend: the Fetch* methods are
+// the raw, uncharged wire protocol that SharedAccess + HistoryCache build
+// shared-history ensembles on, while the NodeAccess methods keep the seed's
+// single-walker behaviour (private unbounded history, per-access budget).
 
 namespace histwalk::access {
 
@@ -18,7 +24,7 @@ struct GraphAccessOptions {
   uint64_t query_budget = 0;
 };
 
-class GraphAccess final : public NodeAccess {
+class GraphAccess final : public NodeAccess, public AccessBackend {
  public:
   // `graph` and `attributes` must outlive this object. `attributes` may be
   // null when the workload does not use attributes.
@@ -26,6 +32,7 @@ class GraphAccess final : public NodeAccess {
               const attr::AttributeTable* attributes,
               GraphAccessOptions options = {});
 
+  // NodeAccess (charged, cached, budgeted).
   util::Result<std::span<const graph::NodeId>> Neighbors(
       graph::NodeId v) override;
   util::Result<double> Attribute(graph::NodeId v,
@@ -36,6 +43,20 @@ class GraphAccess final : public NodeAccess {
   const QueryStats& stats() const override { return stats_; }
   uint64_t remaining_budget() const override;
   void ResetAccounting() override;
+  uint64_t HistoryBytes() const override;
+
+  // Tightens or lifts the budget mid-crawl (experiments re-budget a shared
+  // access between phases). Accounting is kept; remaining_budget() clamps
+  // at 0 when more was already spent than the new budget allows.
+  void set_query_budget(uint64_t budget) { options_.query_budget = budget; }
+
+  // AccessBackend (raw, uncharged, no history).
+  util::Result<std::span<const graph::NodeId>> FetchNeighbors(
+      graph::NodeId v) const override;
+  util::Result<double> FetchAttribute(graph::NodeId v,
+                                      attr::AttrId attr) const override;
+  util::Result<uint32_t> FetchSummaryDegree(graph::NodeId v) const override;
+  std::string name() const override { return "graph"; }
 
  private:
   const graph::Graph* graph_;

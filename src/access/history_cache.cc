@@ -1,0 +1,110 @@
+#include "access/history_cache.h"
+
+#include "util/check.h"
+
+namespace histwalk::access {
+
+HistoryCache::HistoryCache(HistoryCacheOptions options) : options_(options) {
+  num_shards_ = options_.num_shards == 0 ? 1 : options_.num_shards;
+  if (options_.capacity == 0) {
+    shard_capacity_ = 0;
+  } else {
+    // Ceiling split so num_shards * shard_capacity >= capacity; a skewed
+    // key distribution can therefore hold slightly more than `capacity` in
+    // total, never less per shard than its fair share.
+    shard_capacity_ = (options_.capacity + num_shards_ - 1) / num_shards_;
+    if (shard_capacity_ == 0) shard_capacity_ = 1;
+  }
+  shards_ = std::make_unique<Shard[]>(num_shards_);
+}
+
+uint32_t HistoryCache::ShardOf(graph::NodeId v, uint32_t num_shards) {
+  HW_DCHECK(num_shards > 0);
+  // Fibonacci hashing: spreads consecutive node ids across shards while
+  // staying bit-reproducible everywhere.
+  uint64_t h = static_cast<uint64_t>(v) * 0x9E3779B97F4A7C15ull;
+  h ^= h >> 32;
+  return static_cast<uint32_t>(h % num_shards);
+}
+
+uint64_t HistoryCache::EntryBytes(const std::vector<graph::NodeId>& neighbors) {
+  // Payload plus the per-entry bookkeeping (map slot, LRU node, control
+  // block); approximate, but monotone in list length and stable across runs.
+  return neighbors.capacity() * sizeof(graph::NodeId) +
+         sizeof(std::vector<graph::NodeId>) + sizeof(Slot) +
+         2 * sizeof(void*) + sizeof(graph::NodeId);
+}
+
+HistoryCache::Entry HistoryCache::Get(graph::NodeId v) {
+  Shard& shard = shards_[ShardOf(v, num_shards_)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(v);
+  if (it == shard.map.end()) {
+    ++shard.misses;
+    return Entry();
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+  return it->second.entry;
+}
+
+HistoryCache::Entry HistoryCache::Put(graph::NodeId v,
+                                      std::span<const graph::NodeId> neighbors) {
+  Shard& shard = shards_[ShardOf(v, num_shards_)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(v);
+  if (it != shard.map.end()) {
+    // Lost a fetch race with another walker; keep the resident entry.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+    return it->second.entry;
+  }
+  if (shard_capacity_ != 0 && shard.map.size() >= shard_capacity_) {
+    graph::NodeId victim = shard.lru.back();
+    auto victim_it = shard.map.find(victim);
+    HW_DCHECK(victim_it != shard.map.end());
+    shard.bytes -= EntryBytes(*victim_it->second.entry);
+    shard.lru.pop_back();
+    shard.map.erase(victim_it);
+    ++shard.evictions;
+  }
+  auto entry = std::make_shared<const std::vector<graph::NodeId>>(
+      neighbors.begin(), neighbors.end());
+  shard.lru.push_front(v);
+  shard.map.emplace(v, Slot{entry, shard.lru.begin()});
+  shard.bytes += EntryBytes(*entry);
+  ++shard.insertions;
+  return entry;
+}
+
+bool HistoryCache::Contains(graph::NodeId v) const {
+  const Shard& shard = shards_[ShardOf(v, num_shards_)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.map.find(v) != shard.map.end();
+}
+
+void HistoryCache::Clear() {
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+    shard.lru.clear();
+    shard.bytes = 0;
+  }
+}
+
+HistoryCacheStats HistoryCache::stats() const {
+  HistoryCacheStats total;
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    const Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.hits += shard.hits;
+    total.misses += shard.misses;
+    total.insertions += shard.insertions;
+    total.evictions += shard.evictions;
+    total.entries += shard.map.size();
+    total.bytes += shard.bytes;
+  }
+  return total;
+}
+
+}  // namespace histwalk::access

@@ -1,0 +1,125 @@
+#ifndef HISTWALK_ACCESS_HISTORY_CACHE_H_
+#define HISTWALK_ACCESS_HISTORY_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+
+// Capacity-bounded store of neighbor-query responses — the sampler's
+// "history" (section 2.1) promoted from an implementation detail of
+// GraphAccess to a first-class subsystem.
+//
+// The cache is sharded: a node id maps to a shard by a fixed multiplicative
+// hash, and each shard runs an independent LRU list under its own mutex, so
+// concurrent walkers sharing one cache contend only per shard. Entries are
+// handed out as shared_ptr handles; eviction drops the cache's reference
+// while any walker still holding the handle keeps its span valid — the
+// lock-free analogue of page pinning in a buffer pool.
+//
+// `capacity` bounds the number of cached responses (0 = unbounded, the
+// seed's behaviour). The bound is enforced per shard (ceil(capacity /
+// num_shards) each), which keeps eviction decisions local and — because
+// sharding is deterministic — reproducible across runs. This makes the
+// O(K)-space discussion of section 3.3 a measurable knob: a bounded cache
+// trades re-queries (charged again on re-fetch) for memory.
+
+namespace histwalk::access {
+
+struct HistoryCacheOptions {
+  // Maximum number of cached neighbor lists; 0 means unbounded.
+  uint64_t capacity = 0;
+  // Number of independent LRU shards; clamped to >= 1.
+  uint32_t num_shards = 8;
+};
+
+struct HistoryCacheStats {
+  uint64_t hits = 0;        // Get() found the entry
+  uint64_t misses = 0;      // Get() did not
+  uint64_t insertions = 0;  // Put() stored a new entry
+  uint64_t evictions = 0;   // entries displaced by the capacity bound
+  uint64_t entries = 0;     // currently resident
+  uint64_t bytes = 0;       // current footprint (HistoryBytes-compatible)
+
+  double HitRate() const {
+    uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
+  }
+};
+
+class HistoryCache {
+ public:
+  // A cached response. Holding the handle keeps the neighbor list alive
+  // even after the entry is evicted.
+  using Entry = std::shared_ptr<const std::vector<graph::NodeId>>;
+
+  explicit HistoryCache(HistoryCacheOptions options = {});
+
+  HistoryCache(const HistoryCache&) = delete;
+  HistoryCache& operator=(const HistoryCache&) = delete;
+
+  // Looks up the response for `v`, refreshing its LRU position. Returns a
+  // null handle on miss. Thread-safe; hit/miss counters are exact under
+  // concurrency.
+  Entry Get(graph::NodeId v);
+
+  // Stores the response for `v`, evicting the shard's LRU tail if the shard
+  // is full. If `v` is already resident the existing entry is returned
+  // unchanged (idempotent under concurrent double-fetch). Thread-safe.
+  Entry Put(graph::NodeId v, std::span<const graph::NodeId> neighbors);
+
+  // Membership probe with no stats or LRU side effects.
+  bool Contains(graph::NodeId v) const;
+
+  // Drops every entry and resets entries/bytes; cumulative counters
+  // (hits/misses/insertions/evictions) are preserved.
+  void Clear();
+
+  // Aggregated over all shards.
+  HistoryCacheStats stats() const;
+  uint64_t entry_count() const { return stats().entries; }
+  // Approximate heap footprint of resident entries, in bytes — the access
+  // layer's contribution to HistoryBytes() reporting.
+  uint64_t MemoryBytes() const { return stats().bytes; }
+
+  uint32_t num_shards() const { return num_shards_; }
+  uint64_t capacity() const { return options_.capacity; }
+  // Per-shard slice of the capacity bound (0 = unbounded).
+  uint64_t shard_capacity() const { return shard_capacity_; }
+
+  // Deterministic shard assignment: depends only on `v` and `num_shards`,
+  // never on run order or platform.
+  static uint32_t ShardOf(graph::NodeId v, uint32_t num_shards);
+
+ private:
+  struct Slot {
+    Entry entry;
+    std::list<graph::NodeId>::iterator lru_pos;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<graph::NodeId> lru;  // front = most recently used
+    std::unordered_map<graph::NodeId, Slot> map;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    uint64_t bytes = 0;
+  };
+
+  static uint64_t EntryBytes(const std::vector<graph::NodeId>& neighbors);
+
+  HistoryCacheOptions options_;
+  uint32_t num_shards_;
+  uint64_t shard_capacity_;  // 0 = unbounded
+  std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace histwalk::access
+
+#endif  // HISTWALK_ACCESS_HISTORY_CACHE_H_

@@ -44,6 +44,12 @@ class NodeAccess {
   // Issues (or replays from cache) the neighborhood query for `v`.
   // Fails with kResourceExhausted once the query budget is spent and the
   // answer is not cached; with kOutOfRange for an unknown id.
+  //
+  // Lifetime contract: the returned span is guaranteed valid only until the
+  // next Neighbors() call on the same access. Implementations may hand out
+  // longer-lived spans (GraphAccess points into the immutable CSR), but
+  // callers must not rely on that — cache-backed accesses recycle response
+  // buffers. Copy the list to keep it across calls.
   virtual util::Result<std::span<const graph::NodeId>> Neighbors(
       graph::NodeId v) = 0;
 
@@ -65,6 +71,12 @@ class NodeAccess {
 
   // Clears the cache and the accounting (budget is restored in full).
   virtual void ResetAccounting() = 0;
+
+  // Approximate bytes of response history this access retains (cache
+  // membership bits, cached neighbor lists, ...). Complements
+  // core::Walker::HistoryBytes(), which covers walker-side circulation
+  // state; together they account the full O(K) space of section 3.3.
+  virtual uint64_t HistoryBytes() const { return 0; }
 };
 
 }  // namespace histwalk::access

@@ -1,0 +1,109 @@
+#include "access/shared_access.h"
+
+#include "util/check.h"
+
+namespace histwalk::access {
+
+SharedAccessGroup::SharedAccessGroup(const AccessBackend* backend,
+                                     SharedAccessOptions options)
+    : backend_(backend), options_(options), cache_(options.cache) {
+  HW_CHECK(backend_ != nullptr);
+}
+
+std::unique_ptr<SharedAccess> SharedAccessGroup::MakeView() {
+  return std::make_unique<SharedAccess>(this);
+}
+
+uint64_t SharedAccessGroup::remaining_budget() const {
+  if (options_.query_budget == 0) return UINT64_MAX;
+  uint64_t charged = charged_queries();
+  return charged >= options_.query_budget ? 0
+                                          : options_.query_budget - charged;
+}
+
+void SharedAccessGroup::ResetAll() {
+  cache_.Clear();
+  charged_.store(0, std::memory_order_relaxed);
+}
+
+bool SharedAccessGroup::TryCharge() {
+  if (options_.query_budget == 0) {
+    charged_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  uint64_t current = charged_.load(std::memory_order_relaxed);
+  while (current < options_.query_budget) {
+    if (charged_.compare_exchange_weak(current, current + 1,
+                                       std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+SharedAccess::SharedAccess(SharedAccessGroup* group)
+    : group_(group), queried_(group->backend()->num_nodes(), false) {
+  HW_CHECK(group_ != nullptr);
+}
+
+void SharedAccess::AccountServed(graph::NodeId v) {
+  ++stats_.total_queries;
+  if (queried_[v]) {
+    ++stats_.cache_hits;
+  } else {
+    queried_[v] = true;
+    ++stats_.unique_queries;
+  }
+}
+
+util::Result<std::span<const graph::NodeId>> SharedAccess::Neighbors(
+    graph::NodeId v) {
+  if (v >= num_nodes()) {
+    return util::Status::OutOfRange("unknown node id");
+  }
+  HistoryCache::Entry entry = group_->cache_.Get(v);
+  if (entry == nullptr) {
+    // Shared-history miss: this view pays for a real fetch. A refused call
+    // is not issued at all, so it leaves the accounting untouched (same
+    // semantics as GraphAccess).
+    if (!group_->TryCharge()) {
+      return util::Status::ResourceExhausted("group query budget exhausted");
+    }
+    auto fetched = group_->backend_->FetchNeighbors(v);
+    if (!fetched.ok()) {
+      group_->RefundCharge();
+      return fetched.status();
+    }
+    entry = group_->cache_.Put(v, *fetched);
+    ++charged_fetches_;
+  }
+  AccountServed(v);
+  retained_[retain_slot_] = entry;
+  retain_slot_ = (retain_slot_ + 1) % std::size(retained_);
+  return util::Result<std::span<const graph::NodeId>>(
+      std::span<const graph::NodeId>(*entry));
+}
+
+util::Result<double> SharedAccess::Attribute(graph::NodeId v,
+                                             attr::AttrId attr) const {
+  if (v >= num_nodes()) {
+    return util::Status::OutOfRange("unknown node id");
+  }
+  return group_->backend_->FetchAttribute(v, attr);
+}
+
+util::Result<uint32_t> SharedAccess::SummaryDegree(graph::NodeId v) const {
+  if (v >= num_nodes()) {
+    return util::Status::OutOfRange("unknown node id");
+  }
+  return group_->backend_->FetchSummaryDegree(v);
+}
+
+void SharedAccess::ResetAccounting() {
+  stats_ = QueryStats{};
+  queried_.assign(group_->backend()->num_nodes(), false);
+  charged_fetches_ = 0;
+  for (auto& handle : retained_) handle.reset();
+}
+
+}  // namespace histwalk::access

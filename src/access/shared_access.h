@@ -1,0 +1,150 @@
+#ifndef HISTWALK_ACCESS_SHARED_ACCESS_H_
+#define HISTWALK_ACCESS_SHARED_ACCESS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "access/backend.h"
+#include "access/history_cache.h"
+#include "access/node_access.h"
+
+// Shared history for concurrent walker ensembles.
+//
+// The paper analyses a single walk reusing its own history; running N
+// walkers against the same service generalises the idea: any response one
+// walker fetched is history for all of them. SharedAccessGroup owns the
+// communal state — one AccessBackend, one bounded HistoryCache, one global
+// fetch budget — and mints per-walker SharedAccess views. Each view is a
+// full NodeAccess, so every existing walker runs unmodified on shared
+// history.
+//
+// Accounting is split across the two levels so both stay exact:
+//
+//  * per view (QueryStats): unique_queries counts the distinct nodes THIS
+//    walker asked for — its standalone query cost, independent of what the
+//    other walkers or the eviction policy did, hence deterministic given
+//    the walk itself. cache_hits counts the walker's own repeats.
+//  * per group: charged_queries() counts actual backend fetches — what the
+//    service would bill the whole crawl. The gap between the views' summed
+//    unique_queries and the group's charged_queries is exactly the ensemble
+//    saving from shared history; with a bounded cache, evicted-then-refetched
+//    nodes push charges back up, making the memory/queries trade measurable.
+//
+// A group-level query_budget is a shared quota, so WHICH view gets refused
+// when it runs out depends on thread interleaving — walks under a binding
+// group budget are not reproducible across schedules (see
+// estimate/ensemble_runner.h for the deterministic per-walker alternative).
+//
+// Concurrency notes: views are NOT thread-safe individually (one view per
+// walker per thread); the group and cache are. Two walkers missing on the
+// same node at the same instant may both fetch it — the cache keeps one
+// copy, the duplicate charge is the usual cost of not holding a lock across
+// the backend call.
+
+namespace histwalk::access {
+
+class SharedAccess;
+
+struct SharedAccessOptions {
+  // Global backend-fetch budget across all views; 0 means unlimited.
+  uint64_t query_budget = 0;
+  HistoryCacheOptions cache;
+};
+
+class SharedAccessGroup {
+ public:
+  // `backend` must outlive the group; the group must outlive its views.
+  SharedAccessGroup(const AccessBackend* backend,
+                    SharedAccessOptions options = {});
+
+  SharedAccessGroup(const SharedAccessGroup&) = delete;
+  SharedAccessGroup& operator=(const SharedAccessGroup&) = delete;
+
+  // Mints a per-walker view. Thread-safe, though views are typically
+  // created up front and handed one per worker thread.
+  std::unique_ptr<SharedAccess> MakeView();
+
+  const AccessBackend* backend() const { return backend_; }
+  HistoryCache& cache() { return cache_; }
+  const HistoryCache& cache() const { return cache_; }
+
+  // Backend fetches issued so far (the service-billed crawl cost).
+  uint64_t charged_queries() const {
+    return charged_.load(std::memory_order_relaxed);
+  }
+  // Remaining fetch budget; UINT64_MAX when unlimited, clamped at 0.
+  uint64_t remaining_budget() const;
+
+  // Clears the shared cache and the charge counter. Views keep their own
+  // accounting; reset each view separately via ResetAccounting().
+  void ResetAll();
+
+ private:
+  friend class SharedAccess;
+
+  // Atomically claims one unit of fetch budget; false when exhausted.
+  bool TryCharge();
+  void RefundCharge() { charged_.fetch_sub(1, std::memory_order_relaxed); }
+
+  const AccessBackend* backend_;
+  SharedAccessOptions options_;
+  HistoryCache cache_;
+  std::atomic<uint64_t> charged_{0};
+};
+
+class SharedAccess final : public NodeAccess {
+ public:
+  // Prefer SharedAccessGroup::MakeView(). `group` must outlive this view.
+  explicit SharedAccess(SharedAccessGroup* group);
+
+  util::Result<std::span<const graph::NodeId>> Neighbors(
+      graph::NodeId v) override;
+  util::Result<double> Attribute(graph::NodeId v,
+                                 attr::AttrId attr) const override;
+  util::Result<uint32_t> SummaryDegree(graph::NodeId v) const override;
+
+  uint64_t num_nodes() const override { return group_->backend()->num_nodes(); }
+  const QueryStats& stats() const override { return stats_; }
+  uint64_t remaining_budget() const override {
+    return group_->remaining_budget();
+  }
+  // Clears this view's accounting only; the shared cache and group budget
+  // are untouched (use SharedAccessGroup::ResetAll for those).
+  void ResetAccounting() override;
+
+  // Shared-cache footprint plus this view's private membership bits. Note
+  // that summing HistoryBytes() across views counts the shared cache once
+  // per view; ensemble-level reporting adds private_history_bytes() per
+  // view to one cache footprint instead.
+  uint64_t HistoryBytes() const override {
+    return group_->cache().MemoryBytes() + private_history_bytes();
+  }
+  // History state owned by this view alone (its queried_ membership bits).
+  uint64_t private_history_bytes() const { return (queried_.size() + 7) / 8; }
+
+  // Backend fetches this view triggered (cache misses it paid for). Unlike
+  // unique_queries this depends on thread interleaving under concurrency.
+  uint64_t charged_fetches() const { return charged_fetches_; }
+
+  SharedAccessGroup* group() const { return group_; }
+
+ private:
+  void AccountServed(graph::NodeId v);
+
+  SharedAccessGroup* group_;
+  QueryStats stats_;
+  std::vector<bool> queried_;  // nodes THIS view has asked for
+  uint64_t charged_fetches_ = 0;
+  // Handles to recently returned responses: keeps their spans valid even if
+  // the shared cache evicts the entries mid-step (one neighbor list is live
+  // per walker step; two gives margin).
+  HistoryCache::Entry retained_[2];
+  size_t retain_slot_ = 0;
+};
+
+}  // namespace histwalk::access
+
+#endif  // HISTWALK_ACCESS_SHARED_ACCESS_H_

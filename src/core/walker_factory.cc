@@ -1,5 +1,7 @@
 #include "core/walker_factory.h"
 
+#include "util/random.h"
+
 #include "core/cnrw.h"
 #include "core/gnrw.h"
 #include "core/metropolis_hastings_walk.h"
@@ -66,6 +68,25 @@ util::Result<std::unique_ptr<Walker>> MakeWalker(const WalkerSpec& spec,
           new GroupbyNeighborsWalk(access, spec.grouping, seed));
   }
   return util::Status::InvalidArgument("unknown walker type");
+}
+
+util::Result<std::vector<EnsembleMember>> MakeEnsemble(
+    const WalkerSpec& spec, access::SharedAccessGroup& group, uint32_t count,
+    uint64_t seed) {
+  if (count == 0) {
+    return util::Status::InvalidArgument("ensemble needs at least one walker");
+  }
+  std::vector<EnsembleMember> members;
+  members.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    EnsembleMember member;
+    member.access = group.MakeView();
+    HW_ASSIGN_OR_RETURN(member.walker,
+                        MakeWalker(spec, member.access.get(),
+                                   util::SubSeed(seed, i)));
+    members.push_back(std::move(member));
+  }
+  return members;
 }
 
 }  // namespace histwalk::core

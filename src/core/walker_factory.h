@@ -3,7 +3,9 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "access/shared_access.h"
 #include "attr/grouping.h"
 #include "core/walker.h"
 
@@ -39,6 +41,22 @@ struct WalkerSpec {
 util::Result<std::unique_ptr<Walker>> MakeWalker(const WalkerSpec& spec,
                                                  access::NodeAccess* access,
                                                  uint64_t seed);
+
+// One member of a concurrent ensemble: a per-walker view of the shared
+// history plus the walker bound to it (the view must outlive the walker,
+// so they travel together).
+struct EnsembleMember {
+  std::unique_ptr<access::SharedAccess> access;
+  std::unique_ptr<Walker> walker;
+};
+
+// Mints `count` members drawing from `group`'s shared cache. Member i's
+// walker is seeded with SubSeed(seed, i), so the ensemble is reproducible
+// bit-for-bit regardless of how members are later scheduled onto threads.
+// `group` must outlive the members.
+util::Result<std::vector<EnsembleMember>> MakeEnsemble(
+    const WalkerSpec& spec, access::SharedAccessGroup& group, uint32_t count,
+    uint64_t seed);
 
 }  // namespace histwalk::core
 

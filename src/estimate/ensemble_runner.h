@@ -1,0 +1,89 @@
+#ifndef HISTWALK_ESTIMATE_ENSEMBLE_RUNNER_H_
+#define HISTWALK_ESTIMATE_ENSEMBLE_RUNNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "access/shared_access.h"
+#include "core/walker_factory.h"
+#include "estimate/walk_runner.h"
+
+// Concurrent walker ensembles over shared history.
+//
+// RunEnsemble drives N independent walkers in parallel (util::ParallelFor),
+// all drawing from one SharedAccessGroup: one backend, one bounded
+// HistoryCache, one service-billed query counter. Walker i's RNG and start
+// node derive from deterministic sub-seeds of `seed`, and each per-walker
+// trace depends only on that walker's own draws — never on what the cache
+// or the other walkers did — so the merged ensemble is reproducible
+// bit-for-bit across runs and thread schedules. Only the group-level charge
+// counter (which walker paid for which fetch) varies with interleaving, and
+// it is reported separately.
+//
+// Exception: a group-level query_budget breaks the bit-for-bit guarantee.
+// Which walker loses the race for the last unit of budget — and therefore
+// where its trace is cut by ResourceExhausted — depends on scheduling. Use
+// the per-walker `query_budget` below (deterministic cut on each walker's
+// own unique-query count) when reproducible traces matter; reserve the
+// group budget for modelling a hard service-side quota.
+
+namespace histwalk::estimate {
+
+struct EnsembleOptions {
+  uint32_t num_walkers = 8;
+  uint64_t seed = 1;
+  // Per-walker stop conditions with TraceWalk semantics; at least one must
+  // be set. query_budget cuts each trace at that walker's own unique-query
+  // count (its standalone cost), keeping the cut deterministic.
+  uint64_t max_steps = 0;
+  uint64_t query_budget = 0;
+  // Worker threads for ParallelFor (0 = hardware concurrency).
+  unsigned num_threads = 0;
+};
+
+// Per-step samples of all walkers concatenated in walker order — the
+// deterministic flat view the estimators consume.
+struct MergedSamples {
+  std::vector<graph::NodeId> nodes;
+  std::vector<uint32_t> degrees;
+};
+
+struct EnsembleResult {
+  std::vector<graph::NodeId> starts;  // starts[i] seeds walker i
+  std::vector<TracedWalk> traces;     // traces[i] belongs to walker i
+
+  // Sum of the per-walker QueryStats: total/unique/cache_hits as if each
+  // walker were accounted standalone (deterministic).
+  access::QueryStats summed_stats;
+  // Backend fetches this run actually issued — what the service bills the
+  // whole ensemble. <= summed_stats.unique_queries when the cache is big
+  // enough; evictions push it back up. Interleaving-dependent only through
+  // rare duplicate concurrent fetches.
+  uint64_t charged_queries = 0;
+  // Cache activity attributable to THIS run: hits/misses/insertions/
+  // evictions are deltas over the run; entries/bytes are the resident state
+  // after it (so successive ensembles on one group each report their own
+  // traffic, matching charged_queries' windowing).
+  access::HistoryCacheStats cache_stats;
+  // Total history footprint after the run: resident cache bytes plus each
+  // walker's private membership bits.
+  uint64_t history_bytes = 0;
+
+  uint64_t num_steps() const;
+  // Queries the ensemble saved by sharing history, versus N isolated
+  // walkers (0 if duplicate concurrent fetches ever exceed the overlap).
+  uint64_t SharedHistorySavings() const;
+  MergedSamples Merged() const;
+};
+
+// Runs the ensemble described by `options` against `group`. Walkers are
+// built from `spec` (see core::MakeEnsemble). The group is NOT reset first,
+// so successive ensembles can keep accumulating shared history;
+// charged_queries reports only this run's fetches.
+util::Result<EnsembleResult> RunEnsemble(access::SharedAccessGroup& group,
+                                         const core::WalkerSpec& spec,
+                                         const EnsembleOptions& options);
+
+}  // namespace histwalk::estimate
+
+#endif  // HISTWALK_ESTIMATE_ENSEMBLE_RUNNER_H_

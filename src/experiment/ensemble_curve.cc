@@ -1,0 +1,91 @@
+#include "experiment/ensemble_curve.h"
+
+#include "access/graph_access.h"
+#include "estimate/ensemble_runner.h"
+#include "estimate/estimators.h"
+#include "metrics/divergence.h"
+#include "util/random.h"
+
+namespace histwalk::experiment {
+
+EnsembleCurveResult RunEnsembleCurve(const Dataset& dataset,
+                                     const EnsembleCurveConfig& config) {
+  HW_CHECK(!config.ensemble_sizes.empty());
+  HW_CHECK(config.steps_per_walker > 0);
+  HW_CHECK(config.trials > 0);
+
+  EnsembleCurveResult result;
+  result.dataset_name = dataset.name;
+  result.walker_name = config.walker.DisplayName();
+  result.estimand_name = config.estimand.DisplayName();
+  result.ensemble_sizes = config.ensemble_sizes;
+
+  attr::AttrId attr = attr::kInvalidAttr;
+  if (!config.estimand.attribute.empty()) {
+    auto found = dataset.attributes.Find(config.estimand.attribute);
+    HW_CHECK_MSG(found.ok(), "estimand attribute missing from dataset");
+    attr = *found;
+    result.ground_truth = dataset.attributes.Mean(attr);
+  } else {
+    result.ground_truth = dataset.graph.AverageDegree();
+  }
+
+  // The stationary bias is a pure function of the walker spec; resolve it
+  // once with a throwaway walker instead of per trial.
+  core::StationaryBias bias = core::StationaryBias::kDegreeProportional;
+  {
+    access::GraphAccess probe_access(&dataset.graph, &dataset.attributes);
+    auto probe = core::MakeWalker(config.walker, &probe_access, /*seed=*/0);
+    HW_CHECK_MSG(probe.ok(), "invalid walker spec for ensemble curve");
+    bias = (*probe)->bias();
+  }
+
+  for (size_t s = 0; s < config.ensemble_sizes.size(); ++s) {
+    const uint32_t size = config.ensemble_sizes[s];
+    double err_sum = 0.0, charged_sum = 0.0, standalone_sum = 0.0;
+    double hit_rate_sum = 0.0, eviction_sum = 0.0;
+    uint64_t err_count = 0;
+
+    for (uint32_t trial = 0; trial < config.trials; ++trial) {
+      access::GraphAccess backend(&dataset.graph, &dataset.attributes);
+      access::SharedAccessGroup group(
+          &backend, {.cache = {.capacity = config.cache_capacity,
+                               .num_shards = config.cache_shards}});
+      estimate::EnsembleOptions options{
+          .num_walkers = size,
+          .seed = util::SubSeed(config.seed, (s + 1) * 1'000'003ull + trial),
+          .max_steps = config.steps_per_walker,
+      };
+      auto run = estimate::RunEnsemble(group, config.walker, options);
+      HW_CHECK_MSG(run.ok(), "ensemble run failed");
+
+      estimate::MergedSamples merged = run->Merged();
+      if (!merged.nodes.empty()) {
+        std::vector<double> f(merged.nodes.size());
+        for (size_t t = 0; t < merged.nodes.size(); ++t) {
+          f[t] = attr == attr::kInvalidAttr
+                     ? static_cast<double>(merged.degrees[t])
+                     : dataset.attributes.Value(merged.nodes[t], attr);
+        }
+        double estimate = estimate::EstimateMean(f, merged.degrees, bias);
+        err_sum += metrics::RelativeError(estimate, result.ground_truth);
+        ++err_count;
+      }
+      charged_sum += static_cast<double>(run->charged_queries);
+      standalone_sum += static_cast<double>(run->summed_stats.unique_queries);
+      hit_rate_sum += run->cache_stats.HitRate();
+      eviction_sum += static_cast<double>(run->cache_stats.evictions);
+    }
+
+    double trials = static_cast<double>(config.trials);
+    result.mean_relative_error.push_back(
+        err_count == 0 ? 0.0 : err_sum / static_cast<double>(err_count));
+    result.mean_charged_queries.push_back(charged_sum / trials);
+    result.mean_standalone_queries.push_back(standalone_sum / trials);
+    result.mean_cache_hit_rate.push_back(hit_rate_sum / trials);
+    result.mean_evictions.push_back(eviction_sum / trials);
+  }
+  return result;
+}
+
+}  // namespace histwalk::experiment

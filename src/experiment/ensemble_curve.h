@@ -1,0 +1,56 @@
+#ifndef HISTWALK_EXPERIMENT_ENSEMBLE_CURVE_H_
+#define HISTWALK_EXPERIMENT_ENSEMBLE_CURVE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/walker_factory.h"
+#include "experiment/datasets.h"
+#include "experiment/error_curve.h"
+
+// The shared-history ensemble experiment: how does estimation error fall —
+// and how much does the service actually bill — as more concurrent walkers
+// draw from one bounded HistoryCache?
+//
+// For each ensemble size the harness runs `trials` independent ensembles
+// (fresh group each), estimates the estimand from the merged samples, and
+// records alongside the error the two cost views the access layer keeps:
+// the summed standalone cost (what N isolated walkers would have paid, the
+// seed's accounting) and the group's charged cost (backend fetches under
+// shared history). Their ratio is the ensemble saving; shrinking the cache
+// capacity shows the saving eroding as evictions force re-fetches.
+
+namespace histwalk::experiment {
+
+struct EnsembleCurveConfig {
+  core::WalkerSpec walker;
+  std::vector<uint32_t> ensemble_sizes = {1, 2, 4, 8};
+  uint64_t steps_per_walker = 1000;
+  // HistoryCache capacity (0 = unbounded) and sharding for every group.
+  uint64_t cache_capacity = 0;
+  uint32_t cache_shards = 8;
+  uint32_t trials = 20;
+  uint64_t seed = 1;
+  EstimandSpec estimand;
+};
+
+struct EnsembleCurveResult {
+  std::string dataset_name;
+  std::string walker_name;
+  std::string estimand_name;
+  double ground_truth = 0.0;
+  std::vector<uint32_t> ensemble_sizes;
+  // Per ensemble size, means over trials:
+  std::vector<double> mean_relative_error;
+  std::vector<double> mean_charged_queries;   // service-billed fetches
+  std::vector<double> mean_standalone_queries;  // summed per-walker uniques
+  std::vector<double> mean_cache_hit_rate;
+  std::vector<double> mean_evictions;
+};
+
+EnsembleCurveResult RunEnsembleCurve(const Dataset& dataset,
+                                     const EnsembleCurveConfig& config);
+
+}  // namespace histwalk::experiment
+
+#endif  // HISTWALK_EXPERIMENT_ENSEMBLE_CURVE_H_

@@ -138,5 +138,102 @@ TEST(RateLimiterTest, PresetPolicies) {
   EXPECT_EQ(RateLimitPolicy::Yelp().calls_per_window, 25'000u);
 }
 
+TEST_F(GraphAccessTest, ResetAccountingClearsCacheMembership) {
+  GraphAccess access(&graph_, &attrs_);
+  EXPECT_TRUE(access.Neighbors(0).ok());
+  EXPECT_TRUE(access.Neighbors(0).ok());
+  EXPECT_EQ(access.stats().cache_hits, 1u);
+  access.ResetAccounting();
+  // The membership bits must go with the counters: the next query of node 0
+  // is charged again, not served as a phantom cache hit.
+  EXPECT_TRUE(access.Neighbors(0).ok());
+  EXPECT_EQ(access.stats().cache_hits, 0u);
+  EXPECT_EQ(access.stats().unique_queries, 1u);
+  EXPECT_EQ(access.stats().total_queries, 1u);
+}
+
+TEST_F(GraphAccessTest, TightenedBudgetDoesNotUnderflowRemaining) {
+  GraphAccess access(&graph_, &attrs_, {.query_budget = 4});
+  EXPECT_TRUE(access.Neighbors(0).ok());
+  EXPECT_TRUE(access.Neighbors(1).ok());
+  EXPECT_TRUE(access.Neighbors(2).ok());
+  // Re-budget below what was already spent: remaining must clamp at 0, not
+  // wrap around to ~UINT64_MAX and unlock unlimited querying.
+  access.set_query_budget(2);
+  EXPECT_EQ(access.remaining_budget(), 0u);
+  auto refused = access.Neighbors(3);
+  EXPECT_EQ(refused.status().code(), util::StatusCode::kResourceExhausted);
+  // Cached answers still replay for free.
+  EXPECT_TRUE(access.Neighbors(0).ok());
+  // A reset restores the (new) budget in full.
+  access.ResetAccounting();
+  EXPECT_EQ(access.remaining_budget(), 2u);
+  EXPECT_TRUE(access.Neighbors(3).ok());
+}
+
+TEST_F(GraphAccessTest, BackendFetchesAreUnchargedAndUncached) {
+  GraphAccess access(&graph_, &attrs_, {.query_budget = 1});
+  const AccessBackend& backend = access;
+  auto ns = backend.FetchNeighbors(0);
+  ASSERT_TRUE(ns.ok());
+  EXPECT_EQ(ns->size(), 2u);
+  EXPECT_TRUE(backend.FetchNeighbors(1).ok());
+  EXPECT_TRUE(backend.FetchNeighbors(2).ok());
+  // Raw fetches bypass budget and accounting entirely.
+  EXPECT_EQ(access.stats().total_queries, 0u);
+  EXPECT_EQ(access.remaining_budget(), 1u);
+  EXPECT_EQ(backend.FetchNeighbors(99).status().code(),
+            util::StatusCode::kOutOfRange);
+  EXPECT_EQ(backend.FetchSummaryDegree(0).value(), 2u);
+  EXPECT_EQ(backend.FetchAttribute(1, 0).value(), 20.0);
+  EXPECT_EQ(backend.name(), "graph");
+}
+
+TEST_F(GraphAccessTest, HistoryBytesTracksMembershipBits) {
+  GraphAccess access(&graph_, &attrs_);
+  // One bit per node, rounded up to bytes: 6 nodes -> 1 byte.
+  EXPECT_EQ(access.HistoryBytes(), 1u);
+}
+
+TEST(RateLimiterTest, RecordQueryAcrossWindowBoundaries) {
+  RateLimitPolicy policy{.calls_per_window = 3, .window_seconds = 10};
+  RateLimiter limiter(policy);
+  // Exact timestamp sequence over three windows: 3 instant calls per
+  // window, then the clock jumps to the next boundary.
+  EXPECT_EQ(limiter.RecordQuery(), 0u);
+  EXPECT_EQ(limiter.RecordQuery(), 0u);
+  EXPECT_EQ(limiter.RecordQuery(), 0u);
+  EXPECT_EQ(limiter.RecordQuery(), 10u);  // rollover 1
+  EXPECT_EQ(limiter.RecordQuery(), 10u);
+  EXPECT_EQ(limiter.RecordQuery(), 10u);
+  EXPECT_EQ(limiter.RecordQuery(), 20u);  // rollover 2
+  EXPECT_EQ(limiter.queries_issued(), 7u);
+  EXPECT_EQ(limiter.elapsed_seconds(), 20u);
+}
+
+TEST(RateLimiterTest, EstimateSecondsTwitterPolicy) {
+  RateLimitPolicy twitter = RateLimitPolicy::Twitter();
+  EXPECT_EQ(RateLimiter::EstimateSeconds(twitter, 15), 0u);
+  EXPECT_EQ(RateLimiter::EstimateSeconds(twitter, 16), 900u);
+  EXPECT_EQ(RateLimiter::EstimateSeconds(twitter, 30), 900u);
+  EXPECT_EQ(RateLimiter::EstimateSeconds(twitter, 31), 1800u);
+  // A 10k-query crawl against Twitter's window: ~one week of virtual time.
+  EXPECT_EQ(RateLimiter::EstimateSeconds(twitter, 10'000), 666u * 900u);
+}
+
+TEST(RateLimiterTest, EstimateSecondsYelpPolicyMatchesSimulation) {
+  RateLimitPolicy yelp = RateLimitPolicy::Yelp();
+  EXPECT_EQ(RateLimiter::EstimateSeconds(yelp, 25'000), 0u);
+  EXPECT_EQ(RateLimiter::EstimateSeconds(yelp, 25'001), 86'400u);
+  EXPECT_EQ(RateLimiter::EstimateSeconds(yelp, 50'000), 86'400u);
+  EXPECT_EQ(RateLimiter::EstimateSeconds(yelp, 50'001), 2u * 86'400u);
+
+  RateLimiter limiter(yelp);
+  uint64_t last = 0;
+  for (int i = 0; i < 50'001; ++i) last = limiter.RecordQuery();
+  EXPECT_EQ(last, RateLimiter::EstimateSeconds(yelp, 50'001));
+  EXPECT_EQ(limiter.elapsed_seconds(), 2u * 86'400u);
+}
+
 }  // namespace
 }  // namespace histwalk::access

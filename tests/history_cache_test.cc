@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "access/history_cache.h"
+#include "util/parallel.h"
+
+namespace histwalk::access {
+namespace {
+
+std::vector<graph::NodeId> List(std::initializer_list<graph::NodeId> ids) {
+  return std::vector<graph::NodeId>(ids);
+}
+
+TEST(HistoryCacheTest, GetMissThenPutThenHit) {
+  HistoryCache cache({.capacity = 0, .num_shards = 4});
+  EXPECT_EQ(cache.Get(7), nullptr);
+  auto stored = cache.Put(7, List({1, 2, 3}));
+  ASSERT_NE(stored, nullptr);
+  auto entry = cache.Get(7);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(*entry, List({1, 2, 3}));
+  HistoryCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 0.5);
+}
+
+TEST(HistoryCacheTest, EvictsInLruOrder) {
+  // One shard so the LRU order is global and fully observable.
+  HistoryCache cache({.capacity = 3, .num_shards = 1});
+  cache.Put(1, List({10}));
+  cache.Put(2, List({20}));
+  cache.Put(3, List({30}));
+  // Touch 1 so 2 becomes the least recently used.
+  EXPECT_NE(cache.Get(1), nullptr);
+  cache.Put(4, List({40}));  // evicts 2
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_TRUE(cache.Contains(4));
+  cache.Put(5, List({50}));  // evicts 3 (1 was refreshed, 4/5 are newer)
+  EXPECT_FALSE(cache.Contains(3));
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  EXPECT_EQ(cache.entry_count(), 3u);
+}
+
+TEST(HistoryCacheTest, PutIsIdempotentForResidentKeys) {
+  HistoryCache cache({.capacity = 2, .num_shards = 1});
+  auto first = cache.Put(9, List({1, 2}));
+  auto second = cache.Put(9, List({1, 2}));
+  EXPECT_EQ(first.get(), second.get());  // one copy, no double insert
+  EXPECT_EQ(cache.stats().insertions, 1u);
+  EXPECT_EQ(cache.entry_count(), 1u);
+}
+
+TEST(HistoryCacheTest, EvictedEntryHandleStaysValid) {
+  HistoryCache cache({.capacity = 1, .num_shards = 1});
+  auto pinned = cache.Put(1, List({1, 2, 3}));
+  cache.Put(2, List({4}));  // evicts 1
+  EXPECT_FALSE(cache.Contains(1));
+  // The handle still owns the data (buffer-pool pinning semantics).
+  EXPECT_EQ(*pinned, List({1, 2, 3}));
+}
+
+TEST(HistoryCacheTest, ShardingIsDeterministic) {
+  // Shard assignment is a pure function of (id, num_shards): stable within
+  // a process, across processes and across platforms.
+  for (uint32_t shards : {1u, 2u, 8u, 13u}) {
+    for (graph::NodeId v = 0; v < 1000; ++v) {
+      uint32_t s = HistoryCache::ShardOf(v, shards);
+      EXPECT_LT(s, shards);
+      EXPECT_EQ(s, HistoryCache::ShardOf(v, shards));
+    }
+  }
+  // The mix actually spreads consecutive ids (not all in one shard).
+  std::vector<uint32_t> counts(8, 0);
+  for (graph::NodeId v = 0; v < 800; ++v) {
+    ++counts[HistoryCache::ShardOf(v, 8)];
+  }
+  for (uint32_t c : counts) {
+    EXPECT_GT(c, 0u);
+    EXPECT_LT(c, 800u);
+  }
+}
+
+TEST(HistoryCacheTest, CapacitySplitsAcrossShards) {
+  HistoryCache cache({.capacity = 8, .num_shards = 4});
+  EXPECT_EQ(cache.shard_capacity(), 2u);
+  // 100 distinct inserts can leave at most shard_capacity per shard.
+  for (graph::NodeId v = 0; v < 100; ++v) cache.Put(v, List({v}));
+  EXPECT_LE(cache.entry_count(), 8u);
+  EXPECT_EQ(cache.stats().evictions, 100u - cache.entry_count());
+}
+
+TEST(HistoryCacheTest, MemoryBytesGrowAndClearResets) {
+  HistoryCache cache({.capacity = 0, .num_shards = 2});
+  EXPECT_EQ(cache.MemoryBytes(), 0u);
+  cache.Put(1, List({1, 2, 3, 4, 5}));
+  uint64_t one = cache.MemoryBytes();
+  EXPECT_GT(one, 5 * sizeof(graph::NodeId));
+  cache.Put(2, List({1, 2, 3, 4, 5, 6, 7, 8, 9, 10}));
+  EXPECT_GT(cache.MemoryBytes(), one);
+  cache.Clear();
+  EXPECT_EQ(cache.MemoryBytes(), 0u);
+  EXPECT_EQ(cache.entry_count(), 0u);
+  // Cumulative counters survive a Clear (they describe the crawl, not the
+  // resident set).
+  EXPECT_EQ(cache.stats().insertions, 2u);
+}
+
+TEST(HistoryCacheTest, BoundedBytesUnderChurn) {
+  HistoryCache bounded({.capacity = 16, .num_shards = 4});
+  HistoryCache unbounded({.capacity = 0, .num_shards = 4});
+  for (graph::NodeId v = 0; v < 500; ++v) {
+    bounded.Put(v, List({v, v + 1, v + 2}));
+    unbounded.Put(v, List({v, v + 1, v + 2}));
+  }
+  EXPECT_LT(bounded.MemoryBytes(), unbounded.MemoryBytes() / 10);
+  EXPECT_EQ(unbounded.stats().evictions, 0u);
+  EXPECT_GT(bounded.stats().evictions, 400u);
+}
+
+TEST(HistoryCacheTest, ConcurrentHitCountingIsExact) {
+  HistoryCache cache({.capacity = 0, .num_shards = 8});
+  constexpr uint32_t kNodes = 64;
+  for (graph::NodeId v = 0; v < kNodes; ++v) cache.Put(v, List({v}));
+  uint64_t misses_before = cache.stats().misses;
+
+  constexpr size_t kTasks = 32;
+  constexpr size_t kLookupsPerTask = 500;
+  std::atomic<uint64_t> observed_hits{0};
+  util::ParallelFor(kTasks, [&](size_t task) {
+    uint64_t local = 0;
+    for (size_t i = 0; i < kLookupsPerTask; ++i) {
+      graph::NodeId v = static_cast<graph::NodeId>((task * 31 + i) % kNodes);
+      if (cache.Get(v) != nullptr) ++local;
+    }
+    observed_hits.fetch_add(local);
+  });
+
+  // Every lookup hits (all keys resident, nothing evicts), and the shard
+  // counters must agree exactly with what callers observed.
+  EXPECT_EQ(observed_hits.load(), kTasks * kLookupsPerTask);
+  HistoryCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, kTasks * kLookupsPerTask);
+  EXPECT_EQ(stats.misses, misses_before);
+}
+
+TEST(HistoryCacheTest, ZeroShardOptionClampsToOne) {
+  HistoryCache cache({.capacity = 2, .num_shards = 0});
+  EXPECT_EQ(cache.num_shards(), 1u);
+  cache.Put(1, List({1}));
+  EXPECT_TRUE(cache.Contains(1));
+}
+
+}  // namespace
+}  // namespace histwalk::access

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "access/graph_access.h"
+#include "access/shared_access.h"
+#include "graph/generators.h"
+
+namespace histwalk::access {
+namespace {
+
+class SharedAccessTest : public testing::Test {
+ protected:
+  SharedAccessTest() : graph_(graph::MakeCycle(8)), backend_(&graph_, nullptr) {}
+  graph::Graph graph_;
+  GraphAccess backend_;
+};
+
+TEST_F(SharedAccessTest, ViewServesNeighborsAndMetadata) {
+  SharedAccessGroup group(&backend_);
+  auto view = group.MakeView();
+  auto ns = view->Neighbors(0);
+  ASSERT_TRUE(ns.ok());
+  ASSERT_EQ(ns->size(), 2u);
+  EXPECT_EQ((*ns)[0], 1u);
+  EXPECT_EQ((*ns)[1], 7u);
+  EXPECT_EQ(view->SummaryDegree(3).value(), 2u);
+  EXPECT_EQ(view->num_nodes(), 8u);
+  EXPECT_EQ(view->Neighbors(99).status().code(),
+            util::StatusCode::kOutOfRange);
+}
+
+TEST_F(SharedAccessTest, PerViewAccountingMatchesStandaloneSemantics) {
+  SharedAccessGroup group(&backend_);
+  auto view = group.MakeView();
+  EXPECT_TRUE(view->Neighbors(0).ok());
+  EXPECT_TRUE(view->Neighbors(1).ok());
+  EXPECT_TRUE(view->Neighbors(0).ok());  // own repeat
+  const QueryStats& stats = view->stats();
+  EXPECT_EQ(stats.total_queries, 3u);
+  EXPECT_EQ(stats.unique_queries, 2u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(view->charged_fetches(), 2u);
+  EXPECT_EQ(group.charged_queries(), 2u);
+}
+
+TEST_F(SharedAccessTest, SecondWalkerFreeRidesOnSharedHistory) {
+  SharedAccessGroup group(&backend_);
+  auto a = group.MakeView();
+  auto b = group.MakeView();
+  EXPECT_TRUE(a->Neighbors(0).ok());
+  EXPECT_TRUE(a->Neighbors(1).ok());
+  // b asks for the same nodes: charged nothing, but its own accounting
+  // still records them as ITS unique queries (standalone cost).
+  EXPECT_TRUE(b->Neighbors(0).ok());
+  EXPECT_TRUE(b->Neighbors(1).ok());
+  EXPECT_EQ(b->stats().unique_queries, 2u);
+  EXPECT_EQ(b->charged_fetches(), 0u);
+  EXPECT_EQ(group.charged_queries(), 2u);
+  // The ensemble saving is the gap: 4 standalone uniques, 2 charged.
+  EXPECT_EQ(a->stats().unique_queries + b->stats().unique_queries, 4u);
+}
+
+TEST_F(SharedAccessTest, GroupBudgetIsSharedAndClamps) {
+  SharedAccessGroup group(&backend_, {.query_budget = 3});
+  auto a = group.MakeView();
+  auto b = group.MakeView();
+  EXPECT_TRUE(a->Neighbors(0).ok());
+  EXPECT_TRUE(a->Neighbors(1).ok());
+  EXPECT_TRUE(b->Neighbors(2).ok());
+  EXPECT_EQ(group.remaining_budget(), 0u);
+  // A fresh fetch is refused for either view...
+  EXPECT_EQ(a->Neighbors(3).status().code(),
+            util::StatusCode::kResourceExhausted);
+  EXPECT_EQ(b->Neighbors(3).status().code(),
+            util::StatusCode::kResourceExhausted);
+  // ...but shared history still answers, even for a node b never fetched.
+  EXPECT_TRUE(b->Neighbors(0).ok());
+  // The refused calls left accounting untouched.
+  EXPECT_EQ(a->stats().total_queries, 2u);
+  EXPECT_EQ(group.charged_queries(), 3u);
+}
+
+TEST_F(SharedAccessTest, EvictionForcesRecharge) {
+  // Capacity 1: alternating between two nodes evicts on every switch.
+  SharedAccessGroup group(&backend_,
+                          {.cache = {.capacity = 1, .num_shards = 1}});
+  auto view = group.MakeView();
+  EXPECT_TRUE(view->Neighbors(0).ok());
+  EXPECT_TRUE(view->Neighbors(1).ok());  // evicts 0
+  EXPECT_TRUE(view->Neighbors(0).ok());  // miss again: recharged
+  EXPECT_EQ(group.charged_queries(), 3u);
+  EXPECT_EQ(group.cache().stats().evictions, 2u);
+  // Per-view accounting still sees node 0 as one unique + one repeat: the
+  // walker's standalone cost is independent of the eviction policy.
+  EXPECT_EQ(view->stats().unique_queries, 2u);
+  EXPECT_EQ(view->stats().cache_hits, 1u);
+}
+
+TEST_F(SharedAccessTest, SpanSurvivesEvictionOfItsEntry) {
+  SharedAccessGroup group(&backend_,
+                          {.cache = {.capacity = 1, .num_shards = 1}});
+  auto view = group.MakeView();
+  auto ns = view->Neighbors(0);
+  ASSERT_TRUE(ns.ok());
+  auto other = group.MakeView();
+  EXPECT_TRUE(other->Neighbors(1).ok());  // evicts node 0's entry
+  EXPECT_FALSE(group.cache().Contains(0));
+  // The first view's span still reads valid data (retained handle).
+  EXPECT_EQ((*ns)[0], 1u);
+  EXPECT_EQ((*ns)[1], 7u);
+}
+
+TEST_F(SharedAccessTest, ViewResetLeavesGroupStateAlone) {
+  SharedAccessGroup group(&backend_);
+  auto view = group.MakeView();
+  EXPECT_TRUE(view->Neighbors(0).ok());
+  view->ResetAccounting();
+  EXPECT_EQ(view->stats().total_queries, 0u);
+  EXPECT_EQ(view->charged_fetches(), 0u);
+  // Shared history survives: re-asking is a group-level cache hit, so the
+  // charge counter does not move.
+  EXPECT_TRUE(view->Neighbors(0).ok());
+  EXPECT_EQ(group.charged_queries(), 1u);
+  EXPECT_EQ(view->stats().unique_queries, 1u);
+}
+
+TEST_F(SharedAccessTest, GroupResetClearsCacheAndCharges) {
+  SharedAccessGroup group(&backend_);
+  auto view = group.MakeView();
+  EXPECT_TRUE(view->Neighbors(0).ok());
+  group.ResetAll();
+  EXPECT_EQ(group.charged_queries(), 0u);
+  EXPECT_EQ(group.cache().entry_count(), 0u);
+  EXPECT_TRUE(view->Neighbors(0).ok());  // re-fetched for real
+  EXPECT_EQ(group.charged_queries(), 1u);
+}
+
+TEST_F(SharedAccessTest, HistoryBytesReportsCacheAndPrivateBits) {
+  SharedAccessGroup group(&backend_);
+  auto a = group.MakeView();
+  auto b = group.MakeView();
+  // 8 nodes -> 1 byte of membership bits per view, even before any query.
+  EXPECT_EQ(a->private_history_bytes(), 1u);
+  EXPECT_EQ(a->HistoryBytes(), 1u);
+  EXPECT_TRUE(a->Neighbors(0).ok());
+  EXPECT_EQ(a->HistoryBytes(), group.cache().MemoryBytes() + 1u);
+  // Equal-sized views report the same footprint (shared cache + own bits).
+  EXPECT_EQ(a->HistoryBytes(), b->HistoryBytes());
+}
+
+TEST_F(SharedAccessTest, AttributeForwardsToBackend) {
+  attr::AttributeTable attrs(8);
+  ASSERT_TRUE(attrs.AddColumn("age", {1, 2, 3, 4, 5, 6, 7, 8}).ok());
+  GraphAccess backend(&graph_, &attrs);
+  SharedAccessGroup group(&backend);
+  auto view = group.MakeView();
+  EXPECT_EQ(view->Attribute(2, 0).value(), 3.0);
+  EXPECT_EQ(view->Attribute(99, 0).status().code(),
+            util::StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace histwalk::access
