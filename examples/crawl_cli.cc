@@ -1,13 +1,20 @@
 // Command-line crawler: run any sampler over an edge-list graph and report
 // the unbiased average-degree estimate plus convergence diagnostics.
 //
-//   crawl_cli <edges-file> [walker] [budget] [seed]
+//   crawl_cli <edges-file> [walker] [budget] [seed] [latency-us] [depth]
 //
 //     edges-file  SNAP-style "u v" lines ('#' comments allowed)
 //     walker      srw | mhrw | nbsrw | cnrw | cnrw-node | nbcnrw | gnrw
 //                 (default cnrw; gnrw uses an 8-way degree grouping)
 //     budget      unique-query budget (default 1000)
 //     seed        RNG seed (default 1)
+//     latency-us  simulate a remote service: base per-request latency in
+//                 microseconds (default 0 = in-memory access, no wire).
+//                 Jitter is latency-us/2; the crawl additionally reports
+//                 simulated wall-clock and wire-request counts.
+//     depth       pipeline depth when latency-us > 0 (default 1): wire
+//                 slots overlapped by the latency model AND the in-flight
+//                 bound of the request pipeline resolving cache misses
 //
 // With no arguments, prints usage and runs a small self-demo so the binary
 // is exercised by "run everything" loops.
@@ -17,6 +24,7 @@
 #include <string>
 
 #include "access/graph_access.h"
+#include "access/shared_access.h"
 #include "attr/grouping.h"
 #include "core/walker_factory.h"
 #include "estimate/diagnostics.h"
@@ -24,6 +32,8 @@
 #include "estimate/walk_runner.h"
 #include "graph/generators.h"
 #include "graph/io.h"
+#include "net/remote_backend.h"
+#include "net/request_pipeline.h"
 #include "util/random.h"
 
 namespace {
@@ -41,43 +51,26 @@ util::Result<core::WalkerType> ParseWalker(const std::string& name) {
   return util::Status::InvalidArgument("unknown walker: " + name);
 }
 
-int Crawl(const graph::Graph& graph, core::WalkerType type,
-          uint64_t budget, uint64_t seed) {
-  std::cout << "graph: " << graph.DebugString() << "\n";
-  std::unique_ptr<attr::Grouping> grouping;
-  if (type == core::WalkerType::kGnrw) {
-    grouping = attr::MakeDegreeGrouping(graph, 8);
-  }
-  access::GraphAccess access(&graph, nullptr, {.query_budget = budget});
-  auto walker = core::MakeWalker({.type = type, .grouping = grouping.get()},
-                                 &access, seed);
-  if (!walker.ok()) {
-    std::cerr << walker.status() << "\n";
-    return 1;
-  }
-  util::Random start_rng(seed ^ 0x5bd1e995u);
-  graph::NodeId start =
-      static_cast<graph::NodeId>(start_rng.UniformIndex(graph.num_nodes()));
-  if (auto status = (*walker)->Reset(start); !status.ok()) {
+int RunAndReport(core::Walker& walker, access::NodeAccess& access,
+                 graph::NodeId start, uint64_t budget) {
+  if (auto status = walker.Reset(start); !status.ok()) {
     std::cerr << status << "\n";
     return 1;
   }
-
   estimate::TracedWalk trace =
-      estimate::TraceWalk(**walker, {.max_steps = 200 * budget});
+      estimate::TraceWalk(walker, {.max_steps = 200 * budget});
   std::vector<double> degree_series(trace.degrees.begin(),
                                     trace.degrees.end());
   estimate::ChainDiagnostics diag = estimate::Diagnose(degree_series);
 
-  std::cout << "walker:            " << (*walker)->name() << "\n"
+  std::cout << "walker:            " << walker.name() << "\n"
             << "start node:        " << start << "\n"
             << "steps taken:       " << trace.num_steps() << "\n"
             << "unique queries:    " << access.unique_query_count() << "\n"
-            << "history bytes:     " << (*walker)->HistoryBytes()
-            << " (walker) + " << access.HistoryBytes() << " (access)\n"
+            << "history bytes:     " << walker.HistoryBytes() << " (walker) + "
+            << access.HistoryBytes() << " (access)\n"
             << "avg degree (est):  "
-            << estimate::EstimateAverageDegree(trace.degrees,
-                                               (*walker)->bias())
+            << estimate::EstimateAverageDegree(trace.degrees, walker.bias())
             << "\n"
             << "ESS of deg series: " << diag.ess << "  (IAT " << diag.iat
             << ")\n"
@@ -88,17 +81,82 @@ int Crawl(const graph::Graph& graph, core::WalkerType type,
   return 0;
 }
 
+int Crawl(const graph::Graph& graph, core::WalkerType type, uint64_t budget,
+          uint64_t seed, uint64_t latency_us, uint32_t depth) {
+  std::cout << "graph: " << graph.DebugString() << "\n";
+  std::unique_ptr<attr::Grouping> grouping;
+  if (type == core::WalkerType::kGnrw) {
+    grouping = attr::MakeDegreeGrouping(graph, 8);
+  }
+  core::WalkerSpec spec{.type = type, .grouping = grouping.get()};
+  util::Random start_rng(seed ^ 0x5bd1e995u);
+  graph::NodeId start =
+      static_cast<graph::NodeId>(start_rng.UniformIndex(graph.num_nodes()));
+
+  if (latency_us == 0) {
+    // In-memory access, the seed's behaviour.
+    access::GraphAccess access(&graph, nullptr, {.query_budget = budget});
+    auto walker = core::MakeWalker(spec, &access, seed);
+    if (!walker.ok()) {
+      std::cerr << walker.status() << "\n";
+      return 1;
+    }
+    return RunAndReport(**walker, access, start, budget);
+  }
+
+  // Remote crawl: wire latency + pipelined miss resolution. The budget
+  // moves to the shared group (kBudgetExhausted stops the walk).
+  access::GraphAccess inner(&graph, nullptr);
+  net::RemoteBackend remote(&inner, {.seed = seed,
+                                     .base_latency_us = latency_us,
+                                     .jitter_us = latency_us / 2,
+                                     .max_in_flight = depth});
+  access::SharedAccessGroup group(&remote, {.query_budget = budget});
+  net::RequestPipeline pipeline(&group, {.depth = depth});
+  group.set_async_fetcher(&pipeline);
+  auto view = group.MakeView();
+  auto walker = core::MakeWalker(spec, view.get(), seed);
+  if (!walker.ok()) {
+    std::cerr << walker.status() << "\n";
+    group.set_async_fetcher(nullptr);
+    return 1;
+  }
+  int rc = RunAndReport(**walker, *view, start, budget);
+  net::RemoteBackendStats wire = remote.stats();
+  std::cout << "sim wall-clock:    " << wire.sim_elapsed_us / 1000.0
+            << " ms  (" << wire.requests << " wire requests, depth " << depth
+            << ")\n";
+  if (depth > 1) {
+    std::cout << "                   (open-loop model: depth > 1 assumes "
+                 "requests ready to overlap;\n                   a single "
+                 "serial walker cannot actually keep " << depth
+              << " in flight)\n";
+  }
+  group.set_async_fetcher(nullptr);
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cout << "usage: crawl_cli <edges-file> "
                  "[srw|mhrw|nbsrw|cnrw|cnrw-node|nbcnrw|gnrw] [budget] "
-                 "[seed]\n\nNo file given — running a self-demo on a "
-                 "generated small-world graph.\n\n";
+                 "[seed] [latency-us] [depth]\n\n"
+                 "  latency-us > 0 simulates a remote service (per-request "
+                 "wire latency,\n  virtual clock) and depth > 1 overlaps "
+                 "that many in-flight requests.\n\n"
+                 "No file given — running a self-demo on a generated "
+                 "small-world graph\n(in-memory, then remote at 50ms "
+                 "latency, depth 4).\n\n";
     util::Random rng(99);
     graph::Graph demo = graph::MakeWattsStrogatz(2000, 8, 0.1, rng);
-    return Crawl(demo, core::WalkerType::kCnrw, 500, 1);
+    int rc = Crawl(demo, core::WalkerType::kCnrw, 500, 1, /*latency_us=*/0,
+                   /*depth=*/1);
+    if (rc != 0) return rc;
+    std::cout << "\n-- remote self-demo (50ms +/- 25ms, depth 4) --\n";
+    return Crawl(demo, core::WalkerType::kCnrw, 500, 1,
+                 /*latency_us=*/50'000, /*depth=*/4);
   }
 
   auto graph = graph::ReadEdgeList(argv[1]);
@@ -117,9 +175,14 @@ int main(int argc, char** argv) {
   }
   uint64_t budget = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1000;
   uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+  uint64_t latency_us = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 0;
+  uint32_t depth = argc > 6
+                       ? static_cast<uint32_t>(
+                             std::strtoull(argv[6], nullptr, 10))
+                       : 1;
   if (budget == 0) {
     std::cerr << "budget must be positive\n";
     return 1;
   }
-  return Crawl(*graph, type, budget, seed);
+  return Crawl(*graph, type, budget, seed, latency_us, depth);
 }

@@ -1,0 +1,44 @@
+#ifndef HISTWALK_ACCESS_ASYNC_FETCHER_H_
+#define HISTWALK_ACCESS_ASYNC_FETCHER_H_
+
+#include "access/history_cache.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+// Seam between the access layer and an asynchronous fetch client.
+//
+// By default SharedAccess resolves a cache miss synchronously: the missing
+// walker's own thread charges the group budget and calls the backend. An
+// AsyncFetcher attached to the group replaces that miss path with a client
+// that may batch, pipeline, and deduplicate fetches across walkers
+// (net::RequestPipeline). The call still blocks from the walker's point of
+// view — a walker cannot take its next step without the neighbor list —
+// but while one walker waits, the fetcher overlaps the other walkers'
+// outstanding requests on the wire instead of letting each one pay a full
+// round trip alone.
+
+namespace histwalk::access {
+
+class AsyncFetcher {
+ public:
+  struct Fetched {
+    // The response, already resident in the shared cache. Non-null.
+    HistoryCache::Entry entry;
+    // True when THIS call triggered the wire fetch; false when it joined a
+    // request already in flight (singleflight) or was answered by the
+    // cache. Feeds SharedAccess::charged_fetches() accounting.
+    bool charged_this_call = false;
+  };
+
+  virtual ~AsyncFetcher() = default;
+
+  // Returns the neighbor response for `v`, issuing a backend fetch only if
+  // none is already in flight. Blocks until the response lands. Fails with
+  // kBudgetExhausted when the group's fetch budget refuses the wire
+  // request. Thread-safe.
+  virtual util::Result<Fetched> FetchShared(graph::NodeId v) = 0;
+};
+
+}  // namespace histwalk::access
+
+#endif  // HISTWALK_ACCESS_ASYNC_FETCHER_H_

@@ -1,0 +1,13 @@
+#include "access/backend.h"
+
+namespace histwalk::access {
+
+std::vector<util::Result<std::span<const graph::NodeId>>>
+AccessBackend::FetchNeighborsBatch(std::span<const graph::NodeId> ids) const {
+  std::vector<util::Result<std::span<const graph::NodeId>>> results;
+  results.reserve(ids.size());
+  for (graph::NodeId v : ids) results.push_back(FetchNeighbors(v));
+  return results;
+}
+
+}  // namespace histwalk::access

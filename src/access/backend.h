@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "attr/attribute.h"
 #include "graph/graph.h"
@@ -34,6 +35,15 @@ class AccessBackend {
   // Must be safe to call concurrently.
   virtual util::Result<std::span<const graph::NodeId>> FetchNeighbors(
       graph::NodeId v) const = 0;
+
+  // Fetches several neighbor lists at once, positionally aligned with
+  // `ids`. Transports with a multi-get endpoint (net::RemoteBackend) carry
+  // the whole batch in ONE wire request; the default implementation loops
+  // over FetchNeighbors, one request per id. Per-id failures land in the
+  // corresponding slot without failing the rest of the batch. Must be safe
+  // to call concurrently.
+  virtual std::vector<util::Result<std::span<const graph::NodeId>>>
+  FetchNeighborsBatch(std::span<const graph::NodeId> ids) const;
 
   // Free response metadata (the "rich response" model of section 2.1).
   virtual util::Result<double> FetchAttribute(graph::NodeId v,

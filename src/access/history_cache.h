@@ -80,7 +80,19 @@ class HistoryCache {
   // (hits/misses/insertions/evictions) are preserved.
   void Clear();
 
-  // Aggregated over all shards.
+  // Aggregated over all shards. Consistency under concurrent writers: each
+  // shard's counters are snapshotted atomically (under that shard's mutex),
+  // but shards are read one after another, so the aggregate is NOT a
+  // point-in-time snapshot of the whole cache. What IS guaranteed, because
+  // every per-shard snapshot is internally consistent:
+  //   * entries == insertions - evictions, as long as Clear() has not been
+  //     called (the identity holds per shard, so it survives summation;
+  //     Clear() drops residents WITHOUT counting them as capacity
+  //     evictions, re-baselining the identity);
+  //   * entries never exceeds num_shards * shard_capacity when bounded;
+  //   * cumulative counters (hits/misses/insertions/evictions) are
+  //     monotone non-decreasing across successive stats() calls from one
+  //     thread.
   HistoryCacheStats stats() const;
   uint64_t entry_count() const { return stats().entries; }
   // Approximate heap footprint of resident entries, in bytes — the access

@@ -42,8 +42,10 @@ class NodeAccess {
   virtual ~NodeAccess() = default;
 
   // Issues (or replays from cache) the neighborhood query for `v`.
-  // Fails with kResourceExhausted once the query budget is spent and the
-  // answer is not cached; with kOutOfRange for an unknown id.
+  // Fails with a budget-stop status once the query budget is spent and the
+  // answer is not cached — kResourceExhausted for an access-private budget,
+  // kBudgetExhausted for a shared group quota (util::IsBudgetStop matches
+  // both) — and with kOutOfRange for an unknown id.
   //
   // Lifetime contract: the returned span is guaranteed valid only until the
   // next Neighbors() call on the same access. Implementations may hand out

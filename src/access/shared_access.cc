@@ -1,5 +1,6 @@
 #include "access/shared_access.h"
 
+#include "access/async_fetcher.h"
 #include "util/check.h"
 
 namespace histwalk::access {
@@ -62,12 +63,20 @@ util::Result<std::span<const graph::NodeId>> SharedAccess::Neighbors(
     return util::Status::OutOfRange("unknown node id");
   }
   HistoryCache::Entry entry = group_->cache_.Get(v);
-  if (entry == nullptr) {
-    // Shared-history miss: this view pays for a real fetch. A refused call
-    // is not issued at all, so it leaves the accounting untouched (same
-    // semantics as GraphAccess).
+  if (entry == nullptr && group_->fetcher_ != nullptr) {
+    // Async miss path: the attached fetcher batches / deduplicates this
+    // fetch with the other walkers' outstanding misses; budget charging
+    // happens inside the fetcher, once per wire fetch.
+    auto fetched = group_->fetcher_->FetchShared(v);
+    if (!fetched.ok()) return fetched.status();
+    entry = std::move(fetched->entry);
+    if (fetched->charged_this_call) ++charged_fetches_;
+  } else if (entry == nullptr) {
+    // Synchronous miss path: this view pays for a real fetch. A refused
+    // call is not issued at all, so it leaves the accounting untouched
+    // (same semantics as GraphAccess).
     if (!group_->TryCharge()) {
-      return util::Status::ResourceExhausted("group query budget exhausted");
+      return util::Status::BudgetExhausted("group query budget exhausted");
     }
     auto fetched = group_->backend_->FetchNeighbors(v);
     if (!fetched.ok()) {

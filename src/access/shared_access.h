@@ -33,7 +33,9 @@
 //    saving from shared history; with a bounded cache, evicted-then-refetched
 //    nodes push charges back up, making the memory/queries trade measurable.
 //
-// A group-level query_budget is a shared quota, so WHICH view gets refused
+// A group-level query_budget is a shared quota; refusals surface as the
+// typed kBudgetExhausted status (distinct from a per-access
+// kResourceExhausted budget), and WHICH view gets refused
 // when it runs out depends on thread interleaving — walks under a binding
 // group budget are not reproducible across schedules (see
 // estimate/ensemble_runner.h for the deterministic per-walker alternative).
@@ -42,10 +44,13 @@
 // walker per thread); the group and cache are. Two walkers missing on the
 // same node at the same instant may both fetch it — the cache keeps one
 // copy, the duplicate charge is the usual cost of not holding a lock across
-// the backend call.
+// the backend call. Attaching an AsyncFetcher (net::RequestPipeline)
+// removes even that: concurrent misses on one node collapse into a single
+// deduplicated wire request (singleflight).
 
 namespace histwalk::access {
 
+class AsyncFetcher;
 class SharedAccess;
 
 struct SharedAccessOptions {
@@ -82,17 +87,29 @@ class SharedAccessGroup {
   // accounting; reset each view separately via ResetAccounting().
   void ResetAll();
 
- private:
-  friend class SharedAccess;
+  // Attaches (or detaches, with nullptr) the async miss-resolution client:
+  // while set, views route cache misses through fetcher->FetchShared()
+  // instead of fetching on their own thread. The fetcher must outlive the
+  // attachment. Not synchronized against in-flight Neighbors() calls —
+  // attach/detach only while no walker is running.
+  void set_async_fetcher(AsyncFetcher* fetcher) { fetcher_ = fetcher; }
+  AsyncFetcher* async_fetcher() const { return fetcher_; }
 
-  // Atomically claims one unit of fetch budget; false when exhausted.
+  // Budget hooks for fetch-executing clients (views' synchronous miss path
+  // and net::RequestPipeline): claim one unit of fetch budget before a
+  // backend fetch — false means the group quota refused it — and refund it
+  // if the fetch itself fails.
   bool TryCharge();
   void RefundCharge() { charged_.fetch_sub(1, std::memory_order_relaxed); }
+
+ private:
+  friend class SharedAccess;
 
   const AccessBackend* backend_;
   SharedAccessOptions options_;
   HistoryCache cache_;
   std::atomic<uint64_t> charged_{0};
+  AsyncFetcher* fetcher_ = nullptr;
 };
 
 class SharedAccess final : public NodeAccess {

@@ -29,9 +29,15 @@ MergedSamples EnsembleResult::Merged() const {
   return merged;
 }
 
-util::Result<EnsembleResult> RunEnsemble(access::SharedAccessGroup& group,
-                                         const core::WalkerSpec& spec,
-                                         const EnsembleOptions& options) {
+namespace {
+
+// Shared body of the sync and async runners; they differ only in how many
+// worker threads drive the walkers (and in what the group's miss path does,
+// which is the group's business, not ours).
+util::Result<EnsembleResult> RunEnsembleImpl(access::SharedAccessGroup& group,
+                                             const core::WalkerSpec& spec,
+                                             const EnsembleOptions& options,
+                                             unsigned run_threads) {
   if (options.num_walkers == 0) {
     return util::Status::InvalidArgument("ensemble needs at least one walker");
   }
@@ -75,11 +81,13 @@ util::Result<EnsembleResult> RunEnsemble(access::SharedAccessGroup& group,
             TraceWalk(*member.walker, {.max_steps = options.max_steps,
                                        .query_budget = options.query_budget});
       },
-      options.num_threads);
+      run_threads);
 
   uint64_t private_bytes = 0;
+  result.walker_stats.reserve(options.num_walkers);
   for (const core::EnsembleMember& member : members) {
     const access::QueryStats& stats = member.access->stats();
+    result.walker_stats.push_back(stats);
     result.summed_stats.total_queries += stats.total_queries;
     result.summed_stats.unique_queries += stats.unique_queries;
     result.summed_stats.cache_hits += stats.cache_hits;
@@ -92,6 +100,32 @@ util::Result<EnsembleResult> RunEnsemble(access::SharedAccessGroup& group,
   result.cache_stats.insertions -= cache_before.insertions;
   result.cache_stats.evictions -= cache_before.evictions;
   result.history_bytes = group.cache().MemoryBytes() + private_bytes;
+  return result;
+}
+
+}  // namespace
+
+util::Result<EnsembleResult> RunEnsemble(access::SharedAccessGroup& group,
+                                         const core::WalkerSpec& spec,
+                                         const EnsembleOptions& options) {
+  return RunEnsembleImpl(group, spec, options, options.num_threads);
+}
+
+util::Result<EnsembleResult> RunEnsembleAsync(
+    access::SharedAccessGroup& group, const core::WalkerSpec& spec,
+    const EnsembleOptions& options,
+    const net::RequestPipelineOptions& pipeline_options) {
+  if (group.async_fetcher() != nullptr) {
+    return util::Status::FailedPrecondition(
+        "group already has an async fetcher attached");
+  }
+  net::RequestPipeline pipeline(&group, pipeline_options);
+  group.set_async_fetcher(&pipeline);
+  // One thread per walker: a walker parked on an in-flight fetch must not
+  // stop the others from keeping the pipeline full.
+  auto result = RunEnsembleImpl(group, spec, options, options.num_walkers);
+  group.set_async_fetcher(nullptr);
+  if (result.ok()) result->pipeline_stats = pipeline.stats();
   return result;
 }
 

@@ -7,6 +7,7 @@
 #include "access/shared_access.h"
 #include "core/walker_factory.h"
 #include "estimate/walk_runner.h"
+#include "net/request_pipeline.h"
 
 // Concurrent walker ensembles over shared history.
 //
@@ -52,8 +53,9 @@ struct EnsembleResult {
   std::vector<graph::NodeId> starts;  // starts[i] seeds walker i
   std::vector<TracedWalk> traces;     // traces[i] belongs to walker i
 
-  // Sum of the per-walker QueryStats: total/unique/cache_hits as if each
-  // walker were accounted standalone (deterministic).
+  // Per-walker QueryStats, standalone semantics (deterministic), and their
+  // sum: total/unique/cache_hits as if each walker were accounted alone.
+  std::vector<access::QueryStats> walker_stats;
   access::QueryStats summed_stats;
   // Backend fetches this run actually issued — what the service bills the
   // whole ensemble. <= summed_stats.unique_queries when the cache is big
@@ -68,6 +70,10 @@ struct EnsembleResult {
   // Total history footprint after the run: resident cache bytes plus each
   // walker's private membership bits.
   uint64_t history_bytes = 0;
+  // Filled by RunEnsembleAsync only: the pipeline's wire traffic for this
+  // run (batching and singleflight-dedup effectiveness). All zeros for the
+  // synchronous runner.
+  net::RequestPipelineStats pipeline_stats;
 
   uint64_t num_steps() const;
   // Queries the ensemble saved by sharing history, versus N isolated
@@ -83,6 +89,24 @@ struct EnsembleResult {
 util::Result<EnsembleResult> RunEnsemble(access::SharedAccessGroup& group,
                                          const core::WalkerSpec& spec,
                                          const EnsembleOptions& options);
+
+// The overlapped-fetch variant: same walkers, same sub-seeds, same merged
+// traces (bit-identical nodes/degrees/unique_queries and per-walker
+// QueryStats as RunEnsemble), but cache misses are resolved through a
+// net::RequestPipeline attached to the group for the duration of the run —
+// concurrent misses are batched per cache shard and deduplicated
+// (singleflight), and each walker runs on its own thread so one walker
+// waiting on the wire never blocks the others' outstanding fetches. With
+// the group's backend wrapped in a net::RemoteBackend, pipeline depth D>1
+// drops the simulated crawl wall-clock while the trace stays identical;
+// options.num_threads is ignored (concurrency = num_walkers).
+//
+// The group must not already have an async fetcher attached; the one this
+// run attaches is detached before returning.
+util::Result<EnsembleResult> RunEnsembleAsync(
+    access::SharedAccessGroup& group, const core::WalkerSpec& spec,
+    const EnsembleOptions& options,
+    const net::RequestPipelineOptions& pipeline_options = {});
 
 }  // namespace histwalk::estimate
 

@@ -18,8 +18,10 @@ struct TracedWalk {
   std::vector<graph::NodeId> nodes;      // X_1 .. X_T (start excluded)
   std::vector<uint32_t> degrees;         // deg(X_t)
   std::vector<uint64_t> unique_queries;  // charged queries after step t
-  // OK when the run ended by max_steps; kResourceExhausted when the access
-  // budget stopped it; other codes indicate setup errors.
+  // OK when the run ended by max_steps; a budget stop (util::IsBudgetStop:
+  // kResourceExhausted for the access's own budget, kBudgetExhausted for a
+  // shared group quota) when a spent budget cut it; other codes indicate
+  // setup errors.
   util::Status final_status;
 
   uint64_t num_steps() const { return nodes.size(); }

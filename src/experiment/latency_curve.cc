@@ -1,0 +1,135 @@
+#include "experiment/latency_curve.h"
+
+#include "access/graph_access.h"
+#include "estimate/ensemble_runner.h"
+#include "estimate/estimators.h"
+#include "metrics/divergence.h"
+#include "net/remote_backend.h"
+#include "util/random.h"
+
+namespace histwalk::experiment {
+
+LatencyCurveResult RunLatencyCurve(const Dataset& dataset,
+                                   const LatencyCurveConfig& config) {
+  HW_CHECK(!config.pipeline_depths.empty());
+  HW_CHECK(!config.ensemble_sizes.empty());
+  HW_CHECK(config.steps_per_walker > 0);
+  HW_CHECK(config.trials > 0);
+
+  LatencyCurveResult result;
+  result.dataset_name = dataset.name;
+  result.walker_name = config.walker.DisplayName();
+  result.estimand_name = config.estimand.DisplayName();
+
+  attr::AttrId attr = attr::kInvalidAttr;
+  if (!config.estimand.attribute.empty()) {
+    auto found = dataset.attributes.Find(config.estimand.attribute);
+    HW_CHECK_MSG(found.ok(), "estimand attribute missing from dataset");
+    attr = *found;
+    result.ground_truth = dataset.attributes.Mean(attr);
+  } else {
+    result.ground_truth = dataset.graph.AverageDegree();
+  }
+
+  core::StationaryBias bias = core::StationaryBias::kDegreeProportional;
+  {
+    access::GraphAccess probe_access(&dataset.graph, &dataset.attributes);
+    auto probe = core::MakeWalker(config.walker, &probe_access, /*seed=*/0);
+    HW_CHECK_MSG(probe.ok(), "invalid walker spec for latency curve");
+    bias = (*probe)->bias();
+  }
+
+  for (size_t e = 0; e < config.ensemble_sizes.size(); ++e) {
+    const uint32_t size = config.ensemble_sizes[e];
+    double baseline_wall = 0.0;
+    for (size_t d = 0; d < config.pipeline_depths.size(); ++d) {
+      const uint32_t depth = config.pipeline_depths[d];
+      LatencyCurvePoint point;
+      point.pipeline_depth = depth;
+      point.ensemble_size = size;
+
+      double err_sum = 0.0;
+      uint64_t err_count = 0;
+      for (uint32_t trial = 0; trial < config.trials; ++trial) {
+        access::GraphAccess inner(&dataset.graph, &dataset.attributes);
+        // Each trial draws its own wire seed, but WITHIN a trial the seed
+        // is identical across depths: only in-flight slots and request
+        // order differ between cells of a sweep, keeping the time axis
+        // comparable.
+        net::LatencyModelOptions latency = config.latency;
+        latency.seed = util::SubSeed(config.seed, 0x11a7 + trial);
+        latency.max_in_flight = depth;
+        net::RemoteBackend remote(&inner, latency);
+        access::SharedAccessGroup group(
+            &remote, {.cache = {.capacity = config.cache_capacity,
+                                .num_shards = config.cache_shards}});
+        estimate::EnsembleOptions options{
+            .num_walkers = size,
+            .seed = util::SubSeed(config.seed, (e + 1) * 1'000'003ull + trial),
+            .max_steps = config.steps_per_walker,
+        };
+        auto run = estimate::RunEnsembleAsync(
+            group, config.walker, options,
+            {.depth = depth, .max_batch = config.max_batch});
+        HW_CHECK_MSG(run.ok(), "async ensemble run failed");
+
+        estimate::MergedSamples merged = run->Merged();
+        if (!merged.nodes.empty()) {
+          std::vector<double> f(merged.nodes.size());
+          for (size_t t = 0; t < merged.nodes.size(); ++t) {
+            f[t] = attr == attr::kInvalidAttr
+                       ? static_cast<double>(merged.degrees[t])
+                       : dataset.attributes.Value(merged.nodes[t], attr);
+          }
+          double estimate = estimate::EstimateMean(f, merged.degrees, bias);
+          err_sum += metrics::RelativeError(estimate, result.ground_truth);
+          ++err_count;
+        }
+        point.mean_sim_wall_seconds +=
+            static_cast<double>(remote.sim_now_us()) / 1e6;
+        point.mean_charged_queries +=
+            static_cast<double>(run->charged_queries);
+        point.mean_wire_requests +=
+            static_cast<double>(run->pipeline_stats.wire_requests);
+        point.mean_batch_size += run->pipeline_stats.MeanBatchSize();
+        point.mean_dedup_joins +=
+            static_cast<double>(run->pipeline_stats.dedup_joins);
+      }
+      double trials = static_cast<double>(config.trials);
+      point.mean_relative_error =
+          err_count == 0 ? 0.0 : err_sum / static_cast<double>(err_count);
+      point.mean_sim_wall_seconds /= trials;
+      point.mean_charged_queries /= trials;
+      point.mean_wire_requests /= trials;
+      point.mean_batch_size /= trials;
+      point.mean_dedup_joins /= trials;
+      if (d == 0) baseline_wall = point.mean_sim_wall_seconds;
+      point.speedup_vs_baseline =
+          point.mean_sim_wall_seconds > 0.0
+              ? baseline_wall / point.mean_sim_wall_seconds
+              : 1.0;
+      result.points.push_back(point);
+    }
+  }
+  return result;
+}
+
+util::TextTable LatencyCurveTable(const LatencyCurveResult& result) {
+  util::TextTable table({"walkers", "depth", "rel_error", "sim_wall_s",
+                         "speedup", "charged_queries", "wire_requests",
+                         "mean_batch", "dedup_joins"});
+  for (const LatencyCurvePoint& point : result.points) {
+    table.AddRow({util::TextTable::Cell(uint64_t{point.ensemble_size}),
+                  util::TextTable::Cell(uint64_t{point.pipeline_depth}),
+                  util::TextTable::Cell(point.mean_relative_error),
+                  util::TextTable::Cell(point.mean_sim_wall_seconds),
+                  util::TextTable::Cell(point.speedup_vs_baseline),
+                  util::TextTable::Cell(point.mean_charged_queries, 6),
+                  util::TextTable::Cell(point.mean_wire_requests, 6),
+                  util::TextTable::Cell(point.mean_batch_size, 3),
+                  util::TextTable::Cell(point.mean_dedup_joins, 3)});
+  }
+  return table;
+}
+
+}  // namespace histwalk::experiment

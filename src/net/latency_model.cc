@@ -1,0 +1,87 @@
+#include "net/latency_model.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace histwalk::net {
+
+LatencyModel::LatencyModel(LatencyModelOptions options) : options_(options) {
+  if (options_.max_in_flight == 0) options_.max_in_flight = 1;
+  slots_.assign(options_.max_in_flight, 0);
+}
+
+uint64_t LatencyModel::LatencyUsFor(uint64_t request_index,
+                                    uint64_t num_items) const {
+  HW_CHECK(num_items > 0);
+  uint64_t jitter = 0;
+  if (options_.jitter_us > 0) {
+    // One throwaway PCG stream per request: the draw depends only on
+    // (seed, request_index), never on the calling thread or prior draws.
+    util::Random rng(util::SubSeed(options_.seed, request_index));
+    jitter = rng.NextUint64() % options_.jitter_us;
+  }
+  return options_.base_latency_us + jitter +
+         (num_items - 1) * options_.per_item_us;
+}
+
+LatencyModel::Schedule LatencyModel::ScheduleRequest(uint64_t num_items) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Schedule s;
+  s.request_index = next_index_++;
+  s.latency_us = LatencyUsFor(s.request_index, num_items);
+
+  // Earliest wire slot to come free; requests also leave in issue order.
+  auto slot = std::min_element(slots_.begin(), slots_.end());
+  uint64_t ready = std::max(*slot, last_issue_us_);
+  if (options_.rate_limit.calls_per_window > 0) {
+    // Request k may issue no earlier than the start of the window that has
+    // a token left for it (windows anchored at virtual time 0).
+    uint64_t window = s.request_index / options_.rate_limit.calls_per_window;
+    uint64_t gate = window * options_.rate_limit.window_seconds * 1'000'000ull;
+    if (gate > ready) {
+      rate_limited_us_ += gate - ready;
+      ready = gate;
+    }
+  }
+  s.issue_us = ready;
+  s.complete_us = ready + s.latency_us;
+  *slot = s.complete_us;
+  last_issue_us_ = s.issue_us;
+  now_us_ = std::max(now_us_, s.complete_us);
+  items_ += num_items;
+  return s;
+}
+
+uint64_t LatencyModel::now_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return now_us_;
+}
+
+uint64_t LatencyModel::requests_issued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_index_;
+}
+
+uint64_t LatencyModel::items_requested() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_;
+}
+
+uint64_t LatencyModel::rate_limited_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rate_limited_us_;
+}
+
+void LatencyModel::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_.assign(options_.max_in_flight, 0);
+  next_index_ = 0;
+  last_issue_us_ = 0;
+  now_us_ = 0;
+  items_ = 0;
+  rate_limited_us_ = 0;
+}
+
+}  // namespace histwalk::net

@@ -1,0 +1,66 @@
+#include "net/remote_backend.h"
+
+#include "util/check.h"
+
+namespace histwalk::net {
+
+RemoteBackend::RemoteBackend(const access::AccessBackend* inner,
+                             LatencyModelOptions latency)
+    : inner_(inner), model_(latency) {
+  HW_CHECK(inner_ != nullptr);
+}
+
+void RemoteBackend::Account(uint64_t num_items) const {
+  model_.ScheduleRequest(num_items);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  items_.fetch_add(num_items, std::memory_order_relaxed);
+  if (num_items > 1) batch_requests_.fetch_add(1, std::memory_order_relaxed);
+}
+
+util::Result<std::span<const graph::NodeId>> RemoteBackend::FetchNeighbors(
+    graph::NodeId v) const {
+  Account(/*num_items=*/1);
+  return inner_->FetchNeighbors(v);
+}
+
+std::vector<util::Result<std::span<const graph::NodeId>>>
+RemoteBackend::FetchNeighborsBatch(std::span<const graph::NodeId> ids) const {
+  if (ids.empty()) return {};
+  Account(ids.size());
+  // Delegate to the inner BATCH endpoint so a multi-get-capable inner
+  // backend (future HTTP client, nested decorator) sees one call too.
+  return inner_->FetchNeighborsBatch(ids);
+}
+
+util::Result<double> RemoteBackend::FetchAttribute(graph::NodeId v,
+                                                   attr::AttrId attr) const {
+  return inner_->FetchAttribute(v, attr);
+}
+
+util::Result<uint32_t> RemoteBackend::FetchSummaryDegree(
+    graph::NodeId v) const {
+  return inner_->FetchSummaryDegree(v);
+}
+
+std::string RemoteBackend::name() const {
+  return "remote(" + inner_->name() + ")";
+}
+
+RemoteBackendStats RemoteBackend::stats() const {
+  RemoteBackendStats stats;
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.items = items_.load(std::memory_order_relaxed);
+  stats.batch_requests = batch_requests_.load(std::memory_order_relaxed);
+  stats.sim_elapsed_us = model_.now_us();
+  stats.rate_limited_us = model_.rate_limited_us();
+  return stats;
+}
+
+void RemoteBackend::ResetClock() {
+  model_.Reset();
+  requests_.store(0, std::memory_order_relaxed);
+  items_.store(0, std::memory_order_relaxed);
+  batch_requests_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace histwalk::net

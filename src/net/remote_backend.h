@@ -1,0 +1,77 @@
+#ifndef HISTWALK_NET_REMOTE_BACKEND_H_
+#define HISTWALK_NET_REMOTE_BACKEND_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "access/backend.h"
+#include "net/latency_model.h"
+
+// AccessBackend decorator that makes any backend look like a remote OSN
+// service: every neighbor fetch becomes a wire request scheduled on the
+// LatencyModel's virtual clock, with request/item accounting on the side.
+// The data still comes from the wrapped backend (GraphAccess today, an
+// HTTP client later) — RemoteBackend only adds the timing and billing
+// semantics of the wire, so walkers' traces are identical with or without
+// it. Failed fetches still cost a request: the service answered, just not
+// with data.
+//
+// FetchNeighborsBatch is where the model pays off: a batch is ONE wire
+// request (one latency draw, one rate-limit token) however many ids it
+// carries, which is what net::RequestPipeline exploits.
+
+namespace histwalk::net {
+
+struct RemoteBackendStats {
+  uint64_t requests = 0;        // wire requests issued
+  uint64_t items = 0;           // neighbor lists carried by those requests
+  uint64_t batch_requests = 0;  // requests that carried more than one item
+  uint64_t sim_elapsed_us = 0;  // simulated wall clock at snapshot time
+  uint64_t rate_limited_us = 0;
+};
+
+class RemoteBackend final : public access::AccessBackend {
+ public:
+  // `inner` must outlive this backend.
+  explicit RemoteBackend(const access::AccessBackend* inner,
+                         LatencyModelOptions latency = {});
+
+  util::Result<std::span<const graph::NodeId>> FetchNeighbors(
+      graph::NodeId v) const override;
+  std::vector<util::Result<std::span<const graph::NodeId>>>
+  FetchNeighborsBatch(std::span<const graph::NodeId> ids) const override;
+
+  // Free response metadata rides on neighbor responses (the rich-response
+  // model of section 2.1): no wire request is simulated.
+  util::Result<double> FetchAttribute(graph::NodeId v,
+                                      attr::AttrId attr) const override;
+  util::Result<uint32_t> FetchSummaryDegree(graph::NodeId v) const override;
+
+  uint64_t num_nodes() const override { return inner_->num_nodes(); }
+  std::string name() const override;
+
+  // Simulated crawl wall clock so far, in microseconds.
+  uint64_t sim_now_us() const { return model_.now_us(); }
+  RemoteBackendStats stats() const;
+  const LatencyModel& latency_model() const { return model_; }
+
+  // Rewinds the virtual clock and the request counters (the wrapped
+  // backend is untouched).
+  void ResetClock();
+
+  const access::AccessBackend* inner() const { return inner_; }
+
+ private:
+  void Account(uint64_t num_items) const;
+
+  const access::AccessBackend* inner_;
+  mutable LatencyModel model_;
+  mutable std::atomic<uint64_t> requests_{0};
+  mutable std::atomic<uint64_t> items_{0};
+  mutable std::atomic<uint64_t> batch_requests_{0};
+};
+
+}  // namespace histwalk::net
+
+#endif  // HISTWALK_NET_REMOTE_BACKEND_H_

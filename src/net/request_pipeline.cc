@@ -1,0 +1,173 @@
+#include "net/request_pipeline.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace histwalk::net {
+
+RequestPipeline::RequestPipeline(access::SharedAccessGroup* group,
+                                 RequestPipelineOptions options)
+    : group_(group), options_(options) {
+  HW_CHECK(group_ != nullptr);
+  if (options_.depth == 0) options_.depth = 1;
+  if (options_.max_batch == 0) options_.max_batch = 1;
+  num_shards_ = group_->cache().num_shards();
+  shard_queues_.resize(num_shards_);
+  workers_.reserve(options_.depth);
+  for (uint32_t t = 0; t < options_.depth; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+RequestPipeline::~RequestPipeline() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  // Workers drain the queue before exiting, so pending_ is empty unless a
+  // caller raced destruction (a use-after-scope bug on their side); fail
+  // any leftovers rather than hang their waiters.
+  for (auto& [v, pending] : pending_) {
+    pending->promise.set_value(
+        WireReply{nullptr, util::Status::Internal("pipeline destroyed")});
+  }
+}
+
+util::Result<access::AsyncFetcher::Fetched> RequestPipeline::FetchShared(
+    graph::NodeId v) {
+  std::shared_future<WireReply> future;
+  bool creator = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = pending_.find(v);
+    if (it != pending_.end()) {
+      // Singleflight: join the request already in flight.
+      ++stats_.dedup_joins;
+      future = it->second->future;
+    } else {
+      // Did a fetch complete between the caller's cache miss and this
+      // submit? Probe with Contains() first because it has no stats side
+      // effects: the caller already recorded this lookup's miss, and a
+      // plain Get() here would double-count a miss on every ordinary
+      // submit. Get() runs only on the rare hit path (and can still race
+      // an eviction, in which case we fall through and fetch for real).
+      if (group_->cache().Contains(v)) {
+        if (access::HistoryCache::Entry entry = group_->cache().Get(v)) {
+          ++stats_.late_hits;
+          return access::AsyncFetcher::Fetched{std::move(entry),
+                                               /*charged_this_call=*/false};
+        }
+      }
+      auto pending = std::make_shared<Pending>();
+      pending->future = pending->promise.get_future().share();
+      future = pending->future;
+      pending_.emplace(v, std::move(pending));
+      shard_queues_[access::HistoryCache::ShardOf(v, num_shards_)].push_back(
+          v);
+      ++queued_;
+      ++stats_.submitted;
+      creator = true;
+      work_cv_.notify_one();
+    }
+  }
+  WireReply reply = future.get();
+  if (!reply.status.ok()) return reply.status;
+  return access::AsyncFetcher::Fetched{std::move(reply.entry), creator};
+}
+
+void RequestPipeline::WorkerLoop() {
+  std::vector<graph::NodeId> batch;
+  while (true) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || queued_ > 0; });
+      if (queued_ == 0) return;  // stopping and fully drained
+      // Drain up to max_batch ids from the next non-empty shard queue so
+      // the whole batch's cache inserts land in one shard.
+      for (uint32_t probe = 0; probe < num_shards_; ++probe) {
+        uint32_t s = (next_shard_ + probe) % num_shards_;
+        std::deque<graph::NodeId>& queue = shard_queues_[s];
+        if (queue.empty()) continue;
+        size_t take = std::min<size_t>(options_.max_batch, queue.size());
+        batch.assign(queue.begin(), queue.begin() + take);
+        queue.erase(queue.begin(), queue.begin() + take);
+        queued_ -= take;
+        next_shard_ = (s + 1) % num_shards_;
+        break;
+      }
+      // Leftover work belongs to another worker.
+      if (queued_ > 0) work_cv_.notify_one();
+    }
+    ProcessBatch(batch);
+  }
+}
+
+void RequestPipeline::ProcessBatch(const std::vector<graph::NodeId>& batch) {
+  // Claim budget per node before touching the wire; refused ids never
+  // issue (same no-accounting semantics as the synchronous miss path).
+  std::vector<graph::NodeId> to_fetch;
+  std::vector<graph::NodeId> refused;
+  to_fetch.reserve(batch.size());
+  for (graph::NodeId v : batch) {
+    if (group_->TryCharge()) {
+      to_fetch.push_back(v);
+    } else {
+      refused.push_back(v);
+    }
+  }
+
+  std::vector<std::pair<graph::NodeId, WireReply>> replies;
+  replies.reserve(batch.size());
+  if (!to_fetch.empty()) {
+    auto results = group_->backend()->FetchNeighborsBatch(to_fetch);
+    for (size_t i = 0; i < to_fetch.size(); ++i) {
+      WireReply reply;
+      if (results[i].ok()) {
+        reply.entry = group_->cache().Put(to_fetch[i], *results[i]);
+      } else {
+        group_->RefundCharge();
+        reply.status = results[i].status();
+      }
+      replies.emplace_back(to_fetch[i], std::move(reply));
+    }
+  }
+  for (graph::NodeId v : refused) {
+    replies.emplace_back(
+        v, WireReply{nullptr, util::Status::BudgetExhausted(
+                                  "group query budget exhausted")});
+  }
+
+  // Detach the Pending entries under the lock, fulfill outside it (waiters
+  // resume inside promise::set_value; never hold mu_ across that).
+  std::vector<std::pair<std::shared_ptr<Pending>, WireReply>> to_fulfill;
+  to_fulfill.reserve(replies.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!to_fetch.empty()) {
+      ++stats_.wire_requests;
+      stats_.wire_items += to_fetch.size();
+    }
+    stats_.budget_refusals += refused.size();
+    for (auto& [v, reply] : replies) {
+      auto it = pending_.find(v);
+      if (it != pending_.end()) {
+        to_fulfill.emplace_back(std::move(it->second), std::move(reply));
+        pending_.erase(it);
+      }
+    }
+  }
+  for (auto& [pending, reply] : to_fulfill) {
+    pending->promise.set_value(std::move(reply));
+  }
+}
+
+RequestPipelineStats RequestPipeline::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace histwalk::net

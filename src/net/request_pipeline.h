@@ -1,0 +1,122 @@
+#ifndef HISTWALK_NET_REQUEST_PIPELINE_H_
+#define HISTWALK_NET_REQUEST_PIPELINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "access/async_fetcher.h"
+#include "access/shared_access.h"
+
+// Batched, deduplicated fetch client for a (simulated or real) remote
+// backend — the AsyncFetcher implementation behind RunEnsembleAsync.
+//
+// Three mechanisms, composable because they all live behind one submit
+// queue:
+//
+//  * Bounded in-flight depth. `depth` worker threads each carry at most
+//    one wire request, so the service never sees more than `depth`
+//    concurrent requests — the client-side analogue of the LatencyModel's
+//    max_in_flight slots.
+//  * Per-shard batching. Queued node ids are bucketed by
+//    HistoryCache::ShardOf, and a worker drains up to `max_batch` ids of
+//    ONE shard into a single FetchNeighborsBatch call: one wire request
+//    (one latency, one rate-limit token) for the whole batch, and all its
+//    cache inserts land under a single shard lock.
+//  * Singleflight dedup. Concurrent FetchShared calls for the same node
+//    share one in-flight request; N walkers missing on one node cost one
+//    wire fetch and one unit of group budget. Exactly one caller — the one
+//    that created the in-flight entry — reports charged_this_call.
+//
+// Budget: the pipeline claims group budget one unit per fetched NODE (the
+// same billing as the synchronous miss path), so charged_queries stays
+// comparable between sync and async runs; batching buys wall-clock, not
+// free queries. Ids refused by the budget fail with kBudgetExhausted
+// without going on the wire.
+
+namespace histwalk::net {
+
+struct RequestPipelineOptions {
+  // Worker threads == bound on concurrently outstanding wire requests.
+  // Clamped to >= 1.
+  uint32_t depth = 4;
+  // Max neighbor fetches coalesced into one wire request. Clamped to >= 1.
+  uint32_t max_batch = 8;
+};
+
+struct RequestPipelineStats {
+  uint64_t submitted = 0;      // fetches that created a new in-flight entry
+  uint64_t dedup_joins = 0;    // fetches coalesced onto an in-flight entry
+  uint64_t late_hits = 0;      // fetches answered by the cache at submit
+  uint64_t wire_requests = 0;  // backend batch calls issued
+  uint64_t wire_items = 0;     // ids those calls carried
+  uint64_t budget_refusals = 0;
+
+  double MeanBatchSize() const {
+    return wire_requests == 0
+               ? 0.0
+               : static_cast<double>(wire_items) /
+                     static_cast<double>(wire_requests);
+  }
+};
+
+class RequestPipeline final : public access::AsyncFetcher {
+ public:
+  // `group` must outlive the pipeline. Fetches go through group->backend(),
+  // fill group->cache(), and claim group budget per fetched node. Typical
+  // wiring: construct the pipeline, group.set_async_fetcher(&pipeline),
+  // run walkers, detach, destroy (RunEnsembleAsync does all of this).
+  explicit RequestPipeline(access::SharedAccessGroup* group,
+                           RequestPipelineOptions options = {});
+  // Drains already-queued fetches, then joins the workers.
+  ~RequestPipeline() override;
+
+  RequestPipeline(const RequestPipeline&) = delete;
+  RequestPipeline& operator=(const RequestPipeline&) = delete;
+
+  // AsyncFetcher. Blocks until the response for `v` is available.
+  util::Result<access::AsyncFetcher::Fetched> FetchShared(
+      graph::NodeId v) override;
+
+  RequestPipelineStats stats() const;
+  const RequestPipelineOptions& options() const { return options_; }
+
+ private:
+  // What a completed wire fetch hands every waiter.
+  struct WireReply {
+    access::HistoryCache::Entry entry;  // null iff status is non-OK
+    util::Status status;
+  };
+  struct Pending {
+    std::promise<WireReply> promise;
+    std::shared_future<WireReply> future;
+  };
+
+  void WorkerLoop();
+  void ProcessBatch(const std::vector<graph::NodeId>& batch);
+
+  access::SharedAccessGroup* group_;
+  RequestPipelineOptions options_;
+  uint32_t num_shards_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  bool stopping_ = false;
+  std::vector<std::deque<graph::NodeId>> shard_queues_;
+  uint64_t queued_ = 0;     // total ids across shard_queues_
+  uint32_t next_shard_ = 0;  // round-robin drain cursor
+  std::unordered_map<graph::NodeId, std::shared_ptr<Pending>> pending_;
+  RequestPipelineStats stats_;
+
+  std::vector<std::thread> workers_;  // last member: joins before teardown
+};
+
+}  // namespace histwalk::net
+
+#endif  // HISTWALK_NET_REQUEST_PIPELINE_H_

@@ -16,6 +16,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "failed_precondition";
     case StatusCode::kResourceExhausted:
       return "resource_exhausted";
+    case StatusCode::kBudgetExhausted:
+      return "budget_exhausted";
     case StatusCode::kInternal:
       return "internal";
   }

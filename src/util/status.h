@@ -23,6 +23,7 @@ enum class StatusCode {
   kOutOfRange,
   kFailedPrecondition,
   kResourceExhausted,  // e.g. a query budget has been spent
+  kBudgetExhausted,    // a shared (group-level) fetch budget refused the call
   kInternal,
 };
 
@@ -53,6 +54,9 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status BudgetExhausted(std::string msg) {
+    return Status(StatusCode::kBudgetExhausted, std::move(msg));
+  }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
@@ -74,6 +78,14 @@ class Status {
 };
 
 std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// True when a walk was cut by a spent query budget — either the access's
+// own (kResourceExhausted) or a shared group quota (kBudgetExhausted).
+// Budget stops are expected run terminations, not setup errors.
+inline bool IsBudgetStop(const Status& status) {
+  return status.code() == StatusCode::kResourceExhausted ||
+         status.code() == StatusCode::kBudgetExhausted;
+}
 
 // Result<T> is either a value or a non-OK Status (never both).
 //

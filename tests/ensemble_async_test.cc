@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "access/graph_access.h"
+#include "estimate/ensemble_runner.h"
+#include "graph/generators.h"
+#include "net/remote_backend.h"
+#include "util/random.h"
+
+// The acceptance contract of RunEnsembleAsync: pipelined fetching changes
+// WHEN responses arrive (simulated wall-clock), never WHAT the walkers do.
+// Merged traces and per-walker QueryStats must be bit-identical to the
+// synchronous runner at every pipeline depth, while the RemoteBackend's
+// simulated clock shows depth > 1 finishing the same crawl sooner.
+
+namespace histwalk::estimate {
+namespace {
+
+graph::Graph TestGraph() {
+  util::Random rng(99);
+  return graph::MakeWattsStrogatz(/*n=*/600, /*k=*/6, /*beta=*/0.2, rng);
+}
+
+const EnsembleOptions kOptions{.num_walkers = 6, .seed = 3,
+                               .max_steps = 150};
+
+void ExpectSameRun(const EnsembleResult& a, const EnsembleResult& b) {
+  ASSERT_EQ(a.starts, b.starts);
+  ASSERT_EQ(a.traces.size(), b.traces.size());
+  for (size_t i = 0; i < a.traces.size(); ++i) {
+    EXPECT_EQ(a.traces[i].nodes, b.traces[i].nodes) << "walker " << i;
+    EXPECT_EQ(a.traces[i].degrees, b.traces[i].degrees) << "walker " << i;
+    EXPECT_EQ(a.traces[i].unique_queries, b.traces[i].unique_queries)
+        << "walker " << i;
+  }
+  ASSERT_EQ(a.walker_stats.size(), b.walker_stats.size());
+  for (size_t i = 0; i < a.walker_stats.size(); ++i) {
+    EXPECT_EQ(a.walker_stats[i].total_queries,
+              b.walker_stats[i].total_queries) << "walker " << i;
+    EXPECT_EQ(a.walker_stats[i].unique_queries,
+              b.walker_stats[i].unique_queries) << "walker " << i;
+    EXPECT_EQ(a.walker_stats[i].cache_hits, b.walker_stats[i].cache_hits)
+        << "walker " << i;
+  }
+}
+
+TEST(RunEnsembleAsyncTest, MatchesSyncRunnerBitForBitAtEveryDepth) {
+  graph::Graph graph = TestGraph();
+  access::GraphAccess backend(&graph, nullptr);
+  access::SharedAccessGroup sync_group(&backend);
+  auto sync_run =
+      RunEnsemble(sync_group, {.type = core::WalkerType::kCnrw}, kOptions);
+  ASSERT_TRUE(sync_run.ok());
+
+  for (uint32_t depth : {1u, 2u, 4u}) {
+    access::SharedAccessGroup async_group(&backend);
+    auto async_run =
+        RunEnsembleAsync(async_group, {.type = core::WalkerType::kCnrw},
+                         kOptions, {.depth = depth, .max_batch = 4});
+    ASSERT_TRUE(async_run.ok()) << "depth " << depth;
+    ExpectSameRun(*sync_run, *async_run);
+    // The pipeline actually carried the misses.
+    EXPECT_GT(async_run->pipeline_stats.wire_requests, 0u);
+    EXPECT_EQ(async_run->pipeline_stats.wire_items,
+              async_run->charged_queries);
+    // Lookup conservation pins the no-double-count guarantee: every
+    // Neighbors() call is exactly one cache lookup, and the pipeline adds
+    // lookups only on its (hit-only) late-hit path — its submit-time probe
+    // peeks with the stats-free Contains(). Before that fix, every
+    // submitted miss counted twice and this identity broke by
+    // pipeline_stats.submitted.
+    EXPECT_EQ(async_run->cache_stats.hits + async_run->cache_stats.misses,
+              async_run->summed_stats.total_queries +
+                  async_run->pipeline_stats.late_hits)
+        << "depth " << depth;
+  }
+}
+
+TEST(RunEnsembleAsyncTest, MatchesSyncUnderBoundedCache) {
+  graph::Graph graph = TestGraph();
+  access::GraphAccess backend(&graph, nullptr);
+  access::SharedAccessOptions group_options{
+      .cache = {.capacity = 64, .num_shards = 4}};
+  access::SharedAccessGroup sync_group(&backend, group_options);
+  auto sync_run =
+      RunEnsemble(sync_group, {.type = core::WalkerType::kCnrw}, kOptions);
+  ASSERT_TRUE(sync_run.ok());
+
+  access::SharedAccessGroup async_group(&backend, group_options);
+  auto async_run =
+      RunEnsembleAsync(async_group, {.type = core::WalkerType::kCnrw},
+                       kOptions, {.depth = 3, .max_batch = 4});
+  ASSERT_TRUE(async_run.ok());
+  ExpectSameRun(*sync_run, *async_run);
+}
+
+TEST(RunEnsembleAsyncTest, AsyncRunsAreReproducible) {
+  graph::Graph graph = TestGraph();
+  access::GraphAccess backend(&graph, nullptr);
+  access::SharedAccessGroup group_a(&backend);
+  access::SharedAccessGroup group_b(&backend);
+  auto a = RunEnsembleAsync(group_a, {.type = core::WalkerType::kCnrw},
+                            kOptions, {.depth = 4});
+  auto b = RunEnsembleAsync(group_b, {.type = core::WalkerType::kCnrw},
+                            kOptions, {.depth = 4});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectSameRun(*a, *b);
+}
+
+TEST(RunEnsembleAsyncTest, DeeperPipelineShrinksSimulatedWallClock) {
+  graph::Graph graph = TestGraph();
+  access::GraphAccess inner(&graph, nullptr);
+
+  auto sim_wall_at_depth = [&](uint32_t depth) {
+    net::RemoteBackend remote(&inner, {.seed = 11, .max_in_flight = depth});
+    access::SharedAccessGroup group(&remote);
+    auto run = RunEnsembleAsync(group, {.type = core::WalkerType::kCnrw},
+                                {.num_walkers = 8, .seed = 5,
+                                 .max_steps = 200},
+                                {.depth = depth, .max_batch = 8});
+    EXPECT_TRUE(run.ok());
+    return remote.sim_now_us();
+  };
+
+  uint64_t serial = sim_wall_at_depth(1);
+  uint64_t overlapped = sim_wall_at_depth(8);
+  EXPECT_GT(serial, 0u);
+  // Overlapping + batching must buy a measurable chunk of simulated time.
+  EXPECT_LT(overlapped * 2, serial);
+}
+
+TEST(RunEnsembleAsyncTest, GroupBudgetSurfacesTypedStatus) {
+  graph::Graph graph = TestGraph();
+  access::GraphAccess backend(&graph, nullptr);
+  access::SharedAccessGroup group(&backend, {.query_budget = 40});
+  auto run = RunEnsembleAsync(group, {.type = core::WalkerType::kCnrw},
+                              {.num_walkers = 4, .seed = 9,
+                               .max_steps = 10'000},
+                              {.depth = 2, .max_batch = 4});
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(group.charged_queries(), 40u);
+  bool any_exhausted = false;
+  for (const TracedWalk& trace : run->traces) {
+    if (trace.final_status.code() == util::StatusCode::kBudgetExhausted) {
+      any_exhausted = true;
+    }
+  }
+  EXPECT_TRUE(any_exhausted);
+}
+
+TEST(RunEnsembleAsyncTest, RefusesDoubleAttachment) {
+  graph::Graph graph = TestGraph();
+  access::GraphAccess backend(&graph, nullptr);
+  access::SharedAccessGroup group(&backend);
+  net::RequestPipeline pipeline(&group, {});
+  group.set_async_fetcher(&pipeline);
+  auto run = RunEnsembleAsync(group, {.type = core::WalkerType::kCnrw},
+                              kOptions, {});
+  EXPECT_EQ(run.status().code(), util::StatusCode::kFailedPrecondition);
+  group.set_async_fetcher(nullptr);
+}
+
+}  // namespace
+}  // namespace histwalk::estimate

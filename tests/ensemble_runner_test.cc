@@ -156,8 +156,13 @@ TEST(EnsembleRunnerTest, GroupBudgetExhaustionStopsWalkers) {
   EXPECT_EQ(group.charged_queries(), 40u);
   bool any_exhausted = false;
   for (const TracedWalk& trace : result->traces) {
-    if (trace.final_status.code() == util::StatusCode::kResourceExhausted) {
+    // Group-budget refusal surfaces as the typed kBudgetExhausted (never
+    // the per-access kResourceExhausted).
+    EXPECT_NE(trace.final_status.code(),
+              util::StatusCode::kResourceExhausted);
+    if (trace.final_status.code() == util::StatusCode::kBudgetExhausted) {
       any_exhausted = true;
+      EXPECT_TRUE(util::IsBudgetStop(trace.final_status));
     }
   }
   EXPECT_TRUE(any_exhausted);

@@ -8,6 +8,7 @@
 #include "experiment/distribution_experiment.h"
 #include "experiment/ensemble_curve.h"
 #include "experiment/error_curve.h"
+#include "experiment/latency_curve.h"
 #include "experiment/report.h"
 #include "graph/builder.h"
 #include "graph/stats.h"
@@ -200,6 +201,34 @@ TEST_F(SmallExperimentTest, EnsembleCurveBoundedCacheEvicts) {
   EnsembleCurveResult unbounded_result = RunEnsembleCurve(dataset_, unbounded);
   EXPECT_GE(bounded_result.mean_charged_queries[0],
             unbounded_result.mean_charged_queries[0]);
+}
+
+TEST_F(SmallExperimentTest, LatencyCurveWallClockFallsWithDepth) {
+  LatencyCurveConfig config;
+  config.walker = {.type = core::WalkerType::kCnrw};
+  config.pipeline_depths = {1, 4};
+  config.ensemble_sizes = {4};
+  config.steps_per_walker = 120;
+  config.trials = 3;
+  config.seed = 11;
+  LatencyCurveResult result = RunLatencyCurve(dataset_, config);
+  ASSERT_EQ(result.points.size(), 2u);
+  const LatencyCurvePoint& serial = result.points[0];
+  const LatencyCurvePoint& overlapped = result.points[1];
+  EXPECT_GT(serial.mean_sim_wall_seconds, 0.0);
+  // Same traces, same error — less simulated time at depth 4.
+  EXPECT_DOUBLE_EQ(serial.mean_relative_error,
+                   overlapped.mean_relative_error);
+  EXPECT_DOUBLE_EQ(serial.mean_charged_queries,
+                   overlapped.mean_charged_queries);
+  EXPECT_LT(overlapped.mean_sim_wall_seconds,
+            serial.mean_sim_wall_seconds);
+  EXPECT_GT(overlapped.speedup_vs_baseline, 1.0);
+  EXPECT_DOUBLE_EQ(serial.speedup_vs_baseline, 1.0);
+
+  util::TextTable table = LatencyCurveTable(result);
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.num_columns(), 9u);
 }
 
 TEST_F(SmallExperimentTest, BiasMeasureTableSelection) {

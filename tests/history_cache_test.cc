@@ -151,6 +151,69 @@ TEST(HistoryCacheTest, ConcurrentHitCountingIsExact) {
   EXPECT_EQ(stats.misses, misses_before);
 }
 
+// Pins the documented stats() consistency guarantee: a snapshot taken WHILE
+// writers insert and evict is not point-in-time across shards, but each
+// shard is snapshotted atomically, so the per-shard identity
+// entries == insertions - evictions survives aggregation, the capacity
+// bound holds, and cumulative counters are monotone between snapshots.
+TEST(HistoryCacheTest, StatsSnapshotConsistentUnderConcurrentWriters) {
+  HistoryCache cache({.capacity = 32, .num_shards = 4});
+  constexpr size_t kWriters = 8;
+  constexpr size_t kReaderTask = kWriters;  // one extra task snapshots
+  constexpr size_t kPutsPerWriter = 4000;
+  const uint64_t max_resident =
+      uint64_t{cache.num_shards()} * cache.shard_capacity();
+
+  std::atomic<bool> writers_running{true};
+  std::atomic<size_t> writers_done{0};
+  std::atomic<uint64_t> snapshots_taken{0};
+  util::ParallelFor(
+      kWriters + 1,
+      [&](size_t task) {
+        if (task == kReaderTask) {
+          // At least one snapshot even if scheduling ran the writers first;
+          // in the common interleaving this loop races them continuously.
+          HistoryCacheStats prev;
+          do {
+            HistoryCacheStats snap = cache.stats();
+            // The load-bearing identity, mid-churn.
+            ASSERT_EQ(snap.entries, snap.insertions - snap.evictions);
+            ASSERT_LE(snap.entries, max_resident);
+            // Cumulative counters only grow.
+            ASSERT_GE(snap.hits, prev.hits);
+            ASSERT_GE(snap.misses, prev.misses);
+            ASSERT_GE(snap.insertions, prev.insertions);
+            ASSERT_GE(snap.evictions, prev.evictions);
+            prev = snap;
+            snapshots_taken.fetch_add(1, std::memory_order_relaxed);
+          } while (writers_running.load(std::memory_order_acquire));
+          return;
+        }
+        for (size_t i = 0; i < kPutsPerWriter; ++i) {
+          graph::NodeId v =
+              static_cast<graph::NodeId>((task * 131 + i * 7) % 512);
+          if (i % 3 == 0) {
+            cache.Get(v);
+          } else {
+            cache.Put(v, List({v, v + 1}));
+          }
+        }
+        // Last writer out releases the reader.
+        if (writers_done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            kWriters) {
+          writers_running.store(false, std::memory_order_release);
+        }
+      },
+      /*num_threads=*/kWriters + 1);
+
+  EXPECT_GT(snapshots_taken.load(), 0u);
+  // Quiescent state: the same identities hold exactly.
+  HistoryCacheStats final_stats = cache.stats();
+  EXPECT_EQ(final_stats.entries,
+            final_stats.insertions - final_stats.evictions);
+  EXPECT_LE(final_stats.entries, max_resident);
+}
+
 TEST(HistoryCacheTest, ZeroShardOptionClampsToOne) {
   HistoryCache cache({.capacity = 2, .num_shards = 0});
   EXPECT_EQ(cache.num_shards(), 1u);

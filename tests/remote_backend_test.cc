@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "access/graph_access.h"
+#include "graph/generators.h"
+#include "net/remote_backend.h"
+#include "util/random.h"
+
+namespace histwalk::net {
+namespace {
+
+class RemoteBackendTest : public testing::Test {
+ protected:
+  RemoteBackendTest()
+      : graph_(graph::MakeCycle(64)), inner_(&graph_, nullptr) {}
+  graph::Graph graph_;
+  access::GraphAccess inner_;
+};
+
+TEST_F(RemoteBackendTest, DecoratorReturnsInnerData) {
+  RemoteBackend remote(&inner_, {.seed = 1});
+  auto direct = inner_.FetchNeighbors(5);
+  auto via_remote = remote.FetchNeighbors(5);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(via_remote.ok());
+  EXPECT_TRUE(std::equal(direct->begin(), direct->end(), via_remote->begin(),
+                         via_remote->end()));
+  EXPECT_EQ(remote.num_nodes(), inner_.num_nodes());
+  EXPECT_EQ(remote.name(), "remote(graph)");
+  // Errors still cost a wire request (the service answered: "no").
+  EXPECT_FALSE(remote.FetchNeighbors(999).ok());
+  EXPECT_EQ(remote.stats().requests, 2u);
+}
+
+TEST_F(RemoteBackendTest, EveryFetchAdvancesTheSimClock) {
+  RemoteBackend remote(&inner_, {.seed = 1, .base_latency_us = 10'000});
+  EXPECT_EQ(remote.sim_now_us(), 0u);
+  ASSERT_TRUE(remote.FetchNeighbors(0).ok());
+  uint64_t after_one = remote.sim_now_us();
+  EXPECT_GE(after_one, 10'000u);
+  ASSERT_TRUE(remote.FetchNeighbors(1).ok());
+  EXPECT_GT(remote.sim_now_us(), after_one);
+}
+
+TEST_F(RemoteBackendTest, BatchIsOneRequestManyItems) {
+  RemoteBackend remote(&inner_, {.seed = 1});
+  std::vector<graph::NodeId> ids = {0, 1, 2, 3, 4};
+  auto results = remote.FetchNeighborsBatch(ids);
+  ASSERT_EQ(results.size(), 5u);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << i;
+    auto direct = inner_.FetchNeighbors(ids[i]);
+    EXPECT_TRUE(std::equal(direct->begin(), direct->end(),
+                           results[i]->begin(), results[i]->end()));
+  }
+  RemoteBackendStats stats = remote.stats();
+  EXPECT_EQ(stats.requests, 1u);
+  EXPECT_EQ(stats.items, 5u);
+  EXPECT_EQ(stats.batch_requests, 1u);
+}
+
+TEST_F(RemoteBackendTest, BatchDelegatesToInnerBatchEndpoint) {
+  // Nested decorators: the outer backend must hand the whole batch to the
+  // inner one's multi-get endpoint, not unroll it into per-id fetches.
+  RemoteBackend inner_remote(&inner_, {.seed = 1});
+  RemoteBackend outer(&inner_remote, {.seed = 2});
+  std::vector<graph::NodeId> ids = {0, 1, 2, 3};
+  auto results = outer.FetchNeighborsBatch(ids);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(outer.stats().requests, 1u);
+  EXPECT_EQ(inner_remote.stats().requests, 1u);  // one call, not four
+  EXPECT_EQ(inner_remote.stats().items, 4u);
+  EXPECT_EQ(inner_remote.stats().batch_requests, 1u);
+}
+
+TEST_F(RemoteBackendTest, MetadataFetchesAreFree) {
+  RemoteBackend remote(&inner_, {.seed = 1});
+  EXPECT_TRUE(remote.FetchSummaryDegree(3).ok());
+  EXPECT_EQ(remote.stats().requests, 0u);
+  EXPECT_EQ(remote.sim_now_us(), 0u);
+}
+
+// The determinism contract (and the regression this test pins): same seed
+// plus the same REQUEST ORDER reproduce identical simulated timestamps, no
+// matter how many threads issue the requests. Thread count must only
+// change who executes a request, never when the model says it happened.
+TEST_F(RemoteBackendTest, TimestampsDeterministicAcrossThreadCounts) {
+  // A fixed request order: 200 fetches over the cycle.
+  std::vector<graph::NodeId> order;
+  util::Random rng(17);
+  for (int i = 0; i < 200; ++i) {
+    order.push_back(static_cast<graph::NodeId>(rng.UniformIndex(64)));
+  }
+
+  // Issues `order` through `num_threads` threads, forcing the global issue
+  // order with a ticket turnstile, and records the simulated clock after
+  // every request.
+  auto run = [&](unsigned num_threads, LatencyModelOptions options) {
+    RemoteBackend remote(&inner_, options);
+    std::vector<uint64_t> clock_after(order.size(), 0);
+    std::atomic<size_t> turn{0};
+    auto issue = [&](unsigned tid) {
+      for (size_t i = tid; i < order.size(); i += num_threads) {
+        while (turn.load(std::memory_order_acquire) != i) {
+          std::this_thread::yield();
+        }
+        EXPECT_TRUE(remote.FetchNeighbors(order[i]).ok());
+        clock_after[i] = remote.sim_now_us();
+        turn.store(i + 1, std::memory_order_release);
+      }
+    };
+    std::vector<std::thread> threads;
+    for (unsigned t = 1; t < num_threads; ++t) threads.emplace_back(issue, t);
+    issue(0);
+    for (auto& thread : threads) thread.join();
+    return clock_after;
+  };
+
+  LatencyModelOptions options{.seed = 23, .max_in_flight = 4};
+  std::vector<uint64_t> single = run(1, options);
+  std::vector<uint64_t> four = run(4, options);
+  std::vector<uint64_t> seven = run(7, options);
+  EXPECT_EQ(single, four);
+  EXPECT_EQ(single, seven);
+  EXPECT_GT(single.back(), 0u);
+}
+
+TEST_F(RemoteBackendTest, ResetClockRewindsAccounting) {
+  RemoteBackend remote(&inner_, {.seed = 1});
+  ASSERT_TRUE(remote.FetchNeighbors(0).ok());
+  remote.ResetClock();
+  EXPECT_EQ(remote.sim_now_us(), 0u);
+  EXPECT_EQ(remote.stats().requests, 0u);
+  EXPECT_EQ(remote.stats().items, 0u);
+}
+
+}  // namespace
+}  // namespace histwalk::net

@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "access/graph_access.h"
+#include "access/shared_access.h"
+#include "graph/generators.h"
+#include "net/request_pipeline.h"
+
+namespace histwalk::net {
+namespace {
+
+using access::HistoryCache;
+
+// Backend decorator whose batch endpoint blocks until the test releases a
+// permit — lets a test hold the (depth=1) worker busy while more fetches
+// queue up behind it, making batch composition deterministic.
+class GateBackend final : public access::AccessBackend {
+ public:
+  explicit GateBackend(const access::AccessBackend* inner) : inner_(inner) {}
+
+  util::Result<std::span<const graph::NodeId>> FetchNeighbors(
+      graph::NodeId v) const override {
+    Await();
+    return inner_->FetchNeighbors(v);
+  }
+
+  std::vector<util::Result<std::span<const graph::NodeId>>>
+  FetchNeighborsBatch(std::span<const graph::NodeId> ids) const override {
+    Await();
+    RecordBatch(ids.size());
+    return inner_->FetchNeighborsBatch(ids);
+  }
+
+  util::Result<double> FetchAttribute(graph::NodeId v,
+                                      attr::AttrId attr) const override {
+    return inner_->FetchAttribute(v, attr);
+  }
+  util::Result<uint32_t> FetchSummaryDegree(graph::NodeId v) const override {
+    return inner_->FetchSummaryDegree(v);
+  }
+  uint64_t num_nodes() const override { return inner_->num_nodes(); }
+  std::string name() const override { return "gate(" + inner_->name() + ")"; }
+
+  // Allows `n` further wire calls through the gate.
+  void Release(uint64_t n) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      permits_ += n;
+    }
+    cv_.notify_all();
+  }
+
+  // Wire calls that have reached the gate (blocked or passed through).
+  uint64_t arrivals() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return arrivals_;
+  }
+
+  std::vector<size_t> batch_sizes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return batch_sizes_;
+  }
+
+ private:
+  void Await() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++arrivals_;
+    cv_.wait(lock, [this] { return permits_ > 0; });
+    --permits_;
+  }
+  void RecordBatch(size_t n) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_sizes_.push_back(n);
+  }
+
+  const access::AccessBackend* inner_;
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  mutable uint64_t permits_ = 0;
+  mutable uint64_t arrivals_ = 0;
+  mutable std::vector<size_t> batch_sizes_;
+};
+
+class RequestPipelineTest : public testing::Test {
+ protected:
+  RequestPipelineTest() : graph_(graph::MakeCycle(256)),
+                          backend_(&graph_, nullptr) {}
+  graph::Graph graph_;
+  access::GraphAccess backend_;
+};
+
+TEST_F(RequestPipelineTest, FetchFillsSharedCache) {
+  access::SharedAccessGroup group(&backend_);
+  RequestPipeline pipeline(&group, {.depth = 2, .max_batch = 4});
+  auto fetched = pipeline.FetchShared(7);
+  ASSERT_TRUE(fetched.ok());
+  ASSERT_NE(fetched->entry, nullptr);
+  EXPECT_TRUE(fetched->charged_this_call);
+  EXPECT_EQ(fetched->entry->size(), 2u);
+  EXPECT_TRUE(group.cache().Contains(7));
+  EXPECT_EQ(group.charged_queries(), 1u);
+  RequestPipelineStats stats = pipeline.stats();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.wire_requests, 1u);
+  EXPECT_EQ(stats.wire_items, 1u);
+}
+
+TEST_F(RequestPipelineTest, CachedNodeIsAnsweredWithoutWireTraffic) {
+  access::SharedAccessGroup group(&backend_);
+  RequestPipeline pipeline(&group, {});
+  ASSERT_TRUE(pipeline.FetchShared(3).ok());
+  auto again = pipeline.FetchShared(3);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->charged_this_call);
+  EXPECT_EQ(pipeline.stats().late_hits, 1u);
+  EXPECT_EQ(pipeline.stats().wire_requests, 1u);
+  EXPECT_EQ(group.charged_queries(), 1u);
+}
+
+TEST_F(RequestPipelineTest, SingleflightCollapsesConcurrentMisses) {
+  GateBackend gated(&backend_);
+  access::SharedAccessGroup group(&gated);
+  RequestPipeline pipeline(&group, {.depth = 2, .max_batch = 4});
+
+  constexpr int kWaiters = 6;
+  std::atomic<int> charged_count{0};
+  std::atomic<int> ok_count{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kWaiters);
+  for (int t = 0; t < kWaiters; ++t) {
+    threads.emplace_back([&] {
+      auto fetched = pipeline.FetchShared(42);
+      if (fetched.ok() && fetched->entry != nullptr) {
+        ok_count.fetch_add(1);
+        if (fetched->charged_this_call) charged_count.fetch_add(1);
+      }
+    });
+  }
+  // Wait (bounded) until all waiters have landed on the one in-flight
+  // fetch, then open the gate.
+  for (int spin = 0; spin < 20'000; ++spin) {
+    RequestPipelineStats stats = pipeline.stats();
+    if (stats.submitted + stats.dedup_joins + stats.late_hits >= kWaiters) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  gated.Release(1'000'000);
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(ok_count.load(), kWaiters);
+  // One wire fetch, one group charge, exactly one caller reports paying.
+  EXPECT_EQ(charged_count.load(), 1);
+  EXPECT_EQ(group.charged_queries(), 1u);
+  RequestPipelineStats stats = pipeline.stats();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.wire_requests, 1u);
+  EXPECT_EQ(stats.dedup_joins + stats.late_hits,
+            static_cast<uint64_t>(kWaiters - 1));
+}
+
+TEST_F(RequestPipelineTest, QueuedSameShardMissesCoalesceIntoOneBatch) {
+  GateBackend gated(&backend_);
+  access::SharedAccessGroup group(
+      &gated, {.cache = {.capacity = 0, .num_shards = 4}});
+  RequestPipeline pipeline(&group, {.depth = 1, .max_batch = 8});
+
+  // A decoy fetch occupies the single worker at the gate (arrivals()==1
+  // certifies the worker POPPED it, so later submits can't join its batch).
+  std::thread decoy([&] { EXPECT_TRUE(pipeline.FetchShared(0).ok()); });
+  while (gated.arrivals() < 1) std::this_thread::yield();
+
+  // ...while 5 ids of ONE cache shard — a different shard than the decoy's,
+  // so they can't merge with it — pile up in that shard's queue.
+  const uint32_t decoy_shard = HistoryCache::ShardOf(0, 4);
+  std::vector<graph::NodeId> same_shard;
+  uint32_t target_shard = (decoy_shard + 1) % 4;
+  for (graph::NodeId v = 1; same_shard.size() < 5 && v < 256; ++v) {
+    if (HistoryCache::ShardOf(v, 4) == target_shard) {
+      same_shard.push_back(v);
+    }
+  }
+  ASSERT_EQ(same_shard.size(), 5u);
+  std::vector<std::thread> waiters;
+  for (graph::NodeId v : same_shard) {
+    waiters.emplace_back([&pipeline, v] {
+      EXPECT_TRUE(pipeline.FetchShared(v).ok());
+    });
+  }
+  while (pipeline.stats().submitted <
+         1u + static_cast<uint64_t>(same_shard.size())) {
+    std::this_thread::yield();
+  }
+  gated.Release(1'000'000);
+  decoy.join();
+  for (auto& waiter : waiters) waiter.join();
+
+  // The decoy went alone; the 5 same-shard ids rode one batched request.
+  RequestPipelineStats stats = pipeline.stats();
+  EXPECT_EQ(stats.wire_requests, 2u);
+  EXPECT_EQ(stats.wire_items, 6u);
+  std::vector<size_t> batches = gated.batch_sizes();
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0], 1u);
+  EXPECT_EQ(batches[1], 5u);
+  EXPECT_EQ(group.charged_queries(), 6u);  // batching saves time, not bill
+}
+
+TEST_F(RequestPipelineTest, BudgetRefusalIsTypedAndUnissued) {
+  access::SharedAccessGroup group(&backend_, {.query_budget = 2});
+  RequestPipeline pipeline(&group, {.depth = 1, .max_batch = 4});
+  EXPECT_TRUE(pipeline.FetchShared(1).ok());
+  EXPECT_TRUE(pipeline.FetchShared(2).ok());
+  auto refused = pipeline.FetchShared(3);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), util::StatusCode::kBudgetExhausted);
+  RequestPipelineStats stats = pipeline.stats();
+  EXPECT_EQ(stats.budget_refusals, 1u);
+  EXPECT_EQ(stats.wire_items, 2u);  // the refused id never hit the wire
+  EXPECT_EQ(group.charged_queries(), 2u);
+}
+
+TEST_F(RequestPipelineTest, ErrorsPropagateAndRefundTheCharge) {
+  access::SharedAccessGroup group(&backend_, {.query_budget = 5});
+  RequestPipeline pipeline(&group, {});
+  auto bad = pipeline.FetchShared(99'999);  // beyond the 256-node cycle
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), util::StatusCode::kOutOfRange);
+  // The failed fetch refunded its budget unit.
+  EXPECT_EQ(group.remaining_budget(), 5u);
+}
+
+TEST_F(RequestPipelineTest, DestructorDrainsQueuedFetches) {
+  GateBackend gated(&backend_);
+  access::SharedAccessGroup group(&gated);
+  std::vector<std::thread> waiters;
+  std::atomic<int> resolved{0};
+  {
+    RequestPipeline pipeline(&group, {.depth = 1, .max_batch = 2});
+    for (graph::NodeId v = 0; v < 6; ++v) {
+      waiters.emplace_back([&pipeline, &resolved, v] {
+        auto fetched = pipeline.FetchShared(v);
+        if (fetched.ok()) resolved.fetch_add(1);
+      });
+    }
+    while (pipeline.stats().submitted < 6u) std::this_thread::yield();
+    gated.Release(1'000'000);
+    // Destroy the pipeline while fetches may still be queued: the
+    // destructor must drain them (not drop them) before joining workers.
+  }
+  for (auto& waiter : waiters) waiter.join();
+  EXPECT_EQ(resolved.load(), 6);
+}
+
+}  // namespace
+}  // namespace histwalk::net

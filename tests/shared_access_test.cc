@@ -69,14 +69,32 @@ TEST_F(SharedAccessTest, GroupBudgetIsSharedAndClamps) {
   EXPECT_EQ(group.remaining_budget(), 0u);
   // A fresh fetch is refused for either view...
   EXPECT_EQ(a->Neighbors(3).status().code(),
-            util::StatusCode::kResourceExhausted);
+            util::StatusCode::kBudgetExhausted);
   EXPECT_EQ(b->Neighbors(3).status().code(),
-            util::StatusCode::kResourceExhausted);
+            util::StatusCode::kBudgetExhausted);
   // ...but shared history still answers, even for a node b never fetched.
   EXPECT_TRUE(b->Neighbors(0).ok());
   // The refused calls left accounting untouched.
   EXPECT_EQ(a->stats().total_queries, 2u);
   EXPECT_EQ(group.charged_queries(), 3u);
+}
+
+// Regression: the group-budget refusal must be the TYPED budget status, so
+// callers can tell "the shared quota ran out" (kBudgetExhausted) apart from
+// a per-access budget stop (kResourceExhausted) and from real errors.
+TEST_F(SharedAccessTest, GroupBudgetRefusalIsTypedBudgetExhausted) {
+  SharedAccessGroup group(&backend_, {.query_budget = 1});
+  auto view = group.MakeView();
+  EXPECT_TRUE(view->Neighbors(0).ok());
+  util::Status refusal = view->Neighbors(1).status();
+  EXPECT_EQ(refusal.code(), util::StatusCode::kBudgetExhausted);
+  EXPECT_NE(refusal.code(), util::StatusCode::kResourceExhausted);
+  EXPECT_TRUE(util::IsBudgetStop(refusal));
+  // The per-access budget (GraphAccess) keeps its own, distinct code.
+  GraphAccess budgeted(&graph_, nullptr, {.query_budget = 1});
+  EXPECT_TRUE(budgeted.Neighbors(0).ok());
+  EXPECT_EQ(budgeted.Neighbors(1).status().code(),
+            util::StatusCode::kResourceExhausted);
 }
 
 TEST_F(SharedAccessTest, EvictionForcesRecharge) {

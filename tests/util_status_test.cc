@@ -23,6 +23,8 @@ TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::ResourceExhausted("x").code(),
             StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::BudgetExhausted("x").code(),
+            StatusCode::kBudgetExhausted);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::NotFound("missing thing").message(), "missing thing");
 }
@@ -52,6 +54,11 @@ TEST(StatusCodeTest, EveryCodeHasAName) {
   EXPECT_EQ(StatusCodeName(StatusCode::kOutOfRange), "out_of_range");
   EXPECT_EQ(StatusCodeName(StatusCode::kFailedPrecondition),
             "failed_precondition");
+  EXPECT_EQ(StatusCodeName(StatusCode::kBudgetExhausted),
+            "budget_exhausted");
+  EXPECT_TRUE(IsBudgetStop(Status::BudgetExhausted("x")));
+  EXPECT_TRUE(IsBudgetStop(Status::ResourceExhausted("x")));
+  EXPECT_FALSE(IsBudgetStop(Status::Internal("x")));
   EXPECT_EQ(StatusCodeName(StatusCode::kResourceExhausted),
             "resource_exhausted");
   EXPECT_EQ(StatusCodeName(StatusCode::kInternal), "internal");
