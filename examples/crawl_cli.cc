@@ -1,7 +1,8 @@
 // Command-line crawler: run any sampler over an edge-list graph and report
 // the unbiased average-degree estimate plus convergence diagnostics.
 //
-//   crawl_cli <edges-file> [walker] [budget] [seed] [latency-us] [depth]
+//   crawl_cli [flags] <edges-file> [walker] [budget] [seed] [latency-us]
+//             [depth]
 //
 //     edges-file  SNAP-style "u v" lines ('#' comments allowed)
 //     walker      srw | mhrw | nbsrw | cnrw | cnrw-node | nbcnrw | gnrw
@@ -16,12 +17,29 @@
 //                 slots overlapped by the latency model AND the in-flight
 //                 bound of the request pipeline resolving cache misses
 //
+//   Persistence flags (any position; all optional):
+//     --load-history=F   restore the history cache from snapshot F before
+//                        crawling (missing file = clean cold start)
+//     --wal=F            journal every fetched neighbor list to WAL F as
+//                        the crawl runs, and replay F on startup — a crawl
+//                        killed mid-run resumes from exactly what it had
+//                        already paid for
+//     --save-history=F   fold the post-crawl cache into snapshot F (and
+//                        reset the WAL, if one is attached)
+//
+//   Because walks are deterministic given the seed and history only changes
+//   what is BILLED (never where the walk goes), a resumed crawl re-walks
+//   its paid-for prefix free of charge and its printed trace digest matches
+//   an uninterrupted crawl given the combined budget — scripts/
+//   resume_demo.sh pins exactly that.
+//
 // With no arguments, prints usage and runs a small self-demo so the binary
 // is exercised by "run everything" loops.
 
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "access/graph_access.h"
 #include "access/shared_access.h"
@@ -34,11 +52,21 @@
 #include "graph/io.h"
 #include "net/remote_backend.h"
 #include "net/request_pipeline.h"
+#include "store/format.h"
+#include "store/history_store.h"
+#include "util/md5.h"
 #include "util/random.h"
 
 namespace {
 
 using namespace histwalk;
+
+struct HistoryFlags {
+  std::string load;  // --load-history=
+  std::string save;  // --save-history=
+  std::string wal;   // --wal=
+  bool any() const { return !load.empty() || !save.empty() || !wal.empty(); }
+};
 
 util::Result<core::WalkerType> ParseWalker(const std::string& name) {
   if (name == "srw") return core::WalkerType::kSrw;
@@ -49,6 +77,18 @@ util::Result<core::WalkerType> ParseWalker(const std::string& name) {
   if (name == "nbcnrw") return core::WalkerType::kNbCnrw;
   if (name == "gnrw") return core::WalkerType::kGnrw;
   return util::Status::InvalidArgument("unknown walker: " + name);
+}
+
+// Content digest of the walk: where it went, what it saw. Identical digests
+// mean bit-identical traces — the resume demo's comparison key.
+std::string TraceDigest(const estimate::TracedWalk& trace) {
+  std::string bytes;
+  bytes.reserve(trace.nodes.size() * 8);
+  for (size_t i = 0; i < trace.nodes.size(); ++i) {
+    store::AppendU32(bytes, trace.nodes[i]);
+    store::AppendU32(bytes, trace.degrees[i]);
+  }
+  return util::Md5Hex(bytes);
 }
 
 int RunAndReport(core::Walker& walker, access::NodeAccess& access,
@@ -69,6 +109,7 @@ int RunAndReport(core::Walker& walker, access::NodeAccess& access,
             << "unique queries:    " << access.unique_query_count() << "\n"
             << "history bytes:     " << walker.HistoryBytes() << " (walker) + "
             << access.HistoryBytes() << " (access)\n"
+            << "trace digest:      " << TraceDigest(trace) << "\n"
             << "avg degree (est):  "
             << estimate::EstimateAverageDegree(trace.degrees, walker.bias())
             << "\n"
@@ -82,7 +123,8 @@ int RunAndReport(core::Walker& walker, access::NodeAccess& access,
 }
 
 int Crawl(const graph::Graph& graph, core::WalkerType type, uint64_t budget,
-          uint64_t seed, uint64_t latency_us, uint32_t depth) {
+          uint64_t seed, uint64_t latency_us, uint32_t depth,
+          const HistoryFlags& history) {
   std::cout << "graph: " << graph.DebugString() << "\n";
   std::unique_ptr<attr::Grouping> grouping;
   if (type == core::WalkerType::kGnrw) {
@@ -93,7 +135,7 @@ int Crawl(const graph::Graph& graph, core::WalkerType type, uint64_t budget,
   graph::NodeId start =
       static_cast<graph::NodeId>(start_rng.UniformIndex(graph.num_nodes()));
 
-  if (latency_us == 0) {
+  if (latency_us == 0 && !history.any()) {
     // In-memory access, the seed's behaviour.
     access::GraphAccess access(&graph, nullptr, {.query_budget = budget});
     auto walker = core::MakeWalker(spec, &access, seed);
@@ -104,85 +146,189 @@ int Crawl(const graph::Graph& graph, core::WalkerType type, uint64_t budget,
     return RunAndReport(**walker, access, start, budget);
   }
 
-  // Remote crawl: wire latency + pipelined miss resolution. The budget
-  // moves to the shared group (kBudgetExhausted stops the walk).
+  // Shared-group crawl: the budget moves to the group (kBudgetExhausted
+  // stops the walk), history lives in the group's cache — and optionally
+  // on disk, through an attached store.
   access::GraphAccess inner(&graph, nullptr);
-  net::RemoteBackend remote(&inner, {.seed = seed,
-                                     .base_latency_us = latency_us,
-                                     .jitter_us = latency_us / 2,
-                                     .max_in_flight = depth});
-  access::SharedAccessGroup group(&remote, {.query_budget = budget});
-  net::RequestPipeline pipeline(&group, {.depth = depth});
-  group.set_async_fetcher(&pipeline);
+  std::unique_ptr<net::RemoteBackend> remote;
+  const access::AccessBackend* backend = &inner;
+  if (latency_us > 0) {
+    remote = std::make_unique<net::RemoteBackend>(
+        &inner, net::LatencyModelOptions{.seed = seed,
+                                         .base_latency_us = latency_us,
+                                         .jitter_us = latency_us / 2,
+                                         .max_in_flight = depth});
+    backend = remote.get();
+  }
+  access::SharedAccessGroup group(backend, {.query_budget = budget});
+
+  std::unique_ptr<store::HistoryStore> history_store;
+  if (history.any()) {
+    std::string snapshot_path = !history.save.empty() ? history.save
+                                : !history.load.empty()
+                                    ? history.load
+                                    : history.wal + ".snap";
+    auto opened = store::HistoryStore::Open(
+        {.snapshot_path = snapshot_path,
+         .load_snapshot_path = history.load,
+         // Restoring is opt-in: --load-history names a snapshot, --wal
+         // implies full resume state (a checkpoint may have folded earlier
+         // records into the snapshot). --save-history alone stays a COLD
+         // crawl even when its target file already exists.
+         .load_snapshot = !history.load.empty() || !history.wal.empty(),
+         .wal_path = history.wal,
+         // The CLI folds explicitly at exit via --save-history; a crawl
+         // that only journals keeps its WAL intact for the next resume.
+         .checkpoint_wal_bytes = 0});
+    if (!opened.ok()) {
+      std::cerr << "history store: " << opened.status() << "\n";
+      return 1;
+    }
+    history_store = *std::move(opened);
+    if (auto status = history_store->LoadInto(group.cache()); !status.ok()) {
+      std::cerr << "history load: " << status << "\n";
+      return 1;
+    }
+    store::HistoryStoreStats stats = history_store->stats();
+    std::cout << "history restored:  " << stats.loaded_snapshot_entries
+              << " snapshot entries + " << stats.replayed_wal_records
+              << " wal records"
+              << (stats.recovered_torn_tail ? "  (recovered torn wal tail)"
+                                            : "")
+              << "\n";
+    group.set_history_journal(history_store.get());
+  }
+
+  std::unique_ptr<net::RequestPipeline> pipeline;
+  if (latency_us > 0) {
+    pipeline = std::make_unique<net::RequestPipeline>(
+        &group, net::RequestPipelineOptions{.depth = depth});
+    group.set_async_fetcher(pipeline.get());
+  }
+  auto cleanup = [&] {
+    group.set_async_fetcher(nullptr);
+    pipeline.reset();
+    group.set_history_journal(nullptr);
+  };
+
   auto view = group.MakeView();
   auto walker = core::MakeWalker(spec, view.get(), seed);
   if (!walker.ok()) {
     std::cerr << walker.status() << "\n";
-    group.set_async_fetcher(nullptr);
+    cleanup();
     return 1;
   }
   int rc = RunAndReport(**walker, *view, start, budget);
-  net::RemoteBackendStats wire = remote.stats();
-  std::cout << "sim wall-clock:    " << wire.sim_elapsed_us / 1000.0
-            << " ms  (" << wire.requests << " wire requests, depth " << depth
-            << ")\n";
-  if (depth > 1) {
-    std::cout << "                   (open-loop model: depth > 1 assumes "
-                 "requests ready to overlap;\n                   a single "
-                 "serial walker cannot actually keep " << depth
-              << " in flight)\n";
+  std::cout << "charged queries:   " << group.charged_queries()
+            << " (group budget " << budget << ")\n";
+  if (remote != nullptr) {
+    net::RemoteBackendStats wire = remote->stats();
+    std::cout << "sim wall-clock:    " << wire.sim_elapsed_us / 1000.0
+              << " ms  (" << wire.requests << " wire requests, depth "
+              << depth << ")\n";
+    if (depth > 1) {
+      std::cout << "                   (open-loop model: depth > 1 assumes "
+                   "requests ready to overlap;\n                   a single "
+                   "serial walker cannot actually keep " << depth
+                << " in flight)\n";
+    }
   }
-  group.set_async_fetcher(nullptr);
+  cleanup();
+  if (history_store != nullptr) {
+    if (!history.save.empty()) {
+      if (auto status = history_store->Checkpoint(group.cache());
+          !status.ok()) {
+        std::cerr << "history save: " << status << "\n";
+        return 1;
+      }
+    } else if (auto status = history_store->Flush(); !status.ok()) {
+      std::cerr << "history flush: " << status << "\n";
+      return 1;
+    }
+    store::HistoryStoreStats stats = history_store->stats();
+    std::cout << "history persisted: " << stats.appended_records
+              << " wal records appended, " << stats.checkpoints
+              << " snapshot(s) written\n";
+    if (!history_store->last_error().ok()) {
+      std::cerr << "history journal errors: " << history_store->last_error()
+                << "\n";
+      return 1;
+    }
+  }
   return rc;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::cout << "usage: crawl_cli <edges-file> "
+  HistoryFlags history;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--load-history=", 0) == 0) {
+      history.load = arg.substr(15);
+    } else if (arg.rfind("--save-history=", 0) == 0) {
+      history.save = arg.substr(15);
+    } else if (arg.rfind("--wal=", 0) == 0) {
+      history.wal = arg.substr(6);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return 1;
+    } else {
+      args.push_back(std::move(arg));
+    }
+  }
+
+  if (args.empty()) {
+    std::cout << "usage: crawl_cli [flags] <edges-file> "
                  "[srw|mhrw|nbsrw|cnrw|cnrw-node|nbcnrw|gnrw] [budget] "
                  "[seed] [latency-us] [depth]\n\n"
                  "  latency-us > 0 simulates a remote service (per-request "
                  "wire latency,\n  virtual clock) and depth > 1 overlaps "
                  "that many in-flight requests.\n\n"
+                 "  --load-history=F / --wal=F / --save-history=F persist "
+                 "the history cache\n  across crawls (snapshot + "
+                 "write-ahead log); see scripts/resume_demo.sh.\n\n"
                  "No file given — running a self-demo on a generated "
                  "small-world graph\n(in-memory, then remote at 50ms "
                  "latency, depth 4).\n\n";
     util::Random rng(99);
     graph::Graph demo = graph::MakeWattsStrogatz(2000, 8, 0.1, rng);
     int rc = Crawl(demo, core::WalkerType::kCnrw, 500, 1, /*latency_us=*/0,
-                   /*depth=*/1);
+                   /*depth=*/1, HistoryFlags{});
     if (rc != 0) return rc;
     std::cout << "\n-- remote self-demo (50ms +/- 25ms, depth 4) --\n";
     return Crawl(demo, core::WalkerType::kCnrw, 500, 1,
-                 /*latency_us=*/50'000, /*depth=*/4);
+                 /*latency_us=*/50'000, /*depth=*/4, HistoryFlags{});
   }
 
-  auto graph = graph::ReadEdgeList(argv[1]);
+  auto graph = graph::ReadEdgeList(args[0]);
   if (!graph.ok()) {
     std::cerr << graph.status() << "\n";
     return 1;
   }
   core::WalkerType type = core::WalkerType::kCnrw;
-  if (argc > 2) {
-    auto parsed = ParseWalker(argv[2]);
+  if (args.size() > 1) {
+    auto parsed = ParseWalker(args[1]);
     if (!parsed.ok()) {
       std::cerr << parsed.status() << "\n";
       return 1;
     }
     type = *parsed;
   }
-  uint64_t budget = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1000;
-  uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
-  uint64_t latency_us = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 0;
-  uint32_t depth = argc > 6
+  uint64_t budget =
+      args.size() > 2 ? std::strtoull(args[2].c_str(), nullptr, 10) : 1000;
+  uint64_t seed =
+      args.size() > 3 ? std::strtoull(args[3].c_str(), nullptr, 10) : 1;
+  uint64_t latency_us =
+      args.size() > 4 ? std::strtoull(args[4].c_str(), nullptr, 10) : 0;
+  uint32_t depth = args.size() > 5
                        ? static_cast<uint32_t>(
-                             std::strtoull(argv[6], nullptr, 10))
+                             std::strtoull(args[5].c_str(), nullptr, 10))
                        : 1;
   if (budget == 0) {
     std::cerr << "budget must be positive\n";
     return 1;
   }
-  return Crawl(*graph, type, budget, seed, latency_us, depth);
+  return Crawl(*graph, type, budget, seed, latency_us, depth, history);
 }

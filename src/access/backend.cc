@@ -1,12 +1,27 @@
 #include "access/backend.h"
 
+#include <unordered_map>
+
 namespace histwalk::access {
 
 std::vector<util::Result<std::span<const graph::NodeId>>>
 AccessBackend::FetchNeighborsBatch(std::span<const graph::NodeId> ids) const {
   std::vector<util::Result<std::span<const graph::NodeId>>> results;
   results.reserve(ids.size());
-  for (graph::NodeId v : ids) results.push_back(FetchNeighbors(v));
+  // Deduplicate within the batch: each distinct id costs exactly one
+  // FetchNeighbors call, and repeated ids share the first occurrence's
+  // result (success or failure alike). Callers charge budget per underlying
+  // fetch, so a sloppy batch can never double-charge one node.
+  std::unordered_map<graph::NodeId, size_t> first_slot;
+  first_slot.reserve(ids.size());
+  for (graph::NodeId v : ids) {
+    auto [it, is_new] = first_slot.try_emplace(v, results.size());
+    if (is_new) {
+      results.push_back(FetchNeighbors(v));
+    } else {
+      results.push_back(results[it->second]);
+    }
+  }
   return results;
 }
 

@@ -39,7 +39,9 @@ class AccessBackend {
   // Fetches several neighbor lists at once, positionally aligned with
   // `ids`. Transports with a multi-get endpoint (net::RemoteBackend) carry
   // the whole batch in ONE wire request; the default implementation loops
-  // over FetchNeighbors, one request per id. Per-id failures land in the
+  // over FetchNeighbors, one request per DISTINCT id — repeated ids within
+  // a batch share the first occurrence's result, so a batch never costs
+  // (or budget-charges) the same node twice. Per-id failures land in the
   // corresponding slot without failing the rest of the batch. Must be safe
   // to call concurrently.
   virtual std::vector<util::Result<std::span<const graph::NodeId>>>

@@ -48,13 +48,13 @@ HistoryCache::Entry HistoryCache::Get(graph::NodeId v) {
   return it->second.entry;
 }
 
-HistoryCache::Entry HistoryCache::Put(graph::NodeId v,
-                                      std::span<const graph::NodeId> neighbors) {
-  Shard& shard = shards_[ShardOf(v, num_shards_)];
-  std::lock_guard<std::mutex> lock(shard.mu);
+HistoryCache::Entry HistoryCache::PutLocked(
+    Shard& shard, graph::NodeId v, std::span<const graph::NodeId> neighbors,
+    bool* inserted) {
   auto it = shard.map.find(v);
   if (it != shard.map.end()) {
     // Lost a fetch race with another walker; keep the resident entry.
+    if (inserted != nullptr) *inserted = false;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
     return it->second.entry;
   }
@@ -73,7 +73,55 @@ HistoryCache::Entry HistoryCache::Put(graph::NodeId v,
   shard.map.emplace(v, Slot{entry, shard.lru.begin()});
   shard.bytes += EntryBytes(*entry);
   ++shard.insertions;
+  if (inserted != nullptr) *inserted = true;
   return entry;
+}
+
+HistoryCache::Entry HistoryCache::Put(graph::NodeId v,
+                                      std::span<const graph::NodeId> neighbors,
+                                      bool* inserted) {
+  Shard& shard = shards_[ShardOf(v, num_shards_)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return PutLocked(shard, v, neighbors, inserted);
+}
+
+std::vector<HistoryCache::ExportedEntry> HistoryCache::ExportShard(
+    uint32_t shard_index) const {
+  HW_CHECK(shard_index < num_shards_);
+  const Shard& shard = shards_[shard_index];
+  std::vector<ExportedEntry> out;
+  std::lock_guard<std::mutex> lock(shard.mu);
+  out.reserve(shard.map.size());
+  // Walk the LRU list tail-to-front so the export reads least-recently-used
+  // first (the Put() replay order that reconstructs the list).
+  for (auto it = shard.lru.rbegin(); it != shard.lru.rend(); ++it) {
+    auto slot = shard.map.find(*it);
+    HW_DCHECK(slot != shard.map.end());
+    out.push_back(ExportedEntry{*it, slot->second.entry});
+  }
+  return out;
+}
+
+uint64_t HistoryCache::BulkPut(std::span<const ImportEntry> entries) {
+  // Group by shard first so each touched shard's lock is taken once, then
+  // insert each group in its original order (preserving LRU reconstruction
+  // for per-shard inputs).
+  std::vector<std::vector<size_t>> by_shard(num_shards_);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    by_shard[ShardOf(entries[i].node, num_shards_)].push_back(i);
+  }
+  uint64_t new_entries = 0;
+  for (uint32_t s = 0; s < num_shards_; ++s) {
+    if (by_shard[s].empty()) continue;
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (size_t i : by_shard[s]) {
+      bool inserted = false;
+      PutLocked(shard, entries[i].node, entries[i].neighbors, &inserted);
+      if (inserted) ++new_entries;
+    }
+  }
+  return new_entries;
 }
 
 bool HistoryCache::Contains(graph::NodeId v) const {

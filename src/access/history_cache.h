@@ -71,7 +71,11 @@ class HistoryCache {
   // Stores the response for `v`, evicting the shard's LRU tail if the shard
   // is full. If `v` is already resident the existing entry is returned
   // unchanged (idempotent under concurrent double-fetch). Thread-safe.
-  Entry Put(graph::NodeId v, std::span<const graph::NodeId> neighbors);
+  // `inserted`, when non-null, reports whether this call created a new
+  // entry (false = the id was already resident) — the signal the journaling
+  // layer uses to log each response exactly once.
+  Entry Put(graph::NodeId v, std::span<const graph::NodeId> neighbors,
+            bool* inserted = nullptr);
 
   // Membership probe with no stats or LRU side effects.
   bool Contains(graph::NodeId v) const;
@@ -108,6 +112,38 @@ class HistoryCache {
   // never on run order or platform.
   static uint32_t ShardOf(graph::NodeId v, uint32_t num_shards);
 
+  // ---- export/import seam (the store layer's view of the cache) ----------
+
+  // One exported cache entry: the node id and a pinned handle to its
+  // neighbor list (valid even if the entry is evicted after the export).
+  struct ExportedEntry {
+    graph::NodeId node;
+    Entry neighbors;
+  };
+
+  // Point-in-time snapshot of one shard, taken under that shard's lock, so
+  // it is internally consistent even while other threads insert. Entries
+  // come out least-recently-used first: replaying them through Put() in
+  // order reconstructs the shard's exact LRU order (each Put pushes to the
+  // front). Shards are exported independently, so a whole-cache export
+  // under concurrent writers is a per-shard-consistent prefix, not a global
+  // point-in-time snapshot — the same contract as stats().
+  std::vector<ExportedEntry> ExportShard(uint32_t shard) const;
+
+  // A (node, neighbors) pair headed into the cache from a store load.
+  struct ImportEntry {
+    graph::NodeId node;
+    std::span<const graph::NodeId> neighbors;
+  };
+
+  // Bulk insert with Put() semantics (idempotent per id, evicting, counted
+  // as insertions so the entries == insertions - evictions identity is
+  // preserved). Entries are grouped by shard and each shard's group lands
+  // under a single lock acquisition, in the order given — feed a shard's
+  // ExportShard() output to reproduce its LRU order exactly. Returns the
+  // number of entries that were actually new. Thread-safe.
+  uint64_t BulkPut(std::span<const ImportEntry> entries);
+
  private:
   struct Slot {
     Entry entry;
@@ -125,6 +161,10 @@ class HistoryCache {
   };
 
   static uint64_t EntryBytes(const std::vector<graph::NodeId>& neighbors);
+
+  // Insert under an already-held shard lock (shared by Put and BulkPut).
+  Entry PutLocked(Shard& shard, graph::NodeId v,
+                  std::span<const graph::NodeId> neighbors, bool* inserted);
 
   HistoryCacheOptions options_;
   uint32_t num_shards_;

@@ -1,6 +1,7 @@
 #include "access/shared_access.h"
 
 #include "access/async_fetcher.h"
+#include "access/history_journal.h"
 #include "util/check.h"
 
 namespace histwalk::access {
@@ -25,6 +26,19 @@ uint64_t SharedAccessGroup::remaining_budget() const {
 void SharedAccessGroup::ResetAll() {
   cache_.Clear();
   charged_.store(0, std::memory_order_relaxed);
+}
+
+HistoryCache::Entry SharedAccessGroup::StoreFetched(
+    graph::NodeId v, std::span<const graph::NodeId> neighbors) {
+  bool inserted = false;
+  HistoryCache::Entry entry = cache_.Put(v, neighbors, &inserted);
+  // Journal only genuinely new entries: a Put that lost a concurrent
+  // double-fetch race was already logged by the winner.
+  if (inserted && journal_ != nullptr) {
+    journal_->OnCacheInsert(v, std::span<const graph::NodeId>(*entry),
+                            cache_);
+  }
+  return entry;
 }
 
 bool SharedAccessGroup::TryCharge() {
@@ -83,7 +97,7 @@ util::Result<std::span<const graph::NodeId>> SharedAccess::Neighbors(
       group_->RefundCharge();
       return fetched.status();
     }
-    entry = group_->cache_.Put(v, *fetched);
+    entry = group_->StoreFetched(v, *fetched);
     ++charged_fetches_;
   }
   AccountServed(v);

@@ -51,6 +51,7 @@
 namespace histwalk::access {
 
 class AsyncFetcher;
+class HistoryJournal;
 class SharedAccess;
 
 struct SharedAccessOptions {
@@ -95,12 +96,29 @@ class SharedAccessGroup {
   void set_async_fetcher(AsyncFetcher* fetcher) { fetcher_ = fetcher; }
   AsyncFetcher* async_fetcher() const { return fetcher_; }
 
+  // Attaches (or detaches, with nullptr) a durable-history journal
+  // (store::HistoryStore): every backend response newly inserted into the
+  // shared cache is announced to it, from whichever thread fetched it.
+  // The journal must outlive the attachment. Like set_async_fetcher, not
+  // synchronized against in-flight Neighbors() calls — attach/detach only
+  // while no walker is running.
+  void set_history_journal(HistoryJournal* journal) { journal_ = journal; }
+  HistoryJournal* history_journal() const { return journal_; }
+
   // Budget hooks for fetch-executing clients (views' synchronous miss path
   // and net::RequestPipeline): claim one unit of fetch budget before a
   // backend fetch — false means the group quota refused it — and refund it
   // if the fetch itself fails.
   bool TryCharge();
   void RefundCharge() { charged_.fetch_sub(1, std::memory_order_relaxed); }
+
+  // The single insert funnel for fetched responses: stores `neighbors`
+  // under `v` in the shared cache and, when this call created a new entry,
+  // notifies the attached journal. Both miss paths (the views' synchronous
+  // fetch and the request pipeline's batch completion) go through here so
+  // an attached store sees every response exactly once. Thread-safe.
+  HistoryCache::Entry StoreFetched(graph::NodeId v,
+                                   std::span<const graph::NodeId> neighbors);
 
  private:
   friend class SharedAccess;
@@ -110,6 +128,7 @@ class SharedAccessGroup {
   HistoryCache cache_;
   std::atomic<uint64_t> charged_{0};
   AsyncFetcher* fetcher_ = nullptr;
+  HistoryJournal* journal_ = nullptr;
 };
 
 class SharedAccess final : public NodeAccess {

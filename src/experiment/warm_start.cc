@@ -1,0 +1,195 @@
+#include "experiment/warm_start.h"
+
+#include <filesystem>
+
+#include "access/graph_access.h"
+#include "estimate/ensemble_runner.h"
+#include "estimate/estimators.h"
+#include "metrics/divergence.h"
+#include "net/remote_backend.h"
+#include "store/snapshot.h"
+#include "util/random.h"
+
+namespace histwalk::experiment {
+namespace {
+
+struct MeasuredRun {
+  double relative_error = 0.0;
+  bool has_error = false;
+  uint64_t wire_requests = 0;
+  uint64_t charged_queries = 0;
+  uint64_t sim_wall_us = 0;
+};
+
+}  // namespace
+
+WarmStartResult RunWarmStart(const Dataset& dataset,
+                             const WarmStartConfig& config) {
+  HW_CHECK(!config.step_budgets.empty());
+  HW_CHECK(config.trials > 0);
+  HW_CHECK(config.warmup_steps > 0);
+
+  WarmStartResult result;
+  result.dataset_name = dataset.name;
+  result.walker_name = config.walker.DisplayName();
+  result.estimand_name = config.estimand.DisplayName();
+
+  attr::AttrId attr = attr::kInvalidAttr;
+  if (!config.estimand.attribute.empty()) {
+    auto found = dataset.attributes.Find(config.estimand.attribute);
+    HW_CHECK_MSG(found.ok(), "estimand attribute missing from dataset");
+    attr = *found;
+    result.ground_truth = dataset.attributes.Mean(attr);
+  } else {
+    result.ground_truth = dataset.graph.AverageDegree();
+  }
+
+  core::StationaryBias bias = core::StationaryBias::kDegreeProportional;
+  {
+    access::GraphAccess probe_access(&dataset.graph, &dataset.attributes);
+    auto probe = core::MakeWalker(config.walker, &probe_access, /*seed=*/0);
+    HW_CHECK_MSG(probe.ok(), "invalid walker spec for warm-start experiment");
+    bias = (*probe)->bias();
+  }
+
+  std::string snapshot_path = config.snapshot_path;
+  if (snapshot_path.empty()) {
+    snapshot_path = (std::filesystem::temp_directory_path() /
+                     ("histwalk_warm_start_" + std::to_string(config.seed) +
+                      ".hwss"))
+                        .string();
+  }
+
+  // Runs one phase-2 measurement crawl over a group whose cache is already
+  // in whatever state the caller arranged (empty = cold, loaded = warm).
+  auto measure = [&](access::SharedAccessGroup& group,
+                     net::RemoteBackend& remote, uint64_t steps,
+                     uint64_t run_seed) {
+    MeasuredRun measured;
+    auto run = estimate::RunEnsembleAsync(
+        group, config.walker,
+        {.num_walkers = config.ensemble_size,
+         .seed = run_seed,
+         .max_steps = steps},
+        {.depth = config.pipeline_depth, .max_batch = config.max_batch});
+    HW_CHECK_MSG(run.ok(), "warm-start ensemble run failed");
+    estimate::MergedSamples merged = run->Merged();
+    if (!merged.nodes.empty()) {
+      std::vector<double> f(merged.nodes.size());
+      for (size_t t = 0; t < merged.nodes.size(); ++t) {
+        f[t] = attr == attr::kInvalidAttr
+                   ? static_cast<double>(merged.degrees[t])
+                   : dataset.attributes.Value(merged.nodes[t], attr);
+      }
+      double estimate = estimate::EstimateMean(f, merged.degrees, bias);
+      measured.relative_error =
+          metrics::RelativeError(estimate, result.ground_truth);
+      measured.has_error = true;
+    }
+    measured.wire_requests = run->pipeline_stats.wire_requests;
+    measured.charged_queries = run->charged_queries;
+    measured.sim_wall_us = remote.sim_now_us();
+    return measured;
+  };
+
+  result.points.resize(config.step_budgets.size());
+  for (size_t p = 0; p < config.step_budgets.size(); ++p) {
+    result.points[p].steps_per_walker = config.step_budgets[p];
+  }
+
+  for (uint32_t trial = 0; trial < config.trials; ++trial) {
+    // ---- phase 1: warm-up crawl, persisted through the store ------------
+    net::LatencyModelOptions latency = config.latency;
+    latency.seed = util::SubSeed(config.seed, 0x3a7d + trial);
+    latency.max_in_flight = config.pipeline_depth;
+    {
+      access::GraphAccess inner(&dataset.graph, &dataset.attributes);
+      net::RemoteBackend remote(&inner, latency);
+      access::SharedAccessGroup group(
+          &remote, {.cache = {.num_shards = config.cache_shards}});
+      auto warmup = estimate::RunEnsembleAsync(
+          group, config.walker,
+          {.num_walkers = config.ensemble_size,
+           .seed = util::SubSeed(config.seed, 0x77a1 + trial),
+           .max_steps = config.warmup_steps},
+          {.depth = config.pipeline_depth, .max_batch = config.max_batch});
+      HW_CHECK_MSG(warmup.ok(), "warm-up crawl failed");
+      auto written = store::WriteSnapshot(group.cache(), snapshot_path);
+      HW_CHECK_MSG(written.ok(), "warm-start snapshot write failed");
+      result.snapshot_entries = written->entries;
+      result.snapshot_file_bytes = written->file_bytes;
+    }
+
+    // ---- phase 2: the second task, cold vs warm -------------------------
+    const uint64_t task_seed = util::SubSeed(config.seed, 0x52c9 + trial);
+    for (size_t p = 0; p < config.step_budgets.size(); ++p) {
+      const uint64_t steps = config.step_budgets[p];
+      WarmStartPoint& point = result.points[p];
+
+      access::GraphAccess cold_inner(&dataset.graph, &dataset.attributes);
+      net::RemoteBackend cold_remote(&cold_inner, latency);
+      access::SharedAccessGroup cold_group(
+          &cold_remote, {.cache = {.num_shards = config.cache_shards}});
+      MeasuredRun cold = measure(cold_group, cold_remote, steps, task_seed);
+
+      access::GraphAccess warm_inner(&dataset.graph, &dataset.attributes);
+      net::RemoteBackend warm_remote(&warm_inner, latency);
+      access::SharedAccessGroup warm_group(
+          &warm_remote, {.cache = {.num_shards = config.cache_shards}});
+      auto loaded = store::LoadSnapshot(snapshot_path, warm_group.cache());
+      HW_CHECK_MSG(loaded.ok(), "warm-start snapshot load failed");
+      MeasuredRun warm = measure(warm_group, warm_remote, steps, task_seed);
+
+      if (cold.has_error) point.cold_relative_error += cold.relative_error;
+      if (warm.has_error) point.warm_relative_error += warm.relative_error;
+      point.cold_wire_requests += static_cast<double>(cold.wire_requests);
+      point.warm_wire_requests += static_cast<double>(warm.wire_requests);
+      point.cold_charged_queries +=
+          static_cast<double>(cold.charged_queries);
+      point.warm_charged_queries +=
+          static_cast<double>(warm.charged_queries);
+      point.cold_sim_wall_seconds =
+          point.cold_sim_wall_seconds + cold.sim_wall_us / 1e6;
+      point.warm_sim_wall_seconds =
+          point.warm_sim_wall_seconds + warm.sim_wall_us / 1e6;
+    }
+  }
+
+  const double trials = static_cast<double>(config.trials);
+  for (WarmStartPoint& point : result.points) {
+    point.cold_relative_error /= trials;
+    point.warm_relative_error /= trials;
+    point.cold_wire_requests /= trials;
+    point.warm_wire_requests /= trials;
+    point.cold_charged_queries /= trials;
+    point.warm_charged_queries /= trials;
+    point.cold_sim_wall_seconds /= trials;
+    point.warm_sim_wall_seconds /= trials;
+    point.wire_savings =
+        point.cold_wire_requests > 0.0
+            ? 1.0 - point.warm_wire_requests / point.cold_wire_requests
+            : 0.0;
+  }
+  return result;
+}
+
+util::TextTable WarmStartTable(const WarmStartResult& result) {
+  util::TextTable table({"steps", "err_cold", "err_warm", "wire_cold",
+                         "wire_warm", "saved", "charged_cold", "charged_warm",
+                         "wall_cold_s", "wall_warm_s"});
+  for (const WarmStartPoint& point : result.points) {
+    table.AddRow({util::TextTable::Cell(uint64_t{point.steps_per_walker}),
+                  util::TextTable::Cell(point.cold_relative_error),
+                  util::TextTable::Cell(point.warm_relative_error),
+                  util::TextTable::Cell(point.cold_wire_requests, 6),
+                  util::TextTable::Cell(point.warm_wire_requests, 6),
+                  util::TextTable::Cell(point.wire_savings),
+                  util::TextTable::Cell(point.cold_charged_queries, 6),
+                  util::TextTable::Cell(point.warm_charged_queries, 6),
+                  util::TextTable::Cell(point.cold_sim_wall_seconds),
+                  util::TextTable::Cell(point.warm_sim_wall_seconds)});
+  }
+  return table;
+}
+
+}  // namespace histwalk::experiment

@@ -1,0 +1,90 @@
+#ifndef HISTWALK_EXPERIMENT_WARM_START_H_
+#define HISTWALK_EXPERIMENT_WARM_START_H_
+
+#include <string>
+#include <vector>
+
+#include "core/walker_factory.h"
+#include "experiment/datasets.h"
+#include "experiment/error_curve.h"
+#include "net/latency_model.h"
+#include "util/table.h"
+
+// The persistence experiment: what does YESTERDAY'S crawl buy TODAY'S?
+//
+// Phase 1 (warm-up) runs an ensemble crawl over the dataset behind a
+// latency-modelled remote service and persists the resulting HistoryCache
+// through a real store snapshot on disk. Phase 2 runs a SECOND, independent
+// sampling task (fresh seeds — a different question asked of the same
+// network) twice per step budget: cold (empty cache) and warm (cache
+// restored from the snapshot).
+//
+// Because walker traces never depend on cache state (the runner's
+// determinism contract), the cold and warm runs produce bit-identical
+// samples and therefore identical estimation error; what changes is the
+// bill: the warm crawl re-fetches nothing the snapshot already holds, so
+// it issues strictly fewer wire requests and finishes in less simulated
+// wall-clock at the SAME error — the paper's "history is an asset" claim,
+// measured across process lifetimes instead of within one walk.
+
+namespace histwalk::experiment {
+
+struct WarmStartConfig {
+  core::WalkerSpec walker;
+  // Phase-2 sweep: per-walker step budgets for the measured crawl.
+  std::vector<uint64_t> step_budgets = {100, 200, 400};
+  uint32_t ensemble_size = 8;
+  // Phase-1 warm-up crawl length per walker.
+  uint64_t warmup_steps = 600;
+  uint32_t trials = 3;
+  uint64_t seed = 1;
+  uint32_t pipeline_depth = 4;
+  uint32_t max_batch = 8;
+  uint32_t cache_shards = 8;
+  // Wire model (per-trial seeds derive from `seed`; max_in_flight is set
+  // to pipeline_depth).
+  net::LatencyModelOptions latency;
+  EstimandSpec estimand;
+  // Snapshot file the warmed history round-trips through; "" = a file in
+  // the system temp directory derived from `seed`. The file is rewritten
+  // per trial.
+  std::string snapshot_path;
+};
+
+// One step-budget row, averaged over trials. Cold/warm pairs share seeds,
+// so *_relative_error are equal by construction (asserted by the tests);
+// the wire columns are where history pays.
+struct WarmStartPoint {
+  uint64_t steps_per_walker = 0;
+  double cold_relative_error = 0.0;
+  double warm_relative_error = 0.0;
+  double cold_wire_requests = 0.0;
+  double warm_wire_requests = 0.0;
+  double cold_charged_queries = 0.0;
+  double warm_charged_queries = 0.0;
+  double cold_sim_wall_seconds = 0.0;
+  double warm_sim_wall_seconds = 0.0;
+  // 1 - warm/cold wire requests: fraction of the service bill history paid.
+  double wire_savings = 0.0;
+};
+
+struct WarmStartResult {
+  std::string dataset_name;
+  std::string walker_name;
+  std::string estimand_name;
+  double ground_truth = 0.0;
+  // Snapshot stats from the last trial's warm-up (entries / bytes).
+  uint64_t snapshot_entries = 0;
+  uint64_t snapshot_file_bytes = 0;
+  std::vector<WarmStartPoint> points;  // one per step budget
+};
+
+WarmStartResult RunWarmStart(const Dataset& dataset,
+                             const WarmStartConfig& config);
+
+// steps rows with paired cold/warm error, wire, charge and wall columns.
+util::TextTable WarmStartTable(const WarmStartResult& result);
+
+}  // namespace histwalk::experiment
+
+#endif  // HISTWALK_EXPERIMENT_WARM_START_H_

@@ -127,7 +127,9 @@ void RequestPipeline::ProcessBatch(const std::vector<graph::NodeId>& batch) {
     for (size_t i = 0; i < to_fetch.size(); ++i) {
       WireReply reply;
       if (results[i].ok()) {
-        reply.entry = group_->cache().Put(to_fetch[i], *results[i]);
+        // Insert through the group funnel so an attached HistoryJournal
+        // (durable store) sees pipeline-fetched responses too.
+        reply.entry = group_->StoreFetched(to_fetch[i], *results[i]);
       } else {
         group_->RefundCharge();
         reply.status = results[i].status();

@@ -1,0 +1,127 @@
+#ifndef HISTWALK_STORE_HISTORY_STORE_H_
+#define HISTWALK_STORE_HISTORY_STORE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "access/history_cache.h"
+#include "access/history_journal.h"
+#include "store/snapshot.h"
+#include "store/wal.h"
+
+// The durable history subsystem: one snapshot file + one WAL, managed
+// together. Attach a HistoryStore to a SharedAccessGroup
+// (group.set_history_journal(&store)) and every neighbor list the crawl
+// fetches — through the synchronous miss path or the request pipeline —
+// is journaled as it lands in the shared cache; LoadInto() rebuilds that
+// cache in a fresh process, so crawls resume across restarts and a second
+// sampling task starts warm (the paper's history reuse, made persistent).
+//
+// Recovery order (LoadInto): snapshot first, then WAL replay on top. Both
+// are idempotent inserts, so the WAL may overlap the snapshot (see
+// Checkpoint below) without harm. A missing snapshot or WAL is a clean
+// cold start, not an error.
+//
+// Checkpointing: once the WAL grows past `checkpoint_wal_bytes`, the store
+// folds the CURRENT cache contents into a fresh snapshot (atomic
+// tmp+rename) and truncates the WAL. Process-crash windows are safe by
+// construction:
+//   * crash before the rename       -> old snapshot + full WAL, as before;
+//   * crash after rename, before    -> new snapshot + stale WAL; replaying
+//     the WAL truncation               the stale WAL is idempotent.
+// (Like the WAL itself, this covers process death, not power loss: files
+// are flushed, never fsync'd — see the durability note in store/format.h.)
+//
+// Journal errors (disk full, ...) never fail the crawl: OnCacheInsert is
+// fire-and-forget by interface; failures are counted in stats() and the
+// first one is kept in last_error().
+
+namespace histwalk::store {
+
+struct HistoryStoreOptions {
+  // Snapshot written by Checkpoint() and loaded by LoadInto().
+  std::string snapshot_path;
+  // Separate read source for LoadInto(), when resuming FROM one file while
+  // checkpointing TO another; "" = snapshot_path.
+  std::string load_snapshot_path;
+  // false = LoadInto() skips the snapshot (WAL replay still runs): the
+  // store only WRITES snapshot_path. Lets a save-only caller reuse a path
+  // an earlier run wrote without silently warm-starting from it.
+  bool load_snapshot = true;
+  // "" disables the WAL entirely: the store is snapshot-only and durability
+  // is whatever the caller's explicit Checkpoint() calls provide.
+  std::string wal_path;
+  // Fold the WAL into a fresh snapshot once it exceeds this many bytes;
+  // 0 = never checkpoint automatically. The fold runs on the inserting
+  // thread under the journal lock (that is what makes it loss-free —
+  // see the comment in OnCacheInsert), so concurrent fetch completions
+  // stall for one snapshot write whenever the threshold trips; size it
+  // so folds are rare relative to the crawl.
+  uint64_t checkpoint_wal_bytes = 8ull * 1024 * 1024;
+  // See WalWriterOptions.
+  bool flush_each_append = true;
+  // Threads for parallel snapshot save/load (0 = hardware concurrency).
+  unsigned num_threads = 0;
+};
+
+struct HistoryStoreStats {
+  uint64_t loaded_snapshot_entries = 0;
+  uint64_t replayed_wal_records = 0;
+  uint64_t replayed_wal_inserted = 0;
+  bool recovered_torn_tail = false;
+  uint64_t appended_records = 0;
+  uint64_t append_failures = 0;
+  uint64_t checkpoints = 0;
+  uint64_t wal_bytes = 0;  // current WAL size (0 when the WAL is disabled)
+};
+
+class HistoryStore final : public access::HistoryJournal {
+ public:
+  // Opens (creating or repairing as needed) the WAL when configured.
+  // Refuses corrupt files with kDataLoss — recovery policy is the
+  // caller's call, never silent.
+  static util::Result<std::unique_ptr<HistoryStore>> Open(
+      HistoryStoreOptions options);
+
+  ~HistoryStore() override;  // flushes the WAL
+
+  // Rebuilds `cache` from the snapshot (if any) plus the WAL (if any).
+  // Tolerates a torn WAL tail (reported in stats()); fails with kDataLoss
+  // on interior corruption of either file.
+  util::Status LoadInto(access::HistoryCache& cache);
+
+  // access::HistoryJournal — called by the access layer for every new
+  // cache insert. Appends to the WAL and auto-checkpoints past the
+  // threshold. Thread-safe.
+  void OnCacheInsert(graph::NodeId v, std::span<const graph::NodeId> neighbors,
+                     access::HistoryCache& cache) override;
+
+  // Folds `cache` into a fresh snapshot now and truncates the WAL.
+  util::Status Checkpoint(const access::HistoryCache& cache);
+
+  util::Status Flush();
+
+  HistoryStoreStats stats() const;
+  // OK, or the first journaling failure since construction.
+  util::Status last_error() const;
+
+  const HistoryStoreOptions& options() const { return options_; }
+
+ private:
+  explicit HistoryStore(HistoryStoreOptions options);
+
+  util::Status CheckpointLocked(const access::HistoryCache& cache);
+  void RecordError(const util::Status& status);
+
+  HistoryStoreOptions options_;
+  std::unique_ptr<WalWriter> wal_;  // null when the WAL is disabled
+
+  mutable std::mutex mu_;  // serializes appends, checkpoints, stats
+  HistoryStoreStats stats_;
+  util::Status last_error_;
+};
+
+}  // namespace histwalk::store
+
+#endif  // HISTWALK_STORE_HISTORY_STORE_H_

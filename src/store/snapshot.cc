@@ -1,0 +1,230 @@
+#include "store/snapshot.h"
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "store/format.h"
+#include "util/crc32.h"
+#include "util/parallel.h"
+
+namespace histwalk::store {
+namespace {
+
+// header: magic, version, num_shards, reserved.
+constexpr size_t kHeaderBytes = 4 * 4;
+// per-shard directory row: offset u64, length u64, crc u32, entries u32.
+constexpr size_t kDirRowBytes = 8 + 8 + 4 + 4;
+
+struct DirRow {
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  uint32_t crc = 0;
+  uint32_t entries = 0;
+};
+
+// Parses and CRC-validates the header + directory. On success, `rows` holds
+// one entry per shard section and `meta` the header fields.
+util::Status ParseHeader(std::string_view data, const std::string& path,
+                         SnapshotMeta* meta, std::vector<DirRow>* rows) {
+  ByteReader reader(data);
+  uint32_t magic = 0;
+  uint32_t reserved = 0;
+  if (!reader.ReadU32(&magic) || magic != kSnapshotMagic) {
+    return util::Status::DataLoss("bad snapshot magic in " + path);
+  }
+  if (!reader.ReadU32(&meta->version)) {
+    return util::Status::DataLoss("truncated snapshot header in " + path);
+  }
+  if (meta->version != kFormatVersion) {
+    return util::Status::FailedPrecondition(
+        "unsupported snapshot version " + std::to_string(meta->version) +
+        " in " + path);
+  }
+  if (!reader.ReadU32(&meta->num_shards) || !reader.ReadU32(&reserved)) {
+    return util::Status::DataLoss("truncated snapshot header in " + path);
+  }
+  if (meta->num_shards == 0) {
+    return util::Status::DataLoss("snapshot declares zero shards: " + path);
+  }
+  rows->resize(meta->num_shards);
+  for (DirRow& row : *rows) {
+    if (!reader.ReadU64(&row.offset) || !reader.ReadU64(&row.length) ||
+        !reader.ReadU32(&row.crc) || !reader.ReadU32(&row.entries)) {
+      return util::Status::DataLoss("truncated snapshot directory in " + path);
+    }
+    meta->entries += row.entries;
+  }
+  const size_t covered = reader.position();
+  uint32_t header_crc = 0;
+  if (!reader.ReadU32(&header_crc)) {
+    return util::Status::DataLoss("missing snapshot header crc in " + path);
+  }
+  if (header_crc != util::Crc32(data.substr(0, covered))) {
+    return util::Status::DataLoss("snapshot header crc mismatch in " + path);
+  }
+  for (const DirRow& row : *rows) {
+    if (row.offset > data.size() || row.length > data.size() - row.offset) {
+      return util::Status::DataLoss("snapshot section out of bounds in " +
+                                    path);
+    }
+  }
+  meta->file_bytes = data.size();
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+util::Result<SnapshotMeta> WriteSnapshot(const access::HistoryCache& cache,
+                                         const std::string& path,
+                                         unsigned num_threads) {
+  const uint32_t num_shards = cache.num_shards();
+  std::vector<std::string> sections(num_shards);
+  std::vector<DirRow> rows(num_shards);
+
+  // Serialize every shard concurrently; each export takes only its own
+  // shard's lock, so a live cache keeps serving while we save.
+  util::ParallelFor(
+      num_shards,
+      [&](size_t s) {
+        std::string& section = sections[s];
+        std::vector<access::HistoryCache::ExportedEntry> entries =
+            cache.ExportShard(static_cast<uint32_t>(s));
+        for (const auto& entry : entries) {
+          AppendU32(section, entry.node);
+          AppendU32(section, static_cast<uint32_t>(entry.neighbors->size()));
+          for (graph::NodeId neighbor : *entry.neighbors) {
+            AppendU32(section, neighbor);
+          }
+        }
+        rows[s].length = section.size();
+        rows[s].crc = util::Crc32(section);
+        rows[s].entries = static_cast<uint32_t>(entries.size());
+      },
+      num_threads);
+
+  uint64_t offset = kHeaderBytes + num_shards * kDirRowBytes + 4 /*hdr crc*/;
+  SnapshotMeta meta;
+  meta.version = kFormatVersion;
+  meta.num_shards = num_shards;
+  for (DirRow& row : rows) {
+    row.offset = offset;
+    offset += row.length;
+    meta.entries += row.entries;
+  }
+  meta.file_bytes = offset;
+
+  std::string header;
+  header.reserve(kHeaderBytes + num_shards * kDirRowBytes + 4);
+  AppendU32(header, kSnapshotMagic);
+  AppendU32(header, kFormatVersion);
+  AppendU32(header, num_shards);
+  AppendU32(header, 0);  // reserved
+  for (const DirRow& row : rows) {
+    AppendU64(header, row.offset);
+    AppendU64(header, row.length);
+    AppendU32(header, row.crc);
+    AppendU32(header, row.entries);
+  }
+  AppendU32(header, util::Crc32(header));
+
+  // Write to a sibling temp file and rename so `path` is always a complete
+  // snapshot (old or new), never a torn one.
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return util::Status::Internal("cannot open " + tmp_path +
+                                    " for writing");
+    }
+    out.write(header.data(), static_cast<std::streamsize>(header.size()));
+    for (const std::string& section : sections) {
+      out.write(section.data(), static_cast<std::streamsize>(section.size()));
+    }
+    out.flush();
+    if (!out.good()) {
+      return util::Status::Internal("write failed for " + tmp_path);
+    }
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    return util::Status::Internal("rename failed for " + path);
+  }
+  return meta;
+}
+
+util::Result<SnapshotMeta> LoadSnapshot(const std::string& path,
+                                        access::HistoryCache& cache,
+                                        unsigned num_threads) {
+  HW_ASSIGN_OR_RETURN(std::string data, ReadFileBytes(path, "snapshot"));
+  SnapshotMeta meta;
+  std::vector<DirRow> rows;
+  HW_RETURN_IF_ERROR(ParseHeader(data, path, &meta, &rows));
+
+  // Verify and insert sections concurrently. Different sections touch
+  // different key ranges; BulkPut is thread-safe either way.
+  std::vector<util::Status> statuses(rows.size());
+  util::ParallelFor(
+      rows.size(),
+      [&](size_t s) {
+        const DirRow& row = rows[s];
+        std::string_view section(data.data() + row.offset, row.length);
+        if (util::Crc32(section) != row.crc) {
+          statuses[s] = util::Status::DataLoss(
+              "snapshot section " + std::to_string(s) + " crc mismatch in " +
+              path);
+          return;
+        }
+        // Decode into owned neighbor storage, then bulk-insert the shard's
+        // entries in their on-disk (LRU reconstruction) order.
+        std::vector<std::vector<graph::NodeId>> neighbor_lists;
+        std::vector<access::HistoryCache::ImportEntry> imports;
+        neighbor_lists.reserve(row.entries);
+        imports.reserve(row.entries);
+        ByteReader reader(section);
+        for (uint32_t i = 0; i < row.entries; ++i) {
+          uint32_t node = 0;
+          uint32_t degree = 0;
+          if (!reader.ReadU32(&node) || !reader.ReadU32(&degree)) {
+            statuses[s] = util::Status::DataLoss(
+                "snapshot section " + std::to_string(s) +
+                " truncated mid-entry in " + path);
+            return;
+          }
+          std::vector<graph::NodeId> neighbors(degree);
+          bool ok = true;
+          for (uint32_t d = 0; d < degree && (ok = reader.ReadU32(&neighbors[d]));
+               ++d) {
+          }
+          if (!ok) {
+            statuses[s] = util::Status::DataLoss(
+                "snapshot entry payload truncated in " + path);
+            return;
+          }
+          neighbor_lists.push_back(std::move(neighbors));
+          imports.push_back(
+              {node, std::span<const graph::NodeId>(neighbor_lists.back())});
+        }
+        if (reader.remaining() != 0) {
+          statuses[s] = util::Status::DataLoss(
+              "snapshot section " + std::to_string(s) +
+              " has trailing bytes in " + path);
+          return;
+        }
+        cache.BulkPut(imports);
+      },
+      num_threads);
+  for (const util::Status& status : statuses) {
+    HW_RETURN_IF_ERROR(status);
+  }
+  return meta;
+}
+
+util::Result<SnapshotMeta> InspectSnapshot(const std::string& path) {
+  HW_ASSIGN_OR_RETURN(std::string data, ReadFileBytes(path, "snapshot"));
+  SnapshotMeta meta;
+  std::vector<DirRow> rows;
+  HW_RETURN_IF_ERROR(ParseHeader(data, path, &meta, &rows));
+  return meta;
+}
+
+}  // namespace histwalk::store

@@ -1,0 +1,31 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace histwalk::util {
+namespace {
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data, uint32_t crc) {
+  static const std::array<uint32_t, 256> kTable = BuildTable();
+  crc = ~crc;
+  for (unsigned char byte : data) {
+    crc = kTable[(crc ^ byte) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace histwalk::util

@@ -1,0 +1,21 @@
+#ifndef HISTWALK_UTIL_CRC32_H_
+#define HISTWALK_UTIL_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), implemented from scratch like
+// util/md5. The store layer checksums every snapshot section and WAL record
+// with it: cheap enough to run on the append path, strong enough to catch
+// the torn writes and bit rot the crash-safety contract promises to surface
+// as kDataLoss. Not a cryptographic hash.
+
+namespace histwalk::util {
+
+// CRC of `data`, optionally continuing from a previous CRC so large buffers
+// can be checksummed in pieces: Crc32(b, Crc32(a)) == Crc32(ab).
+uint32_t Crc32(std::string_view data, uint32_t crc = 0);
+
+}  // namespace histwalk::util
+
+#endif  // HISTWALK_UTIL_CRC32_H_

@@ -18,6 +18,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "resource_exhausted";
     case StatusCode::kBudgetExhausted:
       return "budget_exhausted";
+    case StatusCode::kDataLoss:
+      return "data_loss";
     case StatusCode::kInternal:
       return "internal";
   }

@@ -24,6 +24,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kResourceExhausted,  // e.g. a query budget has been spent
   kBudgetExhausted,    // a shared (group-level) fetch budget refused the call
+  kDataLoss,           // a durable file is corrupt or unrecoverably truncated
   kInternal,
 };
 
@@ -57,6 +58,9 @@ class Status {
   static Status BudgetExhausted(std::string msg) {
     return Status(StatusCode::kBudgetExhausted, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
@@ -85,6 +89,14 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 inline bool IsBudgetStop(const Status& status) {
   return status.code() == StatusCode::kResourceExhausted ||
          status.code() == StatusCode::kBudgetExhausted;
+}
+
+// True when a durable store file (snapshot, WAL) failed validation — bad
+// magic, checksum mismatch, or a truncation the reader cannot repair. The
+// store layer guarantees corruption surfaces as this code rather than as
+// silently wrong cache contents.
+inline bool IsDataLoss(const Status& status) {
+  return status.code() == StatusCode::kDataLoss;
 }
 
 // Result<T> is either a value or a non-OK Status (never both).

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "access/graph_access.h"
 #include "access/rate_limiter.h"
 #include "graph/generators.h"
@@ -193,6 +195,67 @@ TEST_F(GraphAccessTest, HistoryBytesTracksMembershipBits) {
   GraphAccess access(&graph_, &attrs_);
   // One bit per node, rounded up to bytes: 6 nodes -> 1 byte.
   EXPECT_EQ(access.HistoryBytes(), 1u);
+}
+
+// AccessBackend wrapper that counts underlying FetchNeighbors calls, for
+// pinning the default batch implementation's dedup behaviour.
+class CountingBackend final : public AccessBackend {
+ public:
+  explicit CountingBackend(const AccessBackend* inner) : inner_(inner) {}
+
+  util::Result<std::span<const graph::NodeId>> FetchNeighbors(
+      graph::NodeId v) const override {
+    ++fetches_;
+    return inner_->FetchNeighbors(v);
+  }
+  util::Result<double> FetchAttribute(graph::NodeId v,
+                                      attr::AttrId attr) const override {
+    return inner_->FetchAttribute(v, attr);
+  }
+  util::Result<uint32_t> FetchSummaryDegree(graph::NodeId v) const override {
+    return inner_->FetchSummaryDegree(v);
+  }
+  uint64_t num_nodes() const override { return inner_->num_nodes(); }
+  std::string name() const override { return "counting"; }
+
+  uint64_t fetches() const { return fetches_; }
+
+ private:
+  const AccessBackend* inner_;
+  mutable uint64_t fetches_ = 0;
+};
+
+TEST_F(GraphAccessTest, DefaultBatchDeduplicatesRepeatedIds) {
+  GraphAccess inner(&graph_, &attrs_);
+  CountingBackend backend(&inner);
+  std::vector<graph::NodeId> ids = {0, 1, 0, 2, 1, 0};
+  auto results = backend.FetchNeighborsBatch(ids);
+  ASSERT_EQ(results.size(), ids.size());
+  // One underlying fetch per distinct id, not per slot.
+  EXPECT_EQ(backend.fetches(), 3u);
+  // Every slot is still positionally aligned and correctly filled.
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << "slot " << i;
+    auto direct = inner.FetchNeighbors(ids[i]);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_TRUE(std::equal(results[i]->begin(), results[i]->end(),
+                           direct->begin(), direct->end()))
+        << "slot " << i;
+  }
+}
+
+TEST_F(GraphAccessTest, DefaultBatchSharesFailureAcrossDuplicates) {
+  GraphAccess inner(&graph_, &attrs_);
+  CountingBackend backend(&inner);
+  graph::NodeId bad = static_cast<graph::NodeId>(graph_.num_nodes());
+  std::vector<graph::NodeId> ids = {bad, 0, bad};
+  auto results = backend.FetchNeighborsBatch(ids);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(backend.fetches(), 2u);  // bad fetched once, 0 fetched once
+  EXPECT_FALSE(results[0].ok());
+  EXPECT_TRUE(results[1].ok());
+  EXPECT_FALSE(results[2].ok());
+  EXPECT_EQ(results[2].status().code(), results[0].status().code());
 }
 
 TEST(RateLimiterTest, RecordQueryAcrossWindowBoundaries) {

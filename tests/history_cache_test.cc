@@ -214,6 +214,113 @@ TEST(HistoryCacheTest, StatsSnapshotConsistentUnderConcurrentWriters) {
   EXPECT_LE(final_stats.entries, max_resident);
 }
 
+TEST(HistoryCacheTest, PutReportsWhetherEntryWasNew) {
+  HistoryCache cache({.capacity = 0, .num_shards = 2});
+  bool inserted = false;
+  cache.Put(1, List({2, 3}), &inserted);
+  EXPECT_TRUE(inserted);
+  cache.Put(1, List({2, 3}), &inserted);
+  EXPECT_FALSE(inserted);  // resident: the journaling layer must not relog
+  cache.Put(2, List({1}), &inserted);
+  EXPECT_TRUE(inserted);
+}
+
+TEST(HistoryCacheTest, ExportShardReadsLeastRecentlyUsedFirst) {
+  HistoryCache cache({.capacity = 0, .num_shards = 1});
+  cache.Put(1, List({10}));
+  cache.Put(2, List({20}));
+  cache.Put(3, List({30}));
+  EXPECT_NE(cache.Get(1), nullptr);  // refresh 1: LRU order is now 2, 3, 1
+  std::vector<HistoryCache::ExportedEntry> exported = cache.ExportShard(0);
+  ASSERT_EQ(exported.size(), 3u);
+  EXPECT_EQ(exported[0].node, 2u);
+  EXPECT_EQ(exported[1].node, 3u);
+  EXPECT_EQ(exported[2].node, 1u);
+  EXPECT_EQ(*exported[0].neighbors, List({20}));
+}
+
+TEST(HistoryCacheTest, ExportThenBulkPutReconstructsLruOrder) {
+  HistoryCache source({.capacity = 0, .num_shards = 1});
+  source.Put(1, List({10}));
+  source.Put(2, List({20}));
+  source.Put(3, List({30}));
+  EXPECT_NE(source.Get(2), nullptr);  // LRU order (old -> new): 1, 3, 2
+
+  std::vector<HistoryCache::ExportedEntry> exported = source.ExportShard(0);
+  std::vector<HistoryCache::ImportEntry> imports;
+  for (const auto& e : exported) {
+    imports.push_back({e.node, std::span<const graph::NodeId>(*e.neighbors)});
+  }
+  // Replay into a cache too small for everything: the LRU tail must be the
+  // same entry the source would evict next (node 1).
+  HistoryCache bounded({.capacity = 2, .num_shards = 1});
+  bounded.BulkPut(imports);
+  EXPECT_FALSE(bounded.Contains(1));
+  EXPECT_TRUE(bounded.Contains(3));
+  EXPECT_TRUE(bounded.Contains(2));
+
+  // Replay into a same-shape cache: contents and order round-trip exactly.
+  HistoryCache restored({.capacity = 0, .num_shards = 1});
+  EXPECT_EQ(restored.BulkPut(imports), 3u);
+  std::vector<HistoryCache::ExportedEntry> replayed = restored.ExportShard(0);
+  ASSERT_EQ(replayed.size(), exported.size());
+  for (size_t i = 0; i < exported.size(); ++i) {
+    EXPECT_EQ(replayed[i].node, exported[i].node);
+    EXPECT_EQ(*replayed[i].neighbors, *exported[i].neighbors);
+  }
+  EXPECT_EQ(restored.stats().insertions, 3u);
+  EXPECT_EQ(restored.stats().entries, 3u);
+}
+
+TEST(HistoryCacheTest, BulkPutIsIdempotentAndCountsNewEntriesOnly) {
+  HistoryCache cache({.capacity = 0, .num_shards = 4});
+  std::vector<graph::NodeId> a = List({1, 2});
+  std::vector<graph::NodeId> b = List({3});
+  std::vector<HistoryCache::ImportEntry> imports = {
+      {10, std::span<const graph::NodeId>(a)},
+      {11, std::span<const graph::NodeId>(b)},
+      {10, std::span<const graph::NodeId>(a)},  // duplicate within the batch
+  };
+  EXPECT_EQ(cache.BulkPut(imports), 2u);
+  EXPECT_EQ(cache.BulkPut(imports), 0u);  // all resident now
+  EXPECT_EQ(cache.stats().insertions, 2u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(HistoryCacheTest, ExportShardIsConsistentUnderConcurrentWriters) {
+  HistoryCache cache({.capacity = 0, .num_shards = 4});
+  constexpr uint32_t kWriters = 4;
+  constexpr graph::NodeId kPerWriter = 500;
+  std::atomic<bool> stop{false};
+  std::vector<std::vector<HistoryCache::ExportedEntry>> exports;
+  util::ParallelFor(kWriters + 1, [&](size_t task) {
+    if (task < kWriters) {
+      for (graph::NodeId i = 0; i < kPerWriter; ++i) {
+        graph::NodeId v = static_cast<graph::NodeId>(task) * kPerWriter + i;
+        cache.Put(v, List({v, v + 1}));
+      }
+      stop.store(true, std::memory_order_relaxed);
+    } else {
+      // Export every shard repeatedly while the writers run; every view
+      // must be internally consistent (ids unique, payloads correct).
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (uint32_t s = 0; s < cache.num_shards(); ++s) {
+          exports.push_back(cache.ExportShard(s));
+        }
+      }
+    }
+  });
+  for (const auto& view : exports) {
+    std::vector<bool> seen(kWriters * kPerWriter, false);
+    for (const auto& e : view) {
+      ASSERT_LT(e.node, kWriters * kPerWriter);
+      EXPECT_FALSE(seen[e.node]) << "duplicate node in one shard export";
+      seen[e.node] = true;
+      EXPECT_EQ(*e.neighbors, List({e.node, e.node + 1}));
+    }
+  }
+}
+
 TEST(HistoryCacheTest, ZeroShardOptionClampsToOne) {
   HistoryCache cache({.capacity = 2, .num_shards = 0});
   EXPECT_EQ(cache.num_shards(), 1u);

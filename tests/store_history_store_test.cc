@@ -1,0 +1,286 @@
+#include "store/history_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "access/graph_access.h"
+#include "access/shared_access.h"
+#include "core/walker_factory.h"
+#include "estimate/ensemble_runner.h"
+#include "estimate/walk_runner.h"
+#include "graph/generators.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace histwalk::store {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  std::string path = testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+graph::Graph TestGraph() {
+  util::Random rng(7);
+  return graph::MakeWattsStrogatz(/*n=*/600, /*k=*/6, /*beta=*/0.15, rng);
+}
+
+// Walks `steps` CNRW steps over a group with an attached store, returning
+// the trace. `budget` 0 = unlimited.
+estimate::TracedWalk CrawlOnce(const graph::Graph& graph,
+                               access::SharedAccessGroup& group,
+                               uint64_t seed, uint64_t steps) {
+  auto view = group.MakeView();
+  auto walker =
+      core::MakeWalker({.type = core::WalkerType::kCnrw}, view.get(), seed);
+  EXPECT_TRUE(walker.ok());
+  util::Random start_rng(seed ^ 0x5bd1e995u);
+  graph::NodeId start =
+      static_cast<graph::NodeId>(start_rng.UniformIndex(graph.num_nodes()));
+  EXPECT_TRUE((*walker)->Reset(start).ok());
+  return estimate::TraceWalk(**walker, {.max_steps = steps});
+}
+
+TEST(HistoryStoreTest, JournalsSyncMissesAndRebuildsAcrossProcesses) {
+  const std::string snap = TempPath("hs_sync.hwss");
+  const std::string wal = TempPath("hs_sync.hwwl");
+  graph::Graph graph = TestGraph();
+
+  uint64_t first_entries = 0;
+  {
+    // "Process 1": crawl with an attached store, then exit WITHOUT an
+    // explicit save — the WAL alone must carry the history.
+    auto store = HistoryStore::Open(
+        {.snapshot_path = snap, .wal_path = wal, .checkpoint_wal_bytes = 0});
+    ASSERT_TRUE(store.ok()) << store.status();
+    access::GraphAccess backend(&graph, nullptr);
+    access::SharedAccessGroup group(&backend, {});
+    group.set_history_journal(store->get());
+    CrawlOnce(graph, group, /*seed=*/3, /*steps=*/800);
+    group.set_history_journal(nullptr);
+    first_entries = group.cache().stats().entries;
+    EXPECT_GT(first_entries, 0u);
+    EXPECT_EQ((*store)->stats().appended_records, first_entries);
+  }
+  {
+    // "Process 2": a fresh store over the same files rebuilds the cache.
+    auto store = HistoryStore::Open(
+        {.snapshot_path = snap, .wal_path = wal, .checkpoint_wal_bytes = 0});
+    ASSERT_TRUE(store.ok()) << store.status();
+    access::HistoryCache cache({.num_shards = 8});
+    ASSERT_TRUE((*store)->LoadInto(cache).ok());
+    EXPECT_EQ(cache.stats().entries, first_entries);
+    EXPECT_EQ((*store)->stats().replayed_wal_records, first_entries);
+    EXPECT_EQ((*store)->stats().loaded_snapshot_entries, 0u);
+  }
+}
+
+TEST(HistoryStoreTest, JournalsPipelineFetchesToo) {
+  const std::string snap = TempPath("hs_pipe.hwss");
+  const std::string wal = TempPath("hs_pipe.hwwl");
+  graph::Graph graph = TestGraph();
+
+  auto store = HistoryStore::Open(
+      {.snapshot_path = snap, .wal_path = wal, .checkpoint_wal_bytes = 0});
+  ASSERT_TRUE(store.ok()) << store.status();
+  access::GraphAccess backend(&graph, nullptr);
+  access::SharedAccessGroup group(&backend, {.cache = {.num_shards = 8}});
+  group.set_history_journal(store->get());
+  auto run = estimate::RunEnsembleAsync(
+      group, {.type = core::WalkerType::kCnrw},
+      {.num_walkers = 4, .seed = 11, .max_steps = 200},
+      {.depth = 4, .max_batch = 8});
+  ASSERT_TRUE(run.ok()) << run.status();
+  group.set_history_journal(nullptr);
+
+  // Every entry the pipeline inserted was journaled exactly once.
+  EXPECT_EQ((*store)->stats().appended_records, group.cache().stats().entries);
+  EXPECT_EQ((*store)->stats().append_failures, 0u);
+  EXPECT_TRUE((*store)->last_error().ok());
+
+  access::HistoryCache rebuilt({.num_shards = 8});
+  ASSERT_TRUE((*store)->LoadInto(rebuilt).ok());
+  EXPECT_EQ(rebuilt.stats().entries, group.cache().stats().entries);
+}
+
+TEST(HistoryStoreTest, AutoCheckpointFoldsWalIntoSnapshot) {
+  const std::string snap = TempPath("hs_ckpt.hwss");
+  const std::string wal = TempPath("hs_ckpt.hwwl");
+  graph::Graph graph = TestGraph();
+
+  auto store = HistoryStore::Open({.snapshot_path = snap,
+                                   .wal_path = wal,
+                                   // Tiny threshold: force several folds.
+                                   .checkpoint_wal_bytes = 2048});
+  ASSERT_TRUE(store.ok()) << store.status();
+  access::GraphAccess backend(&graph, nullptr);
+  access::SharedAccessGroup group(&backend, {});
+  group.set_history_journal(store->get());
+  CrawlOnce(graph, group, /*seed=*/5, /*steps=*/1200);
+  group.set_history_journal(nullptr);
+
+  HistoryStoreStats stats = (*store)->stats();
+  EXPECT_GT(stats.checkpoints, 0u);
+  EXPECT_LT(stats.wal_bytes, 2048u + 512u);  // compacted, not growing forever
+
+  // Snapshot + residual WAL together still reproduce the full history.
+  auto reopened = HistoryStore::Open(
+      {.snapshot_path = snap, .wal_path = wal, .checkpoint_wal_bytes = 0});
+  ASSERT_TRUE(reopened.ok());
+  access::HistoryCache rebuilt({.num_shards = 8});
+  ASSERT_TRUE((*reopened)->LoadInto(rebuilt).ok());
+  EXPECT_EQ(rebuilt.stats().entries, group.cache().stats().entries);
+  EXPECT_GT((*reopened)->stats().loaded_snapshot_entries, 0u);
+}
+
+TEST(HistoryStoreTest, StaleWalOverSnapshotReplaysIdempotently) {
+  // The documented crash window: snapshot renamed, WAL truncation never
+  // happened. Loading must tolerate the full overlap.
+  const std::string snap = TempPath("hs_stale.hwss");
+  const std::string wal = TempPath("hs_stale.hwwl");
+  graph::Graph graph = TestGraph();
+
+  auto store = HistoryStore::Open(
+      {.snapshot_path = snap, .wal_path = wal, .checkpoint_wal_bytes = 0});
+  ASSERT_TRUE(store.ok());
+  access::GraphAccess backend(&graph, nullptr);
+  access::SharedAccessGroup group(&backend, {});
+  group.set_history_journal(store->get());
+  CrawlOnce(graph, group, /*seed=*/9, /*steps=*/600);
+  group.set_history_journal(nullptr);
+  // Snapshot the cache WITHOUT resetting the WAL (simulated crash window).
+  ASSERT_TRUE(WriteSnapshot(group.cache(), snap).ok());
+
+  auto reopened = HistoryStore::Open(
+      {.snapshot_path = snap, .wal_path = wal, .checkpoint_wal_bytes = 0});
+  ASSERT_TRUE(reopened.ok());
+  access::HistoryCache rebuilt({.num_shards = 8});
+  ASSERT_TRUE((*reopened)->LoadInto(rebuilt).ok());
+  EXPECT_EQ(rebuilt.stats().entries, group.cache().stats().entries);
+  // Replay found every WAL record already resident.
+  EXPECT_EQ((*reopened)->stats().replayed_wal_inserted, 0u);
+}
+
+TEST(HistoryStoreTest, LoadSnapshotFalseSkipsSnapshotButReplaysWal) {
+  const std::string snap = TempPath("hs_noload.hwss");
+  const std::string wal = TempPath("hs_noload.hwwl");
+  graph::Graph graph = TestGraph();
+
+  // Seed the files: a journaled crawl folded into a snapshot, plus a
+  // fresh WAL record afterwards.
+  auto store = HistoryStore::Open(
+      {.snapshot_path = snap, .wal_path = wal, .checkpoint_wal_bytes = 0});
+  ASSERT_TRUE(store.ok());
+  access::GraphAccess backend(&graph, nullptr);
+  access::SharedAccessGroup group(&backend, {});
+  group.set_history_journal(store->get());
+  CrawlOnce(graph, group, /*seed=*/4, /*steps=*/200);
+  ASSERT_TRUE((*store)->Checkpoint(group.cache()).ok());
+  CrawlOnce(graph, group, /*seed=*/6, /*steps=*/50);  // post-fold records
+  group.set_history_journal(nullptr);
+  const uint64_t post_fold = (*store)->stats().wal_bytes;
+  ASSERT_GT(post_fold, 8u);  // something landed after the reset
+
+  // A save-only consumer of the same paths must come up COLD on the
+  // snapshot (it only writes it) while the WAL still replays.
+  auto save_only = HistoryStore::Open({.snapshot_path = snap,
+                                       .load_snapshot = false,
+                                       .wal_path = wal,
+                                       .checkpoint_wal_bytes = 0});
+  ASSERT_TRUE(save_only.ok());
+  access::HistoryCache cache({.num_shards = 8});
+  ASSERT_TRUE((*save_only)->LoadInto(cache).ok());
+  EXPECT_EQ((*save_only)->stats().loaded_snapshot_entries, 0u);
+  EXPECT_GT((*save_only)->stats().replayed_wal_records, 0u);
+  EXPECT_LT(cache.stats().entries, group.cache().stats().entries);
+}
+
+TEST(HistoryStoreTest, SnapshotOnlyStoreNeedsNoWal) {
+  const std::string snap = TempPath("hs_snaponly.hwss");
+  graph::Graph graph = TestGraph();
+  auto store = HistoryStore::Open({.snapshot_path = snap, .wal_path = ""});
+  ASSERT_TRUE(store.ok());
+
+  access::GraphAccess backend(&graph, nullptr);
+  access::SharedAccessGroup group(&backend, {});
+  group.set_history_journal(store->get());  // journaling is a no-op
+  CrawlOnce(graph, group, /*seed=*/2, /*steps=*/300);
+  group.set_history_journal(nullptr);
+  EXPECT_EQ((*store)->stats().appended_records, 0u);
+  ASSERT_TRUE((*store)->Checkpoint(group.cache()).ok());
+
+  access::HistoryCache rebuilt({.num_shards = 8});
+  ASSERT_TRUE((*store)->LoadInto(rebuilt).ok());
+  EXPECT_EQ(rebuilt.stats().entries, group.cache().stats().entries);
+}
+
+// The resume acceptance property: a crawl cut by a spent budget, resumed in
+// a "new process" from the persisted history with the same seed and the
+// same per-run budget, produces a merged trace bit-identical to an
+// uninterrupted crawl given the combined budget — while re-paying nothing
+// for the prefix.
+TEST(HistoryStoreTest, ResumedCrawlMatchesUninterruptedTrace) {
+  const std::string snap = TempPath("hs_resume.hwss");
+  const std::string wal = TempPath("hs_resume.hwwl");
+  graph::Graph graph = TestGraph();
+  constexpr uint64_t kBudget = 80;
+  constexpr uint64_t kSeed = 21;
+  constexpr uint64_t kMaxSteps = 100000;
+
+  // Run 1: budget-limited crawl, journaled; "dies" when the budget is cut.
+  estimate::TracedWalk first;
+  {
+    auto store = HistoryStore::Open(
+        {.snapshot_path = snap, .wal_path = wal, .checkpoint_wal_bytes = 0});
+    ASSERT_TRUE(store.ok());
+    access::GraphAccess backend(&graph, nullptr);
+    access::SharedAccessGroup group(&backend, {.query_budget = kBudget});
+    group.set_history_journal(store->get());
+    first = CrawlOnce(graph, group, kSeed, kMaxSteps);
+    group.set_history_journal(nullptr);
+    EXPECT_TRUE(util::IsBudgetStop(first.final_status)) << first.final_status;
+    EXPECT_EQ(group.charged_queries(), kBudget);
+  }
+
+  // Run 2 ("new process"): same seed, same budget, history restored.
+  estimate::TracedWalk resumed;
+  uint64_t resumed_charges = 0;
+  {
+    auto store = HistoryStore::Open(
+        {.snapshot_path = snap, .wal_path = wal, .checkpoint_wal_bytes = 0});
+    ASSERT_TRUE(store.ok());
+    access::GraphAccess backend(&graph, nullptr);
+    access::SharedAccessGroup group(&backend, {.query_budget = kBudget});
+    ASSERT_TRUE((*store)->LoadInto(group.cache()).ok());
+    EXPECT_EQ(group.cache().stats().entries, kBudget);
+    resumed = CrawlOnce(graph, group, kSeed, kMaxSteps);
+    resumed_charges = group.charged_queries();
+  }
+
+  // Reference: one uninterrupted crawl with the combined budget.
+  estimate::TracedWalk uninterrupted;
+  {
+    access::GraphAccess backend(&graph, nullptr);
+    access::SharedAccessGroup group(&backend,
+                                    {.query_budget = 2 * kBudget});
+    uninterrupted = CrawlOnce(graph, group, kSeed, kMaxSteps);
+  }
+
+  // Bit-identical resumed trace; the first run's prefix is its prefix.
+  EXPECT_EQ(resumed.nodes, uninterrupted.nodes);
+  EXPECT_EQ(resumed.degrees, uninterrupted.degrees);
+  ASSERT_LE(first.nodes.size(), resumed.nodes.size());
+  EXPECT_TRUE(std::equal(first.nodes.begin(), first.nodes.end(),
+                         resumed.nodes.begin()));
+  // And the resume paid only for NEW nodes: exactly its own budget, having
+  // re-walked the first run's coverage for free.
+  EXPECT_EQ(resumed_charges, kBudget);
+  EXPECT_GT(resumed.nodes.size(), first.nodes.size());
+}
+
+}  // namespace
+}  // namespace histwalk::store

@@ -1,0 +1,234 @@
+#include "store/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "store/format.h"
+#include "util/parallel.h"
+#include "util/status.h"
+
+namespace histwalk::store {
+namespace {
+
+using access::HistoryCache;
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::vector<graph::NodeId> List(std::initializer_list<graph::NodeId> ids) {
+  return std::vector<graph::NodeId>(ids);
+}
+
+// Full-cache export (all shards), for equality comparison.
+std::vector<std::vector<HistoryCache::ExportedEntry>> ExportAll(
+    const HistoryCache& cache) {
+  std::vector<std::vector<HistoryCache::ExportedEntry>> shards;
+  for (uint32_t s = 0; s < cache.num_shards(); ++s) {
+    shards.push_back(cache.ExportShard(s));
+  }
+  return shards;
+}
+
+void ExpectSameContents(const HistoryCache& a, const HistoryCache& b) {
+  ASSERT_EQ(a.num_shards(), b.num_shards());
+  auto ea = ExportAll(a);
+  auto eb = ExportAll(b);
+  for (uint32_t s = 0; s < a.num_shards(); ++s) {
+    ASSERT_EQ(ea[s].size(), eb[s].size()) << "shard " << s;
+    for (size_t i = 0; i < ea[s].size(); ++i) {
+      EXPECT_EQ(ea[s][i].node, eb[s][i].node) << "shard " << s << " slot " << i;
+      EXPECT_EQ(*ea[s][i].neighbors, *eb[s][i].neighbors);
+    }
+  }
+}
+
+TEST(SnapshotTest, RoundTripPreservesContentsOrderAndStats) {
+  const std::string path = TempPath("snap_roundtrip.hwss");
+  HistoryCache cache({.capacity = 0, .num_shards = 4});
+  for (graph::NodeId v = 0; v < 100; ++v) {
+    cache.Put(v, List({v + 1, v + 2, v + 3}));
+  }
+  // Touch a few entries so LRU order differs from insertion order.
+  EXPECT_NE(cache.Get(3), nullptr);
+  EXPECT_NE(cache.Get(17), nullptr);
+
+  auto written = WriteSnapshot(cache, path);
+  ASSERT_TRUE(written.ok()) << written.status();
+  EXPECT_EQ(written->entries, 100u);
+  EXPECT_EQ(written->num_shards, 4u);
+  EXPECT_EQ(written->version, kFormatVersion);
+
+  HistoryCache loaded({.capacity = 0, .num_shards = 4});
+  auto read = LoadSnapshot(path, loaded);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(read->entries, 100u);
+  ExpectSameContents(cache, loaded);
+
+  // Hit/miss-relevant behaviour: the loaded cache serves exactly the same
+  // ids, and its bookkeeping identity (entries == insertions) holds as for
+  // a cache that fetched everything itself.
+  EXPECT_EQ(loaded.stats().entries, 100u);
+  EXPECT_EQ(loaded.stats().insertions, 100u);
+  EXPECT_NE(loaded.Get(42), nullptr);
+  EXPECT_EQ(loaded.Get(1000), nullptr);
+  EXPECT_EQ(loaded.MemoryBytes(), cache.MemoryBytes());
+}
+
+TEST(SnapshotTest, SecondWriteIsByteIdenticalForSameCache) {
+  const std::string path_a = TempPath("snap_det_a.hwss");
+  const std::string path_b = TempPath("snap_det_b.hwss");
+  HistoryCache cache({.capacity = 0, .num_shards = 8});
+  for (graph::NodeId v = 0; v < 64; ++v) cache.Put(v, List({v, 2 * v}));
+  ASSERT_TRUE(WriteSnapshot(cache, path_a).ok());
+  ASSERT_TRUE(WriteSnapshot(cache, path_b).ok());
+  std::ifstream a(path_a, std::ios::binary), b(path_b, std::ios::binary);
+  std::string bytes_a((std::istreambuf_iterator<char>(a)),
+                      std::istreambuf_iterator<char>());
+  std::string bytes_b((std::istreambuf_iterator<char>(b)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(bytes_a, bytes_b);
+  EXPECT_FALSE(bytes_a.empty());
+}
+
+TEST(SnapshotTest, MissingFileIsNotFoundNotDataLoss) {
+  HistoryCache cache({.num_shards = 2});
+  auto read = LoadSnapshot(TempPath("snap_never_written.hwss"), cache);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), util::StatusCode::kNotFound);
+  EXPECT_FALSE(util::IsDataLoss(read.status()));
+}
+
+TEST(SnapshotTest, CorruptedSectionIsDataLoss) {
+  const std::string path = TempPath("snap_corrupt.hwss");
+  HistoryCache cache({.num_shards = 2});
+  for (graph::NodeId v = 0; v < 20; ++v) cache.Put(v, List({v + 1}));
+  ASSERT_TRUE(WriteSnapshot(cache, path).ok());
+
+  // Flip one byte in the payload area (past the header+directory).
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  bytes[bytes.size() - 5] ^= 0x40;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+
+  HistoryCache loaded({.num_shards = 2});
+  auto read = LoadSnapshot(path, loaded);
+  ASSERT_FALSE(read.ok());
+  EXPECT_TRUE(util::IsDataLoss(read.status())) << read.status();
+}
+
+TEST(SnapshotTest, TruncatedFileIsDataLoss) {
+  const std::string path = TempPath("snap_truncated.hwss");
+  HistoryCache cache({.num_shards = 2});
+  for (graph::NodeId v = 0; v < 20; ++v) cache.Put(v, List({v + 1}));
+  auto written = WriteSnapshot(cache, path);
+  ASSERT_TRUE(written.ok());
+
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(),
+            static_cast<std::streamsize>(bytes.size() - 12));
+  out.close();
+
+  HistoryCache loaded({.num_shards = 2});
+  auto read = LoadSnapshot(path, loaded);
+  ASSERT_FALSE(read.ok());
+  EXPECT_TRUE(util::IsDataLoss(read.status())) << read.status();
+}
+
+TEST(SnapshotTest, BadMagicIsDataLoss) {
+  const std::string path = TempPath("snap_bad_magic.hwss");
+  std::ofstream out(path, std::ios::binary);
+  out << "this is not a snapshot file at all, but it is long enough";
+  out.close();
+  HistoryCache cache({.num_shards = 2});
+  auto read = LoadSnapshot(path, cache);
+  ASSERT_FALSE(read.ok());
+  EXPECT_TRUE(util::IsDataLoss(read.status()));
+}
+
+TEST(SnapshotTest, InspectReportsMetaWithoutLoading) {
+  const std::string path = TempPath("snap_inspect.hwss");
+  HistoryCache cache({.num_shards = 4});
+  for (graph::NodeId v = 0; v < 10; ++v) cache.Put(v, List({v}));
+  ASSERT_TRUE(WriteSnapshot(cache, path).ok());
+  auto meta = InspectSnapshot(path);
+  ASSERT_TRUE(meta.ok()) << meta.status();
+  EXPECT_EQ(meta->entries, 10u);
+  EXPECT_EQ(meta->num_shards, 4u);
+}
+
+TEST(SnapshotTest, LoadIntoDifferentShardCountKeepsContents) {
+  const std::string path = TempPath("snap_reshard.hwss");
+  HistoryCache cache({.capacity = 0, .num_shards = 8});
+  for (graph::NodeId v = 0; v < 50; ++v) cache.Put(v, List({v, v + 7}));
+  ASSERT_TRUE(WriteSnapshot(cache, path).ok());
+
+  HistoryCache resharded({.capacity = 0, .num_shards = 3});
+  auto read = LoadSnapshot(path, resharded);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(resharded.stats().entries, 50u);
+  for (graph::NodeId v = 0; v < 50; ++v) {
+    auto entry = resharded.Get(v);
+    ASSERT_NE(entry, nullptr) << "node " << v;
+    EXPECT_EQ(*entry, List({v, v + 7}));
+  }
+}
+
+// The concurrent-save acceptance test: saving while walkers insert must
+// produce a loadable snapshot whose contents are a consistent prefix — every
+// entry correct, count between what was resident at save start and at save
+// end.
+TEST(SnapshotTest, SaveUnderConcurrentWritersYieldsConsistentPrefix) {
+  const std::string path = TempPath("snap_concurrent.hwss");
+  HistoryCache cache({.capacity = 0, .num_shards = 8});
+  constexpr graph::NodeId kPreload = 300;
+  constexpr graph::NodeId kTotal = 3000;
+  for (graph::NodeId v = 0; v < kPreload; ++v) {
+    cache.Put(v, List({v, v + 1}));
+  }
+
+  std::atomic<uint64_t> saved_entries{0};
+  util::ParallelFor(2, [&](size_t task) {
+    if (task == 0) {
+      for (graph::NodeId v = kPreload; v < kTotal; ++v) {
+        cache.Put(v, List({v, v + 1}));
+      }
+    } else {
+      auto written = WriteSnapshot(cache, path, /*num_threads=*/2);
+      ASSERT_TRUE(written.ok()) << written.status();
+      saved_entries.store(written->entries);
+    }
+  });
+
+  HistoryCache loaded({.capacity = 0, .num_shards = 8});
+  auto read = LoadSnapshot(path, loaded);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_GE(read->entries, kPreload);
+  EXPECT_LE(read->entries, kTotal);
+  EXPECT_EQ(read->entries, saved_entries.load());
+  // Every loaded entry is a correct, complete response — no torn payloads.
+  uint64_t found = 0;
+  for (graph::NodeId v = 0; v < kTotal; ++v) {
+    auto entry = loaded.Get(v);
+    if (entry == nullptr) continue;
+    ++found;
+    EXPECT_EQ(*entry, List({v, v + 1})) << "node " << v;
+  }
+  EXPECT_EQ(found, read->entries);
+}
+
+}  // namespace
+}  // namespace histwalk::store

@@ -25,6 +25,7 @@ TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
             StatusCode::kResourceExhausted);
   EXPECT_EQ(Status::BudgetExhausted("x").code(),
             StatusCode::kBudgetExhausted);
+  EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::NotFound("missing thing").message(), "missing thing");
 }
@@ -61,7 +62,22 @@ TEST(StatusCodeTest, EveryCodeHasAName) {
   EXPECT_FALSE(IsBudgetStop(Status::Internal("x")));
   EXPECT_EQ(StatusCodeName(StatusCode::kResourceExhausted),
             "resource_exhausted");
+  EXPECT_EQ(StatusCodeName(StatusCode::kDataLoss), "data_loss");
   EXPECT_EQ(StatusCodeName(StatusCode::kInternal), "internal");
+}
+
+TEST(StatusCodeTest, IsDataLossMatchesOnlyDataLoss) {
+  EXPECT_TRUE(IsDataLoss(Status::DataLoss("torn record")));
+  EXPECT_FALSE(IsDataLoss(Status::NotFound("no snapshot yet")));
+  EXPECT_FALSE(IsDataLoss(Status::Internal("x")));
+  EXPECT_FALSE(IsDataLoss(Status::Ok()));
+  // Data loss is a file-integrity failure, not a budget stop.
+  EXPECT_FALSE(IsBudgetStop(Status::DataLoss("x")));
+}
+
+TEST(StatusTest, DataLossToStringUsesCodeName) {
+  EXPECT_EQ(Status::DataLoss("wal crc mismatch").ToString(),
+            "data_loss: wal crc mismatch");
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -1,0 +1,66 @@
+#include "experiment/warm_start.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "experiment/datasets.h"
+
+namespace histwalk::experiment {
+namespace {
+
+// The acceptance property for the persistence subsystem, end to end: a
+// second crawl warmed from an on-disk snapshot issues strictly fewer wire
+// requests than a cold one at IDENTICAL estimation error (shared seeds =>
+// bit-identical traces), for every step budget.
+TEST(WarmStartTest, WarmCrawlSavesWireRequestsAtEqualError) {
+  Dataset dataset = BuildDataset(DatasetId::kFacebook);
+
+  WarmStartConfig config;
+  config.walker = {.type = core::WalkerType::kCnrw};
+  config.step_budgets = {60, 120};
+  config.ensemble_size = 4;
+  config.warmup_steps = 200;
+  config.trials = 2;
+  config.seed = 5;
+  config.pipeline_depth = 2;
+  config.max_batch = 4;
+  config.snapshot_path = testing::TempDir() + "/warm_start_test.hwss";
+  std::remove(config.snapshot_path.c_str());
+
+  WarmStartResult result = RunWarmStart(dataset, config);
+  EXPECT_GT(result.snapshot_entries, 0u);
+  EXPECT_GT(result.snapshot_file_bytes, 0u);
+  ASSERT_EQ(result.points.size(), 2u);
+  for (const WarmStartPoint& point : result.points) {
+    EXPECT_DOUBLE_EQ(point.warm_relative_error, point.cold_relative_error)
+        << "traces diverged at " << point.steps_per_walker << " steps";
+    EXPECT_LT(point.warm_wire_requests, point.cold_wire_requests)
+        << "no wire saving at " << point.steps_per_walker << " steps";
+    EXPECT_LE(point.warm_charged_queries, point.cold_charged_queries);
+    EXPECT_LT(point.warm_sim_wall_seconds, point.cold_sim_wall_seconds)
+        << "warm crawl was not faster at " << point.steps_per_walker
+        << " steps";
+    EXPECT_GT(point.wire_savings, 0.0);
+  }
+}
+
+TEST(WarmStartTest, TableHasOneRowPerStepBudget) {
+  Dataset dataset = BuildDataset(DatasetId::kClustered);
+  WarmStartConfig config;
+  config.walker = {.type = core::WalkerType::kSrw};
+  config.step_budgets = {40};
+  config.ensemble_size = 2;
+  config.warmup_steps = 80;
+  config.trials = 1;
+  config.seed = 9;
+  config.snapshot_path = testing::TempDir() + "/warm_start_table.hwss";
+  std::remove(config.snapshot_path.c_str());
+
+  WarmStartResult result = RunWarmStart(dataset, config);
+  util::TextTable table = WarmStartTable(result);
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace histwalk::experiment
