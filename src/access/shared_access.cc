@@ -8,7 +8,17 @@ namespace histwalk::access {
 
 SharedAccessGroup::SharedAccessGroup(const AccessBackend* backend,
                                      SharedAccessOptions options)
-    : backend_(backend), options_(options), cache_(options.cache) {
+    : backend_(backend),
+      options_(options),
+      owned_cache_(std::make_unique<HistoryCache>(options.cache)),
+      cache_(owned_cache_.get()) {
+  HW_CHECK(backend_ != nullptr);
+}
+
+SharedAccessGroup::SharedAccessGroup(const AccessBackend* backend,
+                                     HistoryCache& shared_cache,
+                                     SharedAccessOptions options)
+    : backend_(backend), options_(options), cache_(&shared_cache) {
   HW_CHECK(backend_ != nullptr);
 }
 
@@ -24,19 +34,19 @@ uint64_t SharedAccessGroup::remaining_budget() const {
 }
 
 void SharedAccessGroup::ResetAll() {
-  cache_.Clear();
+  cache_->Clear();
   charged_.store(0, std::memory_order_relaxed);
 }
 
 HistoryCache::Entry SharedAccessGroup::StoreFetched(
     graph::NodeId v, std::span<const graph::NodeId> neighbors) {
   bool inserted = false;
-  HistoryCache::Entry entry = cache_.Put(v, neighbors, &inserted);
+  HistoryCache::Entry entry = cache_->Put(v, neighbors, &inserted);
   // Journal only genuinely new entries: a Put that lost a concurrent
   // double-fetch race was already logged by the winner.
   if (inserted && journal_ != nullptr) {
     journal_->OnCacheInsert(v, std::span<const graph::NodeId>(*entry),
-                            cache_);
+                            *cache_);
   }
   return entry;
 }
@@ -76,7 +86,7 @@ util::Result<std::span<const graph::NodeId>> SharedAccess::Neighbors(
   if (v >= num_nodes()) {
     return util::Status::OutOfRange("unknown node id");
   }
-  HistoryCache::Entry entry = group_->cache_.Get(v);
+  HistoryCache::Entry entry = group_->cache_->Get(v);
   if (entry == nullptr && group_->fetcher_ != nullptr) {
     // Async miss path: the attached fetcher batches / deduplicates this
     // fetch with the other walkers' outstanding misses; budget charging

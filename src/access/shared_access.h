@@ -19,7 +19,10 @@
 // communal state — one AccessBackend, one bounded HistoryCache, one global
 // fetch budget — and mints per-walker SharedAccess views. Each view is a
 // full NodeAccess, so every existing walker runs unmodified on shared
-// history.
+// history. A group can instead run over an EXTERNAL cache owned by a
+// longer-lived service (the shared-cache constructor below): that is how
+// service::SamplingService shares one history across many tenant groups
+// while each group keeps its own budget and billing.
 //
 // Accounting is split across the two levels so both stay exact:
 //
@@ -63,7 +66,20 @@ struct SharedAccessOptions {
 class SharedAccessGroup {
  public:
   // `backend` must outlive the group; the group must outlive its views.
+  // The group owns its HistoryCache (built from options.cache).
   SharedAccessGroup(const AccessBackend* backend,
+                    SharedAccessOptions options = {});
+
+  // The cross-tenant seam: the group runs over `shared_cache` instead of
+  // owning one (options.cache is ignored). Several groups — one per tenant
+  // of a service::SamplingService — can share a single cache this way:
+  // each keeps its OWN fetch budget and charge counter (per-tenant
+  // billing), while any response one tenant fetched is history for all of
+  // them. `shared_cache` must outlive the group (taken by reference, not
+  // pointer, so a braced `{}` can never silently select this overload).
+  // Note that ResetAll() clears the SHARED cache — never call it while
+  // other groups are using the cache.
+  SharedAccessGroup(const AccessBackend* backend, HistoryCache& shared_cache,
                     SharedAccessOptions options = {});
 
   SharedAccessGroup(const SharedAccessGroup&) = delete;
@@ -74,8 +90,10 @@ class SharedAccessGroup {
   std::unique_ptr<SharedAccess> MakeView();
 
   const AccessBackend* backend() const { return backend_; }
-  HistoryCache& cache() { return cache_; }
-  const HistoryCache& cache() const { return cache_; }
+  HistoryCache& cache() { return *cache_; }
+  const HistoryCache& cache() const { return *cache_; }
+  // True when the cache is externally owned (the cross-tenant seam above).
+  bool uses_shared_cache() const { return owned_cache_ == nullptr; }
 
   // Backend fetches issued so far (the service-billed crawl cost).
   uint64_t charged_queries() const {
@@ -125,7 +143,8 @@ class SharedAccessGroup {
 
   const AccessBackend* backend_;
   SharedAccessOptions options_;
-  HistoryCache cache_;
+  std::unique_ptr<HistoryCache> owned_cache_;  // null when cache is shared
+  HistoryCache* cache_;  // owned_cache_.get() or the external shared cache
   std::atomic<uint64_t> charged_{0};
   AsyncFetcher* fetcher_ = nullptr;
   HistoryJournal* journal_ = nullptr;

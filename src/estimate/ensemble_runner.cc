@@ -129,4 +129,17 @@ util::Result<EnsembleResult> RunEnsembleAsync(
   return result;
 }
 
+util::Result<EnsembleResult> RunEnsembleAttached(
+    access::SharedAccessGroup& group, const core::WalkerSpec& spec,
+    const EnsembleOptions& options) {
+  if (group.async_fetcher() == nullptr) {
+    return util::Status::FailedPrecondition(
+        "RunEnsembleAttached needs an async fetcher attached to the group");
+  }
+  // One thread per walker, as in RunEnsembleAsync: a walker parked on an
+  // in-flight fetch must not stop the others from keeping the shared
+  // pipeline full.
+  return RunEnsembleImpl(group, spec, options, options.num_walkers);
+}
+
 }  // namespace histwalk::estimate

@@ -108,6 +108,18 @@ util::Result<EnsembleResult> RunEnsembleAsync(
     const EnsembleOptions& options,
     const net::RequestPipelineOptions& pipeline_options = {});
 
+// The service-session variant: like RunEnsembleAsync (one thread per
+// walker, misses resolved through the group's AsyncFetcher) but the
+// fetcher must ALREADY be attached and stays attached afterwards — it
+// belongs to a longer-lived owner (service::SamplingService routes every
+// tenant's misses through one shared multi-tenant pipeline). Fails with
+// kFailedPrecondition when no fetcher is attached. pipeline_stats is left
+// zeroed: the shared pipeline's accounting spans tenants and is reported
+// by its owner (RequestPipeline::tenant_stats), not per run.
+util::Result<EnsembleResult> RunEnsembleAttached(
+    access::SharedAccessGroup& group, const core::WalkerSpec& spec,
+    const EnsembleOptions& options);
+
 }  // namespace histwalk::estimate
 
 #endif  // HISTWALK_ESTIMATE_ENSEMBLE_RUNNER_H_

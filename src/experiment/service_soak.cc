@@ -1,0 +1,269 @@
+#include "experiment/service_soak.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "access/graph_access.h"
+#include "estimate/estimators.h"
+#include "metrics/divergence.h"
+#include "net/remote_backend.h"
+#include "service/sampling_service.h"
+#include "util/md5.h"
+#include "util/random.h"
+
+namespace histwalk::experiment {
+namespace {
+
+// Digest of a merged trace: what "bit-identical across modes and
+// scheduler depths" is asserted on.
+std::string TraceDigest(const estimate::MergedSamples& merged) {
+  std::string bytes;
+  bytes.reserve(merged.nodes.size() * sizeof(graph::NodeId) +
+                merged.degrees.size() * sizeof(uint32_t));
+  if (!merged.nodes.empty()) {
+    bytes.append(reinterpret_cast<const char*>(merged.nodes.data()),
+                 merged.nodes.size() * sizeof(graph::NodeId));
+  }
+  if (!merged.degrees.empty()) {
+    bytes.append(reinterpret_cast<const char*>(merged.degrees.data()),
+                 merged.degrees.size() * sizeof(uint32_t));
+  }
+  return util::Md5Hex(bytes);
+}
+
+double Percentile(std::vector<uint64_t> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t rank = static_cast<size_t>(
+      std::min<double>(static_cast<double>(values.size()) - 1.0,
+                       q * static_cast<double>(values.size())));
+  return static_cast<double>(values[rank]);
+}
+
+bool DigestsMatch(const SoakModeResult& a, const SoakModeResult& b) {
+  if (a.tenants.size() != b.tenants.size()) return false;
+  for (size_t i = 0; i < a.tenants.size(); ++i) {
+    if (a.tenants[i].trace_digest != b.tenants[i].trace_digest) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ServiceSoakResult RunServiceSoak(const Dataset& dataset,
+                                 const ServiceSoakConfig& config) {
+  HW_CHECK(config.num_tenants > 0);
+  HW_CHECK(config.steps_per_walker > 0);
+  HW_CHECK(!config.check_depths.empty());
+
+  ServiceSoakResult result;
+  result.dataset_name = dataset.name;
+  result.walker_name = config.walker.DisplayName();
+  result.estimand_name = config.estimand.DisplayName();
+  result.num_tenants = config.num_tenants;
+
+  attr::AttrId attr = attr::kInvalidAttr;
+  if (!config.estimand.attribute.empty()) {
+    auto found = dataset.attributes.Find(config.estimand.attribute);
+    HW_CHECK_MSG(found.ok(), "estimand attribute missing from dataset");
+    attr = *found;
+    result.ground_truth = dataset.attributes.Mean(attr);
+  } else {
+    result.ground_truth = dataset.graph.AverageDegree();
+  }
+
+  core::StationaryBias bias = core::StationaryBias::kDegreeProportional;
+  {
+    access::GraphAccess probe_access(&dataset.graph, &dataset.attributes);
+    auto probe = core::MakeWalker(config.walker, &probe_access, /*seed=*/0);
+    HW_CHECK_MSG(probe.ok(), "invalid walker spec for service soak");
+    bias = (*probe)->bias();
+  }
+
+  // One full service run: `config.num_tenants` sessions submitted
+  // concurrently, all waited, per-tenant outcomes + service-wide wire
+  // accounting collected.
+  auto run_mode = [&](const std::string& label, bool share_history,
+                      net::PipelineSchedulerPolicy policy, uint32_t depth) {
+    SoakModeResult mode;
+    mode.label = label;
+
+    // Same wire-model seed in every mode so the comparison differs only in
+    // sharing/scheduling, never in latency draws.
+    net::LatencyModelOptions latency = config.latency;
+    latency.seed = util::SubSeed(config.seed, 0x50a1);
+    latency.max_in_flight = depth;
+
+    access::GraphAccess inner(&dataset.graph, &dataset.attributes);
+    net::RemoteBackend remote(&inner, latency);
+    service::ServiceOptions service_options;
+    service_options.max_sessions = config.num_tenants;
+    service_options.share_history = share_history;
+    service_options.cache = {.num_shards = config.cache_shards};
+    service_options.pipeline = {.depth = depth,
+                                .max_batch = config.max_batch,
+                                .scheduler = policy,
+                                .cross_tenant_dedup = share_history};
+    service_options.clock = [&remote] { return remote.sim_now_us(); };
+    service::SamplingService service(&remote, service_options);
+
+    std::vector<service::SessionId> ids;
+    ids.reserve(config.num_tenants);
+    for (uint32_t t = 0; t < config.num_tenants; ++t) {
+      const bool greedy = t == 0 && config.greedy_walkers > 0;
+      service::SessionOptions session;
+      session.walker = config.walker;
+      session.num_walkers =
+          greedy ? config.greedy_walkers : config.walkers_per_tenant;
+      session.seed = util::SubSeed(config.seed, 0x7e40 + t);
+      session.max_steps = config.steps_per_walker;
+      auto submitted = service.Submit(session);
+      HW_CHECK_MSG(submitted.ok(), "service soak admission failed");
+      ids.push_back(*submitted);
+    }
+
+    std::vector<uint64_t> latencies;
+    latencies.reserve(config.num_tenants);
+    for (uint32_t t = 0; t < config.num_tenants; ++t) {
+      auto report = service.Wait(ids[t]);
+      HW_CHECK_MSG(report.ok(), "service soak session failed");
+      SoakTenantOutcome outcome;
+      outcome.tenant = t;
+      outcome.greedy = t == 0 && config.greedy_walkers > 0;
+      estimate::MergedSamples merged = report->ensemble.Merged();
+      outcome.num_samples = merged.nodes.size();
+      if (!merged.nodes.empty()) {
+        std::vector<double> f(merged.nodes.size());
+        for (size_t i = 0; i < merged.nodes.size(); ++i) {
+          f[i] = attr == attr::kInvalidAttr
+                     ? static_cast<double>(merged.degrees[i])
+                     : dataset.attributes.Value(merged.nodes[i], attr);
+        }
+        double estimate = estimate::EstimateMean(f, merged.degrees, bias);
+        outcome.relative_error =
+            metrics::RelativeError(estimate, result.ground_truth);
+      }
+      outcome.trace_digest = TraceDigest(merged);
+      outcome.unique_queries = report->ensemble.summed_stats.unique_queries;
+      outcome.charged_queries = report->charged_queries;
+      outcome.wire_requests = report->pipeline.wire_requests;
+      outcome.wait_p50 = report->pipeline.wait.Quantile(0.50);
+      outcome.wait_p99 = report->pipeline.wait.Quantile(0.99);
+      outcome.wait_max = report->pipeline.wait.max;
+      outcome.sim_latency_us = report->LatencyUs();
+      latencies.push_back(outcome.sim_latency_us);
+      mode.charged_queries += outcome.charged_queries;
+      if (!share_history) {
+        // Isolated mode: total resident history is the sum of the private
+        // per-tenant caches.
+        mode.cache_entries += report->ensemble.cache_stats.entries;
+      }
+      if (!outcome.greedy) {
+        mode.victim_wait_p99 = std::max(mode.victim_wait_p99,
+                                        outcome.wait_p99);
+        mode.victim_wait_max = std::max(mode.victim_wait_max,
+                                        outcome.wait_max);
+      }
+      mode.tenants.push_back(std::move(outcome));
+    }
+
+    mode.wire_requests = remote.stats().requests;
+    mode.sim_wall_us = remote.sim_now_us();
+    if (share_history) {
+      mode.cache_entries = service.shared_cache().stats().entries;
+    }
+    mode.latency_p50_us = Percentile(latencies, 0.50);
+    mode.latency_p99_us = Percentile(latencies, 0.99);
+    for (service::SessionId id : ids) {
+      HW_CHECK(service.Detach(id).ok());
+    }
+    return mode;
+  };
+
+  const uint32_t main_depth = config.check_depths.front();
+  result.shared_fair = run_mode("shared/fair", /*share_history=*/true,
+                                net::PipelineSchedulerPolicy::kFairWeighted,
+                                main_depth);
+  result.isolated = run_mode("isolated", /*share_history=*/false,
+                             net::PipelineSchedulerPolicy::kFairWeighted,
+                             main_depth);
+  result.shared_fifo = run_mode("shared/fifo", /*share_history=*/true,
+                                net::PipelineSchedulerPolicy::kFifo,
+                                main_depth);
+  result.traces_match_across_depths = true;
+  for (size_t d = 1; d < config.check_depths.size(); ++d) {
+    SoakModeResult check = run_mode(
+        "shared/fair depth=" + std::to_string(config.check_depths[d]),
+        /*share_history=*/true, net::PipelineSchedulerPolicy::kFairWeighted,
+        config.check_depths[d]);
+    result.traces_match_across_depths &=
+        DigestsMatch(result.shared_fair, check);
+    result.depth_checks.push_back(std::move(check));
+  }
+
+  result.traces_match_isolated =
+      DigestsMatch(result.shared_fair, result.isolated);
+  result.wire_savings =
+      result.isolated.wire_requests == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(result.shared_fair.wire_requests) /
+                      static_cast<double>(result.isolated.wire_requests);
+  return result;
+}
+
+util::TextTable ServiceSoakModeTable(const ServiceSoakResult& result) {
+  util::TextTable table({"mode", "wire", "charged", "cache_entries",
+                         "sim_wall_s", "lat_p50_s", "lat_p99_s",
+                         "victim_wait_p99", "victim_wait_max"});
+  auto add = [&table](const SoakModeResult& mode) {
+    table.AddRow({mode.label, util::TextTable::Cell(mode.wire_requests),
+                  util::TextTable::Cell(mode.charged_queries),
+                  util::TextTable::Cell(mode.cache_entries),
+                  util::TextTable::Cell(mode.sim_wall_us / 1e6),
+                  util::TextTable::Cell(mode.latency_p50_us / 1e6),
+                  util::TextTable::Cell(mode.latency_p99_us / 1e6),
+                  util::TextTable::Cell(mode.victim_wait_p99),
+                  util::TextTable::Cell(mode.victim_wait_max)});
+  };
+  add(result.shared_fair);
+  add(result.isolated);
+  add(result.shared_fifo);
+  for (const SoakModeResult& check : result.depth_checks) add(check);
+  return table;
+}
+
+util::TextTable ServiceSoakFairnessTable(const ServiceSoakResult& result) {
+  util::TextTable table({"scheduler", "tenant", "submitted", "wait_p50",
+                         "wait_p99", "wait_max"});
+  auto add = [&table](const std::string& scheduler,
+                      const SoakModeResult& mode) {
+    // The greedy tenant plus the worst-p99 victim: the contrast that
+    // matters.
+    const SoakTenantOutcome* greedy = nullptr;
+    const SoakTenantOutcome* worst_victim = nullptr;
+    for (const SoakTenantOutcome& tenant : mode.tenants) {
+      if (tenant.greedy) {
+        greedy = &tenant;
+      } else if (worst_victim == nullptr ||
+                 tenant.wait_p99 > worst_victim->wait_p99) {
+        worst_victim = &tenant;
+      }
+    }
+    for (const SoakTenantOutcome* tenant : {greedy, worst_victim}) {
+      if (tenant == nullptr) continue;
+      table.AddRow({scheduler,
+                    tenant->greedy
+                        ? "greedy#" + std::to_string(tenant->tenant)
+                        : "victim#" + std::to_string(tenant->tenant),
+                    util::TextTable::Cell(tenant->unique_queries),
+                    util::TextTable::Cell(tenant->wait_p50),
+                    util::TextTable::Cell(tenant->wait_p99),
+                    util::TextTable::Cell(tenant->wait_max)});
+    }
+  };
+  add("fair", result.shared_fair);
+  add("fifo", result.shared_fifo);
+  return table;
+}
+
+}  // namespace histwalk::experiment

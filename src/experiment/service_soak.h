@@ -1,0 +1,123 @@
+#ifndef HISTWALK_EXPERIMENT_SERVICE_SOAK_H_
+#define HISTWALK_EXPERIMENT_SERVICE_SOAK_H_
+
+#include <string>
+#include <vector>
+
+#include "core/walker_factory.h"
+#include "experiment/datasets.h"
+#include "experiment/error_curve.h"
+#include "net/latency_model.h"
+#include "net/request_pipeline.h"
+#include "util/table.h"
+
+// The multi-tenant service experiment: a closed-loop workload driver that
+// runs DOZENS of concurrent sampling sessions (tenants) through one
+// service::SamplingService over the simulated-latency backend, and answers
+// the three questions the service layer exists for:
+//
+//  1. What does cross-tenant shared history buy? The same tenants run in
+//     shared mode (one cache, cross-tenant singleflight) and isolated mode
+//     (per-tenant private caches behind the same pipeline and wire). By
+//     the runner's determinism contract every tenant's traces — and
+//     therefore its estimation error — are bit-identical in both modes;
+//     only the bill changes. The headline numbers are total wire requests
+//     and simulated session latency (p50/p99 over tenants) at equal
+//     per-tenant error.
+//  2. Are sessions deterministic under the scheduler? The shared run is
+//     repeated across pipeline depths (scheduler thread counts); every
+//     tenant's merged-trace digest must match bit-for-bit.
+//  3. Does fair scheduling protect light tenants? Tenant 0 is a GREEDY
+//     co-tenant (many concurrent walkers keeping the pipeline queue
+//     loaded); the weighted-fair scheduler's per-tenant p99 queue wait for
+//     the other ("victim") tenants is compared against the kFifo drain
+//     order, and must stay bounded.
+
+namespace histwalk::experiment {
+
+struct ServiceSoakConfig {
+  core::WalkerSpec walker;
+  // Tenants, INCLUDING the greedy one (tenant 0) when greedy_walkers > 0.
+  uint32_t num_tenants = 32;
+  uint32_t walkers_per_tenant = 2;
+  uint64_t steps_per_walker = 120;
+  // Concurrent walkers of the greedy tenant 0 (0 = no greedy tenant).
+  uint32_t greedy_walkers = 16;
+  uint64_t seed = 1;
+  uint32_t max_batch = 8;
+  uint32_t cache_shards = 16;
+  // Shared-mode runs repeated at these scheduler depths; tenant traces
+  // must be identical across all of them. The first entry is the depth the
+  // headline (shared vs isolated vs fifo) comparison runs at.
+  std::vector<uint32_t> check_depths = {4, 1};
+  // Wire model (max_in_flight is set to the run's pipeline depth).
+  net::LatencyModelOptions latency;
+  EstimandSpec estimand;
+};
+
+struct SoakTenantOutcome {
+  uint32_t tenant = 0;  // submission index; 0 = the greedy tenant
+  bool greedy = false;
+  double relative_error = 0.0;
+  uint64_t num_samples = 0;
+  uint64_t unique_queries = 0;   // summed per-walker standalone cost
+  uint64_t charged_queries = 0;  // what this tenant was billed
+  uint64_t wire_requests = 0;    // batches issued on this tenant's behalf
+  uint64_t wait_p50 = 0;         // pipeline queue waits, in drained items
+  uint64_t wait_p99 = 0;
+  uint64_t wait_max = 0;
+  uint64_t sim_latency_us = 0;  // session submit -> done on the sim clock
+  std::string trace_digest;     // md5 of the merged (nodes, degrees) trace
+};
+
+// One full service run (a mode of the comparison).
+struct SoakModeResult {
+  std::string label;
+  std::vector<SoakTenantOutcome> tenants;
+  uint64_t wire_requests = 0;    // service-wide, from the RemoteBackend
+  uint64_t charged_queries = 0;  // summed tenant bills
+  uint64_t cache_entries = 0;    // resident history after the run
+  uint64_t sim_wall_us = 0;      // simulated crawl wall-clock
+  double latency_p50_us = 0.0;   // over tenant session latencies
+  double latency_p99_us = 0.0;
+  // Max p99 / max queue wait over NON-greedy tenants — the starvation
+  // metric.
+  uint64_t victim_wait_p99 = 0;
+  uint64_t victim_wait_max = 0;
+};
+
+struct ServiceSoakResult {
+  std::string dataset_name;
+  std::string walker_name;
+  std::string estimand_name;
+  double ground_truth = 0.0;
+  uint32_t num_tenants = 0;
+
+  SoakModeResult shared_fair;  // headline: shared history, fair scheduler
+  SoakModeResult isolated;     // control: private caches, same wire
+  SoakModeResult shared_fifo;  // starvation baseline: arrival-order drain
+  // Shared-mode reruns at the remaining check_depths (digest comparison).
+  std::vector<SoakModeResult> depth_checks;
+
+  // Every tenant's digest identical between shared_fair and isolated
+  // (implies identical per-tenant error — sharing changed only the bill).
+  bool traces_match_isolated = false;
+  // Every tenant's digest identical across all check_depths.
+  bool traces_match_across_depths = false;
+  // 1 - shared/isolated wire requests: what cross-tenant history saved.
+  double wire_savings = 0.0;
+};
+
+ServiceSoakResult RunServiceSoak(const Dataset& dataset,
+                                 const ServiceSoakConfig& config);
+
+// One row per mode: wire, charged, cache, sim wall, latency percentiles,
+// victim waits.
+util::TextTable ServiceSoakModeTable(const ServiceSoakResult& result);
+
+// Greedy vs victim queue waits, fair vs fifo — the fairness story.
+util::TextTable ServiceSoakFairnessTable(const ServiceSoakResult& result);
+
+}  // namespace histwalk::experiment
+
+#endif  // HISTWALK_EXPERIMENT_SERVICE_SOAK_H_

@@ -1,23 +1,196 @@
 #include "net/request_pipeline.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/check.h"
 
 namespace histwalk::net {
 
-RequestPipeline::RequestPipeline(access::SharedAccessGroup* group,
-                                 RequestPipelineOptions options)
-    : group_(group), options_(options) {
-  HW_CHECK(group_ != nullptr);
+// ---- WaitHistogram ----------------------------------------------------------
+
+namespace {
+
+size_t WaitBucket(uint64_t wait) {
+  if (wait == 0) return 0;
+  size_t bucket = 1;
+  while (bucket + 1 < WaitHistogram::kBuckets && (wait >> bucket) != 0) {
+    ++bucket;
+  }
+  return bucket;
+}
+
+uint64_t BucketUpperBound(size_t bucket) {
+  if (bucket == 0) return 0;
+  return (uint64_t{1} << bucket) - 1;
+}
+
+// The one place the per-tenant -> aggregate counter mapping lives; used by
+// both the RemoveTenant fold and stats().
+void AccumulateTenantStats(RequestPipelineStats& aggregate,
+                           const TenantPipelineStats& tenant) {
+  aggregate.submitted += tenant.submitted;
+  aggregate.dedup_joins += tenant.dedup_joins;
+  aggregate.late_hits += tenant.late_hits;
+  aggregate.wire_requests += tenant.wire_requests;
+  aggregate.wire_items += tenant.wire_items;
+  aggregate.budget_refusals += tenant.budget_refusals;
+}
+
+}  // namespace
+
+void WaitHistogram::Record(uint64_t wait) {
+  ++buckets[WaitBucket(wait)];
+  ++count;
+  sum += wait;
+  if (wait > max) max = wait;
+}
+
+uint64_t WaitHistogram::Quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t rank =
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(count)));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets[b];
+    if (seen >= rank) return std::min(BucketUpperBound(b), max);
+  }
+  return max;
+}
+
+// ---- TenantQueue ------------------------------------------------------------
+
+TenantQueue::TenantQueue(PipelineSchedulerPolicy policy, uint32_t num_shards)
+    : policy_(policy), num_shards_(num_shards == 0 ? 1 : num_shards) {}
+
+TenantId TenantQueue::AddTenant(uint32_t weight) {
+  Tenant tenant;
+  tenant.weight = weight == 0 ? 1 : weight;
+  tenant.credits = tenant.weight;
+  tenant.shard_queues.resize(num_shards_);
+  tenants_.push_back(std::move(tenant));
+  return static_cast<TenantId>(tenants_.size() - 1);
+}
+
+void TenantQueue::ReuseTenant(TenantId tenant, uint32_t weight) {
+  HW_CHECK(tenant < tenants_.size());
+  Tenant& t = tenants_[tenant];
+  HW_CHECK(t.queued == 0);
+  t.weight = weight == 0 ? 1 : weight;
+  t.credits = t.weight;
+  t.next_shard = 0;
+}
+
+void TenantQueue::Enqueue(TenantId tenant, graph::NodeId v) {
+  HW_CHECK(tenant < tenants_.size());
+  Tenant& t = tenants_[tenant];
+  uint32_t shard = access::HistoryCache::ShardOf(v, num_shards_);
+  t.shard_queues[shard].push_back(
+      QueuedId{v, drained_items_, next_arrival_++});
+  ++t.queued;
+  ++queued_total_;
+}
+
+uint64_t TenantQueue::queued(TenantId tenant) const {
+  HW_CHECK(tenant < tenants_.size());
+  return tenants_[tenant].queued;
+}
+
+bool TenantQueue::PickBatch(uint32_t max_batch, Batch* out) {
+  if (max_batch == 0) max_batch = 1;
+  out->ids.clear();
+  out->waits.clear();
+  return policy_ == PipelineSchedulerPolicy::kFairWeighted
+             ? PickFair(max_batch, out)
+             : PickFifo(max_batch, out);
+}
+
+bool TenantQueue::PickFair(uint32_t max_batch, Batch* out) {
+  if (queued_total_ == 0) return false;
+  // Two rounds: the first may find every tenant with work out of credits,
+  // in which case credits refill and the second round must succeed.
+  for (int round = 0; round < 2; ++round) {
+    for (size_t probe = 0; probe < tenants_.size(); ++probe) {
+      const uint32_t ti =
+          static_cast<uint32_t>((cursor_ + probe) % tenants_.size());
+      Tenant& tenant = tenants_[ti];
+      if (tenant.queued == 0 || tenant.credits == 0) continue;
+      --tenant.credits;
+      cursor_ = static_cast<uint32_t>((ti + 1) % tenants_.size());
+      for (uint32_t s = 0; s < num_shards_; ++s) {
+        const uint32_t shard = (tenant.next_shard + s) % num_shards_;
+        if (tenant.shard_queues[shard].empty()) continue;
+        tenant.next_shard = (shard + 1) % num_shards_;
+        DrainShard(ti, shard, max_batch, out);
+        return true;
+      }
+      HW_CHECK(false);  // tenant.queued > 0 implies a non-empty shard
+    }
+    for (Tenant& tenant : tenants_) tenant.credits = tenant.weight;
+  }
+  HW_CHECK(false);  // queued_total_ > 0 implies a pick after refill
+  return false;
+}
+
+bool TenantQueue::PickFifo(uint32_t max_batch, Batch* out) {
+  if (queued_total_ == 0) return false;
+  uint32_t best_tenant = 0;
+  uint32_t best_shard = 0;
+  uint64_t best_arrival = UINT64_MAX;
+  for (uint32_t ti = 0; ti < tenants_.size(); ++ti) {
+    const Tenant& tenant = tenants_[ti];
+    if (tenant.queued == 0) continue;
+    for (uint32_t shard = 0; shard < num_shards_; ++shard) {
+      const std::deque<QueuedId>& queue = tenant.shard_queues[shard];
+      if (queue.empty()) continue;
+      if (queue.front().arrival < best_arrival) {
+        best_arrival = queue.front().arrival;
+        best_tenant = ti;
+        best_shard = shard;
+      }
+    }
+  }
+  DrainShard(best_tenant, best_shard, max_batch, out);
+  return true;
+}
+
+void TenantQueue::DrainShard(TenantId t, uint32_t shard, uint32_t max_batch,
+                             Batch* out) {
+  Tenant& tenant = tenants_[t];
+  std::deque<QueuedId>& queue = tenant.shard_queues[shard];
+  const size_t take = std::min<size_t>(max_batch, queue.size());
+  out->tenant = t;
+  out->ids.reserve(take);
+  out->waits.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    const QueuedId& id = queue.front();
+    out->ids.push_back(id.v);
+    out->waits.push_back(drained_items_ - id.drained_at_enqueue);
+    queue.pop_front();
+  }
+  tenant.queued -= take;
+  queued_total_ -= take;
+  drained_items_ += take;
+}
+
+// ---- RequestPipeline --------------------------------------------------------
+
+RequestPipeline::RequestPipeline(RequestPipelineOptions options)
+    : options_(options) {
   if (options_.depth == 0) options_.depth = 1;
   if (options_.max_batch == 0) options_.max_batch = 1;
-  num_shards_ = group_->cache().num_shards();
-  shard_queues_.resize(num_shards_);
   workers_.reserve(options_.depth);
   for (uint32_t t = 0; t < options_.depth; ++t) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+}
+
+RequestPipeline::RequestPipeline(access::SharedAccessGroup* group,
+                                 RequestPipelineOptions options)
+    : RequestPipeline(options) {
+  HW_CHECK(group != nullptr);
+  AddTenant(group, /*weight=*/1);
 }
 
 RequestPipeline::~RequestPipeline() {
@@ -27,93 +200,200 @@ RequestPipeline::~RequestPipeline() {
   }
   work_cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+  std::unique_lock<std::mutex> lock(mu_);
   // Workers drain the queue before exiting, so pending_ is empty unless a
   // caller raced destruction (a use-after-scope bug on their side); fail
   // any leftovers rather than hang their waiters.
-  for (auto& [v, pending] : pending_) {
+  for (auto& [key, pending] : pending_) {
     pending->promise.set_value(
         WireReply{nullptr, util::Status::Internal("pipeline destroyed")});
   }
+  pending_.clear();
+  // Let every FetchSharedFor call finish its accounting epilogue before
+  // the members it touches go away.
+  idle_cv_.wait(lock, [this] { return active_call_total_ == 0; });
+}
+
+TenantId RequestPipeline::AddTenant(access::SharedAccessGroup* group,
+                                    uint32_t weight) {
+  HW_CHECK(group != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_ == nullptr) {
+    // Batching locality follows the first tenant's shard geometry; in a
+    // service every tenant shares one cache, so they all agree.
+    num_shards_ = group->cache().num_shards();
+    queue_ = std::make_unique<TenantQueue>(options_.scheduler, num_shards_);
+  }
+  if (!free_slots_.empty()) {
+    // Recycle a removed tenant's slot so a long-lived pipeline serving a
+    // stream of sessions stays O(concurrent tenants), not O(ever seen).
+    const TenantId id = free_slots_.back();
+    free_slots_.pop_back();
+    tenants_[id]->group = group;
+    queue_->ReuseTenant(id, weight);
+    return id;
+  }
+  auto tenant = std::make_unique<Tenant>();
+  tenant->group = group;
+  tenant->fetcher.pipeline = this;
+  tenants_.push_back(std::move(tenant));
+  const TenantId id = queue_->AddTenant(weight);
+  HW_CHECK(id == tenants_.size() - 1);
+  tenants_[id]->fetcher.tenant = id;
+  return id;
+}
+
+void RequestPipeline::RemoveTenant(TenantId tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  HW_CHECK(tenant < tenants_.size());
+  HW_CHECK(tenants_[tenant]->group != nullptr);  // double remove
+  // Quiescence: no FetchSharedFor call is inside this tenant (queued,
+  // blocked on any flight, or retrying) — a session whose walkers have
+  // all returned satisfies this. Implies the queue is empty and no
+  // pending flight was created by it.
+  HW_CHECK(tenants_[tenant]->active_calls == 0);
+  HW_CHECK(queue_->queued(tenant) == 0);
+  // Fold the tenant's counters into the retired aggregate (so stats()
+  // stays cumulative and monotone across slot reuse) and clear the
+  // per-tenant view.
+  AccumulateTenantStats(retired_, tenants_[tenant]->stats);
+  tenants_[tenant]->stats = TenantPipelineStats{};
+  tenants_[tenant]->group = nullptr;
+  free_slots_.push_back(tenant);
+}
+
+access::AsyncFetcher* RequestPipeline::tenant_fetcher(TenantId tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  HW_CHECK(tenant < tenants_.size());
+  return &tenants_[tenant]->fetcher;
 }
 
 util::Result<access::AsyncFetcher::Fetched> RequestPipeline::FetchShared(
     graph::NodeId v) {
-  std::shared_future<WireReply> future;
-  bool creator = false;
+  return FetchSharedFor(/*tenant=*/0, v);
+}
+
+util::Result<access::AsyncFetcher::Fetched> RequestPipeline::FetchSharedFor(
+    TenantId tenant, graph::NodeId v) {
+  // Bracket the whole call (joins and retries included) in the tenant's
+  // active-call count so RemoveTenant's quiescence check is complete.
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    auto it = pending_.find(v);
-    if (it != pending_.end()) {
-      // Singleflight: join the request already in flight.
-      ++stats_.dedup_joins;
-      future = it->second->future;
-    } else {
-      // Did a fetch complete between the caller's cache miss and this
-      // submit? Probe with Contains() first because it has no stats side
-      // effects: the caller already recorded this lookup's miss, and a
-      // plain Get() here would double-count a miss on every ordinary
-      // submit. Get() runs only on the rare hit path (and can still race
-      // an eviction, in which case we fall through and fetch for real).
-      if (group_->cache().Contains(v)) {
-        if (access::HistoryCache::Entry entry = group_->cache().Get(v)) {
-          ++stats_.late_hits;
-          return access::AsyncFetcher::Fetched{std::move(entry),
-                                               /*charged_this_call=*/false};
-        }
+    std::lock_guard<std::mutex> lock(mu_);
+    HW_CHECK(tenant < tenants_.size());
+    ++tenants_[tenant]->active_calls;
+    ++active_call_total_;
+  }
+  auto result = FetchSharedForImpl(tenant, v);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --tenants_[tenant]->active_calls;
+    if (--active_call_total_ == 0 && stopping_) idle_cv_.notify_all();
+  }
+  return result;
+}
+
+util::Result<access::AsyncFetcher::Fetched> RequestPipeline::FetchSharedForImpl(
+    TenantId tenant, graph::NodeId v) {
+  while (true) {
+    std::shared_future<WireReply> future;
+    bool creator = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      HW_CHECK(tenant < tenants_.size());
+      if (stopping_) {
+        // Destruction in progress: nobody will serve a fresh submit (this
+        // also stops budget-refusal retries from re-queueing).
+        return util::Status::Internal("pipeline destroyed");
       }
-      auto pending = std::make_shared<Pending>();
-      pending->future = pending->promise.get_future().share();
-      future = pending->future;
-      pending_.emplace(v, std::move(pending));
-      shard_queues_[access::HistoryCache::ShardOf(v, num_shards_)].push_back(
-          v);
-      ++queued_;
-      ++stats_.submitted;
-      creator = true;
-      work_cv_.notify_one();
+      Tenant& t = *tenants_[tenant];
+      HW_CHECK(t.group != nullptr);
+      const uint64_t key = PendingKey(tenant, v);
+      auto it = pending_.find(key);
+      if (it != pending_.end()) {
+        // Singleflight: join the request already in flight (possibly
+        // another tenant's — the shared cache serves every waiter).
+        ++t.stats.dedup_joins;
+        future = it->second->future;
+      } else {
+        // Did a fetch complete between the caller's cache miss and this
+        // submit? Probe with Contains() first because it has no stats side
+        // effects: the caller already recorded this lookup's miss, and a
+        // plain Get() here would double-count a miss on every ordinary
+        // submit. Get() runs only on the rare hit path (and can still race
+        // an eviction, in which case we fall through and fetch for real).
+        if (t.group->cache().Contains(v)) {
+          if (access::HistoryCache::Entry entry = t.group->cache().Get(v)) {
+            ++t.stats.late_hits;
+            return access::AsyncFetcher::Fetched{std::move(entry),
+                                                 /*charged_this_call=*/false};
+          }
+        }
+        auto pending = std::make_shared<Pending>();
+        pending->future = pending->promise.get_future().share();
+        pending->creator = tenant;
+        future = pending->future;
+        pending_.emplace(key, std::move(pending));
+        queue_->Enqueue(tenant, v);
+        ++t.stats.submitted;
+        t.stats.max_queue_depth =
+            std::max(t.stats.max_queue_depth, queue_->queued(tenant));
+        global_max_queue_depth_ =
+            std::max(global_max_queue_depth_, queue_->queued());
+        creator = true;
+        work_cv_.notify_one();
+      }
+    }
+    WireReply reply = future.get();
+    if (reply.status.ok()) {
+      return access::AsyncFetcher::Fetched{std::move(reply.entry), creator};
+    }
+    // A joined flight refused by ANOTHER tenant's budget says nothing
+    // about this tenant's own quota: the pending entry is gone, so
+    // resubmit — this call becomes the creator (or finds the node cached)
+    // and gets an answer charged against the right budget. A creator's
+    // refusal, or a join on a same-tenant flight, is definitive.
+    if (creator || reply.status.code() != util::StatusCode::kBudgetExhausted ||
+        reply.creator == tenant) {
+      return reply.status;
     }
   }
-  WireReply reply = future.get();
-  if (!reply.status.ok()) return reply.status;
-  return access::AsyncFetcher::Fetched{std::move(reply.entry), creator};
 }
 
 void RequestPipeline::WorkerLoop() {
-  std::vector<graph::NodeId> batch;
+  TenantQueue::Batch batch;
   while (true) {
-    batch.clear();
+    access::SharedAccessGroup* group = nullptr;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stopping_ || queued_ > 0; });
-      if (queued_ == 0) return;  // stopping and fully drained
-      // Drain up to max_batch ids from the next non-empty shard queue so
-      // the whole batch's cache inserts land in one shard.
-      for (uint32_t probe = 0; probe < num_shards_; ++probe) {
-        uint32_t s = (next_shard_ + probe) % num_shards_;
-        std::deque<graph::NodeId>& queue = shard_queues_[s];
-        if (queue.empty()) continue;
-        size_t take = std::min<size_t>(options_.max_batch, queue.size());
-        batch.assign(queue.begin(), queue.begin() + take);
-        queue.erase(queue.begin(), queue.begin() + take);
-        queued_ -= take;
-        next_shard_ = (s + 1) % num_shards_;
-        break;
+      work_cv_.wait(lock, [this] {
+        return stopping_ || (queue_ != nullptr && queue_->queued() > 0);
+      });
+      if (queue_ == nullptr || queue_->queued() == 0) {
+        return;  // stopping and fully drained
       }
+      HW_CHECK(queue_->PickBatch(options_.max_batch, &batch));
+      Tenant& tenant = *tenants_[batch.tenant];
+      HW_CHECK(tenant.group != nullptr);
+      group = tenant.group;
+      // Wait accounting happens at drain time, under the same lock as the
+      // pick, so histograms are exact whatever the worker count.
+      for (uint64_t wait : batch.waits) tenant.stats.wait.Record(wait);
       // Leftover work belongs to another worker.
-      if (queued_ > 0) work_cv_.notify_one();
+      if (queue_->queued() > 0) work_cv_.notify_one();
     }
-    ProcessBatch(batch);
+    ProcessBatch(batch, group);
   }
 }
 
-void RequestPipeline::ProcessBatch(const std::vector<graph::NodeId>& batch) {
-  // Claim budget per node before touching the wire; refused ids never
-  // issue (same no-accounting semantics as the synchronous miss path).
+void RequestPipeline::ProcessBatch(const TenantQueue::Batch& batch,
+                                   access::SharedAccessGroup* group) {
+  // Claim the tenant's budget per node before touching the wire; refused
+  // ids never issue (same no-accounting semantics as the sync miss path).
   std::vector<graph::NodeId> to_fetch;
   std::vector<graph::NodeId> refused;
-  to_fetch.reserve(batch.size());
-  for (graph::NodeId v : batch) {
-    if (group_->TryCharge()) {
+  to_fetch.reserve(batch.ids.size());
+  for (graph::NodeId v : batch.ids) {
+    if (group->TryCharge()) {
       to_fetch.push_back(v);
     } else {
       refused.push_back(v);
@@ -121,17 +401,18 @@ void RequestPipeline::ProcessBatch(const std::vector<graph::NodeId>& batch) {
   }
 
   std::vector<std::pair<graph::NodeId, WireReply>> replies;
-  replies.reserve(batch.size());
+  replies.reserve(batch.ids.size());
   if (!to_fetch.empty()) {
-    auto results = group_->backend()->FetchNeighborsBatch(to_fetch);
+    auto results = group->backend()->FetchNeighborsBatch(to_fetch);
     for (size_t i = 0; i < to_fetch.size(); ++i) {
       WireReply reply;
+      reply.creator = batch.tenant;
       if (results[i].ok()) {
         // Insert through the group funnel so an attached HistoryJournal
         // (durable store) sees pipeline-fetched responses too.
-        reply.entry = group_->StoreFetched(to_fetch[i], *results[i]);
+        reply.entry = group->StoreFetched(to_fetch[i], *results[i]);
       } else {
-        group_->RefundCharge();
+        group->RefundCharge();
         reply.status = results[i].status();
       }
       replies.emplace_back(to_fetch[i], std::move(reply));
@@ -139,8 +420,10 @@ void RequestPipeline::ProcessBatch(const std::vector<graph::NodeId>& batch) {
   }
   for (graph::NodeId v : refused) {
     replies.emplace_back(
-        v, WireReply{nullptr, util::Status::BudgetExhausted(
-                                  "group query budget exhausted")});
+        v, WireReply{nullptr,
+                     util::Status::BudgetExhausted(
+                         "tenant query budget exhausted"),
+                     batch.tenant});
   }
 
   // Detach the Pending entries under the lock, fulfill outside it (waiters
@@ -149,13 +432,14 @@ void RequestPipeline::ProcessBatch(const std::vector<graph::NodeId>& batch) {
   to_fulfill.reserve(replies.size());
   {
     std::lock_guard<std::mutex> lock(mu_);
+    Tenant& tenant = *tenants_[batch.tenant];
     if (!to_fetch.empty()) {
-      ++stats_.wire_requests;
-      stats_.wire_items += to_fetch.size();
+      ++tenant.stats.wire_requests;
+      tenant.stats.wire_items += to_fetch.size();
     }
-    stats_.budget_refusals += refused.size();
+    tenant.stats.budget_refusals += refused.size();
     for (auto& [v, reply] : replies) {
-      auto it = pending_.find(v);
+      auto it = pending_.find(PendingKey(batch.tenant, v));
       if (it != pending_.end()) {
         to_fulfill.emplace_back(std::move(it->second), std::move(reply));
         pending_.erase(it);
@@ -169,7 +453,26 @@ void RequestPipeline::ProcessBatch(const std::vector<graph::NodeId>& batch) {
 
 RequestPipelineStats RequestPipeline::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  RequestPipelineStats aggregate = retired_;
+  for (const std::unique_ptr<Tenant>& tenant : tenants_) {
+    AccumulateTenantStats(aggregate, tenant->stats);
+  }
+  aggregate.queue_depth = queue_ == nullptr ? 0 : queue_->queued();
+  aggregate.max_queue_depth = global_max_queue_depth_;
+  return aggregate;
+}
+
+TenantPipelineStats RequestPipeline::tenant_stats(TenantId tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  HW_CHECK(tenant < tenants_.size());
+  TenantPipelineStats stats = tenants_[tenant]->stats;
+  stats.queue_depth = queue_->queued(tenant);
+  return stats;
+}
+
+size_t RequestPipeline::num_tenants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tenants_.size();
 }
 
 }  // namespace histwalk::net

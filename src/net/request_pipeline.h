@@ -1,6 +1,7 @@
 #ifndef HISTWALK_NET_REQUEST_PIPELINE_H_
 #define HISTWALK_NET_REQUEST_PIPELINE_H_
 
+#include <array>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -14,10 +15,11 @@
 #include "access/async_fetcher.h"
 #include "access/shared_access.h"
 
-// Batched, deduplicated fetch client for a (simulated or real) remote
-// backend — the AsyncFetcher implementation behind RunEnsembleAsync.
+// Batched, deduplicated, tenant-fair fetch client for a (simulated or real)
+// remote backend — the AsyncFetcher implementation behind RunEnsembleAsync
+// and the wire funnel of service::SamplingService.
 //
-// Three mechanisms, composable because they all live behind one submit
+// Four mechanisms, composable because they all live behind one submit
 // queue:
 //
 //  * Bounded in-flight depth. `depth` worker threads each carry at most
@@ -26,21 +28,45 @@
 //    max_in_flight slots.
 //  * Per-shard batching. Queued node ids are bucketed by
 //    HistoryCache::ShardOf, and a worker drains up to `max_batch` ids of
-//    ONE shard into a single FetchNeighborsBatch call: one wire request
-//    (one latency, one rate-limit token) for the whole batch, and all its
-//    cache inserts land under a single shard lock.
+//    ONE shard of ONE tenant into a single FetchNeighborsBatch call: one
+//    wire request (one latency, one rate-limit token) for the whole batch,
+//    and all its cache inserts land under a single shard lock.
 //  * Singleflight dedup. Concurrent FetchShared calls for the same node
 //    share one in-flight request; N walkers missing on one node cost one
-//    wire fetch and one unit of group budget. Exactly one caller — the one
-//    that created the in-flight entry — reports charged_this_call.
+//    wire fetch and one unit of budget. With cross_tenant_dedup (tenants
+//    sharing one cache), the collapse spans tenants: two tenants missing
+//    the same node pay ONE wire fetch, billed to whichever tenant created
+//    the in-flight entry. Exactly one caller — the creator — reports
+//    charged_this_call.
+//  * Fair scheduling. Each tenant owns its own queue, and the drain order
+//    is weighted round-robin over tenants with queued work (TenantQueue
+//    below), so a greedy tenant keeping hundreds of misses outstanding
+//    cannot starve a light one: every tenant with work gets `weight`
+//    batches per scheduling cycle. kFifo drains strictly in global arrival
+//    order instead — the baseline the fairness experiments compare against.
 //
-// Budget: the pipeline claims group budget one unit per fetched NODE (the
-// same billing as the synchronous miss path), so charged_queries stays
-// comparable between sync and async runs; batching buys wall-clock, not
-// free queries. Ids refused by the budget fail with kBudgetExhausted
-// without going on the wire.
+// Budget: the pipeline claims the submitting tenant's group budget one
+// unit per fetched NODE (the same billing as the synchronous miss path),
+// so charged_queries stays comparable between sync and async runs;
+// batching buys wall-clock, not free queries. Ids refused by the budget
+// fail with kBudgetExhausted without going on the wire. A singleflight
+// join charges nothing — the creator tenant paid.
+//
+// Tenants: the single-group constructor registers its group as tenant 0,
+// preserving the PR-2 single-ensemble behaviour exactly. A service
+// registers one tenant per session with AddTenant() and attaches the
+// per-tenant AsyncFetcher adapter (tenant_fetcher()) to that session's
+// group; FetchSharedFor(t, v) routes a miss through tenant t's queue,
+// budget and stats.
 
 namespace histwalk::net {
+
+using TenantId = uint32_t;
+
+enum class PipelineSchedulerPolicy {
+  kFairWeighted,  // weighted round-robin over tenants with queued work
+  kFifo,          // strict global arrival order (starvation baseline)
+};
 
 struct RequestPipelineOptions {
   // Worker threads == bound on concurrently outstanding wire requests.
@@ -48,15 +74,64 @@ struct RequestPipelineOptions {
   uint32_t depth = 4;
   // Max neighbor fetches coalesced into one wire request. Clamped to >= 1.
   uint32_t max_batch = 8;
+  // Drain order across tenant queues (single-tenant pipelines behave
+  // identically under either policy).
+  PipelineSchedulerPolicy scheduler = PipelineSchedulerPolicy::kFairWeighted;
+  // Collapse concurrent misses on one node ACROSS tenants into a single
+  // wire fetch. Requires all tenants to share one HistoryCache (the
+  // service's shared-history mode); turn off when tenants run isolated
+  // caches, so each tenant's miss fills its own cache.
+  bool cross_tenant_dedup = true;
 };
 
-struct RequestPipelineStats {
+// Compact log2-bucketed histogram of per-item queue waits, measured in
+// "items drained to the wire between this id's submit and its own drain".
+// That unit is what fairness bounds: under kFairWeighted a light tenant's
+// wait is O(active tenants * max_batch) however deep a greedy co-tenant's
+// queue grows, while under kFifo it grows with the total queue depth.
+struct WaitHistogram {
+  static constexpr size_t kBuckets = 32;
+  // buckets[0] counts waits of 0; buckets[i] counts waits in
+  // [2^(i-1), 2^i) for i >= 1.
+  std::array<uint64_t, kBuckets> buckets{};
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+
+  void Record(uint64_t wait);
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  // Upper bound of the bucket holding the q-quantile (q in [0, 1]); 0 when
+  // empty. An upper bound, never an underestimate — safe for starvation
+  // assertions.
+  uint64_t Quantile(double q) const;
+};
+
+// Per-tenant accounting, exposed through RequestPipeline::tenant_stats().
+struct TenantPipelineStats {
   uint64_t submitted = 0;      // fetches that created a new in-flight entry
   uint64_t dedup_joins = 0;    // fetches coalesced onto an in-flight entry
   uint64_t late_hits = 0;      // fetches answered by the cache at submit
-  uint64_t wire_requests = 0;  // backend batch calls issued
+  uint64_t wire_requests = 0;  // backend batch calls issued for this tenant
   uint64_t wire_items = 0;     // ids those calls carried
   uint64_t budget_refusals = 0;
+  uint64_t queue_depth = 0;      // ids queued, not yet drained, right now
+  uint64_t max_queue_depth = 0;  // high-water mark of queue_depth
+  WaitHistogram wait;            // drain waits of this tenant's ids
+};
+
+// Aggregate over all tenants (the PR-2 shape, plus queue-depth fields).
+struct RequestPipelineStats {
+  uint64_t submitted = 0;
+  uint64_t dedup_joins = 0;
+  uint64_t late_hits = 0;
+  uint64_t wire_requests = 0;
+  uint64_t wire_items = 0;
+  uint64_t budget_refusals = 0;
+  uint64_t queue_depth = 0;      // ids queued across all tenants right now
+  uint64_t max_queue_depth = 0;  // high-water mark of the global depth
 
   double MeanBatchSize() const {
     return wire_requests == 0
@@ -66,10 +141,84 @@ struct RequestPipelineStats {
   }
 };
 
+// The scheduler state machine, factored out of the pipeline so fairness
+// properties are unit-testable without threads: Enqueue/PickBatch calls are
+// plain single-threaded transitions (the pipeline serializes them under its
+// own mutex). Ids live in per-tenant, per-shard deques; PickBatch drains up
+// to max_batch ids of one (tenant, shard) pair per call.
+//
+//  * kFairWeighted: deficit-style weighted round-robin. Each tenant holds
+//    `weight` credits; a pick costs one credit, and when every tenant with
+//    queued work is out of credits they all refill to their weight. The
+//    cursor advances past the picked tenant, so service is interleaved, not
+//    bursty. Bound: between two picks of tenant t there are at most
+//    (sum of other active tenants' weights) / weight(t) picks, regardless
+//    of queue depths.
+//  * kFifo: always drains the (tenant, shard) queue holding the globally
+//    oldest id (batching may pull newer same-shard ids along with it).
+class TenantQueue {
+ public:
+  TenantQueue(PipelineSchedulerPolicy policy, uint32_t num_shards);
+
+  // Tenants are dense indices in registration order. Weight clamps to >= 1.
+  TenantId AddTenant(uint32_t weight);
+  // Re-arms a quiescent slot for a new tenant (fresh weight/credits/drain
+  // cursor; its queues must be empty). Pairs with RequestPipeline's slot
+  // free-list so a long-lived pipeline stays O(concurrent tenants).
+  void ReuseTenant(TenantId tenant, uint32_t weight);
+  size_t num_tenants() const { return tenants_.size(); }
+
+  void Enqueue(TenantId tenant, graph::NodeId v);
+
+  struct Batch {
+    TenantId tenant = 0;
+    std::vector<graph::NodeId> ids;
+    // waits[i]: ids drained to the wire between ids[i]'s Enqueue and this
+    // pick (its own batch excluded).
+    std::vector<uint64_t> waits;
+  };
+  // Drains the next batch per the policy; false when nothing is queued.
+  bool PickBatch(uint32_t max_batch, Batch* out);
+
+  uint64_t queued() const { return queued_total_; }
+  uint64_t queued(TenantId tenant) const;
+
+ private:
+  struct QueuedId {
+    graph::NodeId v;
+    uint64_t drained_at_enqueue;  // drain clock when this id arrived
+    uint64_t arrival;             // global arrival sequence (kFifo order)
+  };
+  struct Tenant {
+    uint32_t weight = 1;
+    uint32_t credits = 1;
+    std::vector<std::deque<QueuedId>> shard_queues;
+    uint32_t next_shard = 0;
+    uint64_t queued = 0;
+  };
+
+  bool PickFair(uint32_t max_batch, Batch* out);
+  bool PickFifo(uint32_t max_batch, Batch* out);
+  void DrainShard(TenantId t, uint32_t shard, uint32_t max_batch, Batch* out);
+
+  PipelineSchedulerPolicy policy_;
+  uint32_t num_shards_;
+  std::vector<Tenant> tenants_;
+  uint32_t cursor_ = 0;         // fair policy: next tenant to consider
+  uint64_t queued_total_ = 0;
+  uint64_t drained_items_ = 0;  // the wait clock: total ids ever drained
+  uint64_t next_arrival_ = 0;
+};
+
 class RequestPipeline final : public access::AsyncFetcher {
  public:
-  // `group` must outlive the pipeline. Fetches go through group->backend(),
-  // fill group->cache(), and claim group budget per fetched node. Typical
+  // A tenant-less pipeline; register sessions with AddTenant(). All
+  // tenants' groups must wrap the SAME backend instance (one wire, many
+  // tenants) and, when options.cross_tenant_dedup is on, share one cache.
+  explicit RequestPipeline(RequestPipelineOptions options);
+
+  // Single-tenant convenience (the PR-2 shape): registers `group` as
+  // tenant 0 with weight 1. `group` must outlive the pipeline. Typical
   // wiring: construct the pipeline, group.set_async_fetcher(&pipeline),
   // run walkers, detach, destroy (RunEnsembleAsync does all of this).
   explicit RequestPipeline(access::SharedAccessGroup* group,
@@ -80,11 +229,50 @@ class RequestPipeline final : public access::AsyncFetcher {
   RequestPipeline(const RequestPipeline&) = delete;
   RequestPipeline& operator=(const RequestPipeline&) = delete;
 
-  // AsyncFetcher. Blocks until the response for `v` is available.
+  // Registers a tenant: fetches submitted for it go through `group`'s
+  // backend, cache, budget and journal funnel, and drain under its
+  // `weight`. `group` must outlive the tenant's registration. Thread-safe;
+  // tenants may be added while the pipeline is running.
+  TenantId AddTenant(access::SharedAccessGroup* group, uint32_t weight = 1);
+
+  // Severs a tenant's group pointer and returns its slot to a free list
+  // (later AddTenant calls recycle it, so a long-lived pipeline stays
+  // O(concurrent tenants), not O(sessions ever served)). The tenant must
+  // be quiescent (no queued or in-flight fetches — a completed session
+  // satisfies this). Its per-tenant counters are folded into the
+  // cumulative aggregate (stats() stays monotone) and the tenant_stats
+  // view resets — snapshot per-tenant stats BEFORE removing
+  // (service::SamplingService copies them into the session report at
+  // completion). Thread-safe.
+  void RemoveTenant(TenantId tenant);
+
+  // A per-tenant AsyncFetcher adapter routing FetchShared to
+  // FetchSharedFor(tenant, v) — what a service attaches to tenant groups
+  // via set_async_fetcher. Valid for the pipeline's lifetime.
+  access::AsyncFetcher* tenant_fetcher(TenantId tenant);
+
+  // AsyncFetcher: single-tenant entry point (tenant 0). Blocks until the
+  // response for `v` is available.
   util::Result<access::AsyncFetcher::Fetched> FetchShared(
       graph::NodeId v) override;
 
+  // The multi-tenant entry point behind tenant_fetcher().
+  util::Result<access::AsyncFetcher::Fetched> FetchSharedFor(TenantId tenant,
+                                                             graph::NodeId v);
+
+  // Stats consistency (same contract style as HistoryCache::stats()): each
+  // call returns an internally consistent snapshot taken under the
+  // pipeline mutex — submitted == dedup-creators exactly, wire_items never
+  // exceeds submitted, and cumulative counters are monotone non-decreasing
+  // across successive calls from one thread. queue_depth is instantaneous
+  // and may be stale by the time the caller reads it; max_queue_depth is
+  // monotone. tenant_stats(t) and stats() are snapshotted independently,
+  // so a tenant snapshot and an aggregate snapshot taken back-to-back may
+  // straddle concurrent submits.
   RequestPipelineStats stats() const;
+  TenantPipelineStats tenant_stats(TenantId tenant) const;
+  size_t num_tenants() const;
+
   const RequestPipelineOptions& options() const { return options_; }
 
  private:
@@ -92,27 +280,61 @@ class RequestPipeline final : public access::AsyncFetcher {
   struct WireReply {
     access::HistoryCache::Entry entry;  // null iff status is non-OK
     util::Status status;
+    TenantId creator = 0;  // whose budget the fetch was charged against
   };
   struct Pending {
     std::promise<WireReply> promise;
     std::shared_future<WireReply> future;
+    TenantId creator;
+  };
+  struct TenantFetcherAdapter final : access::AsyncFetcher {
+    RequestPipeline* pipeline = nullptr;
+    TenantId tenant = 0;
+    util::Result<access::AsyncFetcher::Fetched> FetchShared(
+        graph::NodeId v) override {
+      return pipeline->FetchSharedFor(tenant, v);
+    }
+  };
+  struct Tenant {
+    access::SharedAccessGroup* group = nullptr;  // null after RemoveTenant
+    // FetchSharedFor calls currently inside this tenant (queued, joined,
+    // or retrying) — what RemoveTenant's quiescence check really needs:
+    // queue emptiness alone cannot see a call blocked joining ANOTHER
+    // tenant's flight that may yet retry under this id.
+    uint64_t active_calls = 0;
+    TenantPipelineStats stats;
+    TenantFetcherAdapter fetcher;
   };
 
-  void WorkerLoop();
-  void ProcessBatch(const std::vector<graph::NodeId>& batch);
+  // Singleflight key: the node id alone under cross-tenant dedup, else
+  // (tenant, node) so isolated tenants never share fetches.
+  uint64_t PendingKey(TenantId tenant, graph::NodeId v) const {
+    return options_.cross_tenant_dedup
+               ? static_cast<uint64_t>(v)
+               : (static_cast<uint64_t>(tenant) << 32) |
+                     static_cast<uint64_t>(v);
+  }
 
-  access::SharedAccessGroup* group_;
+  util::Result<access::AsyncFetcher::Fetched> FetchSharedForImpl(
+      TenantId tenant, graph::NodeId v);
+  void WorkerLoop();
+  void ProcessBatch(const TenantQueue::Batch& batch,
+                    access::SharedAccessGroup* group);
+
   RequestPipelineOptions options_;
-  uint32_t num_shards_;
+  uint32_t num_shards_ = 0;  // fixed by the first registered tenant's cache
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;  // destructor waits for call epilogues
   bool stopping_ = false;
-  std::vector<std::deque<graph::NodeId>> shard_queues_;
-  uint64_t queued_ = 0;     // total ids across shard_queues_
-  uint32_t next_shard_ = 0;  // round-robin drain cursor
-  std::unordered_map<graph::NodeId, std::shared_ptr<Pending>> pending_;
-  RequestPipelineStats stats_;
+  uint64_t active_call_total_ = 0;  // FetchSharedFor calls in flight
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+  std::vector<TenantId> free_slots_;    // removed tenants awaiting reuse
+  RequestPipelineStats retired_;        // folded stats of removed tenants
+  std::unique_ptr<TenantQueue> queue_;  // created with the first tenant
+  uint64_t global_max_queue_depth_ = 0;
+  std::unordered_map<uint64_t, std::shared_ptr<Pending>> pending_;
 
   std::vector<std::thread> workers_;  // last member: joins before teardown
 };

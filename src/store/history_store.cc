@@ -1,5 +1,7 @@
 #include "store/history_store.h"
 
+#include <cstdio>
+#include <filesystem>
 #include <utility>
 
 #include "util/check.h"
@@ -23,11 +25,34 @@ util::Result<std::unique_ptr<HistoryStore>> HistoryStore::Open(
     // Open() may already have repaired a crash's torn tail; surface that
     // here since the subsequent replay sees only the repaired file.
     store->stats_.recovered_torn_tail = store->wal_->repaired_torn_tail();
+    // A leftover fold segment means a background checkpoint never finished
+    // (crash or write failure). Adopt it: LoadInto replays it, and the
+    // next fold — which snapshots the rebuilt cache, a superset of the
+    // segment — retires it.
+    std::error_code ec;
+    store->fold_pending_ =
+        std::filesystem::exists(store->fold_path(), ec) && !ec;
+    store->stats_.fold_segment_pending = store->fold_pending_;
+    if (store->options_.checkpoint_wal_bytes != 0 &&
+        store->options_.background_checkpoint) {
+      store->checkpoint_thread_ =
+          std::thread([s = store.get()] { s->CheckpointThreadLoop(); });
+    }
   }
   return store;
 }
 
-HistoryStore::~HistoryStore() { Flush(); }
+HistoryStore::~HistoryStore() {
+  if (checkpoint_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    ckpt_cv_.notify_all();
+    checkpoint_thread_.join();
+  }
+  Flush();
+}
 
 util::Status HistoryStore::LoadInto(access::HistoryCache& cache) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -43,13 +68,17 @@ util::Status HistoryStore::LoadInto(access::HistoryCache& cache) {
     }
   }
   if (!options_.wal_path.empty()) {
-    auto replay = ReplayWal(options_.wal_path, cache);
-    if (replay.ok()) {
-      stats_.replayed_wal_records += replay->records_applied;
-      stats_.replayed_wal_inserted += replay->records_inserted;
-      stats_.recovered_torn_tail |= replay->recovered_torn_tail;
-    } else if (replay.status().code() != util::StatusCode::kNotFound) {
-      return replay.status();
+    // Fold segment first (it predates the active WAL), then the active WAL
+    // on top; both replays are idempotent.
+    for (const std::string& path : {fold_path(), options_.wal_path}) {
+      auto replay = ReplayWal(path, cache);
+      if (replay.ok()) {
+        stats_.replayed_wal_records += replay->records_applied;
+        stats_.replayed_wal_inserted += replay->records_inserted;
+        stats_.recovered_torn_tail |= replay->recovered_torn_tail;
+      } else if (replay.status().code() != util::StatusCode::kNotFound) {
+        return replay.status();
+      }
     }
   }
   return util::Status::Ok();
@@ -58,32 +87,126 @@ util::Status HistoryStore::LoadInto(access::HistoryCache& cache) {
 void HistoryStore::OnCacheInsert(graph::NodeId v,
                                  std::span<const graph::NodeId> neighbors,
                                  access::HistoryCache& cache) {
-  if (wal_ == nullptr) return;
+  if (options_.wal_path.empty()) return;  // WAL disabled (immutable config)
   std::lock_guard<std::mutex> lock(mu_);
+  if (wal_ == nullptr) {
+    // A rotation's reopen failed earlier (transient IO error); retry it
+    // here so journaling self-heals. Until it succeeds, every dropped
+    // record is counted as an append failure.
+    auto reopened =
+        WalWriter::Open(options_.wal_path,
+                        {.flush_each_record = options_.flush_each_append});
+    if (!reopened.ok()) {
+      RecordError(reopened.status(), /*dropped_record=*/true);
+      return;
+    }
+    wal_ = *std::move(reopened);
+  }
   util::Status status = wal_->Append(v, neighbors);
   if (!status.ok()) {
-    RecordError(status);
+    RecordError(status, /*dropped_record=*/true);
     return;
   }
   ++stats_.appended_records;
   stats_.wal_bytes = wal_->file_bytes();
-  if (options_.checkpoint_wal_bytes != 0 &&
-      wal_->file_bytes() >= options_.checkpoint_wal_bytes) {
-    // Fold the log into a snapshot, still under mu_. Holding the lock is
-    // what makes the fold loss-free with a single WAL: a concurrent
-    // fetcher's cache insert lands BEFORE it blocks here to journal, so
-    // every record the reset erases is either in this snapshot or not yet
-    // journaled (it lands in the fresh WAL afterwards) — never dropped.
-    // The cost is that concurrent fetch completions stall for the length
-    // of one snapshot write each time the threshold trips; size
-    // checkpoint_wal_bytes accordingly (segment-rotated WALs with an
-    // off-thread fold are the ROADMAP answer).
-    RecordError(CheckpointLocked(cache));
+  if (options_.checkpoint_wal_bytes == 0 ||
+      wal_->file_bytes() < options_.checkpoint_wal_bytes) {
+    return;
+  }
+  if (options_.background_checkpoint) {
+    // Rotate + pin here (cheap), serialize + write on the checkpoint
+    // thread: this insert never waits for a snapshot write.
+    if (!ckpt_inflight_) RequestBackgroundFold(cache);
+  } else {
+    // Inline fold, still under mu_. Holding the lock is what makes the
+    // fold loss-free with a single WAL: a concurrent fetcher's cache
+    // insert lands BEFORE it blocks here to journal, so every record the
+    // reset erases is either in this snapshot or not yet journaled (it
+    // lands in the fresh WAL afterwards) — never dropped. The cost is
+    // that concurrent fetch completions stall for the length of one
+    // snapshot write each time the threshold trips.
+    RecordError(CheckpointLocked(cache), /*dropped_record=*/false);
+  }
+}
+
+void HistoryStore::RequestBackgroundFold(const access::HistoryCache& cache) {
+  if (!fold_pending_) {
+    // Rotate the active log out of the way so post-rotation appends are
+    // never retired by this fold. If a fold segment already exists (a
+    // previous fold failed or a crash left one), skip the rotation — the
+    // snapshot we are about to take covers that segment too, and rotating
+    // over it would lose its records.
+    util::Status flushed = wal_->Flush();
+    if (!flushed.ok()) {
+      RecordError(flushed, /*dropped_record=*/false);
+      return;
+    }
+    wal_.reset();  // closes the file
+    if (std::rename(options_.wal_path.c_str(), fold_path().c_str()) != 0) {
+      RecordError(
+          util::Status::Internal("wal rotation rename failed for " +
+                                 options_.wal_path),
+          /*dropped_record=*/false);
+      // Fall through to reopen the (un-renamed) log and keep journaling.
+    } else {
+      fold_pending_ = true;
+      stats_.fold_segment_pending = true;
+    }
+    auto reopened =
+        WalWriter::Open(options_.wal_path,
+                        {.flush_each_record = options_.flush_each_append});
+    if (!reopened.ok()) {
+      // No active WAL for now: each subsequent insert retries the reopen
+      // (and counts ITSELF as an append failure until one succeeds — see
+      // OnCacheInsert), matching the fire-and-forget journal contract.
+      RecordError(reopened.status(), /*dropped_record=*/false);
+      return;
+    }
+    wal_ = *std::move(reopened);
+    stats_.wal_bytes = wal_->file_bytes();
+  }
+  ckpt_image_ = ExportCacheImage(cache);
+  ckpt_inflight_ = true;
+  ckpt_cv_.notify_one();
+}
+
+void HistoryStore::CheckpointThreadLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    ckpt_cv_.wait(lock, [this] { return stopping_ || ckpt_inflight_; });
+    if (!ckpt_inflight_) {
+      HW_CHECK(stopping_);
+      return;
+    }
+    ExportedCacheImage image = std::move(ckpt_image_);
+    ckpt_image_.clear();
+    lock.unlock();
+    // The expensive part — serialization, CRC, disk write, atomic rename —
+    // runs with the journal unlocked: inserts keep landing meanwhile.
+    auto written =
+        WriteSnapshot(image, options_.snapshot_path, options_.num_threads);
+    image.clear();
+    lock.lock();
+    if (written.ok()) {
+      ++stats_.checkpoints;
+      if (fold_pending_) {
+        std::remove(fold_path().c_str());
+        fold_pending_ = false;
+        stats_.fold_segment_pending = false;
+      }
+    } else {
+      // Keep the fold segment: it still holds the records the snapshot
+      // failed to capture, and recovery replays it.
+      RecordError(written.status(), /*dropped_record=*/false);
+    }
+    ckpt_inflight_ = false;
+    idle_cv_.notify_all();
   }
 }
 
 util::Status HistoryStore::Checkpoint(const access::HistoryCache& cache) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return !ckpt_inflight_; });
   return CheckpointLocked(cache);
 }
 
@@ -96,6 +219,13 @@ util::Status HistoryStore::CheckpointLocked(
     HW_RETURN_IF_ERROR(wal_->Reset());
     stats_.wal_bytes = wal_->file_bytes();
   }
+  if (fold_pending_) {
+    // The snapshot just written covers the fold segment's records (they
+    // are cache contents); retire it.
+    std::remove(fold_path().c_str());
+    fold_pending_ = false;
+    stats_.fold_segment_pending = false;
+  }
   ++stats_.checkpoints;
   return util::Status::Ok();
 }
@@ -104,6 +234,11 @@ util::Status HistoryStore::Flush() {
   std::lock_guard<std::mutex> lock(mu_);
   if (wal_ == nullptr) return util::Status::Ok();
   return wal_->Flush();
+}
+
+void HistoryStore::WaitForIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return !ckpt_inflight_; });
 }
 
 HistoryStoreStats HistoryStore::stats() const {
@@ -116,9 +251,14 @@ util::Status HistoryStore::last_error() const {
   return last_error_;
 }
 
-void HistoryStore::RecordError(const util::Status& status) {
+void HistoryStore::RecordError(const util::Status& status,
+                               bool dropped_record) {
   if (status.ok()) return;
-  ++stats_.append_failures;
+  if (dropped_record) {
+    ++stats_.append_failures;
+  } else {
+    ++stats_.checkpoint_failures;
+  }
   if (last_error_.ok()) last_error_ = status;
 }
 

@@ -1,9 +1,11 @@
 #ifndef HISTWALK_STORE_HISTORY_STORE_H_
 #define HISTWALK_STORE_HISTORY_STORE_H_
 
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 
 #include "access/history_cache.h"
 #include "access/history_journal.h"
@@ -18,20 +20,45 @@
 // cache in a fresh process, so crawls resume across restarts and a second
 // sampling task starts warm (the paper's history reuse, made persistent).
 //
-// Recovery order (LoadInto): snapshot first, then WAL replay on top. Both
-// are idempotent inserts, so the WAL may overlap the snapshot (see
-// Checkpoint below) without harm. A missing snapshot or WAL is a clean
-// cold start, not an error.
+// Recovery order (LoadInto): snapshot first, then the rotated-out fold
+// segment (if a background checkpoint was interrupted — see below), then
+// the active WAL. All replays are idempotent inserts, so the segments may
+// overlap the snapshot without harm. Missing files are a clean cold start,
+// not an error.
 //
 // Checkpointing: once the WAL grows past `checkpoint_wal_bytes`, the store
 // folds the CURRENT cache contents into a fresh snapshot (atomic
-// tmp+rename) and truncates the WAL. Process-crash windows are safe by
-// construction:
-//   * crash before the rename       -> old snapshot + full WAL, as before;
-//   * crash after rename, before    -> new snapshot + stale WAL; replaying
-//     the WAL truncation               the stale WAL is idempotent.
-// (Like the WAL itself, this covers process death, not power loss: files
-// are flushed, never fsync'd — see the durability note in store/format.h.)
+// tmp+rename) and retires the logged records. Two modes:
+//
+//  * background_checkpoint = true (default): the tripping insert only
+//    ROTATES the WAL (the active log is renamed to `<wal_path>.fold` and a
+//    fresh one opened — a few syscalls) and pins an in-memory export of
+//    the cache; a dedicated checkpoint thread serializes and writes the
+//    snapshot and then deletes the fold segment. Inserts never stall on
+//    serialization or disk IO — the ROADMAP "background checkpointing off
+//    the insert path" item. Crash windows are safe by construction:
+//      - crash before the snapshot rename -> old snapshot + fold segment +
+//        active WAL replay to the full history;
+//      - crash after the rename, before the fold delete -> the fold
+//        segment overlaps the new snapshot; replaying it is idempotent,
+//        and the next checkpoint (or Checkpoint()) deletes it.
+//    The rotation invariant that makes the fold loss-free: a cache insert
+//    always lands BEFORE its journal append, so every record in the
+//    rotated-out segment is in the cache when the post-rotation export
+//    pins it (minus entries a bounded cache evicted — the cache is the
+//    source of truth, as in the inline mode). The no-stall trade-off:
+//    while one fold is in flight the active WAL keeps growing past the
+//    threshold (there is a single fold slot, so no second rotation until
+//    the segment retires); the overshoot is bounded by the insert rate
+//    times one snapshot write. Segment LISTS (multiple rotated files)
+//    would remove the overshoot and are the ROADMAP follow-up.
+//  * background_checkpoint = false: the PR-3 inline behaviour — the fold
+//    (snapshot write included) runs on the inserting thread under the
+//    journal lock, stalling concurrent fetch completions for the length
+//    of one snapshot write.
+//
+// (Like the WAL itself, checkpointing covers process death, not power
+// loss: files are flushed, never fsync'd — see the note in store/format.h.)
 //
 // Journal errors (disk full, ...) never fail the crawl: OnCacheInsert is
 // fire-and-forget by interface; failures are counted in stats() and the
@@ -53,12 +80,13 @@ struct HistoryStoreOptions {
   // is whatever the caller's explicit Checkpoint() calls provide.
   std::string wal_path;
   // Fold the WAL into a fresh snapshot once it exceeds this many bytes;
-  // 0 = never checkpoint automatically. The fold runs on the inserting
-  // thread under the journal lock (that is what makes it loss-free —
-  // see the comment in OnCacheInsert), so concurrent fetch completions
-  // stall for one snapshot write whenever the threshold trips; size it
-  // so folds are rare relative to the crawl.
+  // 0 = never checkpoint automatically.
   uint64_t checkpoint_wal_bytes = 8ull * 1024 * 1024;
+  // Run automatic folds on a background thread (see the mode comparison
+  // above). The tripping insert still pays the WAL rotation plus an
+  // O(entries) pin-export of the cache; serialization and disk IO move
+  // off-path.
+  bool background_checkpoint = true;
   // See WalWriterOptions.
   bool flush_each_append = true;
   // Threads for parallel snapshot save/load (0 = hardware concurrency).
@@ -71,24 +99,36 @@ struct HistoryStoreStats {
   uint64_t replayed_wal_inserted = 0;
   bool recovered_torn_tail = false;
   uint64_t appended_records = 0;
+  // Records DROPPED from the journal (a failed append, or an insert that
+  // arrived while the WAL could not be reopened after a failed rotation).
   uint64_t append_failures = 0;
   uint64_t checkpoints = 0;
-  uint64_t wal_bytes = 0;  // current WAL size (0 when the WAL is disabled)
+  // Failed fold attempts (snapshot write, WAL rotation) — no record was
+  // dropped: the WAL and/or fold segment still hold everything, and the
+  // next attempt retries.
+  uint64_t checkpoint_failures = 0;
+  uint64_t wal_bytes = 0;  // current active-WAL size (0 when disabled)
+  // True while a rotated-out fold segment exists on disk (a background
+  // checkpoint is in flight, failed, or was interrupted by a crash).
+  bool fold_segment_pending = false;
 };
 
 class HistoryStore final : public access::HistoryJournal {
  public:
-  // Opens (creating or repairing as needed) the WAL when configured.
-  // Refuses corrupt files with kDataLoss — recovery policy is the
-  // caller's call, never silent.
+  // Opens (creating or repairing as needed) the WAL when configured, and
+  // adopts a leftover fold segment from an interrupted background
+  // checkpoint. Refuses corrupt files with kDataLoss — recovery policy is
+  // the caller's call, never silent.
   static util::Result<std::unique_ptr<HistoryStore>> Open(
       HistoryStoreOptions options);
 
-  ~HistoryStore() override;  // flushes the WAL
+  // Finishes any in-flight background checkpoint, then flushes the WAL.
+  ~HistoryStore() override;
 
-  // Rebuilds `cache` from the snapshot (if any) plus the WAL (if any).
+  // Rebuilds `cache` from the snapshot (if any), the fold segment (if a
+  // background checkpoint was interrupted) and the WAL (if any).
   // Tolerates a torn WAL tail (reported in stats()); fails with kDataLoss
-  // on interior corruption of either file.
+  // on interior corruption of any file.
   util::Status LoadInto(access::HistoryCache& cache);
 
   // access::HistoryJournal — called by the access layer for every new
@@ -97,10 +137,16 @@ class HistoryStore final : public access::HistoryJournal {
   void OnCacheInsert(graph::NodeId v, std::span<const graph::NodeId> neighbors,
                      access::HistoryCache& cache) override;
 
-  // Folds `cache` into a fresh snapshot now and truncates the WAL.
+  // Folds `cache` into a fresh snapshot now, truncates the WAL and deletes
+  // any fold segment. Synchronous; waits for an in-flight background
+  // checkpoint first.
   util::Status Checkpoint(const access::HistoryCache& cache);
 
   util::Status Flush();
+
+  // Blocks until no background checkpoint is queued or running. Tests and
+  // shutdown sequencing use this; ~HistoryStore calls it implicitly.
+  void WaitForIdle();
 
   HistoryStoreStats stats() const;
   // OK, or the first journaling failure since construction.
@@ -108,11 +154,22 @@ class HistoryStore final : public access::HistoryJournal {
 
   const HistoryStoreOptions& options() const { return options_; }
 
+  // "<wal_path>.fold": where an in-flight background checkpoint parks the
+  // rotated-out WAL segment.
+  std::string fold_path() const { return options_.wal_path + ".fold"; }
+
  private:
   explicit HistoryStore(HistoryStoreOptions options);
 
   util::Status CheckpointLocked(const access::HistoryCache& cache);
-  void RecordError(const util::Status& status);
+  // Rotates the active WAL out to fold_path() and pins a cache export for
+  // the checkpoint thread. Called under mu_ by OnCacheInsert.
+  void RequestBackgroundFold(const access::HistoryCache& cache);
+  void CheckpointThreadLoop();
+  // `dropped_record` selects which failure counter the error lands in:
+  // append_failures (a journal record was lost) vs checkpoint_failures (a
+  // fold attempt failed, durability intact).
+  void RecordError(const util::Status& status, bool dropped_record);
 
   HistoryStoreOptions options_;
   std::unique_ptr<WalWriter> wal_;  // null when the WAL is disabled
@@ -120,6 +177,15 @@ class HistoryStore final : public access::HistoryJournal {
   mutable std::mutex mu_;  // serializes appends, checkpoints, stats
   HistoryStoreStats stats_;
   util::Status last_error_;
+
+  // Background-checkpoint state, all under mu_.
+  bool fold_pending_ = false;     // fold segment exists on disk
+  bool ckpt_inflight_ = false;    // image pinned or snapshot being written
+  bool stopping_ = false;
+  ExportedCacheImage ckpt_image_;
+  std::condition_variable ckpt_cv_;  // wakes the checkpoint thread
+  std::condition_variable idle_cv_;  // wakes WaitForIdle / Checkpoint
+  std::thread checkpoint_thread_;    // joined by the destructor
 };
 
 }  // namespace histwalk::store

@@ -75,21 +75,37 @@ util::Status ParseHeader(std::string_view data, const std::string& path,
 
 }  // namespace
 
+ExportedCacheImage ExportCacheImage(const access::HistoryCache& cache) {
+  ExportedCacheImage image(cache.num_shards());
+  for (uint32_t s = 0; s < cache.num_shards(); ++s) {
+    image[s] = cache.ExportShard(s);
+  }
+  return image;
+}
+
 util::Result<SnapshotMeta> WriteSnapshot(const access::HistoryCache& cache,
                                          const std::string& path,
                                          unsigned num_threads) {
-  const uint32_t num_shards = cache.num_shards();
+  return WriteSnapshot(ExportCacheImage(cache), path, num_threads);
+}
+
+util::Result<SnapshotMeta> WriteSnapshot(const ExportedCacheImage& image,
+                                         const std::string& path,
+                                         unsigned num_threads) {
+  const uint32_t num_shards = static_cast<uint32_t>(image.size());
+  if (num_shards == 0) {
+    return util::Status::InvalidArgument("snapshot image has zero shards");
+  }
   std::vector<std::string> sections(num_shards);
   std::vector<DirRow> rows(num_shards);
 
-  // Serialize every shard concurrently; each export takes only its own
-  // shard's lock, so a live cache keeps serving while we save.
+  // Serialize every shard concurrently from the pinned image.
   util::ParallelFor(
       num_shards,
       [&](size_t s) {
         std::string& section = sections[s];
-        std::vector<access::HistoryCache::ExportedEntry> entries =
-            cache.ExportShard(static_cast<uint32_t>(s));
+        const std::vector<access::HistoryCache::ExportedEntry>& entries =
+            image[s];
         for (const auto& entry : entries) {
           AppendU32(section, entry.node);
           AppendU32(section, static_cast<uint32_t>(entry.neighbors->size()));

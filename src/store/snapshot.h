@@ -33,6 +33,19 @@
 
 namespace histwalk::store {
 
+// A pinned, per-shard export of a cache's contents (ExportShard output per
+// shard). Holding the image keeps every neighbor list alive independent of
+// the cache it came from — the seam that lets background checkpointing
+// serialize and write a snapshot AFTER the insert path has moved on (and
+// even after the cache itself is gone).
+using ExportedCacheImage =
+    std::vector<std::vector<access::HistoryCache::ExportedEntry>>;
+
+// Pins the cache's current contents, shard by shard (each shard exported
+// under its own lock — the per-shard-consistent contract of ExportShard).
+// Cost is O(entries) handle copies, no serialization and no IO.
+ExportedCacheImage ExportCacheImage(const access::HistoryCache& cache);
+
 struct SnapshotMeta {
   uint32_t version = 0;
   uint32_t num_shards = 0;   // cache shard geometry at save time
@@ -45,6 +58,13 @@ struct SnapshotMeta {
 // image (the same contract as HistoryCache::stats()). `num_threads` feeds
 // ParallelFor (0 = hardware concurrency).
 util::Result<SnapshotMeta> WriteSnapshot(const access::HistoryCache& cache,
+                                         const std::string& path,
+                                         unsigned num_threads = 0);
+
+// Serializes an already-pinned image (same format, same tmp+rename
+// discipline). What HistoryStore's background checkpoint thread calls: the
+// expensive serialization/CRC/IO runs here, decoupled from the cache.
+util::Result<SnapshotMeta> WriteSnapshot(const ExportedCacheImage& image,
                                          const std::string& path,
                                          unsigned num_threads = 0);
 

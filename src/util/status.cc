@@ -20,6 +20,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "budget_exhausted";
     case StatusCode::kDataLoss:
       return "data_loss";
+    case StatusCode::kUnavailable:
+      return "unavailable";
     case StatusCode::kInternal:
       return "internal";
   }

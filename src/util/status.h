@@ -25,6 +25,7 @@ enum class StatusCode {
   kResourceExhausted,  // e.g. a query budget has been spent
   kBudgetExhausted,    // a shared (group-level) fetch budget refused the call
   kDataLoss,           // a durable file is corrupt or unrecoverably truncated
+  kUnavailable,        // a service refused admission (capacity, memory, ...)
   kInternal,
 };
 
@@ -60,6 +61,9 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
@@ -97,6 +101,14 @@ inline bool IsBudgetStop(const Status& status) {
 // silently wrong cache contents.
 inline bool IsDataLoss(const Status& status) {
   return status.code() == StatusCode::kDataLoss;
+}
+
+// True when a long-lived service refused to take the work on at all — an
+// admission-control rejection (concurrent-session cap, memory limit), not a
+// budget cut mid-run and not a setup error. Callers are expected to retry
+// later or against another instance; nothing was started or charged.
+inline bool IsUnavailable(const Status& status) {
+  return status.code() == StatusCode::kUnavailable;
 }
 
 // Result<T> is either a value or a non-OK Status (never both).

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -234,6 +235,292 @@ TEST_F(RequestPipelineTest, ErrorsPropagateAndRefundTheCharge) {
   EXPECT_EQ(bad.status().code(), util::StatusCode::kOutOfRange);
   // The failed fetch refunded its budget unit.
   EXPECT_EQ(group.remaining_budget(), 5u);
+}
+
+// ---- WaitHistogram ----------------------------------------------------------
+
+TEST(WaitHistogramTest, QuantilesAreBucketUpperBounds) {
+  WaitHistogram histogram;
+  EXPECT_EQ(histogram.Quantile(0.99), 0u);
+  for (uint64_t wait : {0ull, 0ull, 1ull, 2ull, 3ull, 6ull, 100ull}) {
+    histogram.Record(wait);
+  }
+  EXPECT_EQ(histogram.count, 7u);
+  EXPECT_EQ(histogram.max, 100u);
+  EXPECT_DOUBLE_EQ(histogram.Mean(), 112.0 / 7.0);
+  EXPECT_EQ(histogram.Quantile(0.0), 0u);
+  // Buckets: {0,0} in [0], {1} in [1,2), {2,3} in [2,4), {6} in [4,8),
+  // {100} in [64,128). Quantiles report the holding bucket's upper bound.
+  EXPECT_EQ(histogram.Quantile(0.25), 0u);
+  EXPECT_EQ(histogram.Quantile(0.5), 3u);    // true median 2, bound 3
+  EXPECT_EQ(histogram.Quantile(0.75), 7u);   // true p75 6, bound 7
+  EXPECT_EQ(histogram.Quantile(1.0), 100u);  // clamped to the observed max
+  // The quantile never under-reports: it is >= the true quantile.
+  EXPECT_GE(histogram.Quantile(0.9), 6u);
+}
+
+// ---- TenantQueue (the fair scheduler, deterministic and thread-free) -------
+
+TEST(TenantQueueTest, FairSchedulerBoundsVictimWaitUnderAGreedyTenant) {
+  // One shard keeps the drain order purely about tenant scheduling.
+  TenantQueue queue(PipelineSchedulerPolicy::kFairWeighted, /*num_shards=*/1);
+  const TenantId greedy = queue.AddTenant(/*weight=*/1);
+  const TenantId victim = queue.AddTenant(/*weight=*/1);
+  for (graph::NodeId v = 0; v < 100; ++v) queue.Enqueue(greedy, v);
+  for (graph::NodeId v = 100; v < 103; ++v) queue.Enqueue(victim, v);
+
+  constexpr uint32_t kMaxBatch = 4;
+  uint64_t victim_max_wait = 0;
+  TenantQueue::Batch batch;
+  while (queue.PickBatch(kMaxBatch, &batch)) {
+    if (batch.tenant == victim) {
+      for (uint64_t wait : batch.waits) {
+        victim_max_wait = std::max(victim_max_wait, wait);
+      }
+    }
+  }
+  // However deep the greedy queue (100 ids), the victim's ids drain within
+  // one scheduling cycle: at most one greedy batch ahead of them.
+  EXPECT_LE(victim_max_wait, uint64_t{kMaxBatch});
+  EXPECT_EQ(queue.queued(), 0u);
+}
+
+TEST(TenantQueueTest, FifoDrainMakesVictimsWaitBehindTheGreedyQueue) {
+  TenantQueue queue(PipelineSchedulerPolicy::kFifo, /*num_shards=*/1);
+  const TenantId greedy = queue.AddTenant(1);
+  const TenantId victim = queue.AddTenant(1);
+  for (graph::NodeId v = 0; v < 100; ++v) queue.Enqueue(greedy, v);
+  queue.Enqueue(victim, 200);
+
+  uint64_t victim_wait = 0;
+  TenantQueue::Batch batch;
+  while (queue.PickBatch(4, &batch)) {
+    if (batch.tenant == victim) victim_wait = batch.waits[0];
+  }
+  // Arrival order: all 100 greedy ids drain first.
+  EXPECT_EQ(victim_wait, 100u);
+}
+
+TEST(TenantQueueTest, WeightsSkewTheDrainRatio) {
+  TenantQueue queue(PipelineSchedulerPolicy::kFairWeighted, 1);
+  const TenantId heavy = queue.AddTenant(/*weight=*/3);
+  const TenantId light = queue.AddTenant(/*weight=*/1);
+  for (graph::NodeId v = 0; v < 120; ++v) queue.Enqueue(heavy, v);
+  for (graph::NodeId v = 200; v < 240; ++v) queue.Enqueue(light, v);
+
+  // While both have work, a weight-3 tenant drains 3 batches per cycle to
+  // the light tenant's 1.
+  uint32_t heavy_picks = 0;
+  uint32_t light_picks = 0;
+  TenantQueue::Batch batch;
+  for (int pick = 0; pick < 40 && queue.PickBatch(1, &batch); ++pick) {
+    if (batch.tenant == heavy) ++heavy_picks;
+    if (batch.tenant == light) ++light_picks;
+  }
+  EXPECT_EQ(heavy_picks, 30u);
+  EXPECT_EQ(light_picks, 10u);
+}
+
+TEST(TenantQueueTest, BatchesStayWithinOneTenantAndShard) {
+  TenantQueue queue(PipelineSchedulerPolicy::kFairWeighted, /*num_shards=*/4);
+  const TenantId a = queue.AddTenant(1);
+  const TenantId b = queue.AddTenant(1);
+  for (graph::NodeId v = 0; v < 64; ++v) {
+    queue.Enqueue(v % 2 == 0 ? a : b, v);
+  }
+  TenantQueue::Batch batch;
+  while (queue.PickBatch(8, &batch)) {
+    ASSERT_FALSE(batch.ids.empty());
+    const uint32_t shard = HistoryCache::ShardOf(batch.ids[0], 4);
+    for (graph::NodeId v : batch.ids) {
+      EXPECT_EQ(HistoryCache::ShardOf(v, 4), shard);
+    }
+  }
+}
+
+// ---- multi-tenant pipeline --------------------------------------------------
+
+TEST_F(RequestPipelineTest, CrossTenantSingleflightChargesOneWireFetch) {
+  GateBackend gated(&backend_);
+  HistoryCache shared_cache({.num_shards = 4});
+  access::SharedAccessGroup group_a(&gated, shared_cache);
+  access::SharedAccessGroup group_b(&gated, shared_cache);
+  RequestPipeline pipeline({.depth = 1, .max_batch = 4});
+  const TenantId a = pipeline.AddTenant(&group_a);
+  const TenantId b = pipeline.AddTenant(&group_b);
+
+  // Tenant A's fetch reaches the gate (in flight, unfulfilled)...
+  std::thread first([&] {
+    auto fetched = pipeline.FetchSharedFor(a, 42);
+    ASSERT_TRUE(fetched.ok());
+    EXPECT_TRUE(fetched->charged_this_call);
+  });
+  while (gated.arrivals() < 1) std::this_thread::yield();
+  // ...so tenant B's miss on the same node must join it, not refetch.
+  std::thread second([&] {
+    auto fetched = pipeline.FetchSharedFor(b, 42);
+    ASSERT_TRUE(fetched.ok());
+    EXPECT_FALSE(fetched->charged_this_call);
+  });
+  while (pipeline.tenant_stats(b).dedup_joins < 1) std::this_thread::yield();
+  gated.Release(1'000'000);
+  first.join();
+  second.join();
+
+  // One wire item total, billed to the creator tenant only; the response
+  // is shared history for both.
+  EXPECT_EQ(pipeline.stats().wire_items, 1u);
+  EXPECT_EQ(group_a.charged_queries(), 1u);
+  EXPECT_EQ(group_b.charged_queries(), 0u);
+  EXPECT_EQ(pipeline.tenant_stats(a).submitted, 1u);
+  EXPECT_EQ(pipeline.tenant_stats(b).dedup_joins, 1u);
+  EXPECT_TRUE(shared_cache.Contains(42));
+}
+
+TEST_F(RequestPipelineTest, IsolatedTenantsFetchSeparately) {
+  access::SharedAccessGroup group_a(&backend_);
+  access::SharedAccessGroup group_b(&backend_);
+  RequestPipeline pipeline(
+      {.depth = 1, .max_batch = 4, .cross_tenant_dedup = false});
+  const TenantId a = pipeline.AddTenant(&group_a);
+  const TenantId b = pipeline.AddTenant(&group_b);
+
+  ASSERT_TRUE(pipeline.FetchSharedFor(a, 7).ok());
+  auto fetched_b = pipeline.FetchSharedFor(b, 7);
+  ASSERT_TRUE(fetched_b.ok());
+  // No sharing: tenant B paid for its own copy into its own cache.
+  EXPECT_TRUE(fetched_b->charged_this_call);
+  EXPECT_EQ(group_a.charged_queries(), 1u);
+  EXPECT_EQ(group_b.charged_queries(), 1u);
+  EXPECT_TRUE(group_a.cache().Contains(7));
+  EXPECT_TRUE(group_b.cache().Contains(7));
+  EXPECT_EQ(pipeline.stats().wire_items, 2u);
+}
+
+TEST_F(RequestPipelineTest, PerTenantStatsStayExactAndAggregate) {
+  HistoryCache shared_cache({.num_shards = 4});
+  access::SharedAccessGroup group_a(&backend_, shared_cache);
+  access::SharedAccessGroup group_b(&backend_, shared_cache);
+  RequestPipeline pipeline({.depth = 2, .max_batch = 4});
+  const TenantId a = pipeline.AddTenant(&group_a, /*weight=*/2);
+  const TenantId b = pipeline.AddTenant(&group_b);
+
+  for (graph::NodeId v = 0; v < 10; ++v) {
+    ASSERT_TRUE(pipeline.FetchSharedFor(a, v).ok());
+  }
+  for (graph::NodeId v = 10; v < 14; ++v) {
+    ASSERT_TRUE(pipeline.FetchSharedFor(b, v).ok());
+  }
+  // Tenant B re-reads tenant A's history: a late hit, no wire traffic.
+  auto reread = pipeline.FetchSharedFor(b, 3);
+  ASSERT_TRUE(reread.ok());
+  EXPECT_FALSE(reread->charged_this_call);
+
+  TenantPipelineStats stats_a = pipeline.tenant_stats(a);
+  TenantPipelineStats stats_b = pipeline.tenant_stats(b);
+  EXPECT_EQ(stats_a.submitted, 10u);
+  EXPECT_EQ(stats_b.submitted, 4u);
+  EXPECT_EQ(stats_b.late_hits, 1u);
+  EXPECT_EQ(stats_a.wire_items, 10u);
+  EXPECT_EQ(stats_b.wire_items, 4u);
+  // Every drained id recorded one wait sample.
+  EXPECT_EQ(stats_a.wait.count, 10u);
+  EXPECT_EQ(stats_b.wait.count, 4u);
+  EXPECT_EQ(stats_a.queue_depth, 0u);  // quiescent
+  EXPECT_EQ(stats_b.queue_depth, 0u);
+
+  RequestPipelineStats aggregate = pipeline.stats();
+  EXPECT_EQ(aggregate.submitted, stats_a.submitted + stats_b.submitted);
+  EXPECT_EQ(aggregate.wire_items, stats_a.wire_items + stats_b.wire_items);
+  EXPECT_EQ(aggregate.late_hits, 1u);
+  EXPECT_EQ(aggregate.queue_depth, 0u);
+  EXPECT_EQ(group_a.charged_queries() + group_b.charged_queries(), 14u);
+
+  // Removing a quiescent tenant folds its counters into the cumulative
+  // aggregate (stats() stays monotone) and frees its slot for reuse.
+  pipeline.RemoveTenant(a);
+  EXPECT_EQ(pipeline.tenant_stats(a).submitted, 0u);  // per-tenant view reset
+  EXPECT_EQ(pipeline.stats().submitted, aggregate.submitted);
+  EXPECT_EQ(pipeline.stats().wire_items, aggregate.wire_items);
+
+  // A later tenant recycles the slot with fresh accounting; a long-lived
+  // pipeline stays O(concurrent tenants), not O(sessions ever served).
+  access::SharedAccessGroup group_c(&backend_, shared_cache);
+  const TenantId c = pipeline.AddTenant(&group_c, /*weight=*/1);
+  EXPECT_EQ(c, a);  // the freed slot, reused
+  EXPECT_EQ(pipeline.num_tenants(), 2u);
+  ASSERT_TRUE(pipeline.FetchSharedFor(c, 20).ok());
+  EXPECT_EQ(pipeline.tenant_stats(c).submitted, 1u);
+  EXPECT_EQ(pipeline.stats().submitted, aggregate.submitted + 1);
+}
+
+TEST_F(RequestPipelineTest, PerTenantBudgetsRefuseIndependently) {
+  HistoryCache shared_cache({.num_shards = 4});
+  access::SharedAccessGroup group_a(&backend_, shared_cache,
+                                    {.query_budget = 1});
+  access::SharedAccessGroup group_b(&backend_, shared_cache);
+  RequestPipeline pipeline({.depth = 1, .max_batch = 2});
+  const TenantId a = pipeline.AddTenant(&group_a);
+  const TenantId b = pipeline.AddTenant(&group_b);
+
+  ASSERT_TRUE(pipeline.FetchSharedFor(a, 1).ok());
+  auto refused = pipeline.FetchSharedFor(a, 2);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), util::StatusCode::kBudgetExhausted);
+  // Tenant B is not affected by A's exhausted quota — including for the
+  // very node A was refused.
+  EXPECT_TRUE(pipeline.FetchSharedFor(b, 2).ok());
+  EXPECT_EQ(pipeline.tenant_stats(a).budget_refusals, 1u);
+  EXPECT_EQ(pipeline.tenant_stats(b).budget_refusals, 0u);
+  EXPECT_EQ(group_b.charged_queries(), 1u);
+}
+
+TEST_F(RequestPipelineTest, JoinerRetriesWhenCreatorsBudgetRefusesTheFlight) {
+  // Regression: a cross-tenant singleflight join must not inherit the
+  // CREATOR's budget refusal — the joiner's own quota may be fine, so it
+  // resubmits under its own tenant and pays for its own fetch.
+  GateBackend gated(&backend_);
+  HistoryCache shared_cache({.num_shards = 4});
+  access::SharedAccessGroup group_a(&gated, shared_cache, {.query_budget = 1});
+  access::SharedAccessGroup group_b(&gated, shared_cache);
+  RequestPipeline pipeline({.depth = 1, .max_batch = 4});
+  const TenantId a = pipeline.AddTenant(&group_a);
+  const TenantId b = pipeline.AddTenant(&group_b);
+
+  // Spend A's whole quota.
+  gated.Release(1);
+  ASSERT_TRUE(pipeline.FetchSharedFor(a, 1).ok());
+  EXPECT_EQ(group_a.remaining_budget(), 0u);
+
+  // A decoy holds the single worker at the gate...
+  std::thread decoy([&] { EXPECT_TRUE(pipeline.FetchSharedFor(b, 9).ok()); });
+  while (gated.arrivals() < 2) std::this_thread::yield();
+  // ...while broke tenant A creates the in-flight entry for node 2...
+  std::thread broke([&] {
+    auto refused = pipeline.FetchSharedFor(a, 2);
+    EXPECT_FALSE(refused.ok());
+    EXPECT_EQ(refused.status().code(), util::StatusCode::kBudgetExhausted);
+  });
+  while (pipeline.tenant_stats(a).submitted < 2) std::this_thread::yield();
+  // ...and solvent tenant B joins that (doomed) flight.
+  std::thread joiner([&] {
+    auto fetched = pipeline.FetchSharedFor(b, 2);
+    EXPECT_TRUE(fetched.ok());
+    if (fetched.ok()) {
+      // The retry made B the creator of its own, charged flight.
+      EXPECT_TRUE(fetched->charged_this_call);
+    }
+  });
+  while (pipeline.tenant_stats(b).dedup_joins < 1) std::this_thread::yield();
+  gated.Release(1'000'000);
+  decoy.join();
+  broke.join();
+  joiner.join();
+
+  EXPECT_EQ(group_a.charged_queries(), 1u);  // only its first fetch
+  EXPECT_EQ(group_b.charged_queries(), 2u);  // the decoy + the retried node
+  EXPECT_TRUE(shared_cache.Contains(2));
+  EXPECT_EQ(pipeline.tenant_stats(a).budget_refusals, 1u);
 }
 
 TEST_F(RequestPipelineTest, DestructorDrainsQueuedFetches) {

@@ -1,0 +1,299 @@
+#include "service/sampling_service.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "access/graph_access.h"
+#include "graph/generators.h"
+#include "net/remote_backend.h"
+#include "util/random.h"
+
+namespace histwalk::service {
+namespace {
+
+graph::Graph TestGraph() {
+  util::Random rng(7);
+  return graph::MakeWattsStrogatz(/*n=*/600, /*k=*/6, /*beta=*/0.15, rng);
+}
+
+SessionOptions CnrwSession(uint64_t seed, uint64_t steps,
+                           uint32_t walkers = 2) {
+  SessionOptions session;
+  session.walker = {.type = core::WalkerType::kCnrw};
+  session.num_walkers = walkers;
+  session.seed = seed;
+  session.max_steps = steps;
+  return session;
+}
+
+// Runs one session to completion and returns its report.
+SessionReport RunOne(SamplingService& service, const SessionOptions& options) {
+  auto id = service.Submit(options);
+  EXPECT_TRUE(id.ok()) << id.status();
+  auto report = service.Wait(*id);
+  EXPECT_TRUE(report.ok()) << report.status();
+  return *report;
+}
+
+TEST(SamplingServiceTest, SessionLifecycleSubmitPollWaitDetach) {
+  graph::Graph graph = TestGraph();
+  access::GraphAccess backend(&graph, nullptr);
+  SamplingService service(&backend, {.max_sessions = 4});
+
+  auto id = service.Submit(CnrwSession(/*seed=*/3, /*steps=*/100));
+  ASSERT_TRUE(id.ok()) << id.status();
+  auto report = service.Wait(*id);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->id, *id);
+  EXPECT_EQ(report->ensemble.traces.size(), 2u);
+  EXPECT_GT(report->ensemble.num_steps(), 0u);
+  EXPECT_GT(report->charged_queries, 0u);
+  auto state = service.Poll(*id);
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(*state, SessionState::kDone);
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.resident_sessions, 1u);
+
+  ASSERT_TRUE(service.Detach(*id).ok());
+  EXPECT_EQ(service.stats().resident_sessions, 0u);
+  EXPECT_EQ(service.stats().detached, 1u);
+  // Charged totals survive the detach.
+  EXPECT_EQ(service.stats().charged_queries, report->charged_queries);
+  EXPECT_EQ(service.Poll(*id).status().code(), util::StatusCode::kNotFound);
+  EXPECT_EQ(service.Detach(*id).code(), util::StatusCode::kNotFound);
+}
+
+TEST(SamplingServiceTest, AdmissionRefusalsAreTypedUnavailable) {
+  graph::Graph graph = TestGraph();
+  access::GraphAccess backend(&graph, nullptr);
+  SamplingService service(&backend, {.max_sessions = 2});
+
+  auto a = service.Submit(CnrwSession(1, 50));
+  auto b = service.Submit(CnrwSession(2, 50));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto refused = service.Submit(CnrwSession(3, 50));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_TRUE(util::IsUnavailable(refused.status())) << refused.status();
+  EXPECT_EQ(service.stats().admission_refusals, 1u);
+
+  // A finished-but-resident session still holds its slot; Detach frees it.
+  ASSERT_TRUE(service.Wait(*a).ok());
+  ASSERT_FALSE(service.Submit(CnrwSession(3, 50)).ok());
+  ASSERT_TRUE(service.Detach(*a).ok());
+  auto admitted = service.Submit(CnrwSession(3, 50));
+  EXPECT_TRUE(admitted.ok()) << admitted.status();
+  ASSERT_TRUE(service.Wait(*b).ok());
+}
+
+TEST(SamplingServiceTest, MemoryLimitRefusesAdmission) {
+  graph::Graph graph = TestGraph();
+  access::GraphAccess backend(&graph, nullptr);
+  SamplingService service(&backend,
+                          {.max_sessions = 8, .max_history_bytes = 1});
+
+  // The first session is admitted against an empty cache; once its history
+  // is resident the limit refuses the next tenant.
+  auto first = service.Submit(CnrwSession(1, 200));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(service.Wait(*first).ok());
+  auto refused = service.Submit(CnrwSession(2, 200));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_TRUE(util::IsUnavailable(refused.status()));
+  EXPECT_NE(refused.status().message().find("memory"), std::string::npos);
+}
+
+TEST(SamplingServiceTest, InvalidSessionOptionsAreRejectedUpFront) {
+  graph::Graph graph = TestGraph();
+  access::GraphAccess backend(&graph, nullptr);
+  SamplingService service(&backend, {});
+  SessionOptions no_stop = CnrwSession(1, /*steps=*/0);
+  EXPECT_EQ(service.Submit(no_stop).status().code(),
+            util::StatusCode::kInvalidArgument);
+  SessionOptions no_walkers = CnrwSession(1, 10, /*walkers=*/0);
+  EXPECT_EQ(service.Submit(no_walkers).status().code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.stats().submitted, 0u);
+}
+
+TEST(SamplingServiceTest, CrossTenantHistoryCutsTheSecondTenantsBill) {
+  graph::Graph graph = TestGraph();
+  access::GraphAccess backend(&graph, nullptr);
+  SamplingService service(&backend, {.max_sessions = 4});
+
+  // Tenant A crawls first; tenant B then walks an overlapping region and
+  // is billed only for what A's history does not already hold.
+  SessionReport first = RunOne(service, CnrwSession(/*seed=*/5, 400));
+  SessionReport second = RunOne(service, CnrwSession(/*seed=*/6, 400));
+  EXPECT_GT(second.ensemble.summed_stats.unique_queries, 0u);
+  EXPECT_LT(second.charged_queries,
+            second.ensemble.summed_stats.unique_queries);
+  EXPECT_GT(first.charged_queries, second.charged_queries);
+
+  // Isolated control: the same second tenant with a private cache pays its
+  // full standalone cost.
+  SamplingService isolated(&backend, {.max_sessions = 4,
+                                      .share_history = false,
+                                      .pipeline = {.cross_tenant_dedup =
+                                                       false}});
+  RunOne(isolated, CnrwSession(/*seed=*/5, 400));
+  SessionReport control = RunOne(isolated, CnrwSession(/*seed=*/6, 400));
+  // The control still shares history WITHIN its own session (its walkers'
+  // private cache), but gets nothing from the first tenant: its bill is
+  // strictly higher than the shared-mode tenant's.
+  EXPECT_LE(control.charged_queries,
+            control.ensemble.summed_stats.unique_queries);
+  EXPECT_GT(control.charged_queries, second.charged_queries);
+  // Same walks either way: sharing changed the bill, not the samples.
+  EXPECT_EQ(control.ensemble.Merged().nodes, second.ensemble.Merged().nodes);
+}
+
+TEST(SamplingServiceTest, TracesAndStatsDeterministicAcrossSchedulerDepths) {
+  graph::Graph graph = TestGraph();
+  access::GraphAccess backend(&graph, nullptr);
+
+  auto run_at_depth = [&](uint32_t depth) {
+    SamplingService service(&backend,
+                            {.max_sessions = 6,
+                             .pipeline = {.depth = depth, .max_batch = 4}});
+    std::vector<SessionId> ids;
+    for (uint64_t t = 0; t < 4; ++t) {
+      auto id = service.Submit(CnrwSession(/*seed=*/10 + t, 150));
+      EXPECT_TRUE(id.ok());
+      ids.push_back(*id);
+    }
+    std::vector<SessionReport> reports;
+    for (SessionId id : ids) {
+      auto report = service.Wait(id);
+      EXPECT_TRUE(report.ok());
+      reports.push_back(*report);
+    }
+    return reports;
+  };
+
+  std::vector<SessionReport> depth1 = run_at_depth(1);
+  std::vector<SessionReport> depth4 = run_at_depth(4);
+  ASSERT_EQ(depth1.size(), depth4.size());
+  for (size_t t = 0; t < depth1.size(); ++t) {
+    // Per-tenant traces and QueryStats are bit-identical across scheduler
+    // thread counts; only wire timing may differ.
+    estimate::MergedSamples a = depth1[t].ensemble.Merged();
+    estimate::MergedSamples b = depth4[t].ensemble.Merged();
+    EXPECT_EQ(a.nodes, b.nodes);
+    EXPECT_EQ(a.degrees, b.degrees);
+    ASSERT_EQ(depth1[t].ensemble.walker_stats.size(),
+              depth4[t].ensemble.walker_stats.size());
+    for (size_t w = 0; w < depth1[t].ensemble.walker_stats.size(); ++w) {
+      EXPECT_EQ(depth1[t].ensemble.walker_stats[w].unique_queries,
+                depth4[t].ensemble.walker_stats[w].unique_queries);
+      EXPECT_EQ(depth1[t].ensemble.walker_stats[w].total_queries,
+                depth4[t].ensemble.walker_stats[w].total_queries);
+      EXPECT_EQ(depth1[t].ensemble.walker_stats[w].cache_hits,
+                depth4[t].ensemble.walker_stats[w].cache_hits);
+    }
+  }
+}
+
+TEST(SamplingServiceTest, TenantQuotaCutsOnlyThatTenant) {
+  graph::Graph graph = TestGraph();
+  access::GraphAccess backend(&graph, nullptr);
+  SamplingService service(&backend, {.max_sessions = 4});
+
+  SessionOptions capped = CnrwSession(/*seed=*/21, /*steps=*/100000);
+  capped.num_walkers = 1;
+  capped.tenant_query_budget = 30;
+  SessionReport capped_report = RunOne(service, capped);
+  EXPECT_EQ(capped_report.charged_queries, 30u);
+  ASSERT_EQ(capped_report.ensemble.traces.size(), 1u);
+  EXPECT_TRUE(util::IsBudgetStop(
+      capped_report.ensemble.traces[0].final_status));
+
+  // An uncapped co-tenant keeps crawling unaffected.
+  SessionReport free_report = RunOne(service, CnrwSession(/*seed=*/22, 200));
+  EXPECT_FALSE(
+      util::IsBudgetStop(free_report.ensemble.traces[0].final_status));
+  EXPECT_GT(free_report.charged_queries, 0u);
+}
+
+TEST(SamplingServiceTest, WarmStartsFromAttachedStoreAndJournalsInserts) {
+  graph::Graph graph = TestGraph();
+  access::GraphAccess backend(&graph, nullptr);
+  const std::string snap = testing::TempDir() + "/service_warm.hwss";
+  const std::string wal = testing::TempDir() + "/service_warm.hwwl";
+  std::remove(snap.c_str());
+  std::remove(wal.c_str());
+
+  uint64_t first_entries = 0;
+  {
+    auto store = store::HistoryStore::Open(
+        {.snapshot_path = snap, .wal_path = wal, .checkpoint_wal_bytes = 0});
+    ASSERT_TRUE(store.ok());
+    SamplingService service(&backend,
+                            {.max_sessions = 2, .store = store->get()});
+    ASSERT_TRUE(service.warm_start_status().ok());
+    RunOne(service, CnrwSession(/*seed=*/31, 300));
+    first_entries = service.shared_cache().stats().entries;
+    EXPECT_GT(first_entries, 0u);
+    // The shared journal funnel logged every insert exactly once.
+    EXPECT_EQ((*store)->stats().appended_records, first_entries);
+  }
+  {
+    // "Restart": a fresh service over the same store comes up warm and a
+    // repeat of the same session is billed nothing.
+    auto store = store::HistoryStore::Open(
+        {.snapshot_path = snap, .wal_path = wal, .checkpoint_wal_bytes = 0});
+    ASSERT_TRUE(store.ok());
+    SamplingService service(&backend,
+                            {.max_sessions = 2, .store = store->get()});
+    ASSERT_TRUE(service.warm_start_status().ok());
+    EXPECT_EQ(service.shared_cache().stats().entries, first_entries);
+    SessionReport rerun = RunOne(service, CnrwSession(/*seed=*/31, 300));
+    EXPECT_EQ(rerun.charged_queries, 0u);
+  }
+}
+
+TEST(SamplingServiceTest, ConcurrentSessionsAllCompleteAndShareOneCache) {
+  graph::Graph graph = TestGraph();
+  access::GraphAccess inner(&graph, nullptr);
+  net::RemoteBackend remote(&inner, {.base_latency_us = 1'000,
+                                     .jitter_us = 500});
+  SamplingService service(
+      &remote, {.max_sessions = 12,
+                .pipeline = {.depth = 4, .max_batch = 8},
+                .clock = [&remote] { return remote.sim_now_us(); }});
+
+  std::vector<SessionId> ids;
+  for (uint64_t t = 0; t < 12; ++t) {
+    auto id = service.Submit(CnrwSession(/*seed=*/40 + t, 120));
+    ASSERT_TRUE(id.ok()) << id.status();
+    ids.push_back(*id);
+  }
+  uint64_t summed_unique = 0;
+  uint64_t summed_charged = 0;
+  for (SessionId id : ids) {
+    auto report = service.Wait(id);
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_GE(report->done_clock_us, report->submit_clock_us);
+    summed_unique += report->ensemble.summed_stats.unique_queries;
+    summed_charged += report->charged_queries;
+  }
+  // Shared history across tenants: the service was billed strictly less
+  // than the tenants' summed standalone costs.
+  EXPECT_LT(summed_charged, summed_unique);
+  EXPECT_EQ(service.stats().completed, 12u);
+  EXPECT_EQ(service.stats().charged_queries, summed_charged);
+  // Wire traffic matches the bill: every charged query rode the wire as
+  // exactly one batched item (no quota refusals in this run).
+  EXPECT_EQ(service.stats().pipeline.budget_refusals, 0u);
+  EXPECT_EQ(service.stats().pipeline.wire_items, summed_charged);
+  for (SessionId id : ids) ASSERT_TRUE(service.Detach(id).ok());
+}
+
+}  // namespace
+}  // namespace histwalk::service

@@ -165,6 +165,51 @@ TEST_F(SharedAccessTest, HistoryBytesReportsCacheAndPrivateBits) {
   EXPECT_EQ(a->HistoryBytes(), b->HistoryBytes());
 }
 
+TEST_F(SharedAccessTest, GroupsOverOneExternalCacheShareHistory) {
+  // The cross-tenant seam: two groups (tenants) over one externally owned
+  // cache. Each keeps its own billing; either one's fetches are history
+  // for both.
+  HistoryCache shared_cache({.num_shards = 4});
+  SharedAccessGroup tenant_a(&backend_, shared_cache);
+  SharedAccessGroup tenant_b(&backend_, shared_cache);
+  EXPECT_TRUE(tenant_a.uses_shared_cache());
+  EXPECT_TRUE(tenant_b.uses_shared_cache());
+  EXPECT_EQ(&tenant_a.cache(), &shared_cache);
+
+  auto a = tenant_a.MakeView();
+  auto b = tenant_b.MakeView();
+  EXPECT_TRUE(a->Neighbors(0).ok());
+  EXPECT_TRUE(a->Neighbors(1).ok());
+  // Tenant B free-rides on A's history: its standalone accounting still
+  // counts the nodes, but its group is billed nothing.
+  EXPECT_TRUE(b->Neighbors(0).ok());
+  EXPECT_TRUE(b->Neighbors(1).ok());
+  EXPECT_TRUE(b->Neighbors(2).ok());  // B's own new node
+  EXPECT_EQ(b->stats().unique_queries, 3u);
+  EXPECT_EQ(tenant_a.charged_queries(), 2u);
+  EXPECT_EQ(tenant_b.charged_queries(), 1u);
+  EXPECT_EQ(shared_cache.stats().entries, 3u);
+}
+
+TEST_F(SharedAccessTest, PerTenantBudgetsAreIndependentOverSharedCache) {
+  HistoryCache shared_cache({.num_shards = 4});
+  SharedAccessGroup tenant_a(&backend_, shared_cache, {.query_budget = 1});
+  SharedAccessGroup tenant_b(&backend_, shared_cache);
+  auto a = tenant_a.MakeView();
+  auto b = tenant_b.MakeView();
+  EXPECT_TRUE(a->Neighbors(0).ok());
+  // A's own quota refuses its next NEW node...
+  auto refused = a->Neighbors(1);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), util::StatusCode::kBudgetExhausted);
+  // ...but B fetches it on its own (unlimited) budget, after which A can
+  // read it as shared history without a charge.
+  EXPECT_TRUE(b->Neighbors(1).ok());
+  EXPECT_TRUE(a->Neighbors(1).ok());
+  EXPECT_EQ(tenant_a.charged_queries(), 1u);
+  EXPECT_EQ(tenant_b.charged_queries(), 1u);
+}
+
 TEST_F(SharedAccessTest, AttributeForwardsToBackend) {
   attr::AttributeTable attrs(8);
   ASSERT_TRUE(attrs.AddColumn("age", {1, 2, 3, 4, 5, 6, 7, 8}).ok());

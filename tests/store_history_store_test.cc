@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -108,6 +109,7 @@ TEST(HistoryStoreTest, JournalsPipelineFetchesToo) {
 }
 
 TEST(HistoryStoreTest, AutoCheckpointFoldsWalIntoSnapshot) {
+  // Default mode: the fold runs on the background checkpoint thread.
   const std::string snap = TempPath("hs_ckpt.hwss");
   const std::string wal = TempPath("hs_ckpt.hwwl");
   graph::Graph graph = TestGraph();
@@ -122,10 +124,15 @@ TEST(HistoryStoreTest, AutoCheckpointFoldsWalIntoSnapshot) {
   group.set_history_journal(store->get());
   CrawlOnce(graph, group, /*seed=*/5, /*steps=*/1200);
   group.set_history_journal(nullptr);
+  (*store)->WaitForIdle();
 
   HistoryStoreStats stats = (*store)->stats();
   EXPECT_GT(stats.checkpoints, 0u);
-  EXPECT_LT(stats.wal_bytes, 2048u + 512u);  // compacted, not growing forever
+  // Unlike the inline mode, the active WAL may overshoot the threshold by
+  // whatever lands while a fold is in flight (the no-stall trade-off); the
+  // rotation still retired every pre-rotation byte from it.
+  EXPECT_FALSE(stats.fold_segment_pending);  // fold segments retired
+  EXPECT_TRUE((*store)->last_error().ok());
 
   // Snapshot + residual WAL together still reproduce the full history.
   auto reopened = HistoryStore::Open(
@@ -135,6 +142,127 @@ TEST(HistoryStoreTest, AutoCheckpointFoldsWalIntoSnapshot) {
   ASSERT_TRUE((*reopened)->LoadInto(rebuilt).ok());
   EXPECT_EQ(rebuilt.stats().entries, group.cache().stats().entries);
   EXPECT_GT((*reopened)->stats().loaded_snapshot_entries, 0u);
+}
+
+TEST(HistoryStoreTest, InlineCheckpointStillFoldsOnTheInsertPath) {
+  // background_checkpoint = false preserves the PR-3 inline fold exactly:
+  // checkpoints are synchronous, so no WaitForIdle is needed and no fold
+  // segment ever exists.
+  const std::string snap = TempPath("hs_ckpt_inline.hwss");
+  const std::string wal = TempPath("hs_ckpt_inline.hwwl");
+  graph::Graph graph = TestGraph();
+
+  auto store = HistoryStore::Open({.snapshot_path = snap,
+                                   .wal_path = wal,
+                                   .checkpoint_wal_bytes = 2048,
+                                   .background_checkpoint = false});
+  ASSERT_TRUE(store.ok()) << store.status();
+  access::GraphAccess backend(&graph, nullptr);
+  access::SharedAccessGroup group(&backend, {});
+  group.set_history_journal(store->get());
+  CrawlOnce(graph, group, /*seed=*/5, /*steps=*/1200);
+  group.set_history_journal(nullptr);
+
+  HistoryStoreStats stats = (*store)->stats();
+  EXPECT_GT(stats.checkpoints, 0u);
+  EXPECT_LT(stats.wal_bytes, 2048u + 512u);
+  EXPECT_FALSE(stats.fold_segment_pending);
+
+  access::HistoryCache rebuilt({.num_shards = 8});
+  auto reopened = HistoryStore::Open(
+      {.snapshot_path = snap, .wal_path = wal, .checkpoint_wal_bytes = 0});
+  ASSERT_TRUE(reopened.ok());
+  ASSERT_TRUE((*reopened)->LoadInto(rebuilt).ok());
+  EXPECT_EQ(rebuilt.stats().entries, group.cache().stats().entries);
+}
+
+TEST(HistoryStoreTest, InterruptedBackgroundFoldRecoversFromFoldSegment) {
+  // The documented crash window: the WAL was rotated out to the fold
+  // segment but the process died before the snapshot landed. Recovery must
+  // replay snapshot + fold segment + active WAL.
+  const std::string snap = TempPath("hs_fold.hwss");
+  const std::string wal = TempPath("hs_fold.hwwl");
+  const std::string fold = wal + ".fold";
+  graph::Graph graph = TestGraph();
+
+  uint64_t total_entries = 0;
+  {
+    // Build a WAL with some records, then simulate the crash: rename it to
+    // the fold segment by hand (exactly what rotation does) and journal a
+    // few more records into a fresh active WAL. No snapshot is written.
+    auto store = HistoryStore::Open(
+        {.snapshot_path = snap, .wal_path = wal, .checkpoint_wal_bytes = 0});
+    ASSERT_TRUE(store.ok());
+    access::GraphAccess backend(&graph, nullptr);
+    access::SharedAccessGroup group(&backend, {});
+    group.set_history_journal(store->get());
+    CrawlOnce(graph, group, /*seed=*/13, /*steps=*/400);
+    group.set_history_journal(nullptr);
+    total_entries = group.cache().stats().entries;
+  }
+  ASSERT_EQ(std::rename(wal.c_str(), fold.c_str()), 0);
+  {
+    auto store = HistoryStore::Open(
+        {.snapshot_path = snap, .wal_path = wal, .checkpoint_wal_bytes = 0});
+    ASSERT_TRUE(store.ok());
+    access::GraphAccess backend(&graph, nullptr);
+    access::SharedAccessGroup group(&backend, {});
+    // Pre-warm from the fold so the "post-rotation" crawl extends it the
+    // way a real crashed process would have.
+    ASSERT_TRUE((*store)->LoadInto(group.cache()).ok());
+    group.set_history_journal(store->get());
+    CrawlOnce(graph, group, /*seed=*/14, /*steps=*/400);
+    group.set_history_journal(nullptr);
+    total_entries = group.cache().stats().entries;
+  }
+
+  // "Restart": the store adopts the fold segment and recovery sees all of
+  // snapshot-less fold + active WAL.
+  auto store = HistoryStore::Open(
+      {.snapshot_path = snap, .wal_path = wal, .checkpoint_wal_bytes = 0});
+  ASSERT_TRUE(store.ok());
+  EXPECT_TRUE((*store)->stats().fold_segment_pending);
+  access::HistoryCache rebuilt({.num_shards = 8});
+  ASSERT_TRUE((*store)->LoadInto(rebuilt).ok());
+  EXPECT_EQ(rebuilt.stats().entries, total_entries);
+
+  // An explicit checkpoint folds everything into the snapshot and retires
+  // the segment.
+  ASSERT_TRUE((*store)->Checkpoint(rebuilt).ok());
+  EXPECT_FALSE((*store)->stats().fold_segment_pending);
+  EXPECT_FALSE(std::ifstream(fold).good());
+}
+
+TEST(HistoryStoreTest, BackgroundFoldLosesNothingUnderConcurrentInserts) {
+  // Pipeline-driven concurrent inserts trip background folds mid-crawl;
+  // afterwards snapshot + segments must reproduce every cached entry.
+  const std::string snap = TempPath("hs_bg_conc.hwss");
+  const std::string wal = TempPath("hs_bg_conc.hwwl");
+  graph::Graph graph = TestGraph();
+
+  auto store = HistoryStore::Open({.snapshot_path = snap,
+                                   .wal_path = wal,
+                                   .checkpoint_wal_bytes = 4096});
+  ASSERT_TRUE(store.ok());
+  access::GraphAccess backend(&graph, nullptr);
+  access::SharedAccessGroup group(&backend, {.cache = {.num_shards = 8}});
+  group.set_history_journal(store->get());
+  auto run = estimate::RunEnsembleAsync(
+      group, {.type = core::WalkerType::kCnrw},
+      {.num_walkers = 4, .seed = 29, .max_steps = 400},
+      {.depth = 4, .max_batch = 8});
+  ASSERT_TRUE(run.ok()) << run.status();
+  group.set_history_journal(nullptr);
+  (*store)->WaitForIdle();
+  EXPECT_GT((*store)->stats().checkpoints, 0u);
+  EXPECT_TRUE((*store)->last_error().ok());
+
+  auto reopened = HistoryStore::Open(
+      {.snapshot_path = snap, .wal_path = wal, .checkpoint_wal_bytes = 0});
+  ASSERT_TRUE(reopened.ok());
+  access::HistoryCache rebuilt({.num_shards = 8});
+  ASSERT_TRUE((*reopened)->LoadInto(rebuilt).ok());
+  EXPECT_EQ(rebuilt.stats().entries, group.cache().stats().entries);
 }
 
 TEST(HistoryStoreTest, StaleWalOverSnapshotReplaysIdempotently) {

@@ -26,6 +26,7 @@ TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
   EXPECT_EQ(Status::BudgetExhausted("x").code(),
             StatusCode::kBudgetExhausted);
   EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::NotFound("missing thing").message(), "missing thing");
 }
@@ -63,7 +64,25 @@ TEST(StatusCodeTest, EveryCodeHasAName) {
   EXPECT_EQ(StatusCodeName(StatusCode::kResourceExhausted),
             "resource_exhausted");
   EXPECT_EQ(StatusCodeName(StatusCode::kDataLoss), "data_loss");
+  EXPECT_EQ(StatusCodeName(StatusCode::kUnavailable), "unavailable");
   EXPECT_EQ(StatusCodeName(StatusCode::kInternal), "internal");
+}
+
+TEST(StatusCodeTest, IsUnavailableMatchesOnlyUnavailable) {
+  EXPECT_TRUE(IsUnavailable(Status::Unavailable("session limit reached")));
+  EXPECT_FALSE(IsUnavailable(Status::ResourceExhausted("x")));
+  EXPECT_FALSE(IsUnavailable(Status::BudgetExhausted("x")));
+  EXPECT_FALSE(IsUnavailable(Status::NotFound("x")));
+  EXPECT_FALSE(IsUnavailable(Status::Ok()));
+  // An admission refusal is neither a budget stop nor data loss: nothing
+  // ran, nothing was charged, nothing is corrupt.
+  EXPECT_FALSE(IsBudgetStop(Status::Unavailable("x")));
+  EXPECT_FALSE(IsDataLoss(Status::Unavailable("x")));
+}
+
+TEST(StatusTest, UnavailableToStringUsesCodeName) {
+  EXPECT_EQ(Status::Unavailable("no capacity").ToString(),
+            "unavailable: no capacity");
 }
 
 TEST(StatusCodeTest, IsDataLossMatchesOnlyDataLoss) {
