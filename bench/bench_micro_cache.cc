@@ -10,8 +10,8 @@
 #include "access/graph_access.h"
 #include "access/history_cache.h"
 #include "access/shared_access.h"
+#include "api/sampler.h"
 #include "core/walker_factory.h"
-#include "estimate/ensemble_runner.h"
 #include "experiment/datasets.h"
 #include "util/random.h"
 
@@ -65,31 +65,43 @@ void BM_CachePutEvict(benchmark::State& state) {
 BENCHMARK(BM_CachePutEvict)->Arg(64)->Arg(256);
 BENCHMARK(BM_CacheGetHit);
 
-// End-to-end: 8 concurrent CNRW walkers over one shared cache. Arg 0 is
-// the unbounded seed behaviour; 64 and 256 bound the history. charged vs
-// standalone queries quantifies what the bound costs in re-fetches.
+// End-to-end: 8 concurrent CNRW walkers over one shared cache, assembled
+// through the api/ facade. Arg 0 is the unbounded seed behaviour; 64 and
+// 256 bound the history. charged vs standalone queries quantifies what the
+// bound costs in re-fetches.
 void BM_EnsembleCacheBounded(benchmark::State& state) {
   const experiment::Dataset& dataset = FixtureDataset();
   uint64_t capacity = static_cast<uint64_t>(state.range(0));
   double hit_rate = 0.0, evictions = 0.0, charged = 0.0, standalone = 0.0;
   double bytes = 0.0;
   for (auto _ : state) {
-    access::GraphAccess backend(&dataset.graph, &dataset.attributes);
-    access::SharedAccessGroup group(
-        &backend, {.cache = {.capacity = capacity, .num_shards = 8}});
-    auto result = estimate::RunEnsemble(
-        group, {.type = core::WalkerType::kCnrw},
-        {.num_walkers = 8, .seed = 42, .max_steps = 2000});
+    auto sampler = api::SamplerBuilder()
+                       .OverGraph(&dataset.graph, &dataset.attributes)
+                       .WithCache({.capacity = capacity, .num_shards = 8})
+                       .RunInline()
+                       .WithWalker({.type = core::WalkerType::kCnrw})
+                       .WithEnsemble(/*num_walkers=*/8, /*seed=*/42)
+                       .StopAfterSteps(2000)
+                       .Build();
+    if (!sampler.ok()) {
+      state.SkipWithError("sampler build failed");
+      return;
+    }
+    auto handle = (*sampler)->Run();
+    auto result = handle.ok()
+                      ? handle->Wait()
+                      : util::Result<api::RunReport>(handle.status());
     if (!result.ok()) {
       state.SkipWithError("ensemble failed");
       return;
     }
-    benchmark::DoNotOptimize(result->num_steps());
-    hit_rate = result->cache_stats.HitRate();
-    evictions = static_cast<double>(result->cache_stats.evictions);
+    benchmark::DoNotOptimize(result->ensemble.num_steps());
+    hit_rate = result->ensemble.cache_stats.HitRate();
+    evictions = static_cast<double>(result->ensemble.cache_stats.evictions);
     charged = static_cast<double>(result->charged_queries);
-    standalone = static_cast<double>(result->summed_stats.unique_queries);
-    bytes = static_cast<double>(result->history_bytes);
+    standalone =
+        static_cast<double>(result->ensemble.summed_stats.unique_queries);
+    bytes = static_cast<double>(result->ensemble.history_bytes);
   }
   state.SetItemsProcessed(state.iterations() * 8 * 2000);
   state.counters["hit_rate"] = hit_rate;

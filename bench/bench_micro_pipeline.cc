@@ -11,8 +11,8 @@
 
 #include "access/graph_access.h"
 #include "access/shared_access.h"
+#include "api/sampler.h"
 #include "core/walker_factory.h"
-#include "estimate/ensemble_runner.h"
 #include "experiment/datasets.h"
 #include "net/remote_backend.h"
 #include "net/request_pipeline.h"
@@ -75,31 +75,41 @@ void BM_PipelineFetchThroughput(benchmark::State& state) {
 BENCHMARK(BM_PipelineFetchThroughput)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
-// End-to-end: an 8-walker CNRW async ensemble per depth. Traces are
-// bit-identical across rows (the runner's contract); only sim_wall_s and
-// the wire counters move — the "walk, not wait" effect isolated.
+// End-to-end: an 8-walker CNRW async ensemble per depth, assembled through
+// the api/ facade. Traces are bit-identical across rows (the runner's
+// contract); only sim_wall_s and the wire counters move — the "walk, not
+// wait" effect isolated.
 void BM_AsyncEnsembleDepth(benchmark::State& state) {
   const experiment::Dataset& dataset = FixtureDataset();
   const uint32_t depth = static_cast<uint32_t>(state.range(0));
   double sim_wall = 0.0, charged = 0.0, wire_requests = 0.0, dedup = 0.0;
   for (auto _ : state) {
-    access::GraphAccess inner(&dataset.graph, &dataset.attributes);
-    net::RemoteBackend remote(&inner, {.seed = 13, .max_in_flight = depth});
-    access::SharedAccessGroup group(&remote);
-    auto result = estimate::RunEnsembleAsync(
-        group, {.type = core::WalkerType::kCnrw},
-        {.num_walkers = 8, .seed = 42, .max_steps = 1000},
-        {.depth = depth, .max_batch = 8});
+    auto sampler = api::SamplerBuilder()
+                       .OverGraph(&dataset.graph, &dataset.attributes)
+                       .WithRemoteWire({.seed = 13})
+                       .RunPipelined({.depth = depth, .max_batch = 8})
+                       .WithWalker({.type = core::WalkerType::kCnrw})
+                       .WithEnsemble(/*num_walkers=*/8, /*seed=*/42)
+                       .StopAfterSteps(1000)
+                       .Build();
+    if (!sampler.ok()) {
+      state.SkipWithError("sampler build failed");
+      return;
+    }
+    auto handle = (*sampler)->Run();
+    auto result = handle.ok()
+                      ? handle->Wait()
+                      : util::Result<api::RunReport>(handle.status());
     if (!result.ok()) {
       state.SkipWithError("async ensemble failed");
       return;
     }
-    benchmark::DoNotOptimize(result->num_steps());
-    sim_wall = static_cast<double>(remote.sim_now_us()) / 1e6;
+    benchmark::DoNotOptimize(result->ensemble.num_steps());
+    sim_wall = static_cast<double>(result->sim_wall_us) / 1e6;
     charged = static_cast<double>(result->charged_queries);
     wire_requests =
-        static_cast<double>(result->pipeline_stats.wire_requests);
-    dedup = static_cast<double>(result->pipeline_stats.dedup_joins);
+        static_cast<double>(result->ensemble.pipeline_stats.wire_requests);
+    dedup = static_cast<double>(result->ensemble.pipeline_stats.dedup_joins);
   }
   state.SetItemsProcessed(state.iterations() * 8 * 1000);
   state.counters["sim_wall_s"] = sim_wall;
@@ -119,24 +129,34 @@ void BM_AsyncEnsembleRateLimited(benchmark::State& state) {
   const uint32_t max_batch = static_cast<uint32_t>(state.range(0));
   double sim_hours = 0.0, rate_stall_s = 0.0;
   for (auto _ : state) {
-    access::GraphAccess inner(&dataset.graph, &dataset.attributes);
-    net::RemoteBackend remote(
-        &inner, {.seed = 13,
-                 .max_in_flight = 4,
-                 .rate_limit = access::RateLimitPolicy::Twitter()});
-    access::SharedAccessGroup group(&remote);
-    auto result = estimate::RunEnsembleAsync(
-        group, {.type = core::WalkerType::kCnrw},
-        {.num_walkers = 8, .seed = 42, .max_steps = 300},
-        {.depth = 4, .max_batch = max_batch});
+    auto sampler =
+        api::SamplerBuilder()
+            .OverGraph(&dataset.graph, &dataset.attributes)
+            .WithRemoteWire({.seed = 13,
+                             .max_in_flight = 4,
+                             .rate_limit = access::RateLimitPolicy::Twitter()})
+            .RunPipelined({.depth = 4, .max_batch = max_batch})
+            .WithWalker({.type = core::WalkerType::kCnrw})
+            .WithEnsemble(/*num_walkers=*/8, /*seed=*/42)
+            .StopAfterSteps(300)
+            .Build();
+    if (!sampler.ok()) {
+      state.SkipWithError("sampler build failed");
+      return;
+    }
+    auto handle = (*sampler)->Run();
+    auto result = handle.ok()
+                      ? handle->Wait()
+                      : util::Result<api::RunReport>(handle.status());
     if (!result.ok()) {
       state.SkipWithError("async ensemble failed");
       return;
     }
-    benchmark::DoNotOptimize(result->num_steps());
-    sim_hours = static_cast<double>(remote.sim_now_us()) / 3.6e9;
-    rate_stall_s =
-        static_cast<double>(remote.latency_model().rate_limited_us()) / 1e6;
+    benchmark::DoNotOptimize(result->ensemble.num_steps());
+    sim_hours = static_cast<double>(result->sim_wall_us) / 3.6e9;
+    rate_stall_s = static_cast<double>(
+                       (*sampler)->remote()->latency_model().rate_limited_us()) /
+                   1e6;
   }
   state.counters["sim_hours"] = sim_hours;
   state.counters["rate_stall_s"] = rate_stall_s;

@@ -1,23 +1,26 @@
 // Command-line crawler: run any sampler over an edge-list graph and report
-// the unbiased average-degree estimate plus convergence diagnostics.
+// the unbiased average-degree estimate plus convergence diagnostics. The
+// whole stack is assembled through the api::SamplerBuilder facade; every
+// knob is a named --flag mapping 1:1 onto a builder option.
 //
-//   crawl_cli [flags] <edges-file> [walker] [budget] [seed] [latency-us]
-//             [depth]
+//   crawl_cli [--flags] <edges-file>
 //
-//     edges-file  SNAP-style "u v" lines ('#' comments allowed)
-//     walker      srw | mhrw | nbsrw | cnrw | cnrw-node | nbcnrw | gnrw
-//                 (default cnrw; gnrw uses an 8-way degree grouping)
-//     budget      unique-query budget (default 1000)
-//     seed        RNG seed (default 1)
-//     latency-us  simulate a remote service: base per-request latency in
-//                 microseconds (default 0 = in-memory access, no wire).
-//                 Jitter is latency-us/2; the crawl additionally reports
-//                 simulated wall-clock and wire-request counts.
-//     depth       pipeline depth when latency-us > 0 (default 1): wire
-//                 slots overlapped by the latency model AND the in-flight
-//                 bound of the request pipeline resolving cache misses
+//     <edges-file>       SNAP-style "u v" lines ('#' comments allowed)
+//     --walker=W         srw | mhrw | nbsrw | cnrw | cnrw-node | nbcnrw |
+//                        gnrw (default cnrw; gnrw uses an 8-way degree
+//                        grouping)                 -> WithWalker
+//     --budget=N         shared fetch budget (default 1000)
+//                                                  -> WithGroupQueryBudget
+//     --seed=N           RNG seed (default 1)      -> WithEnsemble
+//     --latency-us=N     simulate a remote service: base per-request wire
+//                        latency in microseconds (default 0 = in-memory,
+//                        no wire; jitter is latency/2)  -> WithRemoteWire
+//     --depth=N          pipeline depth when --latency-us > 0 (default 1):
+//                        wire slots overlapped by the latency model AND
+//                        the in-flight bound of the request pipeline
+//                        resolving cache misses    -> RunPipelined
 //
-//   Persistence flags (any position; all optional):
+//   Persistence flags (all optional)               -> WithHistoryStore:
 //     --load-history=F   restore the history cache from snapshot F before
 //                        crawling (missing file = clean cold start)
 //     --wal=F            journal every fetched neighbor list to WAL F as
@@ -33,27 +36,21 @@
 //   an uninterrupted crawl given the combined budget — scripts/
 //   resume_demo.sh pins exactly that.
 //
-// With no arguments, prints usage and runs a small self-demo so the binary
-// is exercised by "run everything" loops.
+// With no positional argument, prints usage and runs a small self-demo so
+// the binary is exercised by "run everything" loops.
 
 #include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include "access/graph_access.h"
-#include "access/shared_access.h"
+#include "api/sampler.h"
 #include "attr/grouping.h"
-#include "core/walker_factory.h"
 #include "estimate/diagnostics.h"
-#include "estimate/estimators.h"
-#include "estimate/walk_runner.h"
 #include "graph/generators.h"
 #include "graph/io.h"
-#include "net/remote_backend.h"
-#include "net/request_pipeline.h"
 #include "store/format.h"
-#include "store/history_store.h"
+#include "util/flags.h"
 #include "util/md5.h"
 #include "util/random.h"
 
@@ -91,37 +88,6 @@ std::string TraceDigest(const estimate::TracedWalk& trace) {
   return util::Md5Hex(bytes);
 }
 
-int RunAndReport(core::Walker& walker, access::NodeAccess& access,
-                 graph::NodeId start, uint64_t budget) {
-  if (auto status = walker.Reset(start); !status.ok()) {
-    std::cerr << status << "\n";
-    return 1;
-  }
-  estimate::TracedWalk trace =
-      estimate::TraceWalk(walker, {.max_steps = 200 * budget});
-  std::vector<double> degree_series(trace.degrees.begin(),
-                                    trace.degrees.end());
-  estimate::ChainDiagnostics diag = estimate::Diagnose(degree_series);
-
-  std::cout << "walker:            " << walker.name() << "\n"
-            << "start node:        " << start << "\n"
-            << "steps taken:       " << trace.num_steps() << "\n"
-            << "unique queries:    " << access.unique_query_count() << "\n"
-            << "history bytes:     " << walker.HistoryBytes() << " (walker) + "
-            << access.HistoryBytes() << " (access)\n"
-            << "trace digest:      " << TraceDigest(trace) << "\n"
-            << "avg degree (est):  "
-            << estimate::EstimateAverageDegree(trace.degrees, walker.bias())
-            << "\n"
-            << "ESS of deg series: " << diag.ess << "  (IAT " << diag.iat
-            << ")\n"
-            << "Geweke |z|:        " << std::abs(diag.geweke_z)
-            << (std::abs(diag.geweke_z) < 2.0 ? "  (looks converged)"
-                                              : "  (still burning in)")
-            << "\n";
-  return 0;
-}
-
 int Crawl(const graph::Graph& graph, core::WalkerType type, uint64_t budget,
           uint64_t seed, uint64_t latency_us, uint32_t depth,
           const HistoryFlags& history) {
@@ -130,65 +96,54 @@ int Crawl(const graph::Graph& graph, core::WalkerType type, uint64_t budget,
   if (type == core::WalkerType::kGnrw) {
     grouping = attr::MakeDegreeGrouping(graph, 8);
   }
-  core::WalkerSpec spec{.type = type, .grouping = grouping.get()};
-  util::Random start_rng(seed ^ 0x5bd1e995u);
-  graph::NodeId start =
-      static_cast<graph::NodeId>(start_rng.UniformIndex(graph.num_nodes()));
 
-  if (latency_us == 0 && !history.any()) {
-    // In-memory access, the seed's behaviour.
-    access::GraphAccess access(&graph, nullptr, {.query_budget = budget});
-    auto walker = core::MakeWalker(spec, &access, seed);
-    if (!walker.ok()) {
-      std::cerr << walker.status() << "\n";
-      return 1;
-    }
-    return RunAndReport(**walker, access, start, budget);
-  }
-
-  // Shared-group crawl: the budget moves to the group (kBudgetExhausted
-  // stops the walk), history lives in the group's cache — and optionally
-  // on disk, through an attached store.
-  access::GraphAccess inner(&graph, nullptr);
-  std::unique_ptr<net::RemoteBackend> remote;
-  const access::AccessBackend* backend = &inner;
+  // The whole stack, declaratively: one flag = one builder option.
+  api::SamplerBuilder builder;
+  builder.OverGraph(&graph)
+      .WithGroupQueryBudget(budget)
+      .WithWalker({.type = type, .grouping = grouping.get()})
+      .WithEnsemble(/*num_walkers=*/1, seed)
+      .StopAfterSteps(200 * budget)
+      .EstimateAverageDegree();
   if (latency_us > 0) {
-    remote = std::make_unique<net::RemoteBackend>(
-        &inner, net::LatencyModelOptions{.seed = seed,
-                                         .base_latency_us = latency_us,
-                                         .jitter_us = latency_us / 2,
-                                         .max_in_flight = depth});
-    backend = remote.get();
+    builder
+        .WithRemoteWire({.seed = seed,
+                         .base_latency_us = latency_us,
+                         .jitter_us = latency_us / 2})
+        .RunPipelined({.depth = depth});
+  } else {
+    builder.RunInline();
   }
-  access::SharedAccessGroup group(backend, {.query_budget = budget});
-
-  std::unique_ptr<store::HistoryStore> history_store;
   if (history.any()) {
     std::string snapshot_path = !history.save.empty() ? history.save
                                 : !history.load.empty()
                                     ? history.load
                                     : history.wal + ".snap";
-    auto opened = store::HistoryStore::Open(
-        {.snapshot_path = snapshot_path,
-         .load_snapshot_path = history.load,
-         // Restoring is opt-in: --load-history names a snapshot, --wal
-         // implies full resume state (a checkpoint may have folded earlier
-         // records into the snapshot). --save-history alone stays a COLD
-         // crawl even when its target file already exists.
-         .load_snapshot = !history.load.empty() || !history.wal.empty(),
-         .wal_path = history.wal,
-         // The CLI folds explicitly at exit via --save-history; a crawl
-         // that only journals keeps its WAL intact for the next resume.
-         .checkpoint_wal_bytes = 0});
-    if (!opened.ok()) {
-      std::cerr << "history store: " << opened.status() << "\n";
-      return 1;
-    }
-    history_store = *std::move(opened);
-    if (auto status = history_store->LoadInto(group.cache()); !status.ok()) {
-      std::cerr << "history load: " << status << "\n";
-      return 1;
-    }
+    builder.WithHistoryStore(store::HistoryStoreOptions{
+        .snapshot_path = snapshot_path,
+        .load_snapshot_path = history.load,
+        // Restoring is opt-in: --load-history names a snapshot, --wal
+        // implies full resume state (a checkpoint may have folded earlier
+        // records into the snapshot). --save-history alone stays a COLD
+        // crawl even when its target file already exists.
+        .load_snapshot = !history.load.empty() || !history.wal.empty(),
+        .wal_path = history.wal,
+        // The CLI folds explicitly at exit via --save-history; a crawl
+        // that only journals keeps its WAL intact for the next resume.
+        .checkpoint_wal_bytes = 0});
+  }
+
+  auto sampler = builder.Build();
+  if (!sampler.ok()) {
+    std::cerr << "history store: " << sampler.status() << "\n";
+    return 1;
+  }
+  if (!(*sampler)->warm_start_status().ok()) {
+    std::cerr << "history load: " << (*sampler)->warm_start_status() << "\n";
+    return 1;
+  }
+  store::HistoryStore* history_store = (*sampler)->history_store();
+  if (history_store != nullptr) {
     store::HistoryStoreStats stats = history_store->stats();
     std::cout << "history restored:  " << stats.loaded_snapshot_entries
               << " snapshot entries + " << stats.replayed_wal_records
@@ -196,33 +151,38 @@ int Crawl(const graph::Graph& graph, core::WalkerType type, uint64_t budget,
               << (stats.recovered_torn_tail ? "  (recovered torn wal tail)"
                                             : "")
               << "\n";
-    group.set_history_journal(history_store.get());
   }
 
-  std::unique_ptr<net::RequestPipeline> pipeline;
-  if (latency_us > 0) {
-    pipeline = std::make_unique<net::RequestPipeline>(
-        &group, net::RequestPipelineOptions{.depth = depth});
-    group.set_async_fetcher(pipeline.get());
-  }
-  auto cleanup = [&] {
-    group.set_async_fetcher(nullptr);
-    pipeline.reset();
-    group.set_history_journal(nullptr);
-  };
-
-  auto view = group.MakeView();
-  auto walker = core::MakeWalker(spec, view.get(), seed);
-  if (!walker.ok()) {
-    std::cerr << walker.status() << "\n";
-    cleanup();
+  auto handle = (*sampler)->Run();
+  auto report = handle.ok() ? handle->Wait() : handle.status();
+  if (!report.ok()) {
+    std::cerr << report.status() << "\n";
     return 1;
   }
-  int rc = RunAndReport(**walker, *view, start, budget);
-  std::cout << "charged queries:   " << group.charged_queries()
+  const estimate::TracedWalk& trace = report->ensemble.traces[0];
+  std::vector<double> degree_series(trace.degrees.begin(),
+                                    trace.degrees.end());
+  estimate::ChainDiagnostics diag = estimate::Diagnose(degree_series);
+
+  std::cout << "walker:            " << core::WalkerTypeName(type) << "\n"
+            << "start node:        " << report->ensemble.starts[0] << "\n"
+            << "steps taken:       " << trace.num_steps() << "\n"
+            << "unique queries:    "
+            << report->ensemble.walker_stats[0].unique_queries << "\n"
+            << "history bytes:     " << report->ensemble.history_bytes
+            << "\n"
+            << "trace digest:      " << TraceDigest(trace) << "\n"
+            << "avg degree (est):  " << report->estimate << "\n"
+            << "ESS of deg series: " << diag.ess << "  (IAT " << diag.iat
+            << ")\n"
+            << "Geweke |z|:        " << std::abs(diag.geweke_z)
+            << (std::abs(diag.geweke_z) < 2.0 ? "  (looks converged)"
+                                              : "  (still burning in)")
+            << "\n"
+            << "charged queries:   " << report->charged_queries
             << " (group budget " << budget << ")\n";
-  if (remote != nullptr) {
-    net::RemoteBackendStats wire = remote->stats();
+  if ((*sampler)->remote() != nullptr) {
+    net::RemoteBackendStats wire = (*sampler)->remote()->stats();
     std::cout << "sim wall-clock:    " << wire.sim_elapsed_us / 1000.0
               << " ms  (" << wire.requests << " wire requests, depth "
               << depth << ")\n";
@@ -233,11 +193,9 @@ int Crawl(const graph::Graph& graph, core::WalkerType type, uint64_t budget,
                 << " in flight)\n";
     }
   }
-  cleanup();
   if (history_store != nullptr) {
     if (!history.save.empty()) {
-      if (auto status = history_store->Checkpoint(group.cache());
-          !status.ok()) {
+      if (auto status = (*sampler)->SaveHistory(); !status.ok()) {
         std::cerr << "history save: " << status << "\n";
         return 1;
       }
@@ -255,37 +213,53 @@ int Crawl(const graph::Graph& graph, core::WalkerType type, uint64_t budget,
       return 1;
     }
   }
-  return rc;
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  auto parsed = util::Flags::Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::cerr << parsed.status() << "\n";
+    return 1;
+  }
+  util::Flags& flags = *parsed;
+
   HistoryFlags history;
-  std::vector<std::string> args;
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    if (arg.rfind("--load-history=", 0) == 0) {
-      history.load = arg.substr(15);
-    } else if (arg.rfind("--save-history=", 0) == 0) {
-      history.save = arg.substr(15);
-    } else if (arg.rfind("--wal=", 0) == 0) {
-      history.wal = arg.substr(6);
-    } else if (arg.rfind("--", 0) == 0) {
-      std::cerr << "unknown flag: " << arg << "\n";
+  history.load = flags.GetString("load-history", "");
+  history.save = flags.GetString("save-history", "");
+  history.wal = flags.GetString("wal", "");
+  std::string walker_name = flags.GetString("walker", "cnrw");
+  auto budget = flags.GetUint("budget", 1000);
+  auto seed = flags.GetUint("seed", 1);
+  auto latency_us = flags.GetUint("latency-us", 0);
+  auto depth = flags.GetUint("depth", 1);
+  for (const auto* value : {&budget, &seed, &latency_us, &depth}) {
+    if (!value->ok()) {
+      std::cerr << value->status() << "\n";
       return 1;
-    } else {
-      args.push_back(std::move(arg));
     }
   }
+  if (auto status = flags.CheckAllRead(); !status.ok()) {
+    std::cerr << status << "\n";
+    return 1;
+  }
+  auto walker = ParseWalker(walker_name);
+  if (!walker.ok()) {
+    std::cerr << walker.status() << "\n";
+    return 1;
+  }
 
-  if (args.empty()) {
-    std::cout << "usage: crawl_cli [flags] <edges-file> "
-                 "[srw|mhrw|nbsrw|cnrw|cnrw-node|nbcnrw|gnrw] [budget] "
-                 "[seed] [latency-us] [depth]\n\n"
-                 "  latency-us > 0 simulates a remote service (per-request "
-                 "wire latency,\n  virtual clock) and depth > 1 overlaps "
-                 "that many in-flight requests.\n\n"
+  if (flags.positional().empty()) {
+    std::cout << "usage: crawl_cli [--flags] <edges-file>\n\n"
+                 "  --walker=srw|mhrw|nbsrw|cnrw|cnrw-node|nbcnrw|gnrw\n"
+                 "  --budget=N    shared fetch budget (default 1000)\n"
+                 "  --seed=N      RNG seed (default 1)\n"
+                 "  --latency-us=N  simulated per-request wire latency "
+                 "(0 = in-memory)\n"
+                 "  --depth=N     overlapped in-flight requests when "
+                 "--latency-us > 0\n\n"
                  "  --load-history=F / --wal=F / --save-history=F persist "
                  "the history cache\n  across crawls (snapshot + "
                  "write-ahead log); see scripts/resume_demo.sh.\n\n"
@@ -301,34 +275,22 @@ int main(int argc, char** argv) {
     return Crawl(demo, core::WalkerType::kCnrw, 500, 1,
                  /*latency_us=*/50'000, /*depth=*/4, HistoryFlags{});
   }
+  if (flags.positional().size() > 1) {
+    std::cerr << "expected one positional argument (the edges file); "
+                 "numeric knobs are now named flags (--budget=, --seed=, "
+                 "--latency-us=, --depth=)\n";
+    return 1;
+  }
 
-  auto graph = graph::ReadEdgeList(args[0]);
+  auto graph = graph::ReadEdgeList(flags.positional()[0]);
   if (!graph.ok()) {
     std::cerr << graph.status() << "\n";
     return 1;
   }
-  core::WalkerType type = core::WalkerType::kCnrw;
-  if (args.size() > 1) {
-    auto parsed = ParseWalker(args[1]);
-    if (!parsed.ok()) {
-      std::cerr << parsed.status() << "\n";
-      return 1;
-    }
-    type = *parsed;
-  }
-  uint64_t budget =
-      args.size() > 2 ? std::strtoull(args[2].c_str(), nullptr, 10) : 1000;
-  uint64_t seed =
-      args.size() > 3 ? std::strtoull(args[3].c_str(), nullptr, 10) : 1;
-  uint64_t latency_us =
-      args.size() > 4 ? std::strtoull(args[4].c_str(), nullptr, 10) : 0;
-  uint32_t depth = args.size() > 5
-                       ? static_cast<uint32_t>(
-                             std::strtoull(args[5].c_str(), nullptr, 10))
-                       : 1;
-  if (budget == 0) {
+  if (*budget == 0) {
     std::cerr << "budget must be positive\n";
     return 1;
   }
-  return Crawl(*graph, type, budget, seed, latency_us, depth, history);
+  return Crawl(*graph, *walker, *budget, *seed, *latency_us,
+               static_cast<uint32_t>(*depth), history);
 }

@@ -1,31 +1,27 @@
-// Concurrent ensemble over shared history: N walkers, one bounded cache,
-// and (new) an overlapped-fetch mode against a simulated remote service.
+// Concurrent ensemble over shared history, assembled through the api/
+// facade: N walkers, one bounded cache, and an overlapped-fetch mode
+// against a simulated remote service.
 //
 //   $ ./build/ensemble_demo [--quick]
 //
-// Knobs demonstrated below (all are library options, not flags):
-//   cache capacity   SharedAccessOptions::cache.capacity   (0 = unbounded)
-//   pipeline depth   net::RequestPipelineOptions::depth    (in-flight bound)
-//   batch size       net::RequestPipelineOptions::max_batch
-//   wire latency     net::LatencyModelOptions::{base_latency_us, jitter_us,
-//                    per_item_us, max_in_flight, rate_limit}
+// Knobs demonstrated below (all SamplerBuilder options):
+//   cache capacity   WithCache({.capacity, .num_shards})
+//   pipeline depth   RunPipelined({.depth})        (in-flight bound)
+//   batch size       RunPipelined({.max_batch})
+//   wire latency     WithRemoteWire({.base_latency_us, .jitter_us, ...})
 //
-// Runs an 8-walker CNRW ensemble twice with the same seed against one
-// SharedAccessGroup (bounded HistoryCache) and verifies the merged traces
-// are bit-identical — then re-runs the SAME ensemble through
-// RunEnsembleAsync at pipeline depths 1 and 8 over a net::RemoteBackend
-// and verifies the traces still match while the simulated crawl wall-clock
-// drops. Exits non-zero if either check fails, so the build registers it
-// as a ctest check.
+// Runs an 8-walker CNRW ensemble twice with the same seed over a bounded
+// shared HistoryCache and verifies the merged traces are bit-identical —
+// then re-runs the SAME ensemble in pipelined mode at depths 1 and 8 over
+// a simulated remote wire and verifies the traces still match while the
+// simulated crawl wall-clock drops. Exits non-zero if either check fails,
+// so the build registers it as a ctest check.
 
 #include <iostream>
 
-#include "access/graph_access.h"
-#include "access/shared_access.h"
-#include "estimate/ensemble_runner.h"
+#include "api/sampler.h"
 #include "estimate/estimators.h"
 #include "graph/generators.h"
-#include "net/remote_backend.h"
 #include "util/random.h"
 
 namespace {
@@ -45,60 +41,51 @@ bool SameTraces(const estimate::EnsembleResult& a,
   return true;
 }
 
-estimate::EnsembleResult RunOnce(const graph::Graph& graph,
-                                 uint64_t cache_capacity, uint64_t steps) {
-  access::GraphAccess backend(&graph, /*attributes=*/nullptr);
-  access::SharedAccessGroup group(
-      &backend, {.cache = {.capacity = cache_capacity, .num_shards = 8}});
-  auto result = estimate::RunEnsemble(group, {.type = core::WalkerType::kCnrw},
-                                      {.num_walkers = 8, .seed = 2024,
-                                       .max_steps = steps});
-  if (!result.ok()) {
-    std::cerr << result.status() << "\n";
+api::RunReport MustRun(api::SamplerBuilder builder) {
+  auto sampler = builder.Build();
+  if (!sampler.ok()) {
+    std::cerr << sampler.status() << "\n";
     std::exit(1);
   }
-  return *std::move(result);
-}
-
-// The same ensemble, but misses travel through a RequestPipeline over a
-// latency-modelled remote backend with `depth` wire slots. Returns the
-// result plus the simulated crawl time.
-struct AsyncRun {
-  estimate::EnsembleResult result;
-  uint64_t sim_wall_us = 0;
-  uint64_t wire_requests = 0;
-  double mean_batch = 0.0;
-  uint64_t dedup_joins = 0;
-};
-
-AsyncRun RunOnceAsync(const graph::Graph& graph, uint32_t depth,
-                      uint64_t steps) {
-  access::GraphAccess inner(&graph, /*attributes=*/nullptr);
-  net::RemoteBackend remote(&inner, {.seed = 2024,
-                                     .base_latency_us = 50'000,
-                                     .jitter_us = 25'000,
-                                     .max_in_flight = depth});
-  access::SharedAccessGroup group(
-      &remote, {.cache = {.capacity = 256, .num_shards = 8}});
-  auto result = estimate::RunEnsembleAsync(
-      group, {.type = core::WalkerType::kCnrw},
-      {.num_walkers = 8, .seed = 2024, .max_steps = steps},
-      {.depth = depth, .max_batch = 8});
-  if (!result.ok()) {
-    std::cerr << result.status() << "\n";
+  auto handle = (*sampler)->Run();
+  auto report = handle.ok() ? handle->Wait() : handle.status();
+  if (!report.ok()) {
+    std::cerr << report.status() << "\n";
     std::exit(1);
   }
-  AsyncRun run;
-  run.sim_wall_us = remote.sim_now_us();
-  run.wire_requests = result->pipeline_stats.wire_requests;
-  run.mean_batch = result->pipeline_stats.MeanBatchSize();
-  run.dedup_joins = result->pipeline_stats.dedup_joins;
-  run.result = *std::move(result);
-  return run;
+  return *std::move(report);
 }
 
-void Report(const char* label, const estimate::EnsembleResult& result,
-            double truth) {
+// The base stack every arm shares: one graph, CNRW, 8 walkers, seed 2024.
+api::SamplerBuilder BaseBuilder(const graph::Graph& graph, uint64_t steps) {
+  return api::SamplerBuilder()
+      .OverGraph(&graph)
+      .WithWalker({.type = core::WalkerType::kCnrw})
+      .WithEnsemble(/*num_walkers=*/8, /*seed=*/2024)
+      .StopAfterSteps(steps);
+}
+
+api::RunReport RunOnce(const graph::Graph& graph, uint64_t cache_capacity,
+                       uint64_t steps) {
+  return MustRun(BaseBuilder(graph, steps)
+                     .WithCache({.capacity = cache_capacity, .num_shards = 8})
+                     .RunInline());
+}
+
+// The same ensemble in pipelined mode over a latency-modelled remote wire
+// with `depth` in-flight slots.
+api::RunReport RunOnceAsync(const graph::Graph& graph, uint32_t depth,
+                            uint64_t steps) {
+  return MustRun(BaseBuilder(graph, steps)
+                     .WithRemoteWire({.seed = 2024,
+                                      .base_latency_us = 50'000,
+                                      .jitter_us = 25'000})
+                     .WithCache({.capacity = 256, .num_shards = 8})
+                     .RunPipelined({.depth = depth, .max_batch = 8}));
+}
+
+void Report(const char* label, const api::RunReport& report, double truth) {
+  const estimate::EnsembleResult& result = report.ensemble;
   estimate::MergedSamples merged = result.Merged();
   double estimate = estimate::EstimateAverageDegree(
       merged.degrees, core::StationaryBias::kDegreeProportional);
@@ -106,7 +93,7 @@ void Report(const char* label, const estimate::EnsembleResult& result,
             << "  merged steps:        " << result.num_steps() << "\n"
             << "  standalone queries:  " << result.summed_stats.unique_queries
             << "  (8 isolated walkers would pay this)\n"
-            << "  charged queries:     " << result.charged_queries
+            << "  charged queries:     " << report.charged_queries
             << "  (shared history saved " << result.SharedHistorySavings()
             << ")\n"
             << "  cache hit rate:      " << result.cache_stats.HitRate()
@@ -131,11 +118,9 @@ int main(int argc, char** argv) {
 
   // Determinism: same seed, same bounded cache -> bit-identical merged
   // traces, no matter how the 8 walkers were scheduled.
-  estimate::EnsembleResult bounded = RunOnce(graph, /*cache_capacity=*/256,
-                                             steps);
-  estimate::EnsembleResult rerun = RunOnce(graph, /*cache_capacity=*/256,
-                                           steps);
-  if (!SameTraces(bounded, rerun)) {
+  api::RunReport bounded = RunOnce(graph, /*cache_capacity=*/256, steps);
+  api::RunReport rerun = RunOnce(graph, /*cache_capacity=*/256, steps);
+  if (!SameTraces(bounded.ensemble, rerun.ensemble)) {
     std::cerr << "FAIL: merged ensemble traces differ between identical "
                  "runs\n";
     return 1;
@@ -145,11 +130,11 @@ int main(int argc, char** argv) {
 
   // Async acceptance: pipelined fetching over a simulated remote service
   // must reproduce the exact same traces, in less simulated wall-clock.
-  AsyncRun serial = RunOnceAsync(graph, /*depth=*/1, steps);
-  AsyncRun overlapped = RunOnceAsync(graph, /*depth=*/8, steps);
-  if (!SameTraces(bounded, serial.result) ||
-      !SameTraces(bounded, overlapped.result)) {
-    std::cerr << "FAIL: async ensemble traces differ from the synchronous "
+  api::RunReport serial = RunOnceAsync(graph, /*depth=*/1, steps);
+  api::RunReport overlapped = RunOnceAsync(graph, /*depth=*/8, steps);
+  if (!SameTraces(bounded.ensemble, serial.ensemble) ||
+      !SameTraces(bounded.ensemble, overlapped.ensemble)) {
+    std::cerr << "FAIL: pipelined ensemble traces differ from the inline "
                  "runner\n";
     return 1;
   }
@@ -167,12 +152,13 @@ int main(int argc, char** argv) {
   std::cerr << "  (scheduling-dependent wire metrics: simulated crawl "
             << serial.sim_wall_us / 1000 << "ms -> "
             << overlapped.sim_wall_us / 1000 << "ms, "
-            << overlapped.wire_requests << " wire requests, mean batch "
-            << overlapped.mean_batch << ", " << overlapped.dedup_joins
+            << overlapped.ensemble.pipeline_stats.wire_requests
+            << " wire requests, mean batch "
+            << overlapped.ensemble.pipeline_stats.MeanBatchSize() << ", "
+            << overlapped.ensemble.pipeline_stats.dedup_joins
             << " singleflight joins)\n";
 
-  estimate::EnsembleResult unbounded = RunOnce(graph, /*cache_capacity=*/0,
-                                               steps);
+  api::RunReport unbounded = RunOnce(graph, /*cache_capacity=*/0, steps);
   Report("unbounded history cache", unbounded, graph.AverageDegree());
   std::cout << "\n";
   Report("bounded history cache (256 entries)", bounded,

@@ -1,22 +1,22 @@
-// Demo of the service/ layer: one long-lived SamplingService hosting
-// several concurrent sampling sessions (tenants) over one shared history
-// cache and one fair-scheduled request pipeline.
+// Demo of the service execution mode through the api/ facade: one
+// long-lived Sampler hosting several concurrent sampling runs (tenants)
+// over one shared history cache and one fair-scheduled request pipeline.
 //
 // Doubles as the service acceptance check under ctest: it verifies that
 //  * tenant traces are bit-identical whether history is shared or
 //    isolated (sharing changes the bill, never the samples),
 //  * the shared service is billed fewer backend fetches than the same
 //    tenants run isolated,
-//  * admission control refuses over-capacity submits with the typed
-//    kUnavailable status, and a Detach frees the slot.
+//  * admission control refuses over-capacity runs with the typed
+//    kUnavailable status, and a finished run's Wait frees the slot.
 
 #include <iostream>
 #include <vector>
 
 #include "access/graph_access.h"
+#include "api/sampler.h"
 #include "experiment/datasets.h"
 #include "net/remote_backend.h"
-#include "service/sampling_service.h"
 
 using namespace histwalk;
 
@@ -29,23 +29,23 @@ struct TenantRun {
 
 // Runs `num_tenants` sessions to completion and collects their merged
 // traces and bills.
-std::vector<TenantRun> RunTenants(service::SamplingService& service,
+std::vector<TenantRun> RunTenants(api::Sampler& sampler,
                                   uint32_t num_tenants) {
-  std::vector<service::SessionId> ids;
+  std::vector<api::RunHandle> handles;
   for (uint32_t t = 0; t < num_tenants; ++t) {
-    auto id = service.Submit({.walker = {.type = core::WalkerType::kCnrw},
-                              .num_walkers = 2,
-                              .seed = 100 + t,
-                              .max_steps = 150});
-    if (!id.ok()) {
-      std::cerr << "submit failed: " << id.status() << "\n";
+    auto handle = sampler.Run({.walker = {.type = core::WalkerType::kCnrw},
+                               .num_walkers = 2,
+                               .seed = 100 + t,
+                               .max_steps = 150});
+    if (!handle.ok()) {
+      std::cerr << "submit failed: " << handle.status() << "\n";
       std::exit(1);
     }
-    ids.push_back(*id);
+    handles.push_back(*handle);
   }
   std::vector<TenantRun> runs;
-  for (service::SessionId id : ids) {
-    auto report = service.Wait(id);
+  for (api::RunHandle& handle : handles) {
+    auto report = handle.Wait();  // also frees the admission slot
     if (!report.ok()) {
       std::cerr << "session failed: " << report.status() << "\n";
       std::exit(1);
@@ -54,9 +54,14 @@ std::vector<TenantRun> RunTenants(service::SamplingService& service,
     run.nodes = report->ensemble.Merged().nodes;
     run.charged = report->charged_queries;
     runs.push_back(std::move(run));
-    if (!service.Detach(id).ok()) std::exit(1);
   }
   return runs;
+}
+
+uint64_t TotalCharged(const std::vector<TenantRun>& runs) {
+  uint64_t total = 0;
+  for (const TenantRun& run : runs) total += run.charged;
+  return total;
 }
 
 }  // namespace
@@ -74,13 +79,21 @@ int main() {
   uint64_t shared_charged = 0;
   std::vector<TenantRun> shared_runs;
   {
-    service::SamplingService service(
-        &remote, {.max_sessions = kTenants,
-                  .cache = {.num_shards = 8},
-                  .pipeline = {.depth = 4, .max_batch = 8}});
-    shared_runs = RunTenants(service, kTenants);
-    shared_charged = service.stats().charged_queries;
-    std::cout << "shared service: " << service.stats().detached
+    auto sampler =
+        api::SamplerBuilder()
+            .OverBackend(&remote)
+            .WithCache({.num_shards = 8})
+            .RunAsService({.max_sessions = kTenants,
+                           .pipeline = {.depth = 4, .max_batch = 8}})
+            .Build();
+    if (!sampler.ok()) {
+      std::cerr << sampler.status() << "\n";
+      return 1;
+    }
+    shared_runs = RunTenants(**sampler, kTenants);
+    shared_charged = TotalCharged(shared_runs);
+    std::cout << "shared service: "
+              << (*sampler)->service()->stats().detached
               << " sessions served, " << shared_charged
               << " backend fetches billed\n";
   }
@@ -90,15 +103,22 @@ int main() {
   uint64_t isolated_charged = 0;
   std::vector<TenantRun> isolated_runs;
   {
-    service::SamplingService service(
-        &remote, {.max_sessions = kTenants,
-                  .share_history = false,
-                  .cache = {.num_shards = 8},
-                  .pipeline = {.depth = 4,
-                               .max_batch = 8,
-                               .cross_tenant_dedup = false}});
-    isolated_runs = RunTenants(service, kTenants);
-    isolated_charged = service.stats().charged_queries;
+    auto sampler =
+        api::SamplerBuilder()
+            .OverBackend(&remote)
+            .WithCache({.num_shards = 8})
+            .RunAsService({.max_sessions = kTenants,
+                           .share_history = false,
+                           .pipeline = {.depth = 4,
+                                        .max_batch = 8,
+                                        .cross_tenant_dedup = false}})
+            .Build();
+    if (!sampler.ok()) {
+      std::cerr << sampler.status() << "\n";
+      return 1;
+    }
+    isolated_runs = RunTenants(**sampler, kTenants);
+    isolated_charged = TotalCharged(isolated_runs);
     std::cout << "isolated tenants: " << isolated_charged
               << " backend fetches billed\n";
   }
@@ -116,33 +136,41 @@ int main() {
     return 1;
   }
 
-  // Admission control: a 2-slot service refuses the third session with the
-  // typed kUnavailable, and a Detach frees the slot.
+  // Admission control: a 2-slot service refuses the third run with the
+  // typed kUnavailable, and a finished run's Wait frees the slot.
   {
-    service::SamplingService service(
-        &remote, {.max_sessions = 2, .pipeline = {.depth = 2}});
-    service::SessionOptions session{.walker = {.type = core::WalkerType::kSrw},
-                                    .num_walkers = 1,
-                                    .seed = 7,
-                                    .max_steps = 20};
-    auto a = service.Submit(session);
-    auto b = service.Submit(session);
-    auto refused = service.Submit(session);
+    auto sampler = api::SamplerBuilder()
+                       .OverBackend(&remote)
+                       .RunAsService({.max_sessions = 2,
+                                      .pipeline = {.depth = 2}})
+                       .WithWalker({.type = core::WalkerType::kSrw})
+                       .WithEnsemble(/*num_walkers=*/1, /*seed=*/7)
+                       .StopAfterSteps(20)
+                       .Build();
+    if (!sampler.ok()) {
+      std::cerr << sampler.status() << "\n";
+      return 1;
+    }
+    api::Sampler& service = **sampler;
+    auto a = service.Run();
+    auto b = service.Run();
+    auto refused = service.Run();
     if (!a.ok() || !b.ok() || refused.ok() ||
         !util::IsUnavailable(refused.status())) {
       std::cerr << "FAIL: admission control did not refuse with "
                    "kUnavailable\n";
       return 1;
     }
-    if (!service.Wait(*a).ok() || !service.Detach(*a).ok()) return 1;
-    auto after_detach = service.Submit(session);
-    if (!after_detach.ok()) {
-      std::cerr << "FAIL: detach did not free an admission slot\n";
+    if (!a->Wait().ok()) return 1;  // Wait detaches -> slot freed
+    auto after_wait = service.Run();
+    if (!after_wait.ok()) {
+      std::cerr << "FAIL: a finished run's Wait did not free an admission "
+                   "slot\n";
       return 1;
     }
-    if (!service.Wait(*after_detach).ok() || !service.Wait(*b).ok()) return 1;
-    std::cout << "admission: refused third session ("
-              << refused.status() << "), slot freed by detach\n";
+    if (!after_wait->Wait().ok() || !b->Wait().ok()) return 1;
+    std::cout << "admission: refused third run (" << refused.status()
+              << "), slot freed by Wait\n";
   }
 
   std::cout << "service demo OK: identical traces, "

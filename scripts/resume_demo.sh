@@ -42,38 +42,38 @@ check() { # check <label> <condition...>
 }
 
 # Run 1: crawl until the budget kills the process, journaling to the WAL.
-"$CLI" --wal="$WAL" "$EDGES" cnrw "$BUDGET" "$SEED" > "$WORKDIR/run1.txt" 2>&1
+"$CLI" --wal="$WAL" --walker=cnrw --budget="$BUDGET" --seed="$SEED" "$EDGES" > "$WORKDIR/run1.txt" 2>&1
 check "run 1 (budget-killed, journaled) exits cleanly" test $? -eq 0
 check "run 1 was charged its full budget" test "$(charged "$WORKDIR/run1.txt")" = "$BUDGET"
 
 # Run 2: NEW process resumes from the WAL with the same seed and budget,
 # folding everything into a snapshot at exit.
-"$CLI" --wal="$WAL" --save-history="$SNAP" "$EDGES" cnrw "$BUDGET" "$SEED" > "$WORKDIR/run2.txt" 2>&1
+"$CLI" --wal="$WAL" --save-history="$SNAP" --walker=cnrw --budget="$BUDGET" --seed="$SEED" "$EDGES" > "$WORKDIR/run2.txt" 2>&1
 check "run 2 (resumed) exits cleanly" test $? -eq 0
 check "run 2 restored the first run's history" \
     grep -q "history restored:  0 snapshot entries + $BUDGET wal records" "$WORKDIR/run2.txt"
 check "run 2 was charged only for new nodes" test "$(charged "$WORKDIR/run2.txt")" = "$BUDGET"
 
 # Reference: one uninterrupted crawl with the combined budget.
-"$CLI" "$EDGES" cnrw $((2 * BUDGET)) "$SEED" > "$WORKDIR/run3.txt" 2>&1
+"$CLI" --walker=cnrw --budget=$((2 * BUDGET)) --seed="$SEED" "$EDGES" > "$WORKDIR/run3.txt" 2>&1
 check "reference run exits cleanly" test $? -eq 0
 check "resumed trace is bit-identical to the uninterrupted crawl" \
     test "$(digest "$WORKDIR/run2.txt")" = "$(digest "$WORKDIR/run3.txt")"
 
 # Run 4: resume from the SNAPSHOT alone (the WAL was folded and reset).
-"$CLI" --load-history="$SNAP" "$EDGES" cnrw "$BUDGET" "$SEED" > "$WORKDIR/run4.txt" 2>&1
+"$CLI" --load-history="$SNAP" --walker=cnrw --budget="$BUDGET" --seed="$SEED" "$EDGES" > "$WORKDIR/run4.txt" 2>&1
 check "run 4 (snapshot warm start) exits cleanly" test $? -eq 0
-"$CLI" "$EDGES" cnrw $((3 * BUDGET)) "$SEED" > "$WORKDIR/run5.txt" 2>&1
+"$CLI" --walker=cnrw --budget=$((3 * BUDGET)) --seed="$SEED" "$EDGES" > "$WORKDIR/run5.txt" 2>&1
 check "snapshot warm start matches an uninterrupted triple-budget crawl" \
     test "$(digest "$WORKDIR/run4.txt")" = "$(digest "$WORKDIR/run5.txt")"
 
 # Crash tolerance: tear the WAL mid-record (as a kill -9 during an append
 # would) and confirm the resume still comes up, dropping only the tail.
 rm -f "$WAL" "$WAL.snap"
-"$CLI" --wal="$WAL" "$EDGES" cnrw "$BUDGET" "$SEED" > /dev/null 2>&1
+"$CLI" --wal="$WAL" --walker=cnrw --budget="$BUDGET" --seed="$SEED" "$EDGES" > /dev/null 2>&1
 WALSIZE=$(wc -c < "$WAL")
 head -c $((WALSIZE - 5)) "$WAL" > "$WAL.torn" && mv "$WAL.torn" "$WAL"
-"$CLI" --wal="$WAL" "$EDGES" cnrw 5 "$SEED" > "$WORKDIR/run6.txt" 2>&1
+"$CLI" --wal="$WAL" --walker=cnrw --budget=5 --seed="$SEED" "$EDGES" > "$WORKDIR/run6.txt" 2>&1
 check "resume over a torn wal tail exits cleanly" test $? -eq 0
 check "the torn tail was detected and dropped" \
     grep -q "recovered torn wal tail" "$WORKDIR/run6.txt"

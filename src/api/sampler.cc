@@ -1,0 +1,557 @@
+#include "api/sampler.h"
+
+#include <utility>
+#include <vector>
+
+#include "estimate/estimators.h"
+#include "util/check.h"
+
+namespace histwalk::api {
+
+std::string_view ExecutionModeName(ExecutionMode mode) {
+  switch (mode) {
+    case ExecutionMode::kInline:
+      return "inline";
+    case ExecutionMode::kPipelined:
+      return "pipelined";
+    case ExecutionMode::kService:
+      return "service";
+  }
+  return "unknown";
+}
+
+std::string_view RunStateName(RunState state) {
+  switch (state) {
+    case RunState::kRunning:
+      return "running";
+    case RunState::kDone:
+      return "done";
+    case RunState::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+// One run's shared session state. Thread modes transition `state` on the
+// worker thread; service mode mirrors the service session until the first
+// Wait caches the report (and detaches the session) under `mu`.
+struct RunHandle::Shared {
+  Sampler* sampler = nullptr;
+  ExecutionMode mode = ExecutionMode::kInline;
+  core::WalkerSpec spec;  // for estimand bias probing at report time
+
+  mutable std::mutex mu;
+  std::condition_variable cv;
+  RunState state = RunState::kRunning;
+  util::Status error;
+  RunReport report;
+  bool canceled = false;
+  // Thread modes: the worker; joined by Wait/Cancel or the Sampler.
+  std::thread thread;
+  // Service mode.
+  service::SessionId session = 0;
+  bool report_cached = false;  // Wait retrieved + detached the session
+  bool waiting = false;        // a Wait is blocked inside the service
+
+  // Waits until the run leaves kRunning and joins the worker thread
+  // (thread modes). Exactly one caller steals the thread object; the lock
+  // is dropped around the join.
+  void WaitDoneLocked(std::unique_lock<std::mutex>& lock) {
+    cv.wait(lock, [this] { return state != RunState::kRunning; });
+    if (thread.joinable()) {
+      std::thread worker = std::move(thread);
+      lock.unlock();
+      worker.join();
+      lock.lock();
+    }
+  }
+};
+
+namespace {
+
+util::Status CanceledError() {
+  return util::Status::FailedPrecondition("run was canceled");
+}
+
+}  // namespace
+
+RunState RunHandle::Poll() const {
+  // An empty handle has no run to be running; report it as failed, the
+  // recoverable analogue of Wait/Report's FailedPrecondition.
+  if (shared_ == nullptr) return RunState::kFailed;
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  if (shared_->mode != ExecutionMode::kService || shared_->report_cached ||
+      shared_->waiting) {
+    return shared_->state;
+  }
+  auto polled = shared_->sampler->service()->Poll(shared_->session);
+  if (!polled.ok()) return shared_->state;  // detach race: state is cached
+  switch (*polled) {
+    case service::SessionState::kRunning:
+      return RunState::kRunning;
+    case service::SessionState::kDone:
+      return RunState::kDone;
+    case service::SessionState::kFailed:
+      return RunState::kFailed;
+  }
+  return shared_->state;
+}
+
+util::Result<RunReport> RunHandle::Wait() {
+  if (shared_ == nullptr) {
+    return util::Status::FailedPrecondition("Wait() on an empty RunHandle");
+  }
+  Shared& shared = *shared_;
+  std::unique_lock<std::mutex> lock(shared.mu);
+  if (shared.mode == ExecutionMode::kService) {
+    // One retriever at a time; later callers see the cached copy.
+    shared.cv.wait(lock, [&] { return !shared.waiting; });
+    if (!shared.report_cached) {
+      shared.waiting = true;
+      lock.unlock();
+      auto session = shared.sampler->service()->Wait(shared.session);
+      RunReport report;
+      util::Status status;
+      if (session.ok()) {
+        report.ensemble = std::move(session->ensemble);
+        report.charged_queries = session->charged_queries;
+        report.tenant = session->pipeline;
+        report.latency_us = session->LatencyUs();
+        status = shared.sampler->FinishReport(shared.spec, &report);
+      } else {
+        status = session.status();
+      }
+      lock.lock();
+      shared.waiting = false;
+      shared.report_cached = true;
+      if (status.ok()) {
+        shared.report = std::move(report);
+        shared.state = RunState::kDone;
+      } else {
+        shared.error = std::move(status);
+        shared.state = RunState::kFailed;
+      }
+      shared.cv.notify_all();
+      lock.unlock();
+      // The session's admission slot frees as soon as the report is safe.
+      (void)shared.sampler->service()->Detach(shared.session);
+      lock.lock();
+    }
+  } else {
+    shared.WaitDoneLocked(lock);
+  }
+  if (shared.canceled) return CanceledError();
+  if (shared.state == RunState::kFailed) return shared.error;
+  return shared.report;
+}
+
+util::Result<RunReport> RunHandle::Report() const {
+  if (shared_ == nullptr) {
+    return util::Status::FailedPrecondition("Report() on an empty RunHandle");
+  }
+  if (shared_->mode == ExecutionMode::kService) {
+    // Done sessions resolve without blocking (the service's Wait returns
+    // immediately); running ones are refused rather than waited out.
+    if (Poll() == RunState::kRunning) {
+      return util::Status::Unavailable("run still in flight");
+    }
+    return const_cast<RunHandle*>(this)->Wait();
+  }
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  if (shared_->state == RunState::kRunning) {
+    return util::Status::Unavailable("run still in flight");
+  }
+  if (shared_->canceled) return CanceledError();
+  if (shared_->state == RunState::kFailed) return shared_->error;
+  return shared_->report;
+}
+
+void RunHandle::Cancel() {
+  if (shared_ == nullptr) return;
+  // Cooperative: wait the walk out, then discard the report. Service mode
+  // also frees the admission slot (Wait detaches).
+  (void)Wait();
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  shared_->canceled = true;
+  shared_->report = RunReport{};
+  if (shared_->state == RunState::kDone) {
+    shared_->state = RunState::kFailed;
+    shared_->error = CanceledError();
+  }
+}
+
+// ---- SamplerBuilder ---------------------------------------------------
+
+SamplerBuilder& SamplerBuilder::OverGraph(
+    const graph::Graph* graph, const attr::AttributeTable* attributes) {
+  graph_ = graph;
+  attributes_ = attributes;
+  external_backend_ = nullptr;
+  return *this;
+}
+
+SamplerBuilder& SamplerBuilder::OverBackend(
+    const access::AccessBackend* backend) {
+  external_backend_ = backend;
+  graph_ = nullptr;
+  attributes_ = nullptr;
+  return *this;
+}
+
+SamplerBuilder& SamplerBuilder::WithRemoteWire(
+    net::LatencyModelOptions latency) {
+  has_wire_ = true;
+  latency_ = latency;
+  return *this;
+}
+
+SamplerBuilder& SamplerBuilder::WithCache(access::HistoryCacheOptions cache) {
+  cache_ = cache;
+  return *this;
+}
+
+SamplerBuilder& SamplerBuilder::WithGroupQueryBudget(uint64_t query_budget) {
+  group_query_budget_ = query_budget;
+  return *this;
+}
+
+SamplerBuilder& SamplerBuilder::WithHistoryStore(
+    store::HistoryStoreOptions options) {
+  has_owned_store_ = true;
+  store_options_ = std::move(options);
+  external_store_ = nullptr;
+  return *this;
+}
+
+SamplerBuilder& SamplerBuilder::WithHistoryStore(store::HistoryStore* store) {
+  external_store_ = store;
+  has_owned_store_ = false;
+  return *this;
+}
+
+SamplerBuilder& SamplerBuilder::WithWarmStart(bool warm_start) {
+  warm_start_ = warm_start;
+  return *this;
+}
+
+SamplerBuilder& SamplerBuilder::RunInline(unsigned num_threads) {
+  mode_ = ExecutionMode::kInline;
+  inline_threads_ = num_threads;
+  return *this;
+}
+
+SamplerBuilder& SamplerBuilder::RunPipelined(
+    net::RequestPipelineOptions pipeline) {
+  mode_ = ExecutionMode::kPipelined;
+  pipeline_ = pipeline;
+  return *this;
+}
+
+SamplerBuilder& SamplerBuilder::RunAsService(ServiceConfig service) {
+  mode_ = ExecutionMode::kService;
+  service_ = std::move(service);
+  return *this;
+}
+
+SamplerBuilder& SamplerBuilder::WithWalker(core::WalkerSpec spec) {
+  defaults_.walker = std::move(spec);
+  return *this;
+}
+
+SamplerBuilder& SamplerBuilder::WithEnsemble(uint32_t num_walkers,
+                                             uint64_t seed) {
+  defaults_.num_walkers = num_walkers;
+  defaults_.seed = seed;
+  return *this;
+}
+
+SamplerBuilder& SamplerBuilder::StopAfterSteps(uint64_t max_steps) {
+  defaults_.max_steps = max_steps;
+  return *this;
+}
+
+SamplerBuilder& SamplerBuilder::StopAfterQueries(
+    uint64_t per_walker_query_budget) {
+  defaults_.query_budget = per_walker_query_budget;
+  return *this;
+}
+
+SamplerBuilder& SamplerBuilder::EstimateAverageDegree() {
+  estimand_.average_degree = true;
+  estimand_.attribute.clear();
+  return *this;
+}
+
+SamplerBuilder& SamplerBuilder::EstimateAttributeMean(std::string attribute) {
+  estimand_.attribute = std::move(attribute);
+  estimand_.average_degree = false;
+  return *this;
+}
+
+util::Result<std::unique_ptr<Sampler>> SamplerBuilder::Build() const {
+  if (graph_ == nullptr && external_backend_ == nullptr) {
+    return util::Status::InvalidArgument(
+        "SamplerBuilder: no backend; call OverGraph or OverBackend");
+  }
+  if (!estimand_.attribute.empty() && attributes_ == nullptr) {
+    return util::Status::InvalidArgument(
+        "EstimateAttributeMean requires OverGraph(graph, attributes)");
+  }
+  if (mode_ == ExecutionMode::kService) {
+    if (group_query_budget_ != 0) {
+      return util::Status::InvalidArgument(
+          "WithGroupQueryBudget applies to inline/pipelined modes; service "
+          "runs budget per tenant via RunOptions::tenant_query_budget");
+    }
+    if (!warm_start_ && (has_owned_store_ || external_store_ != nullptr)) {
+      return util::Status::InvalidArgument(
+          "WithWarmStart(false) is unsupported in service mode; open the "
+          "store with load_snapshot = false instead");
+    }
+  }
+
+  std::unique_ptr<Sampler> sampler(new Sampler());
+  sampler->mode_ = mode_;
+  sampler->inline_threads_ = inline_threads_;
+  sampler->pipeline_ = pipeline_;
+  sampler->defaults_ = defaults_;
+  sampler->estimand_ = estimand_;
+  sampler->attributes_ = attributes_;
+
+  const access::AccessBackend* inner = external_backend_;
+  if (graph_ != nullptr) {
+    sampler->graph_access_ =
+        std::make_unique<access::GraphAccess>(graph_, attributes_);
+    inner = sampler->graph_access_.get();
+  }
+  if (has_wire_) {
+    net::LatencyModelOptions latency = latency_;
+    const uint32_t depth = mode_ == ExecutionMode::kPipelined
+                               ? pipeline_.depth
+                           : mode_ == ExecutionMode::kService
+                               ? service_.pipeline.depth
+                               : 1;
+    // The wire should carry what the pipeline keeps in flight.
+    if (latency.max_in_flight < depth) latency.max_in_flight = depth;
+    sampler->remote_ = std::make_unique<net::RemoteBackend>(inner, latency);
+    sampler->backend_ = sampler->remote_.get();
+  } else {
+    sampler->backend_ = inner;
+  }
+
+  if (has_owned_store_) {
+    HW_ASSIGN_OR_RETURN(sampler->owned_store_,
+                        store::HistoryStore::Open(store_options_));
+    sampler->store_ = sampler->owned_store_.get();
+  } else if (external_store_ != nullptr) {
+    sampler->store_ = external_store_;
+  }
+
+  // Validate the estimand's attribute up front — fail at Build, not in the
+  // middle of a crawl.
+  if (!estimand_.attribute.empty()) {
+    HW_RETURN_IF_ERROR(attributes_->Find(estimand_.attribute).status());
+  }
+
+  if (mode_ == ExecutionMode::kService) {
+    service::ServiceOptions options;
+    options.max_sessions = service_.max_sessions;
+    options.max_history_bytes = service_.max_history_bytes;
+    options.share_history = service_.share_history;
+    options.cache = cache_;
+    options.pipeline = service_.pipeline;
+    options.store = sampler->store_;
+    if (sampler->remote_ != nullptr) {
+      options.clock = [remote = sampler->remote_.get()] {
+        return remote->sim_now_us();
+      };
+    }
+    sampler->service_ = std::make_unique<service::SamplingService>(
+        sampler->backend_, std::move(options));
+    sampler->warm_start_status_ = sampler->service_->warm_start_status();
+  } else {
+    sampler->group_ = std::make_unique<access::SharedAccessGroup>(
+        sampler->backend_, access::SharedAccessOptions{
+                               .query_budget = group_query_budget_,
+                               .cache = cache_});
+    if (sampler->store_ != nullptr) {
+      if (warm_start_) {
+        // Like the service: a broken history file falls back to a cold (or
+        // partially restored) cache, recorded rather than fatal — recovery
+        // policy stays the caller's call via warm_start_status().
+        sampler->warm_start_status_ =
+            sampler->store_->LoadInto(sampler->group_->cache());
+      }
+      sampler->group_->set_history_journal(sampler->store_);
+    }
+  }
+  return sampler;
+}
+
+// ---- Sampler ----------------------------------------------------------
+
+Sampler::~Sampler() {
+  std::shared_ptr<RunHandle::Shared> active;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    active = std::move(active_);
+  }
+  if (active != nullptr) {
+    std::unique_lock<std::mutex> lock(active->mu);
+    active->WaitDoneLocked(lock);
+  }
+  // Detach the journal before the store (possibly owned) is destroyed.
+  if (group_ != nullptr) group_->set_history_journal(nullptr);
+  // service_ (if any) joins its sessions in its own destructor, which runs
+  // before the store/remote/backend members it fetches through.
+}
+
+util::Result<RunHandle> Sampler::Run() { return Run(defaults_); }
+
+util::Result<RunHandle> Sampler::Run(const RunOptions& options) {
+  if (mode_ == ExecutionMode::kService) return RunService(options);
+  return RunThreaded(options);
+}
+
+util::Result<RunHandle> Sampler::RunThreaded(const RunOptions& options) {
+  if (options.tenant_query_budget != 0) {
+    return util::Status::InvalidArgument(
+        "tenant_query_budget is a service-mode option; use "
+        "WithGroupQueryBudget for inline/pipelined samplers");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_ != nullptr) {
+    std::unique_lock<std::mutex> run_lock(active_->mu);
+    if (active_->state == RunState::kRunning) {
+      return util::Status::FailedPrecondition(
+          "a run is already in flight; Wait() it first (inline/pipelined "
+          "samplers execute one run at a time)");
+    }
+    // Finished but never waited: reap the worker before replacing it.
+    active_->WaitDoneLocked(run_lock);
+  }
+  auto shared = std::make_shared<RunHandle::Shared>();
+  shared->sampler = this;
+  shared->mode = mode_;
+  shared->spec = options.walker;
+  shared->thread = std::thread([this, shared, options] {
+    estimate::EnsembleOptions ensemble{.num_walkers = options.num_walkers,
+                                       .seed = options.seed,
+                                       .max_steps = options.max_steps,
+                                       .query_budget = options.query_budget,
+                                       .num_threads = inline_threads_};
+    auto run = mode_ == ExecutionMode::kInline
+                   ? estimate::RunEnsemble(*group_, options.walker, ensemble)
+                   : estimate::RunEnsembleAsync(*group_, options.walker,
+                                                ensemble, pipeline_);
+    RunReport report;
+    util::Status status;
+    if (run.ok()) {
+      report.ensemble = *std::move(run);
+      report.charged_queries = report.ensemble.charged_queries;
+      status = FinishReport(options.walker, &report);
+    } else {
+      status = run.status();
+    }
+    std::lock_guard<std::mutex> run_lock(shared->mu);
+    if (status.ok()) {
+      shared->report = std::move(report);
+      shared->state = RunState::kDone;
+    } else {
+      shared->error = std::move(status);
+      shared->state = RunState::kFailed;
+    }
+    shared->cv.notify_all();
+  });
+  active_ = shared;
+  return RunHandle(std::move(shared));
+}
+
+util::Result<RunHandle> Sampler::RunService(const RunOptions& options) {
+  service::SessionOptions session{.walker = options.walker,
+                                  .num_walkers = options.num_walkers,
+                                  .seed = options.seed,
+                                  .max_steps = options.max_steps,
+                                  .query_budget = options.query_budget,
+                                  .tenant_query_budget =
+                                      options.tenant_query_budget,
+                                  .weight = options.weight};
+  HW_ASSIGN_OR_RETURN(service::SessionId id, service_->Submit(session));
+  auto shared = std::make_shared<RunHandle::Shared>();
+  shared->sampler = this;
+  shared->mode = mode_;
+  shared->spec = options.walker;
+  shared->session = id;
+  return RunHandle(std::move(shared));
+}
+
+util::Status Sampler::SaveHistory() {
+  if (store_ == nullptr) {
+    return util::Status::FailedPrecondition(
+        "no history store configured (WithHistoryStore)");
+  }
+  if (mode_ != ExecutionMode::kService) {
+    // A mid-run snapshot of a thread-mode group would capture an arbitrary
+    // point of one run; make the caller pick the save point via Wait().
+    // (Service mode checkpoints its long-lived shared cache while sessions
+    // run — that IS its save-point semantics.)
+    std::lock_guard<std::mutex> lock(mu_);
+    if (active_ != nullptr) {
+      std::lock_guard<std::mutex> run_lock(active_->mu);
+      if (active_->state == RunState::kRunning) {
+        return util::Status::FailedPrecondition(
+            "a run is in flight; Wait() it before SaveHistory()");
+      }
+    }
+  }
+  const access::HistoryCache& cache = mode_ == ExecutionMode::kService
+                                          ? service_->shared_cache()
+                                          : group_->cache();
+  return store_->Checkpoint(cache);
+}
+
+uint64_t Sampler::sim_now_us() const {
+  return remote_ == nullptr ? 0 : remote_->sim_now_us();
+}
+
+util::Result<core::StationaryBias> Sampler::BiasFor(
+    const core::WalkerSpec& spec) {
+  // The stationary bias is a pure function of the walker TYPE, so probe
+  // once per type (a throwaway group + walker; no fetches issued) and
+  // serve every later report from the cache — experiment harnesses build
+  // hundreds of reports per sweep.
+  std::lock_guard<std::mutex> lock(bias_mu_);
+  auto cached = bias_cache_.find(spec.type);
+  if (cached != bias_cache_.end()) return cached->second;
+  access::SharedAccessGroup probe_group(backend_);
+  auto view = probe_group.MakeView();
+  HW_ASSIGN_OR_RETURN(auto probe,
+                      core::MakeWalker(spec, view.get(), /*seed=*/0));
+  const core::StationaryBias bias = probe->bias();
+  bias_cache_.emplace(spec.type, bias);
+  return bias;
+}
+
+util::Status Sampler::FinishReport(const core::WalkerSpec& spec,
+                                   RunReport* report) {
+  report->sim_wall_us = sim_now_us();
+  if (!estimand_.any()) return util::Status::Ok();
+  HW_ASSIGN_OR_RETURN(const core::StationaryBias bias, BiasFor(spec));
+  estimate::MergedSamples merged = report->ensemble.Merged();
+  if (merged.nodes.empty()) return util::Status::Ok();  // nothing to estimate
+  if (estimand_.average_degree) {
+    report->estimate = estimate::EstimateAverageDegree(merged.degrees, bias);
+  } else {
+    HW_ASSIGN_OR_RETURN(attr::AttrId attr,
+                        attributes_->Find(estimand_.attribute));
+    std::vector<double> values(merged.nodes.size());
+    for (size_t t = 0; t < merged.nodes.size(); ++t) {
+      values[t] = attributes_->Value(merged.nodes[t], attr);
+    }
+    report->estimate = estimate::EstimateMean(values, merged.degrees, bias);
+  }
+  report->has_estimate = true;
+  return util::Status::Ok();
+}
+
+}  // namespace histwalk::api

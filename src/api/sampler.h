@@ -1,0 +1,357 @@
+#ifndef HISTWALK_API_SAMPLER_H_
+#define HISTWALK_API_SAMPLER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "access/graph_access.h"
+#include "access/shared_access.h"
+#include "attr/attribute.h"
+#include "core/walker_factory.h"
+#include "estimate/ensemble_runner.h"
+#include "graph/graph.h"
+#include "net/remote_backend.h"
+#include "net/request_pipeline.h"
+#include "service/sampling_service.h"
+#include "store/history_store.h"
+#include "util/status.h"
+
+// The one front door to the library: a declarative SamplerBuilder that
+// composes the whole stack — backend, simulated wire, shared history
+// cache, durable store, execution mode, walker ensemble and estimator —
+// and a Sampler whose Run() returns a single RunHandle session object,
+// whatever machinery executes the walk underneath.
+//
+// Before this layer, every example, experiment and bench re-assembled the
+// same five seams by hand (GraphAccess/RemoteBackend, SharedAccessGroup,
+// HistoryStore::Open + LoadInto + set_history_journal, RequestPipeline or
+// SamplingService, then one of three RunEnsemble* entry points). The
+// facade owns that wiring once:
+//
+//   auto sampler = api::SamplerBuilder()
+//                      .OverGraph(&graph)
+//                      .WithRemoteWire({.base_latency_us = 20'000})
+//                      .WithHistoryStore({.snapshot_path = "crawl.hwss"})
+//                      .RunPipelined({.depth = 8})
+//                      .WithWalker({.type = core::WalkerType::kCnrw})
+//                      .WithEnsemble(/*num_walkers=*/8, /*seed=*/2024)
+//                      .StopAfterSteps(400)
+//                      .EstimateAverageDegree()
+//                      .Build();
+//   auto handle = (*sampler)->Run();
+//   auto report = handle->Wait();
+//
+// Determinism contract (inherited from the estimate layer): a run's traces
+// and per-walker QueryStats depend only on (walker spec, num_walkers,
+// seed, stop conditions) — never on the execution mode, pipeline depth,
+// cache state or co-tenants. The facade therefore produces bit-identical
+// samples to the hand-wired paths in every mode; what the mode changes is
+// the BILL (charged queries, wire requests, simulated wall-clock), which
+// the RunReport itemizes. tests/api_equivalence_test.cc pins exactly this.
+//
+// The facade is also the seam the ROADMAP's out-of-process RPC front will
+// implement: RunHandle's Poll/Wait/Cancel/Report surface is designed to
+// survive a network hop (no spans or live references cross it — reports
+// are owning copies).
+
+namespace histwalk::api {
+
+// How runs execute. All modes go through the same walkers and produce the
+// same traces; they differ in who resolves cache misses and how many runs
+// can be in flight.
+enum class ExecutionMode {
+  // RunEnsemble: each walker's own thread fetches misses synchronously.
+  kInline,
+  // RunEnsembleAsync: misses route through a per-run net::RequestPipeline
+  // (batched, singleflight-deduplicated, depth-bounded in flight).
+  kPipelined,
+  // service::SamplingService: each Run() is a tenant session over one
+  // shared cache and one fair-scheduled multi-tenant pipeline; runs may
+  // overlap and are billed per tenant.
+  kService,
+};
+
+// Stable lower-case name ("inline", "pipelined", "service").
+std::string_view ExecutionModeName(ExecutionMode mode);
+
+enum class RunState {
+  kRunning,
+  kDone,
+  kFailed,
+};
+
+// Stable lower-case name ("running", "done", "failed").
+std::string_view RunStateName(RunState state);
+
+// What to estimate from the merged samples; reported in RunReport. The
+// reweighting bias is probed from the walker spec, so any sampler drops
+// in (section 2.3's pipeline).
+struct EstimandSelection {
+  bool average_degree = false;
+  // Population mean of a named attribute column; requires the builder to
+  // know the attribute table (OverGraph with attributes).
+  std::string attribute;
+
+  bool any() const { return average_degree || !attribute.empty(); }
+};
+
+// Per-run knobs. Sampler::Run() uses the builder's ensemble defaults;
+// Run(options) overrides them per run — the service-mode pattern of many
+// differently-seeded sessions over one Sampler.
+struct RunOptions {
+  core::WalkerSpec walker;
+  uint32_t num_walkers = 8;
+  uint64_t seed = 1;
+  // Per-walker stop conditions, estimate::EnsembleOptions semantics; at
+  // least one must be set.
+  uint64_t max_steps = 0;
+  uint64_t query_budget = 0;
+  // Service mode only: hard per-tenant fetch quota (0 = unlimited) and
+  // fair-scheduler weight. Rejected as kInvalidArgument in other modes
+  // (where the group-level budget is a Build-time option instead).
+  uint64_t tenant_query_budget = 0;
+  uint32_t weight = 1;
+};
+
+// Everything a finished run reports — an owning copy, valid after the
+// handle (but not the Sampler's backend graph) goes away.
+struct RunReport {
+  // Traces, per-walker QueryStats, merged samples, cache stats — the
+  // estimate layer's result, identical across execution modes.
+  estimate::EnsembleResult ensemble;
+  // Backend fetches billed to this run (group charge window in inline/
+  // pipelined mode, the tenant's bill in service mode).
+  uint64_t charged_queries = 0;
+  // Service mode: this tenant's wire traffic and queue waits on the shared
+  // pipeline (zeros otherwise; pipelined mode reports its per-run pipeline
+  // in ensemble.pipeline_stats).
+  net::TenantPipelineStats tenant;
+  // Simulated wire clock after the run (0 without WithRemoteWire).
+  uint64_t sim_wall_us = 0;
+  // Service mode: submit-to-done session latency on the service clock.
+  uint64_t latency_us = 0;
+  // Filled when the builder selected an estimand.
+  bool has_estimate = false;
+  double estimate = 0.0;
+};
+
+class Sampler;
+
+// One run's session object — the unified replacement for "call RunEnsemble
+// and hold the result", "call RunEnsembleAsync", and "Submit/Poll/Wait/
+// Detach a service session". Cheap to copy (copies observe the same run).
+// Handles must not outlive their Sampler.
+class RunHandle {
+ public:
+  // An empty handle: !valid(); Wait/Report fail with FailedPrecondition,
+  // Poll reports kFailed, Cancel is a no-op.
+  RunHandle() = default;
+
+  bool valid() const { return shared_ != nullptr; }
+
+  // Current state without blocking. A canceled run (or an empty handle)
+  // reports kFailed.
+  RunState Poll() const;
+
+  // Blocks until the run finishes, then returns its report (kDone) or the
+  // error that ended it. In service mode the first Wait also detaches the
+  // session, freeing its admission slot — the report lives on in the
+  // handle and repeated Wait/Report calls return the cached copy.
+  util::Result<RunReport> Wait();
+
+  // Non-blocking report access: the report if the run is done, the run's
+  // error if it failed, kUnavailable while it is still running.
+  util::Result<RunReport> Report() const;
+
+  // Abandons the run and discards its report. Walkers have no preemption
+  // seam, so this is cooperative: Cancel blocks until the in-flight walk
+  // finishes, then frees the session slot / joins the worker. After
+  // Cancel, Poll reports kFailed and Wait returns the cancellation error.
+  void Cancel();
+
+ private:
+  friend class Sampler;
+  struct Shared;
+  explicit RunHandle(std::shared_ptr<Shared> shared)
+      : shared_(std::move(shared)) {}
+
+  std::shared_ptr<Shared> shared_;
+};
+
+// Service-mode sizing, a facade-level subset of service::ServiceOptions
+// (cache, store, clock and cross_tenant_dedup are wired by the builder).
+struct ServiceConfig {
+  uint32_t max_sessions = 64;
+  uint64_t max_history_bytes = 0;
+  bool share_history = true;
+  net::RequestPipelineOptions pipeline;
+};
+
+// Declarative composition of a Sampler. Setters may be chained in any
+// order; the last call wins. Build() validates the combination and returns
+// the assembled Sampler or a typed error (kInvalidArgument for
+// contradictory options, pass-through store errors for a broken history
+// file).
+class SamplerBuilder {
+ public:
+  SamplerBuilder() = default;
+
+  // ---- backend --------------------------------------------------------
+  // Sample an in-memory graph (the Sampler owns the GraphAccess).
+  // `graph` and `attributes` must outlive the Sampler; `attributes` also
+  // enables EstimateAttributeMean.
+  SamplerBuilder& OverGraph(const graph::Graph* graph,
+                            const attr::AttributeTable* attributes = nullptr);
+  // Sample an externally owned backend (must outlive the Sampler).
+  SamplerBuilder& OverBackend(const access::AccessBackend* backend);
+  // Wrap the backend in a net::RemoteBackend so every fetch pays simulated
+  // wire latency. latency.max_in_flight is raised to the pipeline depth of
+  // a pipelined/service mode if it is smaller — the wire should be able to
+  // carry what the pipeline keeps in flight.
+  SamplerBuilder& WithRemoteWire(net::LatencyModelOptions latency);
+
+  // ---- history --------------------------------------------------------
+  SamplerBuilder& WithCache(access::HistoryCacheOptions cache);
+  // Shared fetch budget across the whole group (inline/pipelined modes;
+  // 0 = unlimited). Service mode budgets per tenant via RunOptions.
+  SamplerBuilder& WithGroupQueryBudget(uint64_t query_budget);
+  // Durable history: the Sampler opens and owns a store::HistoryStore,
+  // warm-starts the cache from it at Build (unless WithWarmStart(false))
+  // and journals every new fetch into it.
+  SamplerBuilder& WithHistoryStore(store::HistoryStoreOptions options);
+  // Same, over an externally owned store (must outlive the Sampler).
+  SamplerBuilder& WithHistoryStore(store::HistoryStore* store);
+  SamplerBuilder& WithWarmStart(bool warm_start);
+
+  // ---- execution mode -------------------------------------------------
+  // num_threads: ParallelFor workers for inline runs (0 = hardware).
+  SamplerBuilder& RunInline(unsigned num_threads = 0);
+  SamplerBuilder& RunPipelined(net::RequestPipelineOptions pipeline = {});
+  SamplerBuilder& RunAsService(ServiceConfig service = {});
+
+  // ---- ensemble defaults (per-run RunOptions overrides exist) ---------
+  SamplerBuilder& WithWalker(core::WalkerSpec spec);
+  SamplerBuilder& WithEnsemble(uint32_t num_walkers, uint64_t seed);
+  SamplerBuilder& StopAfterSteps(uint64_t max_steps);
+  SamplerBuilder& StopAfterQueries(uint64_t per_walker_query_budget);
+
+  // ---- estimator ------------------------------------------------------
+  SamplerBuilder& EstimateAverageDegree();
+  SamplerBuilder& EstimateAttributeMean(std::string attribute);
+
+  util::Result<std::unique_ptr<Sampler>> Build() const;
+
+ private:
+  friend class Sampler;
+
+  const graph::Graph* graph_ = nullptr;
+  const attr::AttributeTable* attributes_ = nullptr;
+  const access::AccessBackend* external_backend_ = nullptr;
+  bool has_wire_ = false;
+  net::LatencyModelOptions latency_;
+  access::HistoryCacheOptions cache_;
+  uint64_t group_query_budget_ = 0;
+  bool has_owned_store_ = false;
+  store::HistoryStoreOptions store_options_;
+  store::HistoryStore* external_store_ = nullptr;
+  bool warm_start_ = true;
+  ExecutionMode mode_ = ExecutionMode::kInline;
+  unsigned inline_threads_ = 0;
+  net::RequestPipelineOptions pipeline_;
+  ServiceConfig service_;
+  RunOptions defaults_;
+  EstimandSelection estimand_;
+};
+
+// The assembled stack. Owns (as configured) the GraphAccess, the
+// RemoteBackend, the HistoryStore, and either a SharedAccessGroup (inline/
+// pipelined) or a SamplingService (service mode). The destructor waits out
+// every outstanding run.
+//
+// Threading: Run/accessors are thread-safe. Inline and pipelined modes
+// execute one run at a time (a second Run while one is in flight fails
+// with kFailedPrecondition — successive runs share the group's accumulated
+// history, exactly like successive RunEnsemble calls on one group).
+// Service mode admits up to ServiceConfig::max_sessions concurrent runs.
+class Sampler {
+ public:
+  ~Sampler();
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  // Starts a run with the builder's ensemble defaults / explicit options.
+  // Errors: kInvalidArgument (malformed options), kFailedPrecondition (a
+  // thread-mode run is already in flight), kUnavailable (service admission
+  // refused; retry after a run finishes).
+  util::Result<RunHandle> Run();
+  util::Result<RunHandle> Run(const RunOptions& options);
+
+  // Folds the current history cache into the store's snapshot (durable
+  // save point). kFailedPrecondition without a configured store or while
+  // a thread-mode run is in flight.
+  util::Status SaveHistory();
+
+  ExecutionMode mode() const { return mode_; }
+  // The backend walks fetch from: the RemoteBackend when wired, else the
+  // graph access / external backend.
+  const access::AccessBackend* backend() const { return backend_; }
+  const net::RemoteBackend* remote() const { return remote_.get(); }
+  // Simulated wire clock (0 without WithRemoteWire).
+  uint64_t sim_now_us() const;
+  // Inline/pipelined modes' group; null in service mode.
+  access::SharedAccessGroup* group() { return group_.get(); }
+  // Service mode's service; null otherwise.
+  service::SamplingService* service() { return service_.get(); }
+  store::HistoryStore* history_store() { return store_; }
+  // OK, or why the Build-time warm start fell back to a cold cache.
+  const util::Status& warm_start_status() const { return warm_start_status_; }
+  const RunOptions& default_run_options() const { return defaults_; }
+
+ private:
+  friend class SamplerBuilder;
+  friend class RunHandle;
+
+  Sampler() = default;
+
+  util::Result<RunHandle> RunThreaded(const RunOptions& options);
+  util::Result<RunHandle> RunService(const RunOptions& options);
+  // The walker's stationary bias, probed once per walker type and cached.
+  util::Result<core::StationaryBias> BiasFor(const core::WalkerSpec& spec);
+  // Fills the estimand/wire fields of `report` from its ensemble result.
+  util::Status FinishReport(const core::WalkerSpec& spec, RunReport* report);
+
+  ExecutionMode mode_ = ExecutionMode::kInline;
+  unsigned inline_threads_ = 0;
+  net::RequestPipelineOptions pipeline_;
+  RunOptions defaults_;
+  EstimandSelection estimand_;
+  const attr::AttributeTable* attributes_ = nullptr;
+
+  // Ownership order matters: the store outlives the group/service that
+  // journals into it; the remote wraps the inner backend.
+  std::unique_ptr<access::GraphAccess> graph_access_;
+  std::unique_ptr<net::RemoteBackend> remote_;
+  const access::AccessBackend* backend_ = nullptr;
+  std::unique_ptr<store::HistoryStore> owned_store_;
+  store::HistoryStore* store_ = nullptr;
+  std::unique_ptr<access::SharedAccessGroup> group_;
+  std::unique_ptr<service::SamplingService> service_;
+  util::Status warm_start_status_;
+
+  mutable std::mutex mu_;
+  std::shared_ptr<RunHandle::Shared> active_;  // thread modes: current run
+
+  std::mutex bias_mu_;
+  std::map<core::WalkerType, core::StationaryBias> bias_cache_;
+};
+
+}  // namespace histwalk::api
+
+#endif  // HISTWALK_API_SAMPLER_H_

@@ -1,8 +1,6 @@
 #include "experiment/ensemble_curve.h"
 
-#include "access/graph_access.h"
-#include "estimate/ensemble_runner.h"
-#include "estimate/estimators.h"
+#include "api/sampler.h"
 #include "metrics/divergence.h"
 #include "util/random.h"
 
@@ -20,24 +18,28 @@ EnsembleCurveResult RunEnsembleCurve(const Dataset& dataset,
   result.estimand_name = config.estimand.DisplayName();
   result.ensemble_sizes = config.ensemble_sizes;
 
-  attr::AttrId attr = attr::kInvalidAttr;
   if (!config.estimand.attribute.empty()) {
     auto found = dataset.attributes.Find(config.estimand.attribute);
     HW_CHECK_MSG(found.ok(), "estimand attribute missing from dataset");
-    attr = *found;
-    result.ground_truth = dataset.attributes.Mean(attr);
+    result.ground_truth = dataset.attributes.Mean(*found);
   } else {
     result.ground_truth = dataset.graph.AverageDegree();
   }
 
-  // The stationary bias is a pure function of the walker spec; resolve it
-  // once with a throwaway walker instead of per trial.
-  core::StationaryBias bias = core::StationaryBias::kDegreeProportional;
-  {
-    access::GraphAccess probe_access(&dataset.graph, &dataset.attributes);
-    auto probe = core::MakeWalker(config.walker, &probe_access, /*seed=*/0);
-    HW_CHECK_MSG(probe.ok(), "invalid walker spec for ensemble curve");
-    bias = (*probe)->bias();
+  // The shared stack every trial re-instantiates fresh (cold cache):
+  // in-memory backend, bounded shared cache, inline execution, the
+  // configured estimand. Per-trial knobs ride in through RunOptions.
+  api::SamplerBuilder builder;
+  builder.OverGraph(&dataset.graph, &dataset.attributes)
+      .WithCache({.capacity = config.cache_capacity,
+                  .num_shards = config.cache_shards})
+      .RunInline()
+      .WithWalker(config.walker)
+      .StopAfterSteps(config.steps_per_walker);
+  if (config.estimand.attribute.empty()) {
+    builder.EstimateAverageDegree();
+  } else {
+    builder.EstimateAttributeMean(config.estimand.attribute);
   }
 
   for (size_t s = 0; s < config.ensemble_sizes.size(); ++s) {
@@ -47,34 +49,26 @@ EnsembleCurveResult RunEnsembleCurve(const Dataset& dataset,
     uint64_t err_count = 0;
 
     for (uint32_t trial = 0; trial < config.trials; ++trial) {
-      access::GraphAccess backend(&dataset.graph, &dataset.attributes);
-      access::SharedAccessGroup group(
-          &backend, {.cache = {.capacity = config.cache_capacity,
-                               .num_shards = config.cache_shards}});
-      estimate::EnsembleOptions options{
-          .num_walkers = size,
-          .seed = util::SubSeed(config.seed, (s + 1) * 1'000'003ull + trial),
-          .max_steps = config.steps_per_walker,
-      };
-      auto run = estimate::RunEnsemble(group, config.walker, options);
+      auto sampler = builder.Build();
+      HW_CHECK_MSG(sampler.ok(), "ensemble curve sampler build failed");
+      api::RunOptions run_options = (*sampler)->default_run_options();
+      run_options.num_walkers = size;
+      run_options.seed =
+          util::SubSeed(config.seed, (s + 1) * 1'000'003ull + trial);
+      auto handle = (*sampler)->Run(run_options);
+      HW_CHECK_MSG(handle.ok(), "ensemble run failed");
+      auto run = handle->Wait();
       HW_CHECK_MSG(run.ok(), "ensemble run failed");
 
-      estimate::MergedSamples merged = run->Merged();
-      if (!merged.nodes.empty()) {
-        std::vector<double> f(merged.nodes.size());
-        for (size_t t = 0; t < merged.nodes.size(); ++t) {
-          f[t] = attr == attr::kInvalidAttr
-                     ? static_cast<double>(merged.degrees[t])
-                     : dataset.attributes.Value(merged.nodes[t], attr);
-        }
-        double estimate = estimate::EstimateMean(f, merged.degrees, bias);
-        err_sum += metrics::RelativeError(estimate, result.ground_truth);
+      if (run->has_estimate) {
+        err_sum += metrics::RelativeError(run->estimate, result.ground_truth);
         ++err_count;
       }
       charged_sum += static_cast<double>(run->charged_queries);
-      standalone_sum += static_cast<double>(run->summed_stats.unique_queries);
-      hit_rate_sum += run->cache_stats.HitRate();
-      eviction_sum += static_cast<double>(run->cache_stats.evictions);
+      standalone_sum +=
+          static_cast<double>(run->ensemble.summed_stats.unique_queries);
+      hit_rate_sum += run->ensemble.cache_stats.HitRate();
+      eviction_sum += static_cast<double>(run->ensemble.cache_stats.evictions);
     }
 
     double trials = static_cast<double>(config.trials);

@@ -1,10 +1,7 @@
 #include "experiment/latency_curve.h"
 
-#include "access/graph_access.h"
-#include "estimate/ensemble_runner.h"
-#include "estimate/estimators.h"
+#include "api/sampler.h"
 #include "metrics/divergence.h"
-#include "net/remote_backend.h"
 #include "util/random.h"
 
 namespace histwalk::experiment {
@@ -21,22 +18,12 @@ LatencyCurveResult RunLatencyCurve(const Dataset& dataset,
   result.walker_name = config.walker.DisplayName();
   result.estimand_name = config.estimand.DisplayName();
 
-  attr::AttrId attr = attr::kInvalidAttr;
   if (!config.estimand.attribute.empty()) {
     auto found = dataset.attributes.Find(config.estimand.attribute);
     HW_CHECK_MSG(found.ok(), "estimand attribute missing from dataset");
-    attr = *found;
-    result.ground_truth = dataset.attributes.Mean(attr);
+    result.ground_truth = dataset.attributes.Mean(*found);
   } else {
     result.ground_truth = dataset.graph.AverageDegree();
-  }
-
-  core::StationaryBias bias = core::StationaryBias::kDegreeProportional;
-  {
-    access::GraphAccess probe_access(&dataset.graph, &dataset.attributes);
-    auto probe = core::MakeWalker(config.walker, &probe_access, /*seed=*/0);
-    HW_CHECK_MSG(probe.ok(), "invalid walker spec for latency curve");
-    bias = (*probe)->bias();
   }
 
   for (size_t e = 0; e < config.ensemble_sizes.size(); ++e) {
@@ -51,7 +38,6 @@ LatencyCurveResult RunLatencyCurve(const Dataset& dataset,
       double err_sum = 0.0;
       uint64_t err_count = 0;
       for (uint32_t trial = 0; trial < config.trials; ++trial) {
-        access::GraphAccess inner(&dataset.graph, &dataset.attributes);
         // Each trial draws its own wire seed, but WITHIN a trial the seed
         // is identical across depths: only in-flight slots and request
         // order differ between cells of a sweep, keeping the time axis
@@ -59,41 +45,43 @@ LatencyCurveResult RunLatencyCurve(const Dataset& dataset,
         net::LatencyModelOptions latency = config.latency;
         latency.seed = util::SubSeed(config.seed, 0x11a7 + trial);
         latency.max_in_flight = depth;
-        net::RemoteBackend remote(&inner, latency);
-        access::SharedAccessGroup group(
-            &remote, {.cache = {.capacity = config.cache_capacity,
-                                .num_shards = config.cache_shards}});
-        estimate::EnsembleOptions options{
-            .num_walkers = size,
-            .seed = util::SubSeed(config.seed, (e + 1) * 1'000'003ull + trial),
-            .max_steps = config.steps_per_walker,
-        };
-        auto run = estimate::RunEnsembleAsync(
-            group, config.walker, options,
-            {.depth = depth, .max_batch = config.max_batch});
+
+        api::SamplerBuilder builder;
+        builder.OverGraph(&dataset.graph, &dataset.attributes)
+            .WithRemoteWire(latency)
+            .WithCache({.capacity = config.cache_capacity,
+                        .num_shards = config.cache_shards})
+            .RunPipelined({.depth = depth, .max_batch = config.max_batch})
+            .WithWalker(config.walker)
+            .WithEnsemble(size, util::SubSeed(config.seed,
+                                              (e + 1) * 1'000'003ull + trial))
+            .StopAfterSteps(config.steps_per_walker);
+        if (config.estimand.attribute.empty()) {
+          builder.EstimateAverageDegree();
+        } else {
+          builder.EstimateAttributeMean(config.estimand.attribute);
+        }
+        auto sampler = builder.Build();
+        HW_CHECK_MSG(sampler.ok(), "latency curve sampler build failed");
+        auto handle = (*sampler)->Run();
+        HW_CHECK_MSG(handle.ok(), "async ensemble run failed");
+        auto run = handle->Wait();
         HW_CHECK_MSG(run.ok(), "async ensemble run failed");
 
-        estimate::MergedSamples merged = run->Merged();
-        if (!merged.nodes.empty()) {
-          std::vector<double> f(merged.nodes.size());
-          for (size_t t = 0; t < merged.nodes.size(); ++t) {
-            f[t] = attr == attr::kInvalidAttr
-                       ? static_cast<double>(merged.degrees[t])
-                       : dataset.attributes.Value(merged.nodes[t], attr);
-          }
-          double estimate = estimate::EstimateMean(f, merged.degrees, bias);
-          err_sum += metrics::RelativeError(estimate, result.ground_truth);
+        if (run->has_estimate) {
+          err_sum +=
+              metrics::RelativeError(run->estimate, result.ground_truth);
           ++err_count;
         }
         point.mean_sim_wall_seconds +=
-            static_cast<double>(remote.sim_now_us()) / 1e6;
+            static_cast<double>(run->sim_wall_us) / 1e6;
         point.mean_charged_queries +=
             static_cast<double>(run->charged_queries);
         point.mean_wire_requests +=
-            static_cast<double>(run->pipeline_stats.wire_requests);
-        point.mean_batch_size += run->pipeline_stats.MeanBatchSize();
+            static_cast<double>(run->ensemble.pipeline_stats.wire_requests);
+        point.mean_batch_size += run->ensemble.pipeline_stats.MeanBatchSize();
         point.mean_dedup_joins +=
-            static_cast<double>(run->pipeline_stats.dedup_joins);
+            static_cast<double>(run->ensemble.pipeline_stats.dedup_joins);
       }
       double trials = static_cast<double>(config.trials);
       point.mean_relative_error =

@@ -3,11 +3,9 @@
 #include <algorithm>
 #include <cstring>
 
-#include "access/graph_access.h"
+#include "api/sampler.h"
 #include "estimate/estimators.h"
 #include "metrics/divergence.h"
-#include "net/remote_backend.h"
-#include "service/sampling_service.h"
 #include "util/md5.h"
 #include "util/random.h"
 
@@ -62,27 +60,17 @@ ServiceSoakResult RunServiceSoak(const Dataset& dataset,
   result.estimand_name = config.estimand.DisplayName();
   result.num_tenants = config.num_tenants;
 
-  attr::AttrId attr = attr::kInvalidAttr;
   if (!config.estimand.attribute.empty()) {
     auto found = dataset.attributes.Find(config.estimand.attribute);
     HW_CHECK_MSG(found.ok(), "estimand attribute missing from dataset");
-    attr = *found;
-    result.ground_truth = dataset.attributes.Mean(attr);
+    result.ground_truth = dataset.attributes.Mean(*found);
   } else {
     result.ground_truth = dataset.graph.AverageDegree();
   }
 
-  core::StationaryBias bias = core::StationaryBias::kDegreeProportional;
-  {
-    access::GraphAccess probe_access(&dataset.graph, &dataset.attributes);
-    auto probe = core::MakeWalker(config.walker, &probe_access, /*seed=*/0);
-    HW_CHECK_MSG(probe.ok(), "invalid walker spec for service soak");
-    bias = (*probe)->bias();
-  }
-
-  // One full service run: `config.num_tenants` sessions submitted
-  // concurrently, all waited, per-tenant outcomes + service-wide wire
-  // accounting collected.
+  // One full service run through the api/ facade: a service-mode Sampler,
+  // `config.num_tenants` runs submitted concurrently, all waited,
+  // per-tenant outcomes + service-wide wire accounting collected.
   auto run_mode = [&](const std::string& label, bool share_history,
                       net::PipelineSchedulerPolicy policy, uint32_t depth) {
     SoakModeResult mode;
@@ -94,63 +82,61 @@ ServiceSoakResult RunServiceSoak(const Dataset& dataset,
     latency.seed = util::SubSeed(config.seed, 0x50a1);
     latency.max_in_flight = depth;
 
-    access::GraphAccess inner(&dataset.graph, &dataset.attributes);
-    net::RemoteBackend remote(&inner, latency);
-    service::ServiceOptions service_options;
-    service_options.max_sessions = config.num_tenants;
-    service_options.share_history = share_history;
-    service_options.cache = {.num_shards = config.cache_shards};
-    service_options.pipeline = {.depth = depth,
-                                .max_batch = config.max_batch,
-                                .scheduler = policy,
-                                .cross_tenant_dedup = share_history};
-    service_options.clock = [&remote] { return remote.sim_now_us(); };
-    service::SamplingService service(&remote, service_options);
+    api::SamplerBuilder builder;
+    builder.OverGraph(&dataset.graph, &dataset.attributes)
+        .WithRemoteWire(latency)
+        .WithCache({.num_shards = config.cache_shards})
+        .RunAsService({.max_sessions = config.num_tenants,
+                       .share_history = share_history,
+                       .pipeline = {.depth = depth,
+                                    .max_batch = config.max_batch,
+                                    .scheduler = policy,
+                                    .cross_tenant_dedup = share_history}})
+        .WithWalker(config.walker)
+        .StopAfterSteps(config.steps_per_walker);
+    if (config.estimand.attribute.empty()) {
+      builder.EstimateAverageDegree();
+    } else {
+      builder.EstimateAttributeMean(config.estimand.attribute);
+    }
+    auto sampler = builder.Build();
+    HW_CHECK_MSG(sampler.ok(), "service soak sampler build failed");
 
-    std::vector<service::SessionId> ids;
-    ids.reserve(config.num_tenants);
+    std::vector<api::RunHandle> handles;
+    handles.reserve(config.num_tenants);
     for (uint32_t t = 0; t < config.num_tenants; ++t) {
       const bool greedy = t == 0 && config.greedy_walkers > 0;
-      service::SessionOptions session;
-      session.walker = config.walker;
-      session.num_walkers =
+      api::RunOptions run_options = (*sampler)->default_run_options();
+      run_options.num_walkers =
           greedy ? config.greedy_walkers : config.walkers_per_tenant;
-      session.seed = util::SubSeed(config.seed, 0x7e40 + t);
-      session.max_steps = config.steps_per_walker;
-      auto submitted = service.Submit(session);
+      run_options.seed = util::SubSeed(config.seed, 0x7e40 + t);
+      auto submitted = (*sampler)->Run(run_options);
       HW_CHECK_MSG(submitted.ok(), "service soak admission failed");
-      ids.push_back(*submitted);
+      handles.push_back(*submitted);
     }
 
     std::vector<uint64_t> latencies;
     latencies.reserve(config.num_tenants);
     for (uint32_t t = 0; t < config.num_tenants; ++t) {
-      auto report = service.Wait(ids[t]);
+      auto report = handles[t].Wait();  // detaches the session as well
       HW_CHECK_MSG(report.ok(), "service soak session failed");
       SoakTenantOutcome outcome;
       outcome.tenant = t;
       outcome.greedy = t == 0 && config.greedy_walkers > 0;
       estimate::MergedSamples merged = report->ensemble.Merged();
       outcome.num_samples = merged.nodes.size();
-      if (!merged.nodes.empty()) {
-        std::vector<double> f(merged.nodes.size());
-        for (size_t i = 0; i < merged.nodes.size(); ++i) {
-          f[i] = attr == attr::kInvalidAttr
-                     ? static_cast<double>(merged.degrees[i])
-                     : dataset.attributes.Value(merged.nodes[i], attr);
-        }
-        double estimate = estimate::EstimateMean(f, merged.degrees, bias);
+      if (report->has_estimate) {
         outcome.relative_error =
-            metrics::RelativeError(estimate, result.ground_truth);
+            metrics::RelativeError(report->estimate, result.ground_truth);
       }
       outcome.trace_digest = TraceDigest(merged);
       outcome.unique_queries = report->ensemble.summed_stats.unique_queries;
       outcome.charged_queries = report->charged_queries;
-      outcome.wire_requests = report->pipeline.wire_requests;
-      outcome.wait_p50 = report->pipeline.wait.Quantile(0.50);
-      outcome.wait_p99 = report->pipeline.wait.Quantile(0.99);
-      outcome.wait_max = report->pipeline.wait.max;
-      outcome.sim_latency_us = report->LatencyUs();
+      outcome.wire_requests = report->tenant.wire_requests;
+      outcome.wait_p50 = report->tenant.wait.Quantile(0.50);
+      outcome.wait_p99 = report->tenant.wait.Quantile(0.99);
+      outcome.wait_max = report->tenant.wait.max;
+      outcome.sim_latency_us = report->latency_us;
       latencies.push_back(outcome.sim_latency_us);
       mode.charged_queries += outcome.charged_queries;
       if (!share_history) {
@@ -167,16 +153,14 @@ ServiceSoakResult RunServiceSoak(const Dataset& dataset,
       mode.tenants.push_back(std::move(outcome));
     }
 
-    mode.wire_requests = remote.stats().requests;
-    mode.sim_wall_us = remote.sim_now_us();
+    mode.wire_requests = (*sampler)->remote()->stats().requests;
+    mode.sim_wall_us = (*sampler)->sim_now_us();
     if (share_history) {
-      mode.cache_entries = service.shared_cache().stats().entries;
+      mode.cache_entries =
+          (*sampler)->service()->shared_cache().stats().entries;
     }
     mode.latency_p50_us = Percentile(latencies, 0.50);
     mode.latency_p99_us = Percentile(latencies, 0.99);
-    for (service::SessionId id : ids) {
-      HW_CHECK(service.Detach(id).ok());
-    }
     return mode;
   };
 

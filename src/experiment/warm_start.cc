@@ -2,12 +2,8 @@
 
 #include <filesystem>
 
-#include "access/graph_access.h"
-#include "estimate/ensemble_runner.h"
-#include "estimate/estimators.h"
+#include "api/sampler.h"
 #include "metrics/divergence.h"
-#include "net/remote_backend.h"
-#include "store/snapshot.h"
 #include "util/random.h"
 
 namespace histwalk::experiment {
@@ -34,22 +30,12 @@ WarmStartResult RunWarmStart(const Dataset& dataset,
   result.walker_name = config.walker.DisplayName();
   result.estimand_name = config.estimand.DisplayName();
 
-  attr::AttrId attr = attr::kInvalidAttr;
   if (!config.estimand.attribute.empty()) {
     auto found = dataset.attributes.Find(config.estimand.attribute);
     HW_CHECK_MSG(found.ok(), "estimand attribute missing from dataset");
-    attr = *found;
-    result.ground_truth = dataset.attributes.Mean(attr);
+    result.ground_truth = dataset.attributes.Mean(*found);
   } else {
     result.ground_truth = dataset.graph.AverageDegree();
-  }
-
-  core::StationaryBias bias = core::StationaryBias::kDegreeProportional;
-  {
-    access::GraphAccess probe_access(&dataset.graph, &dataset.attributes);
-    auto probe = core::MakeWalker(config.walker, &probe_access, /*seed=*/0);
-    HW_CHECK_MSG(probe.ok(), "invalid walker spec for warm-start experiment");
-    bias = (*probe)->bias();
   }
 
   std::string snapshot_path = config.snapshot_path;
@@ -60,35 +46,51 @@ WarmStartResult RunWarmStart(const Dataset& dataset,
                         .string();
   }
 
-  // Runs one phase-2 measurement crawl over a group whose cache is already
-  // in whatever state the caller arranged (empty = cold, loaded = warm).
-  auto measure = [&](access::SharedAccessGroup& group,
-                     net::RemoteBackend& remote, uint64_t steps,
+  // The pipelined crawl stack both phases share; only the store options
+  // (absent / save-only / warm-start) and seeds differ per use.
+  auto base_builder = [&](const net::LatencyModelOptions& latency) {
+    api::SamplerBuilder builder;
+    builder.OverGraph(&dataset.graph, &dataset.attributes)
+        .WithRemoteWire(latency)
+        .WithCache({.num_shards = config.cache_shards})
+        .RunPipelined(
+            {.depth = config.pipeline_depth, .max_batch = config.max_batch})
+        .WithWalker(config.walker)
+        .WithEnsemble(config.ensemble_size, /*seed=*/1)
+        .StopAfterSteps(config.warmup_steps);
+    if (config.estimand.attribute.empty()) {
+      builder.EstimateAverageDegree();
+    } else {
+      builder.EstimateAttributeMean(config.estimand.attribute);
+    }
+    return builder;
+  };
+
+  // Runs one phase-2 measurement crawl over a freshly built sampler whose
+  // cache is in whatever state the builder arranged (cold or warm-started
+  // from the snapshot).
+  auto measure = [&](api::SamplerBuilder builder, uint64_t steps,
                      uint64_t run_seed) {
-    MeasuredRun measured;
-    auto run = estimate::RunEnsembleAsync(
-        group, config.walker,
-        {.num_walkers = config.ensemble_size,
-         .seed = run_seed,
-         .max_steps = steps},
-        {.depth = config.pipeline_depth, .max_batch = config.max_batch});
+    auto sampler = builder.Build();
+    HW_CHECK_MSG(sampler.ok(), "warm-start sampler build failed");
+    HW_CHECK_MSG((*sampler)->warm_start_status().ok(),
+                 "warm-start snapshot load failed");
+    api::RunOptions run_options = (*sampler)->default_run_options();
+    run_options.seed = run_seed;
+    run_options.max_steps = steps;
+    auto handle = (*sampler)->Run(run_options);
+    HW_CHECK_MSG(handle.ok(), "warm-start ensemble run failed");
+    auto run = handle->Wait();
     HW_CHECK_MSG(run.ok(), "warm-start ensemble run failed");
-    estimate::MergedSamples merged = run->Merged();
-    if (!merged.nodes.empty()) {
-      std::vector<double> f(merged.nodes.size());
-      for (size_t t = 0; t < merged.nodes.size(); ++t) {
-        f[t] = attr == attr::kInvalidAttr
-                   ? static_cast<double>(merged.degrees[t])
-                   : dataset.attributes.Value(merged.nodes[t], attr);
-      }
-      double estimate = estimate::EstimateMean(f, merged.degrees, bias);
+    MeasuredRun measured;
+    if (run->has_estimate) {
       measured.relative_error =
-          metrics::RelativeError(estimate, result.ground_truth);
+          metrics::RelativeError(run->estimate, result.ground_truth);
       measured.has_error = true;
     }
-    measured.wire_requests = run->pipeline_stats.wire_requests;
+    measured.wire_requests = run->ensemble.pipeline_stats.wire_requests;
     measured.charged_queries = run->charged_queries;
-    measured.sim_wall_us = remote.sim_now_us();
+    measured.sim_wall_us = run->sim_wall_us;
     return measured;
   };
 
@@ -103,21 +105,28 @@ WarmStartResult RunWarmStart(const Dataset& dataset,
     latency.seed = util::SubSeed(config.seed, 0x3a7d + trial);
     latency.max_in_flight = config.pipeline_depth;
     {
-      access::GraphAccess inner(&dataset.graph, &dataset.attributes);
-      net::RemoteBackend remote(&inner, latency);
-      access::SharedAccessGroup group(
-          &remote, {.cache = {.num_shards = config.cache_shards}});
-      auto warmup = estimate::RunEnsembleAsync(
-          group, config.walker,
-          {.num_walkers = config.ensemble_size,
-           .seed = util::SubSeed(config.seed, 0x77a1 + trial),
-           .max_steps = config.warmup_steps},
-          {.depth = config.pipeline_depth, .max_batch = config.max_batch});
-      HW_CHECK_MSG(warmup.ok(), "warm-up crawl failed");
-      auto written = store::WriteSnapshot(group.cache(), snapshot_path);
-      HW_CHECK_MSG(written.ok(), "warm-start snapshot write failed");
-      result.snapshot_entries = written->entries;
-      result.snapshot_file_bytes = written->file_bytes;
+      auto warmup = base_builder(latency).WithHistoryStore(
+          store::HistoryStoreOptions{
+              .snapshot_path = snapshot_path,
+              // Save-only: the warm-up crawl is always cold, even when an
+              // earlier trial already wrote the snapshot it overwrites.
+              .load_snapshot = false,
+              .checkpoint_wal_bytes = 0});
+      auto sampler = warmup.Build();
+      HW_CHECK_MSG(sampler.ok(), "warm-up sampler build failed");
+      auto handle = (*sampler)->Run({.walker = config.walker,
+                                     .num_walkers = config.ensemble_size,
+                                     .seed = util::SubSeed(config.seed,
+                                                           0x77a1 + trial),
+                                     .max_steps = config.warmup_steps});
+      HW_CHECK_MSG(handle.ok() && handle->Wait().ok(), "warm-up crawl failed");
+      HW_CHECK_MSG((*sampler)->SaveHistory().ok(),
+                   "warm-start snapshot write failed");
+      result.snapshot_entries =
+          (*sampler)->group()->cache().stats().entries;
+      std::error_code ec;
+      const auto file_bytes = std::filesystem::file_size(snapshot_path, ec);
+      result.snapshot_file_bytes = ec ? 0 : file_bytes;
     }
 
     // ---- phase 2: the second task, cold vs warm -------------------------
@@ -126,19 +135,11 @@ WarmStartResult RunWarmStart(const Dataset& dataset,
       const uint64_t steps = config.step_budgets[p];
       WarmStartPoint& point = result.points[p];
 
-      access::GraphAccess cold_inner(&dataset.graph, &dataset.attributes);
-      net::RemoteBackend cold_remote(&cold_inner, latency);
-      access::SharedAccessGroup cold_group(
-          &cold_remote, {.cache = {.num_shards = config.cache_shards}});
-      MeasuredRun cold = measure(cold_group, cold_remote, steps, task_seed);
-
-      access::GraphAccess warm_inner(&dataset.graph, &dataset.attributes);
-      net::RemoteBackend warm_remote(&warm_inner, latency);
-      access::SharedAccessGroup warm_group(
-          &warm_remote, {.cache = {.num_shards = config.cache_shards}});
-      auto loaded = store::LoadSnapshot(snapshot_path, warm_group.cache());
-      HW_CHECK_MSG(loaded.ok(), "warm-start snapshot load failed");
-      MeasuredRun warm = measure(warm_group, warm_remote, steps, task_seed);
+      MeasuredRun cold = measure(base_builder(latency), steps, task_seed);
+      MeasuredRun warm = measure(
+          base_builder(latency).WithHistoryStore(store::HistoryStoreOptions{
+              .snapshot_path = snapshot_path, .checkpoint_wal_bytes = 0}),
+          steps, task_seed);
 
       if (cold.has_error) point.cold_relative_error += cold.relative_error;
       if (warm.has_error) point.warm_relative_error += warm.relative_error;

@@ -1,6 +1,8 @@
 #include "store/history_store.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <utility>
 
@@ -25,14 +27,11 @@ util::Result<std::unique_ptr<HistoryStore>> HistoryStore::Open(
     // Open() may already have repaired a crash's torn tail; surface that
     // here since the subsequent replay sees only the repaired file.
     store->stats_.recovered_torn_tail = store->wal_->repaired_torn_tail();
-    // A leftover fold segment means a background checkpoint never finished
-    // (crash or write failure). Adopt it: LoadInto replays it, and the
-    // next fold — which snapshots the rebuilt cache, a superset of the
-    // segment — retires it.
-    std::error_code ec;
-    store->fold_pending_ =
-        std::filesystem::exists(store->fold_path(), ec) && !ec;
-    store->stats_.fold_segment_pending = store->fold_pending_;
+    // Leftover fold segments mean a background checkpoint never finished
+    // (crash or write failure). Adopt them: LoadInto replays them, and the
+    // next fold — which snapshots the rebuilt cache, a superset of every
+    // segment — retires them.
+    store->AdoptFoldSegments();
     if (store->options_.checkpoint_wal_bytes != 0 &&
         store->options_.background_checkpoint) {
       store->checkpoint_thread_ =
@@ -68,9 +67,11 @@ util::Status HistoryStore::LoadInto(access::HistoryCache& cache) {
     }
   }
   if (!options_.wal_path.empty()) {
-    // Fold segment first (it predates the active WAL), then the active WAL
-    // on top; both replays are idempotent.
-    for (const std::string& path : {fold_path(), options_.wal_path}) {
+    // Fold segments first, oldest first (they predate the active WAL),
+    // then the active WAL on top; all replays are idempotent.
+    std::vector<std::string> replay_paths = fold_segments_;
+    replay_paths.push_back(options_.wal_path);
+    for (const std::string& path : replay_paths) {
       auto replay = ReplayWal(path, cache);
       if (replay.ok()) {
         stats_.replayed_wal_records += replay->records_applied;
@@ -115,8 +116,12 @@ void HistoryStore::OnCacheInsert(graph::NodeId v,
   }
   if (options_.background_checkpoint) {
     // Rotate + pin here (cheap), serialize + write on the checkpoint
-    // thread: this insert never waits for a snapshot write.
-    if (!ckpt_inflight_) RequestBackgroundFold(cache);
+    // thread: this insert never waits for a snapshot write. While a fold
+    // is already in flight the rotation still happens — the active WAL is
+    // parked on the fold segment list instead of growing past the
+    // threshold — and the freshly pinned export supersedes any fold
+    // already queued.
+    RequestBackgroundFold(cache);
   } else {
     // Inline fold, still under mu_. Holding the lock is what makes the
     // fold loss-free with a single WAL: a concurrent fetcher's cache
@@ -129,28 +134,94 @@ void HistoryStore::OnCacheInsert(graph::NodeId v,
   }
 }
 
+void HistoryStore::AdoptFoldSegments() {
+  fold_segments_.clear();
+  std::error_code ec;
+  if (std::filesystem::exists(fold_path(), ec) && !ec) {
+    fold_segments_.push_back(fold_path());
+  }
+  // Numbered segments ("<wal>.fold.<N>") were rotated after the bare one;
+  // adopt them in ascending-N (rotation) order. Matching is on FILENAME
+  // (the configured path may spell the directory differently than the
+  // iterator, e.g. a doubled slash).
+  std::vector<std::pair<uint64_t, std::string>> numbered;
+  const std::string prefix =
+      std::filesystem::path(fold_path()).filename().string() + ".";
+  std::filesystem::path dir =
+      std::filesystem::path(options_.wal_path).parent_path();
+  if (dir.empty()) dir = ".";
+  std::filesystem::directory_iterator it(dir, ec);
+  if (!ec) {
+    for (const auto& entry : it) {
+      const std::string filename = entry.path().filename().string();
+      if (filename.rfind(prefix, 0) != 0) continue;
+      const std::string suffix = filename.substr(prefix.size());
+      char* end = nullptr;
+      const uint64_t seq = std::strtoull(suffix.c_str(), &end, 10);
+      if (suffix.empty() || end == nullptr || *end != '\0') continue;
+      numbered.emplace_back(seq, entry.path().string());
+      if (seq >= next_fold_seq_) next_fold_seq_ = seq + 1;
+    }
+  }
+  std::sort(numbered.begin(), numbered.end());
+  for (auto& [seq, path] : numbered) {
+    fold_segments_.push_back(std::move(path));
+  }
+  rotated_total_ = fold_segments_.size();
+  retired_total_ = 0;
+  SyncFoldStats();
+}
+
+std::string HistoryStore::NextFoldSegmentPath() {
+  // The bare ".fold" name is only (re)used when no segment exists at all,
+  // so on-disk segments are always the bare name followed by ascending
+  // numbers — the adoption order above matches rotation order.
+  std::error_code ec;
+  if (fold_segments_.empty() && !(std::filesystem::exists(fold_path(), ec) &&
+                                  !ec)) {
+    return fold_path();
+  }
+  return fold_path() + "." + std::to_string(next_fold_seq_++);
+}
+
+void HistoryStore::RetireFoldSegments(size_t count) {
+  count = std::min(count, fold_segments_.size());
+  for (size_t i = 0; i < count; ++i) {
+    std::remove(fold_segments_[i].c_str());
+  }
+  fold_segments_.erase(fold_segments_.begin(),
+                       fold_segments_.begin() + static_cast<long>(count));
+  retired_total_ += count;
+  SyncFoldStats();
+}
+
+void HistoryStore::SyncFoldStats() {
+  stats_.fold_segment_pending = !fold_segments_.empty();
+  stats_.fold_segments_queued = fold_segments_.size();
+}
+
 void HistoryStore::RequestBackgroundFold(const access::HistoryCache& cache) {
-  if (!fold_pending_) {
+  if (fold_segments_.size() < kMaxFoldSegments) {
     // Rotate the active log out of the way so post-rotation appends are
-    // never retired by this fold. If a fold segment already exists (a
-    // previous fold failed or a crash left one), skip the rotation — the
-    // snapshot we are about to take covers that segment too, and rotating
-    // over it would lose its records.
+    // never retired by this fold. Past the segment cap (folds failing
+    // repeatedly) the WAL grows instead — bounded litter over unbounded.
     util::Status flushed = wal_->Flush();
     if (!flushed.ok()) {
       RecordError(flushed, /*dropped_record=*/false);
       return;
     }
+    const std::string segment = NextFoldSegmentPath();
     wal_.reset();  // closes the file
-    if (std::rename(options_.wal_path.c_str(), fold_path().c_str()) != 0) {
+    if (std::rename(options_.wal_path.c_str(), segment.c_str()) != 0) {
       RecordError(
           util::Status::Internal("wal rotation rename failed for " +
                                  options_.wal_path),
           /*dropped_record=*/false);
       // Fall through to reopen the (un-renamed) log and keep journaling.
     } else {
-      fold_pending_ = true;
-      stats_.fold_segment_pending = true;
+      fold_segments_.push_back(segment);
+      ++rotated_total_;
+      SyncFoldStats();
     }
     auto reopened =
         WalWriter::Open(options_.wal_path,
@@ -165,9 +236,20 @@ void HistoryStore::RequestBackgroundFold(const access::HistoryCache& cache) {
     wal_ = *std::move(reopened);
     stats_.wal_bytes = wal_->file_bytes();
   }
-  ckpt_image_ = ExportCacheImage(cache);
-  ckpt_inflight_ = true;
-  ckpt_cv_.notify_one();
+  // Pin the export on the inserting thread — the only thread with a
+  // guaranteed-live cache reference. A newer export covers every segment
+  // rotated so far, so it supersedes any fold still waiting for the
+  // checkpoint thread (at most one fold queues behind the in-flight one).
+  if (!ckpt_inflight_) {
+    ckpt_image_ = ExportCacheImage(cache);
+    ckpt_covers_ = rotated_total_;
+    ckpt_inflight_ = true;
+    ckpt_cv_.notify_one();
+  } else {
+    queued_image_ = ExportCacheImage(cache);
+    queued_covers_ = rotated_total_;
+    queued_fold_ = true;
+  }
 }
 
 void HistoryStore::CheckpointThreadLoop() {
@@ -180,6 +262,7 @@ void HistoryStore::CheckpointThreadLoop() {
     }
     ExportedCacheImage image = std::move(ckpt_image_);
     ckpt_image_.clear();
+    const uint64_t covers = ckpt_covers_;
     lock.unlock();
     // The expensive part — serialization, CRC, disk write, atomic rename —
     // runs with the journal unlocked: inserts keep landing meanwhile.
@@ -189,15 +272,27 @@ void HistoryStore::CheckpointThreadLoop() {
     lock.lock();
     if (written.ok()) {
       ++stats_.checkpoints;
-      if (fold_pending_) {
-        std::remove(fold_path().c_str());
-        fold_pending_ = false;
-        stats_.fold_segment_pending = false;
-      }
+      // Only the segments the pinned export covered are retired — counted
+      // against the monotone rotation clock, so segments rotated while
+      // this fold waited or wrote (which the export does NOT cover) are
+      // never touched; they stay for the queued fold.
+      RetireFoldSegments(covers > retired_total_
+                             ? static_cast<size_t>(covers - retired_total_)
+                             : 0);
     } else {
-      // Keep the fold segment: it still holds the records the snapshot
-      // failed to capture, and recovery replays it.
+      // Keep the fold segments: they still hold the records the snapshot
+      // failed to capture, and recovery replays them.
       RecordError(written.status(), /*dropped_record=*/false);
+    }
+    if (queued_fold_ && !stopping_) {
+      // A rotation queued a newer export while we were writing: fold it
+      // now. (On a failed write the queued export still covers at least
+      // as much, so retrying with it is strictly better.)
+      ckpt_image_ = std::move(queued_image_);
+      queued_image_.clear();
+      ckpt_covers_ = queued_covers_;
+      queued_fold_ = false;
+      continue;  // stay in flight
     }
     ckpt_inflight_ = false;
     idle_cv_.notify_all();
@@ -219,13 +314,9 @@ util::Status HistoryStore::CheckpointLocked(
     HW_RETURN_IF_ERROR(wal_->Reset());
     stats_.wal_bytes = wal_->file_bytes();
   }
-  if (fold_pending_) {
-    // The snapshot just written covers the fold segment's records (they
-    // are cache contents); retire it.
-    std::remove(fold_path().c_str());
-    fold_pending_ = false;
-    stats_.fold_segment_pending = false;
-  }
+  // The snapshot just written covers every fold segment's records (they
+  // are cache contents); retire them all.
+  RetireFoldSegments(fold_segments_.size());
   ++stats_.checkpoints;
   return util::Status::Ok();
 }

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "access/history_cache.h"
 #include "access/history_journal.h"
@@ -46,12 +47,19 @@
 //    always lands BEFORE its journal append, so every record in the
 //    rotated-out segment is in the cache when the post-rotation export
 //    pins it (minus entries a bounded cache evicted — the cache is the
-//    source of truth, as in the inline mode). The no-stall trade-off:
-//    while one fold is in flight the active WAL keeps growing past the
-//    threshold (there is a single fold slot, so no second rotation until
-//    the segment retires); the overshoot is bounded by the insert rate
-//    times one snapshot write. Segment LISTS (multiple rotated files)
-//    would remove the overshoot and are the ROADMAP follow-up.
+//    source of truth, as in the inline mode). Rotated segments form a
+//    LIST (`<wal>.fold`, then `<wal>.fold.2`, `<wal>.fold.3`, ... in
+//    rotation order): while one fold is in flight, a second tripping
+//    insert still rotates the active WAL into a fresh queued segment —
+//    the WAL never grows past threshold + one insert — and re-pins a
+//    newer cache export that supersedes any fold already queued (the
+//    newest export covers every earlier segment's records, so at most one
+//    fold waits behind the in-flight one regardless of how many segments
+//    rotation queued). A successful fold retires every segment the pinned
+//    export covered, oldest first. The segment count is capped
+//    (kMaxFoldSegments); in the pathological case of folds failing
+//    repeatedly the WAL falls back to growing past the threshold rather
+//    than littering the directory.
 //  * background_checkpoint = false: the PR-3 inline behaviour — the fold
 //    (snapshot write included) runs on the inserting thread under the
 //    journal lock, stalling concurrent fetch completions for the length
@@ -108,9 +116,11 @@ struct HistoryStoreStats {
   // next attempt retries.
   uint64_t checkpoint_failures = 0;
   uint64_t wal_bytes = 0;  // current active-WAL size (0 when disabled)
-  // True while a rotated-out fold segment exists on disk (a background
+  // True while rotated-out fold segments exist on disk (a background
   // checkpoint is in flight, failed, or was interrupted by a crash).
   bool fold_segment_pending = false;
+  // How many rotated-out segments exist right now (the fold queue depth).
+  uint64_t fold_segments_queued = 0;
 };
 
 class HistoryStore final : public access::HistoryJournal {
@@ -154,18 +164,33 @@ class HistoryStore final : public access::HistoryJournal {
 
   const HistoryStoreOptions& options() const { return options_; }
 
-  // "<wal_path>.fold": where an in-flight background checkpoint parks the
-  // rotated-out WAL segment.
+  // "<wal_path>.fold": the first rotated-out WAL segment's name. Later
+  // segments queued while a fold is in flight are "<wal_path>.fold.<N>"
+  // with N increasing in rotation order.
   std::string fold_path() const { return options_.wal_path + ".fold"; }
+
+  // Cap on simultaneously existing fold segments; past it, a tripping
+  // insert stops rotating and the active WAL grows instead.
+  static constexpr size_t kMaxFoldSegments = 8;
 
  private:
   explicit HistoryStore(HistoryStoreOptions options);
 
   util::Status CheckpointLocked(const access::HistoryCache& cache);
-  // Rotates the active WAL out to fold_path() and pins a cache export for
-  // the checkpoint thread. Called under mu_ by OnCacheInsert.
+  // Rotates the active WAL out to a fresh fold segment and pins a cache
+  // export for the checkpoint thread (superseding any queued fold). Called
+  // under mu_ by OnCacheInsert.
   void RequestBackgroundFold(const access::HistoryCache& cache);
   void CheckpointThreadLoop();
+  // Adopts fold segments left on disk by an interrupted background
+  // checkpoint, in rotation order. Called at Open.
+  void AdoptFoldSegments();
+  // The name the next rotation parks the active WAL under.
+  std::string NextFoldSegmentPath();
+  // Deletes the oldest `count` fold segments (their records are covered by
+  // the snapshot just written). Called under mu_.
+  void RetireFoldSegments(size_t count);
+  void SyncFoldStats();
   // `dropped_record` selects which failure counter the error lands in:
   // append_failures (a journal record was lost) vs checkpoint_failures (a
   // fold attempt failed, durability intact).
@@ -178,11 +203,22 @@ class HistoryStore final : public access::HistoryJournal {
   HistoryStoreStats stats_;
   util::Status last_error_;
 
-  // Background-checkpoint state, all under mu_.
-  bool fold_pending_ = false;     // fold segment exists on disk
+  // Background-checkpoint state, all under mu_. Segment coverage is
+  // tracked with MONOTONE counters (segments ever rotated / ever retired)
+  // rather than list sizes, so a fold retires exactly the segments its
+  // export covers even when earlier folds shrank the list — or new
+  // rotations grew it — while the export waited or wrote.
+  std::vector<std::string> fold_segments_;  // on disk, oldest first
+  uint64_t rotated_total_ = 0;    // segments ever pushed onto the list
+  uint64_t retired_total_ = 0;    // segments ever retired off its front
+  uint64_t next_fold_seq_ = 2;    // suffix for the next numbered segment
   bool ckpt_inflight_ = false;    // image pinned or snapshot being written
   bool stopping_ = false;
-  ExportedCacheImage ckpt_image_;
+  ExportedCacheImage ckpt_image_;   // the in-flight fold's pinned export
+  uint64_t ckpt_covers_ = 0;        // export covers rotations < this count
+  bool queued_fold_ = false;        // a newer export awaits the thread
+  ExportedCacheImage queued_image_;
+  uint64_t queued_covers_ = 0;
   std::condition_variable ckpt_cv_;  // wakes the checkpoint thread
   std::condition_variable idle_cv_;  // wakes WaitForIdle / Checkpoint
   std::thread checkpoint_thread_;    // joined by the destructor

@@ -1,0 +1,101 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+namespace histwalk::util {
+
+Result<Flags> Flags::Parse(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  args.reserve(argc > 0 ? static_cast<size_t>(argc) - 1 : 0);
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return Parse(args);
+}
+
+Result<Flags> Flags::Parse(const std::vector<std::string>& args) {
+  Flags flags;
+  for (const std::string& arg : args) {
+    if (arg.rfind("--", 0) != 0) {
+      flags.positional_.push_back(arg);
+      continue;
+    }
+    const size_t eq = arg.find('=');
+    std::string name = arg.substr(2, eq == std::string::npos ? std::string::npos
+                                                             : eq - 2);
+    if (name.empty()) {
+      return Status::InvalidArgument("malformed flag: " + arg);
+    }
+    std::string value =
+        eq == std::string::npos ? "true" : arg.substr(eq + 1);
+    flags.values_[std::move(name)] = std::move(value);  // last wins
+  }
+  return flags;
+}
+
+const std::string* Flags::Lookup(std::string_view name) const {
+  read_.insert(std::string(name));
+  auto it = values_.find(name);
+  return it == values_.end() ? nullptr : &it->second;
+}
+
+bool Flags::Has(std::string_view name) const {
+  return Lookup(name) != nullptr;
+}
+
+std::string Flags::GetString(std::string_view name,
+                             std::string fallback) const {
+  const std::string* value = Lookup(name);
+  return value == nullptr ? std::move(fallback) : *value;
+}
+
+Result<uint64_t> Flags::GetUint(std::string_view name,
+                                uint64_t fallback) const {
+  const std::string* value = Lookup(name);
+  if (value == nullptr) return fallback;
+  char* end = nullptr;
+  if (value->empty() || value->front() == '-') {
+    return Status::InvalidArgument("--" + std::string(name) +
+                                   " expects a non-negative integer, got \"" +
+                                   *value + "\"");
+  }
+  const uint64_t parsed = std::strtoull(value->c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return Status::InvalidArgument("--" + std::string(name) +
+                                   " expects an integer, got \"" + *value +
+                                   "\"");
+  }
+  return parsed;
+}
+
+Result<double> Flags::GetDouble(std::string_view name, double fallback) const {
+  const std::string* value = Lookup(name);
+  if (value == nullptr) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value->c_str(), &end);
+  if (value->empty() || end == nullptr || *end != '\0') {
+    return Status::InvalidArgument("--" + std::string(name) +
+                                   " expects a number, got \"" + *value +
+                                   "\"");
+  }
+  return parsed;
+}
+
+Result<bool> Flags::GetBool(std::string_view name, bool fallback) const {
+  const std::string* value = Lookup(name);
+  if (value == nullptr) return fallback;
+  if (*value == "true" || *value == "1" || *value == "yes") return true;
+  if (*value == "false" || *value == "0" || *value == "no") return false;
+  return Status::InvalidArgument("--" + std::string(name) +
+                                 " expects true/false, got \"" + *value +
+                                 "\"");
+}
+
+Status Flags::CheckAllRead() const {
+  for (const auto& [name, value] : values_) {
+    if (read_.find(name) == read_.end()) {
+      return Status::InvalidArgument("unknown flag: --" + name);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace histwalk::util

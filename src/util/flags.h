@@ -1,0 +1,62 @@
+#ifndef HISTWALK_UTIL_FLAGS_H_
+#define HISTWALK_UTIL_FLAGS_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+// Minimal named command-line flags for the example binaries.
+//
+// Tokens of the form `--name=value` (or bare `--name`, meaning "true") may
+// appear anywhere on the command line; everything else is positional and
+// keeps its relative order. There is no registry: binaries read the flags
+// they care about with the typed Get* accessors (each records the name as
+// read) and finish with CheckAllRead(), which rejects any flag the binary
+// never looked at — the typo guard a registry would otherwise provide.
+//
+//   HW_ASSIGN_OR_RETURN(util::Flags flags, util::Flags::Parse(argc, argv));
+//   HW_ASSIGN_OR_RETURN(uint64_t budget, flags.GetUint("budget", 1000));
+//   std::string wal = flags.GetString("wal", "");
+//   HW_RETURN_IF_ERROR(flags.CheckAllRead());
+
+namespace histwalk::util {
+
+class Flags {
+ public:
+  // argv[0] is skipped. kInvalidArgument on malformed tokens ("--=x",
+  // "--"). A repeated flag keeps the LAST occurrence (override-friendly).
+  static Result<Flags> Parse(int argc, const char* const* argv);
+  static Result<Flags> Parse(const std::vector<std::string>& args);
+
+  // True when the flag was given (marks it read).
+  bool Has(std::string_view name) const;
+
+  // Typed accessors: `fallback` when absent, kInvalidArgument when present
+  // but unparseable. All mark the flag as read.
+  std::string GetString(std::string_view name, std::string fallback) const;
+  Result<uint64_t> GetUint(std::string_view name, uint64_t fallback) const;
+  Result<double> GetDouble(std::string_view name, double fallback) const;
+  // Accepts true/false/1/0/yes/no; a bare `--name` is true.
+  Result<bool> GetBool(std::string_view name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // kInvalidArgument naming the first flag no accessor ever read — given
+  // flags the binary does not understand are almost certainly typos.
+  Status CheckAllRead() const;
+
+ private:
+  const std::string* Lookup(std::string_view name) const;
+
+  std::map<std::string, std::string, std::less<>> values_;
+  std::vector<std::string> positional_;
+  mutable std::set<std::string, std::less<>> read_;
+};
+
+}  // namespace histwalk::util
+
+#endif  // HISTWALK_UTIL_FLAGS_H_

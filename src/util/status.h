@@ -142,6 +142,16 @@ class Result {
   const T* operator->() const { return &*value_; }
   T* operator->() { return &*value_; }
 
+  // The value, or `fallback` when this Result holds an error — for call
+  // sites where a default is genuinely fine (optional config lookups);
+  // error-propagating code uses HW_ASSIGN_OR_RETURN instead.
+  T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+  T value_or(T fallback) && {
+    return ok() ? *std::move(value_) : std::move(fallback);
+  }
+
  private:
   std::optional<T> value_;
   Status status_;  // OK iff value_ holds a value

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "access/graph_access.h"
+#include "api/sampler.h"
+#include "estimate/ensemble_runner.h"
+#include "graph/generators.h"
+#include "service/sampling_service.h"
+#include "util/random.h"
+
+// The facade's acceptance contract: api::SamplerBuilder produces runs that
+// are BIT-IDENTICAL to the hand-wired stack it replaces — merged traces,
+// per-walker QueryStats AND bills (charged queries) — in every execution
+// mode and at several pipeline/scheduler depths. The facade owns the
+// wiring; it must never own the semantics.
+
+namespace histwalk::api {
+namespace {
+
+graph::Graph TestGraph() {
+  util::Random rng(99);
+  return graph::MakeWattsStrogatz(/*n=*/600, /*k=*/6, /*beta=*/0.2, rng);
+}
+
+constexpr uint32_t kWalkers = 6;
+constexpr uint64_t kSeed = 3;
+constexpr uint64_t kSteps = 150;
+
+const estimate::EnsembleOptions kManualOptions{
+    .num_walkers = kWalkers, .seed = kSeed, .max_steps = kSteps,
+    .num_threads = 1};
+
+void ExpectSameRun(const estimate::EnsembleResult& a,
+                   const estimate::EnsembleResult& b) {
+  ASSERT_EQ(a.starts, b.starts);
+  ASSERT_EQ(a.traces.size(), b.traces.size());
+  for (size_t i = 0; i < a.traces.size(); ++i) {
+    EXPECT_EQ(a.traces[i].nodes, b.traces[i].nodes) << "walker " << i;
+    EXPECT_EQ(a.traces[i].degrees, b.traces[i].degrees) << "walker " << i;
+    EXPECT_EQ(a.traces[i].unique_queries, b.traces[i].unique_queries)
+        << "walker " << i;
+  }
+  ASSERT_EQ(a.walker_stats.size(), b.walker_stats.size());
+  for (size_t i = 0; i < a.walker_stats.size(); ++i) {
+    EXPECT_EQ(a.walker_stats[i].total_queries, b.walker_stats[i].total_queries)
+        << "walker " << i;
+    EXPECT_EQ(a.walker_stats[i].unique_queries,
+              b.walker_stats[i].unique_queries)
+        << "walker " << i;
+    EXPECT_EQ(a.walker_stats[i].cache_hits, b.walker_stats[i].cache_hits)
+        << "walker " << i;
+  }
+}
+
+RunReport FacadeRun(SamplerBuilder builder) {
+  auto sampler = builder.Build();
+  EXPECT_TRUE(sampler.ok()) << sampler.status();
+  auto handle = (*sampler)->Run();
+  EXPECT_TRUE(handle.ok()) << handle.status();
+  auto report = handle->Wait();
+  EXPECT_TRUE(report.ok()) << report.status();
+  return *std::move(report);
+}
+
+// ---- inline mode ------------------------------------------------------
+
+TEST(ApiEquivalenceTest, InlineMatchesManualRunEnsemble) {
+  graph::Graph graph = TestGraph();
+
+  access::GraphAccess backend(&graph, nullptr);
+  access::SharedAccessGroup group(&backend);
+  auto manual = estimate::RunEnsemble(
+      group, {.type = core::WalkerType::kCnrw}, kManualOptions);
+  ASSERT_TRUE(manual.ok());
+
+  RunReport facade = FacadeRun(SamplerBuilder()
+                                   .OverGraph(&graph)
+                                   .RunInline(/*num_threads=*/1)
+                                   .WithWalker({.type = core::WalkerType::kCnrw})
+                                   .WithEnsemble(kWalkers, kSeed)
+                                   .StopAfterSteps(kSteps));
+  ExpectSameRun(*manual, facade.ensemble);
+  // Single-threaded runs make the charge sequence deterministic: the bill
+  // must match exactly, not just the samples.
+  EXPECT_EQ(manual->charged_queries, facade.charged_queries);
+}
+
+TEST(ApiEquivalenceTest, InlineMatchesManualUnderBoundedCache) {
+  graph::Graph graph = TestGraph();
+  access::GraphAccess backend(&graph, nullptr);
+  access::SharedAccessGroup group(
+      &backend, {.cache = {.capacity = 64, .num_shards = 4}});
+  auto manual = estimate::RunEnsemble(
+      group, {.type = core::WalkerType::kCnrw}, kManualOptions);
+  ASSERT_TRUE(manual.ok());
+
+  RunReport facade = FacadeRun(SamplerBuilder()
+                                   .OverGraph(&graph)
+                                   .WithCache({.capacity = 64, .num_shards = 4})
+                                   .RunInline(/*num_threads=*/1)
+                                   .WithWalker({.type = core::WalkerType::kCnrw})
+                                   .WithEnsemble(kWalkers, kSeed)
+                                   .StopAfterSteps(kSteps));
+  ExpectSameRun(*manual, facade.ensemble);
+  EXPECT_EQ(manual->charged_queries, facade.charged_queries);
+}
+
+// ---- pipelined mode ---------------------------------------------------
+
+TEST(ApiEquivalenceTest, PipelinedMatchesManualAsyncAtEveryDepth) {
+  graph::Graph graph = TestGraph();
+  access::GraphAccess backend(&graph, nullptr);
+
+  for (uint32_t depth : {1u, 3u}) {
+    access::SharedAccessGroup group(&backend);
+    auto manual = estimate::RunEnsembleAsync(
+        group, {.type = core::WalkerType::kCnrw}, kManualOptions,
+        {.depth = depth, .max_batch = 4});
+    ASSERT_TRUE(manual.ok()) << "depth " << depth;
+
+    RunReport facade =
+        FacadeRun(SamplerBuilder()
+                      .OverGraph(&graph)
+                      .RunPipelined({.depth = depth, .max_batch = 4})
+                      .WithWalker({.type = core::WalkerType::kCnrw})
+                      .WithEnsemble(kWalkers, kSeed)
+                      .StopAfterSteps(kSteps));
+    ExpectSameRun(*manual, facade.ensemble);
+    // Singleflight makes the async bill deterministic (unbounded cache:
+    // every distinct node is fetched exactly once).
+    EXPECT_EQ(manual->charged_queries, facade.charged_queries) << "depth "
+                                                               << depth;
+    EXPECT_EQ(facade.ensemble.pipeline_stats.wire_items,
+              facade.charged_queries);
+  }
+}
+
+// ---- service mode -----------------------------------------------------
+
+// Sequential sessions (submit -> wait -> detach one at a time) make the
+// shared-cache evolution — and with it every tenant's bill — fully
+// deterministic, so facade and manual paths must agree exactly.
+TEST(ApiEquivalenceTest, ServiceMatchesManualServiceAtTwoSchedulerDepths) {
+  graph::Graph graph = TestGraph();
+  access::GraphAccess backend(&graph, nullptr);
+  constexpr uint32_t kTenants = 3;
+
+  for (uint32_t depth : {1u, 4u}) {
+    std::vector<estimate::EnsembleResult> manual_runs;
+    std::vector<uint64_t> manual_bills;
+    {
+      service::SamplingService service(
+          &backend, {.max_sessions = kTenants,
+                     .pipeline = {.depth = depth, .max_batch = 4}});
+      for (uint32_t t = 0; t < kTenants; ++t) {
+        auto id = service.Submit({.walker = {.type = core::WalkerType::kCnrw},
+                                  .num_walkers = kWalkers,
+                                  .seed = kSeed + t,
+                                  .max_steps = kSteps});
+        ASSERT_TRUE(id.ok()) << id.status();
+        auto report = service.Wait(*id);
+        ASSERT_TRUE(report.ok()) << report.status();
+        manual_runs.push_back(report->ensemble);
+        manual_bills.push_back(report->charged_queries);
+        ASSERT_TRUE(service.Detach(*id).ok());
+      }
+    }
+
+    auto sampler =
+        SamplerBuilder()
+            .OverGraph(&graph)
+            .RunAsService({.max_sessions = kTenants,
+                           .pipeline = {.depth = depth, .max_batch = 4}})
+            .WithWalker({.type = core::WalkerType::kCnrw})
+            .StopAfterSteps(kSteps)
+            .Build();
+    ASSERT_TRUE(sampler.ok()) << sampler.status();
+    for (uint32_t t = 0; t < kTenants; ++t) {
+      RunOptions options = (*sampler)->default_run_options();
+      options.num_walkers = kWalkers;
+      options.seed = kSeed + t;
+      auto handle = (*sampler)->Run(options);
+      ASSERT_TRUE(handle.ok()) << handle.status();
+      auto report = handle->Wait();
+      ASSERT_TRUE(report.ok()) << report.status();
+      ExpectSameRun(manual_runs[t], report->ensemble);
+      EXPECT_EQ(manual_bills[t], report->charged_queries)
+          << "tenant " << t << " depth " << depth;
+    }
+  }
+}
+
+// ---- cross-mode -------------------------------------------------------
+
+// The facade's own determinism contract: all three execution modes walk
+// the same samples; only the bill's shape differs.
+TEST(ApiEquivalenceTest, AllThreeModesProduceIdenticalTraces) {
+  graph::Graph graph = TestGraph();
+  auto base = [&] {
+    return SamplerBuilder()
+        .OverGraph(&graph)
+        .WithWalker({.type = core::WalkerType::kCnrw})
+        .WithEnsemble(kWalkers, kSeed)
+        .StopAfterSteps(kSteps);
+  };
+  RunReport inline_run = FacadeRun(base().RunInline(/*num_threads=*/1));
+  RunReport pipelined = FacadeRun(base().RunPipelined({.depth = 4}));
+  RunReport service = FacadeRun(base().RunAsService({.max_sessions = 1}));
+  ExpectSameRun(inline_run.ensemble, pipelined.ensemble);
+  ExpectSameRun(inline_run.ensemble, service.ensemble);
+  EXPECT_EQ(inline_run.charged_queries, pipelined.charged_queries);
+  EXPECT_EQ(inline_run.charged_queries, service.charged_queries);
+}
+
+}  // namespace
+}  // namespace histwalk::api

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "api/sampler.h"
+#include "graph/generators.h"
+#include "util/random.h"
+
+// Unit coverage of the api/ facade itself: builder validation, the
+// RunHandle session lifecycle (Poll/Wait/Report/Cancel) in every mode,
+// warm starts through an owned HistoryStore, and estimator selection.
+
+namespace histwalk::api {
+namespace {
+
+graph::Graph TestGraph() {
+  util::Random rng(7);
+  return graph::MakeWattsStrogatz(/*n=*/400, /*k=*/6, /*beta=*/0.2, rng);
+}
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+SamplerBuilder BaseBuilder(const graph::Graph& graph) {
+  return SamplerBuilder()
+      .OverGraph(&graph)
+      .WithWalker({.type = core::WalkerType::kCnrw})
+      .WithEnsemble(/*num_walkers=*/4, /*seed=*/11)
+      .StopAfterSteps(80);
+}
+
+TEST(SamplerBuilderTest, RefusesMissingBackend) {
+  auto sampler = SamplerBuilder().Build();
+  ASSERT_FALSE(sampler.ok());
+  EXPECT_EQ(sampler.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(SamplerBuilderTest, RefusesAttributeEstimandWithoutAttributes) {
+  graph::Graph graph = TestGraph();
+  auto sampler = SamplerBuilder()
+                     .OverGraph(&graph)
+                     .EstimateAttributeMean("age")
+                     .Build();
+  ASSERT_FALSE(sampler.ok());
+  EXPECT_EQ(sampler.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(SamplerBuilderTest, RefusesGroupBudgetInServiceMode) {
+  graph::Graph graph = TestGraph();
+  auto sampler = SamplerBuilder()
+                     .OverGraph(&graph)
+                     .WithGroupQueryBudget(100)
+                     .RunAsService()
+                     .Build();
+  ASSERT_FALSE(sampler.ok());
+  EXPECT_EQ(sampler.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(SamplerTest, RefusesTenantBudgetOutsideServiceMode) {
+  graph::Graph graph = TestGraph();
+  auto sampler = BaseBuilder(graph).RunInline().Build();
+  ASSERT_TRUE(sampler.ok()) << sampler.status();
+  RunOptions options = (*sampler)->default_run_options();
+  options.tenant_query_budget = 50;
+  auto handle = (*sampler)->Run(options);
+  ASSERT_FALSE(handle.ok());
+  EXPECT_EQ(handle.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(SamplerTest, WaitThenReportReturnTheSameReport) {
+  graph::Graph graph = TestGraph();
+  for (auto configure :
+       {+[](SamplerBuilder& b) { b.RunInline(); },
+        +[](SamplerBuilder& b) { b.RunPipelined({.depth = 2}); },
+        +[](SamplerBuilder& b) { b.RunAsService(); }}) {
+    SamplerBuilder builder = BaseBuilder(graph).EstimateAverageDegree();
+    configure(builder);
+    auto sampler = builder.Build();
+    ASSERT_TRUE(sampler.ok()) << sampler.status();
+    auto handle = (*sampler)->Run();
+    ASSERT_TRUE(handle.ok()) << handle.status();
+    auto waited = handle->Wait();
+    ASSERT_TRUE(waited.ok()) << waited.status();
+    EXPECT_EQ(handle->Poll(), RunState::kDone);
+    auto reported = handle->Report();
+    ASSERT_TRUE(reported.ok()) << reported.status();
+    EXPECT_EQ(waited->charged_queries, reported->charged_queries);
+    EXPECT_EQ(waited->ensemble.num_steps(), reported->ensemble.num_steps());
+    EXPECT_TRUE(waited->has_estimate);
+    EXPECT_GT(waited->estimate, 0.0);
+    // A second Wait returns the cached copy (service sessions are already
+    // detached by the first).
+    auto again = handle->Wait();
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again->charged_queries, waited->charged_queries);
+  }
+}
+
+TEST(SamplerTest, ThreadModesRunOneAtATime) {
+  graph::Graph graph = TestGraph();
+  auto sampler = BaseBuilder(graph).RunInline().Build();
+  ASSERT_TRUE(sampler.ok());
+  // A long walk so the first run is still in flight when the second is
+  // submitted.
+  RunOptions options = (*sampler)->default_run_options();
+  options.max_steps = 500'000;
+  auto first = (*sampler)->Run(options);
+  ASSERT_TRUE(first.ok()) << first.status();
+  auto second = (*sampler)->Run();
+  if (second.ok()) {
+    // The first run won the race and finished already — allowed, but then
+    // both must succeed.
+    EXPECT_TRUE(second->Wait().ok());
+  } else {
+    EXPECT_EQ(second.status().code(), util::StatusCode::kFailedPrecondition);
+  }
+  EXPECT_TRUE(first->Wait().ok());
+  // After Wait, the slot is free again.
+  auto third = (*sampler)->Run();
+  ASSERT_TRUE(third.ok()) << third.status();
+  EXPECT_TRUE(third->Wait().ok());
+}
+
+TEST(SamplerTest, CancelDiscardsTheRun) {
+  graph::Graph graph = TestGraph();
+  for (auto configure : {+[](SamplerBuilder& b) { b.RunInline(); },
+                         +[](SamplerBuilder& b) { b.RunAsService(); }}) {
+    SamplerBuilder builder = BaseBuilder(graph);
+    configure(builder);
+    auto sampler = builder.Build();
+    ASSERT_TRUE(sampler.ok());
+    auto handle = (*sampler)->Run();
+    ASSERT_TRUE(handle.ok());
+    handle->Cancel();
+    EXPECT_EQ(handle->Poll(), RunState::kFailed);
+    auto report = handle->Wait();
+    ASSERT_FALSE(report.ok());
+    EXPECT_EQ(report.status().code(), util::StatusCode::kFailedPrecondition);
+    // The sampler survives a canceled run.
+    auto next = (*sampler)->Run();
+    ASSERT_TRUE(next.ok()) << next.status();
+    EXPECT_TRUE(next->Wait().ok());
+  }
+}
+
+TEST(SamplerTest, DroppedHandleIsReapedBySampler) {
+  graph::Graph graph = TestGraph();
+  auto sampler = BaseBuilder(graph).RunPipelined({.depth = 2}).Build();
+  ASSERT_TRUE(sampler.ok());
+  { auto handle = (*sampler)->Run(); ASSERT_TRUE(handle.ok()); }
+  // Never waited: the destructor (and the next Run) must not deadlock or
+  // leak the worker.
+  auto next = (*sampler)->Run();
+  if (next.ok()) EXPECT_TRUE(next->Wait().ok());
+}
+
+TEST(SamplerTest, WarmStartReplaysHistoryAndChargesNothing) {
+  graph::Graph graph = TestGraph();
+  const std::string snapshot = TempPath("api_sampler_warm.hwss");
+  std::remove(snapshot.c_str());
+
+  auto with_store = [&](SamplerBuilder builder) {
+    return builder.WithHistoryStore(store::HistoryStoreOptions{
+        .snapshot_path = snapshot, .checkpoint_wal_bytes = 0});
+  };
+
+  uint64_t cold_charged = 0;
+  {
+    auto sampler = with_store(BaseBuilder(graph).RunPipelined({.depth = 2}))
+                       .Build();
+    ASSERT_TRUE(sampler.ok()) << sampler.status();
+    EXPECT_TRUE((*sampler)->warm_start_status().ok());
+    auto report = (*sampler)->Run();
+    ASSERT_TRUE(report.ok());
+    auto waited = report->Wait();
+    ASSERT_TRUE(waited.ok());
+    cold_charged = waited->charged_queries;
+    ASSERT_TRUE((*sampler)->SaveHistory().ok());
+  }
+  EXPECT_GT(cold_charged, 0u);
+
+  // Same task over a warm-started sampler: every neighbor list is already
+  // history, so the bill is zero and the samples identical.
+  {
+    auto sampler = with_store(BaseBuilder(graph).RunPipelined({.depth = 2}))
+                       .Build();
+    ASSERT_TRUE(sampler.ok()) << sampler.status();
+    EXPECT_TRUE((*sampler)->warm_start_status().ok());
+    auto handle = (*sampler)->Run();
+    ASSERT_TRUE(handle.ok());
+    auto report = handle->Wait();
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report->charged_queries, 0u);
+  }
+  std::remove(snapshot.c_str());
+}
+
+TEST(SamplerTest, GroupBudgetSurfacesAsBudgetStopAndExactBill) {
+  graph::Graph graph = TestGraph();
+  auto sampler = BaseBuilder(graph)
+                     .WithGroupQueryBudget(40)
+                     .RunInline(/*num_threads=*/1)
+                     .Build();
+  ASSERT_TRUE(sampler.ok());
+  RunOptions options = (*sampler)->default_run_options();
+  options.max_steps = 100'000;  // the budget must stop the run
+  auto handle = (*sampler)->Run(options);
+  ASSERT_TRUE(handle.ok());
+  auto report = handle->Wait();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->charged_queries, 40u);
+  bool budget_stop = false;
+  for (const auto& trace : report->ensemble.traces) {
+    budget_stop |= util::IsBudgetStop(trace.final_status);
+  }
+  EXPECT_TRUE(budget_stop);
+}
+
+}  // namespace
+}  // namespace histwalk::api

@@ -13,6 +13,7 @@
 #include "estimate/ensemble_runner.h"
 #include "estimate/walk_runner.h"
 #include "graph/generators.h"
+#include "util/parallel.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -408,6 +409,112 @@ TEST(HistoryStoreTest, ResumedCrawlMatchesUninterruptedTrace) {
   // re-walked the first run's coverage for free.
   EXPECT_EQ(resumed_charges, kBudget);
   EXPECT_GT(resumed.nodes.size(), first.nodes.size());
+}
+
+// Writes a standalone WAL segment file holding records for nodes
+// [first, first + count).
+void WriteSegment(const std::string& path, graph::NodeId first,
+                  uint32_t count) {
+  auto wal = WalWriter::Open(path);
+  ASSERT_TRUE(wal.ok()) << wal.status();
+  for (uint32_t i = 0; i < count; ++i) {
+    const graph::NodeId v = first + i;
+    const std::vector<graph::NodeId> neighbors{v + 1, v + 2};
+    ASSERT_TRUE((*wal)->Append(v, neighbors).ok());
+  }
+  ASSERT_TRUE((*wal)->Flush().ok());
+}
+
+TEST(HistoryStoreTest, AdoptsAndReplaysAFoldSegmentList) {
+  // A crash can leave SEVERAL rotated-out fold segments (one per
+  // threshold trip while earlier folds were still in flight, numbered in
+  // rotation order, possibly with retired gaps). Open must adopt all of
+  // them, LoadInto must replay all of them, and a checkpoint must retire
+  // all of them.
+  const std::string snap = TempPath("hs_seglist.hwss");
+  const std::string wal = TempPath("hs_seglist.hwwl");
+  TempPath("hs_seglist.hwwl.fold");      // clear leftovers
+  TempPath("hs_seglist.hwwl.fold.2");
+  TempPath("hs_seglist.hwwl.fold.5");
+  WriteSegment(wal + ".fold", /*first=*/0, /*count=*/10);
+  WriteSegment(wal + ".fold.2", /*first=*/10, /*count=*/10);
+  WriteSegment(wal + ".fold.5", /*first=*/20, /*count=*/10);
+  WriteSegment(wal, /*first=*/30, /*count=*/5);  // the active WAL
+
+  auto store = HistoryStore::Open(
+      {.snapshot_path = snap, .wal_path = wal, .checkpoint_wal_bytes = 0});
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_TRUE((*store)->stats().fold_segment_pending);
+  EXPECT_EQ((*store)->stats().fold_segments_queued, 3u);
+
+  access::HistoryCache cache({.num_shards = 4});
+  ASSERT_TRUE((*store)->LoadInto(cache).ok());
+  EXPECT_EQ(cache.stats().entries, 35u);
+  EXPECT_EQ((*store)->stats().replayed_wal_records, 35u);
+
+  // A checkpoint covers every segment's records; all three are retired.
+  ASSERT_TRUE((*store)->Checkpoint(cache).ok());
+  EXPECT_FALSE((*store)->stats().fold_segment_pending);
+  EXPECT_EQ((*store)->stats().fold_segments_queued, 0u);
+  EXPECT_FALSE(std::ifstream(wal + ".fold").good());
+  EXPECT_FALSE(std::ifstream(wal + ".fold.2").good());
+  EXPECT_FALSE(std::ifstream(wal + ".fold.5").good());
+
+  // Recovery from the folded state alone sees the full history.
+  auto reopened = HistoryStore::Open(
+      {.snapshot_path = snap, .wal_path = wal, .checkpoint_wal_bytes = 0});
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->stats().fold_segments_queued, 0u);
+  access::HistoryCache rebuilt({.num_shards = 4});
+  ASSERT_TRUE((*reopened)->LoadInto(rebuilt).ok());
+  EXPECT_EQ(rebuilt.stats().entries, 35u);
+}
+
+TEST(HistoryStoreTest, RotationStormUnderBackgroundFoldsIsLossFree) {
+  // Concurrent inserts with a tiny threshold force rotations to land
+  // while folds are in flight — the queued-fold-segment path. Whatever
+  // the interleaving, recovery must see every record, and the segment
+  // list must respect its cap.
+  const std::string snap = TempPath("hs_storm.hwss");
+  const std::string wal = TempPath("hs_storm.hwwl");
+  constexpr uint32_t kNodes = 3000;
+  {
+    auto store = HistoryStore::Open({.snapshot_path = snap,
+                                     .wal_path = wal,
+                                     .checkpoint_wal_bytes = 512,
+                                     .background_checkpoint = true});
+    ASSERT_TRUE(store.ok()) << store.status();
+    access::HistoryCache cache({.num_shards = 8});
+    util::ParallelFor(
+        kNodes,
+        [&](size_t i) {
+          const graph::NodeId v = static_cast<graph::NodeId>(i);
+          const std::vector<graph::NodeId> neighbors{v + 1, v + 7};
+          // The journal contract: the cache insert lands BEFORE the
+          // journal append.
+          bool inserted = false;
+          cache.Put(v, neighbors, &inserted);
+          ASSERT_TRUE(inserted);
+          (*store)->OnCacheInsert(v, neighbors, cache);
+        },
+        /*num_threads=*/8);
+    (*store)->WaitForIdle();
+    HistoryStoreStats stats = (*store)->stats();
+    EXPECT_EQ(stats.appended_records, kNodes);
+    EXPECT_EQ(stats.append_failures, 0u);
+    EXPECT_GT(stats.checkpoints, 0u);
+    EXPECT_LE(stats.fold_segments_queued, HistoryStore::kMaxFoldSegments);
+    EXPECT_TRUE((*store)->last_error().ok());
+  }
+  // "Restart": snapshot + any leftover segments + active WAL must rebuild
+  // every inserted record.
+  auto store = HistoryStore::Open({.snapshot_path = snap,
+                                   .wal_path = wal,
+                                   .checkpoint_wal_bytes = 0});
+  ASSERT_TRUE(store.ok()) << store.status();
+  access::HistoryCache rebuilt({.num_shards = 8});
+  ASSERT_TRUE((*store)->LoadInto(rebuilt).ok());
+  EXPECT_EQ(rebuilt.stats().entries, kNodes);
 }
 
 }  // namespace

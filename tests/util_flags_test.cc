@@ -1,0 +1,77 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace histwalk::util {
+namespace {
+
+TEST(FlagsTest, ParsesNamedFlagsAndPositionals) {
+  auto flags = Flags::Parse({"--budget=100", "edges.txt", "--walker=cnrw",
+                             "--verbose", "extra"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->positional(),
+            (std::vector<std::string>{"edges.txt", "extra"}));
+  EXPECT_EQ(flags->GetString("walker", ""), "cnrw");
+  auto budget = flags->GetUint("budget", 0);
+  ASSERT_TRUE(budget.ok());
+  EXPECT_EQ(*budget, 100u);
+  auto verbose = flags->GetBool("verbose", false);
+  ASSERT_TRUE(verbose.ok());
+  EXPECT_TRUE(*verbose);
+  EXPECT_TRUE(flags->CheckAllRead().ok());
+}
+
+TEST(FlagsTest, FallbacksWhenAbsent) {
+  auto flags = Flags::Parse(std::vector<std::string>{});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->GetString("walker", "cnrw"), "cnrw");
+  EXPECT_EQ(flags->GetUint("budget", 1000).value_or(0), 1000u);
+  EXPECT_EQ(flags->GetDouble("beta", 0.5).value_or(0.0), 0.5);
+  EXPECT_FALSE(flags->GetBool("verbose", false).value_or(true));
+  EXPECT_FALSE(flags->Has("anything"));
+}
+
+TEST(FlagsTest, LastOccurrenceWins) {
+  auto flags = Flags::Parse({"--seed=1", "--seed=9"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->GetUint("seed", 0).value_or(0), 9u);
+}
+
+TEST(FlagsTest, TypedParseErrors) {
+  auto flags = Flags::Parse({"--budget=abc", "--beta=x", "--flag=maybe",
+                             "--neg=-3"});
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->GetUint("budget", 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(flags->GetDouble("beta", 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(flags->GetBool("flag", false).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(flags->GetUint("neg", 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FlagsTest, MalformedFlagRejectedAtParse) {
+  EXPECT_FALSE(Flags::Parse({"--=x"}).ok());
+  EXPECT_FALSE(Flags::Parse({"--"}).ok());
+}
+
+TEST(FlagsTest, CheckAllReadCatchesTypos) {
+  auto flags = Flags::Parse({"--bugdet=100", "--seed=1"});
+  ASSERT_TRUE(flags.ok());
+  (void)flags->GetUint("seed", 0);
+  util::Status status = flags->CheckAllRead();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("bugdet"), std::string::npos);
+}
+
+TEST(FlagsTest, ParsesFromArgcArgv) {
+  const char* argv[] = {"binary", "--depth=4", "file"};
+  auto flags = Flags::Parse(3, argv);
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->GetUint("depth", 1).value_or(0), 4u);
+  EXPECT_EQ(flags->positional().size(), 1u);
+}
+
+}  // namespace
+}  // namespace histwalk::util

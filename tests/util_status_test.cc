@@ -167,5 +167,23 @@ TEST(StatusMacroTest, AssignOrReturnBindsAndPropagates) {
   EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST(ResultTest, ValueOrReturnsValueOnOk) {
+  Result<int> result(42);
+  EXPECT_EQ(result.value_or(7), 42);
+}
+
+TEST(ResultTest, ValueOrReturnsFallbackOnError) {
+  Result<int> result(Status::NotFound("missing"));
+  EXPECT_EQ(result.value_or(7), 7);
+}
+
+TEST(ResultTest, ValueOrMovesOutOfRvalueResult) {
+  Result<std::string> result(std::string("hello"));
+  std::string value = std::move(result).value_or("fallback");
+  EXPECT_EQ(value, "hello");
+  Result<std::string> error(Status::Internal("boom"));
+  EXPECT_EQ(std::move(error).value_or("fallback"), "fallback");
+}
+
 }  // namespace
 }  // namespace histwalk::util
