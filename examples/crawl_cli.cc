@@ -19,6 +19,11 @@
 //                        wire slots overlapped by the latency model AND
 //                        the in-flight bound of the request pipeline
 //                        resolving cache misses    -> RunPipelined
+//     --cache-capacity=N max cached neighbor lists (default 0 = unbounded)
+//                                                  -> WithCache
+//     --num-shards=N     clock shards in the history cache (default 8;
+//                        powers of two dispatch with a mask instead of a
+//                        divide)                   -> WithCache
 //
 //   Persistence flags (all optional)               -> WithHistoryStore:
 //     --load-history=F   restore the history cache from snapshot F before
@@ -44,6 +49,7 @@
 #include <string>
 #include <vector>
 
+#include "access/history_cache.h"
 #include "api/sampler.h"
 #include "attr/grouping.h"
 #include "estimate/diagnostics.h"
@@ -90,7 +96,7 @@ std::string TraceDigest(const estimate::TracedWalk& trace) {
 
 int Crawl(const graph::Graph& graph, core::WalkerType type, uint64_t budget,
           uint64_t seed, uint64_t latency_us, uint32_t depth,
-          const HistoryFlags& history) {
+          access::HistoryCacheOptions cache, const HistoryFlags& history) {
   std::cout << "graph: " << graph.DebugString() << "\n";
   std::unique_ptr<attr::Grouping> grouping;
   if (type == core::WalkerType::kGnrw) {
@@ -101,6 +107,7 @@ int Crawl(const graph::Graph& graph, core::WalkerType type, uint64_t budget,
   api::SamplerBuilder builder;
   builder.OverGraph(&graph)
       .WithGroupQueryBudget(budget)
+      .WithCache(cache)
       .WithWalker({.type = type, .grouping = grouping.get()})
       .WithEnsemble(/*num_walkers=*/1, seed)
       .StopAfterSteps(200 * budget)
@@ -235,7 +242,10 @@ int main(int argc, char** argv) {
   auto seed = flags.GetUint("seed", 1);
   auto latency_us = flags.GetUint("latency-us", 0);
   auto depth = flags.GetUint("depth", 1);
-  for (const auto* value : {&budget, &seed, &latency_us, &depth}) {
+  auto cache_capacity = flags.GetUint("cache-capacity", 0);
+  auto num_shards = flags.GetUint("num-shards", 8);
+  for (const auto* value : {&budget, &seed, &latency_us, &depth,
+                            &cache_capacity, &num_shards}) {
     if (!value->ok()) {
       std::cerr << value->status() << "\n";
       return 1;
@@ -250,6 +260,13 @@ int main(int argc, char** argv) {
     std::cerr << walker.status() << "\n";
     return 1;
   }
+  if (*num_shards == 0 || *num_shards > 256) {
+    std::cerr << "num-shards must be in [1, 256]\n";
+    return 1;
+  }
+  access::HistoryCacheOptions cache{
+      .capacity = *cache_capacity,
+      .num_shards = static_cast<uint32_t>(*num_shards)};
 
   if (flags.positional().empty()) {
     std::cout << "usage: crawl_cli [--flags] <edges-file>\n\n"
@@ -259,7 +276,11 @@ int main(int argc, char** argv) {
                  "  --latency-us=N  simulated per-request wire latency "
                  "(0 = in-memory)\n"
                  "  --depth=N     overlapped in-flight requests when "
-                 "--latency-us > 0\n\n"
+                 "--latency-us > 0\n"
+                 "  --cache-capacity=N  max cached neighbor lists "
+                 "(0 = unbounded)\n"
+                 "  --num-shards=N      clock shards in the history cache "
+                 "(default 8)\n\n"
                  "  --load-history=F / --wal=F / --save-history=F persist "
                  "the history cache\n  across crawls (snapshot + "
                  "write-ahead log); see scripts/resume_demo.sh.\n\n"
@@ -269,11 +290,11 @@ int main(int argc, char** argv) {
     util::Random rng(99);
     graph::Graph demo = graph::MakeWattsStrogatz(2000, 8, 0.1, rng);
     int rc = Crawl(demo, core::WalkerType::kCnrw, 500, 1, /*latency_us=*/0,
-                   /*depth=*/1, HistoryFlags{});
+                   /*depth=*/1, cache, HistoryFlags{});
     if (rc != 0) return rc;
     std::cout << "\n-- remote self-demo (50ms +/- 25ms, depth 4) --\n";
     return Crawl(demo, core::WalkerType::kCnrw, 500, 1,
-                 /*latency_us=*/50'000, /*depth=*/4, HistoryFlags{});
+                 /*latency_us=*/50'000, /*depth=*/4, cache, HistoryFlags{});
   }
   if (flags.positional().size() > 1) {
     std::cerr << "expected one positional argument (the edges file); "
@@ -292,5 +313,5 @@ int main(int argc, char** argv) {
     return 1;
   }
   return Crawl(*graph, *walker, *budget, *seed, *latency_us,
-               static_cast<uint32_t>(*depth), history);
+               static_cast<uint32_t>(*depth), cache, history);
 }

@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""Distill the micro benchmarks into tracked BENCH_*.json trajectory files.
+
+Runs bench_micro_cache and bench_micro_pipeline with
+--benchmark_format=json, extracts the per-benchmark medians, and writes one
+compact JSON file per bench at the repo root:
+
+    BENCH_cache.json     hot-path cache numbers + the contended speedup of
+                         the striped-clock design over the verbatim
+                         splice-under-mutex LRU baseline
+    BENCH_pipeline.json  request-pipeline micro numbers
+
+The files are committed, so the perf trajectory of the hot path is visible
+in review diffs the same way test results are. CI's bench-smoke job runs
+this script (short min_time) and fails if either bench emits JSON this
+script cannot parse — the schema contract between the benches and the
+trajectory files cannot silently rot.
+
+Usage:
+    scripts/bench_report.py --build-dir build [--out-dir .]
+        [--min-time 0.5] [--repetitions 3] [--smoke]
+
+--smoke drops min_time/repetitions to CI-friendly values; the numbers are
+noise, but the parse + schema path is fully exercised.
+"""
+
+import argparse
+import json
+import platform
+import statistics
+import subprocess
+import sys
+from pathlib import Path
+
+# The contended speedup is the tentpole acceptance metric: batched clock
+# reads vs the splice-LRU baseline, both at 8 threads on zipf-hot keys.
+# Measured from the same interleaved run so frequency drift cancels.
+SPEEDUP_PAIRS = {
+    "contended_get_speedup": (
+        "BM_ContendedGetBatchClock/real_time/threads:8",
+        "BM_ContendedGetHitSpliceLru/real_time/threads:8",
+    ),
+    "contended_step_speedup": (
+        "BM_ContendedStepBatchClock/real_time/threads:8",
+        "BM_ContendedStepSpliceLru/real_time/threads:8",
+    ),
+}
+
+
+def run_bench(binary, min_time, repetitions):
+    """Runs one bench binary in JSON mode and returns the parsed document."""
+    cmd = [
+        str(binary),
+        "--benchmark_format=json",
+        f"--benchmark_min_time={min_time}",
+    ]
+    if repetitions > 1:
+        cmd += [
+            f"--benchmark_repetitions={repetitions}",
+            "--benchmark_enable_random_interleaving=true",
+            "--benchmark_report_aggregates_only=true",
+        ]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise RuntimeError(f"{binary.name} exited {proc.returncode}")
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError as err:
+        raise RuntimeError(f"{binary.name} emitted unparseable JSON: {err}")
+
+
+def distill(doc, repetitions):
+    """Per-benchmark medians: {name: {items_per_second, cpu_ns, real_ns}}."""
+    rows = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            # With report_aggregates_only we get mean/median/stddev/cv rows;
+            # keep only the median and strip its suffix so names are stable
+            # whether or not repetitions were requested.
+            if bench.get("aggregate_name") != "median":
+                continue
+            name = bench["run_name"]
+        else:
+            name = bench["name"]
+        entry = {
+            "real_ns": round(bench["real_time"], 3),
+            "cpu_ns": round(bench["cpu_time"], 3),
+        }
+        if "items_per_second" in bench:
+            entry["items_per_second"] = round(bench["items_per_second"])
+        if "bytes_per_second" in bench:
+            entry["bytes_per_second"] = round(bench["bytes_per_second"])
+        rows.setdefault(name, []).append(entry)
+    # A name can legally appear once; collapse multi-entries via median of
+    # real_ns (defensive — current benches register each name once).
+    out = {}
+    for name, entries in sorted(rows.items()):
+        if len(entries) == 1:
+            out[name] = entries[0]
+        else:
+            pick = sorted(entries, key=lambda e: e["real_ns"])
+            out[name] = pick[len(pick) // 2]
+    if not out:
+        raise RuntimeError("bench produced no benchmark rows")
+    return out
+
+
+def speedups(rows):
+    """Computes the tracked ratio metrics where both sides are present."""
+    ratios = {}
+    for metric, (new, base) in SPEEDUP_PAIRS.items():
+        a, b = rows.get(new), rows.get(base)
+        if not a or not b:
+            continue
+        if "items_per_second" in a and "items_per_second" in b:
+            ratios[metric] = round(
+                a["items_per_second"] / b["items_per_second"], 3)
+        else:
+            ratios[metric] = round(b["real_ns"] / a["real_ns"], 3)
+    return ratios
+
+
+def hardware_context(doc):
+    ctx = doc.get("context", {})
+    return {
+        "num_cpus": ctx.get("num_cpus"),
+        "mhz_per_cpu": ctx.get("mhz_per_cpu"),
+        "cpu_scaling_enabled": ctx.get("cpu_scaling_enabled"),
+        "library_build_type": ctx.get("library_build_type"),
+        "host": platform.machine(),
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default="build",
+                        help="cmake build dir holding the bench binaries")
+    parser.add_argument("--out-dir", default=".",
+                        help="where BENCH_*.json files are written")
+    parser.add_argument("--min-time", type=float, default=0.5,
+                        help="per-benchmark min time in seconds (plain "
+                             "double; the bundled benchmark library does "
+                             "not accept a trailing 's')")
+    parser.add_argument("--repetitions", type=int, default=3)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: tiny min_time, single repetition; "
+                             "validates the parse/schema path only")
+    args = parser.parse_args()
+
+    if args.smoke:
+        args.min_time = 0.01
+        args.repetitions = 1
+
+    build = Path(args.build_dir)
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    targets = {
+        "BENCH_cache.json": build / "bench_micro_cache",
+        "BENCH_pipeline.json": build / "bench_micro_pipeline",
+    }
+    failed = False
+    for out_name, binary in targets.items():
+        if not binary.exists():
+            sys.stderr.write(f"error: missing bench binary {binary}\n")
+            failed = True
+            continue
+        try:
+            doc = run_bench(binary, args.min_time, args.repetitions)
+            rows = distill(doc, args.repetitions)
+        except RuntimeError as err:
+            sys.stderr.write(f"error: {out_name}: {err}\n")
+            failed = True
+            continue
+        report = {
+            "bench": binary.name,
+            "settings": {
+                "min_time_s": args.min_time,
+                "repetitions": args.repetitions,
+                "statistic": "median" if args.repetitions > 1 else "single",
+                "smoke": args.smoke,
+            },
+            "hardware": hardware_context(doc),
+            "benchmarks": rows,
+        }
+        ratios = speedups(rows)
+        if ratios:
+            report["speedups"] = ratios
+        out_path = out_dir / out_name
+        out_path.write_text(json.dumps(report, indent=2) + "\n")
+        summary = ", ".join(f"{k}={v}x" for k, v in ratios.items())
+        print(f"wrote {out_path} ({len(rows)} benchmarks"
+              + (f"; {summary}" if summary else "") + ")")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,26 +1,45 @@
 #ifndef HISTWALK_ACCESS_HISTORY_CACHE_H_
 #define HISTWALK_ACCESS_HISTORY_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
-#include <list>
 #include <memory>
-#include <mutex>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/arena.h"
+#include "util/rw_spinlock.h"
 
 // Capacity-bounded store of neighbor-query responses — the sampler's
 // "history" (section 2.1) promoted from an implementation detail of
 // GraphAccess to a first-class subsystem.
 //
 // The cache is sharded: a node id maps to a shard by a fixed multiplicative
-// hash, and each shard runs an independent LRU list under its own mutex, so
-// concurrent walkers sharing one cache contend only per shard. Entries are
-// handed out as shared_ptr handles; eviction drops the cache's reference
+// hash, and each shard runs an independent CLOCK (second-chance) ring under
+// its own lock, so concurrent walkers sharing one cache contend only per
+// shard. Entries are handed out as pinned util::BlockRef handles — one
+// refcounted allocation per response; eviction drops the cache's reference
 // while any walker still holding the handle keeps its span valid — the
-// lock-free analogue of page pinning in a buffer pool.
+// analogue of page pinning in a buffer pool.
+//
+// The hit path is read-mostly by design. An earlier revision refreshed a
+// strict-LRU list on every Get, which meant an exclusive mutex and a list
+// splice per hit; once shared history absorbs most wire fetches (the whole
+// point of the paper), that exclusive lock became the measured bottleneck
+// under multi-walker and multi-tenant load. Get now takes the shard lock in
+// SHARED mode — any number of concurrent hits proceed in parallel — and
+// records recency by setting a per-entry atomic reference bit. Only writers
+// (Put / eviction / Clear / BulkPut) take the lock exclusively, and the
+// clock hand gives every referenced entry a second chance before evicting,
+// approximating LRU with no per-hit mutation beyond one relaxed atomic
+// store. The key -> slot index is a flat open-addressed table (power-of-two
+// capacity, linear probing, backward-shift deletion) rather than a node-
+// based hash map: a hit probes one contiguous cell array instead of chasing
+// bucket pointers through a prime-modulo map, which is most of the
+// single-threaded win. bench_micro_cache's contended mode measures the
+// difference against the retained splice-LRU baseline;
+// scripts/bench_report.py records it in BENCH_cache.json.
 //
 // `capacity` bounds the number of cached responses (0 = unbounded, the
 // seed's behaviour). The bound is enforced per shard (ceil(capacity /
@@ -34,7 +53,7 @@ namespace histwalk::access {
 struct HistoryCacheOptions {
   // Maximum number of cached neighbor lists; 0 means unbounded.
   uint64_t capacity = 0;
-  // Number of independent LRU shards; clamped to >= 1.
+  // Number of independent clock shards; clamped to >= 1.
   uint32_t num_shards = 8;
 };
 
@@ -54,30 +73,44 @@ struct HistoryCacheStats {
 
 class HistoryCache {
  public:
-  // A cached response. Holding the handle keeps the neighbor list alive
+  // A cached response: a pinned handle to one refcounted block holding the
+  // neighbor list (util/arena.h). Holding the handle keeps the list alive
   // even after the entry is evicted.
-  using Entry = std::shared_ptr<const std::vector<graph::NodeId>>;
+  using Entry = util::BlockRef<graph::NodeId>;
 
   explicit HistoryCache(HistoryCacheOptions options = {});
 
   HistoryCache(const HistoryCache&) = delete;
   HistoryCache& operator=(const HistoryCache&) = delete;
 
-  // Looks up the response for `v`, refreshing its LRU position. Returns a
-  // null handle on miss. Thread-safe; hit/miss counters are exact under
+  // Looks up the response for `v`, marking its clock reference bit (the
+  // second-chance recency signal). Returns a null handle on miss. Thread-
+  // safe and lock-light: hits share the shard lock with each other and
+  // never exclude other readers; hit/miss counters are exact under
   // concurrency.
   Entry Get(graph::NodeId v);
 
-  // Stores the response for `v`, evicting the shard's LRU tail if the shard
-  // is full. If `v` is already resident the existing entry is returned
-  // unchanged (idempotent under concurrent double-fetch). Thread-safe.
-  // `inserted`, when non-null, reports whether this call created a new
-  // entry (false = the id was already resident) — the signal the journaling
-  // layer uses to log each response exactly once.
+  // Batched Get: `out[i]` receives the entry for `ids[i]` (null on miss).
+  // Lookups are grouped by shard and each touched shard's lock is acquired
+  // once in shared mode for its whole group — the batch-stepping analogue
+  // of BulkPut. Hit/miss accounting and reference-bit marking match
+  // one-at-a-time Get exactly. `out` must have ids.size() elements.
+  void GetBatch(std::span<const graph::NodeId> ids, Entry* out);
+
+  // Stores the response for `v`, evicting via the shard's clock hand if the
+  // shard is full. If `v` is already resident the existing entry is
+  // returned unchanged with its reference bit set (idempotent under
+  // concurrent double-fetch). Thread-safe. `inserted`, when non-null,
+  // reports whether this call created a new entry (false = the id was
+  // already resident) — the signal the journaling layer uses to log each
+  // response exactly once.
   Entry Put(graph::NodeId v, std::span<const graph::NodeId> neighbors,
             bool* inserted = nullptr);
 
-  // Membership probe with no stats or LRU side effects.
+  // Membership probe with NO side effects of any kind: no stats counters,
+  // no reference-bit marking, no eviction-order perturbation. Probing a
+  // would-be victim with Contains() leaves it exactly as evictable as
+  // before — the guarantee the pipeline's late-hit probe relies on.
   bool Contains(graph::NodeId v) const;
 
   // Drops every entry and resets entries/bytes; cumulative counters
@@ -85,10 +118,12 @@ class HistoryCache {
   void Clear();
 
   // Aggregated over all shards. Consistency under concurrent writers: each
-  // shard's counters are snapshotted atomically (under that shard's mutex),
-  // but shards are read one after another, so the aggregate is NOT a
-  // point-in-time snapshot of the whole cache. What IS guaranteed, because
-  // every per-shard snapshot is internally consistent:
+  // shard's writer-side counters (insertions/evictions/entries/bytes) are
+  // snapshotted under that shard's lock, but shards are read one after
+  // another, so the aggregate is NOT a point-in-time snapshot of the whole
+  // cache. Reading stats perturbs nothing (no reference bits, no
+  // counters). What IS guaranteed, because every per-shard snapshot is
+  // internally consistent:
   //   * entries == insertions - evictions, as long as Clear() has not been
   //     called (the identity holds per shard, so it survives summation;
   //     Clear() drops residents WITHOUT counting them as capacity
@@ -96,7 +131,9 @@ class HistoryCache {
   //   * entries never exceeds num_shards * shard_capacity when bounded;
   //   * cumulative counters (hits/misses/insertions/evictions) are
   //     monotone non-decreasing across successive stats() calls from one
-  //     thread.
+  //     thread. hits/misses are lock-free atomics bumped by concurrent
+  //     readers, so a snapshot may lag in-flight Gets by a few counts; at
+  //     quiescence they are exact.
   HistoryCacheStats stats() const;
   uint64_t entry_count() const { return stats().entries; }
   // Approximate heap footprint of resident entries, in bytes — the access
@@ -123,11 +160,17 @@ class HistoryCache {
 
   // Point-in-time snapshot of one shard, taken under that shard's lock, so
   // it is internally consistent even while other threads insert. Entries
-  // come out least-recently-used first: replaying them through Put() in
-  // order reconstructs the shard's exact LRU order (each Put pushes to the
-  // front). Shards are exported independently, so a whole-cache export
-  // under concurrent writers is a per-shard-consistent prefix, not a global
-  // point-in-time snapshot — the same contract as stats().
+  // come out in CLOCK order starting at the hand — the next eviction
+  // candidate first (the contract used to be strict-LRU order; with the
+  // second-chance design, ring position is the recency structure and
+  // reference bits are deliberately not exported). Replaying the export
+  // through Put() in order reconstructs the ring with the hand normalized
+  // to slot 0, so a BulkPut round-trip reproduces residency and the
+  // eviction scan order exactly; only un-exported reference bits (a
+  // one-lap grace, at most) differ. Shards are exported independently, so
+  // a whole-cache export under concurrent writers is a per-shard-consistent
+  // prefix, not a global point-in-time snapshot — the same contract as
+  // stats().
   std::vector<ExportedEntry> ExportShard(uint32_t shard) const;
 
   // A (node, neighbors) pair headed into the cache from a store load.
@@ -136,38 +179,121 @@ class HistoryCache {
     std::span<const graph::NodeId> neighbors;
   };
 
-  // Bulk insert with Put() semantics (idempotent per id, evicting, counted
-  // as insertions so the entries == insertions - evictions identity is
-  // preserved). Entries are grouped by shard and each shard's group lands
-  // under a single lock acquisition, in the order given — feed a shard's
-  // ExportShard() output to reproduce its LRU order exactly. Returns the
+  // Batched Put: entries are grouped by shard and each touched shard's
+  // group lands under a single exclusive lock acquisition, in the order
+  // given — feed a shard's ExportShard() output to reproduce its clock
+  // order exactly. Per-entry results mirror Put(): when non-null,
+  // `out_entries[i]` receives the pinned handle (resident or fresh) and
+  // `inserted[i]` whether entry i was genuinely new; both must then have
+  // entries.size() elements. Counted as insertions, so the
+  // entries == insertions - evictions identity is preserved. Returns the
   // number of entries that were actually new. Thread-safe.
-  uint64_t BulkPut(std::span<const ImportEntry> entries);
+  uint64_t PutBatch(std::span<const ImportEntry> entries,
+                    Entry* out_entries = nullptr, bool* inserted = nullptr);
+
+  // Bulk insert with Put() semantics — PutBatch without per-entry results
+  // (the store layer's load path).
+  uint64_t BulkPut(std::span<const ImportEntry> entries) {
+    return PutBatch(entries);
+  }
 
  private:
+  // One clock-ring position. `ref` is the second-chance bit: set by Get
+  // (and by a resident Put) under the SHARED lock, cleared and consumed by
+  // the sweeping hand under the exclusive lock — hence atomic.
   struct Slot {
+    graph::NodeId key = 0;
     Entry entry;
-    std::list<graph::NodeId>::iterator lru_pos;
+    std::atomic<uint8_t> ref{0};
+    uint64_t bytes = 0;  // EntryBytes at insert, for O(1) evict accounting
+  };
+
+  // Flat open-addressed key -> slot index: one contiguous cell array,
+  // power-of-two capacity with linear probing, backward-shift deletion (no
+  // tombstones, so probe chains never rot under the Put/evict churn of a
+  // full cache). Cells hold the Slot pointer directly, so a hit is probe +
+  // one deref — no hop through the ring vector. All mutation happens under
+  // the shard's exclusive lock; concurrent Find()s run under the shared
+  // lock and touch nothing.
+  class FlatIndex {
+   public:
+    // The slot holding `key`, or nullptr.
+    Slot* Find(graph::NodeId key) const {
+      if (cells_.empty()) return nullptr;
+      const uint32_t mask = static_cast<uint32_t>(cells_.size()) - 1;
+      for (uint32_t i = Home(key, mask);; i = (i + 1) & mask) {
+        const Cell& cell = cells_[i];
+        if (cell.slot == nullptr) return nullptr;
+        if (cell.key == key) return cell.slot;
+      }
+    }
+
+    // `key` must not already be present.
+    void Insert(graph::NodeId key, Slot* slot);
+    // True if `key` was present and removed.
+    bool Erase(graph::NodeId key);
+    void Clear() {
+      cells_.clear();
+      size_ = 0;
+    }
+    size_t size() const { return size_; }
+
+   private:
+    struct Cell {
+      graph::NodeId key;
+      Slot* slot;  // nullptr marks an empty cell
+    };
+
+    static uint32_t Home(graph::NodeId key, uint32_t mask) {
+      // High multiplicative-hash bits, distinct from the low bits ShardOf
+      // consumes, so one shard's keys still spread within its table.
+      uint64_t h = static_cast<uint64_t>(key) * 0x9E3779B97F4A7C15ull;
+      return static_cast<uint32_t>(h >> 32) & mask;
+    }
+    void InsertNoGrow(graph::NodeId key, Slot* slot);
+    void Grow();
+
+    std::vector<Cell> cells_;
+    size_t size_ = 0;
   };
   struct Shard {
-    mutable std::mutex mu;
-    std::list<graph::NodeId> lru;  // front = most recently used
-    std::unordered_map<graph::NodeId, Slot> map;
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t insertions = 0;
+    // Shared by the hit path (Get/GetBatch/Contains/stats/ExportShard),
+    // exclusive for mutation (Put/PutBatch/Clear). A one-word spinlock,
+    // not std::shared_mutex: the critical sections are a few probes long,
+    // and pthread_rwlock overhead would be several times the work guarded.
+    mutable util::RwSpinLock mu;
+    FlatIndex index;  // key -> slot
+    // The clock ring; unique_ptr keeps Slot addresses (and their atomics)
+    // stable while the vector grows.
+    std::vector<std::unique_ptr<Slot>> ring;
+    uint32_t hand = 0;  // next eviction scan position
+    std::atomic<uint64_t> hits{0};    // reader-side, lock-free
+    std::atomic<uint64_t> misses{0};  // reader-side, lock-free
+    uint64_t insertions = 0;          // writer-side, under exclusive mu
     uint64_t evictions = 0;
     uint64_t bytes = 0;
   };
 
-  static uint64_t EntryBytes(const std::vector<graph::NodeId>& neighbors);
+  static uint64_t EntryBytes(const util::ArrayBlock<graph::NodeId>& block);
 
-  // Insert under an already-held shard lock (shared by Put and BulkPut).
+  // Insert under an already-held exclusive shard lock (shared by Put and
+  // PutBatch).
   Entry PutLocked(Shard& shard, graph::NodeId v,
                   std::span<const graph::NodeId> neighbors, bool* inserted);
 
+  // ShardOf(v, num_shards_), with the modulo strength-reduced to a mask
+  // when num_shards_ is a power of two (the common case — the default is
+  // 8). Bit-identical to the static method; just cheaper on the hot path.
+  uint32_t ShardIndexOf(graph::NodeId v) const {
+    uint64_t h = static_cast<uint64_t>(v) * 0x9E3779B97F4A7C15ull;
+    h ^= h >> 32;
+    return static_cast<uint32_t>(shards_pow2_ ? (h & (num_shards_ - 1))
+                                              : (h % num_shards_));
+  }
+
   HistoryCacheOptions options_;
   uint32_t num_shards_;
+  bool shards_pow2_;
   uint64_t shard_capacity_;  // 0 = unbounded
   std::unique_ptr<Shard[]> shards_;
 };

@@ -51,6 +51,25 @@ HistoryCache::Entry SharedAccessGroup::StoreFetched(
   return entry;
 }
 
+std::vector<HistoryCache::Entry> SharedAccessGroup::StoreFetchedBatch(
+    std::span<const HistoryCache::ImportEntry> entries) {
+  std::vector<HistoryCache::Entry> stored(entries.size());
+  std::unique_ptr<bool[]> inserted(new bool[entries.size()]{});
+  cache_->PutBatch(entries, stored.data(), inserted.get());
+  if (journal_ != nullptr) {
+    // Journal only genuinely new entries, after the batch landed (the
+    // cache is authoritative, the journal trails it).
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (inserted[i]) {
+        journal_->OnCacheInsert(entries[i].node,
+                                std::span<const graph::NodeId>(*stored[i]),
+                                *cache_);
+      }
+    }
+  }
+  return stored;
+}
+
 bool SharedAccessGroup::TryCharge() {
   if (options_.query_budget == 0) {
     charged_.fetch_add(1, std::memory_order_relaxed);

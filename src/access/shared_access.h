@@ -138,6 +138,15 @@ class SharedAccessGroup {
   HistoryCache::Entry StoreFetched(graph::NodeId v,
                                    std::span<const graph::NodeId> neighbors);
 
+  // Batch analogue of StoreFetched: the whole batch lands through one
+  // HistoryCache::PutBatch — a single exclusive-lock acquisition per
+  // touched shard, and exactly one for the pipeline's per-shard batches —
+  // instead of one Put per response, and the attached journal still sees
+  // each genuinely new insertion exactly once, in batch order. Returns the
+  // pinned handles aligned with `entries`. Thread-safe.
+  std::vector<HistoryCache::Entry> StoreFetchedBatch(
+      std::span<const HistoryCache::ImportEntry> entries);
+
  private:
   friend class SharedAccess;
 

@@ -404,18 +404,32 @@ void RequestPipeline::ProcessBatch(const TenantQueue::Batch& batch,
   replies.reserve(batch.ids.size());
   if (!to_fetch.empty()) {
     auto results = group->backend()->FetchNeighborsBatch(to_fetch);
+    // Deliver the whole batch through the group's batch funnel: the ids
+    // were drained from ONE shard's queue, so every successful response
+    // lands in the cache under a single exclusive-lock acquisition
+    // (HistoryCache::PutBatch) instead of one Put per id, and an attached
+    // HistoryJournal (durable store) still sees each new insert once.
+    std::vector<access::HistoryCache::ImportEntry> imports;
+    std::vector<size_t> import_pos;  // index into to_fetch per import
+    imports.reserve(to_fetch.size());
+    import_pos.reserve(to_fetch.size());
     for (size_t i = 0; i < to_fetch.size(); ++i) {
-      WireReply reply;
-      reply.creator = batch.tenant;
       if (results[i].ok()) {
-        // Insert through the group funnel so an attached HistoryJournal
-        // (durable store) sees pipeline-fetched responses too.
-        reply.entry = group->StoreFetched(to_fetch[i], *results[i]);
+        imports.push_back({to_fetch[i], *results[i]});
+        import_pos.push_back(i);
       } else {
         group->RefundCharge();
-        reply.status = results[i].status();
+        replies.emplace_back(
+            to_fetch[i],
+            WireReply{nullptr, results[i].status(), batch.tenant});
       }
-      replies.emplace_back(to_fetch[i], std::move(reply));
+    }
+    std::vector<access::HistoryCache::Entry> stored =
+        group->StoreFetchedBatch(imports);
+    for (size_t j = 0; j < imports.size(); ++j) {
+      replies.emplace_back(
+          to_fetch[import_pos[j]],
+          WireReply{std::move(stored[j]), util::Status::Ok(), batch.tenant});
     }
   }
   for (graph::NodeId v : refused) {

@@ -191,7 +191,7 @@ util::Result<SnapshotMeta> LoadSnapshot(const std::string& path,
           return;
         }
         // Decode into owned neighbor storage, then bulk-insert the shard's
-        // entries in their on-disk (LRU reconstruction) order.
+        // entries in their on-disk (clock reconstruction) order.
         std::vector<std::vector<graph::NodeId>> neighbor_lists;
         std::vector<access::HistoryCache::ImportEntry> imports;
         neighbor_lists.reserve(row.entries);

@@ -20,9 +20,12 @@
 //
 // Per-shard sections are the parallelism seam: save serializes shards
 // concurrently (util::ParallelFor) and load verifies + inserts them
-// concurrently. Within a section, entries are ordered least-recently-used
-// first (HistoryCache::ExportShard), so loading into a cache with the same
-// shard count reproduces eviction order exactly.
+// concurrently. Within a section, entries come out in clock order starting
+// at the eviction hand (HistoryCache::ExportShard) — next eviction
+// candidate first — so loading into a cache with the same shard count
+// reproduces residency and the eviction scan order, with the hand
+// normalized to slot 0 (clock reference bits are not persisted; they are
+// at most a one-lap grace).
 //
 // Crash safety: WriteSnapshot writes to `path`.tmp and renames, so `path`
 // always holds either the previous complete snapshot or the new one, never
@@ -71,7 +74,7 @@ util::Result<SnapshotMeta> WriteSnapshot(const ExportedCacheImage& image,
 // Validates and loads `path` into `cache` (BulkPut semantics: idempotent,
 // evicting if the cache is smaller than the snapshot, counted as
 // insertions). The cache need not share the snapshot's shard geometry;
-// exact LRU-order reproduction additionally requires equal num_shards.
+// exact eviction-order reproduction additionally requires equal num_shards.
 util::Result<SnapshotMeta> LoadSnapshot(const std::string& path,
                                         access::HistoryCache& cache,
                                         unsigned num_threads = 0);
