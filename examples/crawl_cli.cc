@@ -24,6 +24,17 @@
 //     --num-shards=N     clock shards in the history cache (default 8;
 //                        powers of two dispatch with a mask instead of a
 //                        divide)                   -> WithCache
+//     --threads=N        ParallelFor workers for in-memory runs (default
+//                        1; ignored by --latency-us runs, whose
+//                        concurrency is the walker count). The printed
+//                        output and --trace-out bytes are identical for
+//                        any value — scripts/trace_demo.sh pins it.
+//
+//   Observability flags (crawls always run over a private obs::Registry):
+//     --metrics-out=F    write a post-crawl scrape to F: Prometheus text,
+//                        or JSON when F ends in ".json"
+//     --trace-out=F      write the crawl's Chrome trace-event JSON to F
+//                        (load it at ui.perfetto.dev)
 //
 //   Persistence flags (all optional)               -> WithHistoryStore:
 //     --load-history=F   restore the history cache from snapshot F before
@@ -71,6 +82,12 @@ struct HistoryFlags {
   bool any() const { return !load.empty() || !save.empty() || !wal.empty(); }
 };
 
+struct ObsFlags {
+  std::string metrics_out;  // --metrics-out=
+  std::string trace_out;    // --trace-out=
+  unsigned threads = 1;     // --threads=
+};
+
 util::Result<core::WalkerType> ParseWalker(const std::string& name) {
   if (name == "srw") return core::WalkerType::kSrw;
   if (name == "mhrw") return core::WalkerType::kMhrw;
@@ -96,12 +113,19 @@ std::string TraceDigest(const estimate::TracedWalk& trace) {
 
 int Crawl(const graph::Graph& graph, core::WalkerType type, uint64_t budget,
           uint64_t seed, uint64_t latency_us, uint32_t depth,
-          access::HistoryCacheOptions cache, const HistoryFlags& history) {
+          access::HistoryCacheOptions cache, const HistoryFlags& history,
+          const ObsFlags& obs_flags) {
   std::cout << "graph: " << graph.DebugString() << "\n";
   std::unique_ptr<attr::Grouping> grouping;
   if (type == core::WalkerType::kGnrw) {
     grouping = attr::MakeDegreeGrouping(graph, 8);
   }
+
+  // Every crawl scrapes from its own registry (not the process Global())
+  // so the attribution below covers exactly this crawl; the tracer rides
+  // along when --trace-out asks for it.
+  obs::Registry registry;
+  obs::Tracer tracer;
 
   // The whole stack, declaratively: one flag = one builder option.
   api::SamplerBuilder builder;
@@ -111,7 +135,10 @@ int Crawl(const graph::Graph& graph, core::WalkerType type, uint64_t budget,
       .WithWalker({.type = type, .grouping = grouping.get()})
       .WithEnsemble(/*num_walkers=*/1, seed)
       .StopAfterSteps(200 * budget)
-      .EstimateAverageDegree();
+      .EstimateAverageDegree()
+      .WithObservability(
+          {.registry = &registry,
+           .tracer = obs_flags.trace_out.empty() ? nullptr : &tracer});
   if (latency_us > 0) {
     builder
         .WithRemoteWire({.seed = seed,
@@ -119,7 +146,7 @@ int Crawl(const graph::Graph& graph, core::WalkerType type, uint64_t budget,
                          .jitter_us = latency_us / 2})
         .RunPipelined({.depth = depth});
   } else {
-    builder.RunInline();
+    builder.RunInline(obs_flags.threads);
   }
   if (history.any()) {
     std::string snapshot_path = !history.save.empty() ? history.save
@@ -171,6 +198,11 @@ int Crawl(const graph::Graph& graph, core::WalkerType type, uint64_t budget,
                                     trace.degrees.end());
   estimate::ChainDiagnostics diag = estimate::Diagnose(degree_series);
 
+  // One scrape answers billing AND attribution: the charged-queries value
+  // below is read from it (not from the report), and the tier line
+  // decomposes every miss into store warm hit / wire fetch / join.
+  const obs::ScrapeResult scrape = registry.Scrape();
+
   std::cout << "walker:            " << core::WalkerTypeName(type) << "\n"
             << "start node:        " << report->ensemble.starts[0] << "\n"
             << "steps taken:       " << trace.num_steps() << "\n"
@@ -186,8 +218,16 @@ int Crawl(const graph::Graph& graph, core::WalkerType type, uint64_t budget,
             << (std::abs(diag.geweke_z) < 2.0 ? "  (looks converged)"
                                               : "  (still burning in)")
             << "\n"
-            << "charged queries:   " << report->charged_queries
-            << " (group budget " << budget << ")\n";
+            << "charged queries:   "
+            << scrape.Value("hw_access_charged_queries_total")
+            << " (group budget " << budget << ")\n"
+            << "tier attribution:  "
+            << scrape.Value("hw_access_cache_hits_total") << " memory + "
+            << scrape.Value("hw_access_store_hits_total") << " store + "
+            << scrape.Value("hw_net_wire_fetches_total") << " wire  ("
+            << scrape.Value("hw_net_singleflight_joins_total") << " joins, "
+            << scrape.Value("hw_access_budget_refusals_total")
+            << " refused)\n";
   if ((*sampler)->remote() != nullptr) {
     net::RemoteBackendStats wire = (*sampler)->remote()->stats();
     std::cout << "sim wall-clock:    " << wire.sim_elapsed_us / 1000.0
@@ -220,6 +260,23 @@ int Crawl(const graph::Graph& graph, core::WalkerType type, uint64_t budget,
       return 1;
     }
   }
+  // Written last so the scrape includes any --save-history checkpoint.
+  if (!obs_flags.metrics_out.empty()) {
+    if (auto status = registry.WriteScrape(obs_flags.metrics_out);
+        !status.ok()) {
+      std::cerr << "metrics out: " << status << "\n";
+      return 1;
+    }
+    std::cout << "metrics scrape:    " << obs_flags.metrics_out << "\n";
+  }
+  if (!obs_flags.trace_out.empty()) {
+    if (auto status = tracer.WriteTo(obs_flags.trace_out); !status.ok()) {
+      std::cerr << "trace out: " << status << "\n";
+      return 1;
+    }
+    std::cout << "trace events:      " << tracer.num_events() << " -> "
+              << obs_flags.trace_out << "\n";
+  }
   return 0;
 }
 
@@ -237,6 +294,9 @@ int main(int argc, char** argv) {
   history.load = flags.GetString("load-history", "");
   history.save = flags.GetString("save-history", "");
   history.wal = flags.GetString("wal", "");
+  ObsFlags obs_flags;
+  obs_flags.metrics_out = flags.GetString("metrics-out", "");
+  obs_flags.trace_out = flags.GetString("trace-out", "");
   std::string walker_name = flags.GetString("walker", "cnrw");
   auto budget = flags.GetUint("budget", 1000);
   auto seed = flags.GetUint("seed", 1);
@@ -244,8 +304,9 @@ int main(int argc, char** argv) {
   auto depth = flags.GetUint("depth", 1);
   auto cache_capacity = flags.GetUint("cache-capacity", 0);
   auto num_shards = flags.GetUint("num-shards", 8);
+  auto threads = flags.GetUint("threads", 1);
   for (const auto* value : {&budget, &seed, &latency_us, &depth,
-                            &cache_capacity, &num_shards}) {
+                            &cache_capacity, &num_shards, &threads}) {
     if (!value->ok()) {
       std::cerr << value->status() << "\n";
       return 1;
@@ -267,6 +328,7 @@ int main(int argc, char** argv) {
   access::HistoryCacheOptions cache{
       .capacity = *cache_capacity,
       .num_shards = static_cast<uint32_t>(*num_shards)};
+  obs_flags.threads = static_cast<unsigned>(*threads);
 
   if (flags.positional().empty()) {
     std::cout << "usage: crawl_cli [--flags] <edges-file>\n\n"
@@ -281,6 +343,13 @@ int main(int argc, char** argv) {
                  "(0 = unbounded)\n"
                  "  --num-shards=N      clock shards in the history cache "
                  "(default 8)\n\n"
+                 "  --threads=N   ParallelFor workers for in-memory runs "
+                 "(default 1; output is\n                identical for any "
+                 "value)\n"
+                 "  --metrics-out=F  write a post-crawl scrape "
+                 "(Prometheus text, or JSON for *.json)\n"
+                 "  --trace-out=F    write Chrome trace-event JSON "
+                 "(ui.perfetto.dev)\n\n"
                  "  --load-history=F / --wal=F / --save-history=F persist "
                  "the history cache\n  across crawls (snapshot + "
                  "write-ahead log); see scripts/resume_demo.sh.\n\n"
@@ -290,11 +359,12 @@ int main(int argc, char** argv) {
     util::Random rng(99);
     graph::Graph demo = graph::MakeWattsStrogatz(2000, 8, 0.1, rng);
     int rc = Crawl(demo, core::WalkerType::kCnrw, 500, 1, /*latency_us=*/0,
-                   /*depth=*/1, cache, HistoryFlags{});
+                   /*depth=*/1, cache, HistoryFlags{}, ObsFlags{});
     if (rc != 0) return rc;
     std::cout << "\n-- remote self-demo (50ms +/- 25ms, depth 4) --\n";
     return Crawl(demo, core::WalkerType::kCnrw, 500, 1,
-                 /*latency_us=*/50'000, /*depth=*/4, cache, HistoryFlags{});
+                 /*latency_us=*/50'000, /*depth=*/4, cache, HistoryFlags{},
+                 ObsFlags{});
   }
   if (flags.positional().size() > 1) {
     std::cerr << "expected one positional argument (the edges file); "
@@ -313,5 +383,5 @@ int main(int argc, char** argv) {
     return 1;
   }
   return Crawl(*graph, *walker, *budget, *seed, *latency_us,
-               static_cast<uint32_t>(*depth), cache, history);
+               static_cast<uint32_t>(*depth), cache, history, obs_flags);
 }

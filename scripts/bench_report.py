@@ -18,14 +18,24 @@ trajectory files cannot silently rot.
 
 Usage:
     scripts/bench_report.py --build-dir build [--out-dir .]
-        [--min-time 0.5] [--repetitions 3] [--smoke]
+        [--min-time 0.5] [--repetitions 3] [--smoke] [--scrape FILE]
+    scripts/bench_report.py --attach-scrape FILE [--out-dir .]
 
 --smoke drops min_time/repetitions to CI-friendly values; the numbers are
 noise, but the parse + schema path is fully exercised.
+
+--scrape FILE ingests a crawl_cli --metrics-out Prometheus scrape and
+attaches its cache-tier hit-rate and wire-request-attribution summary to
+BENCH_cache.json (and validates the scrape's required metrics + the
+miss-attribution identity, so bench-smoke catches a rotted exposition
+format). --attach-scrape FILE does the same to an EXISTING
+BENCH_cache.json without re-running the benches, and stamps
+hardware.multicore_at_scrape.
 """
 
 import argparse
 import json
+import os
 import platform
 import statistics
 import subprocess
@@ -123,6 +133,10 @@ def speedups(rows):
 
 def hardware_context(doc):
     ctx = doc.get("context", {})
+    if ctx.get("num_cpus") is None:
+        # The PR-6 single-core caveat hangs off this field; a bench run
+        # that stops reporting it must fail loudly, not record null.
+        raise RuntimeError("benchmark context is missing num_cpus")
     return {
         "num_cpus": ctx.get("num_cpus"),
         "mhz_per_cpu": ctx.get("mhz_per_cpu"),
@@ -130,6 +144,122 @@ def hardware_context(doc):
         "library_build_type": ctx.get("library_build_type"),
         "host": platform.machine(),
     }
+
+
+def print_core_caveat(num_cpus):
+    if num_cpus == 1:
+        print("note: single-core host — the contended_* speedups measure "
+              "lock overhead only; reader parallelism cannot show (the "
+              "PR-6 BENCH_cache.json caveat). Re-measure on a multi-core "
+              "box before citing them.")
+
+
+# The attribution metrics every crawl_cli --metrics-out scrape must carry;
+# the miss-attribution identity below is over exactly these.
+REQUIRED_SCRAPE_METRICS = [
+    "hw_access_cache_hits_total",
+    "hw_access_cache_misses_total",
+    "hw_access_store_hits_total",
+    "hw_net_singleflight_joins_total",
+    "hw_net_wire_fetches_total",
+    "hw_access_budget_refusals_total",
+    "hw_access_fetch_errors_total",
+    "hw_access_charged_queries_total",
+]
+
+
+def parse_scrape(path):
+    """Parses a Prometheus-text scrape into {metric_name: value}.
+
+    Only unlabelled scalar lines are collected — the attribution metrics
+    are all unlabelled, and histogram series keep their _bucket/_sum
+    suffixed names so nothing collides. Raises when a required metric is
+    absent (the exposition format rotted) or a value fails to parse.
+    """
+    metrics = {}
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 2 or "{" in parts[0]:
+                continue
+            name, value = parts
+            try:
+                metrics[name] = int(value)
+            except ValueError:
+                try:
+                    metrics[name] = float(value)
+                except ValueError:
+                    raise RuntimeError(
+                        f"scrape {path}: unparseable value for {name}: "
+                        f"{value!r}")
+    missing = [m for m in REQUIRED_SCRAPE_METRICS if m not in metrics]
+    if missing:
+        raise RuntimeError(
+            f"scrape {path} is missing required metrics: "
+            + ", ".join(missing))
+    return metrics
+
+
+def scrape_summary(metrics):
+    """Cache-tier hit rates + wire attribution from one scrape.
+
+    identity_residual MUST be 0: the access layer attributes every cache
+    miss to exactly one of wire fetch / store hit / singleflight join /
+    budget refusal / fetch error.
+    """
+    hits = metrics["hw_access_cache_hits_total"]
+    misses = metrics["hw_access_cache_misses_total"]
+    store = metrics["hw_access_store_hits_total"]
+    joins = metrics["hw_net_singleflight_joins_total"]
+    wire = metrics["hw_net_wire_fetches_total"]
+    refused = metrics["hw_access_budget_refusals_total"]
+    errors = metrics["hw_access_fetch_errors_total"]
+    lookups = hits + misses
+    residual = misses - (wire + store + joins + refused + errors)
+    if residual != 0:
+        raise RuntimeError(
+            f"miss-attribution identity violated: {misses} misses != "
+            f"{wire} wire + {store} store + {joins} joins + {refused} "
+            f"refused + {errors} errors (residual {residual})")
+    return {
+        "cache_tier": {
+            "lookups": lookups,
+            "memory_hits": hits,
+            "store_hits": store,
+            "wire_fetches": wire,
+            "memory_hit_rate": round(hits / lookups, 4) if lookups else 0.0,
+            "store_hit_rate": round(store / lookups, 4) if lookups else 0.0,
+            "wire_rate": round(wire / lookups, 4) if lookups else 0.0,
+        },
+        "wire_attribution": {
+            "cache_misses": misses,
+            "wire_fetches": wire,
+            "store_hits": store,
+            "singleflight_joins": joins,
+            "budget_refusals": refused,
+            "fetch_errors": errors,
+            "identity_residual": residual,
+        },
+        "charged_queries": metrics["hw_access_charged_queries_total"],
+    }
+
+
+def attach_scrape(bench_path, scrape_path):
+    """Attaches a scrape summary to an existing BENCH_cache.json."""
+    report = json.loads(bench_path.read_text())
+    summary = scrape_summary(parse_scrape(scrape_path))
+    summary["source"] = str(scrape_path)
+    report["scrape"] = summary
+    hardware = report.setdefault("hardware", {})
+    # Whether THIS host could have exhibited contention when the scrape
+    # was taken — the PR-6 caveat, machine-checkable from the file.
+    hardware["multicore_at_scrape"] = (os.cpu_count() or 1) > 1
+    bench_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"attached scrape summary from {scrape_path} to {bench_path}")
+    print_core_caveat(report.get("hardware", {}).get("num_cpus"))
 
 
 def main():
@@ -146,6 +276,12 @@ def main():
     parser.add_argument("--smoke", action="store_true",
                         help="CI mode: tiny min_time, single repetition; "
                              "validates the parse/schema path only")
+    parser.add_argument("--scrape", type=Path, default=None,
+                        help="crawl_cli --metrics-out scrape to validate "
+                             "and fold into BENCH_cache.json")
+    parser.add_argument("--attach-scrape", type=Path, default=None,
+                        help="attach a scrape summary to the existing "
+                             "BENCH_cache.json without re-running benches")
     args = parser.parse_args()
 
     if args.smoke:
@@ -155,6 +291,30 @@ def main():
     build = Path(args.build_dir)
     out_dir = Path(args.out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
+
+    if args.attach_scrape is not None:
+        bench_path = out_dir / "BENCH_cache.json"
+        if not bench_path.exists():
+            sys.stderr.write(f"error: {bench_path} does not exist; run the "
+                             "benches first or pass --scrape instead\n")
+            return 1
+        try:
+            attach_scrape(bench_path, args.attach_scrape)
+        except (RuntimeError, json.JSONDecodeError, OSError) as err:
+            sys.stderr.write(f"error: {err}\n")
+            return 1
+        return 0
+
+    scrape = None
+    if args.scrape is not None:
+        try:
+            scrape = scrape_summary(parse_scrape(args.scrape))
+            scrape["source"] = str(args.scrape)
+        except (RuntimeError, OSError) as err:
+            sys.stderr.write(f"error: {err}\n")
+            return 1
+        print(f"scrape {args.scrape}: required metrics present, "
+              "miss-attribution identity holds")
     targets = {
         "BENCH_cache.json": build / "bench_micro_cache",
         "BENCH_pipeline.json": build / "bench_micro_pipeline",
@@ -186,6 +346,12 @@ def main():
         ratios = speedups(rows)
         if ratios:
             report["speedups"] = ratios
+        if out_name == "BENCH_cache.json":
+            num_cpus = report["hardware"]["num_cpus"]
+            report["hardware"]["multicore_at_scrape"] = num_cpus > 1
+            if scrape is not None:
+                report["scrape"] = scrape
+            print_core_caveat(num_cpus)
         out_path = out_dir / out_name
         out_path.write_text(json.dumps(report, indent=2) + "\n")
         summary = ", ".join(f"{k}={v}x" for k, v in ratios.items())

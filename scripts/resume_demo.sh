@@ -48,11 +48,29 @@ check "run 1 was charged its full budget" test "$(charged "$WORKDIR/run1.txt")" 
 
 # Run 2: NEW process resumes from the WAL with the same seed and budget,
 # folding everything into a snapshot at exit.
-"$CLI" --wal="$WAL" --save-history="$SNAP" --walker=cnrw --budget="$BUDGET" --seed="$SEED" "$EDGES" > "$WORKDIR/run2.txt" 2>&1
+"$CLI" --wal="$WAL" --save-history="$SNAP" --metrics-out="$WORKDIR/run2.prom" --walker=cnrw --budget="$BUDGET" --seed="$SEED" "$EDGES" > "$WORKDIR/run2.txt" 2>&1
 check "run 2 (resumed) exits cleanly" test $? -eq 0
 check "run 2 restored the first run's history" \
     grep -q "history restored:  0 snapshot entries + $BUDGET wal records" "$WORKDIR/run2.txt"
 check "run 2 was charged only for new nodes" test "$(charged "$WORKDIR/run2.txt")" = "$BUDGET"
+
+# Observability cross-check on run 2's scrape: the registry must attribute
+# every cache miss to exactly one outcome, bill exactly the wire fetches,
+# and agree with the human-readable charged-queries line.
+PROM="$WORKDIR/run2.prom"
+metric() { awk -v m="$1" '$1 == m {print $2}' "$PROM"; }
+MISSES=$(metric hw_access_cache_misses_total)
+WIRE=$(metric hw_net_wire_fetches_total)
+STORE=$(metric hw_access_store_hits_total)
+JOINS=$(metric hw_net_singleflight_joins_total)
+REFUSED=$(metric hw_access_budget_refusals_total)
+ERRORS=$(metric hw_access_fetch_errors_total)
+check "scrape attributes every miss to exactly one outcome" \
+    test "$MISSES" -eq "$((WIRE + STORE + JOINS + REFUSED + ERRORS))"
+check "scrape bills exactly the wire fetches" \
+    test "$(metric hw_access_charged_queries_total)" = "$WIRE"
+check "charged-queries line agrees with the scrape" \
+    test "$(charged "$WORKDIR/run2.txt")" = "$(metric hw_access_charged_queries_total)"
 
 # Reference: one uninterrupted crawl with the combined budget.
 "$CLI" --walker=cnrw --budget=$((2 * BUDGET)) --seed="$SEED" "$EDGES" > "$WORKDIR/run3.txt" 2>&1

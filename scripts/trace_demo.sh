@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Deterministic-tracing demo for the obs/ subsystem, registered as a ctest
+# (crawl_cli_trace_demo).
+#
+# The contract being pinned: for a fixed seed, the crawl's Chrome
+# trace-event JSON is BYTE-IDENTICAL whatever thread count executed it —
+# events are stamped with the simulated wire clock (or logical ticks) and
+# land on logical tracks in program order, never on OS threads in wall
+# order. Both execution modes are covered: the in-memory inline runner
+# across --threads=1/8, and the pipelined runner (whose shard workers are
+# real concurrency) across two identical runs. Every produced trace must
+# also pass scripts/trace_lint.py (balanced spans, required keys).
+#
+# usage: trace_demo.sh <path-to-crawl_cli> [workdir]
+set -u
+
+CLI=${1:?usage: trace_demo.sh <path-to-crawl_cli> [workdir]}
+WORKDIR=${2:-$(mktemp -d)}
+mkdir -p "$WORKDIR"
+LINT="$(cd "$(dirname "$0")" && pwd)/trace_lint.py"
+EDGES="$WORKDIR/edges.txt"
+SEED=5
+BUDGET=80
+FAILURES=0
+
+check() { # check <label> <condition...>
+  local label=$1; shift
+  if "$@"; then
+    echo "ok: $label"
+  else
+    echo "FAIL: $label"
+    FAILURES=$((FAILURES + 1))
+  fi
+}
+
+# Deterministic 400-node circulant graph (ring + distance-9 chords).
+awk 'BEGIN { n = 400; for (i = 0; i < n; i++) { print i, (i + 1) % n; print i, (i + 9) % n } }' > "$EDGES"
+
+# Inline runner: the thread count must not change a single trace byte.
+"$CLI" --walker=cnrw --budget="$BUDGET" --seed="$SEED" --threads=1 \
+    --trace-out="$WORKDIR/inline_t1.json" "$EDGES" > "$WORKDIR/inline_t1.txt" 2>&1
+check "inline --threads=1 exits cleanly" test $? -eq 0
+"$CLI" --walker=cnrw --budget="$BUDGET" --seed="$SEED" --threads=8 \
+    --trace-out="$WORKDIR/inline_t8.json" "$EDGES" > "$WORKDIR/inline_t8.txt" 2>&1
+check "inline --threads=8 exits cleanly" test $? -eq 0
+check "inline trace bytes identical across --threads=1/8" \
+    cmp -s "$WORKDIR/inline_t1.json" "$WORKDIR/inline_t8.json"
+
+# Pipelined runner: shard workers and a wire clock are real concurrency;
+# two identical invocations must still serialize to identical bytes.
+"$CLI" --walker=cnrw --budget="$BUDGET" --seed="$SEED" --latency-us=2000 --depth=4 \
+    --trace-out="$WORKDIR/pipe_a.json" "$EDGES" > "$WORKDIR/pipe_a.txt" 2>&1
+check "pipelined run A exits cleanly" test $? -eq 0
+"$CLI" --walker=cnrw --budget="$BUDGET" --seed="$SEED" --latency-us=2000 --depth=4 \
+    --trace-out="$WORKDIR/pipe_b.json" "$EDGES" > "$WORKDIR/pipe_b.txt" 2>&1
+check "pipelined run B exits cleanly" test $? -eq 0
+check "pipelined trace bytes identical run-to-run" \
+    cmp -s "$WORKDIR/pipe_a.json" "$WORKDIR/pipe_b.json"
+
+# Structural lint: valid trace-event JSON, balanced spans on every track.
+check "traces pass trace_lint" \
+    python3 "$LINT" "$WORKDIR/inline_t1.json" "$WORKDIR/pipe_a.json"
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "trace_demo: $FAILURES check(s) failed (artifacts in $WORKDIR)"
+  exit 1
+fi
+echo "trace_demo: all checks passed"
+exit 0

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Structural linter for the tracer's Chrome trace-event JSON.
+
+Validates what Perfetto/chrome://tracing silently tolerate but we must
+not ship broken: every event carries the required keys for its phase, and
+every 'B' (span begin) on a (pid, tid) track is closed by a matching 'E'
+in LIFO order — an unbalanced or misnested span means an instrumentation
+site leaked a SpanGuard or emitted raw Begin/End by hand.
+
+usage: trace_lint.py trace.json [trace2.json ...]
+
+Exit status 0 when every file is clean, 1 on the first violation (with a
+message naming the file, event index and problem).
+"""
+
+import json
+import sys
+
+REQUIRED_PHASES = {"B", "E", "i", "X", "M"}
+
+
+def fail(path, index, message):
+    print(f"trace_lint: {path}: event {index}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def lint(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"trace_lint: {path}: not valid JSON: {err}", file=sys.stderr)
+        sys.exit(1)
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        print(f"trace_lint: {path}: missing top-level traceEvents",
+              file=sys.stderr)
+        sys.exit(1)
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        print(f"trace_lint: {path}: traceEvents is not a list",
+              file=sys.stderr)
+        sys.exit(1)
+
+    stacks = {}  # (pid, tid) -> [span names]
+    counts = {"B": 0, "E": 0, "i": 0, "X": 0, "M": 0}
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            fail(path, index, "event is not an object")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                fail(path, index, f"missing required key {key!r}")
+        ph = event["ph"]
+        if ph not in REQUIRED_PHASES:
+            fail(path, index, f"unknown phase {ph!r}")
+        counts[ph] += 1
+        if ph == "M":
+            continue
+        if not isinstance(event.get("ts"), int):
+            fail(path, index, "missing or non-integer ts")
+        track = (event["pid"], event["tid"])
+        stack = stacks.setdefault(track, [])
+        if ph == "B":
+            stack.append(event["name"])
+        elif ph == "E":
+            if not stack:
+                fail(path, index,
+                     f"'E' {event['name']!r} with no open span on "
+                     f"pid={track[0]} tid={track[1]}")
+            top = stack.pop()
+            if top != event["name"]:
+                fail(path, index,
+                     f"'E' {event['name']!r} closes open span {top!r} "
+                     f"(misnested) on pid={track[0]} tid={track[1]}")
+        elif ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, int) or dur < 0:
+                fail(path, index, "'X' event needs an integer dur >= 0")
+
+    for (pid, tid), stack in stacks.items():
+        if stack:
+            print(f"trace_lint: {path}: {len(stack)} unclosed span(s) on "
+                  f"pid={pid} tid={tid} (top: {stack[-1]!r})",
+                  file=sys.stderr)
+            sys.exit(1)
+
+    print(f"trace_lint: {path}: ok — {len(events)} events "
+          f"({counts['B']} B/{counts['E']} E, {counts['X']} X, "
+          f"{counts['i']} i, {counts['M']} M), spans balanced")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        lint(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

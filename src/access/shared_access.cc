@@ -1,24 +1,59 @@
 #include "access/shared_access.h"
 
+#include <string>
+
 #include "access/async_fetcher.h"
 #include "access/history_journal.h"
+#include "access/history_tier.h"
 #include "util/check.h"
 
 namespace histwalk::access {
+
+namespace {
+
+// Resolved once per group so the miss path costs one cached pointer
+// dereference plus a relaxed striped add, never a registry name lookup.
+GroupObsCounters ResolveObsCounters(obs::Registry* registry) {
+  obs::Registry& reg =
+      registry != nullptr ? *registry : obs::Registry::Global();
+  GroupObsCounters obs;
+  obs.cache_hits = reg.counter("hw_access_cache_hits_total");
+  obs.cache_misses = reg.counter("hw_access_cache_misses_total");
+  obs.store_hits = reg.counter("hw_access_store_hits_total");
+  obs.singleflight_joins = reg.counter("hw_net_singleflight_joins_total");
+  obs.wire_fetches = reg.counter("hw_net_wire_fetches_total");
+  obs.budget_refusals = reg.counter("hw_access_budget_refusals_total");
+  obs.fetch_errors = reg.counter("hw_access_fetch_errors_total");
+  obs.pipeline_wait = reg.histogram("hw_net_pipeline_wait_items");
+  return obs;
+}
+
+std::string ProbeArgs(const HistoryCache& cache, graph::NodeId v,
+                      const char* result) {
+  return "\"node\":" + std::to_string(v) + ",\"shard\":" +
+         std::to_string(HistoryCache::ShardOf(v, cache.num_shards())) +
+         ",\"result\":\"" + result + "\"";
+}
+
+}  // namespace
 
 SharedAccessGroup::SharedAccessGroup(const AccessBackend* backend,
                                      SharedAccessOptions options)
     : backend_(backend),
       options_(options),
       owned_cache_(std::make_unique<HistoryCache>(options.cache)),
-      cache_(owned_cache_.get()) {
+      cache_(owned_cache_.get()),
+      obs_(ResolveObsCounters(options.registry)) {
   HW_CHECK(backend_ != nullptr);
 }
 
 SharedAccessGroup::SharedAccessGroup(const AccessBackend* backend,
                                      HistoryCache& shared_cache,
                                      SharedAccessOptions options)
-    : backend_(backend), options_(options), cache_(&shared_cache) {
+    : backend_(backend),
+      options_(options),
+      cache_(&shared_cache),
+      obs_(ResolveObsCounters(options.registry)) {
   HW_CHECK(backend_ != nullptr);
 }
 
@@ -70,6 +105,13 @@ std::vector<HistoryCache::Entry> SharedAccessGroup::StoreFetchedBatch(
   return stored;
 }
 
+HistoryCache::Entry SharedAccessGroup::StoreWarm(
+    graph::NodeId v, std::span<const graph::NodeId> neighbors) {
+  // Deliberately bypasses the journal (the record came FROM durable
+  // history) and the budget/wire accounting (history is free).
+  return cache_->Put(v, neighbors, nullptr);
+}
+
 bool SharedAccessGroup::TryCharge() {
   if (options_.query_budget == 0) {
     charged_.fetch_add(1, std::memory_order_relaxed);
@@ -86,8 +128,24 @@ bool SharedAccessGroup::TryCharge() {
 }
 
 SharedAccess::SharedAccess(SharedAccessGroup* group)
-    : group_(group), queried_(group->backend()->num_nodes(), false) {
+    : group_(group),
+      view_id_(group->next_view_id_.fetch_add(1, std::memory_order_relaxed)),
+      queried_(group->backend()->num_nodes(), false) {
   HW_CHECK(group_ != nullptr);
+}
+
+void SharedAccess::RecordMissOutcome(graph::NodeId v,
+                                     obs::FlightEventKind kind,
+                                     uint64_t start_us) {
+  obs::FlightRecorder* flight = group_->flight_;
+  if (flight == nullptr) return;
+  obs::FlightEvent event;
+  event.node = v;
+  event.actor = view_id_;
+  event.kind = kind;
+  event.start_us = start_us;
+  event.end_us = flight->NowUs();
+  flight->Record(event);
 }
 
 void SharedAccess::AccountServed(graph::NodeId v) {
@@ -105,29 +163,90 @@ util::Result<std::span<const graph::NodeId>> SharedAccess::Neighbors(
   if (v >= num_nodes()) {
     return util::Status::OutOfRange("unknown node id");
   }
+  const GroupObsCounters& obs = group_->obs_;
   HistoryCache::Entry entry = group_->cache_->Get(v);
-  if (entry == nullptr && group_->fetcher_ != nullptr) {
-    // Async miss path: the attached fetcher batches / deduplicates this
-    // fetch with the other walkers' outstanding misses; budget charging
-    // happens inside the fetcher, once per wire fetch.
-    auto fetched = group_->fetcher_->FetchShared(v);
-    if (!fetched.ok()) return fetched.status();
-    entry = std::move(fetched->entry);
-    if (fetched->charged_this_call) ++charged_fetches_;
-  } else if (entry == nullptr) {
-    // Synchronous miss path: this view pays for a real fetch. A refused
-    // call is not issued at all, so it leaves the accounting untouched
-    // (same semantics as GraphAccess).
-    if (!group_->TryCharge()) {
-      return util::Status::BudgetExhausted("group query budget exhausted");
+  if (entry != nullptr) {
+    obs.cache_hits->Inc();
+    HW_TRACE_INSTANT_ARGS(tracer_, trace_track_, "cache_probe",
+                          ProbeArgs(*group_->cache_, v, "hit"));
+  } else {
+    // Every branch below attributes this miss to exactly one outcome
+    // counter/flight kind — the invariant obs_identity_test pins.
+    obs.cache_misses->Inc();
+    const uint64_t miss_start_us =
+        group_->flight_ != nullptr ? group_->flight_->NowUs() : 0;
+    if (group_->tier_ != nullptr) {
+      // Second-tier probe: durable history answers the miss without wire,
+      // budget or journal traffic.
+      if (HistoryCache::Entry warm = group_->tier_->Lookup(v)) {
+        entry = group_->StoreWarm(v, std::span<const graph::NodeId>(*warm));
+        obs.store_hits->Inc();
+        HW_TRACE_INSTANT_ARGS(tracer_, trace_track_, "cache_probe",
+                              ProbeArgs(*group_->cache_, v, "store"));
+        RecordMissOutcome(v, obs::FlightEventKind::kStoreHit, miss_start_us);
+      }
     }
-    auto fetched = group_->backend_->FetchNeighbors(v);
-    if (!fetched.ok()) {
-      group_->RefundCharge();
-      return fetched.status();
+    if (entry == nullptr && group_->fetcher_ != nullptr) {
+      // Async miss path: the attached fetcher batches / deduplicates this
+      // fetch with the other walkers' outstanding misses; budget charging
+      // happens inside the fetcher, once per wire fetch.
+      auto fetched = group_->fetcher_->FetchShared(v);
+      if (!fetched.ok()) {
+        const bool refused =
+            fetched.status().code() == util::StatusCode::kBudgetExhausted;
+        (refused ? obs.budget_refusals : obs.fetch_errors)->Inc();
+        HW_TRACE_INSTANT_ARGS(
+            tracer_, trace_track_, "cache_probe",
+            ProbeArgs(*group_->cache_, v, refused ? "refused" : "error"));
+        RecordMissOutcome(v,
+                          refused ? obs::FlightEventKind::kBudgetRefusal
+                                  : obs::FlightEventKind::kError,
+                          miss_start_us);
+        return fetched.status();
+      }
+      entry = std::move(fetched->entry);
+      if (fetched->charged_this_call) {
+        ++charged_fetches_;
+        obs.wire_fetches->Inc();
+        HW_TRACE_INSTANT_ARGS(tracer_, trace_track_, "cache_probe",
+                              ProbeArgs(*group_->cache_, v, "wire"));
+        RecordMissOutcome(v, obs::FlightEventKind::kWireFetch,
+                          miss_start_us);
+      } else {
+        obs.singleflight_joins->Inc();
+        HW_TRACE_INSTANT_ARGS(tracer_, trace_track_, "cache_probe",
+                              ProbeArgs(*group_->cache_, v, "join"));
+        RecordMissOutcome(v, obs::FlightEventKind::kSingleflightJoin,
+                          miss_start_us);
+      }
+    } else if (entry == nullptr) {
+      // Synchronous miss path: this view pays for a real fetch. A refused
+      // call is not issued at all, so it leaves the charge accounting
+      // untouched (same semantics as GraphAccess).
+      if (!group_->TryCharge()) {
+        obs.budget_refusals->Inc();
+        HW_TRACE_INSTANT_ARGS(tracer_, trace_track_, "cache_probe",
+                              ProbeArgs(*group_->cache_, v, "refused"));
+        RecordMissOutcome(v, obs::FlightEventKind::kBudgetRefusal,
+                          miss_start_us);
+        return util::Status::BudgetExhausted("group query budget exhausted");
+      }
+      auto fetched = group_->backend_->FetchNeighbors(v);
+      if (!fetched.ok()) {
+        group_->RefundCharge();
+        obs.fetch_errors->Inc();
+        HW_TRACE_INSTANT_ARGS(tracer_, trace_track_, "cache_probe",
+                              ProbeArgs(*group_->cache_, v, "error"));
+        RecordMissOutcome(v, obs::FlightEventKind::kError, miss_start_us);
+        return fetched.status();
+      }
+      entry = group_->StoreFetched(v, *fetched);
+      ++charged_fetches_;
+      obs.wire_fetches->Inc();
+      HW_TRACE_INSTANT_ARGS(tracer_, trace_track_, "cache_probe",
+                            ProbeArgs(*group_->cache_, v, "wire"));
+      RecordMissOutcome(v, obs::FlightEventKind::kWireFetch, miss_start_us);
     }
-    entry = group_->StoreFetched(v, *fetched);
-    ++charged_fetches_;
   }
   AccountServed(v);
   retained_[retain_slot_] = entry;

@@ -10,6 +10,9 @@
 #include "access/backend.h"
 #include "access/history_cache.h"
 #include "access/node_access.h"
+#include "obs/flight_recorder.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 // Shared history for concurrent walker ensembles.
 //
@@ -55,12 +58,35 @@ namespace histwalk::access {
 
 class AsyncFetcher;
 class HistoryJournal;
+class HistoryTier;
 class SharedAccess;
 
 struct SharedAccessOptions {
   // Global backend-fetch budget across all views; 0 means unlimited.
   uint64_t query_budget = 0;
   HistoryCacheOptions cache;
+  // Metrics registry the group's counters land in; null = the process
+  // Global() registry. Must outlive the group.
+  obs::Registry* registry = nullptr;
+};
+
+// Cached instrument pointers for the group's miss-path accounting —
+// resolved once at group construction so the hot path never touches the
+// registry's name map. Every view-level cache miss is attributed to
+// EXACTLY ONE of wire_fetches / store_hits / singleflight_joins /
+// budget_refusals / fetch_errors, so
+//     cache_misses == wire_fetches + store_hits + singleflight_joins
+//                   + budget_refusals + fetch_errors
+// holds exactly (pinned by obs_identity_test).
+struct GroupObsCounters {
+  obs::Counter* cache_hits = nullptr;
+  obs::Counter* cache_misses = nullptr;
+  obs::Counter* store_hits = nullptr;
+  obs::Counter* singleflight_joins = nullptr;
+  obs::Counter* wire_fetches = nullptr;
+  obs::Counter* budget_refusals = nullptr;
+  obs::Counter* fetch_errors = nullptr;
+  obs::Histogram* pipeline_wait = nullptr;
 };
 
 class SharedAccessGroup {
@@ -123,6 +149,27 @@ class SharedAccessGroup {
   void set_history_journal(HistoryJournal* journal) { journal_ = journal; }
   HistoryJournal* history_journal() const { return journal_; }
 
+  // Attaches (or detaches, with nullptr) a second history tier probed on
+  // the miss path BEFORE the wire: memory cache -> tier -> backend. A tier
+  // hit is promoted into the cache journal-free and budget-free (see
+  // access/history_tier.h). Same lifetime/synchronization caveats as
+  // set_async_fetcher.
+  void set_history_tier(HistoryTier* tier) { tier_ = tier; }
+  HistoryTier* history_tier() const { return tier_; }
+
+  // Attaches (or detaches, with nullptr) a flight recorder that captures
+  // every miss-path resolution (obs/flight_recorder.h). Same caveats as
+  // set_async_fetcher.
+  void set_flight_recorder(obs::FlightRecorder* recorder) {
+    flight_ = recorder;
+  }
+  obs::FlightRecorder* flight_recorder() const { return flight_; }
+
+  // The group's cached metrics instruments (see GroupObsCounters); always
+  // non-null pointers once constructed. net::RequestPipeline pushes the
+  // singleflight/wait instruments through this.
+  const GroupObsCounters& obs() const { return obs_; }
+
   // Budget hooks for fetch-executing clients (views' synchronous miss path
   // and net::RequestPipeline): claim one unit of fetch budget before a
   // backend fetch — false means the group quota refused it — and refund it
@@ -147,6 +194,12 @@ class SharedAccessGroup {
   std::vector<HistoryCache::Entry> StoreFetchedBatch(
       std::span<const HistoryCache::ImportEntry> entries);
 
+  // Promotion funnel for history-tier hits: stores `neighbors` under `v`
+  // in the cache WITHOUT journaling (the record is already durable) and
+  // without touching budget or wire counters. Thread-safe.
+  HistoryCache::Entry StoreWarm(graph::NodeId v,
+                                std::span<const graph::NodeId> neighbors);
+
  private:
   friend class SharedAccess;
 
@@ -155,8 +208,12 @@ class SharedAccessGroup {
   std::unique_ptr<HistoryCache> owned_cache_;  // null when cache is shared
   HistoryCache* cache_;  // owned_cache_.get() or the external shared cache
   std::atomic<uint64_t> charged_{0};
+  std::atomic<uint32_t> next_view_id_{0};
   AsyncFetcher* fetcher_ = nullptr;
   HistoryJournal* journal_ = nullptr;
+  HistoryTier* tier_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
+  GroupObsCounters obs_;
 };
 
 class SharedAccess final : public NodeAccess {
@@ -195,10 +252,27 @@ class SharedAccess final : public NodeAccess {
 
   SharedAccessGroup* group() const { return group_; }
 
+  // Stable id of this view within its group (creation order) — the
+  // `actor` field of flight-recorder events.
+  uint32_t view_id() const { return view_id_; }
+
+  // Points this view's probe instants at `tracer`'s `track` (typically
+  // the per-walker track); null detaches. The view is single-threaded, so
+  // this is safe between (not during) Neighbors() calls.
+  void set_trace(obs::Tracer* tracer, uint32_t track) {
+    tracer_ = tracer;
+    trace_track_ = track;
+  }
+
  private:
   void AccountServed(graph::NodeId v);
+  void RecordMissOutcome(graph::NodeId v, obs::FlightEventKind kind,
+                         uint64_t start_us);
 
   SharedAccessGroup* group_;
+  obs::Tracer* tracer_ = nullptr;
+  uint32_t trace_track_ = 0;
+  uint32_t view_id_ = 0;
   QueryStats stats_;
   std::vector<bool> queried_;  // nodes THIS view has asked for
   uint64_t charged_fetches_ = 0;

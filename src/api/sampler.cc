@@ -73,6 +73,31 @@ util::Status CanceledError() {
   return util::Status::FailedPrecondition("run was canceled");
 }
 
+obs::Sample MakeSample(const char* name, obs::SampleKind kind,
+                       uint64_t value) {
+  obs::Sample sample;
+  sample.name = name;
+  sample.kind = kind;
+  sample.value = static_cast<int64_t>(value);
+  return sample;
+}
+
+void AppendCacheSamples(std::vector<obs::Sample>& out,
+                        const access::HistoryCacheStats& stats) {
+  using obs::SampleKind;
+  out.push_back(MakeSample("hw_cache_hits_total", SampleKind::kCounter,
+                           stats.hits));
+  out.push_back(MakeSample("hw_cache_misses_total", SampleKind::kCounter,
+                           stats.misses));
+  out.push_back(MakeSample("hw_cache_insertions_total", SampleKind::kCounter,
+                           stats.insertions));
+  out.push_back(MakeSample("hw_cache_evictions_total", SampleKind::kCounter,
+                           stats.evictions));
+  out.push_back(
+      MakeSample("hw_cache_entries", SampleKind::kGauge, stats.entries));
+  out.push_back(MakeSample("hw_cache_bytes", SampleKind::kGauge, stats.bytes));
+}
+
 }  // namespace
 
 RunState RunHandle::Poll() const {
@@ -117,6 +142,7 @@ util::Result<RunReport> RunHandle::Wait() {
         report.charged_queries = session->charged_queries;
         report.tenant = session->pipeline;
         report.latency_us = session->LatencyUs();
+        report.flight = std::move(session->flight);
         status = shared.sampler->FinishReport(shared.spec, &report);
       } else {
         status = session.status();
@@ -234,6 +260,17 @@ SamplerBuilder& SamplerBuilder::WithWarmStart(bool warm_start) {
   return *this;
 }
 
+SamplerBuilder& SamplerBuilder::WithStoreReadTier(bool read_tier) {
+  store_read_tier_ = read_tier;
+  return *this;
+}
+
+SamplerBuilder& SamplerBuilder::WithObservability(ObservabilityOptions obs) {
+  has_obs_ = true;
+  obs_ = obs;
+  return *this;
+}
+
 SamplerBuilder& SamplerBuilder::RunInline(unsigned num_threads) {
   mode_ = ExecutionMode::kInline;
   inline_threads_ = num_threads;
@@ -308,6 +345,15 @@ util::Result<std::unique_ptr<Sampler>> SamplerBuilder::Build() const {
           "WithWarmStart(false) is unsupported in service mode; open the "
           "store with load_snapshot = false instead");
     }
+    if (store_read_tier_) {
+      return util::Status::InvalidArgument(
+          "WithStoreReadTier applies to inline/pipelined modes; the "
+          "service warm-starts its shared cache from the store instead");
+    }
+  }
+  if (store_read_tier_ && !has_owned_store_ && external_store_ == nullptr) {
+    return util::Status::InvalidArgument(
+        "WithStoreReadTier requires a history store (WithHistoryStore)");
   }
 
   std::unique_ptr<Sampler> sampler(new Sampler());
@@ -317,6 +363,7 @@ util::Result<std::unique_ptr<Sampler>> SamplerBuilder::Build() const {
   sampler->defaults_ = defaults_;
   sampler->estimand_ = estimand_;
   sampler->attributes_ = attributes_;
+  sampler->obs_ = obs_;
 
   const access::AccessBackend* inner = external_backend_;
   if (graph_ != nullptr) {
@@ -353,6 +400,22 @@ util::Result<std::unique_ptr<Sampler>> SamplerBuilder::Build() const {
     HW_RETURN_IF_ERROR(attributes_->Find(estimand_.attribute).status());
   }
 
+  // Observability seams wire before the group/service/pipeline exist so
+  // trace tracks register in a deterministic order: "wire", "store",
+  // "pipeline" (at pipeline construction), then "walker i" at run start.
+  if (obs_.tracer != nullptr) {
+    if (sampler->remote_ != nullptr && !obs_.tracer->has_clock()) {
+      obs_.tracer->set_clock([remote = sampler->remote_.get()] {
+        return remote->sim_now_us();
+      });
+    }
+    if (sampler->remote_ != nullptr) sampler->remote_->set_tracer(obs_.tracer);
+    if (sampler->store_ != nullptr) sampler->store_->set_tracer(obs_.tracer);
+    if (sampler->pipeline_.tracer == nullptr) {
+      sampler->pipeline_.tracer = obs_.tracer;
+    }
+  }
+
   if (mode_ == ExecutionMode::kService) {
     service::ServiceOptions options;
     options.max_sessions = service_.max_sessions;
@@ -361,6 +424,9 @@ util::Result<std::unique_ptr<Sampler>> SamplerBuilder::Build() const {
     options.cache = cache_;
     options.pipeline = service_.pipeline;
     options.store = sampler->store_;
+    options.registry = obs_.registry;
+    options.tracer = obs_.tracer;
+    options.flight_recorder_capacity = obs_.flight_recorder_capacity;
     if (sampler->remote_ != nullptr) {
       options.clock = [remote = sampler->remote_.get()] {
         return remote->sim_now_us();
@@ -373,7 +439,8 @@ util::Result<std::unique_ptr<Sampler>> SamplerBuilder::Build() const {
     sampler->group_ = std::make_unique<access::SharedAccessGroup>(
         sampler->backend_, access::SharedAccessOptions{
                                .query_budget = group_query_budget_,
-                               .cache = cache_});
+                               .cache = cache_,
+                               .registry = obs_.registry});
     if (sampler->store_ != nullptr) {
       if (warm_start_) {
         // Like the service: a broken history file falls back to a cold (or
@@ -383,7 +450,39 @@ util::Result<std::unique_ptr<Sampler>> SamplerBuilder::Build() const {
             sampler->store_->LoadInto(sampler->group_->cache());
       }
       sampler->group_->set_history_journal(sampler->store_);
+      if (store_read_tier_) {
+        // The durable history as a second READ tier: misses probe it
+        // before the wire, and hits promote demand-driven instead of the
+        // all-at-once warm start (access/history_tier.h).
+        sampler->store_tier_ = std::make_unique<access::CacheTier>();
+        util::Status tier_load =
+            sampler->store_->LoadInto(sampler->store_tier_->cache());
+        if (!tier_load.ok() && sampler->warm_start_status_.ok()) {
+          sampler->warm_start_status_ = tier_load;
+        }
+        sampler->group_->set_history_tier(sampler->store_tier_.get());
+      }
     }
+    if (obs_.flight_recorder_capacity > 0) {
+      std::function<uint64_t()> clock;
+      if (sampler->remote_ != nullptr) {
+        clock = [remote = sampler->remote_.get()] {
+          return remote->sim_now_us();
+        };
+      }
+      sampler->flight_ = std::make_unique<obs::FlightRecorder>(
+          obs_.flight_recorder_capacity, std::move(clock));
+      sampler->group_->set_flight_recorder(sampler->flight_.get());
+    }
+  }
+
+  if (has_obs_) {
+    // One pull collector covers every layer the sampler owns; registered
+    // only on explicit WithObservability so two samplers scraping the
+    // process Global() registry never double-report the same names.
+    Sampler* raw = sampler.get();
+    sampler->collectors_.push_back(sampler->registry().AddCollector(
+        [raw](std::vector<obs::Sample>& out) { raw->CollectSamples(out); }));
   }
   return sampler;
 }
@@ -400,6 +499,9 @@ Sampler::~Sampler() {
     std::unique_lock<std::mutex> lock(active->mu);
     active->WaitDoneLocked(lock);
   }
+  // Unregister the scrape collectors before the layers they read go away
+  // (a concurrent Scrape() must never observe a half-destroyed sampler).
+  collectors_.clear();
   // Detach the journal before the store (possibly owned) is destroyed.
   if (group_ != nullptr) group_->set_history_journal(nullptr);
   // service_ (if any) joins its sessions in its own destructor, which runs
@@ -439,7 +541,8 @@ util::Result<RunHandle> Sampler::RunThreaded(const RunOptions& options) {
                                        .seed = options.seed,
                                        .max_steps = options.max_steps,
                                        .query_budget = options.query_budget,
-                                       .num_threads = inline_threads_};
+                                       .num_threads = inline_threads_,
+                                       .tracer = obs_.tracer};
     auto run = mode_ == ExecutionMode::kInline
                    ? estimate::RunEnsemble(*group_, options.walker, ensemble)
                    : estimate::RunEnsembleAsync(*group_, options.walker,
@@ -449,6 +552,7 @@ util::Result<RunHandle> Sampler::RunThreaded(const RunOptions& options) {
     if (run.ok()) {
       report.ensemble = *std::move(run);
       report.charged_queries = report.ensemble.charged_queries;
+      if (flight_ != nullptr) report.flight = flight_->TakeLog();
       status = FinishReport(options.walker, &report);
     } else {
       status = run.status();
@@ -490,6 +594,15 @@ util::Status Sampler::SaveHistory() {
     return util::Status::FailedPrecondition(
         "no history store configured (WithHistoryStore)");
   }
+  if (store_tier_ != nullptr) {
+    // Checkpoint() folds the MEMORY cache into a fresh snapshot; under a
+    // read tier that cache holds only the demand-filled subset, so the
+    // fold would shrink the durable history. New fetches are WAL-journaled
+    // already — durability does not need the checkpoint.
+    return util::Status::FailedPrecondition(
+        "SaveHistory is unsupported with WithStoreReadTier: a checkpoint "
+        "would fold only the demand-filled memory cache");
+  }
   if (mode_ != ExecutionMode::kService) {
     // A mid-run snapshot of a thread-mode group would capture an arbitrary
     // point of one run; make the caller pick the save point via Wait().
@@ -530,6 +643,88 @@ util::Result<core::StationaryBias> Sampler::BiasFor(
   const core::StationaryBias bias = probe->bias();
   bias_cache_.emplace(spec.type, bias);
   return bias;
+}
+
+void Sampler::CollectSamples(std::vector<obs::Sample>& out) const {
+  using obs::SampleKind;
+  const bool service_mode = mode_ == ExecutionMode::kService;
+  AppendCacheSamples(out, service_mode ? service_->shared_cache().stats()
+                                       : group_->cache().stats());
+  if (store_tier_ != nullptr) {
+    const access::HistoryCacheStats tier = store_tier_->cache().stats();
+    out.push_back(MakeSample("hw_store_tier_entries", SampleKind::kGauge,
+                             tier.entries));
+    out.push_back(
+        MakeSample("hw_store_tier_bytes", SampleKind::kGauge, tier.bytes));
+  }
+  if (remote_ != nullptr) {
+    const net::RemoteBackendStats wire = remote_->stats();
+    out.push_back(MakeSample("hw_net_wire_calls_total", SampleKind::kCounter,
+                             wire.requests));
+    out.push_back(MakeSample("hw_net_wire_items_total", SampleKind::kCounter,
+                             wire.items));
+    out.push_back(MakeSample("hw_net_wire_batch_calls_total",
+                             SampleKind::kCounter, wire.batch_requests));
+    out.push_back(MakeSample("hw_net_sim_wall_us", SampleKind::kGauge,
+                             wire.sim_elapsed_us));
+    out.push_back(MakeSample("hw_net_rate_limited_us", SampleKind::kCounter,
+                             wire.rate_limited_us));
+  }
+  if (store_ != nullptr) {
+    const store::HistoryStoreStats store = store_->stats();
+    out.push_back(MakeSample("hw_store_appended_records_total",
+                             SampleKind::kCounter, store.appended_records));
+    out.push_back(MakeSample("hw_store_append_failures_total",
+                             SampleKind::kCounter, store.append_failures));
+    out.push_back(MakeSample("hw_store_checkpoints_total",
+                             SampleKind::kCounter, store.checkpoints));
+    out.push_back(MakeSample("hw_store_checkpoint_failures_total",
+                             SampleKind::kCounter, store.checkpoint_failures));
+    out.push_back(MakeSample("hw_store_wal_bytes", SampleKind::kGauge,
+                             store.wal_bytes));
+    out.push_back(MakeSample("hw_store_fold_segments_queued",
+                             SampleKind::kGauge, store.fold_segments_queued));
+  }
+  if (service_mode) {
+    const service::ServiceStats stats = service_->stats();
+    out.push_back(MakeSample("hw_access_charged_queries_total",
+                             SampleKind::kCounter, stats.charged_queries));
+    out.push_back(MakeSample("hw_service_sessions_submitted_total",
+                             SampleKind::kCounter, stats.submitted));
+    out.push_back(MakeSample("hw_service_admission_refusals_total",
+                             SampleKind::kCounter, stats.admission_refusals));
+    out.push_back(MakeSample("hw_service_sessions_completed_total",
+                             SampleKind::kCounter, stats.completed));
+    out.push_back(MakeSample("hw_service_sessions_failed_total",
+                             SampleKind::kCounter, stats.failed));
+    out.push_back(MakeSample("hw_service_sessions_detached_total",
+                             SampleKind::kCounter, stats.detached));
+    out.push_back(MakeSample("hw_service_resident_sessions",
+                             SampleKind::kGauge, stats.resident_sessions));
+    const net::RequestPipelineStats pipeline = stats.pipeline;
+    out.push_back(MakeSample("hw_net_pipeline_submitted_total",
+                             SampleKind::kCounter, pipeline.submitted));
+    out.push_back(MakeSample("hw_net_pipeline_dedup_joins_total",
+                             SampleKind::kCounter, pipeline.dedup_joins));
+    out.push_back(MakeSample("hw_net_pipeline_late_hits_total",
+                             SampleKind::kCounter, pipeline.late_hits));
+    out.push_back(MakeSample("hw_net_pipeline_wire_requests_total",
+                             SampleKind::kCounter, pipeline.wire_requests));
+    out.push_back(MakeSample("hw_net_pipeline_wire_items_total",
+                             SampleKind::kCounter, pipeline.wire_items));
+    out.push_back(MakeSample("hw_net_pipeline_budget_refusals_total",
+                             SampleKind::kCounter, pipeline.budget_refusals));
+    out.push_back(MakeSample("hw_net_pipeline_queue_depth", SampleKind::kGauge,
+                             pipeline.queue_depth));
+    out.push_back(MakeSample("hw_net_pipeline_max_queue_depth",
+                             SampleKind::kGauge, pipeline.max_queue_depth));
+  } else {
+    // Counter, not a pushed instrument: RefundCharge can rewind the
+    // group's charge, and registry counters are monotone.
+    out.push_back(MakeSample("hw_access_charged_queries_total",
+                             SampleKind::kCounter,
+                             group_->charged_queries()));
+  }
 }
 
 util::Status Sampler::FinishReport(const core::WalkerSpec& spec,

@@ -9,8 +9,10 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <vector>
 
 #include "access/graph_access.h"
+#include "access/history_tier.h"
 #include "access/shared_access.h"
 #include "attr/attribute.h"
 #include "core/walker_factory.h"
@@ -18,6 +20,9 @@
 #include "graph/graph.h"
 #include "net/remote_backend.h"
 #include "net/request_pipeline.h"
+#include "obs/flight_recorder.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "service/sampling_service.h"
 #include "store/history_store.h"
 #include "util/status.h"
@@ -101,6 +106,26 @@ struct EstimandSelection {
   bool any() const { return average_degree || !attribute.empty(); }
 };
 
+// Observability wiring for the whole assembled stack: one registry scrape
+// covers every layer (cache, wire, store, pipeline, service), one tracer
+// covers walker step -> cache probe -> pipeline -> wire -> journal, and
+// each run's report carries a bounded flight-recorder tail of miss-path
+// outcomes. Registered collectors and pushed counters follow the
+// hw_<layer>_<name>{label="..."} convention (see obs/registry.h).
+struct ObservabilityOptions {
+  // Registry the stack's counters land in and the Build-time collectors
+  // register with; null = obs::Global(). Must outlive the Sampler.
+  obs::Registry* registry = nullptr;
+  // Optional tracer; must outlive the Sampler. Build() injects the
+  // simulated wire clock into it when a RemoteWire exists and the tracer
+  // has no clock yet, and registers the wire/store/pipeline tracks in a
+  // deterministic order.
+  obs::Tracer* tracer = nullptr;
+  // Per-run (thread modes) / per-session (service mode) flight-recorder
+  // ring size; 0 disables. Surfaced as RunReport::flight.
+  uint32_t flight_recorder_capacity = 128;
+};
+
 // Per-run knobs. Sampler::Run() uses the builder's ensemble defaults;
 // Run(options) overrides them per run — the service-mode pattern of many
 // differently-seeded sessions over one Sampler.
@@ -136,6 +161,12 @@ struct RunReport {
   uint64_t sim_wall_us = 0;
   // Service mode: submit-to-done session latency on the service clock.
   uint64_t latency_us = 0;
+  // The tail of this run's miss-path resolutions (wire fetch / store-tier
+  // hit / singleflight join / refusal / error), bounded by
+  // ObservabilityOptions::flight_recorder_capacity. In thread modes the
+  // recorder is sampler-lived, so the log accumulates across successive
+  // runs on one Sampler; service mode records per session.
+  obs::FlightLog flight;
   // Filled when the builder selected an estimand.
   bool has_estimate = false;
   double estimate = 0.0;
@@ -228,6 +259,22 @@ class SamplerBuilder {
   // Same, over an externally owned store (must outlive the Sampler).
   SamplerBuilder& WithHistoryStore(store::HistoryStore* store);
   SamplerBuilder& WithWarmStart(bool warm_start);
+  // Serve cache misses from the durable history as a READ TIER (memory
+  // cache -> store tier -> wire) instead of — or in addition to — the
+  // all-at-once warm start: Build() loads the store into an unbounded
+  // side cache and misses probe it before paying wire latency or budget
+  // (see access/history_tier.h). Requires WithHistoryStore; thread modes
+  // only (kInvalidArgument in service mode).
+  SamplerBuilder& WithStoreReadTier(bool read_tier = true);
+
+  // ---- observability --------------------------------------------------
+  // Wires metrics, tracing and the flight recorder through every layer
+  // and registers the stack's pull collectors (cache / wire / store /
+  // pipeline / service / charged-queries) with the chosen registry. The
+  // group's miss-outcome counters are pushed to ObservabilityOptions::
+  // registry (or obs::Global()) even without this call; collectors — and
+  // therefore full Scrape() coverage — need it.
+  SamplerBuilder& WithObservability(ObservabilityOptions obs = {});
 
   // ---- execution mode -------------------------------------------------
   // num_threads: ParallelFor workers for inline runs (0 = hardware).
@@ -261,6 +308,9 @@ class SamplerBuilder {
   store::HistoryStoreOptions store_options_;
   store::HistoryStore* external_store_ = nullptr;
   bool warm_start_ = true;
+  bool store_read_tier_ = false;
+  bool has_obs_ = false;
+  ObservabilityOptions obs_;
   ExecutionMode mode_ = ExecutionMode::kInline;
   unsigned inline_threads_ = 0;
   net::RequestPipelineOptions pipeline_;
@@ -310,6 +360,13 @@ class Sampler {
   // Service mode's service; null otherwise.
   service::SamplingService* service() { return service_.get(); }
   store::HistoryStore* history_store() { return store_; }
+  // The registry this stack's metrics land in (obs::Global() unless
+  // WithObservability chose another).
+  obs::Registry& registry() const {
+    return obs_.registry != nullptr ? *obs_.registry : obs::Registry::Global();
+  }
+  // The store read tier, when WithStoreReadTier wired one; null otherwise.
+  const access::CacheTier* store_tier() const { return store_tier_.get(); }
   // OK, or why the Build-time warm start fell back to a cold cache.
   const util::Status& warm_start_status() const { return warm_start_status_; }
   const RunOptions& default_run_options() const { return defaults_; }
@@ -326,6 +383,10 @@ class Sampler {
   util::Result<core::StationaryBias> BiasFor(const core::WalkerSpec& spec);
   // Fills the estimand/wire fields of `report` from its ensemble result.
   util::Status FinishReport(const core::WalkerSpec& spec, RunReport* report);
+  // The WithObservability pull collector: appends hw_cache_* / hw_net_* /
+  // hw_store_* / hw_service_* / charged-queries samples from the stats
+  // structs of whatever layers this sampler owns.
+  void CollectSamples(std::vector<obs::Sample>& out) const;
 
   ExecutionMode mode_ = ExecutionMode::kInline;
   unsigned inline_threads_ = 0;
@@ -333,6 +394,7 @@ class Sampler {
   RunOptions defaults_;
   EstimandSelection estimand_;
   const attr::AttributeTable* attributes_ = nullptr;
+  ObservabilityOptions obs_;
 
   // Ownership order matters: the store outlives the group/service that
   // journals into it; the remote wraps the inner backend.
@@ -343,6 +405,14 @@ class Sampler {
   store::HistoryStore* store_ = nullptr;
   std::unique_ptr<access::SharedAccessGroup> group_;
   std::unique_ptr<service::SamplingService> service_;
+  // Thread modes: the durable-history read tier and the per-sampler flight
+  // recorder attached to group_ (service mode records per session).
+  std::unique_ptr<access::CacheTier> store_tier_;
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  // Pull collectors registered with registry(); reset before the members
+  // they read are destroyed (declared last => destroyed first, and the
+  // destructor also clears them explicitly once runs are quiesced).
+  std::vector<obs::Registry::CollectorHandle> collectors_;
   util::Status warm_start_status_;
 
   mutable std::mutex mu_;

@@ -65,6 +65,18 @@ util::Result<EnsembleResult> RunEnsembleImpl(access::SharedAccessGroup& group,
   }
   result.traces.resize(options.num_walkers);
 
+  // Per-walker trace tracks, registered serially BEFORE the parallel
+  // section so track ids are a function of walker index, never of
+  // scheduling.
+  std::vector<uint32_t> trace_tracks(options.num_walkers, 0);
+  if (options.tracer != nullptr) {
+    for (uint32_t i = 0; i < options.num_walkers; ++i) {
+      trace_tracks[i] =
+          options.tracer->RegisterTrack("walker " + std::to_string(i));
+      members[i].access->set_trace(options.tracer, trace_tracks[i]);
+    }
+  }
+
   const uint64_t charged_before = group.charged_queries();
   const access::HistoryCacheStats cache_before = group.cache().stats();
 
@@ -79,7 +91,9 @@ util::Result<EnsembleResult> RunEnsembleImpl(access::SharedAccessGroup& group,
         }
         result.traces[i] =
             TraceWalk(*member.walker, {.max_steps = options.max_steps,
-                                       .query_budget = options.query_budget});
+                                       .query_budget = options.query_budget,
+                                       .tracer = options.tracer,
+                                       .trace_track = trace_tracks[i]});
       },
       run_threads);
 
@@ -119,7 +133,11 @@ util::Result<EnsembleResult> RunEnsembleAsync(
     return util::Status::FailedPrecondition(
         "group already has an async fetcher attached");
   }
-  net::RequestPipeline pipeline(&group, pipeline_options);
+  net::RequestPipelineOptions popts = pipeline_options;
+  // The ensemble's tracer covers the per-run pipeline too unless the
+  // caller wired a different one.
+  if (popts.tracer == nullptr) popts.tracer = options.tracer;
+  net::RequestPipeline pipeline(&group, popts);
   group.set_async_fetcher(&pipeline);
   // One thread per walker: a walker parked on an in-flight fetch must not
   // stop the others from keeping the pipeline full.

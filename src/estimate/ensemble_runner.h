@@ -40,6 +40,12 @@ struct EnsembleOptions {
   uint64_t query_budget = 0;
   // Worker threads for ParallelFor (0 = hardware concurrency).
   unsigned num_threads = 0;
+  // Optional tracer (must outlive the run). Walker i's steps and cache
+  // probes land on a "walker i" track, registered serially at run start so
+  // track ids never depend on scheduling. With one walker the trace bytes
+  // are identical across num_threads values (pinned by obs_trace_test);
+  // multi-walker traces are valid but interleaving-dependent.
+  obs::Tracer* tracer = nullptr;
 };
 
 // Per-step samples of all walkers concatenated in walker order — the

@@ -24,23 +24,35 @@ TracedWalk TraceWalk(core::Walker& walker, const RunOptions& options) {
       trace.final_status = util::Status::Ok();
       break;
     }
-    auto step = walker.Step();
-    if (!step.ok()) {
-      trace.final_status = step.status();
-      break;
+    bool stop = false;
+    {
+      // One span per step; the access layer's cache-probe instants land
+      // inside it on the same (per-walker) track.
+      HW_TRACE_SPAN_ARGS(
+          options.tracer, options.trace_track, "step",
+          "\"index\":" + std::to_string(trace.nodes.size()));
+      auto step = walker.Step();
+      if (!step.ok()) {
+        trace.final_status = step.status();
+        stop = true;
+      } else {
+        uint64_t cost = access->unique_query_count();
+        if (options.query_budget > 0 && cost > options.query_budget) {
+          // This step overshot the budget; it is not part of the budget-b
+          // walk.
+          trace.final_status = util::Status::Ok();
+          stop = true;
+        } else {
+          graph::NodeId node = *step;
+          trace.nodes.push_back(node);
+          auto degree = access->SummaryDegree(node);
+          HW_CHECK(degree.ok());
+          trace.degrees.push_back(*degree);
+          trace.unique_queries.push_back(cost);
+        }
+      }
     }
-    uint64_t cost = access->unique_query_count();
-    if (options.query_budget > 0 && cost > options.query_budget) {
-      // This step overshot the budget; it is not part of the budget-b walk.
-      trace.final_status = util::Status::Ok();
-      break;
-    }
-    graph::NodeId node = *step;
-    trace.nodes.push_back(node);
-    auto degree = access->SummaryDegree(node);
-    HW_CHECK(degree.ok());
-    trace.degrees.push_back(*degree);
-    trace.unique_queries.push_back(cost);
+    if (stop) break;
   }
   return trace;
 }

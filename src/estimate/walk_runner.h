@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/walker.h"
+#include "obs/trace.h"
 
 // Drives a walker and records the per-step trace every downstream consumer
 // needs: the visited node, its degree (free response metadata) and the
@@ -33,6 +34,11 @@ struct TracedWalk {
 struct RunOptions {
   uint64_t max_steps = 0;     // 0 = no step limit (budget must stop the run)
   uint64_t query_budget = 0;  // 0 = rely on the access's own budget/limit
+  // Optional tracer: each step becomes a span on `trace_track` (the
+  // walker's own track), with the access layer's cache-probe instants
+  // nesting inside it. Null = no tracing.
+  obs::Tracer* tracer = nullptr;
+  uint32_t trace_track = 0;
 };
 
 // Steps `walker` (already Reset) until a stop condition fires. With

@@ -99,6 +99,9 @@ ServiceSoakResult RunServiceSoak(const Dataset& dataset,
     } else {
       builder.EstimateAttributeMean(config.estimand.attribute);
     }
+    if (config.registry != nullptr) {
+      builder.WithObservability({.registry = config.registry});
+    }
     auto sampler = builder.Build();
     HW_CHECK_MSG(sampler.ok(), "service soak sampler build failed");
 

@@ -9,6 +9,7 @@
 #include "experiment/error_curve.h"
 #include "net/latency_model.h"
 #include "net/request_pipeline.h"
+#include "obs/registry.h"
 #include "util/table.h"
 
 // The multi-tenant service experiment: a closed-loop workload driver that
@@ -53,6 +54,10 @@ struct ServiceSoakConfig {
   // Wire model (max_in_flight is set to the run's pipeline depth).
   net::LatencyModelOptions latency;
   EstimandSpec estimand;
+  // Optional metrics registry every soak mode's service stack reports
+  // into (hw_service_* sessions, hw_net_pipeline_* scheduler counters,
+  // per-view miss attribution). Null = none wired.
+  obs::Registry* registry = nullptr;
 };
 
 struct SoakTenantOutcome {

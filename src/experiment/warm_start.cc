@@ -63,6 +63,9 @@ WarmStartResult RunWarmStart(const Dataset& dataset,
     } else {
       builder.EstimateAttributeMean(config.estimand.attribute);
     }
+    if (config.registry != nullptr) {
+      builder.WithObservability({.registry = config.registry});
+    }
     return builder;
   };
 

@@ -8,6 +8,7 @@
 #include "experiment/datasets.h"
 #include "experiment/error_curve.h"
 #include "net/latency_model.h"
+#include "obs/registry.h"
 #include "util/table.h"
 
 // The persistence experiment: what does YESTERDAY'S crawl buy TODAY'S?
@@ -49,6 +50,10 @@ struct WarmStartConfig {
   // the system temp directory derived from `seed`. The file is rewritten
   // per trial.
   std::string snapshot_path;
+  // Optional metrics registry every crawl (warm-up and measured, across
+  // all trials) reports into, so one scrape attributes the experiment's
+  // whole miss traffic across memory / store / wire. Null = none wired.
+  obs::Registry* registry = nullptr;
 };
 
 // One step-budget row, averaged over trials. Cold/warm pairs share seeds,

@@ -10,11 +10,22 @@ RemoteBackend::RemoteBackend(const access::AccessBackend* inner,
   HW_CHECK(inner_ != nullptr);
 }
 
+void RemoteBackend::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr) trace_track_ = tracer_->RegisterTrack("wire");
+}
+
 void RemoteBackend::Account(uint64_t num_items) const {
-  model_.ScheduleRequest(num_items);
+  const LatencyModel::Schedule schedule = model_.ScheduleRequest(num_items);
   requests_.fetch_add(1, std::memory_order_relaxed);
   items_.fetch_add(num_items, std::memory_order_relaxed);
   if (num_items > 1) batch_requests_.fetch_add(1, std::memory_order_relaxed);
+  if (tracer_ != nullptr) {
+    tracer_->Complete(
+        trace_track_, "wire_request", schedule.issue_us, schedule.latency_us,
+        "\"request\":" + std::to_string(schedule.request_index) +
+            ",\"items\":" + std::to_string(num_items));
+  }
 }
 
 util::Result<std::span<const graph::NodeId>> RemoteBackend::FetchNeighbors(

@@ -7,6 +7,7 @@
 
 #include "access/backend.h"
 #include "net/latency_model.h"
+#include "obs/trace.h"
 
 // AccessBackend decorator that makes any backend look like a remote OSN
 // service: every neighbor fetch becomes a wire request scheduled on the
@@ -60,12 +61,20 @@ class RemoteBackend final : public access::AccessBackend {
   // backend is untouched).
   void ResetClock();
 
+  // Attaches (or detaches, with nullptr) a tracer: every accounted wire
+  // request becomes an 'X' complete event on a "wire" track, spanning the
+  // LatencyModel schedule's [issue_us, complete_us). The tracer must
+  // outlive the attachment; attach before issuing requests.
+  void set_tracer(obs::Tracer* tracer);
+
   const access::AccessBackend* inner() const { return inner_; }
 
  private:
   void Account(uint64_t num_items) const;
 
   const access::AccessBackend* inner_;
+  obs::Tracer* tracer_ = nullptr;
+  uint32_t trace_track_ = 0;
   mutable LatencyModel model_;
   mutable std::atomic<uint64_t> requests_{0};
   mutable std::atomic<uint64_t> items_{0};

@@ -7,23 +7,7 @@
 
 namespace histwalk::net {
 
-// ---- WaitHistogram ----------------------------------------------------------
-
 namespace {
-
-size_t WaitBucket(uint64_t wait) {
-  if (wait == 0) return 0;
-  size_t bucket = 1;
-  while (bucket + 1 < WaitHistogram::kBuckets && (wait >> bucket) != 0) {
-    ++bucket;
-  }
-  return bucket;
-}
-
-uint64_t BucketUpperBound(size_t bucket) {
-  if (bucket == 0) return 0;
-  return (uint64_t{1} << bucket) - 1;
-}
 
 // The one place the per-tenant -> aggregate counter mapping lives; used by
 // both the RemoveTenant fold and stats().
@@ -38,26 +22,6 @@ void AccumulateTenantStats(RequestPipelineStats& aggregate,
 }
 
 }  // namespace
-
-void WaitHistogram::Record(uint64_t wait) {
-  ++buckets[WaitBucket(wait)];
-  ++count;
-  sum += wait;
-  if (wait > max) max = wait;
-}
-
-uint64_t WaitHistogram::Quantile(double q) const {
-  if (count == 0) return 0;
-  q = std::clamp(q, 0.0, 1.0);
-  const uint64_t rank =
-      static_cast<uint64_t>(std::ceil(q * static_cast<double>(count)));
-  uint64_t seen = 0;
-  for (size_t b = 0; b < kBuckets; ++b) {
-    seen += buckets[b];
-    if (seen >= rank) return std::min(BucketUpperBound(b), max);
-  }
-  return max;
-}
 
 // ---- TenantQueue ------------------------------------------------------------
 
@@ -180,6 +144,11 @@ RequestPipeline::RequestPipeline(RequestPipelineOptions options)
     : options_(options) {
   if (options_.depth == 0) options_.depth = 1;
   if (options_.max_batch == 0) options_.max_batch = 1;
+  if (options_.tracer != nullptr) {
+    // Registered before the workers spawn so the track id is fixed by
+    // wiring order, not scheduling.
+    trace_track_ = options_.tracer->RegisterTrack("pipeline");
+  }
   workers_.reserve(options_.depth);
   for (uint32_t t = 0; t < options_.depth; ++t) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -313,6 +282,10 @@ util::Result<access::AsyncFetcher::Fetched> RequestPipeline::FetchSharedForImpl(
         // Singleflight: join the request already in flight (possibly
         // another tenant's — the shared cache serves every waiter).
         ++t.stats.dedup_joins;
+        HW_TRACE_INSTANT_ARGS(options_.tracer, trace_track_,
+                              "singleflight_join",
+                              "\"node\":" + std::to_string(v) +
+                                  ",\"tenant\":" + std::to_string(tenant));
         future = it->second->future;
       } else {
         // Did a fetch complete between the caller's cache miss and this
@@ -324,6 +297,9 @@ util::Result<access::AsyncFetcher::Fetched> RequestPipeline::FetchSharedForImpl(
         if (t.group->cache().Contains(v)) {
           if (access::HistoryCache::Entry entry = t.group->cache().Get(v)) {
             ++t.stats.late_hits;
+            HW_TRACE_INSTANT_ARGS(options_.tracer, trace_track_, "late_hit",
+                                  "\"node\":" + std::to_string(v) +
+                                      ",\"tenant\":" + std::to_string(tenant));
             return access::AsyncFetcher::Fetched{std::move(entry),
                                                  /*charged_this_call=*/false};
           }
@@ -335,6 +311,9 @@ util::Result<access::AsyncFetcher::Fetched> RequestPipeline::FetchSharedForImpl(
         pending_.emplace(key, std::move(pending));
         queue_->Enqueue(tenant, v);
         ++t.stats.submitted;
+        HW_TRACE_INSTANT_ARGS(options_.tracer, trace_track_, "enqueue",
+                              "\"node\":" + std::to_string(v) +
+                                  ",\"tenant\":" + std::to_string(tenant));
         t.stats.max_queue_depth =
             std::max(t.stats.max_queue_depth, queue_->queued(tenant));
         global_max_queue_depth_ =
@@ -376,8 +355,12 @@ void RequestPipeline::WorkerLoop() {
       HW_CHECK(tenant.group != nullptr);
       group = tenant.group;
       // Wait accounting happens at drain time, under the same lock as the
-      // pick, so histograms are exact whatever the worker count.
-      for (uint64_t wait : batch.waits) tenant.stats.wait.Record(wait);
+      // pick, so histograms are exact whatever the worker count. The same
+      // waits feed the group's scraped histogram.
+      for (uint64_t wait : batch.waits) {
+        tenant.stats.wait.Record(wait);
+        group->obs().pipeline_wait->Observe(wait);
+      }
       // Leftover work belongs to another worker.
       if (queue_->queued() > 0) work_cv_.notify_one();
     }
@@ -387,6 +370,10 @@ void RequestPipeline::WorkerLoop() {
 
 void RequestPipeline::ProcessBatch(const TenantQueue::Batch& batch,
                                    access::SharedAccessGroup* group) {
+  // 'X' complete events (not B/E spans) so concurrent workers' batches
+  // can't corrupt span nesting on the shared pipeline track.
+  const uint64_t batch_start_us =
+      options_.tracer != nullptr ? options_.tracer->NowUs() : 0;
   // Claim the tenant's budget per node before touching the wire; refused
   // ids never issue (same no-accounting semantics as the sync miss path).
   std::vector<graph::NodeId> to_fetch;
@@ -460,6 +447,22 @@ void RequestPipeline::ProcessBatch(const TenantQueue::Batch& batch,
       }
     }
   }
+  if (options_.tracer != nullptr) {
+    const uint64_t now_us = options_.tracer->NowUs();
+    options_.tracer->Complete(
+        trace_track_, "batch", batch_start_us, now_us - batch_start_us,
+        "\"tenant\":" + std::to_string(batch.tenant) +
+            ",\"items\":" + std::to_string(to_fetch.size()) +
+            ",\"refused\":" + std::to_string(refused.size()));
+  }
+  // "deliver" is emitted BEFORE set_value: fulfilling wakes the waiting
+  // walker, which may emit its next enqueue immediately — tracing after
+  // the wake would race that event on this track and break the serial
+  // stream's byte-determinism.
+  HW_TRACE_INSTANT_ARGS(options_.tracer, trace_track_, "deliver",
+                        "\"tenant\":" + std::to_string(batch.tenant) +
+                            ",\"replies\":" +
+                            std::to_string(to_fulfill.size()));
   for (auto& [pending, reply] : to_fulfill) {
     pending->promise.set_value(std::move(reply));
   }

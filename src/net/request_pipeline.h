@@ -14,6 +14,8 @@
 
 #include "access/async_fetcher.h"
 #include "access/shared_access.h"
+#include "obs/histogram.h"
+#include "obs/trace.h"
 
 // Batched, deduplicated, tenant-fair fetch client for a (simulated or real)
 // remote backend — the AsyncFetcher implementation behind RunEnsembleAsync
@@ -82,32 +84,20 @@ struct RequestPipelineOptions {
   // service's shared-history mode); turn off when tenants run isolated
   // caches, so each tenant's miss fills its own cache.
   bool cross_tenant_dedup = true;
+  // Optional tracer (must outlive the pipeline). The pipeline registers a
+  // "pipeline" track and emits enqueue / singleflight_join / late_hit
+  // instants plus one 'X' complete event per drained batch and a deliver
+  // instant per fulfilled reply.
+  obs::Tracer* tracer = nullptr;
 };
 
-// Compact log2-bucketed histogram of per-item queue waits, measured in
-// "items drained to the wire between this id's submit and its own drain".
-// That unit is what fairness bounds: under kFairWeighted a light tenant's
-// wait is O(active tenants * max_batch) however deep a greedy co-tenant's
+// Log2-bucketed histogram of per-item queue waits, measured in "items
+// drained to the wire between this id's submit and its own drain". That
+// unit is what fairness bounds: under kFairWeighted a light tenant's wait
+// is O(active tenants * max_batch) however deep a greedy co-tenant's
 // queue grows, while under kFifo it grows with the total queue depth.
-struct WaitHistogram {
-  static constexpr size_t kBuckets = 32;
-  // buckets[0] counts waits of 0; buckets[i] counts waits in
-  // [2^(i-1), 2^i) for i >= 1.
-  std::array<uint64_t, kBuckets> buckets{};
-  uint64_t count = 0;
-  uint64_t sum = 0;
-  uint64_t max = 0;
-
-  void Record(uint64_t wait);
-  double Mean() const {
-    return count == 0 ? 0.0
-                      : static_cast<double>(sum) / static_cast<double>(count);
-  }
-  // Upper bound of the bucket holding the q-quantile (q in [0, 1]); 0 when
-  // empty. An upper bound, never an underestimate — safe for starvation
-  // assertions.
-  uint64_t Quantile(double q) const;
-};
+// The machinery itself lives in obs/histogram.h so every layer shares it.
+using WaitHistogram = obs::Log2Histogram;
 
 // Per-tenant accounting, exposed through RequestPipeline::tenant_stats().
 struct TenantPipelineStats {
@@ -323,6 +313,7 @@ class RequestPipeline final : public access::AsyncFetcher {
 
   RequestPipelineOptions options_;
   uint32_t num_shards_ = 0;  // fixed by the first registered tenant's cache
+  uint32_t trace_track_ = 0;  // "pipeline" track when options_.tracer set
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;

@@ -1,0 +1,83 @@
+#ifndef HISTWALK_OBS_HISTOGRAM_H_
+#define HISTWALK_OBS_HISTOGRAM_H_
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+// Compact log2-bucketed histogram, promoted out of net/request_pipeline.h
+// so every layer can record latency-ish distributions into the metrics
+// registry (obs/registry.h) with the exact machinery the pipeline fairness
+// experiments already trust. The unit is whatever the caller records —
+// queue waits in drained items, durations in simulated microseconds — the
+// bucketing only assumes a non-negative integer.
+
+namespace histwalk::obs {
+
+struct Log2Histogram {
+  static constexpr size_t kBuckets = 32;
+  // buckets[0] counts values of 0; buckets[i] counts values in
+  // [2^(i-1), 2^i) for i >= 1.
+  std::array<uint64_t, kBuckets> buckets{};
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+
+  static size_t BucketOf(uint64_t value) {
+    if (value == 0) return 0;
+    size_t bucket = 1;
+    while (bucket + 1 < kBuckets && (value >> bucket) != 0) {
+      ++bucket;
+    }
+    return bucket;
+  }
+
+  // Inclusive upper bound of bucket b: 0, 1, 3, 7, ..., 2^b - 1.
+  static uint64_t BucketUpperBound(size_t bucket) {
+    if (bucket == 0) return 0;
+    return (uint64_t{1} << bucket) - 1;
+  }
+
+  void Record(uint64_t value) {
+    ++buckets[BucketOf(value)];
+    ++count;
+    sum += value;
+    if (value > max) max = value;
+  }
+
+  // Pointwise accumulation; Quantile/Mean of the merged histogram are the
+  // bucket-resolution quantile/mean of the combined population.
+  void Merge(const Log2Histogram& other) {
+    for (size_t b = 0; b < kBuckets; ++b) buckets[b] += other.buckets[b];
+    count += other.count;
+    sum += other.sum;
+    if (other.max > max) max = other.max;
+  }
+
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  // Upper bound of the bucket holding the q-quantile (q in [0, 1]); 0 when
+  // empty. An upper bound, never an underestimate — safe for starvation
+  // assertions.
+  uint64_t Quantile(double q) const {
+    if (count == 0) return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    const uint64_t rank =
+        static_cast<uint64_t>(std::ceil(q * static_cast<double>(count)));
+    uint64_t seen = 0;
+    for (size_t b = 0; b < kBuckets; ++b) {
+      seen += buckets[b];
+      if (seen >= rank) return std::min(BucketUpperBound(b), max);
+    }
+    return max;
+  }
+};
+
+}  // namespace histwalk::obs
+
+#endif  // HISTWALK_OBS_HISTOGRAM_H_

@@ -1,0 +1,170 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <fstream>
+
+#include "util/check.h"
+
+namespace histwalk::obs {
+
+namespace {
+
+uint64_t WallNowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void AppendEscaped(std::string& out, std::string_view text) {
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+}
+
+}  // namespace
+
+Tracer::Tracer() : Tracer(Options()) {}
+
+Tracer::Tracer(Options options) : options_(std::move(options)) {}
+
+void Tracer::set_clock(std::function<uint64_t()> clock) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_.clock = std::move(clock);
+}
+
+uint32_t Tracer::RegisterTrack(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) return it->second;
+  const uint32_t id = static_cast<uint32_t>(tracks_.size());
+  auto track = std::make_unique<Track>();
+  track->name = name;
+  tracks_.push_back(std::move(track));
+  by_name_.emplace(name, id);
+  return id;
+}
+
+Tracer::Track& Tracer::track(uint32_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  HW_CHECK(id < tracks_.size());
+  return *tracks_[id];
+}
+
+void Tracer::Append(uint32_t track_id, Event event) {
+  // Clock reads happen outside the track lock; per-track event order is
+  // append order, which for a serial request stream equals program order.
+  std::function<uint64_t()> clock;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    clock = options_.clock;
+  }
+  const bool wall = options_.wall_clock;
+  const uint64_t wall_us = wall ? WallNowUs() : 0;
+  Track& t = track(track_id);
+  std::lock_guard<std::mutex> lock(t.mu);
+  if (event.ph != 'X') {
+    event.ts = clock ? clock() : t.ticks++;
+  }
+  if (wall) {
+    if (!event.args.empty()) event.args += ',';
+    event.args += "\"wall_us\":" + std::to_string(wall_us);
+  }
+  t.events.push_back(std::move(event));
+}
+
+void Tracer::Begin(uint32_t track, const char* name, std::string args) {
+  Append(track, Event{'B', name, 0, 0, std::move(args)});
+}
+
+void Tracer::End(uint32_t track, const char* name) {
+  Append(track, Event{'E', name, 0, 0, {}});
+}
+
+void Tracer::Instant(uint32_t track, const char* name, std::string args) {
+  Append(track, Event{'i', name, 0, 0, std::move(args)});
+}
+
+void Tracer::Complete(uint32_t track, const char* name, uint64_t ts_us,
+                      uint64_t dur_us, std::string args) {
+  Append(track, Event{'X', name, ts_us, dur_us, std::move(args)});
+}
+
+uint64_t Tracer::num_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& track : tracks_) {
+    std::lock_guard<std::mutex> track_lock(track->mu);
+    total += track->events.size();
+  }
+  return total;
+}
+
+std::string Tracer::ToChromeJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  // Track-name metadata first, ascending track id.
+  for (size_t id = 0; id < tracks_.size(); ++id) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(id);
+    out += ",\"args\":{\"name\":\"";
+    AppendEscaped(out, tracks_[id]->name);
+    out += "\"}}";
+  }
+  for (size_t id = 0; id < tracks_.size(); ++id) {
+    const Track& t = *tracks_[id];
+    std::lock_guard<std::mutex> track_lock(t.mu);
+    for (const Event& e : t.events) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"name\":\"";
+      AppendEscaped(out, e.name);
+      out += "\",\"ph\":\"";
+      out += e.ph;
+      out += "\",\"pid\":1,\"tid\":";
+      out += std::to_string(id);
+      out += ",\"ts\":";
+      out += std::to_string(e.ts);
+      if (e.ph == 'X') {
+        out += ",\"dur\":";
+        out += std::to_string(e.dur);
+      }
+      if (e.ph == 'i') {
+        out += ",\"s\":\"t\"";  // thread-scoped instant
+      }
+      if (!e.args.empty()) {
+        out += ",\"args\":{";
+        out += e.args;  // pre-rendered JSON body, caller-guaranteed valid
+        out += '}';
+      }
+      out += '}';
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+util::Status Tracer::WriteTo(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return util::Status::Unavailable("cannot open trace output: " + path);
+  }
+  out << ToChromeJson();
+  out.flush();
+  if (!out) {
+    return util::Status::DataLoss("short write to trace output: " + path);
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace histwalk::obs

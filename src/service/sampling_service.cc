@@ -28,6 +28,11 @@ ServiceOptions NormalizeServiceOptions(ServiceOptions options) {
   // never lands in its own private cache. Derive the dedup scope from the
   // sharing mode so callers cannot get an inconsistent combination.
   if (!options.share_history) options.pipeline.cross_tenant_dedup = false;
+  // One tracer covers the whole service: forward it into the pipeline
+  // unless the caller wired a different one there explicitly.
+  if (options.pipeline.tracer == nullptr) {
+    options.pipeline.tracer = options.tracer;
+  }
   return options;
 }
 
@@ -110,6 +115,7 @@ util::Result<SessionId> SamplingService::Submit(const SessionOptions& options) {
   session->options = options;
   access::SharedAccessOptions group_options;
   group_options.query_budget = options.tenant_query_budget;
+  group_options.registry = options_.registry;
   if (options_.share_history) {
     session->group = std::make_unique<access::SharedAccessGroup>(
         backend_, shared_cache_, group_options);
@@ -123,6 +129,13 @@ util::Result<SessionId> SamplingService::Submit(const SessionOptions& options) {
     group_options.cache = options_.cache;
     session->group = std::make_unique<access::SharedAccessGroup>(
         backend_, group_options);
+  }
+  if (options_.flight_recorder_capacity > 0) {
+    // Per-session ring on the service clock: the report's "why was I
+    // slow / refused?" tail without a full trace file.
+    session->flight = std::make_unique<obs::FlightRecorder>(
+        options_.flight_recorder_capacity, [this] { return ClockNowUs(); });
+    session->group->set_flight_recorder(session->flight.get());
   }
   session->tenant = pipeline_.AddTenant(session->group.get(), options.weight);
   session->group->set_async_fetcher(pipeline_.tenant_fetcher(session->tenant));
@@ -142,6 +155,7 @@ void SamplingService::RunSession(Session* session) {
   ensemble_options.seed = session->options.seed;
   ensemble_options.max_steps = session->options.max_steps;
   ensemble_options.query_budget = session->options.query_budget;
+  ensemble_options.tracer = options_.tracer;
   auto result = estimate::RunEnsembleAttached(
       *session->group, session->options.walker, ensemble_options);
   const uint64_t done_us = ClockNowUs();
@@ -151,6 +165,9 @@ void SamplingService::RunSession(Session* session) {
     session->report.ensemble = *std::move(result);
     session->report.charged_queries = session->group->charged_queries();
     session->report.pipeline = pipeline_.tenant_stats(session->tenant);
+    if (session->flight != nullptr) {
+      session->report.flight = session->flight->TakeLog();
+    }
     session->report.done_clock_us = done_us;
     session->state = SessionState::kDone;
     ++completed_;

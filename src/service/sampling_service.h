@@ -15,6 +15,9 @@
 #include "core/walker_factory.h"
 #include "estimate/ensemble_runner.h"
 #include "net/request_pipeline.h"
+#include "obs/flight_recorder.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "store/history_store.h"
 
 // The multi-tenant sampling service: the layer that turns the library into
@@ -121,6 +124,17 @@ struct ServiceOptions {
   // microseconds. Hook it to RemoteBackend::sim_now_us to measure
   // simulated wall-clock; nullptr = process steady clock.
   std::function<uint64_t()> clock;
+  // Metrics registry every session's group pushes its miss-outcome
+  // counters into (hw_access_* / hw_net_* names); null = obs::Global().
+  obs::Registry* registry = nullptr;
+  // Optional tracer shared by the service pipeline and every session's
+  // views; must outlive the service. Forwarded into pipeline.tracer when
+  // the caller left that unset.
+  obs::Tracer* tracer = nullptr;
+  // Per-session flight-recorder ring size: the last N miss-path outcomes
+  // (wire fetch / store hit / join / refusal / error) surfaced in
+  // SessionReport::flight. 0 disables recording.
+  uint32_t flight_recorder_capacity = 128;
 };
 
 // Everything a finished session reports, copyable after Wait().
@@ -133,6 +147,9 @@ struct SessionReport {
   net::TenantPipelineStats pipeline;
   // Backend fetches billed to this tenant (its group's counter).
   uint64_t charged_queries = 0;
+  // The tail of this session's miss-path outcomes (bounded ring, see
+  // ServiceOptions::flight_recorder_capacity). Empty when disabled.
+  obs::FlightLog flight;
   uint64_t submit_clock_us = 0;
   uint64_t done_clock_us = 0;
   uint64_t LatencyUs() const { return done_clock_us - submit_clock_us; }
@@ -199,6 +216,7 @@ class SamplingService {
     util::Status error;  // kFailed detail
     SessionReport report;
     std::unique_ptr<access::SharedAccessGroup> group;
+    std::unique_ptr<obs::FlightRecorder> flight;  // outlives group use
     net::TenantId tenant = 0;
     std::thread thread;  // joined by Detach or the destructor
   };

@@ -110,6 +110,10 @@ void HistoryStore::OnCacheInsert(graph::NodeId v,
   }
   ++stats_.appended_records;
   stats_.wal_bytes = wal_->file_bytes();
+  // Emitted under mu_ so store-track event order equals journal order.
+  HW_TRACE_INSTANT_ARGS(tracer_, trace_track_, "journal_append",
+                        "\"node\":" + std::to_string(v) + ",\"neighbors\":" +
+                            std::to_string(neighbors.size()));
   if (options_.checkpoint_wal_bytes == 0 ||
       wal_->file_bytes() < options_.checkpoint_wal_bytes) {
     return;
@@ -307,9 +311,16 @@ util::Status HistoryStore::Checkpoint(const access::HistoryCache& cache) {
 
 util::Status HistoryStore::CheckpointLocked(
     const access::HistoryCache& cache) {
+  const uint64_t ckpt_start_us =
+      tracer_ != nullptr ? tracer_->NowUs() : 0;
   auto written =
       WriteSnapshot(cache, options_.snapshot_path, options_.num_threads);
   if (!written.ok()) return written.status();
+  if (tracer_ != nullptr) {
+    tracer_->Complete(trace_track_, "checkpoint", ckpt_start_us,
+                      tracer_->NowUs() - ckpt_start_us,
+                      "\"entries\":" + std::to_string(cache.stats().entries));
+  }
   if (wal_ != nullptr) {
     HW_RETURN_IF_ERROR(wal_->Reset());
     stats_.wal_bytes = wal_->file_bytes();
@@ -319,6 +330,12 @@ util::Status HistoryStore::CheckpointLocked(
   RetireFoldSegments(fold_segments_.size());
   ++stats_.checkpoints;
   return util::Status::Ok();
+}
+
+void HistoryStore::set_tracer(obs::Tracer* tracer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tracer_ = tracer;
+  if (tracer_ != nullptr) trace_track_ = tracer_->RegisterTrack("store");
 }
 
 util::Status HistoryStore::Flush() {

@@ -10,6 +10,7 @@
 
 #include "access/history_cache.h"
 #include "access/history_journal.h"
+#include "obs/trace.h"
 #include "store/snapshot.h"
 #include "store/wal.h"
 
@@ -154,6 +155,11 @@ class HistoryStore final : public access::HistoryJournal {
 
   util::Status Flush();
 
+  // Attaches (or detaches, with nullptr) a tracer: journal appends become
+  // instants and checkpoints 'X' complete events on a "store" track. The
+  // tracer must outlive the attachment; attach before journaling starts.
+  void set_tracer(obs::Tracer* tracer);
+
   // Blocks until no background checkpoint is queued or running. Tests and
   // shutdown sequencing use this; ~HistoryStore calls it implicitly.
   void WaitForIdle();
@@ -198,6 +204,8 @@ class HistoryStore final : public access::HistoryJournal {
 
   HistoryStoreOptions options_;
   std::unique_ptr<WalWriter> wal_;  // null when the WAL is disabled
+  obs::Tracer* tracer_ = nullptr;
+  uint32_t trace_track_ = 0;  // "store" track when tracer_ set
 
   mutable std::mutex mu_;  // serializes appends, checkpoints, stats
   HistoryStoreStats stats_;

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "obs/registry.h"
+
+// Unit coverage of the metrics registry: the Log2Histogram contract
+// (bucketing, merge, the empty-histogram Quantile regression), striped
+// counter correctness under contention, pull collectors and their RAII
+// handles, and both scrape renderings. The concurrency tests double as
+// the TSan target for the obs/ subsystem (see .github/workflows/ci.yml).
+
+namespace histwalk::obs {
+namespace {
+
+TEST(Log2HistogramTest, BucketBoundaries) {
+  EXPECT_EQ(Log2Histogram::BucketOf(0), 0u);
+  EXPECT_EQ(Log2Histogram::BucketOf(1), 1u);
+  EXPECT_EQ(Log2Histogram::BucketOf(2), 2u);
+  EXPECT_EQ(Log2Histogram::BucketOf(3), 2u);
+  EXPECT_EQ(Log2Histogram::BucketOf(4), 3u);
+  EXPECT_EQ(Log2Histogram::BucketOf(UINT64_MAX), Log2Histogram::kBuckets - 1);
+  EXPECT_EQ(Log2Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(Log2Histogram::BucketUpperBound(3), 7u);
+}
+
+// Regression: Quantile on a never-recorded histogram must return 0, not
+// scan garbage or divide by zero. This is hit in production whenever a
+// scrape lands before the first pipeline batch drains.
+TEST(Log2HistogramTest, EmptyHistogramQuantileIsZero) {
+  Log2Histogram h;
+  EXPECT_EQ(h.Quantile(0.0), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+  EXPECT_EQ(h.Quantile(1.0), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.count, 0u);
+}
+
+TEST(Log2HistogramTest, QuantileIsAnUpperBoundCappedAtMax) {
+  Log2Histogram h;
+  for (uint64_t v : {1, 1, 2, 5, 9}) h.Record(v);
+  EXPECT_EQ(h.count, 5u);
+  EXPECT_EQ(h.max, 9u);
+  // p100 lands in bucket [8, 15] but is capped at the observed max.
+  EXPECT_EQ(h.Quantile(1.0), 9u);
+  // p40 = rank 2 of {1,1,2,5,9} -> the two 1s, bucket upper bound 1.
+  EXPECT_EQ(h.Quantile(0.4), 1u);
+}
+
+TEST(Log2HistogramTest, MergeMatchesCombinedPopulation) {
+  Log2Histogram a, b, combined;
+  for (uint64_t v : {0, 1, 7, 7, 100}) { a.Record(v); combined.Record(v); }
+  for (uint64_t v : {3, 300, 4000}) { b.Record(v); combined.Record(v); }
+  a.Merge(b);
+  EXPECT_EQ(a.count, combined.count);
+  EXPECT_EQ(a.sum, combined.sum);
+  EXPECT_EQ(a.max, combined.max);
+  EXPECT_EQ(a.buckets, combined.buckets);
+  for (double q : {0.0, 0.25, 0.5, 0.9, 1.0}) {
+    EXPECT_EQ(a.Quantile(q), combined.Quantile(q)) << "q=" << q;
+  }
+
+  Log2Histogram empty;
+  a.Merge(empty);  // merging an empty histogram is a no-op
+  EXPECT_EQ(a.count, combined.count);
+  EXPECT_EQ(a.Quantile(0.5), combined.Quantile(0.5));
+}
+
+TEST(RegistryTest, InstrumentPointersAreStableAndDeduplicated) {
+  Registry registry;
+  Counter* c1 = registry.counter("hw_test_ops_total");
+  Counter* c2 = registry.counter("hw_test_ops_total");
+  EXPECT_EQ(c1, c2);
+  Counter* labelled = registry.counter("hw_test_ops_total", "tenant=\"1\"");
+  EXPECT_NE(c1, labelled);
+  c1->Inc();
+  c1->Inc(4);
+  labelled->Inc(7);
+  EXPECT_EQ(c1->Value(), 5u);
+  EXPECT_EQ(labelled->Value(), 7u);
+}
+
+TEST(RegistryTest, ScrapeIsSortedByNameThenLabels) {
+  Registry registry;
+  registry.counter("hw_z_total")->Inc();
+  registry.gauge("hw_a_depth")->Set(3);
+  registry.counter("hw_m_total", "tier=\"b\"")->Inc(2);
+  registry.counter("hw_m_total", "tier=\"a\"")->Inc(1);
+  const ScrapeResult scrape = registry.Scrape();
+  ASSERT_EQ(scrape.samples.size(), 4u);
+  EXPECT_EQ(scrape.samples[0].name, "hw_a_depth");
+  EXPECT_EQ(scrape.samples[1].labels, "tier=\"a\"");
+  EXPECT_EQ(scrape.samples[2].labels, "tier=\"b\"");
+  EXPECT_EQ(scrape.samples[3].name, "hw_z_total");
+  EXPECT_EQ(scrape.Value("hw_m_total", "tier=\"b\""), 2);
+  EXPECT_EQ(scrape.Value("hw_absent_total"), 0);
+  EXPECT_EQ(scrape.Find("hw_absent_total"), nullptr);
+}
+
+TEST(RegistryTest, ConcurrentIncrementsAreExact) {
+  Registry registry;
+  Counter* counter = registry.counter("hw_test_contended_total");
+  Histogram* hist = registry.histogram("hw_test_contended_us");
+  Gauge* gauge = registry.gauge("hw_test_level");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Inc();
+        hist->Observe(static_cast<uint64_t>(i % 64));
+        gauge->Add(t % 2 == 0 ? 1 : -1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter->Value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(hist->Snapshot().count,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(gauge->Value(), 0);
+}
+
+// Scraping while writers hammer the instruments must be race-free (TSan
+// enforces this) and every scrape must see internally consistent
+// histograms (count == sum of buckets).
+TEST(RegistryTest, ScrapeConcurrentWithWritersIsConsistent) {
+  Registry registry;
+  Counter* counter = registry.counter("hw_test_live_total");
+  Histogram* hist = registry.histogram("hw_test_live_us");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        counter->Inc();
+        hist->Observe(i++ % 128);
+      }
+    });
+  }
+  for (int s = 0; s < 50; ++s) {
+    const ScrapeResult scrape = registry.Scrape();
+    const Sample* sample = scrape.Find("hw_test_live_us");
+    ASSERT_NE(sample, nullptr);
+    uint64_t bucket_total = 0;
+    for (uint64_t b : sample->hist.buckets) bucket_total += b;
+    EXPECT_EQ(bucket_total, sample->hist.count);
+  }
+  stop.store(true);
+  for (auto& writer : writers) writer.join();
+  const ScrapeResult final_scrape = registry.Scrape();
+  EXPECT_EQ(static_cast<uint64_t>(final_scrape.Value("hw_test_live_total")),
+            counter->Value());
+}
+
+TEST(RegistryTest, CollectorHandleUnregistersOnDestruction) {
+  Registry registry;
+  {
+    Registry::CollectorHandle handle =
+        registry.AddCollector([](std::vector<Sample>& out) {
+          Sample sample;
+          sample.name = "hw_test_collected_total";
+          sample.kind = SampleKind::kCounter;
+          sample.value = 42;
+          out.push_back(std::move(sample));
+        });
+    EXPECT_EQ(registry.Scrape().Value("hw_test_collected_total"), 42);
+  }
+  EXPECT_EQ(registry.Scrape().Find("hw_test_collected_total"), nullptr);
+
+  // Moved-from handles must not unregister twice.
+  Registry::CollectorHandle a = registry.AddCollector(
+      [](std::vector<Sample>& out) {
+        Sample sample;
+        sample.name = "hw_test_moved_total";
+        out.push_back(std::move(sample));
+      });
+  Registry::CollectorHandle b = std::move(a);
+  EXPECT_NE(registry.Scrape().Find("hw_test_moved_total"), nullptr);
+  b.reset();
+  EXPECT_EQ(registry.Scrape().Find("hw_test_moved_total"), nullptr);
+}
+
+TEST(RegistryTest, PrometheusTextRendersTypesAndHistogramSeries) {
+  Registry registry;
+  registry.counter("hw_test_reqs_total", "tier=\"wire\"")->Inc(3);
+  registry.gauge("hw_test_depth")->Set(-2);
+  registry.histogram("hw_test_wait_us")->Observe(5);
+  const std::string text = registry.Scrape().ToPrometheusText();
+  EXPECT_NE(text.find("# TYPE hw_test_reqs_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("hw_test_reqs_total{tier=\"wire\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("hw_test_depth -2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE hw_test_wait_us histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("hw_test_wait_us_count 1"), std::string::npos);
+  EXPECT_NE(text.find("hw_test_wait_us_sum 5"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+}
+
+TEST(RegistryTest, WriteScrapePicksFormatFromExtension) {
+  Registry registry;
+  registry.counter("hw_test_written_total")->Inc(9);
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string prom = (dir / "obs_registry_test.prom").string();
+  const std::string json = (dir / "obs_registry_test.json").string();
+  ASSERT_TRUE(registry.WriteScrape(prom).ok());
+  ASSERT_TRUE(registry.WriteScrape(json).ok());
+  std::stringstream prom_body, json_body;
+  prom_body << std::ifstream(prom).rdbuf();
+  json_body << std::ifstream(json).rdbuf();
+  EXPECT_NE(prom_body.str().find("hw_test_written_total 9"),
+            std::string::npos);
+  EXPECT_EQ(json_body.str().rfind("{", 0), 0u);  // a JSON document
+  EXPECT_NE(json_body.str().find("\"hw_test_written_total\""),
+            std::string::npos);
+  std::filesystem::remove(prom);
+  std::filesystem::remove(json);
+}
+
+}  // namespace
+}  // namespace histwalk::obs

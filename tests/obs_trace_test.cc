@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "api/sampler.h"
+#include "graph/generators.h"
+#include "obs/trace.h"
+#include "util/random.h"
+
+// Pins the tracer's headline contract: for a fixed seed and a serial
+// request stream (one walker), the emitted Chrome trace-event JSON is
+// BYTE-IDENTICAL whatever executed it — inline across thread counts, and
+// pipelined (real shard-worker concurrency + a simulated wire clock)
+// across repeated runs. Plus unit coverage of tracks, logical ticks and
+// the null-tracer macro seam. scripts/trace_demo.sh pins the same
+// property end-to-end through crawl_cli.
+
+namespace histwalk::obs {
+namespace {
+
+namespace api = histwalk::api;
+
+graph::Graph TestGraph() {
+  util::Random rng(13);
+  return graph::MakeWattsStrogatz(/*n=*/300, /*k=*/6, /*beta=*/0.15, rng);
+}
+
+size_t CountOccurrences(const std::string& haystack,
+                        const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(TracerTest, TracksDeduplicateByNameAndTickLogically) {
+  Tracer tracer;
+  const uint32_t a = tracer.RegisterTrack("wire");
+  const uint32_t b = tracer.RegisterTrack("pipeline");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(tracer.RegisterTrack("wire"), a);
+  EXPECT_FALSE(tracer.has_clock());
+  EXPECT_EQ(tracer.NowUs(), 0u);
+
+  tracer.Begin(a, "fetch");
+  tracer.Instant(a, "probe", R"("node":7)");
+  tracer.End(a, "fetch");
+  tracer.Complete(b, "batch", /*ts_us=*/100, /*dur_us=*/40);
+  EXPECT_EQ(tracer.num_events(), 4u);
+
+  const std::string json = tracer.ToChromeJson();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  // Per-track thread_name metadata precedes the events.
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("\"wire\""), std::string::npos);
+  EXPECT_NE(json.find("\"pipeline\""), std::string::npos);
+  EXPECT_NE(json.find("\"node\":7"), std::string::npos);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"B\""),
+            CountOccurrences(json, "\"ph\":\"E\""));
+}
+
+TEST(TracerTest, NullTracerMacrosAreFreeAndDontEvaluateArgs) {
+  Tracer* tracer = nullptr;
+  bool args_evaluated = false;
+  auto render = [&args_evaluated] {
+    args_evaluated = true;
+    return std::string(R"("k":1)");
+  };
+  {
+    HW_TRACE_SPAN(tracer, 0, "noop");
+    HW_TRACE_SPAN_ARGS(tracer, 0, "noop_args", render());
+    HW_TRACE_INSTANT(tracer, 0, "noop_instant");
+    HW_TRACE_INSTANT_ARGS(tracer, 0, "noop_instant_args", render());
+  }
+  // The whole point of the macro seam: untraced hot paths never build
+  // args strings.
+  EXPECT_FALSE(args_evaluated);
+
+  Tracer live;
+  const uint32_t track = live.RegisterTrack("t");
+  {
+    HW_TRACE_SPAN_ARGS(&live, track, "span", render());
+  }
+  EXPECT_TRUE(args_evaluated);
+  EXPECT_EQ(live.num_events(), 2u);
+}
+
+// Assembles the full stack with a fresh tracer and returns the trace
+// bytes of one fixed-seed run.
+std::string InlineTraceBytes(const graph::Graph& graph,
+                             unsigned num_threads) {
+  Tracer tracer;
+  auto sampler = api::SamplerBuilder()
+                     .OverGraph(&graph)
+                     .WithWalker({.type = core::WalkerType::kCnrw})
+                     .WithEnsemble(/*num_walkers=*/1, /*seed=*/21)
+                     .StopAfterSteps(150)
+                     .RunInline(num_threads)
+                     .WithObservability({.tracer = &tracer})
+                     .Build();
+  EXPECT_TRUE(sampler.ok()) << sampler.status();
+  auto handle = (*sampler)->Run();
+  EXPECT_TRUE(handle.ok()) << handle.status();
+  auto report = handle->Wait();
+  EXPECT_TRUE(report.ok()) << report.status();
+  return tracer.ToChromeJson();
+}
+
+TEST(TraceDeterminismTest, InlineTraceBytesIdenticalAcrossThreadCounts) {
+  graph::Graph graph = TestGraph();
+  const std::string t1 = InlineTraceBytes(graph, /*num_threads=*/1);
+  const std::string t8 = InlineTraceBytes(graph, /*num_threads=*/8);
+  EXPECT_GT(t1.size(), 100u);
+  EXPECT_GT(CountOccurrences(t1, "\"ph\":\"B\""), 0u);
+  EXPECT_EQ(t1, t8);
+}
+
+std::string PipelinedTraceBytes(const graph::Graph& graph) {
+  Tracer tracer;
+  auto sampler = api::SamplerBuilder()
+                     .OverGraph(&graph)
+                     .WithRemoteWire({.seed = 5,
+                                      .base_latency_us = 1000,
+                                      .jitter_us = 500})
+                     .WithWalker({.type = core::WalkerType::kCnrw})
+                     .WithEnsemble(/*num_walkers=*/1, /*seed=*/21)
+                     .StopAfterSteps(150)
+                     .RunPipelined({.depth = 4})
+                     .WithObservability({.tracer = &tracer})
+                     .Build();
+  EXPECT_TRUE(sampler.ok()) << sampler.status();
+  auto handle = (*sampler)->Run();
+  EXPECT_TRUE(handle.ok()) << handle.status();
+  auto report = handle->Wait();
+  EXPECT_TRUE(report.ok()) << report.status();
+  return tracer.ToChromeJson();
+}
+
+// The pipelined stack has real concurrency (shard workers, batching, the
+// simulated wire) — the trace must still serialize identically run to
+// run because every event is stamped with the deterministic sim clock on
+// a logical track.
+TEST(TraceDeterminismTest, PipelinedTraceBytesIdenticalRunToRun) {
+  graph::Graph graph = TestGraph();
+  const std::string a = PipelinedTraceBytes(graph);
+  const std::string b = PipelinedTraceBytes(graph);
+  EXPECT_GT(a.size(), 100u);
+  // Wire requests ride as 'X' complete events with sim-clock timestamps.
+  EXPECT_GT(CountOccurrences(a, "\"ph\":\"X\""), 0u);
+  EXPECT_EQ(CountOccurrences(a, "\"ph\":\"B\""),
+            CountOccurrences(a, "\"ph\":\"E\""));
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace histwalk::obs
