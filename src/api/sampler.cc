@@ -400,6 +400,11 @@ util::Result<std::unique_ptr<Sampler>> SamplerBuilder::Build() const {
     HW_RETURN_IF_ERROR(attributes_->Find(estimand_.attribute).status());
   }
 
+  // Observability is opt-in: without WithObservability the capacity
+  // default (128) must not switch flight recording on by itself, mirroring
+  // how has_obs_ gates collector registration below.
+  const uint32_t flight_capacity = has_obs_ ? obs_.flight_recorder_capacity : 0;
+
   // Observability seams wire before the group/service/pipeline exist so
   // trace tracks register in a deterministic order: "wire", "store",
   // "pipeline" (at pipeline construction), then "walker i" at run start.
@@ -408,6 +413,9 @@ util::Result<std::unique_ptr<Sampler>> SamplerBuilder::Build() const {
       obs_.tracer->set_clock([remote = sampler->remote_.get()] {
         return remote->sim_now_us();
       });
+      // The clock reads the sampler-owned RemoteBackend; ~Sampler clears
+      // it so the caller-owned tracer never stamps through a dead wire.
+      sampler->installed_tracer_clock_ = true;
     }
     if (sampler->remote_ != nullptr) sampler->remote_->set_tracer(obs_.tracer);
     if (sampler->store_ != nullptr) sampler->store_->set_tracer(obs_.tracer);
@@ -426,7 +434,7 @@ util::Result<std::unique_ptr<Sampler>> SamplerBuilder::Build() const {
     options.store = sampler->store_;
     options.registry = obs_.registry;
     options.tracer = obs_.tracer;
-    options.flight_recorder_capacity = obs_.flight_recorder_capacity;
+    options.flight_recorder_capacity = flight_capacity;
     if (sampler->remote_ != nullptr) {
       options.clock = [remote = sampler->remote_.get()] {
         return remote->sim_now_us();
@@ -463,7 +471,7 @@ util::Result<std::unique_ptr<Sampler>> SamplerBuilder::Build() const {
         sampler->group_->set_history_tier(sampler->store_tier_.get());
       }
     }
-    if (obs_.flight_recorder_capacity > 0) {
+    if (flight_capacity > 0) {
       std::function<uint64_t()> clock;
       if (sampler->remote_ != nullptr) {
         clock = [remote = sampler->remote_.get()] {
@@ -471,7 +479,7 @@ util::Result<std::unique_ptr<Sampler>> SamplerBuilder::Build() const {
         };
       }
       sampler->flight_ = std::make_unique<obs::FlightRecorder>(
-          obs_.flight_recorder_capacity, std::move(clock));
+          flight_capacity, std::move(clock));
       sampler->group_->set_flight_recorder(sampler->flight_.get());
     }
   }
@@ -499,6 +507,10 @@ Sampler::~Sampler() {
     std::unique_lock<std::mutex> lock(active->mu);
     active->WaitDoneLocked(lock);
   }
+  // Build() wired the tracer's clock to the sampler-owned RemoteBackend;
+  // the tracer outlives us, so sever that pointer (later events fall back
+  // to per-track logical ticks) before the backend is destroyed.
+  if (installed_tracer_clock_) obs_.tracer->set_clock(nullptr);
   // Unregister the scrape collectors before the layers they read go away
   // (a concurrent Scrape() must never observe a half-destroyed sampler).
   collectors_.clear();

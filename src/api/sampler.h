@@ -122,7 +122,9 @@ struct ObservabilityOptions {
   // deterministic order.
   obs::Tracer* tracer = nullptr;
   // Per-run (thread modes) / per-session (service mode) flight-recorder
-  // ring size; 0 disables. Surfaced as RunReport::flight.
+  // ring size; 0 disables. Surfaced as RunReport::flight. Like every
+  // observability seam, takes effect only via WithObservability — a
+  // builder that never opts in records nothing.
   uint32_t flight_recorder_capacity = 128;
 };
 
@@ -273,7 +275,7 @@ class SamplerBuilder {
   // pipeline / service / charged-queries) with the chosen registry. The
   // group's miss-outcome counters are pushed to ObservabilityOptions::
   // registry (or obs::Global()) even without this call; collectors — and
-  // therefore full Scrape() coverage — need it.
+  // therefore full Scrape() coverage — and the flight recorder need it.
   SamplerBuilder& WithObservability(ObservabilityOptions obs = {});
 
   // ---- execution mode -------------------------------------------------
@@ -395,6 +397,10 @@ class Sampler {
   EstimandSelection estimand_;
   const attr::AttributeTable* attributes_ = nullptr;
   ObservabilityOptions obs_;
+  // Build() injected the wire clock into the caller-owned tracer; the
+  // clock reads the sampler-owned RemoteBackend, so ~Sampler must clear
+  // it before the backend dies (the tracer outlives the Sampler).
+  bool installed_tracer_clock_ = false;
 
   // Ownership order matters: the store outlives the group/service that
   // journals into it; the remote wraps the inner backend.

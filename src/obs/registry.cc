@@ -95,9 +95,12 @@ std::string ScrapeResult::ToPrometheusText() const {
     }
     // Cumulative le buckets at the log2 upper bounds, then +Inf, _sum,
     // _count, _max — close enough to native Prometheus histograms for any
-    // text-format consumer, exact for ours.
+    // text-format consumer, exact for ours. The top bucket is the clamp
+    // bucket (BucketOf folds everything above its bound into it), so a
+    // finite le line there would claim a bound its observations can
+    // exceed; it renders only under le="+Inf".
     uint64_t cumulative = 0;
-    for (size_t b = 0; b < Log2Histogram::kBuckets; ++b) {
+    for (size_t b = 0; b + 1 < Log2Histogram::kBuckets; ++b) {
       cumulative += s.hist.buckets[b];
       if (s.hist.buckets[b] == 0 && b != 0) continue;  // keep output compact
       out += RenderName(
@@ -195,6 +198,10 @@ Histogram* Registry::histogram(std::string_view name,
 
 void Registry::CollectorHandle::reset() {
   if (registry_ == nullptr) return;
+  // collector_mu_ first (same order as Scrape): a scrape in flight may
+  // still be invoking this collector, and taking the scrape lock waits it
+  // out — after reset() returns the callback can never run again.
+  std::lock_guard<std::mutex> scrape_lock(registry_->collector_mu_);
   std::lock_guard<std::mutex> lock(registry_->mu_);
   registry_->collectors_.erase(id_);
   registry_ = nullptr;
@@ -209,32 +216,48 @@ Registry::CollectorHandle Registry::AddCollector(Collector collector) {
 
 ScrapeResult Registry::Scrape() const {
   ScrapeResult result;
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& [key, counter] : counters_) {
-    Sample s;
-    s.name = key.first;
-    s.labels = key.second;
-    s.kind = SampleKind::kCounter;
-    s.value = static_cast<int64_t>(counter->Value());
-    result.samples.push_back(std::move(s));
+  // Collectors must NOT run under mu_: their bodies read component stats
+  // under component locks, and those components resolve instruments (which
+  // takes mu_) on paths that hold the same component lock — running them
+  // here under mu_ closes a deadlock cycle (e.g. service Submit holds the
+  // service mutex -> mu_, while a scrape would hold mu_ -> service mutex).
+  // So: snapshot the instruments and the collector list under mu_, then
+  // invoke the collectors holding only collector_mu_, which reset() also
+  // takes so unregistration still waits out an in-flight scrape.
+  std::lock_guard<std::mutex> scrape_lock(collector_mu_);
+  std::vector<Collector> collectors;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [key, counter] : counters_) {
+      Sample s;
+      s.name = key.first;
+      s.labels = key.second;
+      s.kind = SampleKind::kCounter;
+      s.value = static_cast<int64_t>(counter->Value());
+      result.samples.push_back(std::move(s));
+    }
+    for (const auto& [key, gauge] : gauges_) {
+      Sample s;
+      s.name = key.first;
+      s.labels = key.second;
+      s.kind = SampleKind::kGauge;
+      s.value = gauge->Value();
+      result.samples.push_back(std::move(s));
+    }
+    for (const auto& [key, histogram] : histograms_) {
+      Sample s;
+      s.name = key.first;
+      s.labels = key.second;
+      s.kind = SampleKind::kHistogram;
+      s.hist = histogram->Snapshot();
+      result.samples.push_back(std::move(s));
+    }
+    collectors.reserve(collectors_.size());
+    for (const auto& [id, collector] : collectors_) {
+      collectors.push_back(collector);
+    }
   }
-  for (const auto& [key, gauge] : gauges_) {
-    Sample s;
-    s.name = key.first;
-    s.labels = key.second;
-    s.kind = SampleKind::kGauge;
-    s.value = gauge->Value();
-    result.samples.push_back(std::move(s));
-  }
-  for (const auto& [key, histogram] : histograms_) {
-    Sample s;
-    s.name = key.first;
-    s.labels = key.second;
-    s.kind = SampleKind::kHistogram;
-    s.hist = histogram->Snapshot();
-    result.samples.push_back(std::move(s));
-  }
-  for (const auto& [id, collector] : collectors_) {
+  for (const Collector& collector : collectors) {
     collector(result.samples);
   }
   std::sort(result.samples.begin(), result.samples.end(), SampleBefore);

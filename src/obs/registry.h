@@ -159,12 +159,16 @@ class Registry {
   Gauge* gauge(std::string_view name, std::string_view labels = "");
   Histogram* histogram(std::string_view name, std::string_view labels = "");
 
-  // Pull collector: appends samples during Scrape. Runs under the registry
-  // mutex — keep callbacks to reading a stats struct and appending.
+  // Pull collector: appends samples during Scrape. Collectors run OUTSIDE
+  // the registry's instrument mutex (so their stats reads may take
+  // component locks whose holders themselves resolve instruments), under a
+  // dedicated scrape lock. A collector must not call Scrape, AddCollector
+  // or CollectorHandle::reset on its own registry — that self-deadlocks.
   using Collector = std::function<void(std::vector<Sample>&)>;
 
-  // RAII registration; destroying (or reset()) unregisters. The registry
-  // must outlive the handle.
+  // RAII registration; destroying (or reset()) unregisters, blocking until
+  // any in-flight Scrape is done invoking the collector. The registry must
+  // outlive the handle.
   class CollectorHandle {
    public:
     CollectorHandle() = default;
@@ -203,6 +207,10 @@ class Registry {
  private:
   using Key = std::pair<std::string, std::string>;  // (name, labels)
 
+  // Held across Scrape's collector invocations (and by CollectorHandle::
+  // reset, so unregistration waits out a scrape). Lock order:
+  // collector_mu_ -> mu_; mu_ is never held while a collector runs.
+  mutable std::mutex collector_mu_;
   mutable std::mutex mu_;
   std::map<Key, std::unique_ptr<Counter>> counters_;
   std::map<Key, std::unique_ptr<Gauge>> gauges_;

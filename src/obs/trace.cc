@@ -40,6 +40,15 @@ void Tracer::set_clock(std::function<uint64_t()> clock) {
   options_.clock = std::move(clock);
 }
 
+uint64_t Tracer::NowUs() const {
+  std::function<uint64_t()> clock;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    clock = options_.clock;
+  }
+  return clock ? clock() : 0;
+}
+
 uint32_t Tracer::RegisterTrack(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = by_name_.find(name);
@@ -59,8 +68,10 @@ Tracer::Track& Tracer::track(uint32_t id) const {
 }
 
 void Tracer::Append(uint32_t track_id, Event event) {
-  // Clock reads happen outside the track lock; per-track event order is
-  // append order, which for a serial request stream equals program order.
+  // Clock reads happen outside the track lock, so a clock callback that
+  // ends up back in the tracer can never self-deadlock against a held
+  // track mutex. Per-track event order is append order, which for a
+  // serial request stream equals program order.
   std::function<uint64_t()> clock;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -68,10 +79,12 @@ void Tracer::Append(uint32_t track_id, Event event) {
   }
   const bool wall = options_.wall_clock;
   const uint64_t wall_us = wall ? WallNowUs() : 0;
+  const bool stamp = event.ph != 'X';  // 'X' carries caller timestamps
+  const uint64_t clock_us = (stamp && clock) ? clock() : 0;
   Track& t = track(track_id);
   std::lock_guard<std::mutex> lock(t.mu);
-  if (event.ph != 'X') {
-    event.ts = clock ? clock() : t.ticks++;
+  if (stamp) {
+    event.ts = clock ? clock_us : t.ticks++;
   }
   if (wall) {
     if (!event.args.empty()) event.args += ',';

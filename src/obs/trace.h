@@ -63,9 +63,15 @@ class Tracer {
   // start) so ids are reproducible.
   uint32_t RegisterTrack(const std::string& name);
 
-  bool has_clock() const { return static_cast<bool>(options_.clock); }
+  bool has_clock() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<bool>(options_.clock);
+  }
   // Wires the simulated clock after construction (SamplerBuilder::Build
-  // does this once the RemoteBackend exists). Call before any events.
+  // does this once the RemoteBackend exists); call before any events.
+  // Passing null clears it — ~Sampler does this when it installed a clock
+  // reading its own wire, so later events fall back to logical ticks
+  // instead of calling a destroyed backend.
   void set_clock(std::function<uint64_t()> clock);
 
   // `args`, where taken, is a pre-rendered JSON object body WITHOUT the
@@ -78,7 +84,7 @@ class Tracer {
 
   // Current simulated time (0 without a clock) — for callers computing
   // Complete() durations.
-  uint64_t NowUs() const { return options_.clock ? options_.clock() : 0; }
+  uint64_t NowUs() const;
 
   uint64_t num_events() const;
 

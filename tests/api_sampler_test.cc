@@ -70,6 +70,40 @@ TEST(SamplerTest, RefusesTenantBudgetOutsideServiceMode) {
   EXPECT_EQ(handle.status().code(), util::StatusCode::kInvalidArgument);
 }
 
+// Observability is opt-in: the flight-recorder capacity DEFAULT (128)
+// must not switch recording on for builders that never call
+// WithObservability, in any mode; opting in does record.
+TEST(SamplerTest, FlightRecorderOnlyRecordsWhenObservabilityOptedIn) {
+  graph::Graph graph = TestGraph();
+  for (auto configure :
+       {+[](SamplerBuilder& b) { b.RunPipelined({.depth = 2}); },
+        +[](SamplerBuilder& b) { b.RunAsService(); }}) {
+    SamplerBuilder off = BaseBuilder(graph).WithRemoteWire(
+        {.seed = 3, .base_latency_us = 100});
+    configure(off);
+    auto silent = off.Build();
+    ASSERT_TRUE(silent.ok()) << silent.status();
+    auto handle = (*silent)->Run();
+    ASSERT_TRUE(handle.ok()) << handle.status();
+    auto report = handle->Wait();
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_TRUE(report->flight.events.empty());
+    EXPECT_EQ(report->flight.dropped, 0u);
+
+    SamplerBuilder on = BaseBuilder(graph).WithRemoteWire(
+        {.seed = 3, .base_latency_us = 100});
+    configure(on);
+    on.WithObservability({});
+    auto recording = on.Build();
+    ASSERT_TRUE(recording.ok()) << recording.status();
+    auto rec_handle = (*recording)->Run();
+    ASSERT_TRUE(rec_handle.ok()) << rec_handle.status();
+    auto rec_report = rec_handle->Wait();
+    ASSERT_TRUE(rec_report.ok()) << rec_report.status();
+    EXPECT_FALSE(rec_report->flight.events.empty());
+  }
+}
+
 TEST(SamplerTest, WaitThenReportReturnTheSameReport) {
   graph::Graph graph = TestGraph();
   for (auto configure :

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -190,6 +191,37 @@ TEST(RegistryTest, CollectorHandleUnregistersOnDestruction) {
   EXPECT_NE(registry.Scrape().Find("hw_test_moved_total"), nullptr);
   b.reset();
   EXPECT_EQ(registry.Scrape().Find("hw_test_moved_total"), nullptr);
+}
+
+// Regression: collectors must run OUTSIDE the registry's instrument
+// mutex. A component's collector reads its stats under the component
+// lock, and the same component resolves instruments while holding that
+// lock on other paths (the service does this on session submit) — so a
+// scrape holding the instrument mutex across collector calls closes an
+// AB-BA deadlock cycle. Race both sides; the old code hung here.
+TEST(RegistryTest, ScrapeReleasesInstrumentMutexAcrossCollectors) {
+  Registry registry;
+  std::mutex component_mu;
+  Registry::CollectorHandle handle =
+      registry.AddCollector([&](std::vector<Sample>& out) {
+        std::lock_guard<std::mutex> lock(component_mu);  // scrape -> component
+        Sample sample;
+        sample.name = "hw_test_component_total";
+        sample.kind = SampleKind::kCounter;
+        out.push_back(std::move(sample));
+      });
+  std::atomic<bool> stop{false};
+  std::thread submitter([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::lock_guard<std::mutex> lock(component_mu);  // component -> registry
+      registry.counter("hw_test_submit_total")->Inc();
+    }
+  });
+  for (int s = 0; s < 200; ++s) {
+    EXPECT_NE(registry.Scrape().Find("hw_test_component_total"), nullptr);
+  }
+  stop.store(true);
+  submitter.join();
 }
 
 TEST(RegistryTest, PrometheusTextRendersTypesAndHistogramSeries) {

@@ -139,6 +139,37 @@ std::string PipelinedTraceBytes(const graph::Graph& graph) {
   return tracer.ToChromeJson();
 }
 
+// Regression: Build() injects a wire clock into the caller-owned tracer
+// that reads the SAMPLER-owned RemoteBackend; the tracer is documented to
+// outlive the Sampler, so ~Sampler must clear that clock — appending an
+// event afterwards used to call through a dangling backend pointer (ASan
+// catches the use-after-free if the severing regresses).
+TEST(TracerTest, SamplerDestructionClearsItsInjectedWireClock) {
+  graph::Graph graph = TestGraph();
+  Tracer tracer;
+  {
+    auto sampler = api::SamplerBuilder()
+                       .OverGraph(&graph)
+                       .WithRemoteWire({.seed = 5, .base_latency_us = 1000})
+                       .WithWalker({.type = core::WalkerType::kCnrw})
+                       .WithEnsemble(/*num_walkers=*/1, /*seed=*/21)
+                       .StopAfterSteps(20)
+                       .RunPipelined({.depth = 2})
+                       .WithObservability({.tracer = &tracer})
+                       .Build();
+    ASSERT_TRUE(sampler.ok()) << sampler.status();
+    EXPECT_TRUE(tracer.has_clock());
+    auto handle = (*sampler)->Run();
+    ASSERT_TRUE(handle.ok()) << handle.status();
+    ASSERT_TRUE(handle->Wait().ok());
+  }
+  EXPECT_FALSE(tracer.has_clock());
+  // Post-Sampler events fall back to per-track logical ticks.
+  const uint32_t track = tracer.RegisterTrack("after");
+  tracer.Instant(track, "still_alive");
+  EXPECT_EQ(tracer.NowUs(), 0u);
+}
+
 // The pipelined stack has real concurrency (shard workers, batching, the
 // simulated wire) — the trace must still serialize identically run to
 // run because every event is stamped with the deterministic sim clock on
