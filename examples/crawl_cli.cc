@@ -35,6 +35,15 @@
 //                        or JSON when F ends in ".json"
 //     --trace-out=F      write the crawl's Chrome trace-event JSON to F
 //                        (load it at ui.perfetto.dev)
+//     --progress-interval=N  stream convergence telemetry: each walker
+//                        publishes every N own-steps, live progress lines
+//                        go to stderr (stdout stays deterministic), and
+//                        the report grows std-error / CI / ESS / R-hat
+//                        finals                     -> TrackProgress
+//     --target-ci=X      adaptive stopping: halt once the estimate's 95%
+//                        CI half-width is <= X (implies progress
+//                        tracking; the cut point depends on thread
+//                        interleaving by design)    -> StopAtCiHalfWidth
 //
 //   Persistence flags (all optional)               -> WithHistoryStore:
 //     --load-history=F   restore the history cache from snapshot F before
@@ -55,9 +64,11 @@
 // With no positional argument, prints usage and runs a small self-demo so
 // the binary is exercised by "run everything" loops.
 
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "access/history_cache.h"
@@ -83,9 +94,12 @@ struct HistoryFlags {
 };
 
 struct ObsFlags {
-  std::string metrics_out;  // --metrics-out=
-  std::string trace_out;    // --trace-out=
-  unsigned threads = 1;     // --threads=
+  std::string metrics_out;       // --metrics-out=
+  std::string trace_out;         // --trace-out=
+  unsigned threads = 1;          // --threads=
+  unsigned progress_interval = 0;  // --progress-interval=
+  double target_ci = 0.0;          // --target-ci=
+  bool tracking() const { return progress_interval > 0 || target_ci > 0; }
 };
 
 util::Result<core::WalkerType> ParseWalker(const std::string& name) {
@@ -139,6 +153,14 @@ int Crawl(const graph::Graph& graph, core::WalkerType type, uint64_t budget,
       .WithObservability(
           {.registry = &registry,
            .tracer = obs_flags.trace_out.empty() ? nullptr : &tracer});
+  if (obs_flags.tracking()) {
+    builder.TrackProgress(obs_flags.progress_interval > 0
+                              ? obs_flags.progress_interval
+                              : 64);
+  }
+  if (obs_flags.target_ci > 0) {
+    builder.StopAtCiHalfWidth(obs_flags.target_ci);
+  }
   if (latency_us > 0) {
     builder
         .WithRemoteWire({.seed = seed,
@@ -188,6 +210,28 @@ int Crawl(const graph::Graph& graph, core::WalkerType type, uint64_t budget,
   }
 
   auto handle = (*sampler)->Run();
+  if (handle.ok() && obs_flags.tracking()) {
+    // Live progress goes to STDERR: stdout stays byte-identical across
+    // polling cadences (the demo scripts diff it), while an interactive
+    // run still sees the CI shrink in real time.
+    while (handle->Poll() == api::RunState::kRunning) {
+      obs::ProgressSnapshot snap = handle->Progress();
+      if (snap.total_steps > 0) {
+        std::cerr << "progress: " << snap.total_steps << " steps, "
+                  << snap.charged_queries << " charged";
+        if (snap.has_estimate) {
+          std::cerr << ", est " << snap.estimate;
+          if (snap.std_error > 0) {
+            std::cerr << " +/- " << snap.ci_half_width << " ("
+                      << snap.confidence * 100 << "% CI), R-hat "
+                      << snap.r_hat;
+          }
+        }
+        std::cerr << "\n";
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
   auto report = handle.ok() ? handle->Wait() : handle.status();
   if (!report.ok()) {
     std::cerr << report.status() << "\n";
@@ -228,6 +272,21 @@ int Crawl(const graph::Graph& graph, core::WalkerType type, uint64_t budget,
             << scrape.Value("hw_net_singleflight_joins_total") << " joins, "
             << scrape.Value("hw_access_budget_refusals_total")
             << " refused)\n";
+  if (report->has_progress) {
+    std::cout << "std error:         " << report->std_error << "  ("
+              << report->num_batches << " batches)\n"
+              << "CI half-width:     " << report->ci_half_width << "  ("
+              << report->confidence * 100 << "% confidence)\n"
+              << "online ESS:        " << report->ess << "\n"
+              << "R-hat:             " << report->r_hat << "\n";
+    if (obs_flags.target_ci > 0) {
+      std::cout << "adaptive stop:     "
+                << (report->stopped_at_ci_target
+                        ? "hit CI target before budget"
+                        : "budget/steps ended the run first")
+                << "  (target " << obs_flags.target_ci << ")\n";
+    }
+  }
   if ((*sampler)->remote() != nullptr) {
     net::RemoteBackendStats wire = (*sampler)->remote()->stats();
     std::cout << "sim wall-clock:    " << wire.sim_elapsed_us / 1000.0
@@ -305,12 +364,23 @@ int main(int argc, char** argv) {
   auto cache_capacity = flags.GetUint("cache-capacity", 0);
   auto num_shards = flags.GetUint("num-shards", 8);
   auto threads = flags.GetUint("threads", 1);
+  auto progress_interval = flags.GetUint("progress-interval", 0);
+  auto target_ci = flags.GetDouble("target-ci", 0.0);
   for (const auto* value : {&budget, &seed, &latency_us, &depth,
-                            &cache_capacity, &num_shards, &threads}) {
+                            &cache_capacity, &num_shards, &threads,
+                            &progress_interval}) {
     if (!value->ok()) {
       std::cerr << value->status() << "\n";
       return 1;
     }
+  }
+  if (!target_ci.ok()) {
+    std::cerr << target_ci.status() << "\n";
+    return 1;
+  }
+  if (*target_ci < 0) {
+    std::cerr << "target-ci must be non-negative\n";
+    return 1;
   }
   if (auto status = flags.CheckAllRead(); !status.ok()) {
     std::cerr << status << "\n";
@@ -329,6 +399,8 @@ int main(int argc, char** argv) {
       .capacity = *cache_capacity,
       .num_shards = static_cast<uint32_t>(*num_shards)};
   obs_flags.threads = static_cast<unsigned>(*threads);
+  obs_flags.progress_interval = static_cast<unsigned>(*progress_interval);
+  obs_flags.target_ci = *target_ci;
 
   if (flags.positional().empty()) {
     std::cout << "usage: crawl_cli [--flags] <edges-file>\n\n"
@@ -349,7 +421,12 @@ int main(int argc, char** argv) {
                  "  --metrics-out=F  write a post-crawl scrape "
                  "(Prometheus text, or JSON for *.json)\n"
                  "  --trace-out=F    write Chrome trace-event JSON "
-                 "(ui.perfetto.dev)\n\n"
+                 "(ui.perfetto.dev)\n"
+                 "  --progress-interval=N  stream convergence telemetry "
+                 "(live lines on stderr,\n                std-error / CI / "
+                 "ESS / R-hat finals in the report)\n"
+                 "  --target-ci=X    adaptive stop once the 95% CI "
+                 "half-width is <= X\n\n"
                  "  --load-history=F / --wal=F / --save-history=F persist "
                  "the history cache\n  across crawls (snapshot + "
                  "write-ahead log); see scripts/resume_demo.sh.\n\n"

@@ -28,9 +28,17 @@ noise, but the parse + schema path is fully exercised.
 attaches its cache-tier hit-rate and wire-request-attribution summary to
 BENCH_cache.json (and validates the scrape's required metrics + the
 miss-attribution identity, so bench-smoke catches a rotted exposition
-format). --attach-scrape FILE does the same to an EXISTING
-BENCH_cache.json without re-running the benches, and stamps
-hardware.multicore_at_scrape.
+format). When the scrape carries ANY hw_est_* gauge the FULL estimate
+family is required and its convergence summary is attached too;
+--expect-estimate makes the family's absence an error (CI passes it for
+scrapes taken from estimand-selected crawls). --attach-scrape FILE does
+the same to an EXISTING BENCH_cache.json without re-running the benches,
+and stamps hardware.multicore_at_scrape.
+
+--convergence FILE validates a bench_convergence --json-out document
+(schema, stop rule latched on every row, warm arm strictly cheaper) and
+writes it as BENCH_convergence.json in --out-dir, so the committed
+trajectory file can only ever hold a result whose self-checks held.
 """
 
 import argparse
@@ -167,6 +175,20 @@ REQUIRED_SCRAPE_METRICS = [
     "hw_access_charged_queries_total",
 ]
 
+# The online-convergence gauge family an estimand-selected crawl exposes.
+# All-or-nothing: one hw_est_* gauge present means the whole family must
+# be, so a half-wired tracker cannot pass silently.
+ESTIMATE_SCRAPE_METRICS = [
+    "hw_est_estimate",
+    "hw_est_std_error",
+    "hw_est_ci_half_width",
+    "hw_est_confidence",
+    "hw_est_ess",
+    "hw_est_r_hat",
+    "hw_est_steps",
+    "hw_est_num_batches",
+]
+
 
 def parse_scrape(path):
     """Parses a Prometheus-text scrape into {metric_name: value}.
@@ -201,6 +223,23 @@ def parse_scrape(path):
             f"scrape {path} is missing required metrics: "
             + ", ".join(missing))
     return metrics
+
+
+def check_estimate_family(metrics, path, expect_estimate):
+    """Enforces the all-or-nothing hw_est_* contract on one scrape."""
+    present = [m for m in metrics if m.startswith("hw_est_")]
+    if not present:
+        if expect_estimate:
+            raise RuntimeError(
+                f"scrape {path}: --expect-estimate but no hw_est_* gauges "
+                "(was the crawl run with an estimand selected?)")
+        return None
+    missing = [m for m in ESTIMATE_SCRAPE_METRICS if m not in metrics]
+    if missing:
+        raise RuntimeError(
+            f"scrape {path} exposes hw_est_* but is missing: "
+            + ", ".join(missing))
+    return {m: metrics[m] for m in ESTIMATE_SCRAPE_METRICS}
 
 
 def scrape_summary(metrics):
@@ -247,10 +286,14 @@ def scrape_summary(metrics):
     }
 
 
-def attach_scrape(bench_path, scrape_path):
+def attach_scrape(bench_path, scrape_path, expect_estimate=False):
     """Attaches a scrape summary to an existing BENCH_cache.json."""
     report = json.loads(bench_path.read_text())
-    summary = scrape_summary(parse_scrape(scrape_path))
+    metrics = parse_scrape(scrape_path)
+    summary = scrape_summary(metrics)
+    estimate = check_estimate_family(metrics, scrape_path, expect_estimate)
+    if estimate is not None:
+        summary["estimate"] = estimate
     summary["source"] = str(scrape_path)
     report["scrape"] = summary
     hardware = report.setdefault("hardware", {})
@@ -260,6 +303,66 @@ def attach_scrape(bench_path, scrape_path):
     bench_path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"attached scrape summary from {scrape_path} to {bench_path}")
     print_core_caveat(report.get("hardware", {}).get("num_cpus"))
+
+
+CONVERGENCE_POINT_KEYS = [
+    "target_ci",
+    "cold_steps",
+    "warm_steps",
+    "cold_charged_queries",
+    "warm_charged_queries",
+    "charged_savings",
+    "cold_sim_wall_seconds",
+    "warm_sim_wall_seconds",
+    "cold_achieved_ci",
+    "warm_achieved_ci",
+    "cold_hit_fraction",
+    "warm_hit_fraction",
+]
+
+
+def fold_convergence(convergence_path, out_dir):
+    """Validates a bench_convergence JSON doc and commits it as
+    BENCH_convergence.json.
+
+    Re-checks the bench's own acceptance conditions (the stop rule
+    actually latched on every row, and the warm arm paid strictly fewer
+    charged queries) so a stale or hand-edited document cannot land in
+    the trajectory file.
+    """
+    doc = json.loads(Path(convergence_path).read_text())
+    for key in ("bench", "dataset", "walker", "estimand", "ground_truth",
+                "settings", "snapshot", "points"):
+        if key not in doc:
+            raise RuntimeError(f"{convergence_path}: missing key {key!r}")
+    if doc["bench"] != "bench_convergence":
+        raise RuntimeError(
+            f"{convergence_path}: bench is {doc['bench']!r}, expected "
+            "'bench_convergence'")
+    points = doc["points"]
+    if not points:
+        raise RuntimeError(f"{convergence_path}: no convergence points")
+    for i, point in enumerate(points):
+        missing = [k for k in CONVERGENCE_POINT_KEYS if k not in point]
+        if missing:
+            raise RuntimeError(
+                f"{convergence_path}: point {i} missing " + ", ".join(missing))
+        if point["cold_hit_fraction"] <= 0 or point["warm_hit_fraction"] <= 0:
+            raise RuntimeError(
+                f"{convergence_path}: point {i} (target "
+                f"{point['target_ci']}) never latched the stop rule")
+        if point["warm_charged_queries"] >= point["cold_charged_queries"]:
+            raise RuntimeError(
+                f"{convergence_path}: point {i} (target "
+                f"{point['target_ci']}): warm arm did not save charged "
+                f"queries ({point['warm_charged_queries']} vs "
+                f"{point['cold_charged_queries']})")
+    out_path = Path(out_dir) / "BENCH_convergence.json"
+    out_path.write_text(json.dumps(doc, indent=2) + "\n")
+    savings = ", ".join(
+        f"{p['target_ci']:.3g}->{p['charged_savings']:.1%}" for p in points)
+    print(f"wrote {out_path} ({len(points)} targets; charged savings "
+          f"{savings})")
 
 
 def main():
@@ -282,7 +385,24 @@ def main():
     parser.add_argument("--attach-scrape", type=Path, default=None,
                         help="attach a scrape summary to the existing "
                              "BENCH_cache.json without re-running benches")
+    parser.add_argument("--expect-estimate", action="store_true",
+                        help="fail if the scrape carries no hw_est_* "
+                             "gauges (for estimand-selected crawls)")
+    parser.add_argument("--convergence", type=Path, default=None,
+                        help="bench_convergence --json-out document to "
+                             "validate and write as BENCH_convergence.json")
     args = parser.parse_args()
+
+    if args.convergence is not None:
+        out_dir = Path(args.out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        try:
+            fold_convergence(args.convergence, out_dir)
+        except (RuntimeError, json.JSONDecodeError, OSError) as err:
+            sys.stderr.write(f"error: {err}\n")
+            return 1
+        if args.scrape is None and args.attach_scrape is None:
+            return 0
 
     if args.smoke:
         args.min_time = 0.01
@@ -299,7 +419,8 @@ def main():
                              "benches first or pass --scrape instead\n")
             return 1
         try:
-            attach_scrape(bench_path, args.attach_scrape)
+            attach_scrape(bench_path, args.attach_scrape,
+                          args.expect_estimate)
         except (RuntimeError, json.JSONDecodeError, OSError) as err:
             sys.stderr.write(f"error: {err}\n")
             return 1
@@ -308,13 +429,19 @@ def main():
     scrape = None
     if args.scrape is not None:
         try:
-            scrape = scrape_summary(parse_scrape(args.scrape))
+            metrics = parse_scrape(args.scrape)
+            scrape = scrape_summary(metrics)
+            estimate = check_estimate_family(metrics, args.scrape,
+                                             args.expect_estimate)
+            if estimate is not None:
+                scrape["estimate"] = estimate
             scrape["source"] = str(args.scrape)
         except (RuntimeError, OSError) as err:
             sys.stderr.write(f"error: {err}\n")
             return 1
         print(f"scrape {args.scrape}: required metrics present, "
-              "miss-attribution identity holds")
+              "miss-attribution identity holds"
+              + (", hw_est_* family complete" if estimate else ""))
     targets = {
         "BENCH_cache.json": build / "bench_micro_cache",
         "BENCH_pipeline.json": build / "bench_micro_pipeline",

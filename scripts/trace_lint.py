@@ -16,7 +16,7 @@ message naming the file, event index and problem).
 import json
 import sys
 
-REQUIRED_PHASES = {"B", "E", "i", "X", "M"}
+REQUIRED_PHASES = {"B", "E", "i", "X", "M", "C"}
 
 
 def fail(path, index, message):
@@ -43,7 +43,7 @@ def lint(path):
         sys.exit(1)
 
     stacks = {}  # (pid, tid) -> [span names]
-    counts = {"B": 0, "E": 0, "i": 0, "X": 0, "M": 0}
+    counts = {"B": 0, "E": 0, "i": 0, "X": 0, "M": 0, "C": 0}
     for index, event in enumerate(events):
         if not isinstance(event, dict):
             fail(path, index, "event is not an object")
@@ -76,6 +76,10 @@ def lint(path):
             dur = event.get("dur")
             if not isinstance(dur, int) or dur < 0:
                 fail(path, index, "'X' event needs an integer dur >= 0")
+        elif ph == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                fail(path, index, "'C' event needs a non-empty args object")
 
     for (pid, tid), stack in stacks.items():
         if stack:
@@ -86,7 +90,8 @@ def lint(path):
 
     print(f"trace_lint: {path}: ok — {len(events)} events "
           f"({counts['B']} B/{counts['E']} E, {counts['X']} X, "
-          f"{counts['i']} i, {counts['M']} M), spans balanced")
+          f"{counts['i']} i, {counts['C']} C, {counts['M']} M), "
+          f"spans balanced")
 
 
 def main(argv):

@@ -1,5 +1,6 @@
 #include "api/sampler.h"
 
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -48,6 +49,9 @@ struct RunHandle::Shared {
   bool canceled = false;
   // Thread modes: the worker; joined by Wait/Cancel or the Sampler.
   std::thread thread;
+  // The run's streaming tracker (null for untracked runs); set before the
+  // handle escapes, immutable afterwards, so Progress() needs no lock.
+  std::shared_ptr<obs::ProgressTracker> progress;
   // Service mode.
   service::SessionId session = 0;
   bool report_cached = false;  // Wait retrieved + detached the session
@@ -80,6 +84,36 @@ obs::Sample MakeSample(const char* name, obs::SampleKind kind,
   sample.kind = kind;
   sample.value = static_cast<int64_t>(value);
   return sample;
+}
+
+// The hw_est_* convergence gauges for one progress snapshot; `labels`
+// distinguishes service sessions (session="<id>") and is empty in thread
+// modes.
+void AppendEstimateSamples(std::vector<obs::Sample>& out,
+                           const obs::ProgressSnapshot& snap,
+                           const std::string& labels) {
+  auto add_double = [&](const char* name, double value) {
+    obs::Sample sample;
+    sample.name = name;
+    sample.labels = labels;
+    sample.kind = obs::SampleKind::kGauge;
+    sample.is_double = true;
+    sample.dvalue = value;
+    out.push_back(std::move(sample));
+  };
+  auto add_int = [&](const char* name, uint64_t value) {
+    obs::Sample sample = MakeSample(name, obs::SampleKind::kGauge, value);
+    sample.labels = labels;
+    out.push_back(std::move(sample));
+  };
+  add_double("hw_est_estimate", snap.estimate);
+  add_double("hw_est_std_error", snap.std_error);
+  add_double("hw_est_ci_half_width", snap.ci_half_width);
+  add_double("hw_est_confidence", snap.confidence);
+  add_double("hw_est_ess", snap.ess);
+  add_double("hw_est_r_hat", snap.r_hat);
+  add_int("hw_est_steps", snap.total_steps);
+  add_int("hw_est_num_batches", snap.num_batches);
 }
 
 void AppendCacheSamples(std::vector<obs::Sample>& out,
@@ -143,7 +177,8 @@ util::Result<RunReport> RunHandle::Wait() {
         report.tenant = session->pipeline;
         report.latency_us = session->LatencyUs();
         report.flight = std::move(session->flight);
-        status = shared.sampler->FinishReport(shared.spec, &report);
+        status = shared.sampler->FinishReport(shared.spec,
+                                              shared.progress.get(), &report);
       } else {
         status = session.status();
       }
@@ -190,6 +225,11 @@ util::Result<RunReport> RunHandle::Report() const {
   if (shared_->canceled) return CanceledError();
   if (shared_->state == RunState::kFailed) return shared_->error;
   return shared_->report;
+}
+
+obs::ProgressSnapshot RunHandle::Progress() const {
+  if (shared_ == nullptr || shared_->progress == nullptr) return {};
+  return shared_->progress->Snapshot();
 }
 
 void RunHandle::Cancel() {
@@ -325,6 +365,21 @@ SamplerBuilder& SamplerBuilder::EstimateAttributeMean(std::string attribute) {
   return *this;
 }
 
+SamplerBuilder& SamplerBuilder::TrackProgress(uint32_t interval) {
+  defaults_.progress_interval = interval;
+  return *this;
+}
+
+SamplerBuilder& SamplerBuilder::StopAtCiHalfWidth(double target) {
+  defaults_.stop_at_ci_half_width = target;
+  return *this;
+}
+
+SamplerBuilder& SamplerBuilder::WithConfidenceLevel(double confidence) {
+  confidence_ = confidence;
+  return *this;
+}
+
 util::Result<std::unique_ptr<Sampler>> SamplerBuilder::Build() const {
   if (graph_ == nullptr && external_backend_ == nullptr) {
     return util::Status::InvalidArgument(
@@ -355,6 +410,19 @@ util::Result<std::unique_ptr<Sampler>> SamplerBuilder::Build() const {
     return util::Status::InvalidArgument(
         "WithStoreReadTier requires a history store (WithHistoryStore)");
   }
+  if (!(confidence_ > 0.0 && confidence_ < 1.0)) {
+    return util::Status::InvalidArgument(
+        "WithConfidenceLevel requires a confidence in (0, 1)");
+  }
+  if (defaults_.stop_at_ci_half_width < 0.0) {
+    return util::Status::InvalidArgument(
+        "StopAtCiHalfWidth requires a target >= 0");
+  }
+  if (defaults_.stop_at_ci_half_width > 0.0 && !estimand_.any()) {
+    return util::Status::InvalidArgument(
+        "StopAtCiHalfWidth requires an estimand (EstimateAverageDegree / "
+        "EstimateAttributeMean): the stop rule watches the estimate's CI");
+  }
 
   std::unique_ptr<Sampler> sampler(new Sampler());
   sampler->mode_ = mode_;
@@ -362,6 +430,7 @@ util::Result<std::unique_ptr<Sampler>> SamplerBuilder::Build() const {
   sampler->pipeline_ = pipeline_;
   sampler->defaults_ = defaults_;
   sampler->estimand_ = estimand_;
+  sampler->confidence_ = confidence_;
   sampler->attributes_ = attributes_;
   sampler->obs_ = obs_;
 
@@ -523,6 +592,14 @@ Sampler::~Sampler() {
 util::Result<RunHandle> Sampler::Run() { return Run(defaults_); }
 
 util::Result<RunHandle> Sampler::Run(const RunOptions& options) {
+  if (options.stop_at_ci_half_width < 0.0) {
+    return util::Status::InvalidArgument("stop_at_ci_half_width must be >= 0");
+  }
+  if (options.stop_at_ci_half_width > 0.0 && !estimand_.any()) {
+    return util::Status::InvalidArgument(
+        "adaptive stopping (stop_at_ci_half_width) requires an estimand "
+        "(EstimateAverageDegree / EstimateAttributeMean)");
+  }
   if (mode_ == ExecutionMode::kService) return RunService(options);
   return RunThreaded(options);
 }
@@ -544,28 +621,52 @@ util::Result<RunHandle> Sampler::RunThreaded(const RunOptions& options) {
     // Finished but never waited: reap the worker before replacing it.
     active_->WaitDoneLocked(run_lock);
   }
+  // The tracker is built on this (serial) path so its tracer counter
+  // track registers deterministically, and wired to the group's charge
+  // counter windowed at run start — matching report.charged_queries.
+  std::shared_ptr<obs::ProgressTracker> progress;
+  if (options.progress_interval > 0 || options.stop_at_ci_half_width > 0.0) {
+    HW_ASSIGN_OR_RETURN(progress,
+                        MakeProgressTracker(options, /*for_replay=*/false));
+    std::function<uint64_t()> clock_fn;
+    if (remote_ != nullptr) {
+      clock_fn = [remote = remote_.get()] { return remote->sim_now_us(); };
+    }
+    progress->AttachCallbacks(
+        [group = group_.get(), before = group_->charged_queries()] {
+          const uint64_t now = group->charged_queries();
+          return now > before ? now - before : 0;
+        },
+        std::move(clock_fn));
+  }
   auto shared = std::make_shared<RunHandle::Shared>();
   shared->sampler = this;
   shared->mode = mode_;
   shared->spec = options.walker;
+  shared->progress = std::move(progress);
   shared->thread = std::thread([this, shared, options] {
     estimate::EnsembleOptions ensemble{.num_walkers = options.num_walkers,
                                        .seed = options.seed,
                                        .max_steps = options.max_steps,
                                        .query_budget = options.query_budget,
                                        .num_threads = inline_threads_,
-                                       .tracer = obs_.tracer};
+                                       .tracer = obs_.tracer,
+                                       .progress = shared->progress.get()};
     auto run = mode_ == ExecutionMode::kInline
                    ? estimate::RunEnsemble(*group_, options.walker, ensemble)
                    : estimate::RunEnsembleAsync(*group_, options.walker,
                                                 ensemble, pipeline_);
+    // Freeze the tracker's bill/clock at run end: the handle (and later
+    // scrapes) keep reading the tracker, but this run's accounting is
+    // closed.
+    if (shared->progress != nullptr) shared->progress->DetachCallbacks();
     RunReport report;
     util::Status status;
     if (run.ok()) {
       report.ensemble = *std::move(run);
       report.charged_queries = report.ensemble.charged_queries;
       if (flight_ != nullptr) report.flight = flight_->TakeLog();
-      status = FinishReport(options.walker, &report);
+      status = FinishReport(options.walker, shared->progress.get(), &report);
     } else {
       status = run.status();
     }
@@ -584,6 +685,13 @@ util::Result<RunHandle> Sampler::RunThreaded(const RunOptions& options) {
 }
 
 util::Result<RunHandle> Sampler::RunService(const RunOptions& options) {
+  std::shared_ptr<obs::ProgressTracker> progress;
+  if (options.progress_interval > 0 || options.stop_at_ci_half_width > 0.0) {
+    HW_ASSIGN_OR_RETURN(progress,
+                        MakeProgressTracker(options, /*for_replay=*/false));
+    // Submit wires the charge probe to the session's billing group and
+    // the clock to the service clock.
+  }
   service::SessionOptions session{.walker = options.walker,
                                   .num_walkers = options.num_walkers,
                                   .seed = options.seed,
@@ -591,13 +699,21 @@ util::Result<RunHandle> Sampler::RunService(const RunOptions& options) {
                                   .query_budget = options.query_budget,
                                   .tenant_query_budget =
                                       options.tenant_query_budget,
-                                  .weight = options.weight};
+                                  .weight = options.weight,
+                                  .progress = progress};
   HW_ASSIGN_OR_RETURN(service::SessionId id, service_->Submit(session));
   auto shared = std::make_shared<RunHandle::Shared>();
   shared->sampler = this;
   shared->mode = mode_;
   shared->spec = options.walker;
+  shared->progress = progress;
   shared->session = id;
+  if (progress != nullptr) {
+    // Scrapes label this session's hw_est_* gauges; the weak_ptr expires
+    // with the last handle and is pruned at scrape time.
+    std::lock_guard<std::mutex> lock(mu_);
+    session_progress_[id] = progress;
+  }
   return RunHandle(std::move(shared));
 }
 
@@ -655,6 +771,40 @@ util::Result<core::StationaryBias> Sampler::BiasFor(
   const core::StationaryBias bias = probe->bias();
   bias_cache_.emplace(spec.type, bias);
   return bias;
+}
+
+util::Result<std::shared_ptr<obs::ProgressTracker>>
+Sampler::MakeProgressTracker(const RunOptions& options, bool for_replay) {
+  obs::ProgressOptions popts;
+  popts.num_walkers = options.num_walkers;
+  if (options.progress_interval > 0) {
+    popts.flush_interval = options.progress_interval;
+  }
+  if (for_replay) {
+    // Replay feeds complete traces and reads one final snapshot; skip the
+    // intermediate publications.
+    popts.flush_interval = std::numeric_limits<uint32_t>::max();
+  }
+  popts.confidence = confidence_;
+  popts.has_estimand = estimand_.any();
+  if (popts.has_estimand) {
+    HW_ASSIGN_OR_RETURN(const core::StationaryBias bias,
+                        BiasFor(options.walker));
+    popts.degree_weighted =
+        bias == core::StationaryBias::kDegreeProportional;
+    if (!estimand_.attribute.empty()) {
+      HW_ASSIGN_OR_RETURN(attr::AttrId attr,
+                          attributes_->Find(estimand_.attribute));
+      popts.value_fn = [table = attributes_, attr](uint64_t node, uint32_t) {
+        return table->Value(static_cast<graph::NodeId>(node), attr);
+      };
+    }
+  }
+  if (!for_replay) {
+    popts.stop_at_ci_half_width = options.stop_at_ci_half_width;
+    popts.tracer = obs_.tracer;
+  }
+  return std::make_shared<obs::ProgressTracker>(std::move(popts));
 }
 
 void Sampler::CollectSamples(std::vector<obs::Sample>& out) const {
@@ -737,11 +887,38 @@ void Sampler::CollectSamples(std::vector<obs::Sample>& out) const {
                              SampleKind::kCounter,
                              group_->charged_queries()));
   }
+  // hw_est_* convergence gauges: thread modes export the current (or most
+  // recent) run's snapshot unlabelled; service mode labels each live
+  // session's snapshot. Snapshot() never blocks walkers.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (service_mode) {
+      for (auto it = session_progress_.begin();
+           it != session_progress_.end();) {
+        if (auto tracker = it->second.lock()) {
+          AppendEstimateSamples(
+              out, tracker->Snapshot(),
+              "session=\"" + std::to_string(it->first) + "\"");
+          ++it;
+        } else {
+          it = session_progress_.erase(it);
+        }
+      }
+    } else if (active_ != nullptr && active_->progress != nullptr) {
+      AppendEstimateSamples(out, active_->progress->Snapshot(), "");
+    }
+  }
 }
 
 util::Status Sampler::FinishReport(const core::WalkerSpec& spec,
+                                   obs::ProgressTracker* progress,
                                    RunReport* report) {
   report->sim_wall_us = sim_now_us();
+  if (progress != nullptr) {
+    report->has_progress = true;
+    report->progress = progress->Snapshot();
+    report->stopped_at_ci_target = report->progress.stop_requested;
+  }
   if (!estimand_.any()) return util::Status::Ok();
   HW_ASSIGN_OR_RETURN(const core::StationaryBias bias, BiasFor(spec));
   estimate::MergedSamples merged = report->ensemble.Merged();
@@ -758,6 +935,38 @@ util::Status Sampler::FinishReport(const core::WalkerSpec& spec,
     report->estimate = estimate::EstimateMean(values, merged.degrees, bias);
   }
   report->has_estimate = true;
+  // Convergence finals: the live tracker's final snapshot when one
+  // streamed, else a post-hoc replay of the traces through a fresh
+  // tracker. Both walk the same per-walker streams in the same order, so
+  // the numbers are bit-identical — satellite coverage in
+  // tests/api_progress_test.cc pins it.
+  obs::ProgressSnapshot finals;
+  if (progress != nullptr) {
+    finals = report->progress;
+  } else {
+    RunOptions replay_options;
+    replay_options.walker = spec;
+    replay_options.num_walkers =
+        static_cast<uint32_t>(report->ensemble.traces.size());
+    HW_ASSIGN_OR_RETURN(
+        std::shared_ptr<obs::ProgressTracker> replay,
+        MakeProgressTracker(replay_options, /*for_replay=*/true));
+    for (size_t i = 0; i < report->ensemble.traces.size(); ++i) {
+      const estimate::TracedWalk& trace = report->ensemble.traces[i];
+      for (size_t t = 0; t < trace.nodes.size(); ++t) {
+        replay->OnStep(static_cast<uint32_t>(i), trace.nodes[t],
+                       trace.degrees[t], trace.unique_queries[t]);
+      }
+      replay->FinishWalker(static_cast<uint32_t>(i));
+    }
+    finals = replay->Snapshot();
+  }
+  report->std_error = finals.std_error;
+  report->ci_half_width = finals.ci_half_width;
+  report->confidence = finals.confidence;
+  report->ess = finals.ess;
+  report->r_hat = finals.r_hat;
+  report->num_batches = finals.num_batches;
   return util::Status::Ok();
 }
 

@@ -21,6 +21,7 @@
 #include "net/remote_backend.h"
 #include "net/request_pipeline.h"
 #include "obs/flight_recorder.h"
+#include "obs/progress.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "service/sampling_service.h"
@@ -144,6 +145,21 @@ struct RunOptions {
   // (where the group-level budget is a Build-time option instead).
   uint64_t tenant_query_budget = 0;
   uint32_t weight = 1;
+  // Streaming telemetry: own-steps between each walker's progress
+  // publications (0 = no live tracking; builder seam: TrackProgress).
+  // While tracking, RunHandle::Progress() serves live ProgressSnapshots,
+  // the hw_est_* gauges appear in scrapes, and the tracer (when wired)
+  // gains an "estimate" counter track. Observation issues no fetches and
+  // consumes no RNG, so traces/QueryStats/bills are unchanged.
+  uint32_t progress_interval = 0;
+  // Opt-in adaptive stopping (builder seam: StopAtCiHalfWidth): halt all
+  // walkers cooperatively once the ensemble CI half-width — at the
+  // builder's confidence level — reaches this target (0 disables).
+  // Requires a selected estimand; implies progress tracking at the
+  // default interval when progress_interval is 0. The stop point depends
+  // on thread interleaving, so bit-identical traces are only guaranteed
+  // with this off.
+  double stop_at_ci_half_width = 0.0;
 };
 
 // Everything a finished run reports — an owning copy, valid after the
@@ -172,6 +188,28 @@ struct RunReport {
   // Filled when the builder selected an estimand.
   bool has_estimate = false;
   double estimate = 0.0;
+  // Convergence finals, filled alongside has_estimate: batch-means
+  // standard error of the pooled estimate, the CI half-width at
+  // `confidence`, summed per-walker effective sample size, cross-walker
+  // Gelman–Rubin R-hat, and the pooled closed-batch count behind the SE.
+  // For a progress-tracked run these equal the final ProgressSnapshot;
+  // otherwise they are computed post-hoc by replaying the merged traces
+  // through the same obs::ProgressTracker machinery (bit-identical
+  // results either way).
+  double std_error = 0.0;
+  double ci_half_width = 0.0;
+  double confidence = 0.0;
+  double ess = 0.0;
+  double r_hat = 0.0;
+  uint64_t num_batches = 0;
+  // The adaptive stopping rule (RunOptions::stop_at_ci_half_width) fired
+  // and halted the walkers before their max_steps/query_budget limits.
+  bool stopped_at_ci_target = false;
+  // The final streaming snapshot (has_progress set only for
+  // progress-tracked runs; replay-computed finals above are still filled
+  // without it).
+  bool has_progress = false;
+  obs::ProgressSnapshot progress;
 };
 
 class Sampler;
@@ -201,6 +239,14 @@ class RunHandle {
   // Non-blocking report access: the report if the run is done, the run's
   // error if it failed, kUnavailable while it is still running.
   util::Result<RunReport> Report() const;
+
+  // Latest streaming ProgressSnapshot, without blocking the walkers or
+  // this caller. Snapshots are monotone in total_steps; the snapshot
+  // taken after the run finishes equals the RunReport's finals. Returns
+  // a default (all-zero) snapshot when the run was not started with
+  // progress tracking (RunOptions::progress_interval == 0 and no
+  // adaptive stop target) or the handle is empty.
+  obs::ProgressSnapshot Progress() const;
 
   // Abandons the run and discards its report. Walkers have no preemption
   // seam, so this is cooperative: Cancel blocks until the in-flight walk
@@ -294,6 +340,18 @@ class SamplerBuilder {
   SamplerBuilder& EstimateAverageDegree();
   SamplerBuilder& EstimateAttributeMean(std::string attribute);
 
+  // ---- progress / convergence -----------------------------------------
+  // Default-on streaming telemetry: every run publishes a progress
+  // snapshot each `interval` own-steps per walker (RunOptions::
+  // progress_interval overrides per run).
+  SamplerBuilder& TrackProgress(uint32_t interval = 64);
+  // Default adaptive stopping target (RunOptions::stop_at_ci_half_width
+  // overrides per run). Build() rejects a target without an estimand.
+  SamplerBuilder& StopAtCiHalfWidth(double target);
+  // Two-sided confidence level for ci_half_width finals and the stop
+  // rule, in (0, 1); default 0.95.
+  SamplerBuilder& WithConfidenceLevel(double confidence);
+
   util::Result<std::unique_ptr<Sampler>> Build() const;
 
  private:
@@ -319,6 +377,7 @@ class SamplerBuilder {
   ServiceConfig service_;
   RunOptions defaults_;
   EstimandSelection estimand_;
+  double confidence_ = 0.95;
 };
 
 // The assembled stack. Owns (as configured) the GraphAccess, the
@@ -383,8 +442,17 @@ class Sampler {
   util::Result<RunHandle> RunService(const RunOptions& options);
   // The walker's stationary bias, probed once per walker type and cached.
   util::Result<core::StationaryBias> BiasFor(const core::WalkerSpec& spec);
-  // Fills the estimand/wire fields of `report` from its ensemble result.
-  util::Status FinishReport(const core::WalkerSpec& spec, RunReport* report);
+  // A ProgressTracker wired for `options`' estimand/weighting. With
+  // for_replay set, the stop rule, tracer counter track and environment
+  // probes are left off — the post-hoc configuration FinishReport uses
+  // to recompute finals from traces.
+  util::Result<std::shared_ptr<obs::ProgressTracker>> MakeProgressTracker(
+      const RunOptions& options, bool for_replay);
+  // Fills the estimand/convergence/wire fields of `report` from its
+  // ensemble result; `progress` is the run's live tracker (null for
+  // untracked runs, whose finals replay through a fresh tracker).
+  util::Status FinishReport(const core::WalkerSpec& spec,
+                            obs::ProgressTracker* progress, RunReport* report);
   // The WithObservability pull collector: appends hw_cache_* / hw_net_* /
   // hw_store_* / hw_service_* / charged-queries samples from the stats
   // structs of whatever layers this sampler owns.
@@ -395,6 +463,7 @@ class Sampler {
   net::RequestPipelineOptions pipeline_;
   RunOptions defaults_;
   EstimandSelection estimand_;
+  double confidence_ = 0.95;
   const attr::AttributeTable* attributes_ = nullptr;
   ObservabilityOptions obs_;
   // Build() injected the wire clock into the caller-owned tracer; the
@@ -423,6 +492,11 @@ class Sampler {
 
   mutable std::mutex mu_;
   std::shared_ptr<RunHandle::Shared> active_;  // thread modes: current run
+  // Service mode: live trackers by session, for per-session hw_est_*
+  // scrape labels; expired entries are pruned at scrape time (hence
+  // mutable — CollectSamples is logically const).
+  mutable std::map<service::SessionId, std::weak_ptr<obs::ProgressTracker>>
+      session_progress_;
 
   std::mutex bias_mu_;
   std::map<core::WalkerType, core::StationaryBias> bias_cache_;

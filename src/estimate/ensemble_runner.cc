@@ -87,13 +87,22 @@ util::Result<EnsembleResult> RunEnsembleImpl(access::SharedAccessGroup& group,
         util::Status reset = member.walker->Reset(result.starts[i]);
         if (!reset.ok()) {
           result.traces[i].final_status = reset;
+          if (options.progress != nullptr) {
+            options.progress->FinishWalker(static_cast<uint32_t>(i));
+          }
           return;
         }
-        result.traces[i] =
-            TraceWalk(*member.walker, {.max_steps = options.max_steps,
-                                       .query_budget = options.query_budget,
-                                       .tracer = options.tracer,
-                                       .trace_track = trace_tracks[i]});
+        result.traces[i] = TraceWalk(
+            *member.walker,
+            {.max_steps = options.max_steps,
+             .query_budget = options.query_budget,
+             .tracer = options.tracer,
+             .trace_track = trace_tracks[i],
+             .progress = options.progress,
+             .progress_walker = static_cast<uint32_t>(i)});
+        if (options.progress != nullptr) {
+          options.progress->FinishWalker(static_cast<uint32_t>(i));
+        }
       },
       run_threads);
 

@@ -46,6 +46,13 @@ struct EnsembleOptions {
   // are identical across num_threads values (pinned by obs_trace_test);
   // multi-walker traces are valid but interleaving-dependent.
   obs::Tracer* tracer = nullptr;
+  // Optional streaming telemetry (must outlive the run): walker i feeds
+  // progress->OnStep(i, ...) and publishes its final state via
+  // FinishWalker(i) when its walk ends. With the tracker's stop rule
+  // disabled, observation cannot change any trace; with it enabled,
+  // walkers halt cooperatively once the ensemble CI target is reached
+  // (the cut point is interleaving-dependent by design).
+  obs::ProgressTracker* progress = nullptr;
 };
 
 // Per-step samples of all walkers concatenated in walker order — the

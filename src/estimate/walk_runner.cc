@@ -24,6 +24,11 @@ TracedWalk TraceWalk(core::Walker& walker, const RunOptions& options) {
       trace.final_status = util::Status::Ok();
       break;
     }
+    if (options.progress != nullptr && options.progress->ShouldStop()) {
+      // Cooperative adaptive stop: the ensemble reached its CI target.
+      trace.final_status = util::Status::Ok();
+      break;
+    }
     bool stop = false;
     {
       // One span per step; the access layer's cache-probe instants land
@@ -49,6 +54,10 @@ TracedWalk TraceWalk(core::Walker& walker, const RunOptions& options) {
           HW_CHECK(degree.ok());
           trace.degrees.push_back(*degree);
           trace.unique_queries.push_back(cost);
+          if (options.progress != nullptr) {
+            options.progress->OnStep(options.progress_walker, node, *degree,
+                                     cost);
+          }
         }
       }
     }

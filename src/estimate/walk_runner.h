@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/walker.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 
 // Drives a walker and records the per-step trace every downstream consumer
@@ -39,6 +40,14 @@ struct RunOptions {
   // nesting inside it. Null = no tracing.
   obs::Tracer* tracer = nullptr;
   uint32_t trace_track = 0;
+  // Optional streaming telemetry: every recorded step is fed to
+  // progress->OnStep(progress_walker, ...), and the walk additionally
+  // stops (with an OK status) when progress->ShouldStop() latches —
+  // the adaptive-stopping hook. Observation is pure (no fetches, no
+  // RNG), so a tracker whose stop rule is disabled cannot change the
+  // trace. Null = no telemetry.
+  obs::ProgressTracker* progress = nullptr;
+  uint32_t progress_walker = 0;
 };
 
 // Steps `walker` (already Reset) until a stop condition fires. With

@@ -1,0 +1,104 @@
+#ifndef HISTWALK_EXPERIMENT_CONVERGENCE_H_
+#define HISTWALK_EXPERIMENT_CONVERGENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/walker_factory.h"
+#include "experiment/datasets.h"
+#include "experiment/error_curve.h"
+#include "net/latency_model.h"
+#include "obs/registry.h"
+#include "util/table.h"
+
+// The adaptive-stopping experiment: how many charged queries does it take
+// to REACH a fixed confidence-interval half-width, and how much of that
+// bill does history pay?
+//
+// Phase 1 (warm-up) crawls the dataset behind a latency-modelled remote
+// service and persists the resulting HistoryCache through a real store
+// snapshot on disk. Phase 2 asks a second, independent question (fresh
+// seeds) with the ONLINE stop rule armed: each run streams batch-means
+// convergence diagnostics and halts itself the moment the estimate's CI
+// half-width crosses the target — twice per target, cold (empty cache)
+// and warm (snapshot restored).
+//
+// Both arms walk the same chains (the runner's determinism contract), so
+// they shrink the CI at the same per-step rate; what differs is what a
+// step COSTS. The warm crawl re-fetches nothing the snapshot holds, so it
+// reaches the same statistical precision for strictly fewer charged
+// queries and less simulated wall-clock — the paper's "history is an
+// asset" claim restated in the units an analyst actually budgets:
+// queries-to-target-CI.
+
+namespace histwalk::experiment {
+
+struct ConvergenceConfig {
+  core::WalkerSpec walker;
+  // Phase-2 sweep: CI half-width targets for the adaptive stop rule
+  // (absolute units of the estimand). Tighter targets need more steps.
+  std::vector<double> ci_targets = {0.8, 0.4, 0.2};
+  uint32_t ensemble_size = 8;
+  // Phase-1 warm-up crawl length per walker.
+  uint64_t warmup_steps = 600;
+  // Safety cap per measured walker: a run that cannot reach its target
+  // stops here instead of crawling forever.
+  uint64_t max_steps = 20000;
+  uint32_t trials = 3;
+  uint64_t seed = 1;
+  uint32_t pipeline_depth = 4;
+  uint32_t max_batch = 8;
+  uint32_t cache_shards = 8;
+  // Streaming cadence: per-walker publication interval for the tracker.
+  uint32_t progress_interval = 32;
+  // Wire model (per-trial seeds derive from `seed`; max_in_flight is set
+  // to pipeline_depth).
+  net::LatencyModelOptions latency;
+  EstimandSpec estimand;
+  // Snapshot file the warmed history round-trips through; "" = a file in
+  // the system temp directory derived from `seed`.
+  std::string snapshot_path;
+  // Optional metrics registry every crawl reports into. Null = none.
+  obs::Registry* registry = nullptr;
+};
+
+// One CI-target row, averaged over trials. The charged/wall columns are
+// the experiment's point; the achieved-CI columns confirm both arms
+// actually hit the target (hit_fraction < 1 means max_steps cut some
+// runs first).
+struct ConvergencePoint {
+  double ci_target = 0.0;
+  double cold_steps = 0.0;  // total ensemble steps to the stop
+  double warm_steps = 0.0;
+  double cold_charged_queries = 0.0;
+  double warm_charged_queries = 0.0;
+  double cold_sim_wall_seconds = 0.0;
+  double warm_sim_wall_seconds = 0.0;
+  double cold_achieved_ci = 0.0;  // final CI half-width at the stop
+  double warm_achieved_ci = 0.0;
+  double cold_hit_fraction = 0.0;  // trials that latched the stop rule
+  double warm_hit_fraction = 0.0;
+  // 1 - warm/cold charged queries: fraction of the bill history paid.
+  double charged_savings = 0.0;
+};
+
+struct ConvergenceResult {
+  std::string dataset_name;
+  std::string walker_name;
+  std::string estimand_name;
+  double ground_truth = 0.0;
+  uint64_t snapshot_entries = 0;
+  uint64_t snapshot_file_bytes = 0;
+  std::vector<ConvergencePoint> points;  // one per CI target
+};
+
+ConvergenceResult RunConvergence(const Dataset& dataset,
+                                 const ConvergenceConfig& config);
+
+// target rows with paired cold/warm steps, charge, wall and achieved-CI
+// columns.
+util::TextTable ConvergenceTable(const ConvergenceResult& result);
+
+}  // namespace histwalk::experiment
+
+#endif  // HISTWALK_EXPERIMENT_CONVERGENCE_H_

@@ -67,8 +67,11 @@ struct Log2Histogram {
   uint64_t Quantile(double q) const {
     if (count == 0) return 0;
     q = std::clamp(q, 0.0, 1.0);
-    const uint64_t rank =
+    uint64_t rank =
         static_cast<uint64_t>(std::ceil(q * static_cast<double>(count)));
+    // q=0 must report the minimum observation's bucket, not bucket 0: a
+    // rank of 0 would satisfy `seen >= rank` before any bucket is counted.
+    if (rank == 0) rank = 1;
     uint64_t seen = 0;
     for (size_t b = 0; b < kBuckets; ++b) {
       seen += buckets[b];

@@ -1,0 +1,301 @@
+#include "obs/progress.h"
+
+#include <cmath>
+#include <shared_mutex>
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace histwalk::obs {
+
+namespace {
+
+// Batch slots per walker before adjacent pairs merge and the batch size
+// doubles. Even by construction (merge triggers at exactly this count).
+constexpr size_t kMaxBatchSlots = 64;
+
+}  // namespace
+
+double NormalQuantile(double p) {
+  // Acklam's rational approximation to the inverse normal CDF;
+  // |relative error| < 1.2e-9 over (0, 1).
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  if (!(p > 0.0 && p < 1.0)) {
+    return p <= 0.0 ? -HUGE_VAL : HUGE_VAL;
+  }
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+ProgressTracker::ProgressTracker(ProgressOptions options)
+    : options_(std::move(options)) {
+  if (options_.flush_interval == 0) options_.flush_interval = 1;
+  if (options_.initial_batch_size == 0) options_.initial_batch_size = 1;
+  if (!(options_.confidence > 0.0 && options_.confidence < 1.0)) {
+    options_.confidence = 0.95;
+  }
+  z_ = NormalQuantile(0.5 + options_.confidence / 2.0);
+  walkers_.reserve(options_.num_walkers);
+  for (uint32_t i = 0; i < options_.num_walkers; ++i) {
+    auto walker = std::make_unique<Walker>();
+    walker->accum.batch_target = options_.initial_batch_size;
+    walker->slot.batch_target = options_.initial_batch_size;
+    walkers_.push_back(std::move(walker));
+  }
+  if (options_.tracer != nullptr) {
+    trace_track_ = options_.tracer->RegisterTrack("estimate");
+    has_trace_track_ = true;
+  }
+}
+
+void ProgressTracker::OnStep(uint32_t walker, uint64_t node, uint32_t degree,
+                             uint64_t unique_queries) {
+  if (walker >= walkers_.size()) return;
+  Accum& a = walkers_[walker]->accum;
+  ++a.steps;
+  a.unique_queries = unique_queries;
+  if (options_.has_estimand) {
+    const double f = options_.value_fn ? options_.value_fn(node, degree)
+                                       : static_cast<double>(degree);
+    double w = 1.0;
+    if (options_.degree_weighted) {
+      w = degree > 0 ? 1.0 / static_cast<double>(degree) : 0.0;
+    }
+    const double wf = w * f;
+    a.sum_w += w;
+    a.sum_wf += wf;
+    a.sum_w2 += w * w;
+    a.sum_w2f += w * wf;
+    a.sum_w2f2 += wf * wf;
+    ++a.batch_len;
+    a.batch_w += w;
+    a.batch_wf += wf;
+    if (a.batch_len >= a.batch_target) {
+      a.closed.push_back(Batch{a.batch_w, a.batch_wf});
+      a.batch_len = 0;
+      a.batch_w = 0.0;
+      a.batch_wf = 0.0;
+      if (a.closed.size() == kMaxBatchSlots) {
+        // Pair-merge adjacent batches; every closed batch again holds
+        // exactly batch_target steps after the doubling.
+        size_t out = 0;
+        for (size_t j = 0; j + 1 < a.closed.size(); j += 2) {
+          a.closed[out++] =
+              Batch{a.closed[j].weight + a.closed[j + 1].weight,
+                    a.closed[j].weighted_value + a.closed[j + 1].weighted_value};
+        }
+        a.closed.resize(out);
+        a.batch_target *= 2;
+      }
+    }
+  }
+  if (++a.since_publish >= options_.flush_interval) {
+    a.since_publish = 0;
+    Publish(walker);
+  }
+}
+
+void ProgressTracker::FinishWalker(uint32_t walker) {
+  if (walker >= walkers_.size()) return;
+  walkers_[walker]->accum.since_publish = 0;
+  Publish(walker);
+}
+
+void ProgressTracker::Publish(uint32_t walker) {
+  Walker& w = *walkers_[walker];
+  // Copy outside the spinlock (the batch vector allocates), swap inside;
+  // the displaced slot state deallocates after release.
+  Accum staged = w.accum;
+  {
+    std::unique_lock<util::RwSpinLock> lock(w.slot_mu);
+    std::swap(w.slot, staged);
+  }
+  Aggregate();
+}
+
+void ProgressTracker::Aggregate() {
+  if (!options_.has_estimand) return;
+  const bool want_stop = options_.stop_at_ci_half_width > 0.0 &&
+                         !stop_.load(std::memory_order_relaxed);
+  if (!has_trace_track_ && !want_stop) return;
+  std::lock_guard<std::mutex> lock(agg_mu_);
+  const ProgressSnapshot snap = Fold();
+  if (has_trace_track_ && snap.has_estimate) {
+    options_.tracer->Counter(trace_track_, "estimate", snap.estimate);
+    if (snap.std_error > 0.0) {
+      options_.tracer->Counter(trace_track_, "ci_half_width",
+                               snap.ci_half_width);
+    }
+  }
+  if (want_stop && snap.has_estimate && snap.std_error > 0.0 &&
+      snap.num_batches >= options_.min_stop_batches &&
+      snap.ci_half_width <= options_.stop_at_ci_half_width) {
+    stop_.store(true, std::memory_order_release);
+  }
+}
+
+ProgressSnapshot ProgressTracker::Fold() const {
+  ProgressSnapshot snap;
+  snap.confidence = options_.confidence;
+  snap.walkers.resize(walkers_.size());
+  double total_w = 0.0;
+  double total_wf = 0.0;
+  // Welford folds: pooled closed-batch estimates (for the SE) and chain
+  // estimates (for R-hat). Walker-index order fixes the reduction order.
+  uint64_t pooled_n = 0;
+  double pooled_mean = 0.0;
+  double pooled_m2 = 0.0;
+  uint32_t chains = 0;
+  double chain_mean = 0.0;
+  double chain_m2 = 0.0;
+  double chain_iid_sum = 0.0;
+  double chain_steps_sum = 0.0;
+  double ess_total = 0.0;
+  for (size_t i = 0; i < walkers_.size(); ++i) {
+    Accum a;
+    {
+      std::shared_lock<util::RwSpinLock> lock(walkers_[i]->slot_mu);
+      a = walkers_[i]->slot;
+    }
+    WalkerProgress& wp = snap.walkers[i];
+    wp.steps = a.steps;
+    wp.unique_queries = a.unique_queries;
+    snap.total_steps += a.steps;
+    snap.unique_queries += a.unique_queries;
+    if (a.steps > 0) ++snap.walkers_reporting;
+    if (!options_.has_estimand || !(a.sum_w > 0.0)) continue;
+    const double est = a.sum_wf / a.sum_w;
+    wp.has_estimate = true;
+    wp.estimate = est;
+    total_w += a.sum_w;
+    total_wf += a.sum_wf;
+    // Delta-method iid variance of one draw's contribution:
+    // Var(w·(f − est)) / mean_w², with the cross terms expanded so it
+    // falls out of the running sums.
+    const double n = static_cast<double>(a.steps);
+    const double mean_w = a.sum_w / n;
+    double resid = a.sum_w2f2 - 2.0 * est * a.sum_w2f + est * est * a.sum_w2;
+    if (resid < 0.0) resid = 0.0;  // rounding guard
+    const double iid_var = resid / n / (mean_w * mean_w);
+    // Own-batch asymptotic variance (paper Definition 3): batch size
+    // times the sample variance of the batch estimates.
+    uint64_t batches = 0;
+    double batch_mean = 0.0;
+    double batch_m2 = 0.0;
+    for (const Batch& batch : a.closed) {
+      if (!(batch.weight > 0.0)) continue;
+      const double be = batch.weighted_value / batch.weight;
+      ++batches;
+      const double d1 = be - batch_mean;
+      batch_mean += d1 / static_cast<double>(batches);
+      batch_m2 += d1 * (be - batch_mean);
+      ++pooled_n;
+      const double d2 = be - pooled_mean;
+      pooled_mean += d2 / static_cast<double>(pooled_n);
+      pooled_m2 += d2 * (be - pooled_mean);
+    }
+    if (batches >= 2) {
+      const double batch_var = batch_m2 / static_cast<double>(batches - 1);
+      const double asym_var =
+          static_cast<double>(a.batch_target) * batch_var;
+      if (iid_var <= 0.0 || asym_var <= 0.0) {
+        wp.ess = n;  // degenerate (constant f): no autocorrelation signal
+      } else {
+        wp.ess = n * iid_var / asym_var;
+      }
+    }
+    ess_total += wp.ess;
+    if (a.steps >= 2) {
+      ++chains;
+      const double d = est - chain_mean;
+      chain_mean += d / static_cast<double>(chains);
+      chain_m2 += d * (est - chain_mean);
+      chain_iid_sum += iid_var;
+      chain_steps_sum += n;
+    }
+  }
+  if (options_.has_estimand && total_w > 0.0) {
+    snap.has_estimate = true;
+    snap.estimate = total_wf / total_w;
+  }
+  snap.num_batches = pooled_n;
+  snap.ess = ess_total;
+  if (pooled_n >= 2) {
+    double pooled_var = pooled_m2 / static_cast<double>(pooled_n - 1);
+    if (pooled_var < 0.0) pooled_var = 0.0;
+    snap.std_error = std::sqrt(pooled_var / static_cast<double>(pooled_n));
+    snap.ci_half_width = z_ * snap.std_error;
+  }
+  if (chains >= 2) {
+    const double within = chain_iid_sum / static_cast<double>(chains);
+    const double between = chain_m2 / static_cast<double>(chains - 1);
+    const double n_bar = chain_steps_sum / static_cast<double>(chains);
+    if (within > 0.0) {
+      const double var_plus = (n_bar - 1.0) / n_bar * within + between;
+      snap.r_hat = std::sqrt(var_plus / within);
+    } else {
+      snap.r_hat = between == 0.0 ? 1.0 : 0.0;
+    }
+  }
+  return snap;
+}
+
+ProgressSnapshot ProgressTracker::Snapshot() const {
+  ProgressSnapshot snap = Fold();
+  {
+    std::lock_guard<std::mutex> lock(fns_mu_);
+    snap.charged_queries =
+        options_.charged_fn ? options_.charged_fn() : frozen_charged_;
+    snap.sim_wall_us = options_.clock_fn ? options_.clock_fn() : frozen_sim_wall_us_;
+  }
+  snap.stop_requested = stop_.load(std::memory_order_acquire);
+  return snap;
+}
+
+void ProgressTracker::AttachCallbacks(std::function<uint64_t()> charged_fn,
+                                      std::function<uint64_t()> clock_fn) {
+  std::lock_guard<std::mutex> lock(fns_mu_);
+  if (charged_fn) options_.charged_fn = std::move(charged_fn);
+  if (clock_fn) options_.clock_fn = std::move(clock_fn);
+}
+
+void ProgressTracker::DetachCallbacks() {
+  std::lock_guard<std::mutex> lock(fns_mu_);
+  if (options_.charged_fn) {
+    frozen_charged_ = options_.charged_fn();
+    options_.charged_fn = nullptr;
+  }
+  if (options_.clock_fn) {
+    frozen_sim_wall_us_ = options_.clock_fn();
+    options_.clock_fn = nullptr;
+  }
+}
+
+}  // namespace histwalk::obs

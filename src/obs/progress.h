@@ -1,0 +1,239 @@
+#ifndef HISTWALK_OBS_PROGRESS_H_
+#define HISTWALK_OBS_PROGRESS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/rw_spinlock.h"
+
+// Streaming convergence telemetry for an in-flight ensemble run.
+//
+// Post-hoc diagnostics (estimate/variance.h batch means, diagnostics.h
+// Geweke z) answer "how good was the estimate" only after Wait()
+// returns. ProgressTracker answers it *while the walk is running*: each
+// walker feeds its visited (node, degree) stream into a private
+// accumulator on the step hot path, and any thread can fold the
+// published per-walker states into an ensemble ProgressSnapshot — running
+// estimate, batch-means standard error, CI half-width at a configurable
+// confidence level, per-walker effective sample size, and cross-walker
+// Gelman–Rubin R-hat — without blocking the walkers.
+//
+// Concurrency contract, chosen to keep the determinism guarantees of the
+// walk itself intact:
+//  * OnStep(walker, ...) is single-writer per walker index: only the
+//    thread driving that walker may call it. It touches walker-private
+//    state only — no shared atomics, no locks — except once every
+//    `flush_interval` own-steps, when it copies the accumulator into a
+//    per-walker publication slot under a tiny spinlock and runs one
+//    aggregation pass (stop-rule evaluation + optional tracer counters).
+//  * Snapshot() may be called from any thread at any time. It reads each
+//    publication slot under a shared lock and folds in walker-index
+//    order, so the floating-point reduction order is fixed. Snapshots
+//    are monotone in total_steps.
+//  * ShouldStop() is a relaxed atomic load — cheap enough for the step
+//    loop. The stop flag latches once the pooled CI half-width reaches
+//    `stop_at_ci_half_width` with at least `min_stop_batches` closed
+//    batches pooled (guarding against a lucky narrow CI from a handful
+//    of early batches).
+//
+// Observation is pure: it issues no graph fetches and consumes no RNG,
+// so enabling progress cannot perturb walk traces, per-walker
+// QueryStats, or bills. Adaptive stopping *does* change where walks end
+// (that is its purpose), and the cut point depends on thread
+// interleaving — byte-identical traces are only guaranteed with the stop
+// rule disabled.
+//
+// Estimator shape: the tracker mirrors the Hansen–Hurwitz ratio
+// estimator used by estimate/estimators.h. With `degree_weighted` set
+// (stationary distribution ∝ degree: SRW and friends), each step
+// contributes weight w = 1/degree and value f(node, degree); the running
+// estimate is Σw·f / Σw. With it clear (uniform stationary: MHRW), w = 1
+// and the estimate is the plain mean. Batch means follow the paper's
+// Definition 3, computed online: per walker, consecutive spans of
+// `batch_target` steps close into (Σw, Σw·f) pairs; when the fixed slot
+// budget fills, adjacent batches pair-merge and the target doubles, so
+// memory stays O(64) per walker while batch size grows with the run —
+// the standard scheme for consistent asymptotic variance online.
+
+namespace histwalk::obs {
+
+class Tracer;
+
+// Inverse standard normal CDF (Acklam's rational approximation,
+// |relative error| < 1.2e-9). Exposed for tests; p in (0, 1).
+double NormalQuantile(double p);
+
+struct ProgressOptions {
+  uint32_t num_walkers = 0;
+  // Own-steps between a walker's publications (slot copy + aggregation
+  // pass). Also the granularity at which the stop rule is evaluated.
+  uint32_t flush_interval = 64;
+  // First batch closes after this many steps; doubles as slots fill.
+  uint32_t initial_batch_size = 32;
+  // Two-sided confidence level for ci_half_width, in (0, 1).
+  double confidence = 0.95;
+
+  // Estimand wiring. With has_estimand false the tracker only counts
+  // steps/queries (no moments, no CI, no stop rule).
+  bool has_estimand = false;
+  // True: importance weight w = 1/degree (degree-proportional stationary
+  // law). False: w = 1 (uniform stationary law, e.g. MHRW).
+  bool degree_weighted = true;
+  // Per-visit value f(node, degree); null means f = degree (the
+  // average-degree estimand).
+  std::function<double(uint64_t node, uint32_t degree)> value_fn;
+
+  // Adaptive stopping: latch ShouldStop() once ci_half_width <= this.
+  // 0 disables the rule.
+  double stop_at_ci_half_width = 0.0;
+  // Minimum pooled closed batches before the stop rule may fire.
+  uint32_t min_stop_batches = 16;
+
+  // Optional environment probes folded into snapshots (never into the
+  // stop rule, which must stay a pure function of the walk stream).
+  // Both may be dropped mid-run via DetachCallbacks().
+  std::function<uint64_t()> charged_fn;  // ensemble charged queries
+  std::function<uint64_t()> clock_fn;    // simulated wire clock, us
+
+  // Optional counter track: each aggregation pass emits 'C' events
+  // (estimate, ci_half_width) so Perfetto shows the CI shrinking against
+  // the wire clock. The track is registered at tracker construction.
+  Tracer* tracer = nullptr;
+};
+
+struct WalkerProgress {
+  uint64_t steps = 0;
+  uint64_t unique_queries = 0;
+  bool has_estimate = false;
+  double estimate = 0.0;
+  // Effective sample size: steps / (asymptotic var / iid var), from this
+  // walker's own closed batches. 0 until two batches close. May exceed
+  // steps for super-efficient chains (the paper's CNRW Theorem 2).
+  double ess = 0.0;
+};
+
+struct ProgressSnapshot {
+  uint64_t total_steps = 0;
+  uint64_t unique_queries = 0;   // summed over walkers
+  uint64_t charged_queries = 0;  // from charged_fn, 0 if none
+  uint64_t sim_wall_us = 0;      // from clock_fn, 0 if none
+  uint32_t walkers_reporting = 0;
+
+  bool has_estimate = false;
+  double estimate = 0.0;
+  // Batch-means standard error of the pooled estimate (0 until two
+  // closed batches exist), and the derived CI half-width at
+  // `confidence`.
+  double std_error = 0.0;
+  double ci_half_width = 0.0;
+  double confidence = 0.0;
+  // Summed per-walker effective sample size.
+  double ess = 0.0;
+  // Gelman–Rubin potential scale reduction across walkers; 0 until two
+  // walkers report estimates. Values near 1 indicate the chains agree.
+  double r_hat = 0.0;
+  uint64_t num_batches = 0;  // pooled closed batches
+
+  bool stop_requested = false;
+  std::vector<WalkerProgress> walkers;
+};
+
+class ProgressTracker {
+ public:
+  explicit ProgressTracker(ProgressOptions options);
+
+  // Hot path; single writer per walker index. `unique_queries` is the
+  // walker's cumulative unique-query count after this step.
+  void OnStep(uint32_t walker, uint64_t node, uint32_t degree,
+              uint64_t unique_queries);
+
+  // Publishes the walker's final state (partial batch included in the
+  // moment sums, though not as a closed batch) and runs one aggregation
+  // pass. Call once per walker when its walk ends, on the walking thread.
+  void FinishWalker(uint32_t walker);
+
+  // Relaxed; safe to call every step.
+  bool ShouldStop() const {
+    return stop_.load(std::memory_order_relaxed);
+  }
+
+  // Folds the latest published per-walker states; never blocks walkers
+  // beyond their spinlocked slot copies.
+  ProgressSnapshot Snapshot() const;
+
+  // Wires (or replaces) the environment probes after construction — the
+  // service does this once the session's billing group exists. Null
+  // leaves the corresponding probe unchanged.
+  void AttachCallbacks(std::function<uint64_t()> charged_fn,
+                       std::function<uint64_t()> clock_fn);
+
+  // Freezes charged_queries / sim_wall_us at their current values and
+  // drops the probes. Call before the objects they capture die (the
+  // service calls this when a session completes, ahead of Detach
+  // destroying its group) — the tracker itself may outlive them inside a
+  // RunHandle.
+  void DetachCallbacks();
+
+  const ProgressOptions& options() const { return options_; }
+
+ private:
+  // Closed batch: (Σw, Σw·f) over exactly `batch_target` steps.
+  struct Batch {
+    double weight = 0.0;
+    double weighted_value = 0.0;
+  };
+
+  // Everything a walker accumulates; copied wholesale into its slot on
+  // publication. Moment sums use w = 1/degree or 1 per the options.
+  struct Accum {
+    uint64_t steps = 0;
+    uint64_t unique_queries = 0;
+    double sum_w = 0.0;
+    double sum_wf = 0.0;
+    double sum_w2 = 0.0;
+    double sum_w2f = 0.0;
+    double sum_w2f2 = 0.0;
+    // Open batch.
+    uint64_t batch_len = 0;
+    double batch_w = 0.0;
+    double batch_wf = 0.0;
+    uint64_t batch_target = 0;
+    std::vector<Batch> closed;
+    uint32_t since_publish = 0;
+  };
+
+  struct Walker {
+    Accum accum;                       // walker-thread private
+    mutable util::RwSpinLock slot_mu;  // guards slot
+    Accum slot;                        // last published state
+  };
+
+  void Publish(uint32_t walker);
+  void Aggregate();
+  ProgressSnapshot Fold() const;
+
+  ProgressOptions options_;
+  double z_ = 0.0;  // NormalQuantile for the configured confidence
+  std::vector<std::unique_ptr<Walker>> walkers_;
+  std::atomic<bool> stop_{false};
+
+  // Serializes aggregation passes (stop-rule evaluation + counter
+  // emission) so counter events appear in fold order per publisher.
+  std::mutex agg_mu_;
+
+  // Guards the probes + their frozen fallbacks.
+  mutable std::mutex fns_mu_;
+  uint64_t frozen_charged_ = 0;
+  uint64_t frozen_sim_wall_us_ = 0;
+
+  uint32_t trace_track_ = 0;
+  bool has_trace_track_ = false;
+};
+
+}  // namespace histwalk::obs
+
+#endif  // HISTWALK_OBS_PROGRESS_H_

@@ -1,6 +1,7 @@
 #include "obs/registry.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 
 namespace histwalk::obs {
@@ -39,6 +40,15 @@ std::string RenderName(const Sample& s, const char* suffix = "",
   return out;
 }
 
+// Scalar rendering shared by both expositions: integers verbatim,
+// double-valued gauges via %.9g (deterministic, locale-free).
+std::string RenderScalar(const Sample& s) {
+  if (!s.is_double) return std::to_string(s.value);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", s.dvalue);
+  return std::string(buf);
+}
+
 void AppendJsonEscaped(std::string& out, std::string_view text) {
   for (char c : text) {
     if (c == '"' || c == '\\') {
@@ -69,7 +79,18 @@ int64_t ScrapeResult::Value(std::string_view name,
   if (s->kind == SampleKind::kHistogram) {
     return static_cast<int64_t>(s->hist.count);
   }
+  if (s->is_double) return static_cast<int64_t>(s->dvalue);
   return s->value;
+}
+
+double ScrapeResult::DValue(std::string_view name,
+                            std::string_view labels) const {
+  const Sample* s = Find(name, labels);
+  if (s == nullptr) return 0.0;
+  if (s->kind == SampleKind::kHistogram) {
+    return static_cast<double>(s->hist.count);
+  }
+  return s->is_double ? s->dvalue : static_cast<double>(s->value);
 }
 
 std::string ScrapeResult::ToPrometheusText() const {
@@ -89,7 +110,7 @@ std::string ScrapeResult::ToPrometheusText() const {
     if (s.kind != SampleKind::kHistogram) {
       out += RenderName(s);
       out += ' ';
-      out += std::to_string(s.value);
+      out += RenderScalar(s);
       out += '\n';
       continue;
     }
@@ -159,7 +180,7 @@ std::string ScrapeResult::ToJson() const {
       }
       out += ']';
     } else {
-      out += ",\"value\":" + std::to_string(s.value);
+      out += ",\"value\":" + RenderScalar(s);
     }
     out += '}';
   }

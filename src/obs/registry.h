@@ -124,6 +124,11 @@ struct Sample {
   std::string labels;
   SampleKind kind = SampleKind::kCounter;
   int64_t value = 0;     // counter / gauge
+  // Double-valued gauge (the hw_est_* convergence metrics): when
+  // is_double is set the renderers emit dvalue with deterministic %.9g
+  // formatting; Value() reports the truncated integer.
+  bool is_double = false;
+  double dvalue = 0.0;
   Log2Histogram hist;    // histogram
 };
 
@@ -137,6 +142,8 @@ struct ScrapeResult {
   // sample is absent — callers asserting identities should Find() first if
   // absence must be distinguished from zero.
   int64_t Value(std::string_view name, std::string_view labels = "") const;
+  // Like Value() but preserving double-valued gauges exactly.
+  double DValue(std::string_view name, std::string_view labels = "") const;
 
   std::string ToPrometheusText() const;
   std::string ToJson() const;

@@ -1,6 +1,7 @@
 #include "obs/trace.h"
 
 #include <chrono>
+#include <cstdio>
 #include <fstream>
 
 #include "util/check.h"
@@ -108,6 +109,14 @@ void Tracer::Instant(uint32_t track, const char* name, std::string args) {
 void Tracer::Complete(uint32_t track, const char* name, uint64_t ts_us,
                       uint64_t dur_us, std::string args) {
   Append(track, Event{'X', name, ts_us, dur_us, std::move(args)});
+}
+
+void Tracer::Counter(uint32_t track, const char* name, double value) {
+  // %.9g round-trips the values the estimators produce while keeping the
+  // rendering deterministic (no locale, no trailing-zero variance).
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "\"value\":%.9g", value);
+  Append(track, Event{'C', name, 0, 0, std::string(buf)});
 }
 
 uint64_t Tracer::num_events() const {

@@ -81,6 +81,10 @@ class Tracer {
   void Instant(uint32_t track, const char* name, std::string args = "");
   void Complete(uint32_t track, const char* name, uint64_t ts_us,
                 uint64_t dur_us, std::string args = "");
+  // Counter sample ('C'): Perfetto renders the series `name` on `track`
+  // as a step chart against the trace clock. Used by ProgressTracker to
+  // plot the running estimate / CI half-width against the wire clock.
+  void Counter(uint32_t track, const char* name, double value);
 
   // Current simulated time (0 without a clock) — for callers computing
   // Complete() durations.
@@ -96,7 +100,7 @@ class Tracer {
 
  private:
   struct Event {
-    char ph;           // 'B', 'E', 'i', 'X'
+    char ph;           // 'B', 'E', 'i', 'X', 'C'
     const char* name;  // literal
     uint64_t ts = 0;
     uint64_t dur = 0;  // 'X' only

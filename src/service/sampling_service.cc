@@ -139,6 +139,13 @@ util::Result<SessionId> SamplingService::Submit(const SessionOptions& options) {
   }
   session->tenant = pipeline_.AddTenant(session->group.get(), options.weight);
   session->group->set_async_fetcher(pipeline_.tenant_fetcher(session->tenant));
+  if (session->options.progress != nullptr) {
+    // The tracker's charge probe reads this session's own billing group;
+    // RunSession freezes it before Detach can destroy the group.
+    session->options.progress->AttachCallbacks(
+        [group = session->group.get()] { return group->charged_queries(); },
+        options_.clock);
+  }
   session->report.id = session->id;
   session->report.submit_clock_us = ClockNowUs();
   ++submitted_;
@@ -156,9 +163,17 @@ void SamplingService::RunSession(Session* session) {
   ensemble_options.max_steps = session->options.max_steps;
   ensemble_options.query_budget = session->options.query_budget;
   ensemble_options.tracer = options_.tracer;
+  obs::ProgressTracker* progress = session->options.progress.get();
+  ensemble_options.progress = progress;
   auto result = estimate::RunEnsembleAttached(
       *session->group, session->options.walker, ensemble_options);
   const uint64_t done_us = ClockNowUs();
+  if (progress != nullptr) {
+    // Freeze the probes while the group is still guaranteed alive (Detach
+    // refuses running sessions, and state only flips under mu_ below) —
+    // the shared tracker may outlive the session inside a caller's handle.
+    progress->DetachCallbacks();
+  }
 
   std::lock_guard<std::mutex> lock(mu_);
   if (result.ok()) {
@@ -167,6 +182,10 @@ void SamplingService::RunSession(Session* session) {
     session->report.pipeline = pipeline_.tenant_stats(session->tenant);
     if (session->flight != nullptr) {
       session->report.flight = session->flight->TakeLog();
+    }
+    if (progress != nullptr) {
+      session->report.has_progress = true;
+      session->report.progress = progress->Snapshot();
     }
     session->report.done_clock_us = done_us;
     session->state = SessionState::kDone;

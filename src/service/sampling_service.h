@@ -16,6 +16,7 @@
 #include "estimate/ensemble_runner.h"
 #include "net/request_pipeline.h"
 #include "obs/flight_recorder.h"
+#include "obs/progress.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "store/history_store.h"
@@ -96,6 +97,14 @@ struct SessionOptions {
   // Fair-scheduler weight: batches per scheduling cycle relative to other
   // tenants. Clamped to >= 1.
   uint32_t weight = 1;
+  // Optional streaming telemetry for this session: walkers feed the
+  // tracker on every step, Submit wires its charged-queries probe to the
+  // session's billing group (and its clock to the service clock), and
+  // the final snapshot lands in SessionReport::progress. The tracker is
+  // shared so the submitter can keep polling Snapshot() while — and
+  // after — the session runs; the service freezes the probes before the
+  // group can die.
+  std::shared_ptr<obs::ProgressTracker> progress;
 };
 
 struct ServiceOptions {
@@ -150,6 +159,10 @@ struct SessionReport {
   // The tail of this session's miss-path outcomes (bounded ring, see
   // ServiceOptions::flight_recorder_capacity). Empty when disabled.
   obs::FlightLog flight;
+  // Final convergence snapshot (has_progress set when the session was
+  // submitted with a ProgressTracker).
+  bool has_progress = false;
+  obs::ProgressSnapshot progress;
   uint64_t submit_clock_us = 0;
   uint64_t done_clock_us = 0;
   uint64_t LatencyUs() const { return done_clock_us - submit_clock_us; }

@@ -211,5 +211,50 @@ TEST(ApiEquivalenceTest, AllThreeModesProduceIdenticalTraces) {
   EXPECT_EQ(inline_run.charged_queries, service.charged_queries);
 }
 
+// ---- progress-tracking equivalence ------------------------------------
+
+// Observation is pure: with the adaptive stop rule OFF, a
+// progress-tracked run must not move a single trace byte, stat or charge
+// in any execution mode or thread count. (Stopping is the one thing
+// allowed to change where walks end, and it is opt-in.)
+TEST(ApiEquivalenceTest, ProgressTrackingNeverChangesTheRun) {
+  graph::Graph graph = TestGraph();
+  auto base = [&] {
+    return SamplerBuilder()
+        .OverGraph(&graph)
+        .WithWalker({.type = core::WalkerType::kCnrw})
+        .WithEnsemble(kWalkers, kSeed)
+        .StopAfterSteps(kSteps)
+        .EstimateAverageDegree();
+  };
+  for (auto configure :
+       {+[](SamplerBuilder& b) { b.RunInline(/*num_threads=*/1); },
+        +[](SamplerBuilder& b) { b.RunInline(/*num_threads=*/4); },
+        +[](SamplerBuilder& b) { b.RunPipelined({.depth = 4}); },
+        +[](SamplerBuilder& b) { b.RunAsService({.max_sessions = 1}); }}) {
+    SamplerBuilder plain_builder = base();
+    configure(plain_builder);
+    RunReport plain = FacadeRun(std::move(plain_builder));
+
+    SamplerBuilder tracked_builder = base().TrackProgress(/*interval=*/16);
+    configure(tracked_builder);
+    RunReport tracked = FacadeRun(std::move(tracked_builder));
+
+    ExpectSameRun(plain.ensemble, tracked.ensemble);
+    EXPECT_EQ(plain.charged_queries, tracked.charged_queries);
+    EXPECT_EQ(plain.estimate, tracked.estimate);
+    EXPECT_TRUE(tracked.has_progress);
+    EXPECT_FALSE(tracked.stopped_at_ci_target);
+    // The convergence finals agree too: the untracked run replays its
+    // traces through a fresh tracker, the tracked run reads its live one
+    // — same streams, same fold order, bitwise-equal numbers.
+    EXPECT_EQ(plain.std_error, tracked.std_error);
+    EXPECT_EQ(plain.ci_half_width, tracked.ci_half_width);
+    EXPECT_EQ(plain.ess, tracked.ess);
+    EXPECT_EQ(plain.r_hat, tracked.r_hat);
+    EXPECT_EQ(plain.num_batches, tracked.num_batches);
+  }
+}
+
 }  // namespace
 }  // namespace histwalk::api

@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/sampler.h"
+#include "graph/generators.h"
+#include "obs/progress.h"
+#include "obs/registry.h"
+#include "util/random.h"
+
+// The streaming-progress surface of the api/ facade: RunHandle::Progress()
+// snapshots are monotone and converge to the RunReport finals, the
+// convergence finals appear even for untracked runs (trace replay), the
+// adaptive stop rule halts every execution mode early, invalid stop
+// configurations are refused, and the hw_est_* gauge family lands in the
+// registry (labelled per session in service mode).
+
+namespace histwalk::api {
+namespace {
+
+graph::Graph TestGraph() {
+  util::Random rng(21);
+  return graph::MakeWattsStrogatz(/*n=*/500, /*k=*/6, /*beta=*/0.2, rng);
+}
+
+SamplerBuilder BaseBuilder(const graph::Graph& graph) {
+  return SamplerBuilder()
+      .OverGraph(&graph)
+      .WithWalker({.type = core::WalkerType::kCnrw})
+      .WithEnsemble(/*num_walkers=*/4, /*seed=*/13)
+      .StopAfterSteps(600)
+      .EstimateAverageDegree();
+}
+
+// Satellite: the convergence finals ship with EVERY estimand-selecting
+// run — an untracked report replays its traces through a fresh tracker.
+TEST(ApiProgressTest, UntrackedRunsCarryConvergenceFinals) {
+  graph::Graph graph = TestGraph();
+  auto sampler = BaseBuilder(graph).RunInline().Build();
+  ASSERT_TRUE(sampler.ok()) << sampler.status();
+  auto handle = (*sampler)->Run();
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  auto report = handle->Wait();
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_TRUE(report->has_estimate);
+  EXPECT_FALSE(report->has_progress);  // nothing streamed...
+  EXPECT_GT(report->std_error, 0.0);   // ...but the finals are there
+  EXPECT_GT(report->num_batches, 1u);
+  EXPECT_NEAR(report->ci_half_width,
+              obs::NormalQuantile(0.975) * report->std_error, 1e-12);
+  EXPECT_EQ(report->confidence, 0.95);
+  EXPECT_GT(report->ess, 0.0);
+  EXPECT_GT(report->r_hat, 0.0);
+  // An untracked handle answers Progress() with an empty snapshot rather
+  // than failing.
+  EXPECT_EQ(handle->Progress().total_steps, 0u);
+}
+
+TEST(ApiProgressTest, ConfidenceLevelWidensTheInterval) {
+  graph::Graph graph = TestGraph();
+  auto run_at = [&](double confidence) {
+    auto sampler =
+        BaseBuilder(graph).WithConfidenceLevel(confidence).RunInline().Build();
+    EXPECT_TRUE(sampler.ok()) << sampler.status();
+    auto report = (*sampler)->Run().value().Wait();
+    EXPECT_TRUE(report.ok()) << report.status();
+    return *report;
+  };
+  const RunReport at90 = run_at(0.90);
+  const RunReport at99 = run_at(0.99);
+  EXPECT_EQ(at90.std_error, at99.std_error);  // same walk, same SE
+  EXPECT_LT(at90.ci_half_width, at99.ci_half_width);
+  EXPECT_EQ(at90.confidence, 0.90);
+  EXPECT_EQ(at99.confidence, 0.99);
+}
+
+// Acceptance: Progress() snapshots are monotone in steps while the run
+// is in flight, and the final snapshot equals the RunReport finals.
+TEST(ApiProgressTest, ProgressSnapshotsAreMonotoneAndConverge) {
+  graph::Graph graph = TestGraph();
+  auto sampler = BaseBuilder(graph).TrackProgress(/*interval=*/8).RunInline()
+                     .Build();
+  ASSERT_TRUE(sampler.ok()) << sampler.status();
+  auto handle = (*sampler)->Run();
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  uint64_t last_total = 0;
+  while (handle->Poll() == RunState::kRunning) {
+    const obs::ProgressSnapshot snap = handle->Progress();
+    EXPECT_GE(snap.total_steps, last_total);
+    last_total = snap.total_steps;
+  }
+  auto report = handle->Wait();
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_TRUE(report->has_progress);
+  const obs::ProgressSnapshot final_snap = handle->Progress();
+  EXPECT_GE(final_snap.total_steps, last_total);
+  EXPECT_EQ(final_snap.total_steps, report->progress.total_steps);
+  EXPECT_EQ(final_snap.estimate, report->progress.estimate);
+  EXPECT_EQ(final_snap.std_error, report->progress.std_error);
+  EXPECT_EQ(final_snap.ess, report->progress.ess);
+  EXPECT_EQ(final_snap.r_hat, report->progress.r_hat);
+  // The report-level finals are the snapshot's numbers verbatim.
+  EXPECT_EQ(report->std_error, report->progress.std_error);
+  EXPECT_EQ(report->ci_half_width, report->progress.ci_half_width);
+  EXPECT_EQ(report->ess, report->progress.ess);
+  EXPECT_EQ(report->r_hat, report->progress.r_hat);
+  EXPECT_EQ(report->num_batches, report->progress.num_batches);
+  // 4 walkers x 600 steps, nothing stopped early.
+  EXPECT_EQ(final_snap.total_steps, 4u * 600u);
+  EXPECT_FALSE(report->stopped_at_ci_target);
+}
+
+// Acceptance: with the stop rule armed, every execution mode halts
+// before its step budget once the CI target is hit, and says so.
+TEST(ApiProgressTest, AdaptiveStopHaltsEveryMode) {
+  graph::Graph graph = TestGraph();
+  constexpr uint64_t kMaxSteps = 20000;
+  for (auto configure :
+       {+[](SamplerBuilder& b) { b.RunInline(/*num_threads=*/2); },
+        +[](SamplerBuilder& b) {
+          b.WithRemoteWire({.seed = 5, .base_latency_us = 50})
+              .RunPipelined({.depth = 2});
+        },
+        +[](SamplerBuilder& b) { b.RunAsService({.max_sessions = 1}); }}) {
+    SamplerBuilder builder = SamplerBuilder()
+                                 .OverGraph(&graph)
+                                 .WithWalker({.type = core::WalkerType::kCnrw})
+                                 .WithEnsemble(/*num_walkers=*/4, /*seed=*/13)
+                                 .StopAfterSteps(kMaxSteps)
+                                 .EstimateAverageDegree()
+                                 .TrackProgress(/*interval=*/16)
+                                 // Loose target on a near-regular graph:
+                                 // reachable long before the step budget.
+                                 .StopAtCiHalfWidth(1.0);
+    configure(builder);
+    auto sampler = builder.Build();
+    ASSERT_TRUE(sampler.ok()) << sampler.status();
+    auto handle = (*sampler)->Run();
+    ASSERT_TRUE(handle.ok()) << handle.status();
+    auto report = handle->Wait();
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_TRUE(report->stopped_at_ci_target);
+    EXPECT_LE(report->ci_half_width, 1.0);
+    uint64_t total_steps = 0;
+    for (const auto& trace : report->ensemble.traces) {
+      total_steps += trace.num_steps();
+    }
+    EXPECT_LT(total_steps, 4 * kMaxSteps);
+    EXPECT_GT(total_steps, 0u);
+    ASSERT_TRUE(report->has_estimate);
+    EXPECT_NEAR(report->estimate, graph.AverageDegree(), 2.0);
+  }
+}
+
+TEST(ApiProgressTest, StopTargetWithoutEstimandIsRefused) {
+  graph::Graph graph = TestGraph();
+  // At Build time.
+  auto sampler = SamplerBuilder()
+                     .OverGraph(&graph)
+                     .WithWalker({.type = core::WalkerType::kCnrw})
+                     .WithEnsemble(2, 1)
+                     .StopAfterSteps(100)
+                     .StopAtCiHalfWidth(0.5)
+                     .RunInline()
+                     .Build();
+  ASSERT_FALSE(sampler.ok());
+  EXPECT_EQ(sampler.status().code(), util::StatusCode::kInvalidArgument);
+  // At Run time.
+  auto plain = SamplerBuilder()
+                   .OverGraph(&graph)
+                   .WithWalker({.type = core::WalkerType::kCnrw})
+                   .WithEnsemble(2, 1)
+                   .StopAfterSteps(100)
+                   .RunInline()
+                   .Build();
+  ASSERT_TRUE(plain.ok()) << plain.status();
+  RunOptions options = (*plain)->default_run_options();
+  options.stop_at_ci_half_width = 0.5;
+  auto handle = (*plain)->Run(options);
+  ASSERT_FALSE(handle.ok());
+  EXPECT_EQ(handle.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(ApiProgressTest, InvalidConfidenceIsRefused) {
+  graph::Graph graph = TestGraph();
+  for (double confidence : {0.0, 1.0, -0.5, 1.5}) {
+    auto sampler =
+        BaseBuilder(graph).WithConfidenceLevel(confidence).RunInline().Build();
+    ASSERT_FALSE(sampler.ok()) << "confidence " << confidence;
+    EXPECT_EQ(sampler.status().code(), util::StatusCode::kInvalidArgument);
+  }
+}
+
+// Tentpole surface (2): the hw_est_* gauge family is scraped from the
+// run's registry — unlabelled in thread modes.
+TEST(ApiProgressTest, EstimateGaugesLandInTheRegistry) {
+  graph::Graph graph = TestGraph();
+  obs::Registry registry;
+  auto sampler = BaseBuilder(graph)
+                     .TrackProgress(/*interval=*/8)
+                     .WithObservability({.registry = &registry})
+                     .RunInline()
+                     .Build();
+  ASSERT_TRUE(sampler.ok()) << sampler.status();
+  auto report = (*sampler)->Run().value().Wait();
+  ASSERT_TRUE(report.ok()) << report.status();
+  const obs::ScrapeResult scrape = registry.Scrape();
+  // The gauge carries the tracker's ONLINE ratio estimate (the snapshot's
+  // number) — mathematically the merged-samples estimate, but folded in a
+  // different order, so compare against the snapshot, not the report.
+  EXPECT_EQ(scrape.DValue("hw_est_estimate"), report->progress.estimate);
+  EXPECT_NEAR(report->progress.estimate, report->estimate, 1e-9);
+  EXPECT_EQ(scrape.DValue("hw_est_std_error"), report->std_error);
+  EXPECT_EQ(scrape.DValue("hw_est_ci_half_width"), report->ci_half_width);
+  EXPECT_EQ(scrape.DValue("hw_est_confidence"), 0.95);
+  EXPECT_EQ(scrape.DValue("hw_est_ess"), report->ess);
+  EXPECT_EQ(scrape.DValue("hw_est_r_hat"), report->r_hat);
+  EXPECT_EQ(scrape.Value("hw_est_steps"),
+            static_cast<int64_t>(report->progress.total_steps));
+  EXPECT_EQ(scrape.Value("hw_est_num_batches"),
+            static_cast<int64_t>(report->num_batches));
+}
+
+// Tentpole surface (4): service mode reports per-session progress and
+// labels each session's gauges.
+TEST(ApiProgressTest, ServiceModeLabelsPerSessionGauges) {
+  graph::Graph graph = TestGraph();
+  obs::Registry registry;
+  auto sampler = BaseBuilder(graph)
+                     .TrackProgress(/*interval=*/8)
+                     .WithObservability({.registry = &registry})
+                     .RunAsService({.max_sessions = 2})
+                     .Build();
+  ASSERT_TRUE(sampler.ok()) << sampler.status();
+  auto handle = (*sampler)->Run();
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  auto report = handle->Wait();
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_TRUE(report->has_progress);
+  EXPECT_GT(report->progress.total_steps, 0u);
+  EXPECT_GT(report->std_error, 0.0);
+  // The session's tracker outlives its detach inside the handle; the
+  // scrape reports it under its session label.
+  const obs::ScrapeResult scrape = registry.Scrape();
+  EXPECT_EQ(scrape.DValue("hw_est_estimate", "session=\"1\""),
+            report->progress.estimate);
+  EXPECT_EQ(scrape.DValue("hw_est_ci_half_width", "session=\"1\""),
+            report->progress.ci_half_width);
+  EXPECT_EQ(scrape.Value("hw_est_steps", "session=\"1\""),
+            static_cast<int64_t>(report->progress.total_steps));
+  // A second session gets its own label.
+  auto handle2 = (*sampler)->Run();
+  ASSERT_TRUE(handle2.ok()) << handle2.status();
+  auto report2 = handle2->Wait();
+  ASSERT_TRUE(report2.ok()) << report2.status();
+  const obs::ScrapeResult scrape2 = registry.Scrape();
+  EXPECT_EQ(scrape2.DValue("hw_est_estimate", "session=\"2\""),
+            report2->progress.estimate);
+}
+
+// Non-blocking while running: Progress() must answer (possibly with an
+// early snapshot) without waiting for the walk, in pipelined mode too.
+TEST(ApiProgressTest, ProgressAnswersWhileRunning) {
+  graph::Graph graph = TestGraph();
+  auto sampler = BaseBuilder(graph)
+                     .WithRemoteWire({.seed = 9, .base_latency_us = 200})
+                     .TrackProgress(/*interval=*/8)
+                     .RunPipelined({.depth = 2})
+                     .Build();
+  ASSERT_TRUE(sampler.ok()) << sampler.status();
+  auto handle = (*sampler)->Run();
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  // Any number of polls while in flight must be safe.
+  std::vector<uint64_t> totals;
+  while (handle->Poll() == RunState::kRunning) {
+    totals.push_back(handle->Progress().total_steps);
+  }
+  for (size_t i = 1; i < totals.size(); ++i) {
+    EXPECT_GE(totals[i], totals[i - 1]);
+  }
+  auto report = handle->Wait();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_GT(handle->Progress().total_steps, 0u);
+  // Snapshots fold the simulated wire clock in.
+  EXPECT_GT(handle->Progress().sim_wall_us, 0u);
+}
+
+}  // namespace
+}  // namespace histwalk::api

@@ -113,5 +113,61 @@ TEST(FlightRecorderTest, ConcurrentRecordingLosesNothingToRaces) {
   EXPECT_EQ(recorder.Snapshot().size(), kCapacity);
 }
 
+// Wraparound stress at TINY capacity: with the ring this small every
+// record overwrites, so any slip in the head/drop arithmetic shows up as
+// an off-by-one immediately. At quiescence the accounting must be exact:
+// dropped == total - capacity, and the surviving events must be real
+// records (no torn slots), each the newest of its writer at the time it
+// was kept.
+TEST(FlightRecorderTest, TinyCapacityWraparoundDropsExactly) {
+  constexpr size_t kCapacity = 3;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  FlightRecorder recorder(kCapacity);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder, t] {
+      for (uint64_t n = 0; n < kPerThread; ++n) {
+        recorder.Record(Event(static_cast<uint64_t>(t) * kPerThread + n));
+      }
+    });
+  }
+  // Concurrent observers: the ring never exceeds capacity and the
+  // counters never go backwards.
+  uint64_t last_total = 0;
+  for (int s = 0; s < 50; ++s) {
+    const FlightLog log = recorder.TakeLog();
+    EXPECT_LE(log.events.size(), kCapacity);
+    EXPECT_GE(log.total_recorded, last_total);
+    EXPECT_LE(log.dropped, log.total_recorded);
+    last_total = log.total_recorded;
+  }
+  for (auto& thread : threads) thread.join();
+  // Quiescent: exact accounting, full ring, well-formed survivors.
+  constexpr uint64_t kTotal = uint64_t{kThreads} * kPerThread;
+  EXPECT_EQ(recorder.total_recorded(), kTotal);
+  EXPECT_EQ(recorder.dropped(), kTotal - kCapacity);
+  const std::vector<FlightEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), kCapacity);
+  for (const FlightEvent& event : events) {
+    EXPECT_LT(event.node, kTotal);
+    EXPECT_EQ(event.kind, FlightEventKind::kWireFetch);
+    EXPECT_EQ(event.start_us, event.node * 10);
+    EXPECT_EQ(event.end_us, event.node * 10 + 5);
+  }
+}
+
+// Capacity one is the degenerate ring: only the newest record survives,
+// and single-writer order makes the survivor predictable.
+TEST(FlightRecorderTest, CapacityOneKeepsOnlyTheNewest) {
+  FlightRecorder recorder(/*capacity=*/1);
+  for (uint64_t n = 0; n < 1000; ++n) recorder.Record(Event(n));
+  EXPECT_EQ(recorder.total_recorded(), 1000u);
+  EXPECT_EQ(recorder.dropped(), 999u);
+  const std::vector<FlightEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].node, 999u);
+}
+
 }  // namespace
 }  // namespace histwalk::obs

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "obs/histogram.h"
+
+// Log2Histogram edge cases around Quantile: the ends of the q range, the
+// degenerate single-observation histogram, and the Merge contract that a
+// merged histogram answers quantiles exactly as if the combined
+// population had been recorded into one histogram.
+
+namespace histwalk::obs {
+namespace {
+
+TEST(Log2HistogramTest, EmptyHistogramQuantilesAreZero) {
+  Log2Histogram histogram;
+  EXPECT_EQ(histogram.Quantile(0.0), 0u);
+  EXPECT_EQ(histogram.Quantile(0.5), 0u);
+  EXPECT_EQ(histogram.Quantile(1.0), 0u);
+}
+
+TEST(Log2HistogramTest, SingleObservationAnswersEveryQuantile) {
+  Log2Histogram histogram;
+  histogram.Record(100);  // bucket [64, 128), upper bound 127, max 100
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    // Upper bound clamped by max: the single observation IS the
+    // distribution.
+    EXPECT_EQ(histogram.Quantile(q), 100u) << "q=" << q;
+  }
+}
+
+// q=0 must report the minimum observation's bucket, not bucket 0: a
+// rank of zero would "find" bucket 0 before counting anything.
+TEST(Log2HistogramTest, QuantileZeroReportsTheMinimumBucket) {
+  Log2Histogram histogram;
+  histogram.Record(9);   // bucket [8, 16), upper bound 15
+  histogram.Record(70);  // bucket [64, 128)
+  EXPECT_EQ(histogram.Quantile(0.0), 15u);
+  // With an actual zero recorded, q=0 legitimately reports bucket 0.
+  Log2Histogram with_zero;
+  with_zero.Record(0);
+  with_zero.Record(70);
+  EXPECT_EQ(with_zero.Quantile(0.0), 0u);
+}
+
+TEST(Log2HistogramTest, QuantileOneReportsTheMaximum) {
+  Log2Histogram histogram;
+  for (uint64_t v : {1u, 2u, 3u, 100u, 1000u}) histogram.Record(v);
+  // Bucket upper bound of 1000's bucket is 1023; clamped to max.
+  EXPECT_EQ(histogram.Quantile(1.0), 1000u);
+  // Out-of-range q clamps.
+  EXPECT_EQ(histogram.Quantile(2.0), 1000u);
+  EXPECT_EQ(histogram.Quantile(-1.0), histogram.Quantile(0.0));
+}
+
+TEST(Log2HistogramTest, QuantileIsNeverAnUnderestimate) {
+  Log2Histogram histogram;
+  std::vector<uint64_t> values;
+  for (uint64_t i = 0; i < 200; ++i) {
+    const uint64_t v = (i * 37) % 500;
+    histogram.Record(v);
+    values.push_back(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0}) {
+    const size_t index =
+        q == 0.0 ? 0
+                 : static_cast<size_t>(
+                       std::ceil(q * static_cast<double>(values.size()))) -
+                       1;
+    EXPECT_GE(histogram.Quantile(q), values[index]) << "q=" << q;
+  }
+}
+
+// Merge-then-Quantile must equal the quantile of one histogram that
+// recorded the pooled observations — pointwise bucket addition loses
+// nothing at bucket resolution.
+TEST(Log2HistogramTest, MergeThenQuantileEqualsPooledQuantile) {
+  Log2Histogram left;
+  Log2Histogram right;
+  Log2Histogram pooled;
+  for (uint64_t i = 0; i < 300; ++i) {
+    const uint64_t v = (i * i + 13) % 2048;
+    if (i % 2 == 0) {
+      left.Record(v);
+    } else {
+      right.Record(v);
+    }
+    pooled.Record(v);
+  }
+  Log2Histogram merged = left;
+  merged.Merge(right);
+  EXPECT_EQ(merged.count, pooled.count);
+  EXPECT_EQ(merged.sum, pooled.sum);
+  EXPECT_EQ(merged.max, pooled.max);
+  for (double q : {0.0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(merged.Quantile(q), pooled.Quantile(q)) << "q=" << q;
+  }
+  // Merge into an empty histogram is the identity too.
+  Log2Histogram from_empty;
+  from_empty.Merge(pooled);
+  for (double q : {0.0, 0.5, 1.0}) {
+    EXPECT_EQ(from_empty.Quantile(q), pooled.Quantile(q)) << "q=" << q;
+  }
+}
+
+}  // namespace
+}  // namespace histwalk::obs

@@ -1,0 +1,377 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "obs/progress.h"
+#include "obs/trace.h"
+
+// ProgressTracker's contract: online Hansen–Hurwitz moments per walker,
+// batch-means standard error with the doubling slot scheme, monotone
+// snapshots, a stop rule that is a pure function of the walk stream, and
+// publication that is safe against concurrent readers (the TSan target —
+// walker threads publish while reader threads fold).
+
+namespace histwalk::obs {
+namespace {
+
+// Deterministic degree stream with enough wobble that batch means differ
+// (a constant stream has zero batch-means variance and can never trip
+// the stop rule).
+uint32_t DegreeAt(uint64_t i) {
+  return static_cast<uint32_t>(3 + (i * 2654435761u >> 28) % 13);
+}
+
+ProgressOptions EstimandOptions(uint32_t num_walkers) {
+  ProgressOptions options;
+  options.num_walkers = num_walkers;
+  options.flush_interval = 4;
+  options.initial_batch_size = 8;
+  options.has_estimand = true;
+  options.degree_weighted = true;
+  return options;
+}
+
+TEST(NormalQuantileTest, MatchesKnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(NormalQuantile(0.995), 2.575829, 1e-5);
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-9);
+  // Symmetry of the inverse CDF.
+  EXPECT_NEAR(NormalQuantile(0.025), -NormalQuantile(0.975), 1e-9);
+  EXPECT_NEAR(NormalQuantile(0.841344746), 1.0, 1e-6);
+}
+
+// Uniform stationary law (w = 1): the running estimate is the plain mean
+// of f over visited nodes.
+TEST(ProgressTrackerTest, UnweightedEstimateIsPlainMean) {
+  ProgressOptions options = EstimandOptions(1);
+  options.degree_weighted = false;
+  ProgressTracker tracker(options);
+  double sum = 0.0;
+  const uint64_t kSteps = 100;
+  for (uint64_t i = 0; i < kSteps; ++i) {
+    const uint32_t degree = DegreeAt(i);
+    tracker.OnStep(0, /*node=*/i, degree, /*unique_queries=*/i + 1);
+    sum += degree;
+  }
+  tracker.FinishWalker(0);
+  const ProgressSnapshot snap = tracker.Snapshot();
+  EXPECT_EQ(snap.total_steps, kSteps);
+  EXPECT_EQ(snap.unique_queries, kSteps);
+  ASSERT_TRUE(snap.has_estimate);
+  EXPECT_NEAR(snap.estimate, sum / kSteps, 1e-12);
+}
+
+// Degree-proportional stationary law with f = degree: the ratio estimator
+// collapses to the harmonic mean n / Σ(1/deg) — the classic unbiased
+// average-degree estimate from a degree-biased walk.
+TEST(ProgressTrackerTest, DegreeWeightedEstimateIsHarmonicMean) {
+  ProgressTracker tracker(EstimandOptions(1));
+  double inv_sum = 0.0;
+  const uint64_t kSteps = 200;
+  for (uint64_t i = 0; i < kSteps; ++i) {
+    const uint32_t degree = DegreeAt(i);
+    tracker.OnStep(0, i, degree, i + 1);
+    inv_sum += 1.0 / degree;
+  }
+  tracker.FinishWalker(0);
+  const ProgressSnapshot snap = tracker.Snapshot();
+  ASSERT_TRUE(snap.has_estimate);
+  EXPECT_NEAR(snap.estimate, static_cast<double>(kSteps) / inv_sum, 1e-12);
+}
+
+TEST(ProgressTrackerTest, ValueFnSelectsTheEstimand) {
+  ProgressOptions options = EstimandOptions(1);
+  options.degree_weighted = false;
+  options.value_fn = [](uint64_t node, uint32_t) {
+    return node % 2 == 0 ? 1.0 : 0.0;  // indicator estimand
+  };
+  ProgressTracker tracker(options);
+  for (uint64_t i = 0; i < 50; ++i) tracker.OnStep(0, i, 5, i + 1);
+  tracker.FinishWalker(0);
+  const ProgressSnapshot snap = tracker.Snapshot();
+  ASSERT_TRUE(snap.has_estimate);
+  EXPECT_NEAR(snap.estimate, 0.5, 1e-12);
+}
+
+// The doubling scheme: closed batches never exceed the fixed slot budget
+// however long the run, and the standard error comes out positive once
+// batch means differ.
+TEST(ProgressTrackerTest, BatchDoublingBoundsSlotCount) {
+  ProgressOptions options = EstimandOptions(1);
+  options.initial_batch_size = 1;
+  ProgressTracker tracker(options);
+  for (uint64_t i = 0; i < 10000; ++i) {
+    tracker.OnStep(0, i, DegreeAt(i), i + 1);
+  }
+  tracker.FinishWalker(0);
+  const ProgressSnapshot snap = tracker.Snapshot();
+  EXPECT_GT(snap.num_batches, 1u);
+  EXPECT_LE(snap.num_batches, 64u);  // kMaxBatchSlots
+  EXPECT_GT(snap.std_error, 0.0);
+  EXPECT_GT(snap.ci_half_width, snap.std_error);  // z > 1 at 95%
+  EXPECT_NEAR(snap.ci_half_width, NormalQuantile(0.975) * snap.std_error,
+              1e-12);
+  EXPECT_GT(snap.ess, 0.0);
+}
+
+TEST(ProgressTrackerTest, SnapshotsAreMonotoneInSteps) {
+  ProgressTracker tracker(EstimandOptions(2));
+  uint64_t last_total = 0;
+  for (uint64_t i = 0; i < 200; ++i) {
+    tracker.OnStep(0, i, DegreeAt(i), i + 1);
+    if (i % 3 == 0) tracker.OnStep(1, i, DegreeAt(i + 7), i / 3 + 1);
+    if (i % 10 == 9) {
+      const ProgressSnapshot snap = tracker.Snapshot();
+      EXPECT_GE(snap.total_steps, last_total);
+      last_total = snap.total_steps;
+    }
+  }
+  tracker.FinishWalker(0);
+  tracker.FinishWalker(1);
+  const ProgressSnapshot final_snap = tracker.Snapshot();
+  EXPECT_GE(final_snap.total_steps, last_total);
+  // FinishWalker publishes the remainder: nothing is left unreported.
+  EXPECT_EQ(final_snap.total_steps, 200u + 67u);
+  ASSERT_EQ(final_snap.walkers.size(), 2u);
+  EXPECT_EQ(final_snap.walkers[0].steps, 200u);
+  EXPECT_EQ(final_snap.walkers[1].steps, 67u);
+}
+
+// Accumulation must not depend on the publication cadence: a tracker
+// flushing every step and one flushing only at FinishWalker fold to
+// bit-identical finals. (This is the property FinishReport's replay
+// path relies on.)
+TEST(ProgressTrackerTest, FinalsIndependentOfFlushInterval) {
+  ProgressOptions eager = EstimandOptions(2);
+  eager.flush_interval = 1;
+  ProgressOptions lazy = EstimandOptions(2);
+  lazy.flush_interval = std::numeric_limits<uint32_t>::max();
+  ProgressTracker a(eager);
+  ProgressTracker b(lazy);
+  for (uint32_t w = 0; w < 2; ++w) {
+    for (uint64_t i = 0; i < 777; ++i) {
+      const uint32_t degree = DegreeAt(i + w * 1000);
+      a.OnStep(w, i, degree, i + 1);
+      b.OnStep(w, i, degree, i + 1);
+    }
+    a.FinishWalker(w);
+    b.FinishWalker(w);
+  }
+  const ProgressSnapshot sa = a.Snapshot();
+  const ProgressSnapshot sb = b.Snapshot();
+  EXPECT_EQ(sa.total_steps, sb.total_steps);
+  EXPECT_EQ(sa.num_batches, sb.num_batches);
+  EXPECT_EQ(sa.estimate, sb.estimate);      // bitwise: same fold order
+  EXPECT_EQ(sa.std_error, sb.std_error);
+  EXPECT_EQ(sa.ess, sb.ess);
+  EXPECT_EQ(sa.r_hat, sb.r_hat);
+}
+
+TEST(ProgressTrackerTest, AdaptiveStopLatchesAtTarget) {
+  ProgressOptions options = EstimandOptions(1);
+  options.initial_batch_size = 4;
+  options.min_stop_batches = 4;
+  options.stop_at_ci_half_width = 1e6;  // any positive SE satisfies this
+  ProgressTracker tracker(options);
+  EXPECT_FALSE(tracker.ShouldStop());
+  uint64_t i = 0;
+  while (!tracker.ShouldStop() && i < 10000) {
+    tracker.OnStep(0, i, DegreeAt(i), i + 1);
+    ++i;
+  }
+  EXPECT_TRUE(tracker.ShouldStop());
+  // Latched well before the guard cap: 4 batches of 4 steps + publication
+  // granularity.
+  EXPECT_LT(i, 200u);
+  EXPECT_TRUE(tracker.Snapshot().stop_requested);
+}
+
+TEST(ProgressTrackerTest, DisabledStopRuleNeverLatches) {
+  ProgressOptions options = EstimandOptions(1);
+  options.initial_batch_size = 2;
+  ProgressTracker tracker(options);  // stop_at_ci_half_width = 0
+  for (uint64_t i = 0; i < 5000; ++i) {
+    tracker.OnStep(0, i, DegreeAt(i), i + 1);
+  }
+  tracker.FinishWalker(0);
+  EXPECT_FALSE(tracker.ShouldStop());
+  EXPECT_FALSE(tracker.Snapshot().stop_requested);
+}
+
+TEST(ProgressTrackerTest, MinStopBatchesGuardsEarlyLuck) {
+  ProgressOptions options = EstimandOptions(1);
+  options.initial_batch_size = 4;
+  options.min_stop_batches = 1000;  // unreachable within this run
+  options.stop_at_ci_half_width = 1e6;
+  ProgressTracker tracker(options);
+  for (uint64_t i = 0; i < 2000; ++i) {
+    tracker.OnStep(0, i, DegreeAt(i), i + 1);
+  }
+  tracker.FinishWalker(0);
+  EXPECT_FALSE(tracker.ShouldStop());
+}
+
+TEST(ProgressTrackerTest, ProbesFoldAndFreezeOnDetach) {
+  ProgressTracker tracker(EstimandOptions(1));
+  uint64_t charged = 10;
+  uint64_t clock_us = 500;
+  tracker.AttachCallbacks([&charged] { return charged; },
+                          [&clock_us] { return clock_us; });
+  for (uint64_t i = 0; i < 10; ++i) tracker.OnStep(0, i, 4, i + 1);
+  ProgressSnapshot snap = tracker.Snapshot();
+  EXPECT_EQ(snap.charged_queries, 10u);
+  EXPECT_EQ(snap.sim_wall_us, 500u);
+  charged = 42;
+  clock_us = 900;
+  snap = tracker.Snapshot();
+  EXPECT_EQ(snap.charged_queries, 42u);
+  EXPECT_EQ(snap.sim_wall_us, 900u);
+  tracker.DetachCallbacks();
+  charged = 9999;  // the tracker must not read the live values anymore
+  clock_us = 9999;
+  snap = tracker.Snapshot();
+  EXPECT_EQ(snap.charged_queries, 42u);
+  EXPECT_EQ(snap.sim_wall_us, 900u);
+}
+
+// Two identical chains agree perfectly: between-chain variance is zero
+// and R-hat sits just below 1 (the (n-1)/n factor). A shifted chain
+// pushes it above 1.
+TEST(ProgressTrackerTest, RHatSeparatesAgreeingFromDivergedChains) {
+  ProgressTracker agree(EstimandOptions(2));
+  for (uint32_t w = 0; w < 2; ++w) {
+    for (uint64_t i = 0; i < 300; ++i) {
+      agree.OnStep(w, i, DegreeAt(i), i + 1);
+    }
+    agree.FinishWalker(w);
+  }
+  const ProgressSnapshot sa = agree.Snapshot();
+  EXPECT_GT(sa.r_hat, 0.9);
+  EXPECT_LE(sa.r_hat, 1.0);
+
+  ProgressOptions options = EstimandOptions(2);
+  options.degree_weighted = false;
+  options.value_fn = [](uint64_t node, uint32_t degree) {
+    // Walker identity is not visible here; encode divergence in the node
+    // stream instead (chain 1 visits offset nodes with big values).
+    return node >= 1000 ? 100.0 + degree : static_cast<double>(degree);
+  };
+  ProgressTracker diverge(options);
+  for (uint64_t i = 0; i < 300; ++i) {
+    diverge.OnStep(0, i, DegreeAt(i), i + 1);
+    diverge.OnStep(1, 1000 + i, DegreeAt(i), i + 1);
+  }
+  diverge.FinishWalker(0);
+  diverge.FinishWalker(1);
+  const ProgressSnapshot sd = diverge.Snapshot();
+  EXPECT_GT(sd.r_hat, 1.5);
+}
+
+TEST(ProgressTrackerTest, CountsOnlyTrackerHasNoEstimate) {
+  ProgressOptions options;
+  options.num_walkers = 1;
+  options.flush_interval = 2;
+  ProgressTracker tracker(options);  // has_estimand = false
+  for (uint64_t i = 0; i < 20; ++i) tracker.OnStep(0, i, 7, i + 1);
+  tracker.FinishWalker(0);
+  const ProgressSnapshot snap = tracker.Snapshot();
+  EXPECT_EQ(snap.total_steps, 20u);
+  EXPECT_FALSE(snap.has_estimate);
+  EXPECT_EQ(snap.std_error, 0.0);
+  EXPECT_FALSE(tracker.ShouldStop());
+}
+
+TEST(ProgressTrackerTest, TracerGetsCounterEvents) {
+  Tracer tracer;
+  ProgressOptions options = EstimandOptions(1);
+  options.initial_batch_size = 2;
+  options.tracer = &tracer;
+  ProgressTracker tracker(options);
+  for (uint64_t i = 0; i < 100; ++i) {
+    tracker.OnStep(0, i, DegreeAt(i), i + 1);
+  }
+  tracker.FinishWalker(0);
+  EXPECT_GT(tracer.num_events(), 0u);
+  const std::string json = tracer.ToChromeJson();
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"estimate\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"ci_half_width\""), std::string::npos);
+}
+
+// TSan target: each walker publishes from its own thread while readers
+// fold snapshots and poll the stop flag. Snapshots must stay monotone
+// and the final fold must account for every step.
+TEST(ProgressTrackerTest, ConcurrentPublishAndSnapshot) {
+  constexpr uint32_t kWalkers = 4;
+  constexpr uint64_t kSteps = 20000;
+  ProgressOptions options = EstimandOptions(kWalkers);
+  options.flush_interval = 8;
+  options.initial_batch_size = 16;
+  ProgressTracker tracker(options);
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  for (uint32_t w = 0; w < kWalkers; ++w) {
+    threads.emplace_back([&tracker, w] {
+      for (uint64_t i = 0; i < kSteps; ++i) {
+        tracker.OnStep(w, i, DegreeAt(i + w * kSteps), i + 1);
+      }
+      tracker.FinishWalker(w);
+    });
+  }
+  std::thread reader([&tracker, &done] {
+    uint64_t last_total = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const ProgressSnapshot snap = tracker.Snapshot();
+      EXPECT_GE(snap.total_steps, last_total);
+      last_total = snap.total_steps;
+      (void)tracker.ShouldStop();
+    }
+  });
+  for (auto& thread : threads) thread.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+  const ProgressSnapshot snap = tracker.Snapshot();
+  EXPECT_EQ(snap.total_steps, kWalkers * kSteps);
+  ASSERT_TRUE(snap.has_estimate);
+  EXPECT_GT(snap.std_error, 0.0);
+  EXPECT_GT(snap.r_hat, 0.0);
+}
+
+// TSan target for the stop path: walkers race each other to latch the
+// stop flag while observing it; the latch happens exactly once and every
+// walker sees it.
+TEST(ProgressTrackerTest, ConcurrentAdaptiveStopIsCooperative) {
+  constexpr uint32_t kWalkers = 4;
+  ProgressOptions options = EstimandOptions(kWalkers);
+  options.flush_interval = 4;
+  options.initial_batch_size = 4;
+  options.min_stop_batches = 8;
+  options.stop_at_ci_half_width = 1e6;
+  ProgressTracker tracker(options);
+  std::vector<uint64_t> steps_taken(kWalkers, 0);
+  std::vector<std::thread> threads;
+  for (uint32_t w = 0; w < kWalkers; ++w) {
+    threads.emplace_back([&tracker, &steps_taken, w] {
+      uint64_t i = 0;
+      while (!tracker.ShouldStop() && i < 100000) {
+        tracker.OnStep(w, i, DegreeAt(i + w * 7919), i + 1);
+        ++i;
+      }
+      steps_taken[w] = i;
+      tracker.FinishWalker(w);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_TRUE(tracker.ShouldStop());
+  for (uint32_t w = 0; w < kWalkers; ++w) {
+    EXPECT_LT(steps_taken[w], 100000u) << "walker " << w << " never stopped";
+  }
+}
+
+}  // namespace
+}  // namespace histwalk::obs
