@@ -44,6 +44,17 @@
 //                        CI half-width is <= X (implies progress
 //                        tracking; the cut point depends on thread
 //                        interleaving by design)    -> StopAtCiHalfWidth
+//     --serve=PORT       embedded telemetry endpoint on 127.0.0.1:PORT
+//                        (0 = kernel-picked; the bound port is printed to
+//                        stderr). Serves GET /metrics (Prometheus),
+//                        /metrics.json, /healthz, /runs while the crawl
+//                        runs, and arms the wall-clock profiler
+//                        (hw_prof_*) plus per-shard lock counters. None
+//                        of it feeds the walk: stdout stays byte-
+//                        identical with and without the flag.
+//                                                   -> WithTelemetryServer
+//     --serve-linger-ms=N  keep serving N ms after the crawl finishes so
+//                        a supervising script can scrape the final state
 //
 //   Persistence flags (all optional)               -> WithHistoryStore:
 //     --load-history=F   restore the history cache from snapshot F before
@@ -77,6 +88,7 @@
 #include "estimate/diagnostics.h"
 #include "graph/generators.h"
 #include "graph/io.h"
+#include "obs/profiler.h"
 #include "store/format.h"
 #include "util/flags.h"
 #include "util/md5.h"
@@ -99,6 +111,9 @@ struct ObsFlags {
   unsigned threads = 1;          // --threads=
   unsigned progress_interval = 0;  // --progress-interval=
   double target_ci = 0.0;          // --target-ci=
+  bool serve = false;              // --serve= given (port 0 = ephemeral)
+  uint16_t serve_port = 0;         // --serve=
+  unsigned serve_linger_ms = 0;    // --serve-linger-ms=
   bool tracking() const { return progress_interval > 0 || target_ci > 0; }
 };
 
@@ -141,6 +156,15 @@ int Crawl(const graph::Graph& graph, core::WalkerType type, uint64_t budget,
   obs::Registry registry;
   obs::Tracer tracer;
 
+  // --serve arms the wall-clock instrumentation the live endpoint exists
+  // to show: the scoped-timer profiler and per-shard lock counters. Both
+  // change only what is measured, never where the walk goes, so stdout
+  // stays byte-identical with and without the flag.
+  if (obs_flags.serve) {
+    obs::Profiler::Global().set_enabled(true);
+    cache.profile_locks = true;
+  }
+
   // The whole stack, declaratively: one flag = one builder option.
   api::SamplerBuilder builder;
   builder.OverGraph(&graph)
@@ -152,7 +176,10 @@ int Crawl(const graph::Graph& graph, core::WalkerType type, uint64_t budget,
       .EstimateAverageDegree()
       .WithObservability(
           {.registry = &registry,
-           .tracer = obs_flags.trace_out.empty() ? nullptr : &tracer});
+           .tracer = obs_flags.trace_out.empty() ? nullptr : &tracer,
+           .profiler =
+               obs_flags.serve ? &obs::Profiler::Global() : nullptr});
+  if (obs_flags.serve) builder.WithTelemetryServer(obs_flags.serve_port);
   if (obs_flags.tracking()) {
     builder.TrackProgress(obs_flags.progress_interval > 0
                               ? obs_flags.progress_interval
@@ -197,6 +224,13 @@ int Crawl(const graph::Graph& graph, core::WalkerType type, uint64_t budget,
   if (!(*sampler)->warm_start_status().ok()) {
     std::cerr << "history load: " << (*sampler)->warm_start_status() << "\n";
     return 1;
+  }
+  if ((*sampler)->telemetry() != nullptr) {
+    // Stderr, like the progress stream: stdout stays byte-identical with
+    // and without --serve (an ephemeral port would differ run to run).
+    std::cerr << "telemetry: serving http://127.0.0.1:"
+              << (*sampler)->telemetry()->port()
+              << " (/metrics /metrics.json /healthz /runs)\n";
   }
   store::HistoryStore* history_store = (*sampler)->history_store();
   if (history_store != nullptr) {
@@ -336,6 +370,14 @@ int Crawl(const graph::Graph& graph, core::WalkerType type, uint64_t budget,
     std::cout << "trace events:      " << tracer.num_events() << " -> "
               << obs_flags.trace_out << "\n";
   }
+  if (obs_flags.serve && obs_flags.serve_linger_ms > 0) {
+    // Keep the endpoint (and the sampler it scrapes) up after the crawl so
+    // a supervising script can still curl the final state — CI does.
+    std::cerr << "telemetry: lingering " << obs_flags.serve_linger_ms
+              << " ms\n";
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(obs_flags.serve_linger_ms));
+  }
   return 0;
 }
 
@@ -366,9 +408,13 @@ int main(int argc, char** argv) {
   auto threads = flags.GetUint("threads", 1);
   auto progress_interval = flags.GetUint("progress-interval", 0);
   auto target_ci = flags.GetDouble("target-ci", 0.0);
+  obs_flags.serve = flags.Has("serve");
+  auto serve_port = flags.GetUint("serve", 0);
+  auto serve_linger_ms = flags.GetUint("serve-linger-ms", 0);
   for (const auto* value : {&budget, &seed, &latency_us, &depth,
                             &cache_capacity, &num_shards, &threads,
-                            &progress_interval}) {
+                            &progress_interval, &serve_port,
+                            &serve_linger_ms}) {
     if (!value->ok()) {
       std::cerr << value->status() << "\n";
       return 1;
@@ -401,6 +447,12 @@ int main(int argc, char** argv) {
   obs_flags.threads = static_cast<unsigned>(*threads);
   obs_flags.progress_interval = static_cast<unsigned>(*progress_interval);
   obs_flags.target_ci = *target_ci;
+  if (*serve_port > 65535) {
+    std::cerr << "serve port must be in [0, 65535]\n";
+    return 1;
+  }
+  obs_flags.serve_port = static_cast<uint16_t>(*serve_port);
+  obs_flags.serve_linger_ms = static_cast<unsigned>(*serve_linger_ms);
 
   if (flags.positional().empty()) {
     std::cout << "usage: crawl_cli [--flags] <edges-file>\n\n"
@@ -426,7 +478,14 @@ int main(int argc, char** argv) {
                  "(live lines on stderr,\n                std-error / CI / "
                  "ESS / R-hat finals in the report)\n"
                  "  --target-ci=X    adaptive stop once the 95% CI "
-                 "half-width is <= X\n\n"
+                 "half-width is <= X\n"
+                 "  --serve=PORT     serve live telemetry on "
+                 "127.0.0.1:PORT while the crawl runs\n                "
+                 "(0 = ephemeral; bound port on stderr; GET /metrics "
+                 "/metrics.json\n                /healthz /runs); also "
+                 "arms the wall-clock profiler + lock counters\n"
+                 "  --serve-linger-ms=N  keep the endpoint up N ms after "
+                 "the crawl (for CI curls)\n\n"
                  "  --load-history=F / --wal=F / --save-history=F persist "
                  "the history cache\n  across crawls (snapshot + "
                  "write-ahead log); see scripts/resume_demo.sh.\n\n"

@@ -35,6 +35,14 @@ scrapes taken from estimand-selected crawls). --attach-scrape FILE does
 the same to an EXISTING BENCH_cache.json without re-running the benches,
 and stamps hardware.multicore_at_scrape.
 
+--profile additionally folds the scrape's hw_prof_* wall-clock profiler
+family into the attached summary: the top sites ranked by self time
+(what the crawl's hardware actually spent, nested scopes excluded) plus
+cache shard-lock contention ratios when the scrape carries them. The
+flag hard-fails when the scrape has no hw_prof_* samples (crawl not run
+with --serve) or when the family is present but recorded zero scopes —
+a silently dead profiler must not pass CI.
+
 --convergence FILE validates a bench_convergence --json-out document
 (schema, stop rule latched on every row, warm arm strictly cheaper) and
 writes it as BENCH_convergence.json in --out-dir, so the committed
@@ -286,7 +294,142 @@ def scrape_summary(metrics):
     }
 
 
-def attach_scrape(bench_path, scrape_path, expect_estimate=False):
+def _unescape_label(value):
+    """Reverses the exposition-format escapes: \\\\, \\", \\n."""
+    out = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+                i += 2
+                continue
+            if nxt in ("\\", '"'):
+                out.append(nxt)
+                i += 2
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def parse_labeled_scrape(path):
+    """Parses labelled Prometheus lines into [(name, labels, value)].
+
+    Handles quoted label values with exposition-format escapes; unlabelled
+    lines are skipped (parse_scrape covers those).
+    """
+    samples = []
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line or line.startswith("#") or "{" not in line:
+                continue
+            name, rest = line.split("{", 1)
+            labels = {}
+            i = 0
+            while i < len(rest) and rest[i] != "}":
+                eq = rest.index("=", i)
+                key = rest[i:eq].lstrip(",")
+                if rest[eq + 1] != '"':
+                    raise RuntimeError(
+                        f"scrape {path}: unquoted label value in {line!r}")
+                j = eq + 2
+                raw = []
+                while j < len(rest) and rest[j] != '"':
+                    if rest[j] == "\\" and j + 1 < len(rest):
+                        raw.append(rest[j:j + 2])
+                        j += 2
+                    else:
+                        raw.append(rest[j])
+                        j += 1
+                labels[key] = _unescape_label("".join(raw))
+                i = j + 1
+            value = rest[i + 1:].strip()
+            try:
+                samples.append((name, labels, float(value)))
+            except ValueError:
+                raise RuntimeError(
+                    f"scrape {path}: unparseable value in {line!r}")
+    return samples
+
+
+PROFILE_TOP_N = 10
+
+
+def profile_summary(path):
+    """Folds the hw_prof_* family (and shard lock counters) of a scrape.
+
+    Hard-fails when the profiler family is absent (the crawl was not run
+    with --serve / an armed profiler) or present but empty (instrumented
+    sites exist yet recorded nothing — the macro seam rotted).
+    """
+    sites = {}
+    locks = {}
+    for name, labels, value in parse_labeled_scrape(path):
+        site = labels.get("site")
+        if site is not None and name.startswith("hw_prof_"):
+            entry = sites.setdefault(site, {})
+            if name == "hw_prof_scope_ns_count":
+                entry["count"] = int(value)
+            elif name == "hw_prof_scope_ns_sum":
+                entry["total_ns"] = int(value)
+            elif name == "hw_prof_scope_ns_max":
+                entry["max_ns"] = int(value)
+            elif name == "hw_prof_self_ns_total":
+                entry["self_ns"] = int(value)
+        elif name in ("hw_cache_shard_lock_acquires_total",
+                      "hw_cache_shard_lock_contended_total"):
+            mode = labels.get("mode", "unknown")
+            bucket = locks.setdefault(
+                mode, {"acquires": 0, "contended": 0})
+            key = ("acquires" if name.endswith("acquires_total")
+                   else "contended")
+            bucket[key] += int(value)
+    if not sites:
+        raise RuntimeError(
+            f"scrape {path}: no hw_prof_* family — was the crawl run with "
+            "--serve (or another armed profiler)?")
+    total_count = sum(s.get("count", 0) for s in sites.values())
+    if total_count == 0:
+        raise RuntimeError(
+            f"scrape {path}: hw_prof_* family present but empty — "
+            f"{len(sites)} sites registered, zero scopes recorded")
+    total_self = sum(s.get("self_ns", 0) for s in sites.values())
+    ranked = sorted(sites.items(),
+                    key=lambda kv: kv[1].get("self_ns", 0), reverse=True)
+    top = []
+    for site, entry in ranked[:PROFILE_TOP_N]:
+        row = {"site": site,
+               "count": entry.get("count", 0),
+               "total_ns": entry.get("total_ns", 0),
+               "self_ns": entry.get("self_ns", 0),
+               "max_ns": entry.get("max_ns", 0)}
+        row["self_share"] = (round(row["self_ns"] / total_self, 4)
+                             if total_self else 0.0)
+        if row["count"]:
+            row["mean_ns"] = round(row["total_ns"] / row["count"], 1)
+        top.append(row)
+    summary = {
+        "sites_total": len(sites),
+        "scopes_recorded": total_count,
+        "self_ns_total": total_self,
+        "top_sites_by_self_ns": top,
+    }
+    if locks:
+        contention = {}
+        for mode, bucket in sorted(locks.items()):
+            ratio = (round(bucket["contended"] / bucket["acquires"], 6)
+                     if bucket["acquires"] else 0.0)
+            contention[mode] = {**bucket, "contention_ratio": ratio}
+        summary["cache_lock_contention"] = contention
+    return summary
+
+
+def attach_scrape(bench_path, scrape_path, expect_estimate=False,
+                  profile=False):
     """Attaches a scrape summary to an existing BENCH_cache.json."""
     report = json.loads(bench_path.read_text())
     metrics = parse_scrape(scrape_path)
@@ -294,12 +437,17 @@ def attach_scrape(bench_path, scrape_path, expect_estimate=False):
     estimate = check_estimate_family(metrics, scrape_path, expect_estimate)
     if estimate is not None:
         summary["estimate"] = estimate
+    if profile:
+        summary["profile"] = profile_summary(scrape_path)
     summary["source"] = str(scrape_path)
     report["scrape"] = summary
     hardware = report.setdefault("hardware", {})
     # Whether THIS host could have exhibited contention when the scrape
     # was taken — the PR-6 caveat, machine-checkable from the file.
     hardware["multicore_at_scrape"] = (os.cpu_count() or 1) > 1
+    # Wall-clock profile numbers are only comparable across hosts with the
+    # core count on record next to them.
+    hardware.setdefault("num_cpus", os.cpu_count() or 1)
     bench_path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"attached scrape summary from {scrape_path} to {bench_path}")
     print_core_caveat(report.get("hardware", {}).get("num_cpus"))
@@ -388,6 +536,11 @@ def main():
     parser.add_argument("--expect-estimate", action="store_true",
                         help="fail if the scrape carries no hw_est_* "
                              "gauges (for estimand-selected crawls)")
+    parser.add_argument("--profile", action="store_true",
+                        help="fold the scrape's hw_prof_* wall-clock "
+                             "profile (top sites by self time, cache lock "
+                             "contention ratios) into BENCH_cache.json; "
+                             "fails when the family is absent or empty")
     parser.add_argument("--convergence", type=Path, default=None,
                         help="bench_convergence --json-out document to "
                              "validate and write as BENCH_convergence.json")
@@ -420,7 +573,7 @@ def main():
             return 1
         try:
             attach_scrape(bench_path, args.attach_scrape,
-                          args.expect_estimate)
+                          args.expect_estimate, args.profile)
         except (RuntimeError, json.JSONDecodeError, OSError) as err:
             sys.stderr.write(f"error: {err}\n")
             return 1
@@ -435,13 +588,18 @@ def main():
                                              args.expect_estimate)
             if estimate is not None:
                 scrape["estimate"] = estimate
+            if args.profile:
+                scrape["profile"] = profile_summary(args.scrape)
             scrape["source"] = str(args.scrape)
         except (RuntimeError, OSError) as err:
             sys.stderr.write(f"error: {err}\n")
             return 1
         print(f"scrape {args.scrape}: required metrics present, "
               "miss-attribution identity holds"
-              + (", hw_est_* family complete" if estimate else ""))
+              + (", hw_est_* family complete" if estimate else "")
+              + (f"; profile: {scrape['profile']['sites_total']} sites, "
+                 f"{scrape['profile']['scopes_recorded']} scopes"
+                 if args.profile else ""))
     targets = {
         "BENCH_cache.json": build / "bench_micro_cache",
         "BENCH_pipeline.json": build / "bench_micro_pipeline",

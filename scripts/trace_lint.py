@@ -5,7 +5,10 @@ Validates what Perfetto/chrome://tracing silently tolerate but we must
 not ship broken: every event carries the required keys for its phase, and
 every 'B' (span begin) on a (pid, tid) track is closed by a matching 'E'
 in LIFO order — an unbalanced or misnested span means an instrumentation
-site leaked a SpanGuard or emitted raw Begin/End by hand.
+site leaked a SpanGuard or emitted raw Begin/End by hand. 'C' (counter)
+events must carry non-decreasing timestamps per (pid, tid) track: the
+tracer appends per-track in wire-clock order, so a counter that jumps
+backwards means a clock seam regressed or events were merged wrong.
 
 usage: trace_lint.py trace.json [trace2.json ...]
 
@@ -43,6 +46,7 @@ def lint(path):
         sys.exit(1)
 
     stacks = {}  # (pid, tid) -> [span names]
+    counter_ts = {}  # (pid, tid) -> last 'C' ts seen on that track
     counts = {"B": 0, "E": 0, "i": 0, "X": 0, "M": 0, "C": 0}
     for index, event in enumerate(events):
         if not isinstance(event, dict):
@@ -80,6 +84,13 @@ def lint(path):
             args = event.get("args")
             if not isinstance(args, dict) or not args:
                 fail(path, index, "'C' event needs a non-empty args object")
+            last = counter_ts.get(track)
+            if last is not None and event["ts"] < last:
+                fail(path, index,
+                     f"'C' {event['name']!r} ts {event['ts']} goes "
+                     f"backwards (previous counter ts {last}) on "
+                     f"pid={track[0]} tid={track[1]}")
+            counter_ts[track] = event["ts"]
 
     for (pid, tid), stack in stacks.items():
         if stack:

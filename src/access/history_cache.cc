@@ -3,6 +3,7 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "obs/profiler.h"
 #include "util/check.h"
 
 namespace histwalk::access {
@@ -20,6 +21,11 @@ HistoryCache::HistoryCache(HistoryCacheOptions options) : options_(options) {
     if (shard_capacity_ == 0) shard_capacity_ = 1;
   }
   shards_ = std::make_unique<Shard[]>(num_shards_);
+  if (options_.profile_locks) {
+    for (uint32_t s = 0; s < num_shards_; ++s) {
+      shards_[s].mu.attach_counters(&shards_[s].lock_counters);
+    }
+  }
 }
 
 void HistoryCache::FlatIndex::InsertNoGrow(graph::NodeId key, Slot* slot) {
@@ -93,6 +99,7 @@ uint64_t HistoryCache::EntryBytes(
 }
 
 HistoryCache::Entry HistoryCache::Get(graph::NodeId v) {
+  HW_PROF_SCOPE("cache/get");
   Shard& shard = shards_[ShardIndexOf(v)];
   std::shared_lock<util::RwSpinLock> lock(shard.mu);
   Slot* slot = shard.index.Find(v);
@@ -109,6 +116,7 @@ HistoryCache::Entry HistoryCache::Get(graph::NodeId v) {
 }
 
 void HistoryCache::GetBatch(std::span<const graph::NodeId> ids, Entry* out) {
+  HW_PROF_SCOPE("cache/get_batch");
   const size_t n = ids.size();
   if (n == 0) return;
   // Per-shard lookup body, run under one shared acquisition per shard.
@@ -223,11 +231,15 @@ HistoryCache::Entry HistoryCache::PutLocked(
     // unreferenced victim turns up. Terminates within one full lap plus
     // one step: every visited slot is cleared, so revisiting the start
     // finds it unreferenced.
+    HW_PROF_SCOPE("cache/sweep");
     const uint32_t ring_size = static_cast<uint32_t>(shard.ring.size());
     uint32_t pos = shard.hand;
+    uint64_t steps = 0;
     while (shard.ring[pos]->ref.exchange(0, std::memory_order_relaxed) != 0) {
       pos = (pos + 1) % ring_size;
+      ++steps;
     }
+    shard.sweep.Record(steps);
     Slot& victim = *shard.ring[pos];
     shard.index.Erase(victim.key);
     shard.bytes -= victim.bytes;
@@ -260,6 +272,7 @@ HistoryCache::Entry HistoryCache::PutLocked(
 HistoryCache::Entry HistoryCache::Put(graph::NodeId v,
                                       std::span<const graph::NodeId> neighbors,
                                       bool* inserted) {
+  HW_PROF_SCOPE("cache/put");
   Shard& shard = shards_[ShardIndexOf(v)];
   std::unique_lock<util::RwSpinLock> lock(shard.mu);
   return PutLocked(shard, v, neighbors, inserted);
@@ -328,6 +341,30 @@ void HistoryCache::Clear() {
     shard.hand = 0;
     shard.bytes = 0;
   }
+}
+
+HistoryCacheShardHeat HistoryCache::shard_heat(uint32_t shard_index) const {
+  HW_CHECK(shard_index < num_shards_);
+  const Shard& shard = shards_[shard_index];
+  HistoryCacheShardHeat heat;
+  std::shared_lock<util::RwSpinLock> lock(shard.mu);
+  heat.hits = shard.hits.load(std::memory_order_relaxed);
+  heat.misses = shard.misses.load(std::memory_order_relaxed);
+  heat.insertions = shard.insertions;
+  heat.evictions = shard.evictions;
+  heat.entries = shard.index.size();
+  heat.bytes = shard.bytes;
+  heat.sweep = shard.sweep;
+  const util::RwSpinLockCounters& lc = shard.lock_counters;
+  heat.lock_shared_acquires =
+      lc.shared_acquires.load(std::memory_order_relaxed);
+  heat.lock_shared_contended =
+      lc.shared_contended.load(std::memory_order_relaxed);
+  heat.lock_exclusive_acquires =
+      lc.exclusive_acquires.load(std::memory_order_relaxed);
+  heat.lock_exclusive_contended =
+      lc.exclusive_contended.load(std::memory_order_relaxed);
+  return heat;
 }
 
 HistoryCacheStats HistoryCache::stats() const {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "obs/histogram.h"
 #include "util/arena.h"
 #include "util/rw_spinlock.h"
 
@@ -55,6 +56,12 @@ struct HistoryCacheOptions {
   uint64_t capacity = 0;
   // Number of independent clock shards; clamped to >= 1.
   uint32_t num_shards = 8;
+  // Attach util::RwSpinLockCounters to every shard lock, so shard_heat()
+  // reports shared/exclusive acquisition and contention counts. Off by
+  // default: attached counters cost two relaxed fetch_adds per
+  // acquisition on the hottest lock in the stack (detached: one load and
+  // a predicted branch). crawl_cli --serve turns it on.
+  bool profile_locks = false;
 };
 
 struct HistoryCacheStats {
@@ -69,6 +76,28 @@ struct HistoryCacheStats {
     uint64_t lookups = hits + misses;
     return lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
   }
+};
+
+// Point-in-time view of one shard — the scrapeable heatmap that makes
+// shard imbalance (a hot shard soaking up the hits, a cold one churning
+// its clock) visible without perturbing the cache. Counter semantics
+// match HistoryCacheStats; `sweep` is the distribution of clock-hand
+// steps per eviction (0 = the hand's first candidate was unreferenced; a
+// fat tail means the shard's working set is referenced wall-to-wall and
+// eviction is scanning hard). Lock counters are zero unless
+// HistoryCacheOptions::profile_locks was set.
+struct HistoryCacheShardHeat {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  uint64_t entries = 0;
+  uint64_t bytes = 0;
+  obs::Log2Histogram sweep;  // clock-hand steps per eviction
+  uint64_t lock_shared_acquires = 0;
+  uint64_t lock_shared_contended = 0;
+  uint64_t lock_exclusive_acquires = 0;
+  uint64_t lock_exclusive_contended = 0;
 };
 
 class HistoryCache {
@@ -135,6 +164,12 @@ class HistoryCache {
   //     readers, so a snapshot may lag in-flight Gets by a few counts; at
   //     quiescence they are exact.
   HistoryCacheStats stats() const;
+  // Per-shard slice of stats() plus the sweep-length distribution and
+  // (when profile_locks is on) shard-lock contention counters; taken
+  // under the shard's shared lock, so it is internally consistent the
+  // same way one shard's stats() contribution is.
+  HistoryCacheShardHeat shard_heat(uint32_t shard) const;
+  bool profile_locks() const { return options_.profile_locks; }
   uint64_t entry_count() const { return stats().entries; }
   // Approximate heap footprint of resident entries, in bytes — the access
   // layer's contribution to HistoryBytes() reporting.
@@ -272,6 +307,10 @@ class HistoryCache {
     uint64_t insertions = 0;          // writer-side, under exclusive mu
     uint64_t evictions = 0;
     uint64_t bytes = 0;
+    // Clock-hand steps per eviction; writer-side, under exclusive mu.
+    obs::Log2Histogram sweep;
+    // Contention telemetry sink; only wired to mu when profile_locks.
+    util::RwSpinLockCounters lock_counters;
   };
 
   static uint64_t EntryBytes(const util::ArrayBlock<graph::NodeId>& block);

@@ -1,5 +1,7 @@
 #include "api/sampler.h"
 
+#include <cmath>
+#include <cstdio>
 #include <limits>
 #include <utility>
 #include <vector>
@@ -130,6 +132,51 @@ void AppendCacheSamples(std::vector<obs::Sample>& out,
   out.push_back(
       MakeSample("hw_cache_entries", SampleKind::kGauge, stats.entries));
   out.push_back(MakeSample("hw_cache_bytes", SampleKind::kGauge, stats.bytes));
+}
+
+// The per-shard heatmap: hw_cache_shard_* samples labelled shard="N", so
+// shard imbalance (and, with profile_locks, shard-lock contention) is
+// scrapeable next to the aggregate hw_cache_* family.
+void AppendShardHeatSamples(std::vector<obs::Sample>& out,
+                            const access::HistoryCache& cache) {
+  using obs::SampleKind;
+  for (uint32_t s = 0; s < cache.num_shards(); ++s) {
+    const access::HistoryCacheShardHeat heat = cache.shard_heat(s);
+    const std::string shard = obs::RenderLabel("shard", std::to_string(s));
+    auto add = [&](const char* name, SampleKind kind, uint64_t value) {
+      obs::Sample sample = MakeSample(name, kind, value);
+      sample.labels = shard;
+      out.push_back(std::move(sample));
+    };
+    add("hw_cache_shard_hits_total", SampleKind::kCounter, heat.hits);
+    add("hw_cache_shard_misses_total", SampleKind::kCounter, heat.misses);
+    add("hw_cache_shard_evictions_total", SampleKind::kCounter,
+        heat.evictions);
+    add("hw_cache_shard_entries", SampleKind::kGauge, heat.entries);
+    add("hw_cache_shard_bytes", SampleKind::kGauge, heat.bytes);
+    obs::Sample sweep;
+    sweep.name = "hw_cache_shard_sweep_len";
+    sweep.labels = shard;
+    sweep.kind = SampleKind::kHistogram;
+    sweep.hist = heat.sweep;
+    out.push_back(std::move(sweep));
+    if (cache.profile_locks()) {
+      auto add_lock = [&](const char* name, const char* lock_mode,
+                          uint64_t value) {
+        obs::Sample sample = MakeSample(name, SampleKind::kCounter, value);
+        sample.labels = obs::RenderLabel("mode", lock_mode) + "," + shard;
+        out.push_back(std::move(sample));
+      };
+      add_lock("hw_cache_shard_lock_acquires_total", "shared",
+               heat.lock_shared_acquires);
+      add_lock("hw_cache_shard_lock_contended_total", "shared",
+               heat.lock_shared_contended);
+      add_lock("hw_cache_shard_lock_acquires_total", "exclusive",
+               heat.lock_exclusive_acquires);
+      add_lock("hw_cache_shard_lock_contended_total", "exclusive",
+               heat.lock_exclusive_contended);
+    }
+  }
 }
 
 }  // namespace
@@ -308,6 +355,12 @@ SamplerBuilder& SamplerBuilder::WithStoreReadTier(bool read_tier) {
 SamplerBuilder& SamplerBuilder::WithObservability(ObservabilityOptions obs) {
   has_obs_ = true;
   obs_ = obs;
+  return *this;
+}
+
+SamplerBuilder& SamplerBuilder::WithTelemetryServer(uint16_t port) {
+  has_telemetry_ = true;
+  telemetry_port_ = port;
   return *this;
 }
 
@@ -561,6 +614,18 @@ util::Result<std::unique_ptr<Sampler>> SamplerBuilder::Build() const {
     sampler->collectors_.push_back(sampler->registry().AddCollector(
         [raw](std::vector<obs::Sample>& out) { raw->CollectSamples(out); }));
   }
+  if (has_telemetry_) {
+    // Last wiring step: the serving thread scrapes registry() (covering
+    // the collector registered above) and reads RunsJson(), so every
+    // layer it can observe exists before the first request can land.
+    Sampler* raw = sampler.get();
+    obs::TelemetryServerOptions server;
+    server.port = telemetry_port_;
+    server.registry = &sampler->registry();
+    server.runs_json = [raw] { return raw->RunsJson(); };
+    HW_ASSIGN_OR_RETURN(sampler->telemetry_,
+                        obs::TelemetryServer::Start(std::move(server)));
+  }
   return sampler;
 }
 
@@ -576,6 +641,9 @@ Sampler::~Sampler() {
     std::unique_lock<std::mutex> lock(active->mu);
     active->WaitDoneLocked(lock);
   }
+  // Stop serving before anything the serving thread reads (the registry
+  // collector, RunsJson's session map) is torn down.
+  telemetry_.reset();
   // Build() wired the tracer's clock to the sampler-owned RemoteBackend;
   // the tracer outlives us, so sever that pointer (later events fall back
   // to per-track logical ticks) before the backend is destroyed.
@@ -810,8 +878,10 @@ Sampler::MakeProgressTracker(const RunOptions& options, bool for_replay) {
 void Sampler::CollectSamples(std::vector<obs::Sample>& out) const {
   using obs::SampleKind;
   const bool service_mode = mode_ == ExecutionMode::kService;
-  AppendCacheSamples(out, service_mode ? service_->shared_cache().stats()
-                                       : group_->cache().stats());
+  const access::HistoryCache& cache =
+      service_mode ? service_->shared_cache() : group_->cache();
+  AppendCacheSamples(out, cache.stats());
+  AppendShardHeatSamples(out, cache);
   if (store_tier_ != nullptr) {
     const access::HistoryCacheStats tier = store_tier_->cache().stats();
     out.push_back(MakeSample("hw_store_tier_entries", SampleKind::kGauge,
@@ -880,6 +950,11 @@ void Sampler::CollectSamples(std::vector<obs::Sample>& out) const {
                              pipeline.queue_depth));
     out.push_back(MakeSample("hw_net_pipeline_max_queue_depth",
                              SampleKind::kGauge, pipeline.max_queue_depth));
+    obs::Sample depth;
+    depth.name = "hw_net_pipeline_queue_depth_hist";
+    depth.kind = SampleKind::kHistogram;
+    depth.hist = pipeline.depth;
+    out.push_back(std::move(depth));
   } else {
     // Counter, not a pushed instrument: RefundCharge can rewind the
     // group's charge, and registry counters are monotone.
@@ -898,7 +973,7 @@ void Sampler::CollectSamples(std::vector<obs::Sample>& out) const {
         if (auto tracker = it->second.lock()) {
           AppendEstimateSamples(
               out, tracker->Snapshot(),
-              "session=\"" + std::to_string(it->first) + "\"");
+              obs::RenderLabel("session", std::to_string(it->first)));
           ++it;
         } else {
           it = session_progress_.erase(it);
@@ -908,6 +983,97 @@ void Sampler::CollectSamples(std::vector<obs::Sample>& out) const {
       AppendEstimateSamples(out, active_->progress->Snapshot(), "");
     }
   }
+  // hw_prof_* rides this collector (gated on the explicit wiring) so two
+  // samplers scraping the process Global() registry never double-report
+  // the shared profiler's sites.
+  if (obs_.profiler != nullptr) obs_.profiler->AppendSamples(out);
+}
+
+namespace {
+
+// JSON doubles for /runs: %.9g round-trips the gauges; non-finite values
+// (r_hat before two chains report, say) have no JSON spelling → null.
+void AppendJsonNumber(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  out += buf;
+}
+
+void AppendRunJson(std::string& out, uint64_t session, bool has_session,
+                   const obs::ProgressSnapshot& snap) {
+  out += '{';
+  if (has_session) {
+    out += "\"session\":";
+    out += std::to_string(session);
+    out += ',';
+  }
+  out += "\"total_steps\":" + std::to_string(snap.total_steps);
+  out += ",\"unique_queries\":" + std::to_string(snap.unique_queries);
+  out += ",\"charged_queries\":" + std::to_string(snap.charged_queries);
+  out += ",\"sim_wall_us\":" + std::to_string(snap.sim_wall_us);
+  out += ",\"walkers_reporting\":" + std::to_string(snap.walkers_reporting);
+  out += ",\"has_estimate\":";
+  out += snap.has_estimate ? "true" : "false";
+  out += ",\"estimate\":";
+  AppendJsonNumber(out, snap.estimate);
+  out += ",\"std_error\":";
+  AppendJsonNumber(out, snap.std_error);
+  out += ",\"ci_half_width\":";
+  AppendJsonNumber(out, snap.ci_half_width);
+  out += ",\"confidence\":";
+  AppendJsonNumber(out, snap.confidence);
+  out += ",\"ess\":";
+  AppendJsonNumber(out, snap.ess);
+  out += ",\"r_hat\":";
+  AppendJsonNumber(out, snap.r_hat);
+  out += ",\"num_batches\":" + std::to_string(snap.num_batches);
+  out += ",\"stop_requested\":";
+  out += snap.stop_requested ? "true" : "false";
+  out += ",\"walkers\":[";
+  for (size_t w = 0; w < snap.walkers.size(); ++w) {
+    const obs::WalkerProgress& walker = snap.walkers[w];
+    if (w > 0) out += ',';
+    out += "{\"steps\":" + std::to_string(walker.steps);
+    out += ",\"unique_queries\":" + std::to_string(walker.unique_queries);
+    out += ",\"has_estimate\":";
+    out += walker.has_estimate ? "true" : "false";
+    out += ",\"estimate\":";
+    AppendJsonNumber(out, walker.estimate);
+    out += ",\"ess\":";
+    AppendJsonNumber(out, walker.ess);
+    out += '}';
+  }
+  out += "]}";
+}
+
+}  // namespace
+
+std::string Sampler::RunsJson() const {
+  std::string out = "[";
+  bool first = true;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (mode_ == ExecutionMode::kService) {
+    for (auto it = session_progress_.begin(); it != session_progress_.end();) {
+      if (auto tracker = it->second.lock()) {
+        if (!first) out += ',';
+        first = false;
+        AppendRunJson(out, it->first, /*has_session=*/true,
+                      tracker->Snapshot());
+        ++it;
+      } else {
+        it = session_progress_.erase(it);
+      }
+    }
+  } else if (active_ != nullptr && active_->progress != nullptr) {
+    first = false;
+    AppendRunJson(out, 0, /*has_session=*/false, active_->progress->Snapshot());
+  }
+  out += ']';
+  return out;
 }
 
 util::Status Sampler::FinishReport(const core::WalkerSpec& spec,

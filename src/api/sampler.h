@@ -21,6 +21,8 @@
 #include "net/remote_backend.h"
 #include "net/request_pipeline.h"
 #include "obs/flight_recorder.h"
+#include "obs/http_exporter.h"
+#include "obs/profiler.h"
 #include "obs/progress.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
@@ -127,6 +129,13 @@ struct ObservabilityOptions {
   // observability seam, takes effect only via WithObservability — a
   // builder that never opts in records nothing.
   uint32_t flight_recorder_capacity = 128;
+  // Wall-clock profiler whose hw_prof_* site samples ride this sampler's
+  // scrape collector (typically &obs::Profiler::Global(), which is where
+  // HW_PROF_SCOPE records; enabling it is the caller's call). Must
+  // outlive the Sampler. Null: no hw_prof_* family in scrapes. Profiler
+  // data never feeds the walk, so wiring this changes no trace/stat/bill
+  // byte.
+  obs::Profiler* profiler = nullptr;
 };
 
 // Per-run knobs. Sampler::Run() uses the builder's ensemble defaults;
@@ -323,6 +332,13 @@ class SamplerBuilder {
   // registry (or obs::Global()) even without this call; collectors — and
   // therefore full Scrape() coverage — and the flight recorder need it.
   SamplerBuilder& WithObservability(ObservabilityOptions obs = {});
+  // Serve the live stack over HTTP on 127.0.0.1:port (0 = ephemeral;
+  // read the outcome from Sampler::telemetry()->port()): GET /metrics
+  // (Prometheus text of registry()), /metrics.json, /healthz, and /runs
+  // (live Progress() snapshots of active sessions). Build() fails with
+  // kUnavailable if the port cannot be bound. Serving reads the same
+  // scrape any caller could take; it never feeds the walk.
+  SamplerBuilder& WithTelemetryServer(uint16_t port);
 
   // ---- execution mode -------------------------------------------------
   // num_threads: ParallelFor workers for inline runs (0 = hardware).
@@ -378,6 +394,8 @@ class SamplerBuilder {
   RunOptions defaults_;
   EstimandSelection estimand_;
   double confidence_ = 0.95;
+  bool has_telemetry_ = false;
+  uint16_t telemetry_port_ = 0;
 };
 
 // The assembled stack. Owns (as configured) the GraphAccess, the
@@ -428,6 +446,9 @@ class Sampler {
   }
   // The store read tier, when WithStoreReadTier wired one; null otherwise.
   const access::CacheTier* store_tier() const { return store_tier_.get(); }
+  // The live scrape endpoint, when WithTelemetryServer wired one; null
+  // otherwise. telemetry()->port() resolves a requested port of 0.
+  const obs::TelemetryServer* telemetry() const { return telemetry_.get(); }
   // OK, or why the Build-time warm start fell back to a cold cache.
   const util::Status& warm_start_status() const { return warm_start_status_; }
   const RunOptions& default_run_options() const { return defaults_; }
@@ -457,6 +478,9 @@ class Sampler {
   // hw_store_* / hw_service_* / charged-queries samples from the stats
   // structs of whatever layers this sampler owns.
   void CollectSamples(std::vector<obs::Sample>& out) const;
+  // The /runs body: a JSON array with one object per live run/session
+  // (mode, session id, latest ProgressSnapshot). Thread-safe.
+  std::string RunsJson() const;
 
   ExecutionMode mode_ = ExecutionMode::kInline;
   unsigned inline_threads_ = 0;
@@ -484,6 +508,9 @@ class Sampler {
   // recorder attached to group_ (service mode records per session).
   std::unique_ptr<access::CacheTier> store_tier_;
   std::unique_ptr<obs::FlightRecorder> flight_;
+  // The live HTTP endpoint; its serving thread reads registry() and
+  // RunsJson(), so ~Sampler stops it before tearing anything else down.
+  std::unique_ptr<obs::TelemetryServer> telemetry_;
   // Pull collectors registered with registry(); reset before the members
   // they read are destroyed (declared last => destroyed first, and the
   // destructor also clears them explicitly once runs are quiesced).

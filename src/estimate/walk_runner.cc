@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/profiler.h"
 #include "util/check.h"
 
 namespace histwalk::estimate {
@@ -31,6 +32,7 @@ TracedWalk TraceWalk(core::Walker& walker, const RunOptions& options) {
     }
     bool stop = false;
     {
+      HW_PROF_SCOPE("walker/step");
       // One span per step; the access layer's cache-probe instants land
       // inside it on the same (per-walker) track.
       HW_TRACE_SPAN_ARGS(

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/profiler.h"
 #include "util/check.h"
 
 namespace histwalk::net {
@@ -267,6 +268,7 @@ util::Result<access::AsyncFetcher::Fetched> RequestPipeline::FetchSharedForImpl(
     std::shared_future<WireReply> future;
     bool creator = false;
     {
+      HW_PROF_SCOPE("pipeline/enqueue");
       std::unique_lock<std::mutex> lock(mu_);
       HW_CHECK(tenant < tenants_.size());
       if (stopping_) {
@@ -318,6 +320,7 @@ util::Result<access::AsyncFetcher::Fetched> RequestPipeline::FetchSharedForImpl(
             std::max(t.stats.max_queue_depth, queue_->queued(tenant));
         global_max_queue_depth_ =
             std::max(global_max_queue_depth_, queue_->queued());
+        queue_depth_hist_.Record(queue_->queued());
         creator = true;
         work_cv_.notify_one();
       }
@@ -370,6 +373,7 @@ void RequestPipeline::WorkerLoop() {
 
 void RequestPipeline::ProcessBatch(const TenantQueue::Batch& batch,
                                    access::SharedAccessGroup* group) {
+  HW_PROF_SCOPE("pipeline/batch");
   // 'X' complete events (not B/E spans) so concurrent workers' batches
   // can't corrupt span nesting on the shared pipeline track.
   const uint64_t batch_start_us =
@@ -463,8 +467,11 @@ void RequestPipeline::ProcessBatch(const TenantQueue::Batch& batch,
                         "\"tenant\":" + std::to_string(batch.tenant) +
                             ",\"replies\":" +
                             std::to_string(to_fulfill.size()));
-  for (auto& [pending, reply] : to_fulfill) {
-    pending->promise.set_value(std::move(reply));
+  {
+    HW_PROF_SCOPE("pipeline/deliver");
+    for (auto& [pending, reply] : to_fulfill) {
+      pending->promise.set_value(std::move(reply));
+    }
   }
 }
 
@@ -476,6 +483,7 @@ RequestPipelineStats RequestPipeline::stats() const {
   }
   aggregate.queue_depth = queue_ == nullptr ? 0 : queue_->queued();
   aggregate.max_queue_depth = global_max_queue_depth_;
+  aggregate.depth = queue_depth_hist_;
   return aggregate;
 }
 

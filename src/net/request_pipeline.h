@@ -122,6 +122,11 @@ struct RequestPipelineStats {
   uint64_t budget_refusals = 0;
   uint64_t queue_depth = 0;      // ids queued across all tenants right now
   uint64_t max_queue_depth = 0;  // high-water mark of the global depth
+  // Distribution of the global depth, sampled right after each enqueue —
+  // max_queue_depth says how bad the worst moment was, this says how the
+  // depth was typically distributed (a p50 near max means a standing
+  // backlog; a p99 spike over a low p50 means bursts the workers absorb).
+  WaitHistogram depth;
 
   double MeanBatchSize() const {
     return wire_requests == 0
@@ -325,6 +330,7 @@ class RequestPipeline final : public access::AsyncFetcher {
   RequestPipelineStats retired_;        // folded stats of removed tenants
   std::unique_ptr<TenantQueue> queue_;  // created with the first tenant
   uint64_t global_max_queue_depth_ = 0;
+  WaitHistogram queue_depth_hist_;  // global depth at each enqueue
   std::unordered_map<uint64_t, std::shared_ptr<Pending>> pending_;
 
   std::vector<std::thread> workers_;  // last member: joins before teardown

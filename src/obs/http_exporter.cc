@@ -1,0 +1,125 @@
+#include "obs/http_exporter.h"
+
+#include <utility>
+
+namespace histwalk::obs {
+
+namespace {
+
+constexpr size_t kMaxRequestBytes = 8192;
+
+struct Response {
+  int status = 200;
+  const char* reason = "OK";
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+std::string RenderResponse(const Response& r) {
+  std::string out = "HTTP/1.1 ";
+  out += std::to_string(r.status);
+  out += ' ';
+  out += r.reason;
+  out += "\r\nContent-Type: ";
+  out += r.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(r.body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += r.body;
+  return out;
+}
+
+// Request line only ("GET /metrics HTTP/1.1"); headers are read (so the
+// client can finish writing) but ignored.
+bool ParseRequestLine(const std::string& request, std::string& method,
+                      std::string& target) {
+  const size_t line_end = request.find("\r\n");
+  if (line_end == std::string::npos) return false;
+  const std::string line = request.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos) return false;
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) return false;
+  method = line.substr(0, sp1);
+  target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  // Query strings are accepted and ignored (curl 'http://.../metrics?x').
+  const size_t query = target.find('?');
+  if (query != std::string::npos) target = target.substr(0, query);
+  return true;
+}
+
+}  // namespace
+
+util::Result<std::unique_ptr<TelemetryServer>> TelemetryServer::Start(
+    TelemetryServerOptions options) {
+  auto listener = util::TcpListener::Listen(options.port);
+  if (!listener.ok()) return listener.status();
+  return std::unique_ptr<TelemetryServer>(
+      new TelemetryServer(std::move(options), *std::move(listener)));
+}
+
+TelemetryServer::TelemetryServer(TelemetryServerOptions options,
+                                 util::TcpListener listener)
+    : options_(std::move(options)), listener_(std::move(listener)) {
+  serve_thread_ = std::thread([this] { ServeLoop(); });
+}
+
+TelemetryServer::~TelemetryServer() {
+  listener_.Shutdown();  // wakes the blocked Accept with Unavailable
+  if (serve_thread_.joinable()) serve_thread_.join();
+}
+
+void TelemetryServer::ServeLoop() {
+  for (;;) {
+    auto stream = listener_.Accept();
+    if (!stream.ok()) return;  // Shutdown() — or a fatal listener error
+    HandleConnection(*std::move(stream));
+  }
+}
+
+void TelemetryServer::HandleConnection(util::TcpStream stream) {
+  // Read until the end of the request head; GETs have no body.
+  std::string request;
+  while (request.find("\r\n\r\n") == std::string::npos) {
+    if (request.size() > kMaxRequestBytes) return;  // oversized: drop
+    auto n = stream.RecvSome(request);
+    if (!n.ok() || *n == 0) return;  // peer gone mid-request
+  }
+
+  Response response;
+  std::string method;
+  std::string target;
+  if (!ParseRequestLine(request, method, target)) {
+    response.status = 400;
+    response.reason = "Bad Request";
+    response.body = "bad request\n";
+  } else if (method != "GET") {
+    response.status = 405;
+    response.reason = "Method Not Allowed";
+    response.body = "only GET is served\n";
+  } else {
+    Registry& registry =
+        options_.registry != nullptr ? *options_.registry : Registry::Global();
+    if (target == "/metrics") {
+      response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      response.body = registry.Scrape().ToPrometheusText();
+    } else if (target == "/metrics.json") {
+      response.content_type = "application/json";
+      response.body = registry.Scrape().ToJson();
+    } else if (target == "/healthz") {
+      response.body = "ok\n";
+    } else if (target == "/runs") {
+      response.content_type = "application/json";
+      response.body = options_.runs_json ? options_.runs_json() : "[]";
+    } else {
+      response.status = 404;
+      response.reason = "Not Found";
+      response.body = "routes: /metrics /metrics.json /healthz /runs\n";
+    }
+  }
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  // Best-effort: a vanished client is the client's problem.
+  (void)stream.SendAll(RenderResponse(response));
+}
+
+}  // namespace histwalk::obs

@@ -1,0 +1,87 @@
+#ifndef HISTWALK_OBS_HTTP_EXPORTER_H_
+#define HISTWALK_OBS_HTTP_EXPORTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "obs/registry.h"
+#include "util/socket.h"
+#include "util/status.h"
+
+// Minimal embedded HTTP/1.1 endpoint exposing the metrics registry while
+// a crawl runs — curl / Prometheus instead of a post-mortem scrape file.
+//
+// Routes:
+//   GET /metrics       Prometheus text exposition (Registry::Scrape)
+//   GET /metrics.json  the same scrape as JSON
+//   GET /healthz       "ok" liveness probe
+//   GET /runs          JSON array of live run/session progress snapshots
+//                      (whatever the injected runs_json provider reports;
+//                      "[]" when none is wired)
+//
+// Scope, deliberately small: one accept-loop thread serving connections
+// serially, Connection: close on every response, GET only, loopback only
+// (util::TcpListener binds 127.0.0.1). That is exactly what a scrape
+// endpoint needs and nothing a public service would — but the
+// socket/HTTP plumbing is the substrate ROADMAP item 1's RPC front ends
+// will build on.
+//
+// Every response is computed per request, so a scrape observes the same
+// registry state any in-process Scrape() would — including collector-
+// exported families (hw_cache_*, hw_prof_*, hw_est_*). Serving reads
+// wall-clock-ordered state and so is not deterministic; nothing it does
+// feeds back into the walk (api_equivalence_test pins that).
+
+namespace histwalk::obs {
+
+struct TelemetryServerOptions {
+  // TCP port on 127.0.0.1; 0 asks the kernel for an ephemeral port (read
+  // the outcome from TelemetryServer::port() — tests and --serve=0 do).
+  uint16_t port = 0;
+  // Registry to scrape; null falls back to Registry::Global().
+  Registry* registry = nullptr;
+  // Provider for the /runs body (a complete JSON value). Called on the
+  // serving thread, so it must be thread-safe; null serves "[]".
+  std::function<std::string()> runs_json;
+};
+
+class TelemetryServer {
+ public:
+  // Binds + starts the serving thread; Unavailable if the port is taken.
+  static util::Result<std::unique_ptr<TelemetryServer>> Start(
+      TelemetryServerOptions options);
+
+  // Stops accepting, joins the serving thread. In-flight response writes
+  // finish first (they are short).
+  ~TelemetryServer();
+
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  // The actual bound port (resolves port=0 to the kernel's pick).
+  uint16_t port() const { return listener_.port(); }
+
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  explicit TelemetryServer(TelemetryServerOptions options,
+                           util::TcpListener listener);
+
+  void ServeLoop();
+  void HandleConnection(util::TcpStream stream);
+
+  TelemetryServerOptions options_;
+  util::TcpListener listener_;
+  std::atomic<uint64_t> requests_served_{0};
+  std::thread serve_thread_;  // last member: joins before teardown
+};
+
+}  // namespace histwalk::obs
+
+#endif  // HISTWALK_OBS_HTTP_EXPORTER_H_

@@ -1,0 +1,67 @@
+#include "obs/profiler.h"
+
+#include <utility>
+
+namespace histwalk::obs {
+
+thread_local ProfScope* ProfScope::tls_current_ = nullptr;
+
+Profiler& Profiler::Global() {
+  static Profiler* const global = new Profiler();  // intentionally leaked
+  return *global;
+}
+
+ProfSite* Profiler::site(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(name);
+  if (it == sites_.end()) {
+    it = sites_.emplace(std::string(name), std::make_unique<ProfSite>(this))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::vector<Profiler::SiteSnapshot> Profiler::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SiteSnapshot> out;
+  out.reserve(sites_.size());
+  for (const auto& [name, site] : sites_) {
+    SiteSnapshot s;
+    s.name = name;
+    for (const ProfSite::Cell& cell : site->cells_) {
+      s.count += cell.count.load(std::memory_order_relaxed);
+      s.total_ns += cell.total_ns.load(std::memory_order_relaxed);
+      s.self_ns += cell.self_ns.load(std::memory_order_relaxed);
+      uint64_t cell_max = cell.max_ns.load(std::memory_order_relaxed);
+      if (cell_max > s.max_ns) s.max_ns = cell_max;
+      for (size_t b = 0; b < Log2Histogram::kBuckets; ++b) {
+        s.hist.buckets[b] += cell.buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+    s.hist.count = s.count;
+    s.hist.sum = s.total_ns;
+    s.hist.max = s.max_ns;
+    out.push_back(std::move(s));
+  }
+  return out;  // map iteration order: already sorted by name
+}
+
+void Profiler::AppendSamples(std::vector<Sample>& out) const {
+  for (SiteSnapshot& site : Snapshot()) {
+    const std::string label = RenderLabel("site", site.name);
+    Sample hist;
+    hist.name = "hw_prof_scope_ns";
+    hist.labels = label;
+    hist.kind = SampleKind::kHistogram;
+    hist.hist = site.hist;
+    out.push_back(std::move(hist));
+    Sample self;
+    self.name = "hw_prof_self_ns_total";
+    self.labels = label;
+    self.kind = SampleKind::kCounter;
+    self.value = static_cast<int64_t>(site.self_ns);
+    out.push_back(std::move(self));
+  }
+}
+
+}  // namespace histwalk::obs

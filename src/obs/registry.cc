@@ -64,6 +64,35 @@ void AppendJsonEscaped(std::string& out, std::string_view text) {
 
 }  // namespace
 
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string RenderLabel(std::string_view key, std::string_view value) {
+  std::string out(key);
+  out += "=\"";
+  out += EscapeLabelValue(value);
+  out += '"';
+  return out;
+}
+
 const Sample* ScrapeResult::Find(std::string_view name,
                                  std::string_view labels) const {
   for (const Sample& s : samples) {

@@ -116,6 +116,19 @@ class Histogram {
 
 enum class SampleKind { kCounter, kGauge, kHistogram };
 
+// Escapes a label VALUE per the Prometheus text exposition format:
+// backslash, double-quote and newline render as \\, \" and \n. Everything
+// building a Sample::labels body from runtime data (session ids, profiler
+// site names, shard indices) must go through this — raw concatenation
+// produces an unparseable exposition the moment a value contains one of
+// those three characters.
+std::string EscapeLabelValue(std::string_view value);
+
+// Renders one label pair `key="value"` with the value escaped; the
+// building block for Sample::labels bodies. `key` must be a valid label
+// name ([a-zA-Z_][a-zA-Z0-9_]*) — it is not escaped.
+std::string RenderLabel(std::string_view key, std::string_view value);
+
 // One scraped metric. `labels` is the rendered label body without braces
 // (e.g. `tenant="3"`), empty for unlabelled metrics; label rendering is
 // the caller's job and must be deterministic.

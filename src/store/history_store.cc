@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <utility>
 
+#include "obs/profiler.h"
 #include "util/check.h"
 
 namespace histwalk::store {
@@ -89,6 +90,7 @@ void HistoryStore::OnCacheInsert(graph::NodeId v,
                                  std::span<const graph::NodeId> neighbors,
                                  access::HistoryCache& cache) {
   if (options_.wal_path.empty()) return;  // WAL disabled (immutable config)
+  HW_PROF_SCOPE("store/append");
   std::lock_guard<std::mutex> lock(mu_);
   if (wal_ == nullptr) {
     // A rotation's reopen failed earlier (transient IO error); retry it
@@ -311,6 +313,7 @@ util::Status HistoryStore::Checkpoint(const access::HistoryCache& cache) {
 
 util::Status HistoryStore::CheckpointLocked(
     const access::HistoryCache& cache) {
+  HW_PROF_SCOPE("store/checkpoint");
   const uint64_t ckpt_start_us =
       tracer_ != nullptr ? tracer_->NowUs() : 0;
   auto written =

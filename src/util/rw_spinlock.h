@@ -28,8 +28,27 @@
 // Satisfies SharedLockable: std::shared_lock<RwSpinLock> /
 // std::unique_lock<RwSpinLock> work as drop-ins for the shared_mutex
 // equivalents.
+//
+// Contention telemetry: attach_counters() points the lock at an external
+// RwSpinLockCounters struct (off by default — a detached lock pays one
+// relaxed pointer load and a predicted branch per acquisition, and
+// HISTWALK_DISABLE_PROFILING compiles even that out). Attach during
+// single-threaded wiring, before the lock is contended; the counters must
+// outlive the lock's last acquisition. "Contended" means the acquisition
+// observed a holder it had to wait out at least once, so
+// contended/acquires is a direct contention ratio.
 
 namespace histwalk::util {
+
+// Telemetry sink for one (or a group of) RwSpinLocks. All fields are
+// relaxed monotone counters; cross-field consistency holds at quiescence,
+// same contract as the cache stats structs.
+struct RwSpinLockCounters {
+  std::atomic<uint64_t> shared_acquires{0};
+  std::atomic<uint64_t> shared_contended{0};
+  std::atomic<uint64_t> exclusive_acquires{0};
+  std::atomic<uint64_t> exclusive_contended{0};
+};
 
 class RwSpinLock {
  public:
@@ -37,24 +56,39 @@ class RwSpinLock {
   RwSpinLock(const RwSpinLock&) = delete;
   RwSpinLock& operator=(const RwSpinLock&) = delete;
 
+  // Wiring-time only: must be called before the lock is shared between
+  // threads (the plain store is not synchronized against concurrent
+  // acquisitions). Pass nullptr to detach.
+  void attach_counters(RwSpinLockCounters* counters) {
+#ifndef HISTWALK_DISABLE_PROFILING
+    counters_ = counters;
+#else
+    (void)counters;
+#endif
+  }
+
   void lock_shared() {
+    bool contended = false;
     for (;;) {
       // Optimistic: count in, then check no writer claimed the bit. The
       // RMW makes this an acquire on the writer's release chain.
       uint32_t state = state_.fetch_add(1, std::memory_order_acquire);
-      if ((state & kWriter) == 0) return;
+      if ((state & kWriter) == 0) break;
       // A writer holds or awaits the lock: step back out and wait, so the
       // writer's reader-drain loop can terminate.
+      contended = true;
       state_.fetch_sub(1, std::memory_order_relaxed);
       SpinUntil([&] {
         return (state_.load(std::memory_order_relaxed) & kWriter) == 0;
       });
     }
+    NoteAcquire(/*exclusive=*/false, contended);
   }
 
   void unlock_shared() { state_.fetch_sub(1, std::memory_order_release); }
 
   void lock() {
+    bool contended = false;
     // Phase 1: claim the writer bit (one writer at a time; arriving
     // readers now bounce).
     for (;;) {
@@ -65,16 +99,19 @@ class RwSpinLock {
                                        std::memory_order_relaxed)) {
         break;
       }
+      contended = true;
       SpinUntil([&] {
         return (state_.load(std::memory_order_relaxed) & kWriter) == 0;
       });
     }
     // Phase 2: drain readers that were already counted in.
     if ((state_.load(std::memory_order_acquire) & kReaderMask) != 0) {
+      contended = true;
       SpinUntil([&] {
         return (state_.load(std::memory_order_acquire) & kReaderMask) == 0;
       });
     }
+    NoteAcquire(/*exclusive=*/true, contended);
   }
 
   void unlock() { state_.fetch_and(~kWriter, std::memory_order_release); }
@@ -82,14 +119,39 @@ class RwSpinLock {
   // try_lock completes the Lockable requirements of std::unique_lock.
   bool try_lock() {
     uint32_t expected = 0;
-    return state_.compare_exchange_strong(expected, kWriter,
-                                          std::memory_order_acquire,
-                                          std::memory_order_relaxed);
+    if (state_.compare_exchange_strong(expected, kWriter,
+                                       std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+      NoteAcquire(/*exclusive=*/true, /*contended=*/false);
+      return true;
+    }
+    return false;
   }
 
  private:
   static constexpr uint32_t kWriter = 1u << 31;
   static constexpr uint32_t kReaderMask = kWriter - 1;
+
+  void NoteAcquire(bool exclusive, bool contended) {
+#ifndef HISTWALK_DISABLE_PROFILING
+    RwSpinLockCounters* counters = counters_;
+    if (counters == nullptr) return;
+    if (exclusive) {
+      counters->exclusive_acquires.fetch_add(1, std::memory_order_relaxed);
+      if (contended) {
+        counters->exclusive_contended.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
+      counters->shared_acquires.fetch_add(1, std::memory_order_relaxed);
+      if (contended) {
+        counters->shared_contended.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+#else
+    (void)exclusive;
+    (void)contended;
+#endif
+  }
 
   template <typename Pred>
   static void SpinUntil(Pred&& ready) {
@@ -105,6 +167,9 @@ class RwSpinLock {
   static constexpr int kSpinsBeforeYield = 64;
 
   std::atomic<uint32_t> state_{0};
+#ifndef HISTWALK_DISABLE_PROFILING
+  RwSpinLockCounters* counters_ = nullptr;
+#endif
 };
 
 }  // namespace histwalk::util

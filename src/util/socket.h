@@ -1,0 +1,219 @@
+#ifndef HISTWALK_UTIL_SOCKET_H_
+#define HISTWALK_UTIL_SOCKET_H_
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "util/status.h"
+
+#if defined(_WIN32)
+#error "util/socket.h is POSIX-only (the telemetry server has no Windows port)"
+#endif
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+// Thin RAII wrappers over POSIX TCP sockets — just enough substrate for
+// the embedded telemetry endpoint (obs/http_exporter.h), and the first
+// networking brick for the ROADMAP item-1 service daemon. Deliberately
+// minimal: blocking I/O, IPv4 loopback by default, no TLS, no poll loop.
+// Everything returns util::Status/Result instead of throwing; EINTR is
+// retried internally.
+
+namespace histwalk::util {
+
+// An owned file descriptor for one accepted (or connected) stream.
+class TcpStream {
+ public:
+  TcpStream() = default;
+  explicit TcpStream(int fd) : fd_(fd) {}
+  ~TcpStream() { Close(); }
+  TcpStream(TcpStream&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  TcpStream& operator=(TcpStream&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  TcpStream(const TcpStream&) = delete;
+  TcpStream& operator=(const TcpStream&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  // Connects to 127.0.0.1:port (test/client convenience).
+  static Result<TcpStream> ConnectLocal(uint16_t port) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Status::Unavailable(std::string("socket: ") +
+                                 std::strerror(errno));
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    int rc;
+    do {
+      rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) {
+      Status status = Status::Unavailable(std::string("connect: ") +
+                                          std::strerror(errno));
+      ::close(fd);
+      return status;
+    }
+    return TcpStream(fd);
+  }
+
+  // One recv(); 0 bytes = orderly peer shutdown. Appends to `out`.
+  Result<size_t> RecvSome(std::string& out, size_t max_bytes = 4096) {
+    std::string buf(max_bytes, '\0');
+    ssize_t n;
+    do {
+      n = ::recv(fd_, buf.data(), buf.size(), 0);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) {
+      return Status::Unavailable(std::string("recv: ") +
+                                 std::strerror(errno));
+    }
+    out.append(buf.data(), static_cast<size_t>(n));
+    return static_cast<size_t>(n);
+  }
+
+  // Loops until every byte of `data` is written (or the peer vanishes).
+  Status SendAll(std::string_view data) {
+    while (!data.empty()) {
+      ssize_t n;
+      do {
+        n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+      } while (n < 0 && errno == EINTR);
+      if (n <= 0) {
+        return Status::Unavailable(std::string("send: ") +
+                                   std::strerror(errno));
+      }
+      data.remove_prefix(static_cast<size_t>(n));
+    }
+    return Status::Ok();
+  }
+
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+// A listening socket bound to 127.0.0.1. Accept() blocks; Shutdown() from
+// another thread wakes it with an error, which is how the telemetry
+// server's accept loop is told to exit.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener() { Shutdown(); }
+  TcpListener(TcpListener&& other) noexcept
+      : fd_(other.fd_), port_(other.port_) {
+    other.fd_ = -1;
+  }
+  TcpListener& operator=(TcpListener&& other) noexcept {
+    if (this != &other) {
+      Shutdown();
+      fd_ = other.fd_;
+      port_ = other.port_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  // Binds 127.0.0.1:port (0 = kernel-assigned ephemeral port; read the
+  // outcome from port()) and starts listening. Loopback-only on purpose:
+  // the scrape endpoint is diagnostics, not a public service.
+  static Result<TcpListener> Listen(uint16_t port, int backlog = 16) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Status::Unavailable(std::string("socket: ") +
+                                 std::strerror(errno));
+    }
+    int reuse = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      Status status = Status::Unavailable(std::string("bind: ") +
+                                          std::strerror(errno));
+      ::close(fd);
+      return status;
+    }
+    if (::listen(fd, backlog) < 0) {
+      Status status = Status::Unavailable(std::string("listen: ") +
+                                          std::strerror(errno));
+      ::close(fd);
+      return status;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+      Status status = Status::Unavailable(std::string("getsockname: ") +
+                                          std::strerror(errno));
+      ::close(fd);
+      return status;
+    }
+    TcpListener listener;
+    listener.fd_ = fd;
+    listener.port_ = ntohs(bound.sin_port);
+    return listener;
+  }
+
+  bool valid() const { return fd_ >= 0; }
+  uint16_t port() const { return port_; }
+
+  // Blocks for the next connection. After Shutdown() (from any thread)
+  // the pending and all future Accepts return Unavailable.
+  Result<TcpStream> Accept() {
+    int client;
+    do {
+      client = ::accept(fd_, nullptr, nullptr);
+    } while (client < 0 && errno == EINTR);
+    if (client < 0) {
+      return Status::Unavailable(std::string("accept: ") +
+                                 std::strerror(errno));
+    }
+    return TcpStream(client);
+  }
+
+  // Wakes a blocked Accept and closes the listening socket. Idempotent.
+  // shutdown() before close() so a concurrently-blocked accept returns
+  // instead of the fd being silently reused under it.
+  void Shutdown() {
+    if (fd_ >= 0) {
+      ::shutdown(fd_, SHUT_RDWR);
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace histwalk::util
+
+#endif  // HISTWALK_UTIL_SOCKET_H_

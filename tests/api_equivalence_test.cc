@@ -4,6 +4,8 @@
 #include "api/sampler.h"
 #include "estimate/ensemble_runner.h"
 #include "graph/generators.h"
+#include "obs/profiler.h"
+#include "obs/registry.h"
 #include "service/sampling_service.h"
 #include "util/random.h"
 
@@ -254,6 +256,50 @@ TEST(ApiEquivalenceTest, ProgressTrackingNeverChangesTheRun) {
     EXPECT_EQ(plain.r_hat, tracked.r_hat);
     EXPECT_EQ(plain.num_batches, tracked.num_batches);
   }
+}
+
+// ---- profiling + telemetry-server equivalence --------------------------
+
+// The wall-clock observability layer is pure too: arming the profiler,
+// lock counters and the live HTTP endpoint changes what is MEASURED,
+// never what the walk does — no trace byte, stat or charge may move in
+// any execution mode. This is the determinism pin for crawl_cli --serve.
+TEST(ApiEquivalenceTest, ProfilingAndTelemetryServerNeverChangeTheRun) {
+  graph::Graph graph = TestGraph();
+  auto base = [&] {
+    return SamplerBuilder()
+        .OverGraph(&graph)
+        .WithWalker({.type = core::WalkerType::kCnrw})
+        .WithEnsemble(kWalkers, kSeed)
+        .StopAfterSteps(kSteps)
+        .EstimateAverageDegree();
+  };
+  obs::Profiler& profiler = obs::Profiler::Global();
+  const bool was_enabled = profiler.enabled();
+  for (auto configure :
+       {+[](SamplerBuilder& b) { b.RunInline(/*num_threads=*/4); },
+        +[](SamplerBuilder& b) { b.RunPipelined({.depth = 4}); },
+        +[](SamplerBuilder& b) { b.RunAsService({.max_sessions = 1}); }}) {
+    profiler.set_enabled(false);
+    SamplerBuilder plain_builder = base();
+    configure(plain_builder);
+    RunReport plain = FacadeRun(std::move(plain_builder));
+
+    profiler.set_enabled(true);
+    obs::Registry registry;
+    SamplerBuilder instrumented_builder =
+        base()
+            .WithCache({.profile_locks = true})
+            .WithObservability({.registry = &registry, .profiler = &profiler})
+            .WithTelemetryServer(/*port=*/0);
+    configure(instrumented_builder);
+    RunReport instrumented = FacadeRun(std::move(instrumented_builder));
+
+    ExpectSameRun(plain.ensemble, instrumented.ensemble);
+    EXPECT_EQ(plain.charged_queries, instrumented.charged_queries);
+    EXPECT_EQ(plain.estimate, instrumented.estimate);
+  }
+  profiler.set_enabled(was_enabled);
 }
 
 }  // namespace

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "obs/profiler.h"
+#include "obs/registry.h"
+#include "util/rw_spinlock.h"
+
+// The wall-clock profiler's aggregation contract: thread-striped cells
+// fold to the same totals a serial replay would produce, nested scopes
+// split elapsed into self + child time, a disabled profiler records
+// nothing, and the exported sample names/labels follow the registry's
+// exposition rules. Also covers the RwSpinLock acquisition counters the
+// profiler build flag gates.
+
+namespace histwalk::obs {
+namespace {
+
+TEST(ProfilerTest, DisabledProfilerRecordsNothing) {
+  Profiler profiler;
+  ProfSite* site = profiler.site("test/site");
+  ASSERT_NE(site, nullptr);
+  EXPECT_FALSE(site->armed());
+  { ProfScope scope(site); }
+  { ProfScope scope(nullptr); }  // null site is inert, not a crash
+  std::vector<Profiler::SiteSnapshot> snap = profiler.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].count, 0u);
+  EXPECT_EQ(snap[0].total_ns, 0u);
+}
+
+TEST(ProfilerTest, SitePointersAreStableAndDeduplicated) {
+  Profiler profiler;
+  ProfSite* a = profiler.site("test/a");
+  ProfSite* b = profiler.site("test/b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(profiler.site("test/a"), a);
+  EXPECT_EQ(profiler.Snapshot().size(), 2u);
+}
+
+TEST(ProfilerTest, EnabledScopeRecordsPlausibleTimes) {
+  Profiler profiler;
+  profiler.set_enabled(true);
+  ProfSite* site = profiler.site("test/timed");
+  const int kIters = 100;
+  for (int i = 0; i < kIters; ++i) {
+    ProfScope scope(site);
+  }
+  std::vector<Profiler::SiteSnapshot> snap = profiler.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].count, static_cast<uint64_t>(kIters));
+  EXPECT_EQ(snap[0].hist.count, static_cast<uint64_t>(kIters));
+  EXPECT_EQ(snap[0].hist.sum, snap[0].total_ns);
+  EXPECT_EQ(snap[0].hist.max, snap[0].max_ns);
+  EXPECT_GE(snap[0].total_ns, snap[0].max_ns);
+  // With no nested scopes, self time is the whole elapsed time.
+  EXPECT_EQ(snap[0].self_ns, snap[0].total_ns);
+}
+
+// The stripe-fold identity: concurrent Records across many threads fold
+// to exactly the totals of a serial replay of the same values.
+TEST(ProfilerTest, ConcurrentRecordsFoldToSerialTotals) {
+  Profiler profiler;
+  profiler.set_enabled(true);
+  ProfSite* site = profiler.site("test/striped");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([site, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        // Deterministic per-thread values, same multiset the serial
+        // replay below uses.
+        const uint64_t value = (static_cast<uint64_t>(t) * kPerThread + i) % 257;
+        site->Record(value, value / 2);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  Log2Histogram serial;
+  uint64_t serial_self = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    for (uint64_t i = 0; i < kPerThread; ++i) {
+      const uint64_t value = (static_cast<uint64_t>(t) * kPerThread + i) % 257;
+      serial.Record(value);
+      serial_self += value / 2;
+    }
+  }
+
+  std::vector<Profiler::SiteSnapshot> snap = profiler.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].count, serial.count);
+  EXPECT_EQ(snap[0].total_ns, serial.sum);
+  EXPECT_EQ(snap[0].self_ns, serial_self);
+  EXPECT_EQ(snap[0].max_ns, serial.max);
+  EXPECT_EQ(snap[0].hist.buckets, serial.buckets);
+}
+
+TEST(ProfilerTest, NestedScopesSplitSelfTime) {
+  Profiler profiler;
+  profiler.set_enabled(true);
+  ProfSite* outer = profiler.site("test/outer");
+  ProfSite* inner = profiler.site("test/inner");
+  {
+    ProfScope outer_scope(outer);
+    for (int i = 0; i < 64; ++i) {
+      ProfScope inner_scope(inner);
+    }
+  }
+  std::vector<Profiler::SiteSnapshot> snap = profiler.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);  // sorted by name: inner, outer
+  const Profiler::SiteSnapshot& inner_snap = snap[0];
+  const Profiler::SiteSnapshot& outer_snap = snap[1];
+  ASSERT_EQ(inner_snap.name, "test/inner");
+  ASSERT_EQ(outer_snap.name, "test/outer");
+  EXPECT_EQ(outer_snap.count, 1u);
+  EXPECT_EQ(inner_snap.count, 64u);
+  // The parent's total covers the children; its self time excludes them.
+  EXPECT_GE(outer_snap.total_ns, inner_snap.total_ns);
+  EXPECT_LE(outer_snap.self_ns, outer_snap.total_ns - inner_snap.total_ns);
+}
+
+TEST(ProfilerTest, AppendSamplesEmitsNamedAndEscapedFamilies) {
+  Profiler profiler;
+  profiler.set_enabled(true);
+  ProfSite* site = profiler.site("odd\"name\\with\nchars");
+  site->Record(10, 10);
+  std::vector<Sample> samples;
+  profiler.AppendSamples(samples);
+  ASSERT_EQ(samples.size(), 2u);
+  // Render through a registry scrape to pin the wire format end to end.
+  Registry registry;
+  auto handle = registry.AddCollector([&profiler](std::vector<Sample>& out) {
+    profiler.AppendSamples(out);
+  });
+  const std::string text = registry.Scrape().ToPrometheusText();
+  EXPECT_NE(text.find("# TYPE hw_prof_scope_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE hw_prof_self_ns_total counter"),
+            std::string::npos);
+  const std::string escaped = "site=\"odd\\\"name\\\\with\\nchars\"";
+  EXPECT_NE(text.find("hw_prof_scope_ns_count{" + escaped + "} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("hw_prof_self_ns_total{" + escaped + "} 10"),
+            std::string::npos);
+}
+
+TEST(ProfilerTest, GlobalMacroRecordsWhenEnabled) {
+  Profiler& global = Profiler::Global();
+  const bool was_enabled = global.enabled();
+  global.set_enabled(true);
+  auto count_of = [&global](const std::string& name) -> uint64_t {
+    for (const Profiler::SiteSnapshot& site : global.Snapshot()) {
+      if (site.name == name) return site.count;
+    }
+    return 0;
+  };
+  const uint64_t before = count_of("test/global_macro");
+  { HW_PROF_SCOPE("test/global_macro"); }
+  EXPECT_EQ(count_of("test/global_macro"), before + 1);
+  global.set_enabled(was_enabled);
+}
+
+// ---- RwSpinLock acquisition counters -----------------------------------
+
+TEST(RwSpinLockCountersTest, SerialAcquisitionsAreExactAndUncontended) {
+  util::RwSpinLock lock;
+  util::RwSpinLockCounters counters;
+  lock.attach_counters(&counters);
+  for (int i = 0; i < 10; ++i) {
+    lock.lock_shared();
+    lock.unlock_shared();
+  }
+  for (int i = 0; i < 7; ++i) {
+    lock.lock();
+    lock.unlock();
+  }
+  ASSERT_TRUE(lock.try_lock());
+  lock.unlock();
+  EXPECT_EQ(counters.shared_acquires.load(), 10u);
+  EXPECT_EQ(counters.shared_contended.load(), 0u);
+  EXPECT_EQ(counters.exclusive_acquires.load(), 8u);
+  EXPECT_EQ(counters.exclusive_contended.load(), 0u);
+}
+
+TEST(RwSpinLockCountersTest, ContendedAcquisitionsCountExactTotals) {
+  util::RwSpinLock lock;
+  util::RwSpinLockCounters counters;
+  lock.attach_counters(&counters);
+  constexpr int kReaders = 4;
+  constexpr int kWriters = 2;
+  constexpr uint64_t kIters = 5000;
+  uint64_t guarded = 0;  // writer-mutated, reader-read: TSan's witness
+  std::atomic<uint64_t> read_sink{0};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&] {
+      for (uint64_t i = 0; i < kIters; ++i) {
+        lock.lock_shared();
+        read_sink.fetch_add(guarded, std::memory_order_relaxed);
+        lock.unlock_shared();
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&] {
+      for (uint64_t i = 0; i < kIters; ++i) {
+        lock.lock();
+        ++guarded;
+        lock.unlock();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(guarded, kWriters * kIters);
+  // Totals are exact regardless of interleaving; the contended subset is
+  // schedule-dependent but can never exceed the total.
+  EXPECT_EQ(counters.shared_acquires.load(), kReaders * kIters);
+  EXPECT_EQ(counters.exclusive_acquires.load(), kWriters * kIters);
+  EXPECT_LE(counters.shared_contended.load(),
+            counters.shared_acquires.load());
+  EXPECT_LE(counters.exclusive_contended.load(),
+            counters.exclusive_acquires.load());
+}
+
+}  // namespace
+}  // namespace histwalk::obs

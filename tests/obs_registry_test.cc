@@ -242,6 +242,33 @@ TEST(RegistryTest, PrometheusTextRendersTypesAndHistogramSeries) {
   EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
 }
 
+TEST(RegistryTest, EscapeLabelValueFollowsExpositionFormat) {
+  // The Prometheus text exposition format escapes exactly backslash,
+  // double-quote and newline inside label values — regression for labels
+  // built by naive concatenation.
+  EXPECT_EQ(EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapeLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(EscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeLabelValue("a\nb"), "a\\nb");
+  EXPECT_EQ(RenderLabel("site", "cache/get"), "site=\"cache/get\"");
+  EXPECT_EQ(RenderLabel("site", "we\"ird\\\n"),
+            "site=\"we\\\"ird\\\\\\n\"");
+}
+
+TEST(RegistryTest, ScrapeRendersEscapedLabelValuesIntact) {
+  Registry registry;
+  registry.counter("hw_test_escaped_total", RenderLabel("k", "q\"uo\\te"))
+      ->Inc(1);
+  const std::string text = registry.Scrape().ToPrometheusText();
+  EXPECT_NE(text.find("hw_test_escaped_total{k=\"q\\\"uo\\\\te\"} 1"),
+            std::string::npos);
+  // One line per sample: the escape must keep the newline out of the body.
+  registry.counter("hw_test_newline_total", RenderLabel("k", "a\nb"))->Inc(1);
+  const std::string text2 = registry.Scrape().ToPrometheusText();
+  EXPECT_NE(text2.find("hw_test_newline_total{k=\"a\\nb\"} 1"),
+            std::string::npos);
+}
+
 TEST(RegistryTest, WriteScrapePicksFormatFromExtension) {
   Registry registry;
   registry.counter("hw_test_written_total")->Inc(9);
