@@ -29,6 +29,15 @@
 //                        concurrency is the walker count). The printed
 //                        output and --trace-out bytes are identical for
 //                        any value — scripts/trace_demo.sh pins it.
+//     --connect=HOST:PORT  run the crawl on a histwalk_serviced daemon
+//                        instead of in-process: the walk, cache and
+//                        estimand live daemon-side, --budget becomes the
+//                        session's tenant query budget, and the printed
+//                        trace digest matches an in-process service run
+//                        at the same seed (the wire protocol round-trips
+//                        traces bit-identically). Graph/wire/cache/
+//                        history/telemetry flags are daemon-side
+//                        configuration and are rejected with --connect.
 //
 //   Observability flags (crawls always run over a private obs::Registry):
 //     --metrics-out=F    write a post-crawl scrape to F: Prometheus text,
@@ -89,6 +98,7 @@
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "obs/profiler.h"
+#include "rpc/client.h"
 #include "store/format.h"
 #include "util/flags.h"
 #include "util/md5.h"
@@ -138,6 +148,71 @@ std::string TraceDigest(const estimate::TracedWalk& trace) {
     store::AppendU32(bytes, trace.degrees[i]);
   }
   return util::Md5Hex(bytes);
+}
+
+// The remote arm of the CLI: same walk, same printed digest lines, but the
+// whole stack lives in a histwalk_serviced daemon — this process holds a
+// connection and a run handle. The daemon bills the session its tenant
+// query budget exactly like the in-process group budget, so a cold daemon
+// produces the identical trace (and digest) to a cold local crawl.
+int CrawlRemote(const std::string& endpoint, core::WalkerType type,
+                uint64_t budget, uint64_t seed, const ObsFlags& obs_flags) {
+  api::SamplerBuilder builder;
+  builder.WithRemoteService(endpoint)
+      .WithWalker({.type = type})
+      .WithEnsemble(/*num_walkers=*/1, seed)
+      .StopAfterSteps(200 * budget);
+  if (obs_flags.tracking()) {
+    builder.TrackProgress(obs_flags.progress_interval > 0
+                              ? obs_flags.progress_interval
+                              : 64);
+  }
+  if (obs_flags.target_ci > 0) {
+    builder.StopAtCiHalfWidth(obs_flags.target_ci);
+  }
+  auto sampler = builder.Build();
+  if (!sampler.ok()) {
+    std::cerr << "connect: " << sampler.status() << "\n";
+    return 1;
+  }
+  std::cerr << "connected to " << (*sampler)->remote_client()->server_name()
+            << " at " << endpoint << "\n";
+
+  api::RunOptions options = (*sampler)->default_run_options();
+  options.tenant_query_budget = budget;
+  auto handle = (*sampler)->Run(options);
+  if (handle.ok() && obs_flags.tracking()) {
+    while (handle->Poll() == api::RunState::kRunning) {
+      obs::ProgressSnapshot snap = handle->Progress();
+      if (snap.total_steps > 0) {
+        std::cerr << "progress: " << snap.total_steps << " steps, "
+                  << snap.charged_queries << " charged";
+        if (snap.has_estimate) std::cerr << ", est " << snap.estimate;
+        std::cerr << "\n";
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  auto report = handle.ok() ? handle->Wait() : handle.status();
+  if (!report.ok()) {
+    std::cerr << report.status() << "\n";
+    return 1;
+  }
+  const estimate::TracedWalk& trace = report->ensemble.traces[0];
+  std::cout << "walker:            " << core::WalkerTypeName(type) << "\n"
+            << "start node:        " << report->ensemble.starts[0] << "\n"
+            << "steps taken:       " << trace.num_steps() << "\n"
+            << "unique queries:    "
+            << report->ensemble.walker_stats[0].unique_queries << "\n"
+            << "trace digest:      " << TraceDigest(trace) << "\n";
+  if (report->has_estimate) {
+    std::cout << "avg degree (est):  " << report->estimate << "\n";
+  }
+  std::cout << "charged queries:   " << report->charged_queries
+            << " (tenant budget " << budget << ")\n"
+            << "session latency:   " << report->latency_us / 1000.0
+            << " ms (daemon clock)\n";
+  return 0;
 }
 
 int Crawl(const graph::Graph& graph, core::WalkerType type, uint64_t budget,
@@ -411,6 +486,14 @@ int main(int argc, char** argv) {
   obs_flags.serve = flags.Has("serve");
   auto serve_port = flags.GetUint("serve", 0);
   auto serve_linger_ms = flags.GetUint("serve-linger-ms", 0);
+  std::string connect = flags.GetString("connect", "");
+  const bool daemon_side_flags =
+      flags.Has("latency-us") || flags.Has("depth") ||
+      flags.Has("cache-capacity") || flags.Has("num-shards") ||
+      flags.Has("threads") || flags.Has("metrics-out") ||
+      flags.Has("trace-out") || flags.Has("serve") ||
+      flags.Has("serve-linger-ms") || flags.Has("load-history") ||
+      flags.Has("wal") || flags.Has("save-history");
   for (const auto* value : {&budget, &seed, &latency_us, &depth,
                             &cache_capacity, &num_shards, &threads,
                             &progress_interval, &serve_port,
@@ -454,6 +537,25 @@ int main(int argc, char** argv) {
   obs_flags.serve_port = static_cast<uint16_t>(*serve_port);
   obs_flags.serve_linger_ms = static_cast<unsigned>(*serve_linger_ms);
 
+  if (!connect.empty()) {
+    if (daemon_side_flags) {
+      std::cerr << "--connect runs the crawl on the daemon; the graph, "
+                   "wire, cache, history, threading and telemetry flags "
+                   "are daemon-side configuration\n";
+      return 1;
+    }
+    if (!flags.positional().empty()) {
+      std::cerr << "--connect needs no edges file; the daemon already "
+                   "serves a graph\n";
+      return 1;
+    }
+    if (*budget == 0) {
+      std::cerr << "budget must be positive\n";
+      return 1;
+    }
+    return CrawlRemote(connect, *walker, *budget, *seed, obs_flags);
+  }
+
   if (flags.positional().empty()) {
     std::cout << "usage: crawl_cli [--flags] <edges-file>\n\n"
                  "  --walker=srw|mhrw|nbsrw|cnrw|cnrw-node|nbcnrw|gnrw\n"
@@ -466,7 +568,10 @@ int main(int argc, char** argv) {
                  "  --cache-capacity=N  max cached neighbor lists "
                  "(0 = unbounded)\n"
                  "  --num-shards=N      clock shards in the history cache "
-                 "(default 8)\n\n"
+                 "(default 8)\n"
+                 "  --connect=HOST:PORT run the crawl on a histwalk_serviced "
+                 "daemon (walk, cache\n                and estimand live "
+                 "daemon-side; --budget becomes the tenant budget)\n\n"
                  "  --threads=N   ParallelFor workers for in-memory runs "
                  "(default 1; output is\n                identical for any "
                  "value)\n"

@@ -1,0 +1,173 @@
+// histwalk_serviced: the sampling service as a standalone daemon. Hosts
+// one service-mode api::Sampler — one shared history cache, one fair
+// multi-tenant pipeline — behind the rpc/ wire protocol, so remote
+// clients (api::SamplerBuilder::WithRemoteService, crawl_cli --connect)
+// submit sessions over TCP instead of linking the library.
+//
+//   histwalk_serviced [--flags] <edges-file>
+//
+//     <edges-file>       SNAP-style "u v" lines; the graph every session
+//                        samples. Without it, a generated small-world
+//                        demo graph is served.
+//     --port=N           listen on 127.0.0.1:N (default 0 = kernel-picked;
+//                        the bound port is printed to stderr as
+//                        "serving 127.0.0.1:PORT")
+//     --max-sessions=N   resident-session admission cap (default 64)
+//     --admission-wait-ms=N  queue Submits behind the cap for up to N ms
+//                        before refusing (default 0 = refuse immediately)
+//     --max-inflight=N   per-connection pipelined request window
+//                        (default 8)
+//     --latency-us=N     simulate a remote OSN: per-request wire latency
+//                        (default 0 = in-memory backend)
+//     --depth=N          service pipeline depth when --latency-us > 0
+//                        (default 4)
+//     --cache-capacity=N max cached neighbor lists (default 0 = unbounded)
+//     --estimand=E       avg-degree (default) or none; reports carry the
+//                        daemon's estimate — remote clients cannot choose
+//     --run-for-ms=N     exit after N ms (default 0 = until SIGINT/SIGTERM)
+//
+// Shutdown is graceful either way: stop accepting, drain in-flight
+// requests, cancel orphaned sessions, then print a stats summary —
+// sanitizer-clean by construction, which the hostile-frame CI job leans
+// on.
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "api/sampler.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "obs/registry.h"
+#include "rpc/server.h"
+#include "util/flags.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace histwalk;
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto parsed = util::Flags::Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::cerr << parsed.status() << "\n";
+    return 1;
+  }
+  util::Flags& flags = *parsed;
+  auto port = flags.GetUint("port", 0);
+  auto max_sessions = flags.GetUint("max-sessions", 64);
+  auto admission_wait_ms = flags.GetUint("admission-wait-ms", 0);
+  auto max_inflight = flags.GetUint("max-inflight", 8);
+  auto latency_us = flags.GetUint("latency-us", 0);
+  auto depth = flags.GetUint("depth", 4);
+  auto cache_capacity = flags.GetUint("cache-capacity", 0);
+  auto run_for_ms = flags.GetUint("run-for-ms", 0);
+  std::string estimand = flags.GetString("estimand", "avg-degree");
+  for (const auto* value : {&port, &max_sessions, &admission_wait_ms,
+                            &max_inflight, &latency_us, &depth,
+                            &cache_capacity, &run_for_ms}) {
+    if (!value->ok()) {
+      std::cerr << value->status() << "\n";
+      return 1;
+    }
+  }
+  if (auto status = flags.CheckAllRead(); !status.ok()) {
+    std::cerr << status << "\n";
+    return 1;
+  }
+  if (*port > 65535) {
+    std::cerr << "port must be in [0, 65535]\n";
+    return 1;
+  }
+  if (estimand != "avg-degree" && estimand != "none") {
+    std::cerr << "estimand must be avg-degree or none\n";
+    return 1;
+  }
+  if (flags.positional().size() > 1) {
+    std::cerr << "usage: histwalk_serviced [--flags] <edges-file>\n";
+    return 1;
+  }
+
+  graph::Graph graph;
+  if (flags.positional().empty()) {
+    std::cerr << "no edges file; serving a generated small-world demo "
+                 "graph (2000 nodes)\n";
+    util::Random rng(99);
+    graph = graph::MakeWattsStrogatz(2000, 8, 0.1, rng);
+  } else {
+    auto loaded = graph::ReadEdgeList(flags.positional()[0]);
+    if (!loaded.ok()) {
+      std::cerr << loaded.status() << "\n";
+      return 1;
+    }
+    graph = *std::move(loaded);
+  }
+  std::cerr << "graph: " << graph.DebugString() << "\n";
+
+  obs::Registry registry;
+  api::SamplerBuilder builder;
+  builder.OverGraph(&graph)
+      .WithCache({.capacity = *cache_capacity})
+      .WithObservability({.registry = &registry})
+      .RunAsService(
+          {.max_sessions = static_cast<uint32_t>(*max_sessions),
+           .admission_wait_us = *admission_wait_ms * 1000,
+           .pipeline = {.depth = static_cast<uint32_t>(
+                            *latency_us > 0 ? *depth : 1)}});
+  if (*latency_us > 0) {
+    builder.WithRemoteWire({.base_latency_us = *latency_us,
+                            .jitter_us = *latency_us / 2});
+  }
+  if (estimand == "avg-degree") builder.EstimateAverageDegree();
+  auto sampler = builder.Build();
+  if (!sampler.ok()) {
+    std::cerr << "sampler: " << sampler.status() << "\n";
+    return 1;
+  }
+
+  rpc::ServerOptions server_options;
+  server_options.port = static_cast<uint16_t>(*port);
+  server_options.max_inflight_requests = static_cast<uint32_t>(*max_inflight);
+  server_options.registry = &registry;
+  auto server = rpc::Server::Start(sampler->get(), server_options);
+  if (!server.ok()) {
+    std::cerr << "server: " << server.status() << "\n";
+    return 1;
+  }
+  std::cerr << "serving 127.0.0.1:" << (*server)->port() << "\n";
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  const auto started = std::chrono::steady_clock::now();
+  while (!g_stop.load()) {
+    if (*run_for_ms > 0 &&
+        std::chrono::steady_clock::now() - started >=
+            std::chrono::milliseconds(*run_for_ms)) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::cerr << "draining...\n";
+  (*server)->Shutdown();
+  const rpc::ServerStats stats = (*server)->stats();
+  const service::ServiceStats service = (*sampler)->service()->stats();
+  std::cerr << "served " << stats.connections_total << " connections, "
+            << stats.requests_total << " requests ("
+            << stats.protocol_errors << " protocol errors), "
+            << stats.sessions_opened << " sessions ("
+            << stats.sessions_reaped << " reaped); service ran "
+            << service.submitted << " sessions, " << service.charged_queries
+            << " charged queries, cache " << service.cache.hits << " hits / "
+            << service.cache.misses << " misses\n";
+  return 0;
+}

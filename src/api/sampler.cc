@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "estimate/estimators.h"
+#include "rpc/client.h"
 #include "util/check.h"
 
 namespace histwalk::api {
@@ -19,6 +20,8 @@ std::string_view ExecutionModeName(ExecutionMode mode) {
       return "pipelined";
     case ExecutionMode::kService:
       return "service";
+    case ExecutionMode::kRemote:
+      return "remote";
   }
   return "unknown";
 }
@@ -58,6 +61,9 @@ struct RunHandle::Shared {
   service::SessionId session = 0;
   bool report_cached = false;  // Wait retrieved + detached the session
   bool waiting = false;        // a Wait is blocked inside the service
+  // Remote mode: the wire-session proxy every handle method delegates to
+  // (it carries its own synchronization and report cache).
+  std::unique_ptr<rpc::RemoteRunHandle> remote;
 
   // Waits until the run leaves kRunning and joins the worker thread
   // (thread modes). Exactly one caller steals the thread object; the lock
@@ -185,6 +191,7 @@ RunState RunHandle::Poll() const {
   // An empty handle has no run to be running; report it as failed, the
   // recoverable analogue of Wait/Report's FailedPrecondition.
   if (shared_ == nullptr) return RunState::kFailed;
+  if (shared_->mode == ExecutionMode::kRemote) return shared_->remote->Poll();
   std::lock_guard<std::mutex> lock(shared_->mu);
   if (shared_->mode != ExecutionMode::kService || shared_->report_cached ||
       shared_->waiting) {
@@ -207,6 +214,7 @@ util::Result<RunReport> RunHandle::Wait() {
   if (shared_ == nullptr) {
     return util::Status::FailedPrecondition("Wait() on an empty RunHandle");
   }
+  if (shared_->mode == ExecutionMode::kRemote) return shared_->remote->Wait();
   Shared& shared = *shared_;
   std::unique_lock<std::mutex> lock(shared.mu);
   if (shared.mode == ExecutionMode::kService) {
@@ -257,6 +265,9 @@ util::Result<RunReport> RunHandle::Report() const {
   if (shared_ == nullptr) {
     return util::Status::FailedPrecondition("Report() on an empty RunHandle");
   }
+  if (shared_->mode == ExecutionMode::kRemote) {
+    return shared_->remote->Report();
+  }
   if (shared_->mode == ExecutionMode::kService) {
     // Done sessions resolve without blocking (the service's Wait returns
     // immediately); running ones are refused rather than waited out.
@@ -275,12 +286,20 @@ util::Result<RunReport> RunHandle::Report() const {
 }
 
 obs::ProgressSnapshot RunHandle::Progress() const {
-  if (shared_ == nullptr || shared_->progress == nullptr) return {};
+  if (shared_ == nullptr) return {};
+  if (shared_->mode == ExecutionMode::kRemote) {
+    return shared_->remote->Progress();
+  }
+  if (shared_->progress == nullptr) return {};
   return shared_->progress->Snapshot();
 }
 
 void RunHandle::Cancel() {
   if (shared_ == nullptr) return;
+  if (shared_->mode == ExecutionMode::kRemote) {
+    shared_->remote->Cancel();
+    return;
+  }
   // Cooperative: wait the walk out, then discard the report. Service mode
   // also frees the admission slot (Wait detaches).
   (void)Wait();
@@ -383,6 +402,14 @@ SamplerBuilder& SamplerBuilder::RunAsService(ServiceConfig service) {
   return *this;
 }
 
+SamplerBuilder& SamplerBuilder::WithRemoteService(std::string endpoint,
+                                                  uint64_t rpc_timeout_ms) {
+  mode_ = ExecutionMode::kRemote;
+  remote_endpoint_ = std::move(endpoint);
+  remote_rpc_timeout_ms_ = rpc_timeout_ms;
+  return *this;
+}
+
 SamplerBuilder& SamplerBuilder::WithWalker(core::WalkerSpec spec) {
   defaults_.walker = std::move(spec);
   return *this;
@@ -434,6 +461,48 @@ SamplerBuilder& SamplerBuilder::WithConfidenceLevel(double confidence) {
 }
 
 util::Result<std::unique_ptr<Sampler>> SamplerBuilder::Build() const {
+  if (mode_ == ExecutionMode::kRemote) {
+    // Everything that composes the sampling STACK is daemon-side
+    // configuration: a remote sampler is a connection plus run defaults,
+    // and silently ignoring stack options would mislead worse than
+    // refusing them.
+    if (graph_ != nullptr || external_backend_ != nullptr) {
+      return util::Status::InvalidArgument(
+          "WithRemoteService samples the daemon's backend; drop "
+          "OverGraph/OverBackend");
+    }
+    if (has_wire_ || has_owned_store_ || external_store_ != nullptr ||
+        store_read_tier_ || group_query_budget_ != 0) {
+      return util::Status::InvalidArgument(
+          "wire/store/budget options are daemon-side configuration; a "
+          "remote sampler holds only the connection");
+    }
+    if (has_obs_ || has_telemetry_) {
+      return util::Status::InvalidArgument(
+          "observability scrapes the daemon's stack; use the daemon's "
+          "registry/telemetry options instead of WithObservability/"
+          "WithTelemetryServer on a remote sampler");
+    }
+    if (estimand_.any()) {
+      return util::Status::InvalidArgument(
+          "the estimand is daemon-side configuration (reports carry the "
+          "daemon's estimate); drop EstimateAverageDegree/"
+          "EstimateAttributeMean");
+    }
+    if (defaults_.stop_at_ci_half_width < 0.0) {
+      return util::Status::InvalidArgument(
+          "StopAtCiHalfWidth requires a target >= 0");
+    }
+    std::unique_ptr<Sampler> sampler(new Sampler());
+    sampler->mode_ = mode_;
+    sampler->defaults_ = defaults_;
+    sampler->confidence_ = confidence_;
+    rpc::ClientOptions client;
+    client.rpc_timeout_ms = remote_rpc_timeout_ms_;
+    HW_ASSIGN_OR_RETURN(sampler->rpc_client_,
+                        rpc::Client::Dial(remote_endpoint_, client));
+    return sampler;
+  }
   if (graph_ == nullptr && external_backend_ == nullptr) {
     return util::Status::InvalidArgument(
         "SamplerBuilder: no backend; call OverGraph or OverBackend");
@@ -549,6 +618,7 @@ util::Result<std::unique_ptr<Sampler>> SamplerBuilder::Build() const {
   if (mode_ == ExecutionMode::kService) {
     service::ServiceOptions options;
     options.max_sessions = service_.max_sessions;
+    options.admission_wait_us = service_.admission_wait_us;
     options.max_history_bytes = service_.max_history_bytes;
     options.share_history = service_.share_history;
     options.cache = cache_;
@@ -663,6 +733,9 @@ util::Result<RunHandle> Sampler::Run(const RunOptions& options) {
   if (options.stop_at_ci_half_width < 0.0) {
     return util::Status::InvalidArgument("stop_at_ci_half_width must be >= 0");
   }
+  // Remote runs skip the estimand check: whether adaptive stopping is
+  // valid depends on the DAEMON's estimand, which validates at Submit.
+  if (mode_ == ExecutionMode::kRemote) return RunRemote(options);
   if (options.stop_at_ci_half_width > 0.0 && !estimand_.any()) {
     return util::Status::InvalidArgument(
         "adaptive stopping (stop_at_ci_half_width) requires an estimand "
@@ -782,6 +855,18 @@ util::Result<RunHandle> Sampler::RunService(const RunOptions& options) {
     std::lock_guard<std::mutex> lock(mu_);
     session_progress_[id] = progress;
   }
+  return RunHandle(std::move(shared));
+}
+
+util::Result<RunHandle> Sampler::RunRemote(const RunOptions& options) {
+  HW_ASSIGN_OR_RETURN(
+      std::unique_ptr<rpc::RemoteRunHandle> remote,
+      rpc::RemoteRunHandle::Submit(rpc_client_, options));
+  auto shared = std::make_shared<RunHandle::Shared>();
+  shared->sampler = this;
+  shared->mode = mode_;
+  shared->spec = options.walker;
+  shared->remote = std::move(remote);
   return RunHandle(std::move(shared));
 }
 

@@ -68,6 +68,11 @@
 // survive a network hop (no spans or live references cross it — reports
 // are owning copies).
 
+namespace histwalk::rpc {
+class Client;
+class RemoteRunHandle;
+}  // namespace histwalk::rpc
+
 namespace histwalk::api {
 
 // How runs execute. All modes go through the same walkers and produce the
@@ -83,9 +88,16 @@ enum class ExecutionMode {
   // shared cache and one fair-scheduled multi-tenant pipeline; runs may
   // overlap and are billed per tenant.
   kService,
+  // A histwalk_serviced daemon reached over the wire protocol (rpc/): each
+  // Run() is a remote session on the daemon's service-mode sampler. The
+  // walk, cache, store and estimand all live daemon-side; this process
+  // holds only a connection and run handles. Same determinism contract —
+  // remote reports are bit-identical to an in-process service run with
+  // the same options.
+  kRemote,
 };
 
-// Stable lower-case name ("inline", "pipelined", "service").
+// Stable lower-case name ("inline", "pipelined", "service", "remote").
 std::string_view ExecutionModeName(ExecutionMode mode);
 
 enum class RunState {
@@ -276,6 +288,10 @@ class RunHandle {
 // (cache, store, clock and cross_tenant_dedup are wired by the builder).
 struct ServiceConfig {
   uint32_t max_sessions = 64;
+  // Bounded admission wait when the session cap is hit: Run() queues
+  // behind departing sessions for up to this many real microseconds
+  // before the usual kUnavailable refusal. 0 = refuse immediately.
+  uint64_t admission_wait_us = 0;
   uint64_t max_history_bytes = 0;
   bool share_history = true;
   net::RequestPipelineOptions pipeline;
@@ -345,6 +361,15 @@ class SamplerBuilder {
   SamplerBuilder& RunInline(unsigned num_threads = 0);
   SamplerBuilder& RunPipelined(net::RequestPipelineOptions pipeline = {});
   SamplerBuilder& RunAsService(ServiceConfig service = {});
+  // Execute runs on a histwalk_serviced daemon at `endpoint` ("host:port",
+  // IPv4 literal or "localhost"). Build() dials and handshakes — an absent
+  // daemon fails Build with kUnavailable, a protocol-version mismatch with
+  // kFailedPrecondition. The backend, wire, cache, store, observability
+  // and estimand are all daemon-side configuration; combining them with
+  // this mode is kInvalidArgument. `rpc_timeout_ms` bounds each RPC (0 =
+  // wait forever); expiry surfaces as util::IsDeadlineExceeded.
+  SamplerBuilder& WithRemoteService(std::string endpoint,
+                                    uint64_t rpc_timeout_ms = 0);
 
   // ---- ensemble defaults (per-run RunOptions overrides exist) ---------
   SamplerBuilder& WithWalker(core::WalkerSpec spec);
@@ -391,6 +416,8 @@ class SamplerBuilder {
   unsigned inline_threads_ = 0;
   net::RequestPipelineOptions pipeline_;
   ServiceConfig service_;
+  std::string remote_endpoint_;
+  uint64_t remote_rpc_timeout_ms_ = 0;
   RunOptions defaults_;
   EstimandSelection estimand_;
   double confidence_ = 0.95;
@@ -438,6 +465,8 @@ class Sampler {
   access::SharedAccessGroup* group() { return group_.get(); }
   // Service mode's service; null otherwise.
   service::SamplingService* service() { return service_.get(); }
+  // Remote mode's daemon connection; null otherwise.
+  rpc::Client* remote_client() const { return rpc_client_.get(); }
   store::HistoryStore* history_store() { return store_; }
   // The registry this stack's metrics land in (obs::Global() unless
   // WithObservability chose another).
@@ -461,6 +490,7 @@ class Sampler {
 
   util::Result<RunHandle> RunThreaded(const RunOptions& options);
   util::Result<RunHandle> RunService(const RunOptions& options);
+  util::Result<RunHandle> RunRemote(const RunOptions& options);
   // The walker's stationary bias, probed once per walker type and cached.
   util::Result<core::StationaryBias> BiasFor(const core::WalkerSpec& spec);
   // A ProgressTracker wired for `options`' estimand/weighting. With
@@ -504,6 +534,9 @@ class Sampler {
   store::HistoryStore* store_ = nullptr;
   std::unique_ptr<access::SharedAccessGroup> group_;
   std::unique_ptr<service::SamplingService> service_;
+  // Remote mode: the dialed daemon connection, shared with every run
+  // handle (so cached reads survive the Sampler).
+  std::shared_ptr<rpc::Client> rpc_client_;
   // Thread modes: the durable-history read tier and the per-sampler flight
   // recorder attached to group_ (service mode records per session).
   std::unique_ptr<access::CacheTier> store_tier_;

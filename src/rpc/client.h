@@ -1,0 +1,159 @@
+#ifndef HISTWALK_RPC_CLIENT_H_
+#define HISTWALK_RPC_CLIENT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "api/sampler.h"
+#include "obs/progress.h"
+#include "rpc/frame.h"
+#include "rpc/protocol.h"
+#include "util/socket.h"
+#include "util/status.h"
+
+// The client side of the wire protocol: a pipelined connection to a
+// histwalk_serviced daemon, and a RemoteRunHandle that mirrors the
+// api::RunHandle surface over it.
+//
+// Pipelining: every Call() gets a fresh correlation id, writes its frame,
+// and parks on a condition variable until the connection's single reader
+// thread routes the matching reply back — so any number of threads can
+// have RPCs in flight on one connection, and a Wait blocked server-side
+// for seconds never delays a concurrent Poll (the server executes them on
+// separate workers).
+//
+// Deadlines: ClientOptions::rpc_timeout_ms bounds each Call. On expiry the
+// caller gets Status::DeadlineExceeded and the pending slot is dropped, so
+// the reply — if it ever lands — is discarded by the reader. Note the
+// timeout applies to kWait like any other RPC: a walk that runs longer
+// than the deadline surfaces as IsDeadlineExceeded, and the caller may
+// simply Wait again (the server-side session is unaffected).
+//
+// A transport failure (server gone, protocol corruption) fails every
+// pending and future Call with the same status; the connection is dead
+// and a new Client must be dialed.
+
+namespace histwalk::rpc {
+
+struct ClientOptions {
+  // Reported to the server in the handshake (shows up in daemon logs).
+  std::string client_name = "histwalk_client";
+  // Per-RPC deadline in milliseconds; 0 = wait forever.
+  uint64_t rpc_timeout_ms = 0;
+};
+
+class Client {
+ public:
+  // Connects, performs the kHello/kHelloOk version handshake, and starts
+  // the reply-reader thread. kUnavailable when the daemon is not there,
+  // kFailedPrecondition on a protocol-version mismatch.
+  static util::Result<std::shared_ptr<Client>> Connect(std::string_view host,
+                                                       uint16_t port,
+                                                       ClientOptions options);
+  // Same, from a "host:port" endpoint string.
+  static util::Result<std::shared_ptr<Client>> Dial(std::string_view endpoint,
+                                                    ClientOptions options);
+
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // One RPC: writes the request, blocks until the correlated reply lands,
+  // the deadline expires (kDeadlineExceeded) or the connection dies
+  // (kUnavailable). A kError reply decodes into its carried Status; a
+  // reply of any other unexpected type is kDataLoss. On success, returns
+  // the reply payload.
+  util::Result<std::string> Call(MsgType type, std::string payload,
+                                 MsgType expected_reply);
+
+  // The server's handshake-reported name.
+  const std::string& server_name() const { return server_name_; }
+
+ private:
+  struct Pending {
+    bool done = false;
+    Frame reply;
+    util::Status transport;  // non-OK: the connection died mid-call
+  };
+
+  Client() = default;
+  void ReaderLoop();
+  // Marks the connection broken and releases every parked caller.
+  void FailAll(const util::Status& status);
+
+  util::TcpStream stream_;
+  ClientOptions options_;
+  std::string server_name_;
+  std::thread reader_;
+
+  std::mutex write_mu_;  // one frame at a time on the wire
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t next_correlation_ = 1;
+  std::map<uint64_t, std::shared_ptr<Pending>> pending_;
+  bool broken_ = false;
+  util::Status broken_status_;
+};
+
+// One remote run, mirroring api::RunHandle semantics: Wait retrieves and
+// caches the report (later Wait/Report calls return the cached copy),
+// Cancel discards it and pins the canceled error, Poll/Progress observe
+// without blocking the run. Thread-safe like its in-process counterpart.
+// Holds a shared reference to its Client, so the handle stays usable for
+// cached reads even after the Sampler that created it is gone.
+class RemoteRunHandle {
+ public:
+  // Submits `options` to the daemon and wraps the returned wire session.
+  static util::Result<std::unique_ptr<RemoteRunHandle>> Submit(
+      std::shared_ptr<Client> client, const api::RunOptions& options);
+
+  // Current state. A connection failure reports kFailed (the run's result
+  // is unreachable, which is what failed means to this caller).
+  api::RunState Poll() const;
+  // Blocks until the run finishes (server-side), then caches and returns
+  // the report. A DeadlineExceeded expiry is NOT cached — Wait again to
+  // keep waiting.
+  util::Result<api::RunReport> Wait();
+  // Non-blocking: the cached/finished report, kUnavailable while running.
+  util::Result<api::RunReport> Report();
+  // Latest streaming snapshot; a default snapshot when the run was not
+  // progress-tracked or the connection failed.
+  obs::ProgressSnapshot Progress() const;
+  // Cooperative cancel, api::RunHandle semantics: blocks until the walk
+  // ends server-side, discards the report, pins the canceled error.
+  void Cancel();
+
+  uint64_t session_id() const { return session_; }
+
+ private:
+  RemoteRunHandle(std::shared_ptr<Client> client, uint64_t session)
+      : client_(std::move(client)), session_(session) {}
+
+  // kWait/kReport RPC + decode (no caching; callers cache under mu_).
+  util::Result<api::RunReport> Retrieve(MsgType type) const;
+  // The cached outcome; call with mu_ held and cached_ true.
+  util::Result<api::RunReport> CachedLocked() const;
+
+  std::shared_ptr<Client> client_;
+  uint64_t session_ = 0;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  bool waiting_ = false;  // a Wait/Cancel RPC is in flight
+  bool cached_ = false;   // outcome pinned (report_ or error_)
+  bool failed_ = false;
+  bool canceled_ = false;
+  util::Status error_;
+  api::RunReport report_;
+};
+
+}  // namespace histwalk::rpc
+
+#endif  // HISTWALK_RPC_CLIENT_H_

@@ -1,0 +1,85 @@
+#include "rpc/frame.h"
+
+#include "store/format.h"
+
+namespace histwalk::rpc {
+
+namespace {
+
+void AppendU16(std::string& out, uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+uint16_t ReadU16At(const char* p) {
+  const unsigned char* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint16_t>(u[0]) |
+         static_cast<uint16_t>(static_cast<uint16_t>(u[1]) << 8);
+}
+
+}  // namespace
+
+std::string EncodeFrame(const Frame& frame) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + frame.payload.size());
+  store::AppendU32(out, kFrameMagic);
+  AppendU16(out, frame.type);
+  AppendU16(out, 0);  // flags
+  store::AppendU64(out, frame.correlation_id);
+  store::AppendU32(out, static_cast<uint32_t>(frame.payload.size()));
+  out += frame.payload;
+  return out;
+}
+
+util::Status WriteFrame(util::TcpStream& stream, const Frame& frame) {
+  if (frame.payload.size() > kMaxFramePayload) {
+    return util::Status::InvalidArgument(
+        "frame payload exceeds kMaxFramePayload: " +
+        std::to_string(frame.payload.size()));
+  }
+  return stream.SendAll(EncodeFrame(frame));
+}
+
+util::Status ReadFrame(util::TcpStream& stream, Frame* out) {
+  char header[kFrameHeaderBytes];
+  // A clean close here is kNotFound (between frames); mid-header close is
+  // already kDataLoss from RecvAll.
+  HW_RETURN_IF_ERROR(stream.RecvAll(header, sizeof(header)));
+  store::ByteReader reader(std::string_view(header, sizeof(header)));
+  uint32_t magic = 0;
+  reader.ReadU32(&magic);
+  if (magic != kFrameMagic) {
+    return util::Status::DataLoss("bad frame magic");
+  }
+  uint16_t type = ReadU16At(header + 4);
+  uint16_t flags = ReadU16At(header + 6);
+  if (flags != 0) {
+    return util::Status::DataLoss("nonzero frame flags");
+  }
+  store::ByteReader tail(std::string_view(header + 8, 12));
+  uint64_t correlation_id = 0;
+  uint32_t length = 0;
+  tail.ReadU64(&correlation_id);
+  tail.ReadU32(&length);
+  if (length > kMaxFramePayload) {
+    return util::Status::DataLoss("oversized frame length: " +
+                                  std::to_string(length));
+  }
+  out->type = type;
+  out->correlation_id = correlation_id;
+  out->payload.assign(length, '\0');
+  if (length > 0) {
+    util::Status status = stream.RecvAll(out->payload.data(), length);
+    if (!status.ok()) {
+      // A close mid-payload is a truncated frame even when the payload
+      // read itself started at byte 0 (RecvAll would say kNotFound).
+      if (status.code() == util::StatusCode::kNotFound) {
+        return util::Status::DataLoss("peer closed mid-frame");
+      }
+      return status;
+    }
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace histwalk::rpc

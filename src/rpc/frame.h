@@ -1,0 +1,60 @@
+#ifndef HISTWALK_RPC_FRAME_H_
+#define HISTWALK_RPC_FRAME_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/socket.h"
+#include "util/status.h"
+
+// The framing layer of the histwalk wire protocol: every message travels
+// as one length-prefixed frame over a plain TCP stream.
+//
+//   offset  size  field
+//   0       4     magic          0x50525748 ("HWRP", little-endian)
+//   4       2     type           message type (rpc/protocol.h catalog)
+//   6       2     flags          reserved, must be 0
+//   8       8     correlation id echoed verbatim on the reply
+//   16      4     payload length bytes following the header
+//   20      n     payload        message-type-specific encoding
+//
+// All integers are fixed-width little-endian (the store/format.h
+// convention). The magic leads every frame — not just the handshake — so
+// a desynchronized or non-protocol peer is detected on the next read
+// instead of being interpreted as garbage lengths. A declared payload
+// length above kMaxFramePayload is treated as corruption of the length
+// field itself (the store's kMaxWalRecordPayload reasoning): without the
+// bound a hostile or bit-flipped length would make the reader try to
+// allocate and then block for gigabytes that are never coming.
+//
+// Error taxonomy of ReadFrame, load-bearing for the server's reader loop:
+//   kNotFound  — the peer closed cleanly BETWEEN frames (normal drain)
+//   kDataLoss  — bad magic, nonzero flags, oversized length, or a close
+//                mid-frame (truncated stream)
+//   kUnavailable — a socket error underneath
+
+namespace histwalk::rpc {
+
+inline constexpr uint32_t kFrameMagic = 0x50525748;  // "HWRP"
+inline constexpr size_t kFrameHeaderBytes = 20;
+inline constexpr uint32_t kMaxFramePayload = 1u << 26;  // 64 MiB
+
+struct Frame {
+  uint16_t type = 0;
+  uint64_t correlation_id = 0;
+  std::string payload;
+};
+
+// Serializes header + payload into one buffer (one SendAll => one TCP
+// push for small frames once TCP_NODELAY is set).
+std::string EncodeFrame(const Frame& frame);
+
+// Writes one frame; partial writes are absorbed by TcpStream::SendAll.
+util::Status WriteFrame(util::TcpStream& stream, const Frame& frame);
+
+// Blocks for one full frame. See the error taxonomy above.
+util::Status ReadFrame(util::TcpStream& stream, Frame* out);
+
+}  // namespace histwalk::rpc
+
+#endif  // HISTWALK_RPC_FRAME_H_

@@ -1,0 +1,110 @@
+#ifndef HISTWALK_RPC_PROTOCOL_H_
+#define HISTWALK_RPC_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "api/sampler.h"
+#include "obs/progress.h"
+#include "util/status.h"
+
+// Message catalog and payload codec of the histwalk wire protocol, one
+// layer above rpc/frame.h. The catalog mirrors the api::RunHandle surface
+// — Submit starts a session, Poll/Wait/Report/Progress/Cancel observe and
+// end it — so a remote handle is a straight proxy.
+//
+// Conventions:
+//   * Request/reply pairing is by correlation id; replies carry either the
+//     success type listed below or kError (an encoded util::Status).
+//   * All integers little-endian fixed-width; strings are u32 length +
+//     bytes; doubles are their IEEE-754 bit pattern in a u64 — estimates
+//     round-trip BIT-identically, which the remote-vs-in-process
+//     equivalence test depends on.
+//   * Every Decode* is bounds-checked and returns kDataLoss on a malformed
+//     payload; decoders never trust declared element counts beyond the
+//     bytes actually present (hostile-frame defense).
+//   * Versioning: the first frame each way is kHello/kHelloOk carrying
+//     kProtocolVersion. A server seeing a version it does not speak
+//     replies kError(kFailedPrecondition) and closes. Adding message
+//     types or APPENDING fields to payloads bumps the version; changing
+//     existing field layout is forbidden within a version.
+
+namespace histwalk::rpc {
+
+inline constexpr uint32_t kProtocolVersion = 1;
+
+// Frame::type values. Replies are request type + 1 except where noted;
+// kError can answer any request.
+enum class MsgType : uint16_t {
+  kHello = 1,       // client -> server: u32 version, string client_name
+  kHelloOk = 2,     // server -> client: u32 version, string server_name
+  kSubmit = 3,      // RunOptions
+  kSubmitOk = 4,    // u64 session id
+  kPoll = 5,        // u64 session id
+  kPollOk = 6,      // u32 api::RunState
+  kWait = 7,        // u64 session id; blocks server-side until done
+  kReportOk = 8,    // RunReport (reply to both kWait and kReport)
+  kReport = 9,      // u64 session id; non-blocking
+  kCancel = 10,     // u64 session id
+  kCancelOk = 11,   // empty
+  kProgress = 12,   // u64 session id
+  kProgressOk = 13, // obs::ProgressSnapshot
+  kError = 14,      // util::Status
+};
+
+// Stable lower-case name for logs ("submit", "report_ok", ...).
+std::string_view MsgTypeName(MsgType type);
+
+// ---- scalar helpers (shared by client, server and tests) ------------------
+
+void AppendString(std::string& out, std::string_view s);
+void AppendDouble(std::string& out, double v);
+
+// ---- handshake ------------------------------------------------------------
+
+struct HelloPayload {
+  uint32_t version = kProtocolVersion;
+  std::string peer_name;
+};
+
+std::string EncodeHello(const HelloPayload& hello);
+util::Result<HelloPayload> DecodeHello(std::string_view payload);
+
+// ---- Status over the wire --------------------------------------------------
+
+std::string EncodeStatusPayload(const util::Status& status);
+// Out-param rather than Result<Status> (which would be ambiguous): the
+// RETURN is whether the payload decoded; `*out` is the carried status.
+util::Status DecodeStatusPayload(std::string_view payload, util::Status* out);
+
+// ---- session ids and states ------------------------------------------------
+
+std::string EncodeSessionId(uint64_t session_id);
+util::Result<uint64_t> DecodeSessionId(std::string_view payload);
+
+std::string EncodeRunState(api::RunState state);
+util::Result<api::RunState> DecodeRunState(std::string_view payload);
+
+// ---- RunOptions ------------------------------------------------------------
+// The walker spec travels as (type, label); a grouping pointer cannot
+// cross the wire, so Encode fails on kGnrw — GNRW runs stay in-process
+// until groupings are addressable by name.
+
+util::Result<std::string> EncodeRunOptions(const api::RunOptions& options);
+util::Result<api::RunOptions> DecodeRunOptions(std::string_view payload);
+
+// ---- RunReport -------------------------------------------------------------
+
+std::string EncodeRunReport(const api::RunReport& report);
+util::Result<api::RunReport> DecodeRunReport(std::string_view payload);
+
+// ---- ProgressSnapshot ------------------------------------------------------
+
+std::string EncodeProgressSnapshot(const obs::ProgressSnapshot& snapshot);
+util::Result<obs::ProgressSnapshot> DecodeProgressSnapshot(
+    std::string_view payload);
+
+}  // namespace histwalk::rpc
+
+#endif  // HISTWALK_RPC_PROTOCOL_H_

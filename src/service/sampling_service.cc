@@ -83,7 +83,22 @@ util::Result<SessionId> SamplingService::Submit(const SessionOptions& options) {
         "session needs a stop condition (max_steps or query_budget)");
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  if (sessions_.size() >= options_.max_sessions &&
+      options_.admission_wait_us > 0) {
+    // Queue behind the cap instead of refusing outright: Detach frees a
+    // slot and signals slot_cv_. Real-time deadline on purpose — an
+    // admission wait is caller-visible latency even when the service
+    // itself runs on a simulated clock.
+    ++admission_waits_;
+    ++admission_waiting_;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(options_.admission_wait_us);
+    slot_cv_.wait_until(lock, deadline, [this] {
+      return sessions_.size() < options_.max_sessions;
+    });
+    --admission_waiting_;
+  }
   if (sessions_.size() >= options_.max_sessions) {
     ++admission_refusals_;
     return util::Status::Unavailable(
@@ -239,6 +254,8 @@ util::Status SamplingService::Detach(SessionId id) {
     pipeline_.RemoveTenant(session->tenant);
     detached_charged_ += session->group->charged_queries();
     ++detached_;
+    // The freed slot may admit a queued Submit.
+    slot_cv_.notify_one();
   }
   // Join outside mu_: the thread's tail may still be returning from its
   // own publish (which needed the lock).
@@ -251,6 +268,8 @@ ServiceStats SamplingService::stats() const {
   ServiceStats stats;
   stats.submitted = submitted_;
   stats.admission_refusals = admission_refusals_;
+  stats.admission_waiting = admission_waiting_;
+  stats.admission_waits = admission_waits_;
   stats.completed = completed_;
   stats.failed = failed_;
   stats.detached = detached_;

@@ -112,6 +112,14 @@ struct ServiceOptions {
   // a finished session still holds its results and tenant registration).
   // Clamped to >= 1.
   uint32_t max_sessions = 64;
+  // Bounded admission wait: when the session cap is hit, Submit queues
+  // behind departing sessions for up to this many REAL microseconds
+  // (steady clock, independent of `clock`) before giving up with the
+  // usual kUnavailable refusal. 0 = refuse immediately (the historical
+  // behavior). Only the session cap queues; the history-memory guard
+  // still refuses immediately, because detaching sessions is what frees
+  // slots but only eviction frees memory. Waiters are not FIFO-ordered.
+  uint64_t admission_wait_us = 0;
   // Refuse admission while resident history — the shared cache, or in
   // isolated mode the summed private caches — holds at least this many
   // bytes (0 = unlimited). A coarse memory guard: existing sessions keep
@@ -171,6 +179,8 @@ struct SessionReport {
 struct ServiceStats {
   uint64_t submitted = 0;           // sessions admitted
   uint64_t admission_refusals = 0;  // typed kUnavailable turndowns
+  uint64_t admission_waiting = 0;   // Submits queued behind the cap now
+  uint64_t admission_waits = 0;     // Submits that ever queued
   uint64_t completed = 0;
   uint64_t failed = 0;
   uint64_t detached = 0;
@@ -245,10 +255,13 @@ class SamplingService {
 
   mutable std::mutex mu_;
   std::condition_variable done_cv_;  // signaled on session completion
+  std::condition_variable slot_cv_;  // signaled when Detach frees a slot
   std::map<SessionId, std::unique_ptr<Session>> sessions_;
   SessionId next_id_ = 1;
   uint64_t submitted_ = 0;
   uint64_t admission_refusals_ = 0;
+  uint64_t admission_waiting_ = 0;
+  uint64_t admission_waits_ = 0;
   uint64_t completed_ = 0;
   uint64_t failed_ = 0;
   uint64_t detached_ = 0;

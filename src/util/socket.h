@@ -16,6 +16,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -51,15 +52,28 @@ class TcpStream {
 
   // Connects to 127.0.0.1:port (test/client convenience).
   static Result<TcpStream> ConnectLocal(uint16_t port) {
+    return Connect("127.0.0.1", port);
+  }
+
+  // Connects to host:port. `host` must be an IPv4 dotted-quad literal or
+  // "localhost" — there is deliberately no resolver dependency here; the
+  // daemon and its clients address each other numerically.
+  static Result<TcpStream> Connect(std::string_view host, uint16_t port) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (host == "localhost") {
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    } else if (::inet_pton(AF_INET, std::string(host).c_str(),
+                           &addr.sin_addr) != 1) {
+      return Status::InvalidArgument("not an IPv4 literal: " +
+                                     std::string(host));
+    }
     int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) {
       return Status::Unavailable(std::string("socket: ") +
                                  std::strerror(errno));
     }
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(port);
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
     int rc;
     do {
       rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
@@ -87,6 +101,58 @@ class TcpStream {
     }
     out.append(buf.data(), static_cast<size_t>(n));
     return static_cast<size_t>(n);
+  }
+
+  // Loops until exactly `len` bytes have been read into `out`. Typed
+  // termination:
+  //   - orderly peer close before the first byte  -> kNotFound ("clean"
+  //     end of stream; between-frames close is not an error for callers
+  //     draining a framed protocol)
+  //   - orderly peer close mid-buffer             -> kDataLoss (truncated)
+  //   - socket error                              -> kUnavailable
+  Status RecvAll(char* out, size_t len) {
+    size_t got = 0;
+    while (got < len) {
+      ssize_t n;
+      do {
+        n = ::recv(fd_, out + got, len - got, 0);
+      } while (n < 0 && errno == EINTR);
+      if (n < 0) {
+        return Status::Unavailable(std::string("recv: ") +
+                                   std::strerror(errno));
+      }
+      if (n == 0) {
+        if (got == 0) return Status::NotFound("peer closed (end of stream)");
+        return Status::DataLoss("peer closed mid-read after " +
+                                std::to_string(got) + "/" +
+                                std::to_string(len) + " bytes");
+      }
+      got += static_cast<size_t>(n);
+    }
+    return Status::Ok();
+  }
+
+  // Disables Nagle's algorithm. A framed request/response protocol writes
+  // one small frame and then waits; without TCP_NODELAY every exchange
+  // eats a delayed-ACK round trip.
+  Status SetNoDelay(bool enabled = true) {
+    int flag = enabled ? 1 : 0;
+    if (::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &flag, sizeof(flag)) <
+        0) {
+      return Status::Unavailable(std::string("setsockopt(TCP_NODELAY): ") +
+                                 std::strerror(errno));
+    }
+    return Status::Ok();
+  }
+
+  // Half-close helpers. ShutdownRead() wakes a thread blocked in recv()
+  // on this fd (it sees end-of-stream) while letting queued writes flush —
+  // the graceful-drain primitive. ShutdownBoth() also aborts writes.
+  void ShutdownRead() {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+  }
+  void ShutdownBoth() {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
   }
 
   // Loops until every byte of `data` is written (or the peer vanishes).
@@ -142,14 +208,20 @@ class TcpListener {
   // Binds 127.0.0.1:port (0 = kernel-assigned ephemeral port; read the
   // outcome from port()) and starts listening. Loopback-only on purpose:
   // the scrape endpoint is diagnostics, not a public service.
-  static Result<TcpListener> Listen(uint16_t port, int backlog = 16) {
+  // `reuse_addr` keeps restarts from tripping over TIME_WAIT remnants of a
+  // previous instance; tests that want to prove a port is genuinely busy
+  // pass false.
+  static Result<TcpListener> Listen(uint16_t port, int backlog = 16,
+                                    bool reuse_addr = true) {
     int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) {
       return Status::Unavailable(std::string("socket: ") +
                                  std::strerror(errno));
     }
-    int reuse = 1;
-    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+    if (reuse_addr) {
+      int reuse = 1;
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+    }
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(port);

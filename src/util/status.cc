@@ -24,6 +24,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "unavailable";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
   }
   return "unknown";
 }

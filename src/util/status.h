@@ -27,6 +27,7 @@ enum class StatusCode {
   kDataLoss,           // a durable file is corrupt or unrecoverably truncated
   kUnavailable,        // a service refused admission (capacity, memory, ...)
   kInternal,
+  kDeadlineExceeded,   // an operation gave up after its caller-set deadline
 };
 
 // Returns a stable lower-case name for `code` ("ok", "invalid_argument", ...).
@@ -67,6 +68,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -109,6 +113,14 @@ inline bool IsDataLoss(const Status& status) {
 // later or against another instance; nothing was started or charged.
 inline bool IsUnavailable(const Status& status) {
   return status.code() == StatusCode::kUnavailable;
+}
+
+// True when an operation with a caller-set deadline ran out of time before
+// completing — an RPC reply that never arrived, an admission wait that
+// expired. Distinct from kUnavailable: the far side may still be working;
+// nothing is known about whether the work happened.
+inline bool IsDeadlineExceeded(const Status& status) {
+  return status.code() == StatusCode::kDeadlineExceeded;
 }
 
 // Result<T> is either a value or a non-OK Status (never both).

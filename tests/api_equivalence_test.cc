@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
+
 #include "access/graph_access.h"
 #include "api/sampler.h"
 #include "estimate/ensemble_runner.h"
 #include "graph/generators.h"
 #include "obs/profiler.h"
 #include "obs/registry.h"
+#include "rpc/server.h"
 #include "service/sampling_service.h"
 #include "util/random.h"
 
@@ -187,6 +191,95 @@ TEST(ApiEquivalenceTest, ServiceMatchesManualServiceAtTwoSchedulerDepths) {
       ExpectSameRun(manual_runs[t], report->ensemble);
       EXPECT_EQ(manual_bills[t], report->charged_queries)
           << "tenant " << t << " depth " << depth;
+    }
+  }
+}
+
+// ---- remote mode ------------------------------------------------------
+
+// The RPC front's acceptance contract: a run submitted through
+// WithRemoteService — over a real TCP connection, through the framed
+// protocol, into a daemon-hosted service-mode sampler — is BIT-IDENTICAL
+// to the same run on an in-process service-mode sampler: traces,
+// QueryStats, bills, and every estimate double compared by its IEEE-754
+// bit pattern. The wire is pure transport; it must never move a byte.
+TEST(ApiEquivalenceTest, RemoteMatchesInProcessServiceBitwise) {
+  graph::Graph graph = TestGraph();
+  constexpr uint32_t kTenants = 3;
+  auto service_builder = [&] {
+    return SamplerBuilder()
+        .OverGraph(&graph)
+        .RunAsService({.max_sessions = kTenants})
+        .WithWalker({.type = core::WalkerType::kCnrw})
+        .StopAfterSteps(kSteps)
+        .EstimateAverageDegree();
+  };
+  // Tenant 0 is plain; tenant 1 is progress-tracked; tenant 2 runs under
+  // a tenant fetch quota. Sequential sessions on both sides, so the
+  // shared-cache evolution (and each bill) is deterministic.
+  auto tenant_options = [](const Sampler& sampler, uint32_t t) {
+    RunOptions options = sampler.default_run_options();
+    options.num_walkers = kWalkers;
+    options.seed = kSeed + t;
+    if (t == 1) options.progress_interval = 16;
+    if (t == 2) options.tenant_query_budget = 200;
+    return options;
+  };
+
+  std::vector<RunReport> local_runs;
+  {
+    auto local = service_builder().Build();
+    ASSERT_TRUE(local.ok()) << local.status();
+    for (uint32_t t = 0; t < kTenants; ++t) {
+      auto handle = (*local)->Run(tenant_options(**local, t));
+      ASSERT_TRUE(handle.ok()) << handle.status();
+      auto report = handle->Wait();
+      ASSERT_TRUE(report.ok()) << report.status();
+      local_runs.push_back(*std::move(report));
+    }
+  }
+
+  auto hosted = service_builder().Build();
+  ASSERT_TRUE(hosted.ok()) << hosted.status();
+  auto server = rpc::Server::Start(hosted->get(), {});
+  ASSERT_TRUE(server.ok()) << server.status();
+  auto remote = SamplerBuilder()
+                    .WithRemoteService("127.0.0.1:" +
+                                       std::to_string((*server)->port()))
+                    .WithWalker({.type = core::WalkerType::kCnrw})
+                    .StopAfterSteps(kSteps)
+                    .Build();
+  ASSERT_TRUE(remote.ok()) << remote.status();
+
+  auto bits = [](double v) { return std::bit_cast<uint64_t>(v); };
+  for (uint32_t t = 0; t < kTenants; ++t) {
+    auto handle = (*remote)->Run(tenant_options(**remote, t));
+    ASSERT_TRUE(handle.ok()) << handle.status();
+    auto report = handle->Wait();
+    ASSERT_TRUE(report.ok()) << report.status();
+    const RunReport& local = local_runs[t];
+
+    ExpectSameRun(local.ensemble, report->ensemble);
+    EXPECT_EQ(local.charged_queries, report->charged_queries) << "tenant "
+                                                              << t;
+    EXPECT_EQ(local.ensemble.summed_stats.total_queries,
+              report->ensemble.summed_stats.total_queries);
+    EXPECT_EQ(local.tenant.wire_items, report->tenant.wire_items);
+    EXPECT_EQ(local.tenant.budget_refusals, report->tenant.budget_refusals);
+    ASSERT_EQ(local.has_estimate, report->has_estimate);
+    EXPECT_EQ(bits(local.estimate), bits(report->estimate)) << "tenant " << t;
+    EXPECT_EQ(bits(local.std_error), bits(report->std_error));
+    EXPECT_EQ(bits(local.ci_half_width), bits(report->ci_half_width));
+    EXPECT_EQ(bits(local.confidence), bits(report->confidence));
+    EXPECT_EQ(bits(local.ess), bits(report->ess));
+    EXPECT_EQ(bits(local.r_hat), bits(report->r_hat));
+    EXPECT_EQ(local.num_batches, report->num_batches);
+    EXPECT_EQ(local.stopped_at_ci_target, report->stopped_at_ci_target);
+    ASSERT_EQ(local.has_progress, report->has_progress) << "tenant " << t;
+    if (local.has_progress) {
+      EXPECT_EQ(local.progress.total_steps, report->progress.total_steps);
+      EXPECT_EQ(bits(local.progress.estimate), bits(report->progress.estimate));
+      EXPECT_EQ(bits(local.progress.ess), bits(report->progress.ess));
     }
   }
 }

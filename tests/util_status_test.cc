@@ -28,6 +28,8 @@ TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
   EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
   EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
   EXPECT_EQ(Status::NotFound("missing thing").message(), "missing thing");
 }
 
@@ -66,6 +68,25 @@ TEST(StatusCodeTest, EveryCodeHasAName) {
   EXPECT_EQ(StatusCodeName(StatusCode::kDataLoss), "data_loss");
   EXPECT_EQ(StatusCodeName(StatusCode::kUnavailable), "unavailable");
   EXPECT_EQ(StatusCodeName(StatusCode::kInternal), "internal");
+  EXPECT_EQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+            "deadline_exceeded");
+}
+
+TEST(StatusCodeTest, IsDeadlineExceededMatchesOnlyDeadlineExceeded) {
+  EXPECT_TRUE(IsDeadlineExceeded(Status::DeadlineExceeded("rpc timed out")));
+  EXPECT_FALSE(IsDeadlineExceeded(Status::Unavailable("x")));
+  EXPECT_FALSE(IsDeadlineExceeded(Status::ResourceExhausted("x")));
+  EXPECT_FALSE(IsDeadlineExceeded(Status::Ok()));
+  // A timed-out wait is not an admission refusal (the far side may still be
+  // working), not a budget stop, and not corruption.
+  EXPECT_FALSE(IsUnavailable(Status::DeadlineExceeded("x")));
+  EXPECT_FALSE(IsBudgetStop(Status::DeadlineExceeded("x")));
+  EXPECT_FALSE(IsDataLoss(Status::DeadlineExceeded("x")));
+}
+
+TEST(StatusTest, DeadlineExceededToStringUsesCodeName) {
+  EXPECT_EQ(Status::DeadlineExceeded("no reply in 50ms").ToString(),
+            "deadline_exceeded: no reply in 50ms");
 }
 
 TEST(StatusCodeTest, IsUnavailableMatchesOnlyUnavailable) {
